@@ -1,0 +1,75 @@
+"""Shared infrastructure for the benchmark suite.
+
+Each benchmark module regenerates one of the paper's tables/figures: it
+vectorizes the relevant kernels with VeGen and the LLVM-style baseline,
+prints the same rows/series the paper reports (as model-cycle ratios), and
+gives pytest-benchmark the vectorized program's interpreter execution to
+time.  Vectorization results are cached per (kernel, target, beam width,
+flags) so that printing a table and timing its programs never repeats the
+search.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.baseline import baseline_vectorize
+from repro.machine import run_program
+from repro.vectorizer import VectorizerConfig, vectorize
+
+_cache: Dict[Tuple, object] = {}
+
+
+def cached_vectorize(fn, target: str, beam_width: int = 64,
+                     canonicalize_patterns: bool = True,
+                     patience: int = 48):
+    key = ("vegen", id(fn), target, beam_width, canonicalize_patterns,
+           patience)
+    if key not in _cache:
+        config = VectorizerConfig(beam_width=beam_width, patience=patience)
+        _cache[key] = vectorize(
+            fn, target=target, beam_width=beam_width,
+            canonicalize_patterns=canonicalize_patterns, config=config,
+        )
+    return _cache[key]
+
+
+def cached_baseline(fn, target: str):
+    key = ("baseline", id(fn), target)
+    if key not in _cache:
+        _cache[key] = baseline_vectorize(fn, target=target)
+    return _cache[key]
+
+
+def make_runner(result):
+    """A zero-argument callable executing the emitted program on fixed
+    random inputs (what pytest-benchmark times)."""
+    from tests.helpers import copy_args, random_buffers
+
+    rng = random.Random(0)
+    args = random_buffers(result.function, rng)
+
+    def run():
+        run_program(result.program, copy_args(args))
+
+    return run
+
+
+def print_table(title: str, headers, rows) -> None:
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(h)), max((len(str(r[i])) for r in rows),
+                                   default=0))
+              for i, h in enumerate(headers)]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture(scope="session")
+def table_printer():
+    return print_table

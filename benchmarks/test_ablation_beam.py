@@ -1,0 +1,56 @@
+"""A2 — beam-width ablation (§5.2).
+
+Sweeps beam width over a representative kernel set and reports the model
+cost of the selected packs.  The paper's observation: wider beams usually
+help (idct4) but not monotonically (their idct8-AVX512 regression at
+beam 64).
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_vectorize, make_runner, print_table
+from repro.kernels import build_dsp_kernels, build_opencv_kernels
+
+_kernels = {
+    "fft4": build_dsp_kernels()["fft4"],
+    "sbc": build_dsp_kernels()["sbc"],
+    "idct4": build_dsp_kernels()["idct4"],
+    "int16x16": build_opencv_kernels()["int16x16"],
+}
+
+WIDTHS = (1, 4, 16, 64)
+
+
+def test_beam_width_sweep():
+    rows = []
+    for name, fn in _kernels.items():
+        row = [name]
+        for width in WIDTHS:
+            result = cached_vectorize(fn, "avx2", beam_width=width)
+            row.append(f"{result.cost.total:.1f}")
+        rows.append(tuple(row))
+    print_table(
+        "A2: model cycles by beam width (AVX2; lower is better)",
+        ("kernel",) + tuple(f"k={w}" for w in WIDTHS),
+        rows,
+    )
+    # Wider beams must never lose materially to the SLP heuristic (the
+    # paper's idct4 shows them winning big; our search recovers a smaller
+    # fraction of that structure — see EXPERIMENTS.md).
+    k1 = cached_vectorize(_kernels["idct4"], "avx2", beam_width=1)
+    k64 = cached_vectorize(_kernels["idct4"], "avx2", beam_width=64)
+    assert k64.cost.total <= k1.cost.total * 1.02
+
+
+@pytest.mark.benchmark(group="ablation-beam")
+@pytest.mark.parametrize("width", [1, 16])
+def test_beam_compile_time(benchmark, width):
+    """Compile-time cost of pack selection at different beam widths."""
+    from repro.vectorizer import vectorize
+
+    fn = _kernels["sbc"]
+
+    def compile_kernel():
+        vectorize(fn, target="avx2", beam_width=width)
+
+    benchmark.pedantic(compile_kernel, rounds=1, iterations=1)

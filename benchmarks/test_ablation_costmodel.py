@@ -1,0 +1,65 @@
+"""A3 — cost-model sensitivity (§6.2).
+
+How pack selection responds to the data-movement parameters: with very
+expensive shuffles/inserts the vectorizer should retreat toward scalar
+code; with the defaults it should vectorize the shuffle-heavy kernels.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.kernels import build_complex_mul, build_isel_tests
+from repro.machine import CostModel
+from repro.vectorizer import vectorize
+
+_kernels = {
+    "complex_mul": build_complex_mul(),
+    "hadd_pd": build_isel_tests()["hadd_pd"],
+    "pmaddwd": build_isel_tests()["pmaddwd"],
+}
+
+
+def test_shuffle_cost_sweep():
+    rows = []
+    for name, fn in _kernels.items():
+        row = [name]
+        for c_shuffle in (1.0, 2.0, 8.0, 32.0):
+            model = CostModel().with_params(
+                c_shuffle=c_shuffle,
+                c_insert=max(1.0, c_shuffle / 2),
+                c_extract=max(1.0, c_shuffle / 2),
+                c_permute=max(1.0, c_shuffle / 2),
+                c_two_source_shuffle=c_shuffle,
+                c_broadcast=max(1.0, c_shuffle / 2),
+            )
+            result = vectorize(fn, target="avx2", beam_width=16,
+                               cost_model=model)
+            row.append("vec" if result.vectorized else "scalar")
+        rows.append(tuple(row))
+    print_table(
+        "A3: vectorization decision vs data-movement cost",
+        ("kernel", "C_shuffle=1", "C_shuffle=2 (paper)", "C_shuffle=8",
+         "C_shuffle=32"),
+        rows,
+    )
+    # At the paper's setting every kernel here vectorizes; at absurd
+    # shuffle costs the shuffle-free pmaddwd kernel must survive longest.
+    default = CostModel()
+    for name, fn in _kernels.items():
+        assert vectorize(fn, target="avx2", beam_width=16,
+                         cost_model=default).vectorized, name
+    extreme = CostModel().with_params(c_shuffle=64.0, c_insert=32.0,
+                                      c_extract=32.0, c_permute=32.0,
+                                      c_two_source_shuffle=64.0,
+                                      c_broadcast=32.0)
+    assert vectorize(_kernels["pmaddwd"], target="avx2", beam_width=16,
+                     cost_model=extreme).vectorized
+
+
+@pytest.mark.benchmark(group="ablation-cost")
+def test_costmodel_evaluation_speed(benchmark):
+    from repro.machine.model import program_cost
+    from benchmarks.conftest import cached_vectorize
+
+    result = cached_vectorize(_kernels["pmaddwd"], "avx2", beam_width=16)
+    benchmark(lambda: program_cost(result.program))

@@ -1,0 +1,72 @@
+"""Compile-time characteristics.
+
+The paper positions VeGen against superoptimizers as "orders of magnitude"
+faster (§8): its compile-time phase is a heuristic, not a search over
+instruction sequences.  This table records what the reproduction's phases
+cost: the one-time offline target build, and per-kernel vectorization at
+the SLP-heuristic and beam settings.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.frontend import compile_kernel
+from repro.target import get_target
+from repro.vectorizer import vectorize
+
+_KERNELS = {
+    "dot2 (35 IR ops)": """
+void dot(const int16_t *restrict a, const int16_t *restrict b,
+         int32_t *restrict c) {
+    c[0] = a[0]*b[0] + a[1]*b[1];
+    c[1] = a[2]*b[2] + a[3]*b[3];
+}
+""",
+    "vadd8 (41 IR ops)": """
+void vadd(const int32_t *restrict a, const int32_t *restrict b,
+          int32_t *restrict c) {
+    for (int i = 0; i < 8; i++) { c[i] = a[i] + b[i]; }
+}
+""",
+}
+
+
+def test_compile_time_table():
+    get_target("avx2")  # ensure the offline phase is cached
+    rows = []
+    for name, source in _KERNELS.items():
+        fn = compile_kernel(source)
+        timings = []
+        for width in (1, 16):
+            start = time.perf_counter()
+            vectorize(fn, target="avx2", beam_width=width)
+            timings.append(time.perf_counter() - start)
+        rows.append((name, f"{timings[0] * 1000:.0f} ms",
+                     f"{timings[1] * 1000:.0f} ms"))
+    print_table(
+        "Compile time per kernel (offline target build excluded)",
+        ("kernel", "SLP heuristic (k=1)", "beam k=16"),
+        rows,
+    )
+    # Sanity: small kernels must vectorize in interactive time.
+    for _, slp_ms, beam_ms in rows:
+        assert float(beam_ms.split()[0]) < 60_000
+
+
+@pytest.mark.benchmark(group="compile-time")
+def test_offline_target_build_time(benchmark):
+    """Cost of the full offline phase for one fresh (uncached) target.
+
+    Uses pedantic mode with a single round: the build is seconds-scale
+    and deterministic."""
+    import repro.target.registry as registry
+
+    def build():
+        registry._cache.clear()
+        registry._inst_cache.clear()
+        registry._entry_cache = None
+        registry.get_target("sse4")
+
+    benchmark.pedantic(build, rounds=1, iterations=1)

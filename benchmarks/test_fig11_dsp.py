@@ -1,0 +1,108 @@
+"""E3/A1 — Figure 11: DSP/image kernels on AVX2 and AVX512-VNNI, across
+beam widths, with the pattern-canonicalization ablation.
+
+The paper sweeps beam widths {1, 64, 128} over fft4, fft8, sbc, idct8,
+idct4, chroma and additionally runs beam-128 without pattern
+canonicalization.  Expected shapes:
+
+* VeGen >= LLVM everywhere except possibly the SLP heuristic (k=1) on
+  idct4 (the paper's own exception);
+* beam search improves on the SLP heuristic for the shuffle-heavy
+  kernels (idct4);
+* disabling canonicalization hurts the saturation kernels (idct4, idct8,
+  chroma).
+
+idct8 is very large (2.6k IR instructions); it runs with a reduced search
+budget (smaller beam and patience), which is recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_baseline, cached_vectorize, \
+    make_runner, print_table
+from repro.kernels import build_dsp_kernels
+
+_kernels = build_dsp_kernels()
+
+#: (kernel, beam widths swept).  idct8 gets a reduced budget.
+KERNEL_WIDTHS = [
+    ("fft4", (1, 64, 128)),
+    ("fft8", (1, 64, 128)),
+    ("sbc", (1, 64, 128)),
+    ("idct8", (1, 8)),
+    ("idct4", (1, 64, 128)),
+    ("chroma", (1, 64, 128)),
+]
+
+TARGETS = ("avx2", "avx512_vnni")
+
+
+def _patience(name: str) -> int:
+    return 8 if name == "idct8" else 48
+
+
+def _speedup(fn, name, target, width, canonicalize=True):
+    vegen = cached_vectorize(fn, target, beam_width=width,
+                             canonicalize_patterns=canonicalize,
+                             patience=_patience(name))
+    llvm = cached_baseline(fn, target)
+    return llvm.cost.total / vegen.cost.total
+
+
+@pytest.mark.parametrize("target", TARGETS)
+def test_fig11_table(target):
+    rows = []
+    for name, widths in KERNEL_WIDTHS:
+        fn = _kernels[name]
+        row = [name]
+        for width in widths:
+            row.append(f"{_speedup(fn, name, target, width):.2f}x")
+        while len(row) < 4:
+            row.append("-")
+        nocanon = _speedup(fn, name, target, widths[-1],
+                           canonicalize=False)
+        row.append(f"{nocanon:.2f}x")
+        rows.append(tuple(row))
+    print_table(
+        f"Figure 11: speedup over LLVM ({target})",
+        ("kernel", "beam-1", "beam-64", "beam-128",
+         "beam-max w/o canon"),
+        rows,
+    )
+
+
+def test_fig11_vegen_beats_llvm_on_idct4():
+    """The paper's beam-128 result on idct4 is a 3x win over LLVM; our
+    reproduction wins by a smaller factor (the beam does not recover the
+    full Figure 12 shuffle structure under this cost model — recorded as
+    a deviation in EXPERIMENTS.md), but the direction must hold and the
+    wider beam must never lose to the SLP heuristic."""
+    fn = _kernels["idct4"]
+    k1 = _speedup(fn, "idct4", "avx2", 1)
+    k64 = _speedup(fn, "idct4", "avx2", 64)
+    assert k64 > 1.0
+    assert k64 >= k1 * 0.98
+
+
+def test_fig11_canonicalization_matters_for_saturation():
+    """A1: without pattern canonicalization the saturation patterns
+    (packssdw and friends) stop matching, so idct4 and chroma lose."""
+    for name in ("idct4", "chroma"):
+        fn = _kernels[name]
+        width = 64
+        with_canon = _speedup(fn, name, "avx2", width, canonicalize=True)
+        without = _speedup(fn, name, "avx2", width, canonicalize=False)
+        assert with_canon >= without, name
+
+
+def test_fig11_sbc_uses_dot_products():
+    result = cached_vectorize(_kernels["sbc"], "avx2", beam_width=64)
+    assert result.program.uses_instruction("pmaddwd")
+
+
+@pytest.mark.benchmark(group="fig11")
+@pytest.mark.parametrize("name", ["fft4", "sbc", "idct4", "chroma"])
+def test_fig11_vegen_execution(benchmark, name):
+    result = cached_vectorize(_kernels[name], "avx2", beam_width=64,
+                              patience=_patience(name))
+    benchmark(make_runner(result))

@@ -1,0 +1,64 @@
+"""E5 — Figure 13: OpenCV's dot-product kernels on AVX2 and AVX512-VNNI.
+
+The paper reports VeGen's speedup over LLVM for int8x32, uint8x32,
+int32x8, and int16x16.  Expected shape: nontrivial vectorization for at
+least three of the four, with int32x8 using pmuldq (the Figure 14
+odd/even strategy) and the 8/16-bit kernels using the madd family.
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_baseline, cached_vectorize, \
+    make_runner, print_table
+from repro.kernels import build_opencv_kernels
+
+_kernels = build_opencv_kernels()
+TARGETS = ("avx2", "avx512_vnni")
+
+
+@pytest.mark.parametrize("target", TARGETS)
+def test_fig13_table(target):
+    rows = []
+    for name, fn in _kernels.items():
+        vegen = cached_vectorize(fn, target, beam_width=64)
+        llvm = cached_baseline(fn, target)
+        families = sorted({
+            op.inst.name.rsplit("_", 1)[0]
+            for op in vegen.program.vector_ops()
+        })
+        rows.append((
+            name,
+            f"{llvm.cost.total / vegen.cost.total:.2f}x",
+            "yes" if vegen.vectorized else "no",
+            ", ".join(families) or "-",
+        ))
+    print_table(
+        f"Figure 13: OpenCV dot products, speedup over LLVM ({target})",
+        ("kernel", "speedup", "vectorized", "vegen instructions"),
+        rows,
+    )
+    vectorized = sum(
+        1 for name, fn in _kernels.items()
+        if cached_vectorize(fn, target, beam_width=64).vectorized
+    )
+    assert vectorized >= 3  # §7.3: nontrivial schemes for 3 of 4
+
+
+def test_fig13_int32x8_uses_pmuldq():
+    result = cached_vectorize(_kernels["int32x8"], "avx2", beam_width=64)
+    assert result.program.uses_instruction("pmuldq")
+
+
+def test_fig13_madd_family_on_16bit():
+    result = cached_vectorize(_kernels["int16x16"], "avx2", beam_width=64)
+    names = {op.inst.name.rsplit("_", 1)[0]
+             for op in result.program.vector_ops()}
+    assert any(n.startswith("pmaddwd") or n.startswith("vpdpwssd")
+               for n in names)
+
+
+@pytest.mark.benchmark(group="fig13")
+@pytest.mark.parametrize("name", sorted(_kernels))
+def test_fig13_vegen_execution(benchmark, name):
+    result = cached_vectorize(_kernels[name], "avx2", beam_width=64)
+    benchmark(make_runner(result))

@@ -1,0 +1,57 @@
+"""E8 — §6.1's validation experiment: random differential testing of every
+translated instruction's semantics (pseudocode interpreter vs the lifted
+VIDL description)."""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.pseudocode import parse_spec, run_spec
+from repro.target import get_target
+from repro.vidl import bits_from_lanes, execute_inst, lanes_from_bits
+
+
+def test_validate_whole_isa():
+    target = get_target("avx512_vnni")
+    rng = random.Random(20210419)
+    mismatches = []
+    for inst in target.instructions:
+        spec = parse_spec(inst.spec_text)
+        for _ in range(3):
+            env = {p.name: rng.getrandbits(p.total_width)
+                   for p in spec.params}
+            expected = run_spec(spec, env)
+            lanes = [
+                lanes_from_bits(env[p.name], p.lanes,
+                                inst.desc.inputs[i].elem_type)
+                for i, p in enumerate(spec.params)
+            ]
+            got = bits_from_lanes(execute_inst(inst.desc, lanes),
+                                  inst.desc.out_elem_type)
+            if got != expected:
+                mismatches.append(inst.name)
+                break
+    print_table(
+        "§6.1 semantics validation",
+        ("instructions", "validated", "mismatches"),
+        [(len(target.instructions),
+          len(target.instructions) - len(mismatches),
+          ", ".join(mismatches) or "none")],
+    )
+    assert mismatches == []
+
+
+@pytest.mark.benchmark(group="offline")
+def test_offline_pipeline_speed(benchmark):
+    """How long the full offline phase takes for one instruction (parse,
+    symbolic evaluation, simplification, lifting, canonicalization)."""
+    from repro.target.isa import build_instruction
+    from repro.target.specs import _pmaddwd
+
+    text = _pmaddwd("pmaddwd_bench", 4)
+
+    def build():
+        build_instruction("pmaddwd_bench", text, frozenset(), 0.5)
+
+    benchmark(build)

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Extending the target with a brand-new instruction — the paper's pitch.
+
+"To target a new vector instruction set, VEGEN only requires the compiler
+writers to describe the semantics of each instruction" (§4).  This example
+invents a non-SIMD instruction that no mainstream ISA has — a fused
+"sum of absolute differences of adjacent pairs" — writes its pseudocode,
+runs the offline pipeline, and shows the vectorizer immediately using it
+on a matching kernel, with zero vectorizer changes.
+
+Run:  python examples/new_isa_extension.py
+"""
+
+from repro import (
+    Buffer,
+    build_instruction,
+    compile_kernel,
+    get_target,
+    run_function,
+    run_program,
+    vectorize,
+)
+from repro.ir import I16, I32
+from repro.target.isa import TargetDesc
+from repro.utils.intmath import to_signed
+from repro.vidl import format_inst_desc
+
+# The new instruction: 4 output lanes, each the sum of absolute
+# differences of one adjacent input pair (a horizontal, non-isomorphic
+# pattern no SIMD instruction covers).
+PSADPAIR = """
+psadpair_128(a: 8 x s16, b: 8 x s16) -> 4 x s32
+FOR j := 0 to 3
+    i := j*32
+    dst[i+31:i] := ABS(Truncate32(SignExtend32(a[i+15:i]) - SignExtend32(b[i+15:i]))) +
+                   ABS(Truncate32(SignExtend32(a[i+31:i+16]) - SignExtend32(b[i+31:i+16])))
+ENDFOR
+"""
+
+KERNEL = """
+void sad_pairs(const int16_t *restrict a, const int16_t *restrict b,
+               int32_t *restrict out) {
+    for (int j = 0; j < 4; j++) {
+        int d0 = a[2*j] - b[2*j];
+        int d1 = a[2*j+1] - b[2*j+1];
+        int e0 = d0 < 0 ? -d0 : d0;
+        int e1 = d1 < 0 ? -d1 : d1;
+        out[j] = e0 + e1;
+    }
+}
+"""
+
+
+def main() -> None:
+    # 1. Offline phase: lift the pseudocode to VIDL and generate the
+    #    pattern-matching operations.
+    inst = build_instruction("psadpair_128", PSADPAIR, frozenset(),
+                             inv_throughput=1.0)
+    assert inst is not None
+    print("lifted description:")
+    print(format_inst_desc(inst.desc))
+    print("\ncanonical matching operation (lane 0):")
+    print(inst.match_ops[0])
+
+    # 2. Extend the stock AVX2 target with the new instruction.
+    base = get_target("avx2")
+    extended = TargetDesc("avx2+psadpair", base.extensions,
+                          list(base.instructions) + [inst])
+
+    # 3. The unchanged, target-independent vectorizer picks it up.
+    fn = compile_kernel(KERNEL)
+    plain = vectorize(fn, target=base, beam_width=16)
+    upgraded = vectorize(fn, target=extended, beam_width=16)
+    print(f"\nwithout psadpair: {plain.cost.total:.1f} model cycles")
+    print(f"with psadpair:    {upgraded.cost.total:.1f} model cycles")
+    print(upgraded.program.dump())
+    assert upgraded.program.uses_instruction("psadpair")
+    assert upgraded.cost.total < plain.cost.total
+
+    # 4. And the semantics are correct by construction.
+    a = Buffer(I16, [3, -4, 10, 2, -7, -9, 0, 5])
+    b = Buffer(I16, [1, 4, -2, 2, 7, -9, 8, -5])
+    out_scalar = Buffer(I32, [0] * 4)
+    out_vector = Buffer(I32, [0] * 4)
+    run_function(fn, {"a": a.copy(), "b": b.copy(), "out": out_scalar})
+    run_program(upgraded.program,
+                {"a": a.copy(), "b": b.copy(), "out": out_vector})
+    assert out_scalar == out_vector
+    print("\nresults:", [to_signed(v, 32) for v in out_vector.data])
+    print("OK: a new non-SIMD instruction was adopted from semantics "
+          "alone.")
+
+
+if __name__ == "__main__":
+    main()

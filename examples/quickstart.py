@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: vectorize the paper's running example (Figure 4).
+
+Compiles the scalar dot-product kernel of Figure 4(d) with the mini-C
+frontend, runs the generated vectorizer against the AVX2 target, prints
+the emitted vector program (which uses pmaddwd, as in Figure 4(f)), and
+checks the result against the scalar interpreter on a concrete input.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Buffer,
+    compile_kernel,
+    run_function,
+    run_program,
+    vectorize,
+)
+from repro.ir import I16, I32, print_function
+from repro.utils.intmath import to_signed
+
+DOT_PRODUCT = """
+void dot_prod(const int16_t *restrict A, const int16_t *restrict B,
+              int32_t *restrict C) {
+    C[0] = A[0] * B[0] + A[1] * B[1];
+    C[1] = A[2] * B[2] + A[3] * B[3];
+}
+"""
+
+
+def main() -> None:
+    # 1. Compile the C kernel to scalar IR.
+    fn = compile_kernel(DOT_PRODUCT)
+    print("scalar IR:")
+    print(print_function(fn))
+
+    # 2. Vectorize against the AVX2 target description (which was itself
+    #    generated offline from pseudocode semantics).
+    result = vectorize(fn, target="avx2", beam_width=16)
+    print("\nvectorized program:")
+    print(result.program.dump())
+    print(f"\nmodel cost: scalar={result.scalar_cost:.1f} cycles, "
+          f"vector={result.cost.total:.1f} cycles "
+          f"({result.speedup_over_scalar:.2f}x)")
+
+    # 3. Execute both versions and compare.
+    a = Buffer(I16, [1, -2, 3, 4])
+    b = Buffer(I16, [5, 6, 7, -8])
+    c_scalar = Buffer(I32, [0, 0])
+    c_vector = Buffer(I32, [0, 0])
+    run_function(fn, {"A": a.copy(), "B": b.copy(), "C": c_scalar})
+    run_program(result.program,
+                {"A": a.copy(), "B": b.copy(), "C": c_vector})
+    print("\nscalar result:", [to_signed(v, 32) for v in c_scalar.data])
+    print("vector result:", [to_signed(v, 32) for v in c_vector.data])
+    assert c_scalar == c_vector
+    assert result.program.uses_instruction("pmaddwd")
+    print("\nOK: the vectorizer used pmaddwd and the results agree.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""VeGen reproduction: a vectorizer generator for SIMD and beyond.
+
+Pure-Python reproduction of *VeGen: A Vectorizer Generator for SIMD and
+Beyond* (Chen, Mendis, Carbin, Amarasinghe - ASPLOS 2021).
+
+The package splits the same way the paper does (Figure 3):
+
+**Offline phase** (the vectorizer *generator*):
+
+* :mod:`repro.pseudocode` - Intel-documentation-style instruction
+  semantics; symbolic evaluation into bitvector formulas (Section 6.1).
+* :mod:`repro.bitvector` - the formula representation and simplifier
+  (the z3 stand-in).
+* :mod:`repro.vidl` - the Vector Instruction Description Language
+  (Section 4.1) and the lifter from formulas to per-lane operations.
+* :mod:`repro.patterns` - generated pattern matchers and the
+  instcombine-style canonicalizer (Sections 4.2 and 6).
+* :mod:`repro.target` - the synthetic x86-flavoured ISA, built entirely
+  from pseudocode specs.
+
+**Compile-time phase** (the generated vectorizer):
+
+* :mod:`repro.ir` - the scalar IR being vectorized, with interpreter and
+  dependence analysis.
+* :mod:`repro.frontend` - a mini-C frontend producing straight-line IR.
+* :mod:`repro.vectorizer` - packs, Algorithm 1, seeds, the Figure 7 cost
+  recurrence, Figure 9 beam search, and code generation.
+* :mod:`repro.baseline` - the LLVM-SLP-style baseline of Section 7.
+* :mod:`repro.machine` - the throughput cost model (Section 6.2) and the
+  vector program interpreter used for differential correctness.
+* :mod:`repro.kernels` - every kernel of the paper's evaluation.
+
+Quick start::
+
+    from repro import compile_kernel, vectorize
+
+    fn = compile_kernel('''
+    void dot(const int16_t *restrict a, const int16_t *restrict b,
+             int32_t *restrict c) {
+        for (int j = 0; j < 2; j++) {
+            c[j] = a[2*j] * b[2*j] + a[2*j+1] * b[2*j+1];
+        }
+    }
+    ''')
+    result = vectorize(fn, target="avx2")
+    print(result.program.dump())       # uses pmaddwd
+"""
+
+from repro.baseline import baseline_vectorize, get_baseline_target
+from repro.frontend import compile_c, compile_kernel
+from repro.ir import (
+    Buffer,
+    Function,
+    IRBuilder,
+    parse_function,
+    print_function,
+    run_function,
+    verify_function,
+)
+from repro.machine import (
+    CostModel,
+    program_cost,
+    run_program,
+    scalar_function_cost,
+    speedup,
+)
+from repro.target import (
+    TargetDesc,
+    TargetInstruction,
+    available_targets,
+    build_instruction,
+    get_target,
+)
+from repro.vectorizer import (
+    VectorizationResult,
+    VectorizerConfig,
+    scalar_program,
+    vectorize,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "baseline_vectorize",
+    "get_baseline_target",
+    "compile_c",
+    "compile_kernel",
+    "Buffer",
+    "Function",
+    "IRBuilder",
+    "parse_function",
+    "print_function",
+    "run_function",
+    "verify_function",
+    "CostModel",
+    "program_cost",
+    "run_program",
+    "scalar_function_cost",
+    "speedup",
+    "TargetDesc",
+    "TargetInstruction",
+    "available_targets",
+    "build_instruction",
+    "get_target",
+    "VectorizationResult",
+    "VectorizerConfig",
+    "scalar_program",
+    "vectorize",
+    "__version__",
+]

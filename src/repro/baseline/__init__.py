@@ -1,0 +1,8 @@
+"""LLVM-SLP-style baseline vectorizer used for every §7 comparison."""
+
+from repro.baseline.slp_vectorizer import (
+    baseline_vectorize,
+    get_baseline_target,
+)
+
+__all__ = ["baseline_vectorize", "get_baseline_target"]

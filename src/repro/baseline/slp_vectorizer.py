@@ -1,0 +1,119 @@
+"""The LLVM-SLP-style baseline vectorizer (§7's "LLVM").
+
+The baseline reuses the same pack-selection machinery as VeGen but models
+LLVM's SLP vectorizer faithfully in its capabilities and blind spots:
+
+* **SIMD instructions only** — lane-isomorphic, elementwise instructions
+  (the two SLP assumptions of §3).  Non-SIMD instructions (pmaddwd,
+  phadd, packssdw, vpdpbusd, ...) are invisible to it.
+* **Special-case addsub support** (§1, §7.1): the alternating fadd/fsub
+  and fma/fms patterns LLVM's SLP was hand-extended to handle.  Costs for
+  these mirror LLVM's target-independent model — two vector arithmetic
+  ops plus a blend — which *overestimates* (§7.4) and is exactly why the
+  baseline declines to vectorize complex multiplication (Figure 15).
+* **Hand-written fabs knowledge** (§7.1): LLVM vectorizes float absolute
+  value with the sign-bit masking trick; the baseline gets dedicated
+  ``fabsps/fabspd`` instructions to model that, which VeGen's targets do
+  not have (no x86 instruction documents those semantics).
+* **Greedy, non-lookahead selection**: beam width 1 (the plain SLP
+  heuristic).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.machine.costs import CostModel
+from repro.target.isa import (
+    TargetDesc,
+    TargetInstruction,
+    build_instruction,
+)
+from repro.target.registry import get_target
+from repro.target.specs import baseline_fabs_entries
+from repro.vectorizer.context import VectorizerConfig
+from repro.vectorizer.pipeline import VectorizationResult, vectorize
+
+#: Instruction families LLVM's SLP special-cases despite not being SIMD.
+_ALTERNATING_FAMILIES = ("addsubps", "addsubpd", "fmaddsubps",
+                         "fmaddsubpd", "fmsubaddps", "fmsubaddpd")
+
+#: LLVM models the alternating pattern as two vector ops plus a blend; the
+#: blend is the overestimated part (§7.4).
+_ALTERNATING_COST_OPS = 2
+_ALTERNATING_BLEND_COST = 3.0
+
+_baseline_cache: Dict[str, TargetDesc] = {}
+
+
+def get_baseline_target(name: str = "avx2") -> TargetDesc:
+    """Derive the baseline ("LLVM") target from a VeGen target config."""
+    cached = _baseline_cache.get(name)
+    if cached is not None:
+        return cached
+    full = get_target(name)
+    instructions: List[TargetInstruction] = []
+    for inst in full.instructions:
+        family = inst.name.rsplit("_", 1)[0]
+        if family in _ALTERNATING_FAMILIES:
+            # Supported, but priced with LLVM's two-ops-plus-blend model.
+            per_op = inst.cost / 2
+            inflated = (
+                _ALTERNATING_COST_OPS * max(per_op, 1.0)
+                + _ALTERNATING_BLEND_COST
+            )
+            instructions.append(
+                TargetInstruction(
+                    name=inst.name,
+                    desc=inst.desc,
+                    match_ops=inst.match_ops,
+                    cost=inflated,
+                    requires=inst.requires,
+                    spec_text=inst.spec_text,
+                )
+            )
+            continue
+        if inst.is_simd:
+            instructions.append(inst)
+    for entry in baseline_fabs_entries():
+        if not entry.requires <= full.extensions:
+            continue
+        built = build_instruction(entry.name, entry.text, entry.requires,
+                                  entry.inv_throughput)
+        if built is not None:
+            instructions.append(built)
+    target = TargetDesc(f"baseline-{name}", full.extensions, instructions)
+    _baseline_cache[name] = target
+    return target
+
+
+def baseline_vectorize(
+    function,
+    target: str = "avx2",
+    cost_model: Optional[CostModel] = None,
+    config: Optional[VectorizerConfig] = None,
+) -> VectorizationResult:
+    """Vectorize with the LLVM-SLP-style baseline.
+
+    The inflated alternating-pattern costs drive the *decision* (that is
+    LLVM's cost-model error, §7.4); the emitted program is then re-priced
+    with the true instruction costs, because LLVM's backend lowers the
+    blend pattern to the real addsub instruction when the vectorizer does
+    emit it.
+    """
+    result = vectorize(
+        function,
+        target=get_baseline_target(target),
+        beam_width=1,
+        cost_model=cost_model,
+        config=config,
+    )
+    full = get_target(target)
+    for op in result.program.vector_ops():
+        true_inst = full.by_name.get(op.inst.name)
+        if true_inst is not None:
+            op.inst = true_inst
+    from repro.machine.model import program_cost
+
+    result.cost = program_cost(result.program, cost_model or CostModel())
+    return result

@@ -1,0 +1,62 @@
+"""Bitvector expression library: the reproduction's z3 substitute (§6.1).
+
+Provides immutable bitvector expressions, a rewriting simplifier, and a
+concrete evaluator.  The pseudocode symbolic evaluator produces these
+formulas; the VIDL lifter consumes them after simplification.
+"""
+
+from repro.bitvector.eval import BVEvalError, evaluate, evaluate_binary
+from repro.bitvector.expr import (
+    BVBinary,
+    BVCast,
+    BVConcat,
+    BVConst,
+    BVExpr,
+    BVExtract,
+    BVIte,
+    BVOps,
+    BVUnary,
+    BVVar,
+    bv_binary,
+    bv_concat,
+    bv_const,
+    bv_extract,
+    bv_ite,
+    bv_sext,
+    bv_trunc,
+    bv_var,
+    bv_zext,
+    expr_size,
+    free_variables,
+)
+from repro.bitvector.printer import format_expr
+from repro.bitvector.simplify import simplify
+
+__all__ = [
+    "BVEvalError",
+    "evaluate",
+    "evaluate_binary",
+    "BVBinary",
+    "BVCast",
+    "BVConcat",
+    "BVConst",
+    "BVExpr",
+    "BVExtract",
+    "BVIte",
+    "BVOps",
+    "BVUnary",
+    "BVVar",
+    "bv_binary",
+    "bv_concat",
+    "bv_const",
+    "bv_extract",
+    "bv_ite",
+    "bv_sext",
+    "bv_trunc",
+    "bv_var",
+    "bv_zext",
+    "expr_size",
+    "free_variables",
+    "format_expr",
+    "simplify",
+]

@@ -1,0 +1,167 @@
+"""Concrete evaluation of bitvector expressions.
+
+Used for (a) constant folding inside the simplifier and (b) random-testing
+the translated semantics against the pseudocode interpreter (§6.1:
+"We validated the SMT formulas by random testing").
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.bitvector.expr import (
+    BVBinary,
+    BVCast,
+    BVConcat,
+    BVConst,
+    BVExpr,
+    BVExtract,
+    BVIte,
+    BVOps,
+    BVUnary,
+    BVVar,
+)
+from repro.utils.fp import float_from_bits, float_to_bits, round_to_width
+from repro.utils.intmath import mask, sign_extend, to_signed
+
+
+class BVEvalError(RuntimeError):
+    """Raised on undefined behaviour during concrete evaluation."""
+
+
+def evaluate(expr: BVExpr, env: Dict[str, int]) -> int:
+    """Evaluate ``expr`` with variables bound to unsigned ints in ``env``."""
+    if isinstance(expr, BVConst):
+        return expr.value
+    if isinstance(expr, BVVar):
+        try:
+            return mask(env[expr.name], expr.width)
+        except KeyError:
+            raise BVEvalError(f"unbound variable {expr.name!r}")
+    if isinstance(expr, BVExtract):
+        value = evaluate(expr.operand, env)
+        return (value >> expr.lo) & ((1 << expr.width) - 1)
+    if isinstance(expr, BVConcat):
+        result = 0
+        for part in expr.parts:
+            result = (result << part.width) | evaluate(part, env)
+        return result
+    if isinstance(expr, BVIte):
+        cond = evaluate(expr.cond, env)
+        return evaluate(expr.on_true if cond else expr.on_false, env)
+    if isinstance(expr, BVUnary):
+        value = evaluate(expr.operand, env)
+        if expr.op == "not":
+            return mask(~value, expr.width)
+        if expr.op == "neg":
+            return mask(-value, expr.width)
+        if expr.op == "fneg":
+            f = float_from_bits(value, expr.width)
+            return float_to_bits(-f, expr.width)
+        raise BVEvalError(f"unknown unary {expr.op}")
+    if isinstance(expr, BVCast):
+        value = evaluate(expr.operand, env)
+        return _eval_cast(expr.op, value, expr.operand.width, expr.width)
+    if isinstance(expr, BVBinary):
+        lhs = evaluate(expr.lhs, env)
+        rhs = evaluate(expr.rhs, env)
+        return evaluate_binary(expr.op, lhs, rhs, expr.lhs.width)
+    raise BVEvalError(f"cannot evaluate {type(expr).__name__}")
+
+
+def _eval_cast(op: str, value: int, src_width: int, dest_width: int) -> int:
+    if op == "sext":
+        return sign_extend(value, src_width, dest_width)
+    if op == "zext":
+        return value
+    if op in ("fpext", "fptrunc"):
+        f = float_from_bits(value, src_width)
+        return float_to_bits(round_to_width(f, dest_width), dest_width)
+    if op == "sitofp":
+        f = round_to_width(float(to_signed(value, src_width)), dest_width)
+        return float_to_bits(f, dest_width)
+    if op == "fptosi":
+        f = float_from_bits(value, src_width)
+        return mask(int(f), dest_width)
+    raise BVEvalError(f"unknown cast {op}")
+
+
+def evaluate_binary(op: str, lhs: int, rhs: int, width: int) -> int:
+    """Evaluate a binary bitvector op on unsigned payloads."""
+    if op in BVOps.FLOAT_BINARY or op in BVOps.FCMP:
+        a = float_from_bits(lhs, width)
+        b = float_from_bits(rhs, width)
+        if op == "fadd":
+            return float_to_bits(round_to_width(a + b, width), width)
+        if op == "fsub":
+            return float_to_bits(round_to_width(a - b, width), width)
+        if op == "fmul":
+            return float_to_bits(round_to_width(a * b, width), width)
+        if op == "fdiv":
+            if b == 0.0:
+                raise BVEvalError("float division by zero")
+            return float_to_bits(round_to_width(a / b, width), width)
+        if op == "oeq":
+            return int(a == b)
+        if op == "one":
+            return int(a != b)
+        if op == "olt":
+            return int(a < b)
+        if op == "ole":
+            return int(a <= b)
+        if op == "ogt":
+            return int(a > b)
+        if op == "oge":
+            return int(a >= b)
+    if op == "add":
+        return mask(lhs + rhs, width)
+    if op == "sub":
+        return mask(lhs - rhs, width)
+    if op == "mul":
+        return mask(lhs * rhs, width)
+    if op == "and":
+        return lhs & rhs
+    if op == "or":
+        return lhs | rhs
+    if op == "xor":
+        return lhs ^ rhs
+    if op == "shl":
+        if rhs >= width:
+            return 0  # SMT-LIB bvshl semantics
+        return mask(lhs << rhs, width)
+    if op == "lshr":
+        if rhs >= width:
+            return 0
+        return lhs >> rhs
+    if op == "ashr":
+        if rhs >= width:
+            rhs = width - 1
+        return mask(to_signed(lhs, width) >> rhs, width)
+    if op in ("udiv", "urem"):
+        if rhs == 0:
+            raise BVEvalError("division by zero")
+        return lhs // rhs if op == "udiv" else lhs % rhs
+    if op in ("sdiv", "srem"):
+        sa, sb = to_signed(lhs, width), to_signed(rhs, width)
+        if sb == 0:
+            raise BVEvalError("division by zero")
+        quotient = int(sa / sb)
+        if op == "sdiv":
+            return mask(quotient, width)
+        return mask(sa - quotient * sb, width)
+    if op == "eq":
+        return int(lhs == rhs)
+    if op == "ne":
+        return int(lhs != rhs)
+    signed = op in ("slt", "sle", "sgt", "sge")
+    if signed:
+        lhs, rhs = to_signed(lhs, width), to_signed(rhs, width)
+    if op in ("slt", "ult"):
+        return int(lhs < rhs)
+    if op in ("sle", "ule"):
+        return int(lhs <= rhs)
+    if op in ("sgt", "ugt"):
+        return int(lhs > rhs)
+    if op in ("sge", "uge"):
+        return int(lhs >= rhs)
+    raise BVEvalError(f"unknown binary op {op}")

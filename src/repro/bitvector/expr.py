@@ -1,0 +1,316 @@
+"""Bitvector expression nodes — the z3 substitute.
+
+The paper's offline phase (§6.1) symbolically evaluates Intel's pseudocode
+into SMT bitvector formulas and uses z3's *simplifier* (never its solver) to
+reduce them before lifting to VIDL.  This module provides the expression
+representation; :mod:`repro.bitvector.simplify` provides the simplifier and
+:mod:`repro.bitvector.eval` the concrete evaluator used for validating
+translated semantics by random testing.
+
+Conventions:
+
+* Every expression is a bitvector of a fixed ``width``.
+* Integer operations use the same opcode names as the scalar IR
+  (``add``, ``ashr``, ...) so lifting to VIDL is a rename-free walk.
+* Floating point lanes are bitvectors too; ``fadd``/``fmul``/... interpret
+  their operands as IEEE floats of the operand width (like z3's
+  float-via-bitvector reinterpretation).
+* Comparisons produce width-1 bitvectors.
+* Expressions are immutable and structurally hashable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.utils.intmath import mask
+
+
+class BVOps:
+    """Opcode name constants for bitvector expressions."""
+
+    INT_BINARY = frozenset(
+        {
+            "add", "sub", "mul", "udiv", "sdiv", "urem", "srem",
+            "and", "or", "xor", "shl", "lshr", "ashr",
+        }
+    )
+    FLOAT_BINARY = frozenset({"fadd", "fsub", "fmul", "fdiv"})
+    ICMP = frozenset(
+        {"eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge"}
+    )
+    FCMP = frozenset({"oeq", "one", "olt", "ole", "ogt", "oge"})
+    UNARY = frozenset({"not", "neg", "fneg"})
+    CAST = frozenset({"sext", "zext", "fpext", "fptrunc", "sitofp", "fptosi"})
+
+    COMMUTATIVE = frozenset({"add", "mul", "and", "or", "xor", "fadd", "fmul"})
+
+
+class BVExpr:
+    """Base class: immutable bitvector expression of fixed width."""
+
+    __slots__ = ("width", "_hash")
+
+    def __init__(self, width: int):
+        if width < 1:
+            raise ValueError(f"bad bitvector width {width}")
+        self.width = width
+        self._hash = None
+
+    def _key(self) -> Tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((type(self).__name__,) + self._key())
+        return self._hash
+
+    def children(self) -> Tuple["BVExpr", ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        from repro.bitvector.printer import format_expr
+
+        return format_expr(self)
+
+
+class BVVar(BVExpr):
+    """A free variable (an instruction input register)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, width: int):
+        super().__init__(width)
+        self.name = name
+
+    def _key(self):
+        return (self.name, self.width)
+
+
+class BVConst(BVExpr):
+    """A constant, stored unsigned."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, width: int):
+        super().__init__(width)
+        self.value = mask(int(value), width)
+
+    def _key(self):
+        return (self.value, self.width)
+
+
+class BVExtract(BVExpr):
+    """``expr[hi:lo]`` — inclusive bit range, like SMT-LIB extract."""
+
+    __slots__ = ("hi", "lo", "operand")
+
+    def __init__(self, hi: int, lo: int, operand: BVExpr):
+        if not (0 <= lo <= hi < operand.width):
+            raise ValueError(
+                f"bad extract [{hi}:{lo}] of width-{operand.width} expr"
+            )
+        super().__init__(hi - lo + 1)
+        self.hi = hi
+        self.lo = lo
+        self.operand = operand
+
+    def _key(self):
+        return (self.hi, self.lo, self.operand)
+
+    def children(self):
+        return (self.operand,)
+
+
+class BVConcat(BVExpr):
+    """Concatenation; ``parts[0]`` is the most significant part."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Sequence[BVExpr]):
+        parts = tuple(parts)
+        if not parts:
+            raise ValueError("empty concat")
+        super().__init__(sum(p.width for p in parts))
+        self.parts = parts
+
+    def _key(self):
+        return self.parts
+
+    def children(self):
+        return self.parts
+
+
+class BVBinary(BVExpr):
+    """A binary operation: integer/float arithmetic or comparison."""
+
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op: str, lhs: BVExpr, rhs: BVExpr):
+        if lhs.width != rhs.width:
+            raise ValueError(
+                f"{op}: width mismatch {lhs.width} vs {rhs.width}"
+            )
+        if op in BVOps.ICMP or op in BVOps.FCMP:
+            width = 1
+        elif op in BVOps.INT_BINARY or op in BVOps.FLOAT_BINARY:
+            width = lhs.width
+        else:
+            raise ValueError(f"unknown binary op {op!r}")
+        super().__init__(width)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def _key(self):
+        return (self.op, self.lhs, self.rhs)
+
+    def children(self):
+        return (self.lhs, self.rhs)
+
+
+class BVUnary(BVExpr):
+    """``not``, ``neg`` (two's complement), or ``fneg``."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: BVExpr):
+        if op not in BVOps.UNARY:
+            raise ValueError(f"unknown unary op {op!r}")
+        super().__init__(operand.width)
+        self.op = op
+        self.operand = operand
+
+    def _key(self):
+        return (self.op, self.operand)
+
+    def children(self):
+        return (self.operand,)
+
+
+class BVCast(BVExpr):
+    """Width/representation conversion to ``width`` bits."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: BVExpr, width: int):
+        if op not in BVOps.CAST:
+            raise ValueError(f"unknown cast op {op!r}")
+        if op in ("sext", "zext") and width < operand.width:
+            raise ValueError(f"{op} must widen ({operand.width} -> {width})")
+        if op == "fpext" and not (operand.width == 32 and width == 64):
+            raise ValueError("fpext is only f32 -> f64")
+        if op == "fptrunc" and not (operand.width == 64 and width == 32):
+            raise ValueError("fptrunc is only f64 -> f32")
+        super().__init__(width)
+        self.op = op
+        self.operand = operand
+
+    def _key(self):
+        return (self.op, self.operand, self.width)
+
+    def children(self):
+        return (self.operand,)
+
+
+class BVIte(BVExpr):
+    """If-then-else on a width-1 condition."""
+
+    __slots__ = ("cond", "on_true", "on_false")
+
+    def __init__(self, cond: BVExpr, on_true: BVExpr, on_false: BVExpr):
+        if cond.width != 1:
+            raise ValueError("ite condition must have width 1")
+        if on_true.width != on_false.width:
+            raise ValueError(
+                f"ite arms differ: {on_true.width} vs {on_false.width}"
+            )
+        super().__init__(on_true.width)
+        self.cond = cond
+        self.on_true = on_true
+        self.on_false = on_false
+
+    def _key(self):
+        return (self.cond, self.on_true, self.on_false)
+
+    def children(self):
+        return (self.cond, self.on_true, self.on_false)
+
+
+# -- convenience constructors -------------------------------------------------
+
+
+def bv_var(name: str, width: int) -> BVVar:
+    return BVVar(name, width)
+
+
+def bv_const(value: int, width: int) -> BVConst:
+    return BVConst(value, width)
+
+
+def bv_extract(hi: int, lo: int, operand: BVExpr) -> BVExpr:
+    if lo == 0 and hi == operand.width - 1:
+        return operand
+    return BVExtract(hi, lo, operand)
+
+
+def bv_concat(parts: Iterable[BVExpr]) -> BVExpr:
+    parts = list(parts)
+    if len(parts) == 1:
+        return parts[0]
+    return BVConcat(parts)
+
+
+def bv_binary(op: str, lhs: BVExpr, rhs: BVExpr) -> BVExpr:
+    return BVBinary(op, lhs, rhs)
+
+
+def bv_ite(cond: BVExpr, on_true: BVExpr, on_false: BVExpr) -> BVExpr:
+    return BVIte(cond, on_true, on_false)
+
+
+def bv_sext(operand: BVExpr, width: int) -> BVExpr:
+    if width == operand.width:
+        return operand
+    return BVCast("sext", operand, width)
+
+
+def bv_zext(operand: BVExpr, width: int) -> BVExpr:
+    if width == operand.width:
+        return operand
+    return BVCast("zext", operand, width)
+
+
+def bv_trunc(operand: BVExpr, width: int) -> BVExpr:
+    if width == operand.width:
+        return operand
+    return bv_extract(width - 1, 0, operand)
+
+
+def expr_size(expr: BVExpr) -> int:
+    """Number of nodes in the expression DAG (counted as a tree)."""
+    return 1 + sum(expr_size(c) for c in expr.children())
+
+
+def free_variables(expr: BVExpr) -> List[BVVar]:
+    """All distinct variables in ``expr``, in first-appearance order."""
+    seen = {}
+    stack = [expr]
+    order: List[BVVar] = []
+
+    def visit(node: BVExpr) -> None:
+        if isinstance(node, BVVar):
+            if node._key() not in seen:
+                seen[node._key()] = node
+                order.append(node)
+            return
+        for child in node.children():
+            visit(child)
+
+    visit(expr)
+    return order

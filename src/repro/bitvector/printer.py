@@ -1,0 +1,31 @@
+"""Human-readable rendering of bitvector expressions (for debugging and
+error messages; no parser — formulas are produced programmatically)."""
+
+from __future__ import annotations
+
+from repro.bitvector import expr as E
+
+
+def format_expr(node: "E.BVExpr") -> str:
+    if isinstance(node, E.BVVar):
+        return f"{node.name}:{node.width}"
+    if isinstance(node, E.BVConst):
+        return f"{node.value}#{node.width}"
+    if isinstance(node, E.BVExtract):
+        return f"{format_expr(node.operand)}[{node.hi}:{node.lo}]"
+    if isinstance(node, E.BVConcat):
+        return "(concat " + " ".join(format_expr(p) for p in node.parts) + ")"
+    if isinstance(node, E.BVBinary):
+        return (
+            f"({node.op} {format_expr(node.lhs)} {format_expr(node.rhs)})"
+        )
+    if isinstance(node, E.BVUnary):
+        return f"({node.op} {format_expr(node.operand)})"
+    if isinstance(node, E.BVCast):
+        return f"({node.op}{node.width} {format_expr(node.operand)})"
+    if isinstance(node, E.BVIte):
+        return (
+            f"(ite {format_expr(node.cond)} {format_expr(node.on_true)} "
+            f"{format_expr(node.on_false)})"
+        )
+    return f"<{type(node).__name__}>"

@@ -1,0 +1,319 @@
+"""Rewriting simplifier for bitvector expressions.
+
+Plays the role of z3's ``simplify()`` in the paper's pipeline (§6.1): the
+symbolic evaluator produces formulas that are "unnecessarily complicated ...
+because of the naive implementation of partial bit-vector updates and
+predicated updates", and this pass reduces them to expressions that reflect
+the high-level intent — in particular, per-output-lane expressions over
+element-aligned slices of the inputs, which is what the VIDL lifter needs.
+
+The simplifier is a bottom-up rewriter with memoization; rules are applied
+at each node until a fixpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.bitvector.eval import BVEvalError, evaluate
+from repro.bitvector.expr import (
+    BVBinary,
+    BVCast,
+    BVConcat,
+    BVConst,
+    BVExpr,
+    BVExtract,
+    BVIte,
+    BVOps,
+    BVUnary,
+    BVVar,
+    bv_concat,
+    bv_const,
+    bv_extract,
+    bv_sext,
+    bv_zext,
+)
+
+# Ops whose low bits depend only on the low bits of their operands, so an
+# Extract from bit 0 distributes over them.
+_LOW_BITS_OPS = frozenset({"add", "sub", "mul"})
+_BITWISE_OPS = frozenset({"and", "or", "xor"})
+
+_MAX_REWRITE_ITERATIONS = 64
+
+
+def simplify(expr: BVExpr) -> BVExpr:
+    """Return an equivalent, (usually) smaller expression."""
+    return _Simplifier().run(expr)
+
+
+class _Simplifier:
+    def __init__(self) -> None:
+        self._memo: Dict[BVExpr, BVExpr] = {}
+
+    def run(self, expr: BVExpr) -> BVExpr:
+        cached = self._memo.get(expr)
+        if cached is not None:
+            return cached
+        result = self._rebuild(expr)
+        for _ in range(_MAX_REWRITE_ITERATIONS):
+            rewritten = self._rewrite(result)
+            if rewritten is None:
+                break
+            result = self._rebuild(rewritten)
+        self._memo[expr] = result
+        return result
+
+    def _rebuild(self, expr: BVExpr) -> BVExpr:
+        """Simplify children, then constant-fold if possible."""
+        if isinstance(expr, (BVVar, BVConst)):
+            return expr
+        if isinstance(expr, BVExtract):
+            expr = bv_extract(expr.hi, expr.lo, self.run(expr.operand))
+        elif isinstance(expr, BVConcat):
+            expr = bv_concat([self.run(p) for p in expr.parts])
+        elif isinstance(expr, BVBinary):
+            expr = BVBinary(expr.op, self.run(expr.lhs), self.run(expr.rhs))
+        elif isinstance(expr, BVUnary):
+            expr = BVUnary(expr.op, self.run(expr.operand))
+        elif isinstance(expr, BVCast):
+            expr = BVCast(expr.op, self.run(expr.operand), expr.width)
+        elif isinstance(expr, BVIte):
+            expr = BVIte(
+                self.run(expr.cond),
+                self.run(expr.on_true),
+                self.run(expr.on_false),
+            )
+        folded = _try_fold(expr)
+        return folded if folded is not None else expr
+
+    # -- the rewrite rules ---------------------------------------------------
+
+    def _rewrite(self, expr: BVExpr) -> Optional[BVExpr]:
+        """Apply one rewrite step; return None when no rule fires."""
+        if isinstance(expr, BVExtract):
+            return _rewrite_extract(expr)
+        if isinstance(expr, BVConcat):
+            return _rewrite_concat(expr)
+        if isinstance(expr, BVIte):
+            return _rewrite_ite(expr)
+        if isinstance(expr, BVBinary):
+            return _rewrite_binary(expr)
+        if isinstance(expr, BVUnary):
+            return _rewrite_unary(expr)
+        if isinstance(expr, BVCast):
+            return _rewrite_cast(expr)
+        return None
+
+
+def _try_fold(expr: BVExpr) -> Optional[BVConst]:
+    """Constant-fold a node whose children are all constants."""
+    if isinstance(expr, BVConst):
+        return None
+    children = expr.children()
+    if not children or not all(isinstance(c, BVConst) for c in children):
+        return None
+    try:
+        return bv_const(evaluate(expr, {}), expr.width)
+    except BVEvalError:
+        return None
+
+
+def _rewrite_extract(expr: BVExtract) -> Optional[BVExpr]:
+    hi, lo, operand = expr.hi, expr.lo, expr.operand
+    if isinstance(operand, BVExtract):
+        return bv_extract(hi + operand.lo, lo + operand.lo, operand.operand)
+    if isinstance(operand, BVConcat):
+        return _extract_of_concat(hi, lo, operand)
+    if isinstance(operand, BVIte):
+        return BVIte(
+            operand.cond,
+            bv_extract(hi, lo, operand.on_true),
+            bv_extract(hi, lo, operand.on_false),
+        )
+    if isinstance(operand, BVCast) and operand.op == "zext":
+        inner = operand.operand
+        if hi < inner.width:
+            return bv_extract(hi, lo, inner)
+        if lo >= inner.width:
+            return bv_const(0, hi - lo + 1)
+        if lo == 0:
+            return bv_zext(inner, hi + 1)
+        return None
+    if isinstance(operand, BVCast) and operand.op == "sext":
+        inner = operand.operand
+        if hi < inner.width:
+            return bv_extract(hi, lo, inner)
+        if lo == 0:
+            return bv_sext(inner, hi + 1)
+        return None
+    if isinstance(operand, BVBinary) and operand.op in _BITWISE_OPS:
+        return BVBinary(
+            operand.op,
+            bv_extract(hi, lo, operand.lhs),
+            bv_extract(hi, lo, operand.rhs),
+        )
+    if (
+        isinstance(operand, BVBinary)
+        and operand.op in _LOW_BITS_OPS
+        and lo == 0
+    ):
+        return BVBinary(
+            operand.op,
+            bv_extract(hi, 0, operand.lhs),
+            bv_extract(hi, 0, operand.rhs),
+        )
+    if isinstance(operand, BVUnary) and operand.op == "not":
+        return BVUnary("not", bv_extract(hi, lo, operand.operand))
+    if isinstance(operand, BVUnary) and operand.op == "neg" and lo == 0:
+        return BVUnary("neg", bv_extract(hi, 0, operand.operand))
+    return None
+
+
+def _extract_of_concat(hi: int, lo: int, concat: BVConcat) -> BVExpr:
+    """Slice an extract through a concat's parts."""
+    # Walk parts from least significant (last) upward.
+    pieces: List[BVExpr] = []  # least significant first
+    bit = 0
+    for part in reversed(concat.parts):
+        part_lo, part_hi = bit, bit + part.width - 1
+        if part_hi >= lo and part_lo <= hi:
+            sub_lo = max(lo, part_lo) - part_lo
+            sub_hi = min(hi, part_hi) - part_lo
+            pieces.append(bv_extract(sub_hi, sub_lo, part))
+        bit += part.width
+    pieces.reverse()  # back to most-significant-first
+    return bv_concat(pieces)
+
+
+def _rewrite_concat(expr: BVConcat) -> Optional[BVExpr]:
+    parts = list(expr.parts)
+    # Flatten nested concats.
+    if any(isinstance(p, BVConcat) for p in parts):
+        flat: List[BVExpr] = []
+        for p in parts:
+            if isinstance(p, BVConcat):
+                flat.extend(p.parts)
+            else:
+                flat.append(p)
+        return bv_concat(flat)
+    changed = False
+    merged: List[BVExpr] = []
+    for part in parts:
+        prev = merged[-1] if merged else None
+        if isinstance(prev, BVConst) and isinstance(part, BVConst):
+            merged[-1] = bv_const(
+                (prev.value << part.width) | part.value,
+                prev.width + part.width,
+            )
+            changed = True
+            continue
+        if (
+            isinstance(prev, BVExtract)
+            and isinstance(part, BVExtract)
+            and prev.operand == part.operand
+            and prev.lo == part.hi + 1
+        ):
+            merged[-1] = bv_extract(prev.hi, part.lo, prev.operand)
+            changed = True
+            continue
+        # An extract adjacent to the full operand's top/bottom.
+        if (
+            isinstance(prev, BVExtract)
+            and prev.operand == part
+            and prev.lo == part.width
+        ):
+            merged[-1] = bv_extract(prev.hi, 0, prev.operand)
+            changed = True
+            continue
+        merged.append(part)
+    if changed:
+        return bv_concat(merged)
+    return None
+
+
+def _rewrite_ite(expr: BVIte) -> Optional[BVExpr]:
+    if isinstance(expr.cond, BVConst):
+        return expr.on_true if expr.cond.value else expr.on_false
+    if expr.on_true == expr.on_false:
+        return expr.on_true
+    if (
+        expr.width == 1
+        and isinstance(expr.on_true, BVConst)
+        and isinstance(expr.on_false, BVConst)
+        and expr.on_true.value == 1
+        and expr.on_false.value == 0
+    ):
+        return expr.cond
+    return None
+
+
+def _is_zero(expr: BVExpr) -> bool:
+    return isinstance(expr, BVConst) and expr.value == 0
+
+
+def _is_ones(expr: BVExpr) -> bool:
+    return (
+        isinstance(expr, BVConst)
+        and expr.value == (1 << expr.width) - 1
+    )
+
+
+def _is_one(expr: BVExpr) -> bool:
+    return isinstance(expr, BVConst) and expr.value == 1
+
+
+def _rewrite_binary(expr: BVBinary) -> Optional[BVExpr]:
+    op, lhs, rhs = expr.op, expr.lhs, expr.rhs
+    # Canonicalize constants to the right for commutative ops.
+    if op in BVOps.COMMUTATIVE and isinstance(lhs, BVConst) and not isinstance(
+        rhs, BVConst
+    ):
+        return BVBinary(op, rhs, lhs)
+    if op == "add" and _is_zero(rhs):
+        return lhs
+    if op == "sub" and _is_zero(rhs):
+        return lhs
+    if op == "mul" and _is_one(rhs):
+        return lhs
+    if op == "mul" and _is_zero(rhs):
+        return rhs
+    if op == "and" and _is_zero(rhs):
+        return rhs
+    if op == "and" and _is_ones(rhs):
+        return lhs
+    if op == "or" and _is_zero(rhs):
+        return lhs
+    if op == "or" and _is_ones(rhs):
+        return rhs
+    if op == "xor" and _is_zero(rhs):
+        return lhs
+    if op in ("shl", "lshr", "ashr") and _is_zero(rhs):
+        return lhs
+    if op == "sub" and lhs == rhs:
+        return bv_const(0, expr.width)
+    if op == "xor" and lhs == rhs:
+        return bv_const(0, expr.width)
+    return None
+
+
+def _rewrite_unary(expr: BVUnary) -> Optional[BVExpr]:
+    inner = expr.operand
+    if isinstance(inner, BVUnary) and inner.op == expr.op and expr.op in (
+        "not",
+        "neg",
+        "fneg",
+    ):
+        return inner.operand
+    return None
+
+
+def _rewrite_cast(expr: BVCast) -> Optional[BVExpr]:
+    inner = expr.operand
+    if expr.op in ("sext", "zext") and isinstance(inner, BVCast):
+        if inner.op == expr.op:
+            return BVCast(expr.op, inner.operand, expr.width)
+        if inner.op == "zext" and expr.op == "sext":
+            # sext(zext(x)) == zext(x) because the top bit is already 0.
+            return BVCast("zext", inner.operand, expr.width)
+    return None

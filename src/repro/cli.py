@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``vectorize FILE.c``
+    Compile a mini-C kernel file and vectorize every function in it;
+    print the scalar IR, the emitted vector program, and model costs.
+
+``describe INSTRUCTION``
+    Run the offline pipeline for one target instruction and print its
+    VIDL description and canonical matching patterns (Figure 4b/4c).
+
+``targets``
+    List available targets and their instruction counts.
+
+``validate``
+    Re-run the §6.1 random-testing validation over a target's ISA.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro.baseline import baseline_vectorize
+from repro.frontend import compile_c
+from repro.ir import print_function
+from repro.target import available_targets, get_target
+from repro.vectorizer import vectorize
+
+
+def _cmd_vectorize(args: argparse.Namespace) -> int:
+    with open(args.file) as handle:
+        source = handle.read()
+    functions = compile_c(source)
+    status = 0
+    for fn in functions:
+        print(f"=== {fn.name} ===")
+        if args.dump_ir:
+            print(print_function(fn))
+            print()
+        result = vectorize(fn, target=args.target,
+                           beam_width=args.beam_width,
+                           reassociate=args.reassociate)
+        if args.report:
+            from repro.vectorizer.report import render_report
+
+            print(render_report(result))
+            print()
+        print(result.program.dump())
+        print(f"scalar cost : {result.scalar_cost:8.1f} model cycles")
+        print(f"vector cost : {result.cost.total:8.1f} model cycles "
+              f"({result.speedup_over_scalar:.2f}x)")
+        if args.compare_baseline:
+            llvm = baseline_vectorize(fn, target=args.target)
+            print(f"llvm cost   : {llvm.cost.total:8.1f} model cycles "
+                  f"(vegen is {llvm.cost.total / result.cost.total:.2f}x)")
+        if not result.vectorized:
+            status = max(status, 0)  # not an error; just informational
+            print("(not vectorized: scalar code modeled cheapest)")
+        print()
+    return status
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    from repro.vidl import format_inst_desc
+
+    target = get_target(args.target)
+    try:
+        inst = target.get(args.instruction)
+    except KeyError:
+        names = [n for n in target.by_name if args.instruction in n]
+        print(f"unknown instruction {args.instruction!r}", file=sys.stderr)
+        if names:
+            print(f"did you mean: {', '.join(sorted(names)[:8])}",
+                  file=sys.stderr)
+        return 1
+    print(f"# pseudocode semantics\n{inst.spec_text.strip()}\n")
+    print("# lifted VIDL description (Figure 4b)")
+    print(format_inst_desc(inst.desc))
+    print("\n# canonical matching operations (Figure 4c)")
+    for i, op in enumerate(dict.fromkeys(inst.match_ops)):
+        print(f"  lane-op {i}: {op}")
+    print(f"\ncost: {inst.cost} model cycles  |  SIMD: {inst.is_simd}  |  "
+          f"requires: {', '.join(sorted(inst.requires)) or '-'}")
+    return 0
+
+
+def _cmd_targets(_args: argparse.Namespace) -> int:
+    for name in available_targets():
+        target = get_target(name)
+        print(f"{name:14s} {len(target.instructions):4d} instructions, "
+              f"{len(target.operation_index):3d} distinct operations")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.pseudocode import parse_spec, run_spec
+    from repro.vidl import bits_from_lanes, execute_inst, lanes_from_bits
+
+    target = get_target(args.target)
+    rng = random.Random(args.seed)
+    failures: List[str] = []
+    for inst in target.instructions:
+        spec = parse_spec(inst.spec_text)
+        for _ in range(args.trials):
+            env = {p.name: rng.getrandbits(p.total_width)
+                   for p in spec.params}
+            expected = run_spec(spec, env)
+            lanes = [
+                lanes_from_bits(env[p.name], p.lanes,
+                                inst.desc.inputs[i].elem_type)
+                for i, p in enumerate(spec.params)
+            ]
+            got = bits_from_lanes(execute_inst(inst.desc, lanes),
+                                  inst.desc.out_elem_type)
+            if got != expected:
+                failures.append(inst.name)
+                break
+    total = len(target.instructions)
+    print(f"validated {total - len(failures)}/{total} instructions "
+          f"({args.trials} random trials each)")
+    if failures:
+        print("mismatches:", ", ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VeGen reproduction: vectorize mini-C kernels and "
+                    "inspect generated target descriptions.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("vectorize", help="vectorize a mini-C file")
+    p.add_argument("file")
+    p.add_argument("--target", default="avx2",
+                   choices=available_targets())
+    p.add_argument("--beam-width", type=int, default=64)
+    p.add_argument("--dump-ir", action="store_true",
+                   help="also print the scalar IR")
+    p.add_argument("--report", action="store_true",
+                   help="print a pack-selection report")
+    p.add_argument("--reassociate", action="store_true",
+                   help="balance reduction chains first (clang -O3 "
+                        "-ffast-math behaviour)")
+    p.add_argument("--compare-baseline", action="store_true",
+                   help="also run the LLVM-style baseline")
+    p.set_defaults(func=_cmd_vectorize)
+
+    p = sub.add_parser("describe",
+                       help="show an instruction's generated description")
+    p.add_argument("instruction")
+    p.add_argument("--target", default="avx512_vnni",
+                   choices=available_targets())
+    p.set_defaults(func=_cmd_describe)
+
+    p = sub.add_parser("targets", help="list targets")
+    p.set_defaults(func=_cmd_targets)
+
+    p = sub.add_parser("validate",
+                       help="re-run the §6.1 semantics validation")
+    p.add_argument("--target", default="avx512_vnni",
+                   choices=available_targets())
+    p.add_argument("--trials", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_validate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

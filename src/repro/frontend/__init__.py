@@ -1,0 +1,18 @@
+"""Mini-C frontend: the clang stand-in that lowers the evaluation kernels
+to straight-line scalar IR (with full unrolling and register promotion)."""
+
+from repro.frontend.ast import CFunction
+from repro.frontend.ctypes import CType, NAMED_TYPES, common_type, promote
+from repro.frontend.lower import (
+    LowerError,
+    compile_c,
+    compile_kernel,
+    lower_function,
+)
+from repro.frontend.parser import CSyntaxError, parse_c
+
+__all__ = [
+    "CFunction", "CType", "NAMED_TYPES", "common_type", "promote",
+    "LowerError", "compile_c", "compile_kernel", "lower_function",
+    "CSyntaxError", "parse_c",
+]

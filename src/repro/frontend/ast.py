@@ -1,0 +1,130 @@
+"""AST for the mini-C frontend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.frontend.ctypes import CType
+
+
+# -- expressions ----------------------------------------------------------
+
+
+class CExpr:
+    pass
+
+
+@dataclass(frozen=True)
+class CIntLit(CExpr):
+    value: int
+
+
+@dataclass(frozen=True)
+class CFloatLit(CExpr):
+    value: float
+    is_single: bool = False  # 'f' suffix
+
+
+@dataclass(frozen=True)
+class CName(CExpr):
+    name: str
+
+
+@dataclass(frozen=True)
+class CIndex(CExpr):
+    base: str
+    index: CExpr
+
+
+@dataclass(frozen=True)
+class CUnary(CExpr):
+    op: str  # - ~ !
+    operand: CExpr
+
+
+@dataclass(frozen=True)
+class CBinary(CExpr):
+    op: str  # + - * / % << >> & | ^ < <= > >= == !=
+    lhs: CExpr
+    rhs: CExpr
+
+
+@dataclass(frozen=True)
+class CTernary(CExpr):
+    cond: CExpr
+    on_true: CExpr
+    on_false: CExpr
+
+
+@dataclass(frozen=True)
+class CCast(CExpr):
+    ctype: CType
+    operand: CExpr
+
+
+# -- statements --------------------------------------------------------------
+
+
+class CStmt:
+    pass
+
+
+@dataclass(frozen=True)
+class CDecl(CStmt):
+    """``TYPE name = init;`` or ``TYPE name[N];``"""
+
+    ctype: CType
+    name: str
+    array_size: Optional[int] = None
+    init: Optional[CExpr] = None
+
+
+@dataclass(frozen=True)
+class CAssign(CStmt):
+    """``target OP= value`` where target is a name or index expression."""
+
+    target: CExpr  # CName or CIndex
+    op: str        # '=', '+=', '-=', '*=', '&=', '|=', '^=', '<<=', '>>='
+    value: CExpr
+
+
+@dataclass(frozen=True)
+class CFor(CStmt):
+    """``for (int i = LO; i < HI; i += STEP) body`` — constant trip count,
+    fully unrolled by the lowerer."""
+
+    var: str
+    lo: CExpr
+    cmp_op: str   # '<' or '<='
+    hi: CExpr
+    step: CExpr
+    body: Tuple[CStmt, ...]
+
+
+@dataclass(frozen=True)
+class CReturn(CStmt):
+    value: Optional[CExpr]
+
+
+@dataclass(frozen=True)
+class CBlockStmt(CStmt):
+    body: Tuple[CStmt, ...]
+
+
+# -- functions --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CParam:
+    name: str
+    ctype: CType
+    is_pointer: bool
+
+
+@dataclass(frozen=True)
+class CFunction:
+    name: str
+    return_type: Optional[CType]  # None = void
+    params: Tuple[CParam, ...]
+    body: Tuple[CStmt, ...]

@@ -1,0 +1,84 @@
+"""C type system for the mini-C frontend.
+
+Implements the slice of C's type rules the evaluation kernels need:
+integer promotion to ``int``, the usual arithmetic conversions, and
+value-preserving conversions on assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.ir.types import Type, int_type, float_type
+
+
+@dataclass(frozen=True)
+class CType:
+    """A scalar C type: integer (width, signedness) or float."""
+
+    width: int
+    signed: bool = True
+    is_float: bool = False
+
+    @property
+    def ir_type(self) -> Type:
+        if self.is_float:
+            return float_type(self.width)
+        return int_type(self.width)
+
+    def __repr__(self) -> str:
+        if self.is_float:
+            return "float" if self.width == 32 else "double"
+        prefix = "int" if self.signed else "uint"
+        return f"{prefix}{self.width}_t"
+
+
+INT = CType(32, True)
+UINT = CType(32, False)
+FLOAT = CType(32, True, True)
+DOUBLE = CType(64, True, True)
+
+NAMED_TYPES = {
+    "void": None,
+    "int8_t": CType(8, True),
+    "int16_t": CType(16, True),
+    "int32_t": CType(32, True),
+    "int64_t": CType(64, True),
+    "uint8_t": CType(8, False),
+    "uint16_t": CType(16, False),
+    "uint32_t": CType(32, False),
+    "uint64_t": CType(64, False),
+    "int": INT,
+    "unsigned": UINT,
+    "long": CType(64, True),
+    "float": FLOAT,
+    "double": DOUBLE,
+}
+
+
+def promote(ty: CType) -> CType:
+    """C integer promotion: everything of rank below int becomes int."""
+    if ty.is_float:
+        return ty
+    if ty.width < 32:
+        return INT  # both signed and unsigned sub-int types fit in int
+    return ty
+
+
+def common_type(a: CType, b: CType) -> CType:
+    """The usual arithmetic conversions."""
+    if a.is_float or b.is_float:
+        if a.is_float and b.is_float:
+            return a if a.width >= b.width else b
+        return a if a.is_float else b
+    a, b = promote(a), promote(b)
+    if a == b:
+        return a
+    if a.width != b.width:
+        wider = a if a.width > b.width else b
+        narrower = b if a.width > b.width else a
+        if wider.signed and not narrower.signed and \
+                narrower.width >= wider.width:
+            return CType(wider.width, False)
+        return wider
+    # Same width, different signedness: unsigned wins.
+    return CType(a.width, False)

@@ -1,0 +1,583 @@
+"""Lowering mini-C to scalar IR.
+
+Performs the jobs clang -O3 performs on the paper's kernels before the
+vectorizer sees them:
+
+* full unrolling of constant-trip ``for`` loops;
+* register promotion of local arrays (every element becomes an SSA
+  value — the paper's kernels never take the address of a local);
+* C's integer promotions and usual arithmetic conversions;
+* simple redundant-load elimination per buffer (clang's GVN does this for
+  ``restrict`` pointers).
+
+The result is one straight-line IR function per kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.frontend.ast import (
+    CAssign,
+    CBinary,
+    CBlockStmt,
+    CCast,
+    CDecl,
+    CExpr,
+    CFloatLit,
+    CFor,
+    CFunction,
+    CIndex,
+    CIntLit,
+    CName,
+    CReturn,
+    CStmt,
+    CTernary,
+    CUnary,
+)
+from repro.frontend.ctypes import CType, INT, common_type, promote
+from repro.frontend.parser import parse_c
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import ICmpPred, FCmpPred
+from repro.ir.types import pointer_to
+from repro.ir.values import Argument, Constant, Value
+from repro.utils.intmath import mask, to_signed
+
+
+class LowerError(ValueError):
+    """Raised when a kernel cannot be lowered to straight-line IR."""
+
+
+BOOL = CType(1, False)
+
+
+class TypedValue:
+    """An IR value tagged with its C type."""
+
+    __slots__ = ("value", "ctype")
+
+    def __init__(self, value: Value, ctype: CType):
+        self.value = value
+        self.ctype = ctype
+
+
+Number = Union[int, float]
+Operand = Union[Number, TypedValue]
+
+
+class _PointerParam:
+    __slots__ = ("arg", "ctype")
+
+    def __init__(self, arg: Argument, ctype: CType):
+        self.arg = arg
+        self.ctype = ctype
+
+
+class _LocalArray:
+    __slots__ = ("ctype", "size", "elements")
+
+    def __init__(self, ctype: CType, size: int):
+        self.ctype = ctype
+        self.size = size
+        self.elements: Dict[int, Operand] = {}
+
+
+def compile_c(source: str) -> List[Function]:
+    """Parse and lower every function in the source."""
+    return [lower_function(f) for f in parse_c(source)]
+
+
+def compile_kernel(source: str) -> Function:
+    """Parse and lower a single-function source."""
+    functions = compile_c(source)
+    if len(functions) != 1:
+        raise LowerError(f"expected one function, got {len(functions)}")
+    return functions[0]
+
+
+def lower_function(cfunc: CFunction) -> Function:
+    return _Lowerer(cfunc).run()
+
+
+class _Lowerer:
+    def __init__(self, cfunc: CFunction):
+        self.cfunc = cfunc
+        arg_specs = []
+        for p in cfunc.params:
+            ir_ty = p.ctype.ir_type
+            arg_specs.append(
+                (p.name, pointer_to(ir_ty) if p.is_pointer else ir_ty)
+            )
+        ret = cfunc.return_type.ir_type if cfunc.return_type else None
+        self.function = (
+            Function(cfunc.name, arg_specs, ret)
+            if ret is not None else Function(cfunc.name, arg_specs)
+        )
+        self.builder = IRBuilder(self.function)
+        self.env: Dict[str, object] = {}
+        for p, arg in zip(cfunc.params, self.function.args):
+            if p.is_pointer:
+                self.env[p.name] = _PointerParam(arg, p.ctype)
+            else:
+                self.env[p.name] = TypedValue(arg, p.ctype)
+        # (buffer id, offset) -> cached load TypedValue
+        self._load_cache: Dict[Tuple[int, int], TypedValue] = {}
+        # (buffer id, offset) -> most recent store instruction (for DSE)
+        self._last_store: Dict[Tuple[int, int], object] = {}
+        self._returned = False
+
+    def run(self) -> Function:
+        self._exec_stmts(self.cfunc.body)
+        if not self._returned:
+            if self.cfunc.return_type is not None:
+                raise LowerError(f"{self.cfunc.name}: missing return")
+            self.builder.ret()
+        return self.function
+
+    # -- statements ------------------------------------------------------------
+
+    def _exec_stmts(self, stmts) -> None:
+        for stmt in stmts:
+            if self._returned:
+                raise LowerError("unreachable code after return")
+            self._exec_stmt(stmt)
+
+    def _exec_stmt(self, stmt: CStmt) -> None:
+        if isinstance(stmt, CBlockStmt):
+            self._exec_stmts(stmt.body)
+        elif isinstance(stmt, CDecl):
+            self._exec_decl(stmt)
+        elif isinstance(stmt, CAssign):
+            self._exec_assign(stmt)
+        elif isinstance(stmt, CFor):
+            self._exec_for(stmt)
+        elif isinstance(stmt, CReturn):
+            self._exec_return(stmt)
+        else:
+            raise LowerError(f"unsupported statement {stmt!r}")
+
+    def _exec_decl(self, stmt: CDecl) -> None:
+        if stmt.array_size is not None:
+            if stmt.init is not None:
+                raise LowerError("array initializers are not supported")
+            self.env[stmt.name] = _LocalArray(stmt.ctype, stmt.array_size)
+            return
+        if stmt.init is None:
+            self.env[stmt.name] = _Uninitialized(stmt.ctype)
+            return
+        value = self._eval(stmt.init)
+        self.env[stmt.name] = self._coerce_binding(value, stmt.ctype)
+
+    def _coerce_binding(self, value: Operand, ctype: CType) -> object:
+        # Compile-time integer constants stay Python ints so they can be
+        # used in index contexts; they are materialized on demand.
+        if isinstance(value, int) and not ctype.is_float:
+            return _CompileTimeInt(value, ctype)
+        return TypedValue(self._materialize(
+            self._convert(value, ctype), ctype), ctype)
+
+    def _exec_assign(self, stmt: CAssign) -> None:
+        target = stmt.target
+        if stmt.op == "=":
+            value = self._eval(stmt.value)
+        else:
+            current = self._read_target(target)
+            value = self._binary(stmt.op[:-1], current,
+                                 self._eval(stmt.value))
+        self._write_target(target, value)
+
+    def _read_target(self, target: CExpr) -> Operand:
+        if isinstance(target, CName):
+            return self._eval(target)
+        assert isinstance(target, CIndex)
+        return self._eval(target)
+
+    def _write_target(self, target: CExpr, value: Operand) -> None:
+        if isinstance(target, CName):
+            binding = self.env.get(target.name)
+            if binding is None:
+                raise LowerError(f"assignment to undeclared "
+                                 f"{target.name!r}")
+            if isinstance(binding, (_Uninitialized, _CompileTimeInt,
+                                    TypedValue)):
+                ctype = binding.ctype
+                self.env[target.name] = self._coerce_binding(value, ctype)
+                return
+            raise LowerError(f"cannot assign to {target.name!r}")
+        assert isinstance(target, CIndex)
+        base = self.env.get(target.base)
+        index = self._const_index(target.index)
+        if isinstance(base, _LocalArray):
+            if not 0 <= index < base.size:
+                raise LowerError(
+                    f"{target.base}[{index}] out of bounds "
+                    f"(size {base.size})"
+                )
+            converted = self._convert(value, base.ctype)
+            if isinstance(converted, (int, float)):
+                base.elements[index] = converted
+            else:
+                base.elements[index] = TypedValue(
+                    self._materialize(converted, base.ctype), base.ctype
+                )
+            return
+        if isinstance(base, _PointerParam):
+            converted = self._materialize(
+                self._convert(value, base.ctype), base.ctype
+            )
+            store = self.builder.store(converted, base.arg, index)
+            # Dead-store elimination: with restrict pointers and constant
+            # offsets, an earlier store to the same location that nothing
+            # re-read from memory is dead (clang's DSE does this to
+            # ``+=`` accumulation chains).
+            key = (id(base.arg), index)
+            old = self._last_store.get(key)
+            if old is not None:
+                pointer = old.pointer
+                old.drop_operands()
+                self.function.entry.remove(old)
+                if pointer.num_uses == 0 and pointer.parent is not None:
+                    pointer.drop_operands()
+                    self.function.entry.remove(pointer)
+            self._last_store[key] = store
+            # Invalidate cached loads of this buffer.
+            self._load_cache = {
+                cache_key: cached
+                for cache_key, cached in self._load_cache.items()
+                if cache_key[0] != id(base.arg)
+            }
+            self._load_cache[key] = TypedValue(converted, base.ctype)
+            return
+        raise LowerError(f"cannot index {target.base!r}")
+
+    def _exec_for(self, stmt: CFor) -> None:
+        lo = self._const_index(stmt.lo)
+        hi = self._const_index(stmt.hi)
+        step = self._const_index(stmt.step)
+        if step <= 0:
+            raise LowerError("loop step must be positive")
+        saved = self.env.get(stmt.var)
+        value = lo
+        while (value < hi) if stmt.cmp_op == "<" else (value <= hi):
+            self.env[stmt.var] = _CompileTimeInt(value, INT)
+            self._exec_stmts(stmt.body)
+            value += step
+        if saved is not None:
+            self.env[stmt.var] = saved
+        else:
+            self.env.pop(stmt.var, None)
+
+    def _exec_return(self, stmt: CReturn) -> None:
+        if stmt.value is None:
+            if self.cfunc.return_type is not None:
+                raise LowerError("return without value")
+            self.builder.ret()
+        else:
+            if self.cfunc.return_type is None:
+                raise LowerError("void function returns a value")
+            value = self._materialize(
+                self._convert(self._eval(stmt.value),
+                              self.cfunc.return_type),
+                self.cfunc.return_type,
+            )
+            self.builder.ret(value)
+        self._returned = True
+
+    # -- expressions --------------------------------------------------------------
+
+    def _const_index(self, expr: CExpr) -> int:
+        value = self._eval(expr)
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        raise LowerError(
+            "index/bound expressions must fold to compile-time constants"
+        )
+
+    def _eval(self, expr: CExpr) -> Operand:
+        if isinstance(expr, CIntLit):
+            return expr.value
+        if isinstance(expr, CFloatLit):
+            return expr.value
+        if isinstance(expr, CName):
+            binding = self.env.get(expr.name)
+            if binding is None:
+                raise LowerError(f"use of undeclared {expr.name!r}")
+            if isinstance(binding, _CompileTimeInt):
+                return binding.value
+            if isinstance(binding, _Uninitialized):
+                raise LowerError(f"use of uninitialized {expr.name!r}")
+            if isinstance(binding, TypedValue):
+                return binding
+            raise LowerError(f"{expr.name!r} is not a scalar value")
+        if isinstance(expr, CIndex):
+            return self._eval_index(expr)
+        if isinstance(expr, CUnary):
+            return self._eval_unary(expr)
+        if isinstance(expr, CBinary):
+            return self._binary(expr.op, self._eval(expr.lhs),
+                                self._eval(expr.rhs))
+        if isinstance(expr, CTernary):
+            return self._eval_ternary(expr)
+        if isinstance(expr, CCast):
+            value = self._eval(expr.operand)
+            converted = self._convert(value, expr.ctype)
+            if isinstance(converted, (int, float)):
+                return converted
+            return TypedValue(
+                self._materialize(converted, expr.ctype), expr.ctype
+            )
+        raise LowerError(f"unsupported expression {expr!r}")
+
+    def _eval_index(self, expr: CIndex) -> Operand:
+        base = self.env.get(expr.base)
+        index = self._const_index(expr.index)
+        if isinstance(base, _LocalArray):
+            if index not in base.elements:
+                raise LowerError(
+                    f"read of uninitialized {expr.base}[{index}]"
+                )
+            return base.elements[index]
+        if isinstance(base, _PointerParam):
+            cached = self._load_cache.get((id(base.arg), index))
+            if cached is not None:
+                return cached
+            load = self.builder.load(base.arg, index)
+            result = TypedValue(load, base.ctype)
+            self._load_cache[(id(base.arg), index)] = result
+            return result
+        raise LowerError(f"cannot index {expr.base!r}")
+
+    def _eval_unary(self, expr: CUnary) -> Operand:
+        value = self._eval(expr.operand)
+        if isinstance(value, (int, float)):
+            if expr.op == "-":
+                return -value
+            if expr.op == "~":
+                return ~int(value)
+            if expr.op == "!":
+                return int(value == 0)
+        assert isinstance(value, TypedValue)
+        if expr.op == "-":
+            if value.ctype.is_float:
+                return TypedValue(self.builder.fneg(value.value),
+                                  value.ctype)
+            ctype = promote(value.ctype)
+            widened = self._to_type(value, ctype)
+            zero = Constant(ctype.ir_type, 0)
+            return TypedValue(self.builder.sub(zero, widened), ctype)
+        if expr.op == "~":
+            ctype = promote(value.ctype)
+            widened = self._to_type(value, ctype)
+            ones = Constant(ctype.ir_type, -1)
+            return TypedValue(self.builder.xor(widened, ones), ctype)
+        raise LowerError(f"unsupported unary {expr.op!r} on runtime value")
+
+    def _eval_ternary(self, expr: CTernary) -> Operand:
+        cond = self._eval(expr.cond)
+        if isinstance(cond, (int, float)):
+            return self._eval(expr.on_true if cond else expr.on_false)
+        cond_value = self._as_bool(cond)
+        lhs = self._eval(expr.on_true)
+        rhs = self._eval(expr.on_false)
+        ctype = self._result_type(lhs, rhs)
+        lv = self._materialize(self._convert(lhs, ctype), ctype)
+        rv = self._materialize(self._convert(rhs, ctype), ctype)
+        return TypedValue(self.builder.select(cond_value, lv, rv), ctype)
+
+    def _as_bool(self, value: TypedValue) -> Value:
+        if value.ctype == BOOL:
+            return value.value
+        if value.ctype.is_float:
+            zero = Constant(value.ctype.ir_type, 0.0)
+            return self.builder.fcmp(FCmpPred.ONE, value.value, zero)
+        zero = Constant(value.ctype.ir_type, 0)
+        return self.builder.icmp(ICmpPred.NE, value.value, zero)
+
+    # -- conversions -----------------------------------------------------------------
+
+    def _result_type(self, a: Operand, b: Operand) -> CType:
+        ta = self._ctype_of(a)
+        tb = self._ctype_of(b)
+        if ta is None and tb is None:
+            # Two constants: default to int/double.
+            if isinstance(a, float) or isinstance(b, float):
+                from repro.frontend.ctypes import DOUBLE
+
+                return DOUBLE
+            return INT
+        if ta is None:
+            return promote(tb) if not tb.is_float else tb
+        if tb is None:
+            return promote(ta) if not ta.is_float else ta
+        return common_type(ta, tb)
+
+    def _ctype_of(self, value: Operand) -> Optional[CType]:
+        if isinstance(value, TypedValue):
+            return value.ctype if value.ctype != BOOL else INT
+        return None
+
+    def _convert(self, value: Operand, ctype: CType) -> Operand:
+        """Convert to a C type; constants stay Python numbers."""
+        if isinstance(value, (int, float)):
+            if ctype.is_float:
+                return float(value)
+            masked = mask(int(value), ctype.width)
+            return to_signed(masked, ctype.width) if ctype.signed \
+                else masked
+        assert isinstance(value, TypedValue)
+        converted = self._to_type(value, ctype)
+        return TypedValue(converted, ctype)
+
+    def _materialize(self, value: Operand, ctype: CType) -> Value:
+        if isinstance(value, TypedValue):
+            return value.value
+        return Constant(ctype.ir_type, value)
+
+    def _to_type(self, value: TypedValue, ctype: CType) -> Value:
+        src = value.ctype
+        v = value.value
+        if src == BOOL:
+            if ctype.is_float:
+                raise LowerError("cannot convert a comparison to float")
+            return self.builder.zext(v, ctype.ir_type)
+        if src == ctype:
+            return v
+        if src.is_float and ctype.is_float:
+            if ctype.width > src.width:
+                return self.builder.fpext(v, ctype.ir_type)
+            if ctype.width < src.width:
+                return self.builder.fptrunc(v, ctype.ir_type)
+            return v
+        if src.is_float and not ctype.is_float:
+            return self.builder.fptosi(v, ctype.ir_type)
+        if not src.is_float and ctype.is_float:
+            if not src.signed:
+                raise LowerError("unsigned-to-float is not supported")
+            return self.builder.sitofp(v, ctype.ir_type)
+        if ctype.width > src.width:
+            if src.signed:
+                return self.builder.sext(v, ctype.ir_type)
+            return self.builder.zext(v, ctype.ir_type)
+        if ctype.width < src.width:
+            return self.builder.trunc(v, ctype.ir_type)
+        return v  # same width, signedness reinterpretation is a no-op
+
+    # -- binary operations ----------------------------------------------------------------
+
+    def _binary(self, op: str, lhs: Operand, rhs: Operand) -> Operand:
+        if isinstance(lhs, (int, float)) and isinstance(rhs, (int, float)):
+            return _fold_const(op, lhs, rhs)
+        if op in ("<", "<=", ">", ">=", "==", "!="):
+            return self._compare(op, lhs, rhs)
+        if op in ("<<", ">>"):
+            return self._shift(op, lhs, rhs)
+        ctype = self._result_type(lhs, rhs)
+        lv = self._materialize(self._convert(lhs, ctype), ctype)
+        rv = self._materialize(self._convert(rhs, ctype), ctype)
+        b = self.builder
+        if ctype.is_float:
+            ops = {"+": b.fadd, "-": b.fsub, "*": b.fmul, "/": b.fdiv}
+            if op not in ops:
+                raise LowerError(f"{op!r} is not defined on floats")
+            return TypedValue(ops[op](lv, rv), ctype)
+        ops = {
+            "+": b.add, "-": b.sub, "*": b.mul,
+            "&": b.and_, "|": b.or_, "^": b.xor,
+            "/": b.sdiv if ctype.signed else b.udiv,
+            "%": b.srem if ctype.signed else b.urem,
+        }
+        if op not in ops:
+            raise LowerError(f"unsupported operator {op!r}")
+        return TypedValue(ops[op](lv, rv), ctype)
+
+    def _compare(self, op: str, lhs: Operand, rhs: Operand) -> Operand:
+        ctype = self._result_type(lhs, rhs)
+        lv = self._materialize(self._convert(lhs, ctype), ctype)
+        rv = self._materialize(self._convert(rhs, ctype), ctype)
+        if ctype.is_float:
+            preds = {"<": FCmpPred.OLT, "<=": FCmpPred.OLE,
+                     ">": FCmpPred.OGT, ">=": FCmpPred.OGE,
+                     "==": FCmpPred.OEQ, "!=": FCmpPred.ONE}
+            return TypedValue(
+                self.builder.fcmp(preds[op], lv, rv), BOOL
+            )
+        if ctype.signed:
+            preds = {"<": ICmpPred.SLT, "<=": ICmpPred.SLE,
+                     ">": ICmpPred.SGT, ">=": ICmpPred.SGE,
+                     "==": ICmpPred.EQ, "!=": ICmpPred.NE}
+        else:
+            preds = {"<": ICmpPred.ULT, "<=": ICmpPred.ULE,
+                     ">": ICmpPred.UGT, ">=": ICmpPred.UGE,
+                     "==": ICmpPred.EQ, "!=": ICmpPred.NE}
+        return TypedValue(self.builder.icmp(preds[op], lv, rv), BOOL)
+
+    def _shift(self, op: str, lhs: Operand, rhs: Operand) -> Operand:
+        lt = self._ctype_of(lhs)
+        ctype = promote(lt) if lt is not None else INT
+        lv = self._materialize(self._convert(lhs, ctype), ctype)
+        amount = self._convert(rhs, ctype)
+        rv = self._materialize(amount, ctype)
+        b = self.builder
+        if op == "<<":
+            return TypedValue(b.shl(lv, rv), ctype)
+        if ctype.signed:
+            return TypedValue(b.ashr(lv, rv), ctype)
+        return TypedValue(b.lshr(lv, rv), ctype)
+
+
+class _CompileTimeInt:
+    """An integer local whose value is known at compile time (loop vars
+    and constant-initialized locals)."""
+
+    __slots__ = ("value", "ctype")
+
+    def __init__(self, value: int, ctype: CType):
+        if not ctype.is_float:
+            masked = mask(value, ctype.width)
+            value = to_signed(masked, ctype.width) if ctype.signed \
+                else masked
+        self.value = value
+        self.ctype = ctype
+
+
+class _Uninitialized:
+    __slots__ = ("ctype",)
+
+    def __init__(self, ctype: CType):
+        self.ctype = ctype
+
+
+def _fold_const(op: str, lhs: Number, rhs: Number) -> Number:
+    if op == "+":
+        return lhs + rhs
+    if op == "-":
+        return lhs - rhs
+    if op == "*":
+        return lhs * rhs
+    if op == "/":
+        if rhs == 0:
+            raise LowerError("compile-time division by zero")
+        if isinstance(lhs, int) and isinstance(rhs, int):
+            return int(lhs / rhs)
+        return lhs / rhs
+    if op == "%":
+        quotient = int(lhs / rhs)
+        return lhs - quotient * rhs
+    if op == "<<":
+        return int(lhs) << int(rhs)
+    if op == ">>":
+        return int(lhs) >> int(rhs)
+    if op == "&":
+        return int(lhs) & int(rhs)
+    if op == "|":
+        return int(lhs) | int(rhs)
+    if op == "^":
+        return int(lhs) ^ int(rhs)
+    comparisons = {"<": lhs < rhs, "<=": lhs <= rhs, ">": lhs > rhs,
+                   ">=": lhs >= rhs, "==": lhs == rhs, "!=": lhs != rhs}
+    if op in comparisons:
+        return int(comparisons[op])
+    raise LowerError(f"cannot fold {op!r}")

@@ -1,0 +1,351 @@
+"""Recursive-descent parser for the mini-C kernel language.
+
+Supports the subset of C that the paper's evaluation kernels use:
+functions over ``restrict`` pointer/scalar parameters, scalar and
+fixed-size-array locals, constant-trip ``for`` loops, compound
+assignments, ternaries, casts, and the usual integer/float expression
+operators.  Control flow beyond unrollable loops is intentionally absent —
+VeGen vectorizes straight-line code.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.frontend.ast import (
+    CAssign,
+    CBinary,
+    CBlockStmt,
+    CCast,
+    CDecl,
+    CExpr,
+    CFloatLit,
+    CFor,
+    CFunction,
+    CIndex,
+    CIntLit,
+    CName,
+    CParam,
+    CReturn,
+    CStmt,
+    CTernary,
+    CUnary,
+)
+from repro.frontend.ctypes import NAMED_TYPES, CType
+
+
+class CSyntaxError(ValueError):
+    """Raised on malformed kernel source."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<float>(\d+\.\d*|\.\d+)([eE][-+]?\d+)?[fF]?|\d+[fF])
+  | (?P<hex>0[xX][0-9a-fA-F]+)
+  | (?P<int>\d+)
+  | (?P<name>[A-Za-z_]\w*)
+  | (?P<op><<=|>>=|\+=|-=|\*=|/=|%=|&=|\|=|\^=|\+\+|--|<<|>>|<=|>=|==|!=|&&|\|\||[-+*/%&|^~!<>=?:;,(){}\[\]])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+               "<<=", ">>="}
+_COMPOUND_RE = re.compile(r"^(\+|-|\*|/|%|&|\||\^|<<|>>)=$")
+
+_QUALIFIERS = {"const", "restrict", "__restrict", "__restrict__",
+               "static", "inline", "signed"}
+
+
+def _tokenize(source: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise CSyntaxError(f"cannot tokenize near {source[pos:pos+20]!r}")
+        pos = m.end()
+        kind = m.lastgroup
+        if kind in ("ws", "comment"):
+            continue
+        text = m.group()
+        if kind == "hex":
+            tokens.append(("int", str(int(text, 16))))
+        else:
+            tokens.append((kind, text))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.tokens = _tokenize(source)
+        self.pos = 0
+
+    def peek(self, ahead: int = 0) -> Tuple[str, str]:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def advance(self) -> Tuple[str, str]:
+        tok = self.tokens[self.pos]
+        if tok[0] != "eof":
+            self.pos += 1
+        return tok
+
+    def accept(self, text: str) -> bool:
+        if self.peek()[1] == text and self.peek()[0] in ("op", "name"):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> None:
+        kind, tok = self.peek()
+        if tok != text:
+            raise CSyntaxError(f"expected {text!r}, got {tok!r}")
+        self.advance()
+
+    def expect_name(self) -> str:
+        kind, tok = self.advance()
+        if kind != "name":
+            raise CSyntaxError(f"expected identifier, got {tok!r}")
+        return tok
+
+    # -- types --------------------------------------------------------------
+
+    def _skip_qualifiers(self) -> None:
+        while self.peek()[0] == "name" and self.peek()[1] in _QUALIFIERS:
+            self.advance()
+
+    def _at_type(self, ahead: int = 0) -> bool:
+        kind, tok = self.peek(ahead)
+        return kind == "name" and (tok in NAMED_TYPES or tok in _QUALIFIERS)
+
+    def _parse_type(self) -> Optional[CType]:
+        self._skip_qualifiers()
+        kind, tok = self.peek()
+        if kind != "name" or tok not in NAMED_TYPES:
+            raise CSyntaxError(f"expected a type, got {tok!r}")
+        self.advance()
+        if tok == "unsigned" and self.peek()[1] in ("int", "long"):
+            inner = self.advance()[1]
+            from repro.frontend.ctypes import CType as _CT
+
+            return _CT(64, False) if inner == "long" else _CT(32, False)
+        return NAMED_TYPES[tok]
+
+    # -- functions ---------------------------------------------------------------
+
+    def parse_functions(self) -> List[CFunction]:
+        functions = []
+        while self.peek()[0] != "eof":
+            functions.append(self._parse_function())
+        return functions
+
+    def _parse_function(self) -> CFunction:
+        return_type = self._parse_type()
+        name = self.expect_name()
+        self.expect("(")
+        params: List[CParam] = []
+        if not self.accept(")"):
+            while True:
+                params.append(self._parse_param())
+                if not self.accept(","):
+                    break
+            self.expect(")")
+        body = self._parse_block()
+        return CFunction(name, return_type, tuple(params), tuple(body))
+
+    def _parse_param(self) -> CParam:
+        ctype = self._parse_type()
+        if ctype is None:
+            raise CSyntaxError("void parameter")
+        is_pointer = False
+        while self.accept("*"):
+            is_pointer = True
+            self._skip_qualifiers()
+        name = self.expect_name()
+        # Array-of-T parameter syntax decays to a pointer.
+        while self.accept("["):
+            is_pointer = True
+            if self.peek()[0] == "int":
+                self.advance()
+            self.expect("]")
+        return CParam(name, ctype, is_pointer)
+
+    # -- statements ----------------------------------------------------------------
+
+    def _parse_block(self) -> List[CStmt]:
+        self.expect("{")
+        stmts: List[CStmt] = []
+        while not self.accept("}"):
+            stmts.append(self._parse_stmt())
+        return stmts
+
+    def _parse_stmt(self) -> CStmt:
+        kind, tok = self.peek()
+        if tok == "{":
+            return CBlockStmt(tuple(self._parse_block()))
+        if tok == "for":
+            return self._parse_for()
+        if tok == "return":
+            self.advance()
+            if self.accept(";"):
+                return CReturn(None)
+            value = self._parse_expr()
+            self.expect(";")
+            return CReturn(value)
+        if self._at_type() and self.peek(1)[0] == "name":
+            return self._parse_decl()
+        return self._parse_assign()
+
+    def _parse_decl(self) -> CStmt:
+        ctype = self._parse_type()
+        if ctype is None:
+            raise CSyntaxError("cannot declare a void variable")
+        name = self.expect_name()
+        array_size = None
+        if self.accept("["):
+            kind, tok = self.advance()
+            if kind != "int":
+                raise CSyntaxError("array size must be a constant")
+            array_size = int(tok)
+            self.expect("]")
+        init = None
+        if self.accept("="):
+            init = self._parse_expr()
+        self.expect(";")
+        return CDecl(ctype, name, array_size, init)
+
+    def _parse_for(self) -> CStmt:
+        self.expect("for")
+        self.expect("(")
+        if self._at_type():
+            self._parse_type()
+        var = self.expect_name()
+        self.expect("=")
+        lo = self._parse_expr()
+        self.expect(";")
+        cond_var = self.expect_name()
+        if cond_var != var:
+            raise CSyntaxError("for-loop condition must test the loop var")
+        kind, cmp_op = self.advance()
+        if cmp_op not in ("<", "<="):
+            raise CSyntaxError(f"unsupported loop condition {cmp_op!r}")
+        hi = self._parse_expr()
+        self.expect(";")
+        step_var = self.expect_name()
+        if step_var != var:
+            raise CSyntaxError("for-loop step must update the loop var")
+        if self.accept("++"):
+            step: CExpr = CIntLit(1)
+        elif self.accept("+="):
+            step = self._parse_expr()
+        else:
+            raise CSyntaxError("unsupported loop step")
+        self.expect(")")
+        if self.peek()[1] == "{":
+            body = self._parse_block()
+        else:
+            body = [self._parse_stmt()]
+        return CFor(var, lo, cmp_op, hi, step, tuple(body))
+
+    def _parse_assign(self) -> CStmt:
+        target = self._parse_postfix()
+        if not isinstance(target, (CName, CIndex)):
+            raise CSyntaxError("assignment target must be a name or index")
+        kind, tok = self.advance()
+        if tok not in _ASSIGN_OPS:
+            raise CSyntaxError(f"expected assignment operator, got {tok!r}")
+        value = self._parse_expr()
+        self.expect(";")
+        if tok == "=":
+            return CAssign(target, "=", value)
+        m = _COMPOUND_RE.match(tok)
+        assert m is not None
+        return CAssign(target, tok, value)
+
+    # -- expressions -------------------------------------------------------------------
+
+    def _parse_expr(self) -> CExpr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> CExpr:
+        cond = self._parse_binary(0)
+        if self.accept("?"):
+            on_true = self._parse_expr()
+            self.expect(":")
+            on_false = self._parse_ternary()
+            return CTernary(cond, on_true, on_false)
+        return cond
+
+    _LEVELS = [
+        ("|",), ("^",), ("&",),
+        ("==", "!="),
+        ("<", "<=", ">", ">="),
+        ("<<", ">>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def _parse_binary(self, level: int) -> CExpr:
+        if level >= len(self._LEVELS):
+            return self._parse_unary()
+        lhs = self._parse_binary(level + 1)
+        ops = self._LEVELS[level]
+        while self.peek()[0] == "op" and self.peek()[1] in ops:
+            op = self.advance()[1]
+            rhs = self._parse_binary(level + 1)
+            lhs = CBinary(op, lhs, rhs)
+        return lhs
+
+    def _parse_unary(self) -> CExpr:
+        kind, tok = self.peek()
+        if tok in ("-", "~", "!"):
+            self.advance()
+            return CUnary(tok, self._parse_unary())
+        if tok == "+":
+            self.advance()
+            return self._parse_unary()
+        if tok == "(" and self._at_type(1):
+            self.advance()
+            ctype = self._parse_type()
+            if ctype is None:
+                raise CSyntaxError("cannot cast to void")
+            while self.accept("*"):
+                raise CSyntaxError("pointer casts are not supported")
+            self.expect(")")
+            return CCast(ctype, self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> CExpr:
+        kind, tok = self.peek()
+        if tok == "(":
+            self.advance()
+            expr = self._parse_expr()
+            self.expect(")")
+            return expr
+        if kind == "int":
+            self.advance()
+            return CIntLit(int(tok))
+        if kind == "float":
+            self.advance()
+            text = tok
+            single = text[-1] in "fF"
+            if single:
+                text = text[:-1]
+            return CFloatLit(float(text), single)
+        if kind == "name":
+            name = self.advance()[1]
+            if self.accept("["):
+                index = self._parse_expr()
+                self.expect("]")
+                return CIndex(name, index)
+            return CName(name)
+        raise CSyntaxError(f"unexpected token {tok!r} in expression")
+
+
+def parse_c(source: str) -> List[CFunction]:
+    """Parse one or more kernel functions from mini-C source."""
+    return _Parser(source).parse_functions()

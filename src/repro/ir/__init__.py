@@ -1,0 +1,116 @@
+"""Scalar IR substrate: the LLVM-IR stand-in that VeGen vectorizes.
+
+Public surface:
+
+* :mod:`repro.ir.types` — the type system (``i8``..``i64``, ``f32``/``f64``,
+  pointers).
+* :class:`Function` / :class:`Block` / :class:`Module` — program structure.
+* :class:`IRBuilder` — instruction construction.
+* :func:`print_function` / :func:`parse_function` — textual round-trip.
+* :func:`run_function` / :class:`Buffer` — the reference interpreter.
+* :class:`DependenceGraph` — exact dependence queries for pack legality.
+* :func:`verify_function` — structural invariants.
+"""
+
+from repro.ir.builder import IRBuilder
+from repro.ir.dag import DependenceGraph, contiguous_accesses
+from repro.ir.function import Block, Function, Module, dead_code_eliminate
+from repro.ir.instructions import (
+    BINARY_OPS,
+    CAST_OPS,
+    COMMUTATIVE_OPS,
+    BinaryInst,
+    CastInst,
+    FCmpInst,
+    FCmpPred,
+    GEPInst,
+    ICmpInst,
+    ICmpPred,
+    Instruction,
+    LoadInst,
+    Opcode,
+    RetInst,
+    SelectInst,
+    StoreInst,
+    UnaryInst,
+    pointer_base_and_offset,
+)
+from repro.ir.interp import Buffer, InterpError, run_function
+from repro.ir.parser import IRParseError, parse_function
+from repro.ir.printer import print_function
+from repro.ir.types import (
+    F32,
+    F64,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    FloatType,
+    IntType,
+    PointerType,
+    Type,
+    VOID,
+    float_type,
+    int_type,
+    parse_type,
+    pointer_to,
+)
+from repro.ir.values import Argument, Constant, Value, constants_equal
+from repro.ir.verifier import VerificationError, verify_function
+
+__all__ = [
+    "IRBuilder",
+    "DependenceGraph",
+    "contiguous_accesses",
+    "Block",
+    "Function",
+    "Module",
+    "dead_code_eliminate",
+    "BINARY_OPS",
+    "CAST_OPS",
+    "COMMUTATIVE_OPS",
+    "BinaryInst",
+    "CastInst",
+    "FCmpInst",
+    "FCmpPred",
+    "GEPInst",
+    "ICmpInst",
+    "ICmpPred",
+    "Instruction",
+    "LoadInst",
+    "Opcode",
+    "RetInst",
+    "SelectInst",
+    "StoreInst",
+    "UnaryInst",
+    "pointer_base_and_offset",
+    "Buffer",
+    "InterpError",
+    "run_function",
+    "IRParseError",
+    "parse_function",
+    "print_function",
+    "F32",
+    "F64",
+    "I1",
+    "I8",
+    "I16",
+    "I32",
+    "I64",
+    "FloatType",
+    "IntType",
+    "PointerType",
+    "Type",
+    "VOID",
+    "float_type",
+    "int_type",
+    "parse_type",
+    "pointer_to",
+    "Argument",
+    "Constant",
+    "Value",
+    "constants_equal",
+    "VerificationError",
+    "verify_function",
+]

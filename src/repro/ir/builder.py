@@ -1,0 +1,166 @@
+"""A convenience builder for constructing scalar IR.
+
+Mirrors LLVM's IRBuilder: one method per opcode, with type checking done by
+the instruction constructors.  The builder never folds constants — passes
+do that — so tests see exactly the IR they wrote.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BinaryInst,
+    CastInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    Opcode,
+    RetInst,
+    SelectInst,
+    StoreInst,
+    UnaryInst,
+)
+from repro.ir.types import FloatType, IntType, Type
+from repro.ir.values import Constant, Value
+
+Number = Union[int, float]
+
+
+class IRBuilder:
+    """Builds instructions into a function's entry block."""
+
+    def __init__(self, function: Function):
+        self.function = function
+
+    def _insert(self, inst: Instruction) -> Instruction:
+        return self.function.entry.append(inst)
+
+    # -- constants ---------------------------------------------------------
+
+    def const(self, ty: Type, value: Number) -> Constant:
+        return Constant(ty, value)
+
+    # -- integer arithmetic ------------------------------------------------
+
+    def add(self, a: Value, b: Value, name: str = "") -> Value:
+        return self._insert(BinaryInst(Opcode.ADD, a, b, name))
+
+    def sub(self, a: Value, b: Value, name: str = "") -> Value:
+        return self._insert(BinaryInst(Opcode.SUB, a, b, name))
+
+    def mul(self, a: Value, b: Value, name: str = "") -> Value:
+        return self._insert(BinaryInst(Opcode.MUL, a, b, name))
+
+    def sdiv(self, a: Value, b: Value, name: str = "") -> Value:
+        return self._insert(BinaryInst(Opcode.SDIV, a, b, name))
+
+    def udiv(self, a: Value, b: Value, name: str = "") -> Value:
+        return self._insert(BinaryInst(Opcode.UDIV, a, b, name))
+
+    def srem(self, a: Value, b: Value, name: str = "") -> Value:
+        return self._insert(BinaryInst(Opcode.SREM, a, b, name))
+
+    def urem(self, a: Value, b: Value, name: str = "") -> Value:
+        return self._insert(BinaryInst(Opcode.UREM, a, b, name))
+
+    def and_(self, a: Value, b: Value, name: str = "") -> Value:
+        return self._insert(BinaryInst(Opcode.AND, a, b, name))
+
+    def or_(self, a: Value, b: Value, name: str = "") -> Value:
+        return self._insert(BinaryInst(Opcode.OR, a, b, name))
+
+    def xor(self, a: Value, b: Value, name: str = "") -> Value:
+        return self._insert(BinaryInst(Opcode.XOR, a, b, name))
+
+    def shl(self, a: Value, b: Value, name: str = "") -> Value:
+        return self._insert(BinaryInst(Opcode.SHL, a, b, name))
+
+    def lshr(self, a: Value, b: Value, name: str = "") -> Value:
+        return self._insert(BinaryInst(Opcode.LSHR, a, b, name))
+
+    def ashr(self, a: Value, b: Value, name: str = "") -> Value:
+        return self._insert(BinaryInst(Opcode.ASHR, a, b, name))
+
+    # -- float arithmetic ----------------------------------------------------
+
+    def fadd(self, a: Value, b: Value, name: str = "") -> Value:
+        return self._insert(BinaryInst(Opcode.FADD, a, b, name))
+
+    def fsub(self, a: Value, b: Value, name: str = "") -> Value:
+        return self._insert(BinaryInst(Opcode.FSUB, a, b, name))
+
+    def fmul(self, a: Value, b: Value, name: str = "") -> Value:
+        return self._insert(BinaryInst(Opcode.FMUL, a, b, name))
+
+    def fdiv(self, a: Value, b: Value, name: str = "") -> Value:
+        return self._insert(BinaryInst(Opcode.FDIV, a, b, name))
+
+    def fneg(self, a: Value, name: str = "") -> Value:
+        return self._insert(UnaryInst(Opcode.FNEG, a, name))
+
+    # -- casts ---------------------------------------------------------------
+
+    def sext(self, a: Value, ty: IntType, name: str = "") -> Value:
+        return self._insert(CastInst(Opcode.SEXT, a, ty, name))
+
+    def zext(self, a: Value, ty: IntType, name: str = "") -> Value:
+        return self._insert(CastInst(Opcode.ZEXT, a, ty, name))
+
+    def trunc(self, a: Value, ty: IntType, name: str = "") -> Value:
+        return self._insert(CastInst(Opcode.TRUNC, a, ty, name))
+
+    def fpext(self, a: Value, ty: FloatType, name: str = "") -> Value:
+        return self._insert(CastInst(Opcode.FPEXT, a, ty, name))
+
+    def fptrunc(self, a: Value, ty: FloatType, name: str = "") -> Value:
+        return self._insert(CastInst(Opcode.FPTRUNC, a, ty, name))
+
+    def sitofp(self, a: Value, ty: FloatType, name: str = "") -> Value:
+        return self._insert(CastInst(Opcode.SITOFP, a, ty, name))
+
+    def fptosi(self, a: Value, ty: IntType, name: str = "") -> Value:
+        return self._insert(CastInst(Opcode.FPTOSI, a, ty, name))
+
+    # -- comparisons / select -------------------------------------------------
+
+    def icmp(self, pred: str, a: Value, b: Value, name: str = "") -> Value:
+        return self._insert(ICmpInst(pred, a, b, name))
+
+    def fcmp(self, pred: str, a: Value, b: Value, name: str = "") -> Value:
+        return self._insert(FCmpInst(pred, a, b, name))
+
+    def select(self, cond: Value, on_true: Value, on_false: Value,
+               name: str = "") -> Value:
+        return self._insert(SelectInst(cond, on_true, on_false, name))
+
+    # -- memory ----------------------------------------------------------------
+
+    def gep(self, base: Value, offset: int, name: str = "") -> Value:
+        from repro.ir.types import I64
+
+        if offset == 0 and not isinstance(base, GEPInst):
+            # A zero offset from the base argument is the base itself;
+            # emitting the gep anyway keeps addresses uniform for analysis.
+            pass
+        return self._insert(GEPInst(base, Constant(I64, offset), name))
+
+    def load(self, base: Value, offset: Optional[int] = None,
+             name: str = "") -> Value:
+        """Load through a pointer, optionally applying a constant offset."""
+        pointer = base if offset is None else self.gep(base, offset)
+        return self._insert(LoadInst(pointer, name))
+
+    def store(self, value: Value, base: Value,
+              offset: Optional[int] = None) -> Value:
+        """Store through a pointer, optionally applying a constant offset."""
+        pointer = base if offset is None else self.gep(base, offset)
+        return self._insert(StoreInst(value, pointer))
+
+    # -- terminator --------------------------------------------------------------
+
+    def ret(self, value: Optional[Value] = None) -> Value:
+        return self._insert(RetInst(value))

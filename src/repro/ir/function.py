@@ -1,0 +1,153 @@
+"""Functions, blocks, and modules.
+
+Functions in this IR hold a single basic block: the paper's vectorizer
+operates on straight-line code within one block (§5.2), and every kernel in
+the evaluation is straight-line after full unrolling.  The frontend
+(``repro.frontend``) enforces this by unrolling constant-trip loops and
+if-converting conditionals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.ir.instructions import Instruction, Opcode, RetInst
+from repro.ir.types import Type, VOID
+from repro.ir.values import Argument, Value
+
+
+class Block:
+    """An ordered list of instructions ending (at most) in one terminator."""
+
+    __slots__ = ("instructions", "parent")
+
+    def __init__(self, parent: Optional["Function"] = None):
+        self.instructions: List[Instruction] = []
+        self.parent = parent
+
+    def append(self, inst: Instruction) -> Instruction:
+        if self.instructions and self.instructions[-1].is_terminator:
+            raise ValueError("cannot append after a terminator")
+        inst.parent = self
+        self.instructions.append(inst)
+        return inst
+
+    def insert(self, index: int, inst: Instruction) -> Instruction:
+        inst.parent = self
+        self.instructions.insert(index, inst)
+        return inst
+
+    def remove(self, inst: Instruction) -> None:
+        self.instructions.remove(inst)
+        inst.parent = None
+
+    def index_of(self, inst: Instruction) -> int:
+        return self.instructions.index(inst)
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    def body(self) -> List[Instruction]:
+        """Instructions excluding the terminator."""
+        if self.terminator is not None:
+            return self.instructions[:-1]
+        return list(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+class Function:
+    """A function: typed arguments plus one straight-line block."""
+
+    def __init__(self, name: str, arg_specs: Sequence[Tuple[str, Type]],
+                 return_type: Type = VOID):
+        self.name = name
+        self.return_type = return_type
+        self.args: List[Argument] = [
+            Argument(ty, arg_name, i)
+            for i, (arg_name, ty) in enumerate(arg_specs)
+        ]
+        self.entry = Block(self)
+
+    def arg(self, name: str) -> Argument:
+        for a in self.args:
+            if a.name == name:
+                return a
+        raise KeyError(f"no argument named {name!r} in {self.name}")
+
+    @property
+    def instructions(self) -> List[Instruction]:
+        return self.entry.instructions
+
+    def body(self) -> List[Instruction]:
+        return self.entry.body()
+
+    def finish(self, return_value: Optional[Value] = None) -> None:
+        """Append the terminator if not already present."""
+        if self.entry.terminator is None:
+            self.entry.append(RetInst(return_value))
+
+    def assign_names(self) -> None:
+        """Give every result-producing instruction a stable ``%N`` name."""
+        counter = 0
+        for inst in self.entry:
+            if inst.has_result and not inst.name:
+                inst.name = str(counter)
+                counter += 1
+
+    def __repr__(self) -> str:
+        args = ", ".join(f"%{a.name}: {a.type}" for a in self.args)
+        return f"<func {self.name}({args}) [{len(self.entry)} insts]>"
+
+
+class Module:
+    """A named collection of functions."""
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+
+    def add(self, function: Function) -> Function:
+        if function.name in self.functions:
+            raise ValueError(f"duplicate function {function.name!r}")
+        self.functions[function.name] = function
+        return function
+
+    def get(self, name: str) -> Function:
+        return self.functions[name]
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self.functions.values())
+
+    def __len__(self) -> int:
+        return len(self.functions)
+
+
+def dead_code_eliminate(function: Function) -> int:
+    """Remove result-producing instructions with no uses and no side effects.
+
+    Returns the number of instructions removed.  Used after canonicalization
+    and after match-driven replacement of multi-instruction operations
+    (§5.2: dot-product instructions turn intermediate instructions into dead
+    code).
+    """
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for inst in list(function.entry.instructions):
+            if inst.opcode in (Opcode.STORE, Opcode.RET):
+                continue
+            if inst.num_uses == 0:
+                inst.drop_operands()
+                function.entry.remove(inst)
+                removed += 1
+                changed = True
+    return removed

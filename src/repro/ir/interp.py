@@ -1,0 +1,279 @@
+"""Reference interpreter for the scalar IR.
+
+This is the semantic ground truth of the whole reproduction: the vectorized
+output program (interpreted by ``repro.machine.exec``) must compute exactly
+what this interpreter computes on every input, and the test suite checks
+that differentially with hypothesis-generated buffers.
+
+Integers follow LLVM semantics: fixed-width two's complement, shifts with
+out-of-range amounts are undefined (we raise), division by zero raises.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    FCmpInst,
+    FCmpPred,
+    GEPInst,
+    ICmpInst,
+    ICmpPred,
+    Instruction,
+    LoadInst,
+    Opcode,
+    RetInst,
+    SelectInst,
+    StoreInst,
+)
+from repro.ir.types import FloatType, IntType, Type
+from repro.ir.values import Constant, Value
+from repro.utils.fp import round_to_width
+from repro.utils.intmath import mask, sign_extend, to_signed, zero_extend
+
+
+class InterpError(RuntimeError):
+    """Raised when the interpreted program performs an undefined operation."""
+
+
+class Buffer:
+    """A typed, bounds-checked flat array backing a pointer argument."""
+
+    __slots__ = ("elem_type", "data")
+
+    def __init__(self, elem_type: Type, data):
+        if not isinstance(elem_type, (IntType, FloatType)):
+            raise TypeError(f"buffers hold scalars, not {elem_type}")
+        self.elem_type = elem_type
+        if elem_type.is_integer:
+            self.data = [mask(int(v), elem_type.width) for v in data]
+        else:
+            self.data = [round_to_width(float(v), elem_type.width)
+                         for v in data]
+
+    def load(self, index: int):
+        if not 0 <= index < len(self.data):
+            raise InterpError(
+                f"load out of bounds: index {index}, size {len(self.data)}"
+            )
+        return self.data[index]
+
+    def store(self, index: int, value) -> None:
+        if not 0 <= index < len(self.data):
+            raise InterpError(
+                f"store out of bounds: index {index}, size {len(self.data)}"
+            )
+        if self.elem_type.is_integer:
+            self.data[index] = mask(int(value), self.elem_type.width)
+        else:
+            self.data[index] = round_to_width(float(value),
+                                              self.elem_type.width)
+
+    def copy(self) -> "Buffer":
+        return Buffer(self.elem_type, list(self.data))
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Buffer)
+            and self.elem_type == other.elem_type
+            and self.data == other.data
+        )
+
+    def __repr__(self) -> str:
+        return f"Buffer({self.elem_type}, {self.data})"
+
+
+Pointer = Tuple[Buffer, int]
+
+
+def run_function(function: Function, arguments: Dict[str, object]):
+    """Execute ``function`` with the given argument bindings.
+
+    ``arguments`` maps argument names to :class:`Buffer` (for pointers) or
+    int/float (for scalars).  Buffers are mutated in place.  Returns the
+    function's return value (or None).
+    """
+    env: Dict[int, object] = {}
+    for arg in function.args:
+        if arg.name not in arguments:
+            raise InterpError(f"missing argument {arg.name!r}")
+        value = arguments[arg.name]
+        if arg.type.is_pointer:
+            if not isinstance(value, Buffer):
+                raise InterpError(f"argument {arg.name!r} must be a Buffer")
+            if value.elem_type != arg.type.pointee:
+                raise InterpError(
+                    f"buffer for {arg.name!r} has element type "
+                    f"{value.elem_type}, expected {arg.type.pointee}"
+                )
+            env[id(arg)] = (value, 0)
+        elif arg.type.is_integer:
+            env[id(arg)] = mask(int(value), arg.type.width)
+        else:
+            env[id(arg)] = round_to_width(float(value), arg.type.width)
+
+    for inst in function.entry:
+        if isinstance(inst, RetInst):
+            if inst.return_value is not None:
+                return _get(env, inst.return_value)
+            return None
+        result = _execute(inst, env)
+        if inst.has_result:
+            env[id(inst)] = result
+    return None
+
+
+def _get(env: Dict[int, object], value: Value):
+    if isinstance(value, Constant):
+        return value.value
+    try:
+        return env[id(value)]
+    except KeyError:
+        raise InterpError(f"use of undefined value {value!r}")
+
+
+def evaluate_int_binop(opcode: str, a: int, b: int, width: int) -> int:
+    """Shared integer binop semantics (also used by the machine executor)."""
+    if opcode == Opcode.ADD:
+        return mask(a + b, width)
+    if opcode == Opcode.SUB:
+        return mask(a - b, width)
+    if opcode == Opcode.MUL:
+        return mask(a * b, width)
+    if opcode == Opcode.AND:
+        return a & b
+    if opcode == Opcode.OR:
+        return a | b
+    if opcode == Opcode.XOR:
+        return a ^ b
+    if opcode == Opcode.SHL:
+        if b >= width:
+            raise InterpError(f"shl amount {b} out of range for i{width}")
+        return mask(a << b, width)
+    if opcode == Opcode.LSHR:
+        if b >= width:
+            raise InterpError(f"lshr amount {b} out of range for i{width}")
+        return a >> b
+    if opcode == Opcode.ASHR:
+        if b >= width:
+            raise InterpError(f"ashr amount {b} out of range for i{width}")
+        return mask(to_signed(a, width) >> b, width)
+    if opcode in (Opcode.SDIV, Opcode.SREM):
+        sa, sb = to_signed(a, width), to_signed(b, width)
+        if sb == 0:
+            raise InterpError("integer division by zero")
+        quotient = int(sa / sb)  # C-style truncating division
+        if opcode == Opcode.SDIV:
+            return mask(quotient, width)
+        return mask(sa - quotient * sb, width)
+    if opcode in (Opcode.UDIV, Opcode.UREM):
+        if b == 0:
+            raise InterpError("integer division by zero")
+        return a // b if opcode == Opcode.UDIV else a % b
+    raise InterpError(f"unknown integer binop {opcode}")
+
+
+def evaluate_float_binop(opcode: str, a: float, b: float,
+                         width: int) -> float:
+    if opcode == Opcode.FADD:
+        result = a + b
+    elif opcode == Opcode.FSUB:
+        result = a - b
+    elif opcode == Opcode.FMUL:
+        result = a * b
+    elif opcode == Opcode.FDIV:
+        if b == 0.0:
+            raise InterpError("float division by zero")
+        result = a / b
+    else:
+        raise InterpError(f"unknown float binop {opcode}")
+    return round_to_width(result, width)
+
+
+def evaluate_icmp(pred: str, a: int, b: int, width: int) -> int:
+    if ICmpPred.is_signed(pred):
+        a, b = to_signed(a, width), to_signed(b, width)
+    if pred == ICmpPred.EQ:
+        return int(a == b)
+    if pred == ICmpPred.NE:
+        return int(a != b)
+    if pred in (ICmpPred.SLT, ICmpPred.ULT):
+        return int(a < b)
+    if pred in (ICmpPred.SLE, ICmpPred.ULE):
+        return int(a <= b)
+    if pred in (ICmpPred.SGT, ICmpPred.UGT):
+        return int(a > b)
+    if pred in (ICmpPred.SGE, ICmpPred.UGE):
+        return int(a >= b)
+    raise InterpError(f"unknown icmp predicate {pred}")
+
+
+def evaluate_fcmp(pred: str, a: float, b: float) -> int:
+    if pred == FCmpPred.OEQ:
+        return int(a == b)
+    if pred == FCmpPred.ONE:
+        return int(a != b)
+    if pred == FCmpPred.OLT:
+        return int(a < b)
+    if pred == FCmpPred.OLE:
+        return int(a <= b)
+    if pred == FCmpPred.OGT:
+        return int(a > b)
+    if pred == FCmpPred.OGE:
+        return int(a >= b)
+    raise InterpError(f"unknown fcmp predicate {pred}")
+
+
+def evaluate_cast(opcode: str, value, src: Type, dest: Type):
+    if opcode == Opcode.SEXT:
+        return sign_extend(value, src.width, dest.width)
+    if opcode == Opcode.ZEXT:
+        return zero_extend(value, src.width, dest.width)
+    if opcode == Opcode.TRUNC:
+        return mask(value, dest.width)
+    if opcode in (Opcode.FPEXT, Opcode.FPTRUNC):
+        return round_to_width(value, dest.width)
+    if opcode == Opcode.SITOFP:
+        return round_to_width(float(to_signed(value, src.width)), dest.width)
+    if opcode == Opcode.FPTOSI:
+        return mask(int(value), dest.width)
+    raise InterpError(f"unknown cast {opcode}")
+
+
+def _execute(inst: Instruction, env: Dict[int, object]):
+    op = inst.opcode
+    if isinstance(inst, GEPInst):
+        buffer, offset = _get(env, inst.base)
+        return (buffer, offset + inst.offset)
+    if isinstance(inst, LoadInst):
+        buffer, offset = _get(env, inst.pointer)
+        return buffer.load(offset)
+    if isinstance(inst, StoreInst):
+        buffer, offset = _get(env, inst.pointer)
+        buffer.store(offset, _get(env, inst.value))
+        return None
+    if isinstance(inst, ICmpInst):
+        a, b = (_get(env, o) for o in inst.operands)
+        return evaluate_icmp(inst.pred, a, b, inst.operands[0].type.width)
+    if isinstance(inst, FCmpInst):
+        a, b = (_get(env, o) for o in inst.operands)
+        return evaluate_fcmp(inst.pred, a, b)
+    if isinstance(inst, SelectInst):
+        cond = _get(env, inst.condition)
+        return _get(env, inst.true_value if cond else inst.false_value)
+    if op == Opcode.FNEG:
+        return -_get(env, inst.operands[0])
+    if inst.type.is_integer and len(inst.operands) == 2:
+        a, b = (_get(env, o) for o in inst.operands)
+        return evaluate_int_binop(op, a, b, inst.type.width)
+    if inst.type.is_float and len(inst.operands) == 2:
+        a, b = (_get(env, o) for o in inst.operands)
+        return evaluate_float_binop(op, a, b, inst.type.width)
+    if len(inst.operands) == 1:  # casts
+        value = _get(env, inst.operands[0])
+        return evaluate_cast(op, value, inst.operands[0].type, inst.type)
+    raise InterpError(f"cannot execute {inst!r}")

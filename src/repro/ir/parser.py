@@ -1,0 +1,172 @@
+"""Parser for the textual IR produced by ``repro.ir.printer``.
+
+The parser exists so that tests and kernels can be written as readable text
+and so printing round-trips (an invariant the test suite checks with
+hypothesis-generated functions).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BINARY_OPS,
+    CAST_OPS,
+    BinaryInst,
+    CastInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    LoadInst,
+    Opcode,
+    RetInst,
+    SelectInst,
+    StoreInst,
+    UnaryInst,
+)
+from repro.ir.types import parse_type, I64
+from repro.ir.values import Constant, Value
+
+
+class IRParseError(ValueError):
+    """Raised on malformed textual IR."""
+
+
+_HEADER_RE = re.compile(
+    r"^func\s+(?P<name>[A-Za-z_][\w.]*)\s*\((?P<args>[^)]*)\)"
+    r"(?:\s*->\s*(?P<ret>\S+))?\s*\{$"
+)
+_ARG_RE = re.compile(r"^%(?P<name>[\w.]+)\s*:\s*(?P<type>\S+)$")
+_DEF_RE = re.compile(r"^%(?P<name>[\w.]+)\s*=\s*(?P<rest>.+)$")
+
+
+def parse_function(text: str) -> Function:
+    """Parse a single function from text."""
+    lines = [ln.strip() for ln in text.strip().splitlines()]
+    lines = [ln for ln in lines if ln and not ln.startswith("#")]
+    if not lines:
+        raise IRParseError("empty input")
+    header = _HEADER_RE.match(lines[0])
+    if header is None:
+        raise IRParseError(f"bad function header: {lines[0]!r}")
+    arg_specs = []
+    args_text = header.group("args").strip()
+    if args_text:
+        for part in args_text.split(","):
+            m = _ARG_RE.match(part.strip())
+            if m is None:
+                raise IRParseError(f"bad argument: {part!r}")
+            arg_specs.append((m.group("name"), parse_type(m.group("type"))))
+    ret_ty = parse_type(header.group("ret")) if header.group("ret") else None
+    function = (
+        Function(header.group("name"), arg_specs, ret_ty)
+        if ret_ty is not None
+        else Function(header.group("name"), arg_specs)
+    )
+    env: Dict[str, Value] = {a.name: a for a in function.args}
+
+    if lines[-1] != "}":
+        raise IRParseError("missing closing brace")
+    for line in lines[1:-1]:
+        _parse_line(line, function, env)
+    if function.entry.terminator is None:
+        raise IRParseError("function body missing 'ret'")
+    return function
+
+
+def _parse_operand(token: str, env: Dict[str, Value]) -> Value:
+    token = token.strip()
+    if token.startswith("%"):
+        name = token[1:]
+        if name not in env:
+            raise IRParseError(f"use of undefined value %{name}")
+        return env[name]
+    # A typed constant: "i32 -7" or "f64 1.5".
+    parts = token.split(None, 1)
+    if len(parts) != 2:
+        raise IRParseError(f"bad operand: {token!r}")
+    ty = parse_type(parts[0])
+    if ty.is_integer:
+        return Constant(ty, int(parts[1], 0))
+    return Constant(ty, float(parts[1]))
+
+
+def _split_operands(text: str) -> List[str]:
+    return [t.strip() for t in text.split(",")]
+
+
+def _parse_line(line: str, function: Function,
+                env: Dict[str, Value]) -> None:
+    if line == "ret":
+        function.entry.append(RetInst())
+        return
+    if line.startswith("ret "):
+        function.entry.append(RetInst(_parse_operand(line[4:], env)))
+        return
+    if line.startswith("store "):
+        value_tok, ptr_tok = _split_operands(line[len("store "):])
+        function.entry.append(
+            StoreInst(_parse_operand(value_tok, env),
+                      _parse_operand(ptr_tok, env))
+        )
+        return
+    m = _DEF_RE.match(line)
+    if m is None:
+        raise IRParseError(f"cannot parse line: {line!r}")
+    name, rest = m.group("name"), m.group("rest").strip()
+    inst = _parse_rhs(rest, env)
+    inst.name = name
+    env[name] = inst
+    function.entry.append(inst)
+
+
+def _parse_rhs(rest: str, env: Dict[str, Value]):
+    opcode, _, tail = rest.partition(" ")
+    tail = tail.strip()
+    if opcode in BINARY_OPS:
+        ty_tok, _, ops = tail.partition(" ")
+        parse_type(ty_tok)  # validated; operand tokens carry their own types
+        lhs_tok, rhs_tok = _split_operands(ops)
+        return BinaryInst(opcode, _parse_operand(lhs_tok, env),
+                          _parse_operand(rhs_tok, env))
+    if opcode == Opcode.FNEG:
+        ty_tok, _, op_tok = tail.partition(" ")
+        parse_type(ty_tok)
+        return UnaryInst(Opcode.FNEG, _parse_operand(op_tok, env))
+    if opcode in CAST_OPS:
+        # "<srcty> <operand> to <destty>"
+        before, _, dest_tok = tail.rpartition(" to ")
+        ty_tok, _, op_tok = before.partition(" ")
+        parse_type(ty_tok)
+        return CastInst(opcode, _parse_operand(op_tok, env),
+                        parse_type(dest_tok))
+    if opcode == Opcode.ICMP:
+        pred, _, ops = tail.partition(" ")
+        ty_tok, _, ops = ops.partition(" ")
+        parse_type(ty_tok)
+        lhs_tok, rhs_tok = _split_operands(ops)
+        return ICmpInst(pred, _parse_operand(lhs_tok, env),
+                        _parse_operand(rhs_tok, env))
+    if opcode == Opcode.FCMP:
+        pred, _, ops = tail.partition(" ")
+        ty_tok, _, ops = ops.partition(" ")
+        parse_type(ty_tok)
+        lhs_tok, rhs_tok = _split_operands(ops)
+        return FCmpInst(pred, _parse_operand(lhs_tok, env),
+                        _parse_operand(rhs_tok, env))
+    if opcode == Opcode.SELECT:
+        cond_tok, t_tok, f_tok = _split_operands(tail)
+        return SelectInst(_parse_operand(cond_tok, env),
+                          _parse_operand(t_tok, env),
+                          _parse_operand(f_tok, env))
+    if opcode == Opcode.GEP:
+        base_tok, off_tok = _split_operands(tail)
+        return GEPInst(_parse_operand(base_tok, env),
+                       Constant(I64, int(off_tok, 0)))
+    if opcode == Opcode.LOAD:
+        ty_tok, ptr_tok = _split_operands(tail)
+        parse_type(ty_tok)
+        return LoadInst(_parse_operand(ptr_tok, env))
+    raise IRParseError(f"unknown opcode {opcode!r}")

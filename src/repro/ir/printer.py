@@ -1,0 +1,143 @@
+"""Textual printer for the scalar IR.
+
+The format is a compact LLVM-flavoured syntax that round-trips through
+``repro.ir.parser``::
+
+    func dot(%A: i16*, %C: i32*) {
+      %p0 = gep %A, 0
+      %0 = load i16, %p0
+      %1 = sext %0 to i32
+      %2 = add i32 %1, i32 7
+      store %2, %p1
+      ret
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BINARY_OPS,
+    CAST_OPS,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    Opcode,
+    RetInst,
+    SelectInst,
+    StoreInst,
+    )
+from repro.ir.values import Argument, Constant, Value
+
+
+class _Namer:
+    """Assigns stable sequential names to result-producing instructions."""
+
+    def __init__(self) -> None:
+        self._names: Dict[int, str] = {}
+        self._counter = 0
+
+    def name_of(self, value: Value) -> str:
+        if isinstance(value, Argument):
+            return f"%{value.name}"
+        key = id(value)
+        if key not in self._names:
+            if value.name:
+                self._names[key] = f"%{value.name}"
+            else:
+                self._names[key] = f"%{self._counter}"
+                self._counter += 1
+        return self._names[key]
+
+    def claim(self, value: Value) -> str:
+        """Name a definition (ensures instruction order drives numbering)."""
+        return self.name_of(value)
+
+
+def format_constant(const: Constant) -> str:
+    if const.type.is_integer:
+        return f"{const.type} {const.signed_value()}"
+    return f"{const.type} {const.value!r}"
+
+
+def print_function(function: Function) -> str:
+    """Render a function to its textual form."""
+    namer = _Namer()
+    args = ", ".join(f"%{a.name}: {a.type}" for a in function.args)
+    header = f"func {function.name}({args})"
+    if not function.return_type.is_void:
+        header += f" -> {function.return_type}"
+    lines: List[str] = [header + " {"]
+    for inst in function.entry:
+        lines.append("  " + _format_inst(inst, namer))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _operand(value: Value, namer: _Namer) -> str:
+    if isinstance(value, Constant):
+        return format_constant(value)
+    return namer.name_of(value)
+
+
+def _format_inst(inst: Instruction, namer: _Namer) -> str:
+    op = inst.opcode
+    if op in BINARY_OPS:
+        lhs, rhs = inst.operands
+        return (
+            f"{namer.claim(inst)} = {op} {inst.type} "
+            f"{_operand(lhs, namer)}, {_operand(rhs, namer)}"
+        )
+    if op == Opcode.FNEG:
+        return (
+            f"{namer.claim(inst)} = fneg {inst.type} "
+            f"{_operand(inst.operands[0], namer)}"
+        )
+    if op in CAST_OPS:
+        src = inst.operands[0]
+        return (
+            f"{namer.claim(inst)} = {op} {src.type} "
+            f"{_operand(src, namer)} to {inst.type}"
+        )
+    if isinstance(inst, ICmpInst):
+        lhs, rhs = inst.operands
+        return (
+            f"{namer.claim(inst)} = icmp {inst.pred} {lhs.type} "
+            f"{_operand(lhs, namer)}, {_operand(rhs, namer)}"
+        )
+    if isinstance(inst, FCmpInst):
+        lhs, rhs = inst.operands
+        return (
+            f"{namer.claim(inst)} = fcmp {inst.pred} {lhs.type} "
+            f"{_operand(lhs, namer)}, {_operand(rhs, namer)}"
+        )
+    if isinstance(inst, SelectInst):
+        cond, tv, fv = inst.operands
+        return (
+            f"{namer.claim(inst)} = select {_operand(cond, namer)}, "
+            f"{_operand(tv, namer)}, {_operand(fv, namer)}"
+        )
+    if isinstance(inst, GEPInst):
+        return (
+            f"{namer.claim(inst)} = gep {_operand(inst.base, namer)}, "
+            f"{inst.offset}"
+        )
+    if isinstance(inst, LoadInst):
+        return (
+            f"{namer.claim(inst)} = load {inst.type}, "
+            f"{_operand(inst.pointer, namer)}"
+        )
+    if isinstance(inst, StoreInst):
+        return (
+            f"store {_operand(inst.value, namer)}, "
+            f"{_operand(inst.pointer, namer)}"
+        )
+    if isinstance(inst, RetInst):
+        if inst.return_value is not None:
+            return f"ret {_operand(inst.return_value, namer)}"
+        return "ret"
+    raise NotImplementedError(f"cannot print {op}")

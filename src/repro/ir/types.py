@@ -1,0 +1,164 @@
+"""Type system for the scalar IR.
+
+The IR is deliberately a small, typed subset of LLVM IR: fixed-width
+integers, IEEE floats, and pointers to scalar element types.  Vector types
+never appear in the *input* IR — VeGen's whole premise is that the input is
+scalar code — but the code generator's output program (``repro.vectorizer``)
+reuses these scalar types as vector element types.
+"""
+
+from __future__ import annotations
+
+
+class Type:
+    """Base class for IR types.  Types are immutable and compared
+    structurally."""
+
+    __slots__ = ("_hash_cache",)
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        cached = getattr(self, "_hash_cache", None)
+        if cached is None:
+            cached = hash((type(self).__name__, self._key()))
+            self._hash_cache = cached
+        return cached
+
+    def _key(self):
+        return ()
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def is_bool(self) -> bool:
+        return isinstance(self, IntType) and self.width == 1
+
+
+class IntType(Type):
+    """A fixed-width two's-complement integer type (``i1`` .. ``i64``)."""
+
+    __slots__ = ("width",)
+
+    def __init__(self, width: int):
+        if width < 1 or width > 128:
+            raise ValueError(f"unsupported integer width: {width}")
+        self.width = width
+
+    def _key(self):
+        return (self.width,)
+
+    def __repr__(self) -> str:
+        return f"i{self.width}"
+
+
+class FloatType(Type):
+    """An IEEE-754 floating point type (``f32`` or ``f64``)."""
+
+    __slots__ = ("width",)
+
+    def __init__(self, width: int):
+        if width not in (32, 64):
+            raise ValueError(f"unsupported float width: {width}")
+        self.width = width
+
+    def _key(self):
+        return (self.width,)
+
+    def __repr__(self) -> str:
+        return f"f{self.width}"
+
+
+class PointerType(Type):
+    """A pointer to a scalar element type.
+
+    Pointers in this IR always point into a named buffer (an array function
+    argument); pointer arithmetic is restricted to constant-offset ``gep``.
+    """
+
+    __slots__ = ("pointee",)
+
+    def __init__(self, pointee: Type):
+        if isinstance(pointee, (PointerType, VoidType)):
+            raise ValueError(f"invalid pointee type: {pointee}")
+        self.pointee = pointee
+
+    def _key(self):
+        return (self.pointee,)
+
+    def __repr__(self) -> str:
+        return f"{self.pointee}*"
+
+
+class VoidType(Type):
+    """The type of instructions that produce no value (stores, ret)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "void"
+
+
+# Singleton instances used throughout the code base.
+I1 = IntType(1)
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+F32 = FloatType(32)
+F64 = FloatType(64)
+VOID = VoidType()
+
+_INT_TYPES = {1: I1, 8: I8, 16: I16, 32: I32, 64: I64}
+_FLOAT_TYPES = {32: F32, 64: F64}
+
+
+def int_type(width: int) -> IntType:
+    """Return the canonical IntType of the given width."""
+    return _INT_TYPES.get(width) or IntType(width)
+
+
+def float_type(width: int) -> FloatType:
+    """Return the canonical FloatType of the given width."""
+    return _FLOAT_TYPES.get(width) or FloatType(width)
+
+
+def pointer_to(pointee: Type) -> PointerType:
+    """Return a pointer type to ``pointee``."""
+    return PointerType(pointee)
+
+
+def scalar_bit_width(ty: Type) -> int:
+    """Bit width of an integer or float scalar type."""
+    if isinstance(ty, (IntType, FloatType)):
+        return ty.width
+    raise TypeError(f"{ty} has no scalar bit width")
+
+
+def parse_type(text: str) -> Type:
+    """Parse a type from its textual form (``i32``, ``f64``, ``i16*``)."""
+    text = text.strip()
+    if text.endswith("*"):
+        return pointer_to(parse_type(text[:-1]))
+    if text == "void":
+        return VOID
+    if text.startswith("i"):
+        return int_type(int(text[1:]))
+    if text.startswith("f"):
+        return float_type(int(text[1:]))
+    raise ValueError(f"cannot parse type: {text!r}")

@@ -1,0 +1,74 @@
+"""Structural verifier for scalar IR functions.
+
+Checks the invariants the rest of the system relies on: SSA dominance
+(defs before uses in the single block), operand/use-list consistency, a
+single trailing terminator, and type agreement between stores/loads and
+their pointers (type agreement *within* instructions is enforced by the
+instruction constructors).
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import Opcode
+from repro.ir.values import Argument, Constant, Value
+
+
+class VerificationError(ValueError):
+    """Raised when a function violates an IR invariant."""
+
+
+def verify_function(function: Function) -> None:
+    """Raise :class:`VerificationError` on the first violated invariant."""
+    seen = set()
+    for arg in function.args:
+        seen.add(id(arg))
+
+    instructions = function.entry.instructions
+    if not instructions or not instructions[-1].is_terminator:
+        raise VerificationError(
+            f"{function.name}: function must end with a terminator"
+        )
+    for i, inst in enumerate(instructions):
+        if inst.is_terminator and i != len(instructions) - 1:
+            raise VerificationError(
+                f"{function.name}: terminator not at end of block"
+            )
+        if inst.parent is not function.entry:
+            raise VerificationError(
+                f"{function.name}: instruction {inst!r} has wrong parent"
+            )
+        for op in inst.operands:
+            if isinstance(op, Constant):
+                continue
+            if isinstance(op, Argument):
+                if op not in function.args:
+                    raise VerificationError(
+                        f"{function.name}: foreign argument {op!r}"
+                    )
+                continue
+            if id(op) not in seen:
+                raise VerificationError(
+                    f"{function.name}: use of {op!r} before definition "
+                    f"in {inst!r}"
+                )
+            if inst not in op.uses:
+                raise VerificationError(
+                    f"{function.name}: stale use list: {inst!r} not in "
+                    f"uses of {op!r}"
+                )
+        seen.add(id(inst))
+
+    ret = instructions[-1]
+    if ret.opcode == Opcode.RET:
+        value = ret.operands[0] if ret.operands else None
+        if function.return_type.is_void:
+            if value is not None:
+                raise VerificationError(
+                    f"{function.name}: void function returns a value"
+                )
+        else:
+            if value is None or value.type != function.return_type:
+                raise VerificationError(
+                    f"{function.name}: return type mismatch"
+                )

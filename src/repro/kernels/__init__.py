@@ -1,0 +1,29 @@
+"""All evaluation kernels (§7), written in mini-C and compiled to IR."""
+
+from repro.kernels.complex_mul import COMPLEX_MUL_SOURCE, build_complex_mul
+from repro.kernels.dotprod import (
+    OPENCV_SOURCES,
+    TVM_DOT_SOURCE,
+    build_opencv_kernels,
+    build_tvm_kernel,
+)
+from repro.kernels.dsp import DSP_SOURCES, build_dsp_kernels
+from repro.kernels.isel_tests import (
+    ISEL_TEST_SOURCES,
+    build_isel_tests,
+    llvm_vectorizable,
+)
+
+__all__ = [
+    "COMPLEX_MUL_SOURCE",
+    "build_complex_mul",
+    "OPENCV_SOURCES",
+    "TVM_DOT_SOURCE",
+    "build_opencv_kernels",
+    "build_tvm_kernel",
+    "DSP_SOURCES",
+    "build_dsp_kernels",
+    "ISEL_TEST_SOURCES",
+    "build_isel_tests",
+    "llvm_vectorizable",
+]

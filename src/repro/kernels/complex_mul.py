@@ -1,0 +1,24 @@
+"""Scalar complex multiplication (§7.4, Figure 15).
+
+Complex arithmetic is the motivating application for SIMOMD instructions;
+VeGen vectorizes this kernel with vfmaddsub (fused multiply-add on the odd
+lane, multiply-sub on the even lane), while LLVM's SLP declines because
+its target-independent cost model overestimates the blend cost.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.lower import compile_kernel
+from repro.ir.function import Function
+
+COMPLEX_MUL_SOURCE = """
+void complex_mul(const double *restrict a, const double *restrict b,
+                 double *restrict dst) {
+    dst[0] = a[0] * b[0] - a[1] * b[1];
+    dst[1] = a[0] * b[1] + a[1] * b[0];
+}
+"""
+
+
+def build_complex_mul() -> Function:
+    return compile_kernel(COMPLEX_MUL_SOURCE)

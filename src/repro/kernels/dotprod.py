@@ -1,0 +1,102 @@
+"""Dot-product kernels: the TVM convolution micro-kernel of Figure 2 and
+OpenCV's fixed-size dot products (§7.3).
+
+The TVM kernel is verbatim Figure 2(a): a 16x1x16 u8/s8 dot-product with
+accumulation, the motivating workload for AVX512-VNNI's vpdpbusd.
+
+The OpenCV kernels follow §7.3's description: interleaved accesses plus
+reduction, parameterized by element type and size.  ``int32 x 8`` is
+exactly the Figure 14 kernel (sign-extend 32->64, multiply elementwise,
+reduce adjacent pairs); the 8/16-bit kernels compute multiple dot products
+so that the reduction trees feed contiguous stores (OpenCV's template
+produces one output per channel).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.frontend.lower import compile_kernel
+from repro.ir.function import Function
+
+# Figure 2(a), verbatim modulo array flattening.
+TVM_DOT_SOURCE = """
+void dot_16x1x16_uint8_int8_int32(const uint8_t *restrict data,
+                                  const int8_t *restrict kernel,
+                                  int32_t *restrict output) {
+    for (int i = 0; i < 16; i++) {
+        for (int k = 0; k < 4; k++) {
+            output[i] += data[k] * kernel[i * 4 + k];
+        }
+    }
+}
+"""
+
+# OpenCV-style fixed-size dot products.
+OPENCV_INT8X32_SOURCE = """
+void dot_int8x32(const int8_t *restrict a, const int8_t *restrict b,
+                 int32_t *restrict out) {
+    for (int j = 0; j < 2; j++) {
+        int acc = 0;
+        for (int k = 0; k < 16; k++) {
+            acc = acc + a[16 * j + k] * b[16 * j + k];
+        }
+        out[j] = acc;
+    }
+}
+"""
+
+OPENCV_UINT8X32_SOURCE = """
+void dot_uint8x32(const uint8_t *restrict a, const int8_t *restrict b,
+                  int32_t *restrict out) {
+    for (int j = 0; j < 2; j++) {
+        int acc = 0;
+        for (int k = 0; k < 16; k++) {
+            acc = acc + a[16 * j + k] * b[16 * j + k];
+        }
+        out[j] = acc;
+    }
+}
+"""
+
+# §7.3 / Figure 14: sign-extend to 64 bits, multiply, reduce adjacent
+# pairs.
+OPENCV_INT32X8_SOURCE = """
+void dot_int32x8(const int32_t *restrict a, const int32_t *restrict b,
+                 int64_t *restrict out) {
+    for (int j = 0; j < 4; j++) {
+        out[j] = (int64_t)a[2 * j] * b[2 * j]
+               + (int64_t)a[2 * j + 1] * b[2 * j + 1];
+    }
+}
+"""
+
+OPENCV_INT16X16_SOURCE = """
+void dot_int16x16(const int16_t *restrict a, const int16_t *restrict b,
+                  int32_t *restrict out) {
+    for (int j = 0; j < 2; j++) {
+        int acc = 0;
+        for (int k = 0; k < 8; k++) {
+            acc = acc + a[8 * j + k] * b[8 * j + k];
+        }
+        out[j] = acc;
+    }
+}
+"""
+
+OPENCV_SOURCES: Dict[str, str] = {
+    "int8x32": OPENCV_INT8X32_SOURCE,
+    "uint8x32": OPENCV_UINT8X32_SOURCE,
+    "int32x8": OPENCV_INT32X8_SOURCE,
+    "int16x16": OPENCV_INT16X16_SOURCE,
+}
+
+
+def build_tvm_kernel() -> Function:
+    return compile_kernel(TVM_DOT_SOURCE)
+
+
+def build_opencv_kernels() -> Dict[str, Function]:
+    return {
+        name: compile_kernel(src) for name, src in OPENCV_SOURCES.items()
+    }

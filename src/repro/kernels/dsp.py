@@ -1,0 +1,238 @@
+"""Image- and signal-processing kernels of Figure 11 (§7.2).
+
+idct4 and idct8 are ported from x265's reference implementation (the
+partial-butterfly inverse DCTs with {64, 83, 36} / {89, 75, 50, 18}
+constants, round/shift, and int16 saturation); fft4/fft8 are the radix-2
+complex FFT butterflies; sbc is the Bluetooth SBC analysis-filter dot
+products; chroma is the FFmpeg-style chroma weighted prediction with a
+0..255 clamp.  These kernels are "challenging to vectorize because they
+require intermediate shuffles and partial reductions".
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.frontend.lower import compile_kernel
+from repro.ir.function import Function
+
+# x265 transform constants.
+IDCT4_SHIFT_PASS1 = 7
+IDCT4_SHIFT_PASS2 = 12
+
+
+def _clip16(expr: str) -> str:
+    return (f"({expr}) > 32767 ? 32767 : "
+            f"(({expr}) < -32768 ? -32768 : (int16_t)({expr}))")
+
+
+IDCT4_SOURCE = f"""
+void idct4(const int16_t *restrict src, int16_t *restrict dst) {{
+    int16_t tmp[16];
+    for (int i = 0; i < 4; i++) {{
+        int o0 = 83 * src[4 + i] + 36 * src[12 + i];
+        int o1 = 36 * src[4 + i] - 83 * src[12 + i];
+        int e0 = 64 * src[i] + 64 * src[8 + i];
+        int e1 = 64 * src[i] - 64 * src[8 + i];
+        int t0 = (e0 + o0 + 64) >> {IDCT4_SHIFT_PASS1};
+        int t1 = (e1 + o1 + 64) >> {IDCT4_SHIFT_PASS1};
+        int t2 = (e1 - o1 + 64) >> {IDCT4_SHIFT_PASS1};
+        int t3 = (e0 - o0 + 64) >> {IDCT4_SHIFT_PASS1};
+        tmp[i * 4 + 0] = {_clip16("t0")};
+        tmp[i * 4 + 1] = {_clip16("t1")};
+        tmp[i * 4 + 2] = {_clip16("t2")};
+        tmp[i * 4 + 3] = {_clip16("t3")};
+    }}
+    for (int i = 0; i < 4; i++) {{
+        int o0 = 83 * tmp[4 + i] + 36 * tmp[12 + i];
+        int o1 = 36 * tmp[4 + i] - 83 * tmp[12 + i];
+        int e0 = 64 * tmp[i] + 64 * tmp[8 + i];
+        int e1 = 64 * tmp[i] - 64 * tmp[8 + i];
+        int t0 = (e0 + o0 + 2048) >> {IDCT4_SHIFT_PASS2};
+        int t1 = (e1 + o1 + 2048) >> {IDCT4_SHIFT_PASS2};
+        int t2 = (e1 - o1 + 2048) >> {IDCT4_SHIFT_PASS2};
+        int t3 = (e0 - o0 + 2048) >> {IDCT4_SHIFT_PASS2};
+        dst[i * 4 + 0] = {_clip16("t0")};
+        dst[i * 4 + 1] = {_clip16("t1")};
+        dst[i * 4 + 2] = {_clip16("t2")};
+        dst[i * 4 + 3] = {_clip16("t3")};
+    }}
+}}
+"""
+
+# 8-point odd butterfly constants from x265 (g_t8 rows 1,3,5,7).
+_IDCT8_ODD = (89, 75, 50, 18)
+
+
+def _idct8_pass(src: str, dst: str, add: int, shift: int) -> str:
+    k0, k1, k2, k3 = _IDCT8_ODD
+    lines = [f"""
+    for (int i = 0; i < 8; i++) {{
+        int o0 = {k0} * {src}[8 + i] + {k1} * {src}[24 + i]
+               + {k2} * {src}[40 + i] + {k3} * {src}[56 + i];
+        int o1 = {k1} * {src}[8 + i] - {k3} * {src}[24 + i]
+               - {k0} * {src}[40 + i] - {k2} * {src}[56 + i];
+        int o2 = {k2} * {src}[8 + i] - {k0} * {src}[24 + i]
+               + {k3} * {src}[40 + i] + {k1} * {src}[56 + i];
+        int o3 = {k3} * {src}[8 + i] - {k2} * {src}[24 + i]
+               + {k1} * {src}[40 + i] - {k0} * {src}[56 + i];
+        int eo0 = 83 * {src}[16 + i] + 36 * {src}[48 + i];
+        int eo1 = 36 * {src}[16 + i] - 83 * {src}[48 + i];
+        int ee0 = 64 * {src}[i] + 64 * {src}[32 + i];
+        int ee1 = 64 * {src}[i] - 64 * {src}[32 + i];
+        int e0 = ee0 + eo0;
+        int e3 = ee0 - eo0;
+        int e1 = ee1 + eo1;
+        int e2 = ee1 - eo1;
+        int t0 = (e0 + o0 + {add}) >> {shift};
+        int t1 = (e1 + o1 + {add}) >> {shift};
+        int t2 = (e2 + o2 + {add}) >> {shift};
+        int t3 = (e3 + o3 + {add}) >> {shift};
+        int t4 = (e3 - o3 + {add}) >> {shift};
+        int t5 = (e2 - o2 + {add}) >> {shift};
+        int t6 = (e1 - o1 + {add}) >> {shift};
+        int t7 = (e0 - o0 + {add}) >> {shift};
+"""]
+    for j in range(8):
+        lines.append(
+            f"        {dst}[i * 8 + {j}] = {_clip16(f't{j}')};\n"
+        )
+    lines.append("    }\n")
+    return "".join(lines)
+
+
+IDCT8_SOURCE = (
+    "void idct8(const int16_t *restrict src, int16_t *restrict dst) {\n"
+    "    int16_t tmp[64];\n"
+    + _idct8_pass("src", "tmp", 64, IDCT4_SHIFT_PASS1)
+    + _idct8_pass("tmp", "dst", 2048, IDCT4_SHIFT_PASS2)
+    + "}\n"
+)
+
+# 4-point complex FFT butterfly over interleaved re/im floats.
+FFT4_SOURCE = """
+void fft4(const float *restrict in, float *restrict out) {
+    float er = in[0] + in[4];
+    float ei = in[1] + in[5];
+    float fr = in[0] - in[4];
+    float fi = in[1] - in[5];
+    float gr = in[2] + in[6];
+    float gi = in[3] + in[7];
+    float hr = in[2] - in[6];
+    float hi = in[3] - in[7];
+    out[0] = er + gr;
+    out[1] = ei + gi;
+    out[2] = fr + hi;
+    out[3] = fi - hr;
+    out[4] = er - gr;
+    out[5] = ei - gi;
+    out[6] = fr - hi;
+    out[7] = fi + hr;
+}
+"""
+
+# 8-point complex FFT: two 4-point stages plus twiddles (w = sqrt(2)/2).
+FFT8_SOURCE = """
+void fft8(const float *restrict in, float *restrict out) {
+    float t0r = in[0] + in[8];
+    float t0i = in[1] + in[9];
+    float t4r = in[0] - in[8];
+    float t4i = in[1] - in[9];
+    float t1r = in[2] + in[10];
+    float t1i = in[3] + in[11];
+    float t5r = in[2] - in[10];
+    float t5i = in[3] - in[11];
+    float t2r = in[4] + in[12];
+    float t2i = in[5] + in[13];
+    float t6r = in[4] - in[12];
+    float t6i = in[5] - in[13];
+    float t3r = in[6] + in[14];
+    float t3i = in[7] + in[15];
+    float t7r = in[6] - in[14];
+    float t7i = in[7] - in[15];
+
+    float w = 0.70710678f;
+    float u5r = w * (t5r + t5i);
+    float u5i = w * (t5i - t5r);
+    float u6r = t6i;
+    float u6i = -t6r;
+    float u7r = w * (t7i - t7r);
+    float u7i = -(w * (t7r + t7i));
+
+    float a0r = t0r + t2r;
+    float a0i = t0i + t2i;
+    float a2r = t0r - t2r;
+    float a2i = t0i - t2i;
+    float a1r = t1r + t3r;
+    float a1i = t1i + t3i;
+    float a3r = t1i - t3i;
+    float a3i = t3r - t1r;
+
+    out[0] = a0r + a1r;
+    out[1] = a0i + a1i;
+    out[8] = a0r - a1r;
+    out[9] = a0i - a1i;
+    out[4] = a2r + a3r;
+    out[5] = a2i + a3i;
+    out[12] = a2r - a3r;
+    out[13] = a2i - a3i;
+
+    float b0r = t4r + u6r;
+    float b0i = t4i + u6i;
+    float b2r = t4r - u6r;
+    float b2i = t4i - u6i;
+    float b1r = u5r + u7r;
+    float b1i = u5i + u7i;
+    float b3r = u5i - u7i;
+    float b3i = u7r - u5r;
+
+    out[2] = b0r + b1r;
+    out[3] = b0i + b1i;
+    out[10] = b0r - b1r;
+    out[11] = b0i - b1i;
+    out[6] = b2r + b3r;
+    out[7] = b2i + b3i;
+    out[14] = b2r - b3r;
+    out[15] = b2i - b3i;
+}
+"""
+
+# Bluetooth SBC analysis filter: four polyphase dot products (int16 input
+# and window, int32 accumulators).  The reference unrolls each 8-tap dot
+# product as a balanced pairwise reduction tree.
+SBC_SOURCE = """
+void sbc(const int16_t *restrict in, const int16_t *restrict win,
+         int32_t *restrict out) {
+    for (int i = 0; i < 4; i++) {
+        int p0 = in[8*i]   * win[8*i]   + in[8*i+1] * win[8*i+1];
+        int p1 = in[8*i+2] * win[8*i+2] + in[8*i+3] * win[8*i+3];
+        int p2 = in[8*i+4] * win[8*i+4] + in[8*i+5] * win[8*i+5];
+        int p3 = in[8*i+6] * win[8*i+6] + in[8*i+7] * win[8*i+7];
+        out[i] = (p0 + p1) + (p2 + p3);
+    }
+}
+"""
+
+# FFmpeg-style chroma weighted prediction: scale, round, shift, offset,
+# clamp to u8 — written upper-clamp-first to match the Saturate nesting.
+CHROMA_SOURCE = """
+void chroma(const uint8_t *restrict src, uint8_t *restrict dst) {
+    for (int i = 0; i < 16; i++) {
+        int t = ((src[i] * 77 + 64) >> 7) + 16;
+        dst[i] = t > 255 ? 255 : (t < 0 ? 0 : (uint8_t)t);
+    }
+}
+"""
+
+DSP_SOURCES: Dict[str, str] = {
+    "fft4": FFT4_SOURCE,
+    "fft8": FFT8_SOURCE,
+    "sbc": SBC_SOURCE,
+    "idct8": IDCT8_SOURCE,
+    "idct4": IDCT4_SOURCE,
+    "chroma": CHROMA_SOURCE,
+}
+
+
+def build_dsp_kernels() -> Dict[str, Function]:
+    return {name: compile_kernel(src) for name, src in DSP_SOURCES.items()}

@@ -1,0 +1,129 @@
+"""The 21 instruction-selection tests of Figure 10.
+
+These are scalar equivalents of LLVM's x86 backend isel tests, exactly as
+§7.1 describes porting them: each test was originally vector IR plus
+shuffles exercising the lowering of one instruction family; here it is the
+corresponding straight-line scalar kernel over non-aliased pointers.
+
+Figure 10(a) lists tests LLVM's vectorizer handles (plain SIMD plus the
+special-cased mul_addsub pair); Figure 10(b) the non-SIMD tests it cannot.
+VeGen vectorizes all of them except abs_pd/abs_ps, which LLVM handles
+with the float sign-bit masking trick VeGen has no semantics for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.frontend.lower import compile_kernel
+from repro.ir.function import Function
+
+
+def _minmax(name: str, ty: str, lanes: int, op: str) -> str:
+    return f"""
+void {name}(const {ty} *restrict a, const {ty} *restrict b,
+            {ty} *restrict dst) {{
+    for (int i = 0; i < {lanes}; i++) {{
+        dst[i] = a[i] {op} b[i] ? a[i] : b[i];
+    }}
+}}
+"""
+
+
+def _mul_addsub(name: str, ty: str, lanes: int) -> str:
+    # Alternating lanes: even lanes a*b - c, odd lanes a*b + c.
+    return f"""
+void {name}(const {ty} *restrict a, const {ty} *restrict b,
+            const {ty} *restrict c, {ty} *restrict dst) {{
+    for (int i = 0; i < {lanes}; i += 2) {{
+        dst[i]   = a[i]   * b[i]   - c[i];
+        dst[i+1] = a[i+1] * b[i+1] + c[i+1];
+    }}
+}}
+"""
+
+
+def _abs(name: str, ty: str, lanes: int) -> str:
+    return f"""
+void {name}(const {ty} *restrict a, {ty} *restrict dst) {{
+    for (int i = 0; i < {lanes}; i++) {{
+        dst[i] = a[i] < 0 ? -a[i] : a[i];
+    }}
+}}
+"""
+
+
+def _horizontal(name: str, ty: str, out_lanes: int, op: str) -> str:
+    half = out_lanes // 2
+    return f"""
+void {name}(const {ty} *restrict a, const {ty} *restrict b,
+            {ty} *restrict dst) {{
+    for (int i = 0; i < {half}; i++) {{
+        dst[i]          = ({ty})(a[2*i] {op} a[2*i+1]);
+        dst[i + {half}] = ({ty})(b[2*i] {op} b[2*i+1]);
+    }}
+}}
+"""
+
+
+def _pmaddubs() -> str:
+    return """
+void pmaddubs(const uint8_t *restrict a, const int8_t *restrict b,
+              int16_t *restrict dst) {
+    for (int i = 0; i < 8; i++) {
+        int t = a[2*i] * b[2*i] + a[2*i+1] * b[2*i+1];
+        dst[i] = t > 32767 ? 32767 : (t < -32768 ? -32768 : (int16_t)t);
+    }
+}
+"""
+
+
+def _pmaddwd() -> str:
+    return """
+void pmaddwd(const int16_t *restrict a, const int16_t *restrict b,
+             int32_t *restrict dst) {
+    for (int i = 0; i < 4; i++) {
+        dst[i] = a[2*i] * b[2*i] + a[2*i+1] * b[2*i+1];
+    }
+}
+"""
+
+
+#: (name, source, llvm_vectorizes) per Figure 10; llvm_vectorizes is the
+#: paper's partition into sub-tables (a) and (b).
+ISEL_TEST_SOURCES: List[Tuple[str, str, bool]] = [
+    ("max_pd", _minmax("max_pd", "double", 2, ">"), True),
+    ("min_pd", _minmax("min_pd", "double", 2, "<"), True),
+    ("max_ps", _minmax("max_ps", "float", 4, ">"), True),
+    ("min_ps", _minmax("min_ps", "float", 4, "<"), True),
+    ("mul_addsub_pd", _mul_addsub("mul_addsub_pd", "double", 2), True),
+    ("mul_addsub_ps", _mul_addsub("mul_addsub_ps", "float", 4), True),
+    ("abs_pd", _abs("abs_pd", "double", 2), True),
+    ("abs_ps", _abs("abs_ps", "float", 4), True),
+    ("abs_i8", _abs("abs_i8", "int8_t", 16), True),
+    ("abs_i16", _abs("abs_i16", "int16_t", 8), True),
+    ("abs_i32", _abs("abs_i32", "int32_t", 4), True),
+    ("hadd_pd", _horizontal("hadd_pd", "double", 2, "+"), False),
+    ("hadd_ps", _horizontal("hadd_ps", "float", 4, "+"), False),
+    ("hsub_pd", _horizontal("hsub_pd", "double", 2, "-"), False),
+    ("hsub_ps", _horizontal("hsub_ps", "float", 4, "-"), False),
+    ("hadd_i16", _horizontal("hadd_i16", "int16_t", 8, "+"), False),
+    ("hsub_i16", _horizontal("hsub_i16", "int16_t", 8, "-"), False),
+    ("hadd_i32", _horizontal("hadd_i32", "int32_t", 4, "+"), False),
+    ("hsub_i32", _horizontal("hsub_i32", "int32_t", 4, "-"), False),
+    ("pmaddubs", _pmaddubs(), False),
+    ("pmaddwd", _pmaddwd(), False),
+]
+
+
+def build_isel_tests() -> Dict[str, Function]:
+    """Compile all 21 tests to IR functions."""
+    return {
+        name: compile_kernel(source)
+        for name, source, _ in ISEL_TEST_SOURCES
+    }
+
+
+def llvm_vectorizable() -> Dict[str, bool]:
+    """The paper's Figure 10 partition."""
+    return {name: flag for name, _, flag in ISEL_TEST_SOURCES}

@@ -1,0 +1,25 @@
+"""Machine model: cost estimation (§6.2) and differential execution of
+vector programs against the scalar interpreter."""
+
+from repro.machine.costs import CostModel, classify_gather, gather_cost
+from repro.machine.exec import MachineExecError, run_program
+from repro.machine.model import (
+    ProgramCost,
+    node_cost,
+    program_cost,
+    scalar_function_cost,
+    speedup,
+)
+
+__all__ = [
+    "CostModel",
+    "classify_gather",
+    "gather_cost",
+    "MachineExecError",
+    "run_program",
+    "ProgramCost",
+    "node_cost",
+    "program_cost",
+    "scalar_function_cost",
+    "speedup",
+]

@@ -1,0 +1,98 @@
+"""Cost model (§6.2).
+
+The paper uses LLVM's cost model for ``C_insert``/``C_extract``, sets
+``C_shuffle = 2``, and prices each vector instruction at its inverse
+throughput scaled by two (the scaling keeps vector costs commensurate with
+LLVM's scalar costs).  Our stand-in machine model does the same: scalar
+costs approximate LLVM's x86 scalar cost table, vector instruction costs
+come from the target description, and shuffles are classified so that
+broadcasts and single-source permutes are cheaper than general two-source
+shuffles (the special cases §6.2 mentions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Sequence
+
+from repro.ir.instructions import Instruction, Opcode
+
+
+#: Default per-opcode scalar costs (approximating LLVM's model: most ALU
+#: ops are 1, divisions are expensive, address computation is free).
+DEFAULT_SCALAR_COSTS: Dict[str, float] = {
+    Opcode.ADD: 1.0, Opcode.SUB: 1.0, Opcode.MUL: 1.0,
+    Opcode.SDIV: 8.0, Opcode.UDIV: 8.0, Opcode.SREM: 8.0, Opcode.UREM: 8.0,
+    Opcode.AND: 1.0, Opcode.OR: 1.0, Opcode.XOR: 1.0,
+    Opcode.SHL: 1.0, Opcode.LSHR: 1.0, Opcode.ASHR: 1.0,
+    Opcode.FADD: 1.0, Opcode.FSUB: 1.0, Opcode.FMUL: 1.0, Opcode.FDIV: 8.0,
+    Opcode.FNEG: 1.0,
+    Opcode.SEXT: 1.0, Opcode.ZEXT: 1.0, Opcode.TRUNC: 1.0,
+    Opcode.FPEXT: 1.0, Opcode.FPTRUNC: 1.0,
+    Opcode.SITOFP: 1.0, Opcode.FPTOSI: 1.0,
+    Opcode.ICMP: 1.0, Opcode.FCMP: 1.0, Opcode.SELECT: 1.0,
+    Opcode.GEP: 0.0,
+    Opcode.LOAD: 2.0, Opcode.STORE: 2.0,
+    Opcode.RET: 0.0,
+}
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """All cost parameters in one immutable bundle."""
+
+    #: §5: data-movement parameters.  C_shuffle = 2 per §6.2.
+    c_shuffle: float = 2.0
+    c_insert: float = 1.0
+    c_extract: float = 1.0
+    #: Materializing a vector constant (folded to a constant-pool load).
+    c_vector_const: float = 1.0
+    #: Vector memory ops (roughly LLVM's cost-1-per-access, same as scalar).
+    c_vector_load: float = 2.0
+    c_vector_store: float = 2.0
+    #: Cheap shuffle special cases (§6.2 overrides).
+    c_broadcast: float = 1.0
+    c_permute: float = 1.0
+    c_two_source_shuffle: float = 2.0
+    scalar_costs: Dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_SCALAR_COSTS)
+    )
+
+    def scalar_cost(self, inst: Instruction) -> float:
+        return self.scalar_costs.get(inst.opcode, 1.0)
+
+    def with_params(self, **kwargs) -> "CostModel":
+        """A copy with some parameters overridden (for ablations)."""
+        return replace(self, **kwargs)
+
+
+def classify_gather(elements: Sequence[object],
+                    sources: Sequence[Optional[object]]) -> str:
+    """Classify how a vector operand must be assembled.
+
+    ``sources[i]`` identifies the producing pack of element ``i`` (None for
+    scalar/constant elements).  Returns one of ``"exact"``, ``"broadcast"``,
+    ``"permute"``, ``"two_source"``, ``"insert"``.
+    """
+    packs = {id(s) for s in sources if s is not None}
+    distinct = {id(e) for e in elements}
+    if len(distinct) == 1 and len(elements) > 1:
+        return "broadcast"
+    if len(packs) == 1 and all(s is not None for s in sources):
+        return "permute"
+    if len(packs) == 2 and all(s is not None for s in sources):
+        return "two_source"
+    return "insert"
+
+
+def gather_cost(model: CostModel, kind: str, num_scalar: int = 0) -> float:
+    """Cost of assembling a vector operand of the given gather class."""
+    if kind == "exact":
+        return 0.0
+    if kind == "broadcast":
+        return model.c_broadcast
+    if kind == "permute":
+        return model.c_permute
+    if kind == "two_source":
+        return model.c_two_source_shuffle
+    return model.c_insert * max(1, num_scalar)

@@ -1,0 +1,154 @@
+"""Vector-program interpreter.
+
+Executes the code generator's output against the same :class:`Buffer`
+memory the scalar interpreter uses, so correctness of the whole system is
+checked differentially: for every kernel and every random input,
+``run_function(scalar)`` and ``run_program(vectorized)`` must leave
+identical memory.
+
+Compute vector instructions are executed through their VIDL descriptions
+(:func:`repro.vidl.interp.execute_inst`), so vector semantics are *by
+construction* the semantics the instruction was selected with.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.function import Function
+from repro.ir.interp import Buffer, _execute
+from repro.ir.values import Argument, Constant
+from repro.vectorizer.vector_ir import (
+    ElementSource,
+    VExtract,
+    VGather,
+    VLoad,
+    VNode,
+    VOp,
+    VScalar,
+    VStore,
+    VectorProgram,
+)
+from repro.vidl.interp import execute_inst
+
+
+class MachineExecError(RuntimeError):
+    """Raised when a vector program performs an undefined operation."""
+
+
+def run_program(program: VectorProgram,
+                arguments: Dict[str, object]) -> None:
+    """Execute a vector program; buffers in ``arguments`` are mutated."""
+    function: Function = program.function
+    scalar_env: Dict[int, object] = {}
+    for arg in function.args:
+        value = arguments.get(arg.name)
+        if value is None:
+            raise MachineExecError(f"missing argument {arg.name!r}")
+        if arg.type.is_pointer:
+            scalar_env[id(arg)] = (value, 0)
+        else:
+            scalar_env[id(arg)] = value
+    vector_env: Dict[int, List[object]] = {}
+
+    for node in program.nodes:
+        _step(node, scalar_env, vector_env, arguments)
+
+
+def _buffer_for(base: Argument, arguments: Dict[str, object]) -> Buffer:
+    buffer = arguments.get(base.name)
+    if not isinstance(buffer, Buffer):
+        raise MachineExecError(f"argument {base.name!r} is not a buffer")
+    return buffer
+
+
+def _step(node: VNode, scalar_env: Dict[int, object],
+          vector_env: Dict[int, List[object]],
+          arguments: Dict[str, object]) -> None:
+    if isinstance(node, VLoad):
+        buffer = _buffer_for(node.base, arguments)
+        vector_env[id(node)] = [
+            buffer.load(node.offset + lane) for lane in range(node.lanes)
+        ]
+        return
+    if isinstance(node, VGather):
+        lanes: List[object] = []
+        for source in node.sources:
+            lanes.append(_resolve_source(source, scalar_env, vector_env))
+        vector_env[id(node)] = lanes
+        return
+    if isinstance(node, VOp):
+        inputs = [vector_env[id(op)] for op in node.operands]
+        vector_env[id(node)] = _execute_vop(node, inputs)
+        return
+    if isinstance(node, VStore):
+        buffer = _buffer_for(node.base, arguments)
+        lanes = vector_env[id(node.source)]
+        if len(lanes) != node.lanes:
+            raise MachineExecError("vstore lane count mismatch")
+        for lane, value in enumerate(lanes):
+            if value is None:
+                raise MachineExecError("storing an undef lane")
+            buffer.store(node.offset + lane, value)
+        return
+    if isinstance(node, VExtract):
+        lanes = vector_env[id(node.source)]
+        value = lanes[node.lane]
+        if value is None:
+            raise MachineExecError("extracting an undef lane")
+        scalar_env[id(node.value)] = value
+        return
+    if isinstance(node, VScalar):
+        inst = node.inst
+        result = _execute(inst, scalar_env)
+        if inst.has_result:
+            scalar_env[id(inst)] = result
+        return
+    raise MachineExecError(f"unknown node {node!r}")
+
+
+def _execute_vop(node: VOp, inputs):
+    """Execute a compute instruction, skipping dead output lanes (their
+    operations may consume undef inputs)."""
+    from repro.vidl.interp import execute_operation
+
+    desc = node.inst.desc
+    if all(node.live_lanes):
+        return execute_inst(desc, inputs)
+    output: List[object] = []
+    for lane_index, lane_op in enumerate(desc.lane_ops):
+        if not node.live_lanes[lane_index]:
+            output.append(None)
+            continue
+        args = []
+        for ref in lane_op.bindings:
+            value = inputs[ref.input_index][ref.lane_index]
+            if value is None:
+                raise MachineExecError(
+                    f"{desc.name}: live lane {lane_index} consumes an "
+                    f"undef input lane"
+                )
+            args.append(value)
+        output.append(execute_operation(lane_op.operation, args))
+    return output
+
+
+def _resolve_source(source: ElementSource, scalar_env: Dict[int, object],
+                    vector_env: Dict[int, List[object]]):
+    if source.kind == "undef":
+        return None
+    if source.kind == "const":
+        return source.value.value  # type: ignore[union-attr]
+    if source.kind == "lane":
+        return vector_env[id(source.node)][source.lane]
+    if source.kind == "scalar":
+        value = source.value
+        if isinstance(value, Constant):
+            return value.value
+        try:
+            return scalar_env[id(value)]
+        except KeyError:
+            raise MachineExecError(
+                f"scalar element {value!r} not computed before gather"
+            )
+    raise MachineExecError(f"unknown element source {source.kind!r}")

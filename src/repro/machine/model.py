@@ -1,0 +1,105 @@
+"""Throughput-based machine model.
+
+The paper evaluates on Xeon hardware; our stand-in predicts block cost as
+the sum of per-node costs, with vector instructions priced at twice their
+inverse throughput (§6.2) and virtual shuffles priced by shape.  Reported
+"speedups" are ratios of model cycles, and "number of instructions" counts
+emitted nodes — the same two metrics Figure 2 tabulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.function import Function
+from repro.ir.instructions import Opcode
+from repro.machine.costs import CostModel, gather_cost
+from repro.vectorizer.vector_ir import (
+    VExtract,
+    VGather,
+    VLoad,
+    VNode,
+    VOp,
+    VScalar,
+    VStore,
+    VectorProgram,
+)
+
+
+@dataclass
+class ProgramCost:
+    """Cost breakdown of one program."""
+
+    total: float
+    scalar: float
+    vector_compute: float
+    memory: float
+    data_movement: float
+    num_nodes: int
+
+    def __repr__(self) -> str:
+        return (
+            f"ProgramCost(total={self.total:.1f}, "
+            f"nodes={self.num_nodes})"
+        )
+
+
+def scalar_function_cost(function: Function,
+                         model: Optional[CostModel] = None) -> float:
+    """Model cost of executing the scalar function as-is."""
+    model = model or CostModel()
+    return sum(model.scalar_cost(inst) for inst in function.entry)
+
+
+def node_cost(node: VNode, model: CostModel) -> float:
+    if isinstance(node, VLoad):
+        return model.c_vector_load
+    if isinstance(node, VStore):
+        return model.c_vector_store
+    if isinstance(node, VOp):
+        return node.inst.cost
+    if isinstance(node, VExtract):
+        return model.c_extract
+    if isinstance(node, VGather):
+        kind = node.classify()
+        if kind == "constant":
+            return model.c_vector_const
+        if kind == "undef":
+            return 0.0
+        if kind == "multi_source":
+            return model.c_two_source_shuffle * 2
+        return gather_cost(model, kind, node.num_scalar_sources)
+    if isinstance(node, VScalar):
+        return model.scalar_cost(node.inst)
+    raise TypeError(f"unknown node {node!r}")
+
+
+def program_cost(program: VectorProgram,
+                 model: Optional[CostModel] = None) -> ProgramCost:
+    model = model or CostModel()
+    scalar = vector = memory = movement = 0.0
+    nodes = 0
+    for node in program.nodes:
+        cost = node_cost(node, model)
+        if isinstance(node, VScalar):
+            scalar += cost
+            if node.inst.opcode != Opcode.GEP:
+                nodes += 1
+            continue
+        nodes += 1
+        if isinstance(node, (VLoad, VStore)):
+            memory += cost
+        elif isinstance(node, VOp):
+            vector += cost
+        else:
+            movement += cost
+    total = scalar + vector + memory + movement
+    return ProgramCost(total, scalar, vector, memory, movement, nodes)
+
+
+def speedup(baseline_cost: float, optimized_cost: float) -> float:
+    """Model-cycle speedup ratio (>1 means 'optimized' wins)."""
+    if optimized_cost <= 0:
+        return float("inf")
+    return baseline_cost / optimized_cost

@@ -1,0 +1,319 @@
+"""IR canonicalization — the reproduction's instcombine (§6).
+
+This pass is run (a) over every generated pattern function and (b) over the
+input program before matching, so that patterns and programs meet in a
+common normal form.  The load-bearing rewrites, per the paper, are
+comparison strictification (``x <= 1`` becomes ``x < 2``) — crucial for
+recognizing integer saturations — plus the usual constant folding,
+constant-to-RHS placement, and algebraic identities.
+
+The pass mutates the function in place and runs to a fixpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.function import Function, dead_code_eliminate
+from repro.ir.instructions import (
+    BinaryInst,
+    CastInst,
+    FCmpInst,
+    FCmpPred,
+    ICmpInst,
+    ICmpPred,
+    Instruction,
+    Opcode,
+    SelectInst,
+    COMMUTATIVE_OPS,
+)
+from repro.ir.interp import (
+    InterpError,
+    evaluate_cast,
+    evaluate_fcmp,
+    evaluate_float_binop,
+    evaluate_icmp,
+    evaluate_int_binop,
+)
+from repro.ir.types import IntType
+from repro.ir.values import Constant, Value
+from repro.utils.intmath import mask, to_signed
+
+_MAX_PASSES = 32
+
+
+def canonicalize_function(function: Function) -> int:
+    """Run rewrites to a fixpoint; returns the number of rewrites applied."""
+    total = 0
+    for _ in range(_MAX_PASSES):
+        changed = _run_once(function)
+        total += changed
+        if not changed:
+            break
+    dead_code_eliminate(function)
+    return total
+
+
+def _run_once(function: Function) -> int:
+    changed = 0
+    for inst in list(function.entry.instructions):
+        replacement = _simplify_inst(inst, function)
+        if replacement is not None and replacement is not inst:
+            inst.replace_all_uses_with(replacement)
+            changed += 1
+            continue
+        changed += _rewrite_in_place(inst)
+    return changed
+
+
+def _const(inst: Instruction) -> Optional[Constant]:
+    """Constant-fold an instruction whose operands are all constants."""
+    ops = inst.operands
+    if not ops or not all(isinstance(o, Constant) for o in ops):
+        return None
+    try:
+        if isinstance(inst, ICmpInst):
+            value = evaluate_icmp(inst.pred, ops[0].value, ops[1].value,
+                                  ops[0].type.width)
+        elif isinstance(inst, FCmpInst):
+            value = evaluate_fcmp(inst.pred, ops[0].value, ops[1].value)
+        elif isinstance(inst, SelectInst):
+            value = ops[1].value if ops[0].value else ops[2].value
+        elif inst.opcode == Opcode.FNEG:
+            value = -ops[0].value
+        elif isinstance(inst, CastInst):
+            value = evaluate_cast(inst.opcode, ops[0].value,
+                                  ops[0].type, inst.type)
+        elif inst.type.is_integer and len(ops) == 2:
+            value = evaluate_int_binop(inst.opcode, ops[0].value,
+                                       ops[1].value, inst.type.width)
+        elif inst.type.is_float and len(ops) == 2:
+            value = evaluate_float_binop(inst.opcode, ops[0].value,
+                                         ops[1].value, inst.type.width)
+        else:
+            return None
+    except InterpError:
+        return None
+    return Constant(inst.type, value)
+
+
+def _simplify_inst(inst: Instruction,
+                   function: Function) -> Optional[Value]:
+    """Rewrites that replace the instruction with an existing value."""
+    folded = _const(inst)
+    if folded is not None:
+        return folded
+    op = inst.opcode
+    ops = inst.operands
+    if isinstance(inst, BinaryInst) and inst.type.is_integer:
+        lhs, rhs = ops
+        rc = rhs if isinstance(rhs, Constant) else None
+        if rc is not None:
+            if op in (Opcode.ADD, Opcode.SUB, Opcode.XOR, Opcode.OR,
+                      Opcode.SHL, Opcode.LSHR, Opcode.ASHR) and rc.is_zero():
+                return lhs
+            if op == Opcode.MUL and rc.value == 1:
+                return lhs
+            if op == Opcode.MUL and rc.is_zero():
+                return rc
+            if op == Opcode.AND and rc.is_zero():
+                return rc
+            if op == Opcode.AND and rc.value == mask(-1, inst.type.width):
+                return lhs
+        if op in (Opcode.SUB, Opcode.XOR) and lhs is rhs:
+            return Constant(inst.type, 0)
+    if isinstance(inst, SelectInst):
+        if inst.true_value is inst.false_value:
+            return inst.true_value
+    if isinstance(inst, CastInst):
+        inner = ops[0]
+        if isinstance(inner, CastInst):
+            composed = _compose_casts(inst, inner)
+            if composed is not None:
+                return composed
+        if inst.opcode == Opcode.TRUNC:
+            if isinstance(inner, SelectInst):
+                # trunc(select(c, a, b)) -> select(c, trunc a, trunc b)
+                block = inst.parent
+                at = block.index_of(inst)
+                lo = CastInst(Opcode.TRUNC, inner.true_value, inst.type)
+                hi = CastInst(Opcode.TRUNC, inner.false_value, inst.type)
+                block.insert(at, lo)
+                block.insert(at + 1, hi)
+                new = SelectInst(inner.condition, lo, hi)
+                block.insert(at + 2, new)
+                return new
+            narrowed = _narrow(inner, inst.type, inst, depth=3)
+            if narrowed is not None:
+                return narrowed
+    return None
+
+
+_NARROWABLE = frozenset(
+    {Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.AND, Opcode.OR, Opcode.XOR}
+)
+
+
+def _narrow(value: Value, dest: IntType, before: Instruction,
+            depth: int) -> Optional[Value]:
+    """Demanded-bits narrowing: rebuild ``value`` at width ``dest`` if its
+    low bits are computable narrowly (LLVM's trunc(binop(ext, ext)) ->
+    binop rewrite, which reconciles C's integer promotions with
+    element-width instruction semantics).
+
+    New instructions are inserted before ``before``.  Returns None if the
+    value cannot be narrowed.
+    """
+    if isinstance(value, Constant):
+        return Constant(dest, value.value)
+    if isinstance(value, CastInst) and value.opcode in (Opcode.SEXT,
+                                                        Opcode.ZEXT):
+        src = value.operands[0]
+        if src.type.width == dest.width:
+            return src
+        if src.type.width < dest.width:
+            new = CastInst(value.opcode, src, dest)
+            before.parent.insert(before.parent.index_of(before), new)
+            return new
+        return None
+    if depth <= 0:
+        return None
+    if isinstance(value, BinaryInst) and value.opcode in _NARROWABLE:
+        lhs = _narrow(value.operands[0], dest, before, depth - 1)
+        if lhs is None:
+            return None
+        rhs = _narrow(value.operands[1], dest, before, depth - 1)
+        if rhs is None:
+            return None
+        new = BinaryInst(value.opcode, lhs, rhs)
+        before.parent.insert(before.parent.index_of(before), new)
+        return new
+    return None
+
+
+def _compose_casts(outer: CastInst, inner: CastInst) -> Optional[Value]:
+    """Fold cast-of-cast chains (trunc(sext(x)) and friends)."""
+    oo, io = outer.opcode, inner.opcode
+    src = inner.operands[0]
+    ext_ops = (Opcode.SEXT, Opcode.ZEXT)
+    if oo in ext_ops and io == oo:
+        new = CastInst(oo, src, outer.type)
+        outer.parent.insert(outer.parent.index_of(outer), new)
+        return new
+    if oo == Opcode.SEXT and io == Opcode.ZEXT:
+        new = CastInst(Opcode.ZEXT, src, outer.type)
+        outer.parent.insert(outer.parent.index_of(outer), new)
+        return new
+    if oo == Opcode.TRUNC and io in ext_ops:
+        if outer.type.width == src.type.width:
+            return src
+        if outer.type.width < src.type.width:
+            new = CastInst(Opcode.TRUNC, src, outer.type)
+            outer.parent.insert(outer.parent.index_of(outer), new)
+            return new
+        new = CastInst(io, src, outer.type)
+        outer.parent.insert(outer.parent.index_of(outer), new)
+        return new
+    return None
+
+
+def _rewrite_in_place(inst: Instruction) -> int:
+    """Rewrites that mutate the instruction (operand order, predicates)."""
+    changed = 0
+    # Constants to the RHS of commutative operations.
+    if isinstance(inst, BinaryInst) and inst.opcode in COMMUTATIVE_OPS:
+        lhs, rhs = inst.operands
+        if isinstance(lhs, Constant) and not isinstance(rhs, Constant):
+            inst.set_operand(0, rhs)
+            inst.set_operand(1, lhs)
+            changed += 1
+    if isinstance(inst, ICmpInst):
+        changed += _canonicalize_icmp(inst)
+    if isinstance(inst, FCmpInst):
+        lhs, rhs = inst.operands
+        if isinstance(lhs, Constant) and not isinstance(rhs, Constant):
+            inst.set_operand(0, rhs)
+            inst.set_operand(1, lhs)
+            inst.pred = FCmpPred.swapped(inst.pred)
+            changed += 1
+    return changed
+
+
+def _canonicalize_icmp(inst: ICmpInst) -> int:
+    changed = 0
+    lhs, rhs = inst.operands
+    # Constant to the RHS (with the predicate swapped).
+    if isinstance(lhs, Constant) and not isinstance(rhs, Constant):
+        inst.set_operand(0, rhs)
+        inst.set_operand(1, lhs)
+        inst.pred = ICmpPred.swapped(inst.pred)
+        changed += 1
+        lhs, rhs = inst.operands
+    # Strictify non-strict comparisons against constants: x <= C becomes
+    # x < C+1 (unless C is the extreme value).  This is the rewrite the
+    # paper calls "crucial for recognizing integer saturations".
+    if isinstance(rhs, Constant) and isinstance(inst.type, IntType):
+        width = rhs.type.width
+        value = rhs.value
+        signed_value = to_signed(value, width)
+        smax = (1 << (width - 1)) - 1
+        smin = -(1 << (width - 1))
+        umax = (1 << width) - 1
+        new_pred = None
+        new_value = None
+        if inst.pred == ICmpPred.SLE and signed_value != smax:
+            new_pred, new_value = ICmpPred.SLT, signed_value + 1
+        elif inst.pred == ICmpPred.SGE and signed_value != smin:
+            new_pred, new_value = ICmpPred.SGT, signed_value - 1
+        elif inst.pred == ICmpPred.ULE and value != umax:
+            new_pred, new_value = ICmpPred.ULT, value + 1
+        elif inst.pred == ICmpPred.UGE and value != 0:
+            new_pred, new_value = ICmpPred.UGT, value - 1
+        if new_pred is not None:
+            inst.pred = new_pred
+            inst.set_operand(1, Constant(rhs.type, new_value))
+            changed += 1
+    return changed
+
+
+def canonicalize_operation(operation, enabled: bool = True):
+    """Canonicalize a VIDL operation through the IR round trip.
+
+    Returns the canonicalized operation, or the original if ``enabled`` is
+    False or if canonicalization destroyed the parameter list (any dropped
+    parameter would break the lane bindings).
+    """
+    from repro.patterns.roundtrip import (
+    RoundTripError,
+    function_to_operation,
+    operation_to_function,
+    )
+
+    if not enabled:
+        return operation
+    fn = operation_to_function(operation)
+    canonicalize_function(fn)
+    try:
+        canonical = function_to_operation(fn)
+    except RoundTripError:
+        return operation
+    if canonical.params != operation.params:
+        return operation
+    if not _params_all_present(canonical):
+        return operation
+    return canonical
+
+
+def _params_all_present(operation) -> bool:
+    from repro.vidl.ast import OpExpr, OpParam
+
+    present = set()
+
+    def visit(expr: OpExpr) -> None:
+        if isinstance(expr, OpParam):
+            present.add(expr.index)
+        for child in expr.children():
+            visit(child)
+
+    visit(operation.expr)
+    return present == set(range(len(operation.params)))

@@ -1,0 +1,105 @@
+"""The match table (§4.3).
+
+VeGen "records the matched patterns in a match table, which records the
+mapping (live-out(m), operation(m)) -> m, for each match m", so the
+vectorization algorithm can enumerate candidate producers of any vector
+operand in O(1) per lane (Algorithm 1).
+
+Because commutativity can bind one (live-out, operation) pair several
+ways — and the binding decides operand lane order — each table cell holds
+the full list of alternative matches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.values import Value
+from repro.patterns.matcher import Match, match_operation
+from repro.vidl.ast import OpExpr, OpNode, Operation
+
+#: Operation key type (hashable structural identity).
+OpKey = Tuple
+
+
+def _root_signature(expr: OpExpr):
+    """Coarse index key so only plausible operations are tried per root."""
+    if isinstance(expr, OpNode):
+        return (expr.opcode, expr.type)
+    return None
+
+
+def _value_signature(value: Value):
+    if isinstance(value, Instruction):
+        opcode = value.opcode
+        if opcode in (Opcode.ICMP,):
+            return ("icmp", value.type)
+        if opcode in (Opcode.FCMP,):
+            return ("fcmp", value.type)
+        return (opcode, value.type)
+    return None
+
+
+class OperationIndex:
+    """The distinct canonical operations of a target, indexed by root shape."""
+
+    def __init__(self, operations: Iterable[Operation]):
+        self.operations: List[Operation] = []
+        self._by_key: Dict[OpKey, Operation] = {}
+        self._by_signature: Dict[object, List[Operation]] = {}
+        for op in operations:
+            self.add(op)
+
+    def add(self, operation: Operation) -> Operation:
+        key = operation.key()
+        existing = self._by_key.get(key)
+        if existing is not None:
+            return existing
+        self._by_key[key] = operation
+        self.operations.append(operation)
+        sig = _root_signature(operation.expr)
+        self._by_signature.setdefault(sig, []).append(operation)
+        return operation
+
+    def candidates_for(self, value: Value) -> List[Operation]:
+        return self._by_signature.get(_value_signature(value), [])
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+
+class MatchTable:
+    """All matches found in one function, keyed by (live-out, operation)."""
+
+    def __init__(self, function: Function, index: OperationIndex):
+        self.function = function
+        self.index = index
+        self._table: Dict[Tuple[int, OpKey], List[Match]] = {}
+        self._by_value: Dict[int, List[Match]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for inst in self.function.entry:
+            if not inst.has_result or inst.opcode in (Opcode.GEP,
+                                                      Opcode.LOAD):
+                continue
+            for operation in self.index.candidates_for(inst):
+                matches = match_operation(operation, inst)
+                if not matches:
+                    continue
+                key = (id(inst), operation.key())
+                self._table[key] = matches
+                self._by_value.setdefault(id(inst), []).extend(matches)
+
+    def lookup(self, value: Value, operation: Operation) -> List[Match]:
+        """All matches with the given live-out implementing ``operation``."""
+        return self._table.get((id(value), operation.key()), [])
+
+    def matches_for_value(self, value: Value) -> List[Match]:
+        return self._by_value.get(id(value), [])
+
+    @property
+    def num_matches(self) -> int:
+        return sum(len(v) for v in self._table.values())

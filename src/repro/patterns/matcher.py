@@ -1,0 +1,251 @@
+"""Compile-time pattern matching (§4.3).
+
+A *match* is an IR instruction DAG with (possibly) multiple live-ins and a
+single live-out, represented as (live-ins, live-out, operation).  The
+matcher is the runtime counterpart of the paper's generated
+``match_MADD_Op``-style functions (Figure 4c): it matches an operation's
+expression tree structurally against the def-use tree rooted at an IR
+value, handling
+
+* commutative binary operators (LLVM's ``m_c_*`` matchers),
+* comparisons with swapped operands and swapped predicates, and
+* ``select(cmp(a, b), x, y)`` with the comparison inverted and the select
+  arms exchanged (the extra matcher the paper generates for inverted
+  comparisons, §6).
+
+A single (value, operation) pair can match several ways (commutativity);
+all distinct bindings, up to a cap, are returned because operand lane
+order matters downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.ir.instructions import (
+    FCmpInst,
+    FCmpPred,
+    ICmpInst,
+    ICmpPred,
+    Instruction,
+    Opcode,
+    SelectInst,
+    COMMUTATIVE_OPS,
+)
+from repro.ir.values import Constant, Value, constants_equal
+from repro.vidl.ast import OpConst, OpExpr, OpNode, OpParam, Operation
+
+#: Cap on alternative bindings returned per (value, operation).
+MAX_MATCHES_PER_ROOT = 8
+
+
+@dataclass(frozen=True)
+class Match:
+    """A matched operation: ``(live-ins, live-out, operation)`` (§4.3)."""
+
+    operation: Operation
+    live_ins: Tuple[Value, ...]
+    live_out: Value
+    covered: Tuple[Instruction, ...]  # interior instructions incl. the root
+
+    def __repr__(self) -> str:
+        return (
+            f"Match({self.live_out.short_name()} <- "
+            f"{len(self.live_ins)} live-ins)"
+        )
+
+
+class _Bindings:
+    """Backtrackable parameter bindings and covered-instruction trail."""
+
+    __slots__ = ("params", "covered")
+
+    def __init__(self, num_params: int):
+        self.params: List[Optional[Value]] = [None] * num_params
+        self.covered: List[Instruction] = []
+
+    def snapshot(self):
+        return list(self.params), len(self.covered)
+
+    def restore(self, state) -> None:
+        params, depth = state
+        self.params = list(params)
+        del self.covered[depth:]
+
+
+def match_operation(operation: Operation, value: Value,
+                    max_matches: int = MAX_MATCHES_PER_ROOT) -> List[Match]:
+    """All distinct matches of ``operation`` rooted at ``value``."""
+    if operation.result_type != value.type:
+        return []
+    bindings = _Bindings(len(operation.params))
+    results: List[Match] = []
+    seen = set()
+    for _ in _match(operation.expr, value, bindings, root=True):
+        if any(p is None for p in bindings.params):
+            continue  # a parameter never bound: not a complete match
+        key = tuple(id(p) for p in bindings.params)
+        if key in seen:
+            continue
+        seen.add(key)
+        results.append(
+            Match(
+                operation,
+                tuple(bindings.params),  # type: ignore[arg-type]
+                value,
+                tuple(dict.fromkeys(bindings.covered)),
+            )
+        )
+        if len(results) >= max_matches:
+            break
+    return results
+
+
+def _match(expr: OpExpr, value: Value, bindings: _Bindings,
+           root: bool = False) -> Iterator[None]:
+    """Yield once per way ``expr`` matches ``value`` (with side-effecting,
+    backtrackable bindings)."""
+    if isinstance(expr, OpParam):
+        if value.type != expr.type:
+            return
+        bound = bindings.params[expr.index]
+        if bound is None:
+            bindings.params[expr.index] = value
+            yield
+            bindings.params[expr.index] = None
+        elif bound is value or constants_equal(bound, value):
+            yield
+        return
+    if isinstance(expr, OpConst):
+        if (
+            isinstance(value, Constant)
+            and value.type == expr.type
+            and value.value == expr.value
+        ):
+            yield
+        return
+    assert isinstance(expr, OpNode)
+    if isinstance(value, Constant):
+        # A constant can match sext(x)/zext(x) patterns when it has a
+        # preimage at the narrower width (LLVM's matchers fold constants
+        # through casts the same way; needed so pmaddwd can bind constant
+        # multiplier lanes, e.g. idct4's 83 and 36).
+        yield from _match_const_through_cast(expr, value, bindings)
+        return
+    if not isinstance(value, Instruction) or value.type != expr.type:
+        return
+    state = bindings.snapshot()
+    bindings.covered.append(value)
+    yield from _match_node(expr, value, bindings)
+    bindings.restore(state)
+
+
+def _match_const_through_cast(expr: OpNode, value: Constant,
+                              bindings: _Bindings) -> Iterator[None]:
+    from repro.ir.types import IntType
+    from repro.utils.intmath import mask, to_signed
+
+    if expr.opcode not in (Opcode.SEXT, Opcode.ZEXT):
+        return
+    if value.type != expr.type or not isinstance(value.type, IntType):
+        return
+    inner = expr.operands[0]
+    src_ty = inner.type
+    if not isinstance(src_ty, IntType):
+        return
+    if expr.opcode == Opcode.SEXT:
+        signed = to_signed(value.value, value.type.width)
+        lo = -(1 << (src_ty.width - 1))
+        hi = (1 << (src_ty.width - 1)) - 1
+        if not lo <= signed <= hi:
+            return
+        preimage = Constant(src_ty, signed)
+    else:
+        if value.value >= (1 << src_ty.width):
+            return
+        preimage = Constant(src_ty, value.value)
+    yield from _match(inner, preimage, bindings)
+
+
+def _match_node(expr: OpNode, value: Instruction,
+                bindings: _Bindings) -> Iterator[None]:
+    op = expr.opcode
+    if op == "select":
+        if not isinstance(value, SelectInst):
+            return
+        yield from _match_all(
+            expr.operands,
+            [value.condition, value.true_value, value.false_value],
+            bindings,
+        )
+        # Inverted comparison with exchanged arms.
+        cond = expr.operands[0]
+        if isinstance(cond, OpNode) and cond.opcode in ("icmp", "fcmp"):
+            inverted = OpNode(
+                cond.opcode,
+                cond.operands,
+                cond.type,
+                attr=(
+                    ICmpPred.inverted(cond.attr)
+                    if cond.opcode == "icmp"
+                    else FCmpPred.inverted(cond.attr)
+                ),
+            )
+            yield from _match_all(
+                [inverted, expr.operands[1], expr.operands[2]],
+                [value.condition, value.false_value, value.true_value],
+                bindings,
+            )
+        return
+    if op == "icmp":
+        if not isinstance(value, ICmpInst):
+            return
+        yield from _match_cmp(expr, value, value.pred,
+                              ICmpPred.swapped, bindings)
+        return
+    if op == "fcmp":
+        if not isinstance(value, FCmpInst):
+            return
+        yield from _match_cmp(expr, value, value.pred,
+                              FCmpPred.swapped, bindings)
+        return
+    if not isinstance(value, Instruction) or value.opcode != op:
+        return
+    operands = list(value.operands)
+    yield from _match_all(expr.operands, operands, bindings)
+    if op in COMMUTATIVE_OPS and len(operands) == 2:
+        yield from _match_all(expr.operands,
+                              [operands[1], operands[0]], bindings)
+
+
+def _match_cmp(expr: OpNode, value: Instruction, value_pred: str,
+               swapped, bindings: _Bindings) -> Iterator[None]:
+    lhs, rhs = value.operands
+    if value_pred == expr.attr:
+        yield from _match_all(expr.operands, [lhs, rhs], bindings)
+    if value_pred == swapped(expr.attr):
+        yield from _match_all(expr.operands, [rhs, lhs], bindings)
+
+
+def _match_all(exprs, values, bindings: _Bindings) -> Iterator[None]:
+    """Match a list of sub-patterns against a list of values, yielding once
+    per combination of sub-matches."""
+    if len(exprs) != len(values):
+        return
+
+    def recurse(i: int) -> Iterator[None]:
+        if i == len(exprs):
+            yield
+            return
+        for _ in _match(exprs[i], values[i], bindings):
+            yield from recurse(i + 1)
+
+    state = bindings.snapshot()
+    count = 0
+    for _ in recurse(0):
+        yield
+        count += 1
+        if count >= MAX_MATCHES_PER_ROOT * 4:
+            break
+    bindings.restore(state)

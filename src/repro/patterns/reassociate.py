@@ -1,0 +1,105 @@
+"""Reassociation of reduction chains into balanced trees.
+
+Clang at -O3 (and with -ffast-math, which the paper's evaluation uses for
+floats) reassociates left-leaning reduction chains::
+
+    (((a + b) + c) + d)   ->   (a + b) + (c + d)
+
+Balanced trees are what expose dot-product structure to the matchers:
+``pmaddwd``'s pattern is ``add(mul, mul)``, which a sequential
+accumulation chain never contains beyond its first link.  This pass is
+opt-in (``vectorize(..., reassociate=True)``) because integer overflow
+wraparound makes it semantics-preserving for integers but *not* for
+floats unless fast-math is assumed — mirroring the compiler flags of §7.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.function import Function, dead_code_eliminate
+from repro.ir.instructions import BinaryInst, Instruction, Opcode
+from repro.ir.values import Value
+
+#: Opcodes safe to reassociate: integer add/mul are associative in
+#: two's-complement; float ops require fast-math (caller's choice).
+_INT_ASSOCIATIVE = frozenset({Opcode.ADD, Opcode.MUL, Opcode.AND,
+                              Opcode.OR, Opcode.XOR})
+_FLOAT_ASSOCIATIVE = frozenset({Opcode.FADD, Opcode.FMUL})
+
+
+def reassociate_function(function: Function,
+                         fast_math: bool = True) -> int:
+    """Rebuild maximal single-use reduction chains as balanced trees.
+
+    Returns the number of chains rewritten.
+    """
+    allowed = _INT_ASSOCIATIVE | (_FLOAT_ASSOCIATIVE if fast_math
+                                  else frozenset())
+    rewritten = 0
+    for inst in list(function.entry.instructions):
+        if not isinstance(inst, BinaryInst) or inst.opcode not in allowed:
+            continue
+        if inst.parent is None:
+            continue  # already removed by an earlier rewrite
+        if _is_chain_interior(inst):
+            continue  # only rewrite at chain roots
+        leaves = _collect_leaves(inst, inst.opcode)
+        if len(leaves) < 4:
+            continue
+        balanced = _build_balanced(leaves, inst.opcode, function, inst)
+        if balanced is inst:
+            continue
+        inst.replace_all_uses_with(balanced)
+        rewritten += 1
+    dead_code_eliminate(function)
+    return rewritten
+
+
+def _is_chain_interior(inst: Instruction) -> bool:
+    """True if the instruction is a single-use link inside a same-opcode
+    chain (its root will handle it)."""
+    return (
+        inst.num_uses == 1
+        and isinstance(inst.uses[0], BinaryInst)
+        and inst.uses[0].opcode == inst.opcode
+    )
+
+
+def _collect_leaves(inst: Instruction, opcode: str) -> List[Value]:
+    """In-order leaves of the maximal single-use chain rooted here."""
+    leaves: List[Value] = []
+
+    def visit(value: Value) -> None:
+        if (
+            isinstance(value, BinaryInst)
+            and value.opcode == opcode
+            and value.num_uses == 1
+        ):
+            visit(value.operands[0])
+            visit(value.operands[1])
+        else:
+            leaves.append(value)
+
+    # The root itself may have several uses; recurse through operands.
+    visit(inst.operands[0])
+    visit(inst.operands[1])
+    return leaves
+
+
+def _build_balanced(leaves: List[Value], opcode: str, function: Function,
+                    before: Instruction) -> Value:
+    """Combine leaves pairwise, level by level, inserting before
+    ``before``."""
+    block = function.entry
+    level = list(leaves)
+    while len(level) > 1:
+        next_level: List[Value] = []
+        for i in range(0, len(level) - 1, 2):
+            combined = BinaryInst(opcode, level[i], level[i + 1])
+            block.insert(block.index_of(before), combined)
+            next_level.append(combined)
+        if len(level) % 2:
+            next_level.append(level[-1])
+        level = next_level
+    return level[0]

@@ -1,0 +1,102 @@
+"""Convert VIDL operations to scalar-IR functions and back.
+
+The paper's pattern canonicalizer (§6) "takes a pattern and generates an
+LLVM function that has the same signature as the operation", runs
+instcombine on it, and regenerates the pattern from the canonicalized IR.
+These two converters implement that round trip against our IR and
+canonicalization pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BINARY_OPS,
+    CAST_OPS,
+    FCmpInst,
+    ICmpInst,
+    Instruction,
+    Opcode,
+    RetInst,
+    SelectInst,
+    BinaryInst,
+    CastInst,
+)
+from repro.ir.values import Argument, Constant, Value
+from repro.vidl.ast import OpConst, OpExpr, OpNode, OpParam, Operation
+
+
+class RoundTripError(ValueError):
+    """Raised when an operation/function cannot be converted."""
+
+
+def operation_to_function(operation: Operation,
+                          name: str = "pattern") -> Function:
+    """Emit an IR function computing the operation over its parameters."""
+    args = [(f"x{i}", ty) for i, ty in enumerate(operation.params)]
+    fn = Function(name, args, operation.result_type)
+    builder = IRBuilder(fn)
+    root = _emit(operation.expr, fn, builder)
+    builder.ret(root)
+    return fn
+
+
+def _emit(expr: OpExpr, fn: Function, builder: IRBuilder) -> Value:
+    if isinstance(expr, OpParam):
+        return fn.args[expr.index]
+    if isinstance(expr, OpConst):
+        return Constant(expr.type, expr.value)
+    assert isinstance(expr, OpNode)
+    operands = [_emit(o, fn, builder) for o in expr.operands]
+    op = expr.opcode
+    if op == "select":
+        return builder.select(*operands)
+    if op == "icmp":
+        return builder.icmp(expr.attr, *operands)
+    if op == "fcmp":
+        return builder.fcmp(expr.attr, *operands)
+    if op == Opcode.FNEG:
+        return builder.fneg(operands[0])
+    if op in CAST_OPS:
+        return fn.entry.append(CastInst(op, operands[0], expr.type))
+    if op in BINARY_OPS:
+        return fn.entry.append(BinaryInst(op, operands[0], operands[1]))
+    raise RoundTripError(f"cannot emit operation node {op!r}")
+
+
+def function_to_operation(fn: Function) -> Operation:
+    """Rebuild an Operation from a straight-line function's return value.
+
+    Every argument must remain a (potential) leaf; arguments are mapped to
+    parameters in their original order so lane bindings stay valid.
+    """
+    ret = fn.entry.terminator
+    if not isinstance(ret, RetInst) or ret.return_value is None:
+        raise RoundTripError("pattern function must return a value")
+    params = tuple(a.type for a in fn.args)
+    index = {id(a): i for i, a in enumerate(fn.args)}
+    expr = _rebuild(ret.return_value, index)
+    return Operation(params, expr)
+
+
+def _rebuild(value: Value, index: Dict[int, int]) -> OpExpr:
+    if isinstance(value, Argument):
+        return OpParam(index[id(value)], value.type)
+    if isinstance(value, Constant):
+        return OpConst(value.value, value.type)
+    if not isinstance(value, Instruction):
+        raise RoundTripError(f"cannot rebuild from {value!r}")
+    operands = [_rebuild(o, index) for o in value.operands]
+    if isinstance(value, SelectInst):
+        return OpNode("select", operands, value.type)
+    if isinstance(value, ICmpInst):
+        return OpNode("icmp", operands, value.type, attr=value.pred)
+    if isinstance(value, FCmpInst):
+        return OpNode("fcmp", operands, value.type, attr=value.pred)
+    if value.opcode in BINARY_OPS or value.opcode in CAST_OPS or \
+            value.opcode == Opcode.FNEG:
+        return OpNode(value.opcode, operands, value.type)
+    raise RoundTripError(f"cannot rebuild from opcode {value.opcode!r}")

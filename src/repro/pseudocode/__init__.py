@@ -1,0 +1,43 @@
+"""Intel-documentation-style pseudocode language (§6.1 substitute for the
+Intrinsics Guide XML): lexer, parser, symbolic evaluator (to bitvector
+formulas), and an independent concrete interpreter used as the
+random-testing oracle."""
+
+from repro.pseudocode.ast import (
+    Assign,
+    BinExpr,
+    Call,
+    ElemKind,
+    Expr,
+    FNum,
+    ForStmt,
+    FuncDef,
+    IfStmt,
+    Num,
+    OutputSpec,
+    ParamSpec,
+    Ref,
+    ReturnStmt,
+    SliceExpr,
+    Spec,
+    Stmt,
+    UnExpr,
+)
+from repro.pseudocode.interp import run_spec
+from repro.pseudocode.lexer import PseudocodeSyntaxError, Token, tokenize
+from repro.pseudocode.parser import parse_spec, parse_statements
+from repro.pseudocode.symbolic import (
+    PseudocodeSemanticsError,
+    SymbolicResult,
+    SymValue,
+    evaluate_spec,
+)
+
+__all__ = [
+    "Assign", "BinExpr", "Call", "ElemKind", "Expr", "FNum", "ForStmt",
+    "FuncDef", "IfStmt", "Num", "OutputSpec", "ParamSpec", "Ref",
+    "ReturnStmt", "SliceExpr", "Spec", "Stmt", "UnExpr",
+    "run_spec", "PseudocodeSyntaxError", "Token", "tokenize",
+    "parse_spec", "parse_statements", "PseudocodeSemanticsError",
+    "SymbolicResult", "SymValue", "evaluate_spec",
+]

@@ -1,0 +1,169 @@
+"""AST for the Intel-documentation-style pseudocode language.
+
+Instruction semantics in this reproduction are written in the same style as
+Intel's Intrinsics Guide pseudocode (Figure 4a of the paper)::
+
+    pmaddwd(a: 4 x s16, b: 4 x s16) -> 2 x s32
+    FOR j := 0 to 1
+        i := j*32
+        dst[i+31:i] := SignExtend32(a[i+31:i+16]*b[i+31:i+16]) +
+                       SignExtend32(a[i+15:i]*b[i+15:i])
+    ENDFOR
+
+A *spec* is a signature (input registers with lane count, element width, and
+element kind) plus a statement list that assigns ``dst``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+class ElemKind:
+    """Element interpretation of a register's lanes."""
+
+    SIGNED = "s"
+    UNSIGNED = "u"
+    FLOAT = "f"
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One input register: ``name: lanes x kind width`` (e.g. ``a: 4 x s16``)."""
+
+    name: str
+    lanes: int
+    elem_width: int
+    kind: str  # ElemKind
+
+    @property
+    def total_width(self) -> int:
+        return self.lanes * self.elem_width
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.lanes} x {self.kind}{self.elem_width}"
+
+
+@dataclass(frozen=True)
+class OutputSpec:
+    """The output register shape: ``lanes x kind width``."""
+
+    lanes: int
+    elem_width: int
+    kind: str
+
+    @property
+    def total_width(self) -> int:
+        return self.lanes * self.elem_width
+
+
+# -- expressions ------------------------------------------------------------
+
+
+class Expr:
+    """Base class for pseudocode expressions."""
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class FNum(Expr):
+    value: float
+
+
+@dataclass(frozen=True)
+class Ref(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class SliceExpr(Expr):
+    """``name[hi:lo]`` — a bit slice of a register or temporary."""
+
+    name: str
+    hi: Expr
+    lo: Expr
+
+
+@dataclass(frozen=True)
+class BinExpr(Expr):
+    op: str  # one of: + - * / % << >> == != < <= > >= AND OR XOR
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class UnExpr(Expr):
+    op: str  # one of: - NOT
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    name: str
+    args: Tuple[Expr, ...]
+
+
+# -- statements ---------------------------------------------------------------
+
+
+class Stmt:
+    """Base class for pseudocode statements."""
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``x := e`` or ``x[hi:lo] := e``."""
+
+    target: Expr  # Ref or SliceExpr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class ForStmt(Stmt):
+    var: str
+    lo: Expr
+    hi: Expr  # inclusive, per Intel convention
+    body: Tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class IfStmt(Stmt):
+    cond: Expr
+    then_body: Tuple[Stmt, ...]
+    else_body: Tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class ReturnStmt(Stmt):
+    value: Expr
+
+
+@dataclass(frozen=True)
+class FuncDef:
+    """``DEFINE name(p1, p2) { ... RETURN e }`` — inlined at call sites."""
+
+    name: str
+    params: Tuple[str, ...]
+    body: Tuple[Stmt, ...]
+
+
+@dataclass
+class Spec:
+    """A complete instruction semantics specification."""
+
+    name: str
+    params: List[ParamSpec]
+    output: OutputSpec
+    body: List[Stmt]
+    functions: dict = field(default_factory=dict)  # name -> FuncDef
+
+    def param(self, name: str) -> ParamSpec:
+        for p in self.params:
+            if p.name == name:
+                return p
+        raise KeyError(f"{self.name}: no parameter {name!r}")

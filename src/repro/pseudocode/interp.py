@@ -1,0 +1,456 @@
+"""Concrete interpreter for the pseudocode language.
+
+This is a *deliberately independent* implementation of the language
+semantics from :mod:`repro.pseudocode.symbolic`: the test suite validates
+every translated instruction by running random inputs through both paths
+(§6.1: "We validated the SMT formulas by random testing"), so any semantic
+drift between the two is caught immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.pseudocode.ast import (
+    Assign,
+    BinExpr,
+    Call,
+    ElemKind,
+    Expr,
+    FNum,
+    ForStmt,
+    IfStmt,
+    Num,
+    Ref,
+    ReturnStmt,
+    SliceExpr,
+    Spec,
+    Stmt,
+    UnExpr,
+)
+from repro.pseudocode.symbolic import PseudocodeSemanticsError
+from repro.utils.fp import float_from_bits, float_to_bits, round_to_width
+from repro.utils.intmath import (
+    mask,
+    saturate_signed,
+    saturate_unsigned,
+    to_signed,
+)
+
+
+class CVal:
+    """A concrete value: integer payloads are *signed* Python ints of
+    unbounded precision tagged with a storage width; floats are Python
+    floats."""
+
+    __slots__ = ("value", "width", "kind")
+
+    def __init__(self, value, width: int, kind: str):
+        self.value = value
+        self.width = width
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return f"CVal({self.value}, w={self.width}, {self.kind})"
+
+
+Binding = Union[int, CVal]
+
+
+class _Return(Exception):
+    def __init__(self, value: Binding):
+        self.value = value
+
+
+def run_spec(spec: Spec, inputs: Dict[str, int]) -> int:
+    """Run a spec on concrete register values.
+
+    ``inputs`` maps each parameter name to its unsigned register payload.
+    Returns the unsigned payload of ``dst``.
+    """
+    interp = _Interpreter(spec)
+    return interp.run(inputs)
+
+
+class _Interpreter:
+    def __init__(self, spec: Spec):
+        self.spec = spec
+
+    def run(self, inputs: Dict[str, int]) -> int:
+        env: Dict[str, Binding] = {}
+        for p in self.spec.params:
+            if p.name not in inputs:
+                raise PseudocodeSemanticsError(f"missing input {p.name!r}")
+            payload = mask(inputs[p.name], p.total_width)
+            env[p.name] = CVal(
+                _bits_to_value(payload, p.total_width, p.kind),
+                p.total_width, p.kind,
+            )
+        out = self.spec.output
+        env["dst"] = CVal(0, out.total_width,
+                          out.kind if out.kind != ElemKind.FLOAT
+                          else ElemKind.UNSIGNED)
+        self._exec_stmts(self.spec.body, env)
+        dst = env["dst"]
+        assert isinstance(dst, CVal)
+        return _value_to_bits(dst)
+
+    # -- statements -----------------------------------------------------------
+
+    def _exec_stmts(self, stmts, env) -> None:
+        for stmt in stmts:
+            self._exec_stmt(stmt, env)
+
+    def _exec_stmt(self, stmt: Stmt, env: Dict[str, Binding]) -> None:
+        if isinstance(stmt, Assign):
+            self._exec_assign(stmt, env)
+        elif isinstance(stmt, ForStmt):
+            lo = self._index(stmt.lo, env)
+            hi = self._index(stmt.hi, env)
+            for value in range(lo, hi + 1):
+                env[stmt.var] = value
+                self._exec_stmts(stmt.body, env)
+        elif isinstance(stmt, IfStmt):
+            cond = self._eval(stmt.cond, env)
+            truthy = cond if isinstance(cond, int) else _truthy(cond)
+            self._exec_stmts(stmt.then_body if truthy else stmt.else_body,
+                             env)
+        elif isinstance(stmt, ReturnStmt):
+            raise _Return(self._eval(stmt.value, env))
+        else:
+            raise PseudocodeSemanticsError(f"unknown statement {stmt!r}")
+
+    def _exec_assign(self, stmt: Assign, env: Dict[str, Binding]) -> None:
+        value = self._eval(stmt.value, env)
+        if isinstance(stmt.target, Ref):
+            env[stmt.target.name] = value
+            return
+        target = stmt.target
+        assert isinstance(target, SliceExpr)
+        hi = self._index(target.hi, env)
+        lo = self._index(target.lo, env)
+        width = hi - lo + 1
+        cval = _as_cval(value)
+        bits = _coerce_bits(cval, width)
+        old = env.get(target.name)
+        if old is None:
+            old = CVal(0, hi + 1, ElemKind.UNSIGNED)
+        if not isinstance(old, CVal):
+            raise PseudocodeSemanticsError(
+                f"slice assignment to index variable {target.name!r}"
+            )
+        old_bits = _value_to_bits(old)
+        total = max(old.width, hi + 1)
+        cleared = old_bits & ~(((1 << width) - 1) << lo)
+        new_bits = cleared | (bits << lo)
+        env[target.name] = CVal(
+            _bits_to_value(new_bits, total,
+                           old.kind if old.kind != ElemKind.FLOAT
+                           else ElemKind.UNSIGNED),
+            total,
+            old.kind if old.kind != ElemKind.FLOAT else ElemKind.UNSIGNED,
+        )
+
+    # -- expressions --------------------------------------------------------------
+
+    def _index(self, expr: Expr, env: Dict[str, Binding]) -> int:
+        value = self._eval(expr, env)
+        if isinstance(value, int):
+            return value
+        if isinstance(value, CVal) and value.kind != ElemKind.FLOAT:
+            return value.value
+        raise PseudocodeSemanticsError(f"index expression is not an integer")
+
+    def _eval(self, expr: Expr, env: Dict[str, Binding]) -> Binding:
+        if isinstance(expr, Num):
+            return expr.value
+        if isinstance(expr, FNum):
+            return CVal(expr.value, 64, ElemKind.FLOAT)
+        if isinstance(expr, Ref):
+            if expr.name not in env:
+                raise PseudocodeSemanticsError(
+                    f"use of undefined variable {expr.name!r}"
+                )
+            return env[expr.name]
+        if isinstance(expr, SliceExpr):
+            return self._eval_slice(expr, env)
+        if isinstance(expr, UnExpr):
+            return self._eval_unary(expr, env)
+        if isinstance(expr, BinExpr):
+            return self._eval_binary(expr, env)
+        if isinstance(expr, Call):
+            return self._eval_call(expr, env)
+        raise PseudocodeSemanticsError(f"cannot evaluate {expr!r}")
+
+    def _eval_slice(self, expr: SliceExpr, env) -> CVal:
+        hi = self._index(expr.hi, env)
+        lo = self._index(expr.lo, env)
+        base = env.get(expr.name)
+        if base is None:
+            raise PseudocodeSemanticsError(
+                f"slice of undefined variable {expr.name!r}"
+            )
+        base = _as_cval(base)
+        width = hi - lo + 1
+        bits = (_value_to_bits(base) >> lo) & ((1 << width) - 1)
+        if base.kind == ElemKind.FLOAT or self._float_param_slice(
+            expr.name, width, lo
+        ):
+            if width not in (32, 64):
+                raise PseudocodeSemanticsError("bad float slice width")
+            return CVal(float_from_bits(bits, width), width, ElemKind.FLOAT)
+        kind = base.kind
+        return CVal(_bits_to_value(bits, width, kind), width, kind)
+
+    def _float_param_slice(self, name: str, width: int, lo: int) -> bool:
+        for p in self.spec.params:
+            if p.name == name:
+                return p.kind == ElemKind.FLOAT
+        return False
+
+    def _eval_unary(self, expr: UnExpr, env) -> Binding:
+        value = self._eval(expr.operand, env)
+        if isinstance(value, int):
+            return -value if expr.op == "-" else ~value
+        if expr.op == "-":
+            if value.kind == ElemKind.FLOAT:
+                return CVal(-value.value, value.width, ElemKind.FLOAT)
+            return CVal(-value.value, value.width + 1, ElemKind.SIGNED)
+        if expr.op == "NOT":
+            bits = _value_to_bits(value)
+            inverted = mask(~bits, value.width)
+            return CVal(_bits_to_value(inverted, value.width, value.kind),
+                        value.width, value.kind)
+        raise PseudocodeSemanticsError(f"unknown unary {expr.op!r}")
+
+    def _eval_binary(self, expr: BinExpr, env) -> Binding:
+        lhs = self._eval(expr.lhs, env)
+        rhs = self._eval(expr.rhs, env)
+        if isinstance(lhs, int) and isinstance(rhs, int):
+            return _int_index_binop(expr.op, lhs, rhs)
+        a, b = _as_cval(lhs), _as_cval(rhs)
+        if ElemKind.FLOAT in (a.kind, b.kind):
+            return _float_binop(expr.op, a, b)
+        return _int_binop(expr.op, a, b)
+
+    def _eval_call(self, expr: Call, env) -> Binding:
+        fn = self.spec.functions.get(expr.name)
+        if fn is not None:
+            local: Dict[str, Binding] = {}
+            for param, arg in zip(fn.params, expr.args):
+                local[param] = self._eval(arg, env)
+            try:
+                self._exec_stmts(fn.body, local)
+            except _Return as ret:
+                return ret.value
+            raise PseudocodeSemanticsError(f"{fn.name}: missing RETURN")
+        args = [self._eval(a, env) for a in expr.args]
+        return _builtin(expr.name, args)
+
+
+# -- value plumbing -----------------------------------------------------------
+
+
+def _bits_to_value(bits: int, width: int, kind: str):
+    if kind == ElemKind.FLOAT:
+        if width in (32, 64):
+            return float_from_bits(bits, width)
+        return bits  # whole multi-lane register: keep raw bits
+    if kind == ElemKind.SIGNED:
+        return to_signed(bits, width)
+    return bits
+
+
+def _value_to_bits(value: CVal) -> int:
+    if value.kind == ElemKind.FLOAT and isinstance(value.value, float):
+        return float_to_bits(round_to_width(value.value, value.width),
+                             value.width)
+    return mask(int(value.value), value.width)
+
+
+def _as_cval(value: Binding) -> CVal:
+    if isinstance(value, CVal):
+        return value
+    width = max(1, int(value).bit_length() + 1)
+    return CVal(int(value), width, ElemKind.SIGNED)
+
+
+def _truthy(value: CVal) -> bool:
+    if value.kind == ElemKind.FLOAT:
+        return value.value != 0.0
+    return value.value != 0
+
+
+def _coerce_bits(value: CVal, width: int) -> int:
+    """Slice-assignment coercion to an exact bit width."""
+    if value.kind == ElemKind.FLOAT:
+        if value.width != width and width in (32, 64):
+            return float_to_bits(round_to_width(value.value, width), width)
+        return _value_to_bits(value)
+    return mask(int(value.value), width)
+
+
+def _int_index_binop(op: str, lhs: int, rhs: int) -> int:
+    if op == "+":
+        return lhs + rhs
+    if op == "-":
+        return lhs - rhs
+    if op == "*":
+        return lhs * rhs
+    if op == "/":
+        return lhs // rhs
+    if op == "%":
+        return lhs % rhs
+    if op == "<<":
+        return lhs << rhs
+    if op == ">>":
+        return lhs >> rhs
+    if op == "==":
+        return int(lhs == rhs)
+    if op == "!=":
+        return int(lhs != rhs)
+    if op == "<":
+        return int(lhs < rhs)
+    if op == "<=":
+        return int(lhs <= rhs)
+    if op == ">":
+        return int(lhs > rhs)
+    if op == ">=":
+        return int(lhs >= rhs)
+    if op in ("AND", "OR", "XOR"):
+        return {"AND": lhs & rhs, "OR": lhs | rhs, "XOR": lhs ^ rhs}[op]
+    raise PseudocodeSemanticsError(f"unknown op {op!r}")
+
+
+def _int_binop(op: str, a: CVal, b: CVal) -> CVal:
+    signed = ElemKind.SIGNED in (a.kind, b.kind)
+    kind = ElemKind.SIGNED if signed else ElemKind.UNSIGNED
+    av, bv = int(a.value), int(b.value)
+    if op == "+":
+        return CVal(av + bv, max(a.width, b.width) + 1, kind)
+    if op == "-":
+        return CVal(av - bv, max(a.width, b.width) + 1, ElemKind.SIGNED)
+    if op == "*":
+        return CVal(av * bv, a.width + b.width, kind)
+    if op in ("/", "%"):
+        if bv == 0:
+            raise PseudocodeSemanticsError("division by zero")
+        quotient = int(av / bv) if signed else av // bv
+        if op == "/":
+            return CVal(quotient, max(a.width, b.width), kind)
+        return CVal(av - quotient * bv if signed else av % bv,
+                    max(a.width, b.width), kind)
+    if op in ("<<", ">>"):
+        # Same-width shifts (no widening), mirroring the symbolic semantics
+        # (and SMT-LIB's out-of-range behaviour: shl/lshr saturate to 0,
+        # ashr to the sign fill).
+        amt = mask(bv, a.width)
+        if op == "<<":
+            bits = mask(mask(av, a.width) << amt, a.width) \
+                if amt < a.width else 0
+            return CVal(_bits_to_value(bits, a.width, a.kind),
+                        a.width, a.kind)
+        if a.kind == ElemKind.SIGNED:
+            return CVal(av >> min(amt, a.width - 1), a.width, a.kind)
+        return CVal(mask(av, a.width) >> amt if amt < a.width else 0,
+                    a.width, a.kind)
+    if op in ("==", "!=", "<", "<=", ">", ">="):
+        result = _int_index_binop(op, av, bv)
+        return CVal(result, 1, ElemKind.UNSIGNED)
+    if op in ("AND", "OR", "XOR"):
+        width = max(a.width, b.width)
+        abits = mask(av, width)
+        bbits = mask(bv, width)
+        bits = {"AND": abits & bbits, "OR": abits | bbits,
+                "XOR": abits ^ bbits}[op]
+        return CVal(_bits_to_value(bits, width, kind), width, kind)
+    raise PseudocodeSemanticsError(f"unknown op {op!r}")
+
+
+def _float_binop(op: str, a: CVal, b: CVal) -> CVal:
+    if a.kind != ElemKind.FLOAT or b.kind != ElemKind.FLOAT:
+        raise PseudocodeSemanticsError(f"{op}: mixing float and int")
+    if a.width != b.width:
+        raise PseudocodeSemanticsError("float width mismatch")
+    av, bv = a.value, b.value
+    if op == "+":
+        return CVal(round_to_width(av + bv, a.width), a.width, a.kind)
+    if op == "-":
+        return CVal(round_to_width(av - bv, a.width), a.width, a.kind)
+    if op == "*":
+        return CVal(round_to_width(av * bv, a.width), a.width, a.kind)
+    if op == "/":
+        if bv == 0.0:
+            raise PseudocodeSemanticsError("float division by zero")
+        return CVal(round_to_width(av / bv, a.width), a.width, a.kind)
+    cmps = {"==": av == bv, "!=": av != bv, "<": av < bv,
+            "<=": av <= bv, ">": av > bv, ">=": av >= bv}
+    if op in cmps:
+        return CVal(int(cmps[op]), 1, ElemKind.UNSIGNED)
+    raise PseudocodeSemanticsError(f"{op!r} is not defined on floats")
+
+
+def _builtin(name: str, args: List[Binding]) -> CVal:
+    from repro.pseudocode.symbolic import _split_builtin
+
+    base, width = _split_builtin(name)
+    if base is None:
+        raise PseudocodeSemanticsError(f"unknown function {name!r}")
+    if base in ("SignExtend", "ZeroExtend", "Truncate"):
+        if width is None:
+            value, width = _as_cval(args[0]), int(_as_cval(args[1]).value)
+        else:
+            value = _as_cval(args[0])
+        bits = _value_to_bits(value)
+        if base == "SignExtend":
+            return CVal(to_signed(bits, value.width), width, ElemKind.SIGNED)
+        if base == "ZeroExtend":
+            return CVal(bits, width, ElemKind.UNSIGNED)
+        truncated = mask(bits, width)
+        return CVal(_bits_to_value(truncated, width, value.kind),
+                    width, value.kind)
+    if base == "Saturate":
+        value = _as_cval(args[0])
+        bits = saturate_signed(int(value.value), width)
+        return CVal(to_signed(bits, width), width, ElemKind.SIGNED)
+    if base == "SaturateU":
+        value = _as_cval(args[0])
+        return CVal(saturate_unsigned(int(value.value), width), width,
+                    ElemKind.UNSIGNED)
+    if base == "ABS":
+        value = _as_cval(args[0])
+        if value.kind == ElemKind.FLOAT:
+            return CVal(abs(value.value), value.width, value.kind)
+        return CVal(abs(int(value.value))
+                    if int(value.value) != -(1 << (value.width - 1))
+                    else int(value.value),
+                    value.width, ElemKind.SIGNED)
+    if base == "SELECT":
+        cond = _as_cval(args[0])
+        chosen = args[1] if _truthy(cond) else args[2]
+        return _as_cval(chosen)
+    if base in ("SIGNED", "UNSIGNED"):
+        value = _as_cval(args[0])
+        if value.kind == ElemKind.FLOAT:
+            raise PseudocodeSemanticsError(f"{base} on a float value")
+        bits = _value_to_bits(value)
+        kind = ElemKind.SIGNED if base == "SIGNED" else ElemKind.UNSIGNED
+        return CVal(_bits_to_value(bits, value.width, kind),
+                    value.width, kind)
+    if base in ("MIN", "MAX"):
+        a, b = _as_cval(args[0]), _as_cval(args[1])
+        pick_min = base == "MIN"
+        if ElemKind.FLOAT in (a.kind, b.kind):
+            # Mirror the symbolic semantics ``a < b ? a : b`` (resp. >) so
+            # NaN comparisons fall through to the second operand.
+            take_first = (a.value < b.value) if pick_min \
+                else (a.value > b.value)
+            return a if take_first else b
+        av, bv = int(a.value), int(b.value)
+        take_first = (av < bv) if pick_min else (av > bv)
+        chosen = a if take_first else b
+        width = max(a.width, b.width)
+        signed = ElemKind.SIGNED in (a.kind, b.kind)
+        kind = ElemKind.SIGNED if signed else ElemKind.UNSIGNED
+        return CVal(int(chosen.value), width, kind)
+    raise PseudocodeSemanticsError(f"unknown function {name!r}")

@@ -1,0 +1,77 @@
+"""Tokenizer for the pseudocode language."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+
+class PseudocodeSyntaxError(ValueError):
+    """Raised on malformed pseudocode."""
+
+
+KEYWORDS = {
+    "FOR", "TO", "ENDFOR", "IF", "ELSE", "FI", "DEFINE", "RETURN",
+    "AND", "OR", "XOR", "NOT",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t]+)
+  | (?P<comment>//[^\n]*|\#[^\n]*)
+  | (?P<newline>\n)
+  | (?P<float>\d+\.\d+)
+  | (?P<hex>0[xX][0-9a-fA-F]+)
+  | (?P<int>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op>:=|<<|>>|==|!=|<=|>=|->|[-+*/%()\[\]{}:,<>~])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'int' | 'float' | 'name' | 'kw' | 'op' | 'newline' | 'eof'
+    text: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split source into tokens; newlines are significant (statement ends)."""
+    tokens: List[Token] = []
+    line = 1
+    pos = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise PseudocodeSyntaxError(
+                f"line {line}: cannot tokenize {source[pos:pos + 10]!r}"
+            )
+        pos = m.end()
+        kind = m.lastgroup
+        text = m.group()
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "newline":
+            if tokens and tokens[-1].kind != "newline":
+                tokens.append(Token("newline", "\n", line))
+            line += 1
+            continue
+        if kind == "hex":
+            tokens.append(Token("int", str(int(text, 16)), line))
+            continue
+        if kind == "name":
+            upper = text.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("kw", upper, line))
+            else:
+                tokens.append(Token("name", text, line))
+            continue
+        tokens.append(Token(kind, text, line))
+    tokens.append(Token("eof", "", line))
+    return tokens

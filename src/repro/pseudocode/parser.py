@@ -1,0 +1,307 @@
+"""Recursive-descent parser for the pseudocode language."""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.pseudocode.ast import (
+    Assign,
+    BinExpr,
+    Call,
+    Expr,
+    FNum,
+    ForStmt,
+    FuncDef,
+    IfStmt,
+    Num,
+    OutputSpec,
+    ParamSpec,
+    Ref,
+    ReturnStmt,
+    SliceExpr,
+    Spec,
+    Stmt,
+    UnExpr,
+)
+from repro.pseudocode.lexer import PseudocodeSyntaxError, Token, tokenize
+
+_KIND_WIDTH_RE = re.compile(r"^(?P<kind>[suf])(?P<width>\d+)$")
+
+# Binary operator precedence, lowest first.
+_PRECEDENCE: List[Tuple[str, ...]] = [
+    ("OR",),
+    ("XOR",),
+    ("AND",),
+    ("==", "!=", "<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+# Newlines directly after these operator texts are line continuations.
+_CONTINUATION_OPS = {
+    ":=", "+", "-", "*", "/", "%", "<<", ">>", "==", "!=", "<=", ">=",
+    "<", ">", "(", "[", ",", "{",
+}
+_CONTINUATION_KWS = {"AND", "OR", "XOR", "NOT", "TO", "ELSE"}
+
+
+def _prepare(tokens: List[Token]) -> List[Token]:
+    """Drop newline tokens inside brackets or after a trailing operator."""
+    out: List[Token] = []
+    depth = 0
+    for tok in tokens:
+        if tok.kind == "op" and tok.text in "([{":
+            depth += 1
+        elif tok.kind == "op" and tok.text in ")]}":
+            depth = max(0, depth - 1)
+        if tok.kind == "newline":
+            if depth > 0:
+                continue
+            if out and out[-1].kind == "op" and out[-1].text in _CONTINUATION_OPS:
+                continue
+            if out and out[-1].kind == "kw" and out[-1].text in _CONTINUATION_KWS:
+                continue
+            if not out or out[-1].kind == "newline":
+                continue
+        out.append(tok)
+    return out
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = _prepare(tokens)
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.peek()
+        if not self.check(kind, text):
+            want = text or kind
+            raise PseudocodeSyntaxError(
+                f"line {tok.line}: expected {want!r}, got {tok.text!r}"
+            )
+        return self.advance()
+
+    def skip_newlines(self) -> None:
+        while self.accept("newline"):
+            pass
+
+    # -- spec ------------------------------------------------------------------
+
+    def parse_spec(self) -> Spec:
+        self.skip_newlines()
+        name = self.expect("name").text
+        self.expect("op", "(")
+        params: List[ParamSpec] = []
+        if not self.check("op", ")"):
+            while True:
+                params.append(self._parse_param())
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        self.expect("op", "->")
+        lanes, width, kind = self._parse_shape()
+        output = OutputSpec(lanes, width, kind)
+        self.expect("newline")
+        functions = {}
+        while True:
+            self.skip_newlines()
+            if self.check("kw", "DEFINE"):
+                fn = self._parse_funcdef()
+                functions[fn.name] = fn
+            else:
+                break
+        body = self._parse_stmts(until=("eof",))
+        self.expect("eof")
+        if not body:
+            raise PseudocodeSyntaxError(f"{name}: empty body")
+        return Spec(name, params, output, body, functions)
+
+    def _parse_param(self) -> ParamSpec:
+        name = self.expect("name").text
+        self.expect("op", ":")
+        lanes, width, kind = self._parse_shape()
+        return ParamSpec(name, lanes, width, kind)
+
+    def _parse_shape(self) -> Tuple[int, int, str]:
+        lanes = int(self.expect("int").text)
+        x = self.expect("name")
+        if x.text != "x":
+            raise PseudocodeSyntaxError(
+                f"line {x.line}: expected 'x' in shape, got {x.text!r}"
+            )
+        kw = self.expect("name")
+        m = _KIND_WIDTH_RE.match(kw.text)
+        if m is None:
+            raise PseudocodeSyntaxError(
+                f"line {kw.line}: bad element type {kw.text!r} "
+                "(expected e.g. s16, u8, f32)"
+            )
+        return lanes, int(m.group("width")), m.group("kind")
+
+    def _parse_funcdef(self) -> FuncDef:
+        self.expect("kw", "DEFINE")
+        name = self.expect("name").text
+        self.expect("op", "(")
+        params: List[str] = []
+        if not self.check("op", ")"):
+            while True:
+                params.append(self.expect("name").text)
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        self.expect("op", "{")
+        self.skip_newlines()
+        body = self._parse_stmts(until=("}",))
+        self.expect("op", "}")
+        return FuncDef(name, tuple(params), tuple(body))
+
+    # -- statements ----------------------------------------------------------------
+
+    def _parse_stmts(self, until: Tuple[str, ...]) -> List[Stmt]:
+        stmts: List[Stmt] = []
+        while True:
+            self.skip_newlines()
+            tok = self.peek()
+            if tok.kind == "eof" and "eof" in until:
+                break
+            if tok.kind == "op" and tok.text in until:
+                break
+            if tok.kind == "kw" and tok.text in until:
+                break
+            stmts.append(self._parse_stmt())
+        return stmts
+
+    def _parse_stmt(self) -> Stmt:
+        if self.check("kw", "FOR"):
+            return self._parse_for()
+        if self.check("kw", "IF"):
+            return self._parse_if()
+        if self.accept("kw", "RETURN"):
+            value = self._parse_expr()
+            return ReturnStmt(value)
+        target = self._parse_primary()
+        if not isinstance(target, (Ref, SliceExpr)):
+            raise PseudocodeSyntaxError("assignment target must be a "
+                                        "variable or slice")
+        self.expect("op", ":=")
+        value = self._parse_expr()
+        return Assign(target, value)
+
+    def _parse_for(self) -> ForStmt:
+        self.expect("kw", "FOR")
+        var = self.expect("name").text
+        self.expect("op", ":=")
+        lo = self._parse_expr()
+        self.expect("kw", "TO")
+        hi = self._parse_expr()
+        self.expect("newline")
+        body = self._parse_stmts(until=("ENDFOR",))
+        self.expect("kw", "ENDFOR")
+        return ForStmt(var, lo, hi, tuple(body))
+
+    def _parse_if(self) -> IfStmt:
+        self.expect("kw", "IF")
+        cond = self._parse_expr()
+        self.expect("newline")
+        then_body = self._parse_stmts(until=("ELSE", "FI"))
+        else_body: List[Stmt] = []
+        if self.accept("kw", "ELSE"):
+            else_body = self._parse_stmts(until=("FI",))
+        self.expect("kw", "FI")
+        return IfStmt(cond, tuple(then_body), tuple(else_body))
+
+    # -- expressions ------------------------------------------------------------------
+
+    def _parse_expr(self, level: int = 0) -> Expr:
+        if level >= len(_PRECEDENCE):
+            return self._parse_unary()
+        lhs = self._parse_expr(level + 1)
+        ops = _PRECEDENCE[level]
+        while True:
+            tok = self.peek()
+            text = tok.text
+            if tok.kind == "kw" and text in ops:
+                self.advance()
+            elif tok.kind == "op" and text in ops:
+                self.advance()
+            else:
+                return lhs
+            rhs = self._parse_expr(level + 1)
+            lhs = BinExpr(text, lhs, rhs)
+
+    def _parse_unary(self) -> Expr:
+        if self.accept("op", "-"):
+            return UnExpr("-", self._parse_unary())
+        if self.accept("op", "~") or self.accept("kw", "NOT"):
+            return UnExpr("NOT", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        tok = self.peek()
+        if tok.kind == "int":
+            self.advance()
+            return Num(int(tok.text))
+        if tok.kind == "float":
+            self.advance()
+            return FNum(float(tok.text))
+        if self.accept("op", "("):
+            expr = self._parse_expr()
+            self.expect("op", ")")
+            return expr
+        if tok.kind == "name":
+            self.advance()
+            name = tok.text
+            if self.accept("op", "("):
+                args: List[Expr] = []
+                if not self.check("op", ")"):
+                    while True:
+                        args.append(self._parse_expr())
+                        if not self.accept("op", ","):
+                            break
+                self.expect("op", ")")
+                return Call(name, tuple(args))
+            if self.accept("op", "["):
+                hi = self._parse_expr()
+                self.expect("op", ":")
+                lo = self._parse_expr()
+                self.expect("op", "]")
+                return SliceExpr(name, hi, lo)
+            return Ref(name)
+        raise PseudocodeSyntaxError(
+            f"line {tok.line}: unexpected token {tok.text!r}"
+        )
+
+
+def parse_spec(source: str) -> Spec:
+    """Parse a complete instruction spec from source text."""
+    return _Parser(tokenize(source)).parse_spec()
+
+
+def parse_statements(source: str) -> List[Stmt]:
+    """Parse a bare statement list (used by unit tests)."""
+    parser = _Parser(tokenize(source))
+    stmts = parser._parse_stmts(until=("eof",))
+    parser.expect("eof")
+    return stmts

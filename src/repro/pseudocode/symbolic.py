@@ -1,0 +1,669 @@
+"""Symbolic evaluation of pseudocode into bitvector formulas (§6.1).
+
+This implements the paper's translation from Intel-style pseudocode to SMT
+formulas, with our bitvector library standing in for z3:
+
+* every value is a bitvector; there are **no implicit overflows** — binary
+  operations widen their operands first (sign- or zero-extension chosen by
+  the operand's signedness), exactly as the paper describes;
+* assignments to bit slices are modeled as pure expressions producing the
+  concatenation of the unaffected sub-vectors and the updated sub-vector;
+* function calls are inlined;
+* ``FOR`` loops are unrolled (all trip counts are constants);
+* ``IF`` statements are if-converted: both branches run on copies of the
+  environment and every mutated binding is merged with an ``ite``.
+
+The result is one formula for ``dst`` over one free variable per input
+register, which ``repro.vidl.lift`` slices into per-lane operations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.bitvector import (
+    BVExpr,
+    BVVar,
+    bv_binary,
+    bv_concat,
+    bv_const,
+    bv_extract,
+    bv_ite,
+    bv_sext,
+    bv_trunc,
+    bv_var,
+    bv_zext,
+    simplify,
+)
+from repro.pseudocode.ast import (
+    Assign,
+    BinExpr,
+    Call,
+    ElemKind,
+    Expr,
+    FNum,
+    ForStmt,
+    FuncDef,
+    IfStmt,
+    Num,
+    Ref,
+    ReturnStmt,
+    SliceExpr,
+    Spec,
+    Stmt,
+    UnExpr,
+)
+from repro.utils.fp import float_to_bits
+
+
+class PseudocodeSemanticsError(ValueError):
+    """Raised when pseudocode cannot be evaluated symbolically."""
+
+
+class SymValue:
+    """A bitvector expression tagged with an element interpretation."""
+
+    __slots__ = ("expr", "kind")
+
+    def __init__(self, expr: BVExpr, kind: str):
+        self.expr = expr
+        self.kind = kind  # ElemKind
+
+    @property
+    def width(self) -> int:
+        return self.expr.width
+
+    def __repr__(self) -> str:
+        return f"SymValue({self.expr!r}, {self.kind})"
+
+
+Binding = Union[int, SymValue]
+
+
+class _NotConst(Exception):
+    pass
+
+
+class _Return(Exception):
+    def __init__(self, value: Binding):
+        self.value = value
+
+
+DST = "dst"
+_DST_INIT = "_dst_init"
+
+
+class SymbolicResult:
+    """Outcome of symbolically evaluating a spec."""
+
+    def __init__(self, spec: Spec, dst: BVExpr,
+                 inputs: Dict[str, BVVar]):
+        self.spec = spec
+        self.dst = dst
+        self.inputs = inputs
+
+    def references_uninitialized_output(self) -> bool:
+        from repro.bitvector import free_variables
+
+        return any(v.name == _DST_INIT for v in free_variables(self.dst))
+
+
+def evaluate_spec(spec: Spec) -> SymbolicResult:
+    """Symbolically evaluate a spec, returning the simplified dst formula."""
+    evaluator = SymbolicEvaluator(spec)
+    dst = evaluator.run()
+    return SymbolicResult(spec, simplify(dst), dict(evaluator.inputs))
+
+
+class SymbolicEvaluator:
+    def __init__(self, spec: Spec):
+        self.spec = spec
+        self.inputs: Dict[str, BVVar] = {
+            p.name: bv_var(p.name, p.total_width) for p in spec.params
+        }
+        self.env: Dict[str, Binding] = {}
+        for p in spec.params:
+            self.env[p.name] = SymValue(self.inputs[p.name], p.kind)
+        out_width = spec.output.total_width
+        self.env[DST] = SymValue(bv_var(_DST_INIT, out_width),
+                                 spec.output.kind)
+
+    def run(self) -> BVExpr:
+        self._exec_stmts(self.spec.body, self.env)
+        dst = self.env[DST]
+        assert isinstance(dst, SymValue)
+        return dst.expr
+
+    # -- statement execution ------------------------------------------------
+
+    def _exec_stmts(self, stmts, env: Dict[str, Binding]) -> None:
+        for stmt in stmts:
+            self._exec_stmt(stmt, env)
+
+    def _exec_stmt(self, stmt: Stmt, env: Dict[str, Binding]) -> None:
+        if isinstance(stmt, Assign):
+            self._exec_assign(stmt, env)
+        elif isinstance(stmt, ForStmt):
+            lo = self._const_eval(stmt.lo, env)
+            hi = self._const_eval(stmt.hi, env)
+            for value in range(lo, hi + 1):
+                env[stmt.var] = value
+                self._exec_stmts(stmt.body, env)
+        elif isinstance(stmt, IfStmt):
+            self._exec_if(stmt, env)
+        elif isinstance(stmt, ReturnStmt):
+            raise _Return(self._eval(stmt.value, env))
+        else:
+            raise PseudocodeSemanticsError(f"unknown statement {stmt!r}")
+
+    def _exec_assign(self, stmt: Assign, env: Dict[str, Binding]) -> None:
+        if isinstance(stmt.target, Ref):
+            name = stmt.target.name
+            # Pure index expressions stay concrete (e.g. ``i := j*32``).
+            try:
+                env[name] = self._const_eval(stmt.value, env)
+                return
+            except _NotConst:
+                pass
+            env[name] = self._to_sym(self._eval(stmt.value, env))
+            return
+        target = stmt.target
+        assert isinstance(target, SliceExpr)
+        hi = self._const_eval(target.hi, env)
+        lo = self._const_eval(target.lo, env)
+        if hi < lo:
+            raise PseudocodeSemanticsError(
+                f"slice [{hi}:{lo}] has hi < lo"
+            )
+        value = self._to_sym(self._eval(stmt.value, env))
+        coerced = _coerce_width(value, hi - lo + 1)
+        old = env.get(target.name)
+        if old is None:
+            old = SymValue(bv_const(0, hi + 1), ElemKind.UNSIGNED)
+        if not isinstance(old, SymValue):
+            raise PseudocodeSemanticsError(
+                f"slice assignment to index variable {target.name!r}"
+            )
+        env[target.name] = SymValue(
+            _splice(old.expr, hi, lo, coerced.expr), old.kind
+        )
+
+    def _exec_if(self, stmt: IfStmt, env: Dict[str, Binding]) -> None:
+        try:
+            cond = self._const_eval(stmt.cond, env)
+            self._exec_stmts(
+                stmt.then_body if cond else stmt.else_body, env
+            )
+            return
+        except _NotConst:
+            pass
+        cond_value = self._to_sym(self._eval(stmt.cond, env))
+        if cond_value.width != 1:
+            raise PseudocodeSemanticsError("IF condition must be 1 bit wide")
+        then_env = dict(env)
+        else_env = dict(env)
+        self._exec_stmts(stmt.then_body, then_env)
+        self._exec_stmts(stmt.else_body, else_env)
+        merged: Dict[str, Binding] = {}
+        for key in set(then_env) | set(else_env):
+            a = then_env.get(key)
+            b = else_env.get(key)
+            if a is None or b is None:
+                # A binding introduced in only one branch is dead after the
+                # merge unless the other branch defines it too.
+                continue
+            if a is b or (isinstance(a, int) and a == b):
+                merged[key] = a
+                continue
+            sa, sb = self._to_sym(a), self._to_sym(b)
+            width = max(sa.width, sb.width)
+            sa = _extend(sa, width)
+            sb = _extend(sb, width)
+            kind = sa.kind if sa.kind == sb.kind else ElemKind.SIGNED
+            merged[key] = SymValue(
+                bv_ite(cond_value.expr, sa.expr, sb.expr), kind
+            )
+        env.clear()
+        env.update(merged)
+
+    # -- expression evaluation --------------------------------------------------
+
+    def _const_eval(self, expr: Expr, env: Dict[str, Binding]) -> int:
+        """Evaluate a pure index expression to a Python int."""
+        if isinstance(expr, Num):
+            return expr.value
+        if isinstance(expr, Ref):
+            value = env.get(expr.name)
+            if isinstance(value, int):
+                return value
+            raise _NotConst()
+        if isinstance(expr, UnExpr) and expr.op == "-":
+            return -self._const_eval(expr.operand, env)
+        if isinstance(expr, BinExpr):
+            lhs = self._const_eval(expr.lhs, env)
+            rhs = self._const_eval(expr.rhs, env)
+            op = expr.op
+            if op == "+":
+                return lhs + rhs
+            if op == "-":
+                return lhs - rhs
+            if op == "*":
+                return lhs * rhs
+            if op == "/":
+                if rhs == 0:
+                    raise PseudocodeSemanticsError("index division by zero")
+                return lhs // rhs
+            if op == "%":
+                return lhs % rhs
+            if op == "<<":
+                return lhs << rhs
+            if op == ">>":
+                return lhs >> rhs
+            if op == "==":
+                return int(lhs == rhs)
+            if op == "!=":
+                return int(lhs != rhs)
+            if op == "<":
+                return int(lhs < rhs)
+            if op == "<=":
+                return int(lhs <= rhs)
+            if op == ">":
+                return int(lhs > rhs)
+            if op == ">=":
+                return int(lhs >= rhs)
+        raise _NotConst()
+
+    def _to_sym(self, value: Binding) -> SymValue:
+        if isinstance(value, SymValue):
+            return value
+        # A bare integer used in a bitvector context: signed constant of
+        # minimal width.
+        width = max(1, int(value).bit_length() + 1)
+        return SymValue(bv_const(value, width), ElemKind.SIGNED)
+
+    def _eval(self, expr: Expr, env: Dict[str, Binding]) -> Binding:
+        if isinstance(expr, Num):
+            return expr.value
+        if isinstance(expr, FNum):
+            # Float literals are only meaningful in f32/f64 contexts; encode
+            # as f64 bits and let the op coerce (rarely used).
+            return SymValue(
+                bv_const(float_to_bits(expr.value, 64), 64), ElemKind.FLOAT
+            )
+        if isinstance(expr, Ref):
+            value = env.get(expr.name)
+            if value is None:
+                raise PseudocodeSemanticsError(
+                    f"use of undefined variable {expr.name!r}"
+                )
+            return value
+        if isinstance(expr, SliceExpr):
+            return self._eval_slice(expr, env)
+        if isinstance(expr, UnExpr):
+            return self._eval_unary(expr, env)
+        if isinstance(expr, BinExpr):
+            return self._eval_binary(expr, env)
+        if isinstance(expr, Call):
+            return self._eval_call(expr, env)
+        raise PseudocodeSemanticsError(f"cannot evaluate {expr!r}")
+
+    def _eval_slice(self, expr: SliceExpr,
+                    env: Dict[str, Binding]) -> SymValue:
+        hi = self._const_eval(expr.hi, env)
+        lo = self._const_eval(expr.lo, env)
+        base = env.get(expr.name)
+        if base is None:
+            raise PseudocodeSemanticsError(
+                f"slice of undefined variable {expr.name!r}"
+            )
+        base = self._to_sym(base)
+        if hi >= base.width:
+            base = _extend(base, hi + 1)
+        kind = base.kind
+        if kind == ElemKind.FLOAT:
+            width = hi - lo + 1
+            if width not in (32, 64) or lo % width != 0:
+                raise PseudocodeSemanticsError(
+                    f"float slice [{hi}:{lo}] is not element aligned"
+                )
+        return SymValue(bv_extract(hi, lo, base.expr), kind)
+
+    def _eval_unary(self, expr: UnExpr,
+                    env: Dict[str, Binding]) -> Binding:
+        operand = self._eval(expr.operand, env)
+        if isinstance(operand, int):
+            if expr.op == "-":
+                return -operand
+            if expr.op == "NOT":
+                return ~operand
+        operand = self._to_sym(operand)
+        if expr.op == "-":
+            if operand.kind == ElemKind.FLOAT:
+                from repro.bitvector.expr import BVUnary
+
+                return SymValue(BVUnary("fneg", operand.expr), ElemKind.FLOAT)
+            widened = _extend(operand, operand.width + 1)
+            from repro.bitvector.expr import BVUnary
+
+            return SymValue(BVUnary("neg", widened.expr), ElemKind.SIGNED)
+        if expr.op == "NOT":
+            from repro.bitvector.expr import BVUnary
+
+            return SymValue(BVUnary("not", operand.expr), operand.kind)
+        raise PseudocodeSemanticsError(f"unknown unary op {expr.op!r}")
+
+    def _eval_binary(self, expr: BinExpr,
+                     env: Dict[str, Binding]) -> Binding:
+        try:
+            return self._const_eval(expr, env)
+        except _NotConst:
+            pass
+        lhs = self._eval(expr.lhs, env)
+        rhs = self._eval(expr.rhs, env)
+        return apply_binary(expr.op, self._to_sym(lhs), self._to_sym(rhs),
+                            self._const_shift(expr, env))
+
+    def _const_shift(self, expr: BinExpr,
+                     env: Dict[str, Binding]) -> Optional[int]:
+        if expr.op in ("<<", ">>"):
+            try:
+                return self._const_eval(expr.rhs, env)
+            except _NotConst:
+                return None  # per-lane variable shift (psrav and friends)
+        return None
+
+    # -- calls --------------------------------------------------------------------
+
+    def _eval_call(self, expr: Call, env: Dict[str, Binding]) -> Binding:
+        name = expr.name
+        fn = self.spec.functions.get(name)
+        if fn is not None:
+            return self._inline_call(fn, expr, env)
+        args = [self._eval(a, env) for a in expr.args]
+        return apply_builtin(
+            name, args, self._to_sym,
+            lambda e: self._const_eval(e, env), expr,
+        )
+
+    def _inline_call(self, fn: FuncDef, expr: Call,
+                     env: Dict[str, Binding]) -> Binding:
+        if len(fn.params) != len(expr.args):
+            raise PseudocodeSemanticsError(
+                f"{fn.name}: expected {len(fn.params)} args, "
+                f"got {len(expr.args)}"
+            )
+        local: Dict[str, Binding] = {}
+        for param, arg in zip(fn.params, expr.args):
+            local[param] = self._eval(arg, env)
+        try:
+            self._exec_stmts(fn.body, local)
+        except _Return as ret:
+            return ret.value
+        raise PseudocodeSemanticsError(f"{fn.name}: missing RETURN")
+
+
+# -- shared op semantics -------------------------------------------------------
+
+
+def _extend(value: SymValue, width: int) -> SymValue:
+    if width == value.width:
+        return value
+    if width < value.width:
+        raise PseudocodeSemanticsError("cannot narrow via extend")
+    if value.kind == ElemKind.FLOAT:
+        raise PseudocodeSemanticsError("cannot extend a float bit pattern")
+    if value.kind == ElemKind.SIGNED:
+        return SymValue(bv_sext(value.expr, width), value.kind)
+    return SymValue(bv_zext(value.expr, width), value.kind)
+
+
+def _coerce_width(value: SymValue, width: int) -> SymValue:
+    """Truncate or extend to an exact width (slice-assignment coercion)."""
+    if value.width == width:
+        return value
+    if value.width > width:
+        if value.kind == ElemKind.FLOAT:
+            raise PseudocodeSemanticsError("cannot truncate a float")
+        return SymValue(bv_trunc(value.expr, width), value.kind)
+    return _extend(value, width)
+
+
+def _splice(old: BVExpr, hi: int, lo: int, update: BVExpr) -> BVExpr:
+    """Concat of unaffected sub-vectors and the updated sub-vector (§6.1)."""
+    if hi >= old.width:
+        old = bv_zext(old, hi + 1)
+    parts: List[BVExpr] = []
+    if hi + 1 < old.width:
+        parts.append(bv_extract(old.width - 1, hi + 1, old))
+    parts.append(update)
+    if lo > 0:
+        parts.append(bv_extract(lo - 1, 0, old))
+    return bv_concat(parts)
+
+
+def apply_binary(op: str, lhs: SymValue, rhs: SymValue,
+                 shift_amount: Optional[int] = None) -> SymValue:
+    """The language's widening binary-operator semantics."""
+    float_side = ElemKind.FLOAT in (lhs.kind, rhs.kind)
+    if float_side:
+        return _apply_float_binary(op, lhs, rhs)
+    signed = ElemKind.SIGNED in (lhs.kind, rhs.kind)
+    kind = ElemKind.SIGNED if signed else ElemKind.UNSIGNED
+    if op in ("+", "-"):
+        width = max(lhs.width, rhs.width) + 1
+        result = bv_binary("add" if op == "+" else "sub",
+                           _extend(lhs, width).expr,
+                           _extend(rhs, width).expr)
+        return SymValue(result, ElemKind.SIGNED if op == "-" else kind)
+    if op == "*":
+        width = lhs.width + rhs.width
+        result = bv_binary("mul", _extend(lhs, width).expr,
+                           _extend(rhs, width).expr)
+        return SymValue(result, kind)
+    if op in ("/", "%"):
+        width = max(lhs.width, rhs.width)
+        opname = ("sdiv" if op == "/" else "srem") if signed else (
+            "udiv" if op == "/" else "urem")
+        result = bv_binary(opname, _extend(lhs, width).expr,
+                           _extend(rhs, width).expr)
+        return SymValue(result, kind)
+    if op in ("<<", ">>"):
+        # Shifts do not widen: they operate at the left operand's width
+        # (C semantics, and what scalar IR from C kernels looks like).
+        # Widen explicitly before shifting when the spec needs headroom.
+        if op == "<<":
+            opname = "shl"
+        else:
+            opname = "ashr" if lhs.kind == ElemKind.SIGNED else "lshr"
+        if shift_amount is not None:
+            amount = bv_const(min(shift_amount, lhs.width - 1)
+                              if opname == "ashr" else shift_amount,
+                              lhs.width)
+        else:
+            if rhs.width > lhs.width:
+                amount = bv_trunc(rhs.expr, lhs.width)
+            else:
+                amount = bv_zext(rhs.expr, lhs.width)
+        return SymValue(bv_binary(opname, lhs.expr, amount), lhs.kind)
+    if op in ("==", "!=", "<", "<=", ">", ">="):
+        # Same-kind operands compare at their common width (the width a C
+        # program compares at); mixed signedness needs one extra bit so the
+        # signed comparison is exact.
+        if lhs.kind == rhs.kind:
+            width = max(lhs.width, rhs.width)
+        else:
+            width = max(lhs.width, rhs.width) + 1
+        le, re_ = _extend(lhs, width).expr, _extend(rhs, width).expr
+        names = {
+            "==": "eq", "!=": "ne",
+            "<": "slt" if signed else "ult",
+            "<=": "sle" if signed else "ule",
+            ">": "sgt" if signed else "ugt",
+            ">=": "sge" if signed else "uge",
+        }
+        return SymValue(bv_binary(names[op], le, re_), ElemKind.UNSIGNED)
+    if op in ("AND", "OR", "XOR"):
+        width = max(lhs.width, rhs.width)
+        result = bv_binary(op.lower(), _extend(lhs, width).expr,
+                           _extend(rhs, width).expr)
+        return SymValue(result, kind)
+    raise PseudocodeSemanticsError(f"unknown binary op {op!r}")
+
+
+def _apply_float_binary(op: str, lhs: SymValue, rhs: SymValue) -> SymValue:
+    if lhs.kind != ElemKind.FLOAT or rhs.kind != ElemKind.FLOAT:
+        raise PseudocodeSemanticsError(
+            f"{op}: mixing float and integer operands"
+        )
+    if lhs.width != rhs.width:
+        raise PseudocodeSemanticsError(
+            f"{op}: float width mismatch {lhs.width} vs {rhs.width}"
+        )
+    arith = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+    if op in arith:
+        return SymValue(bv_binary(arith[op], lhs.expr, rhs.expr),
+                        ElemKind.FLOAT)
+    cmps = {"==": "oeq", "!=": "one", "<": "olt", "<=": "ole",
+            ">": "ogt", ">=": "oge"}
+    if op in cmps:
+        return SymValue(bv_binary(cmps[op], lhs.expr, rhs.expr),
+                        ElemKind.UNSIGNED)
+    raise PseudocodeSemanticsError(f"{op!r} is not defined on floats")
+
+
+_SUFFIXED = {"SignExtend": "s", "ZeroExtend": "u", "Truncate": "t",
+             "Saturate": "sat", "SaturateU": "usat"}
+
+
+def apply_builtin(name, args, to_sym, const_eval, call) -> SymValue:
+    """Dispatch a builtin function call (shared with the interpreter for
+    argument shape checking; semantics here are symbolic)."""
+    base, width = _split_builtin(name)
+    if base is None:
+        raise PseudocodeSemanticsError(f"unknown function {name!r}")
+    if base in ("SignExtend", "ZeroExtend", "Truncate"):
+        if width is None:
+            if len(args) != 2:
+                raise PseudocodeSemanticsError(f"{name} needs (value, width)")
+            width = const_eval(call.args[1])
+            args = args[:1]
+        (value,) = (to_sym(a) for a in args)
+        if base == "SignExtend":
+            return SymValue(bv_sext(value.expr, width), ElemKind.SIGNED)
+        if base == "ZeroExtend":
+            return SymValue(bv_zext(value.expr, width), ElemKind.UNSIGNED)
+        return SymValue(bv_trunc(value.expr, width), value.kind)
+    if base in ("Saturate", "SaturateU"):
+        if width is None:
+            raise PseudocodeSemanticsError(f"{name}: missing width suffix")
+        (value,) = (to_sym(a) for a in args)
+        return _saturate(value, width, signed=(base == "Saturate"))
+    if base == "ABS":
+        (value,) = (to_sym(a) for a in args)
+        return _abs(value)
+    if base in ("MIN", "MAX"):
+        a, b = (to_sym(x) for x in args)
+        return _min_max(a, b, is_min=(base == "MIN"))
+    if base == "SELECT":
+        cond, on_true, on_false = (to_sym(a) for a in args)
+        if cond.width != 1:
+            raise PseudocodeSemanticsError("Select condition must be 1 bit")
+        width = max(on_true.width, on_false.width)
+        a_ext = _extend(on_true, width) if on_true.kind != ElemKind.FLOAT \
+            else on_true
+        b_ext = _extend(on_false, width) if on_false.kind != ElemKind.FLOAT \
+            else on_false
+        kind = a_ext.kind if a_ext.kind == b_ext.kind else ElemKind.SIGNED
+        return SymValue(bv_ite(cond.expr, a_ext.expr, b_ext.expr), kind)
+    if base in ("SIGNED", "UNSIGNED"):
+        # Kind reinterpretation (no bit change): lets a spec request a
+        # signed comparison of zero-extended values, which is exactly what
+        # C's integer promotion of unsigned chars/shorts produces.
+        (value,) = (to_sym(a) for a in args)
+        kind = ElemKind.SIGNED if base == "SIGNED" else ElemKind.UNSIGNED
+        return SymValue(value.expr, kind)
+    raise PseudocodeSemanticsError(f"unknown function {name!r}")
+
+
+def _split_builtin(name: str) -> Tuple[Optional[str], Optional[int]]:
+    for base in ("SignExtend", "ZeroExtend", "Truncate", "SaturateU",
+                 "Saturate"):
+        if name.startswith(base):
+            suffix = name[len(base):]
+            if suffix == "":
+                return base, None
+            if suffix.isdigit():
+                return base, int(suffix)
+            return None, None
+    upper = name.upper()
+    if upper in ("ABS", "MIN", "MAX", "SIGNED", "UNSIGNED", "SELECT"):
+        return upper, None
+    return None, None
+
+
+def _saturate(value: SymValue, width: int, signed: bool) -> SymValue:
+    """Clamp a (signed) value into the signed/unsigned range of ``width``.
+
+    Per §6.1, unsigned saturation clamps the *signed* interpretation of its
+    input (the psubus lesson), so both variants compare sign-wise.
+    """
+    if value.kind == ElemKind.FLOAT:
+        raise PseudocodeSemanticsError("cannot saturate a float")
+    work = _extend(SymValue(value.expr, ElemKind.SIGNED),
+                   max(value.width, width + 2))
+    w = work.width
+    if signed:
+        hi = (1 << (width - 1)) - 1
+        lo = -(1 << (width - 1))
+    else:
+        hi = (1 << width) - 1
+        lo = 0
+    hi_c = bv_const(hi, w)
+    lo_c = bv_const(lo, w)
+    # Deliberately use non-strict comparisons (>= hi+1, <= lo-1), mirroring
+    # the z3 simplifier's preference for sle/sge in the paper's pipeline.
+    # Pattern canonicalization (§6) rewrites these to the strict forms LLVM
+    # IR uses; disabling it breaks saturation matching — the Figure 11
+    # ablation.
+    clamped = bv_ite(
+        bv_binary("sge", work.expr, bv_const(hi + 1, w)),
+        hi_c,
+        bv_ite(bv_binary("sle", work.expr, bv_const(lo - 1, w)),
+               lo_c, work.expr),
+    )
+    kind = ElemKind.SIGNED if signed else ElemKind.UNSIGNED
+    return SymValue(bv_trunc(clamped, width), kind)
+
+
+def _abs(value: SymValue) -> SymValue:
+    from repro.bitvector.expr import BVUnary
+
+    if value.kind == ElemKind.FLOAT:
+        zero = bv_const(float_to_bits(0.0, value.width), value.width)
+        return SymValue(
+            bv_ite(bv_binary("olt", value.expr, zero),
+                   BVUnary("fneg", value.expr), value.expr),
+            ElemKind.FLOAT,
+        )
+    zero = bv_const(0, value.width)
+    return SymValue(
+        bv_ite(bv_binary("slt", value.expr, zero),
+               BVUnary("neg", value.expr), value.expr),
+        ElemKind.SIGNED,
+    )
+
+
+def _min_max(a: SymValue, b: SymValue, is_min: bool) -> SymValue:
+    if ElemKind.FLOAT in (a.kind, b.kind):
+        if a.kind != b.kind or a.width != b.width:
+            raise PseudocodeSemanticsError("MIN/MAX float operand mismatch")
+        cmp = bv_binary("olt" if is_min else "ogt", a.expr, b.expr)
+        return SymValue(bv_ite(cmp, a.expr, b.expr), ElemKind.FLOAT)
+    signed = ElemKind.SIGNED in (a.kind, b.kind)
+    width = max(a.width, b.width)
+    ae, be = _extend(a, width), _extend(b, width)
+    op = ("slt" if signed else "ult") if is_min else (
+        "sgt" if signed else "ugt")
+    kind = ElemKind.SIGNED if signed else ElemKind.UNSIGNED
+    return SymValue(bv_ite(bv_binary(op, ae.expr, be.expr),
+                           ae.expr, be.expr), kind)

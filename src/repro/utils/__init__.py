@@ -1,0 +1,27 @@
+"""Shared low-level helpers used across the repro packages."""
+
+from repro.utils.intmath import (
+    mask,
+    to_signed,
+    to_unsigned,
+    sign_extend,
+    zero_extend,
+    truncate,
+    saturate_signed,
+    saturate_unsigned,
+)
+from repro.utils.fp import round_to_float32, float_from_bits, float_to_bits
+
+__all__ = [
+    "mask",
+    "to_signed",
+    "to_unsigned",
+    "sign_extend",
+    "zero_extend",
+    "truncate",
+    "saturate_signed",
+    "saturate_unsigned",
+    "round_to_float32",
+    "float_from_bits",
+    "float_to_bits",
+]

@@ -1,0 +1,57 @@
+"""IEEE-754 helpers for the interpreters.
+
+Float lanes are stored as Python floats.  32-bit lanes are rounded through
+IEEE binary32 after every operation so that the scalar interpreter, the
+pseudocode interpreter, and the VIDL interpreter all agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import struct
+
+
+def round_to_float32(value: float) -> float:
+    """Round a Python float (binary64) to the nearest binary32 value.
+
+    Values outside the binary32 range overflow to infinity, per IEEE-754
+    round-to-nearest (struct.pack raises on those, so clamp first).
+    """
+    if value != value or value in (float("inf"), float("-inf")):
+        return value
+    if value >= _FLOAT32_MAX_ROUND:
+        return float("inf")
+    if value <= -_FLOAT32_MAX_ROUND:
+        return float("-inf")
+    return struct.unpack("<f", struct.pack("<f", value))[0]
+
+
+# Largest double that rounds to a finite binary32 (midpoint of f32 max and
+# the next representable step).
+_FLOAT32_MAX_ROUND = (2.0 - 2.0 ** -24) * 2.0 ** 127
+
+
+def round_to_width(value: float, width: int) -> float:
+    """Round ``value`` to the float format of the given bit width (32/64)."""
+    if width == 32:
+        return round_to_float32(value)
+    if width == 64:
+        return float(value)
+    raise ValueError(f"unsupported float width: {width}")
+
+
+def float_to_bits(value: float, width: int) -> int:
+    """Reinterpret a float as its unsigned bit pattern."""
+    if width == 32:
+        return struct.unpack("<I", struct.pack("<f", value))[0]
+    if width == 64:
+        return struct.unpack("<Q", struct.pack("<d", value))[0]
+    raise ValueError(f"unsupported float width: {width}")
+
+
+def float_from_bits(bits: int, width: int) -> float:
+    """Reinterpret an unsigned bit pattern as a float."""
+    if width == 32:
+        return struct.unpack("<f", struct.pack("<I", bits))[0]
+    if width == 64:
+        return struct.unpack("<d", struct.pack("<Q", bits))[0]
+    raise ValueError(f"unsupported float width: {width}")

@@ -1,0 +1,74 @@
+"""Two's-complement fixed-width integer arithmetic helpers.
+
+Every integer value in the reproduction (scalar IR interpreter, bitvector
+evaluator, pseudocode interpreter, VIDL interpreter) is stored as an
+*unsigned* Python int in ``[0, 2**width)``.  Signedness is a property of the
+operation, not the value, exactly as in LLVM IR and in SMT bitvector
+semantics.  These helpers implement the conversions.
+"""
+
+from __future__ import annotations
+
+
+def mask(value: int, width: int) -> int:
+    """Wrap ``value`` to an unsigned ``width``-bit integer."""
+    return value & ((1 << width) - 1)
+
+
+def to_signed(value: int, width: int) -> int:
+    """Interpret an unsigned ``width``-bit integer as two's complement."""
+    value = mask(value, width)
+    if value >= 1 << (width - 1):
+        return value - (1 << width)
+    return value
+
+
+def to_unsigned(value: int, width: int) -> int:
+    """Interpret a possibly-negative Python int as unsigned ``width``-bit."""
+    return mask(value, width)
+
+
+def sign_extend(value: int, from_width: int, to_width: int) -> int:
+    """Sign-extend an unsigned ``from_width``-bit value to ``to_width`` bits."""
+    if to_width < from_width:
+        raise ValueError(
+            f"cannot sign-extend from {from_width} to narrower {to_width}"
+        )
+    return mask(to_signed(value, from_width), to_width)
+
+
+def zero_extend(value: int, from_width: int, to_width: int) -> int:
+    """Zero-extend an unsigned ``from_width``-bit value to ``to_width`` bits."""
+    if to_width < from_width:
+        raise ValueError(
+            f"cannot zero-extend from {from_width} to narrower {to_width}"
+        )
+    return mask(value, from_width)
+
+
+def truncate(value: int, to_width: int) -> int:
+    """Truncate a value to its low ``to_width`` bits."""
+    return mask(value, to_width)
+
+
+def saturate_signed(value: int, width: int) -> int:
+    """Clamp a (signed, arbitrary-precision) value into signed ``width``-bit
+    range and return the unsigned representation."""
+    lo = -(1 << (width - 1))
+    hi = (1 << (width - 1)) - 1
+    if value < lo:
+        value = lo
+    elif value > hi:
+        value = hi
+    return mask(value, width)
+
+
+def saturate_unsigned(value: int, width: int) -> int:
+    """Clamp a (signed, arbitrary-precision) value into unsigned ``width``-bit
+    range."""
+    hi = (1 << width) - 1
+    if value < 0:
+        return 0
+    if value > hi:
+        return hi
+    return value

@@ -1,0 +1,58 @@
+"""The target-independent vectorizer (§4.4, §4.5, §5): packs, producer
+enumeration (Algorithm 1), seed enumeration (Figure 8), the SLP-heuristic
+cost recurrence (Figure 7), beam search (Figure 9), and code generation."""
+
+from repro.vectorizer.beam import BeamSearch, select_packs
+from repro.vectorizer.codegen import CodegenError, generate
+from repro.vectorizer.context import VectorizationContext, VectorizerConfig
+from repro.vectorizer.pack import (
+    ComputePack,
+    InvalidPack,
+    LoadPack,
+    Pack,
+    StorePack,
+    operand_key,
+    pack_depends_on,
+    packs_independent,
+)
+from repro.vectorizer.pipeline import (
+    VectorizationResult,
+    clone_function,
+    scalar_program,
+    vectorize,
+)
+from repro.vectorizer.producers import producers_for_operand
+from repro.vectorizer.report import render_report
+from repro.vectorizer.seeds import (
+    AffinityEstimator,
+    AffinityParams,
+    affinity_seed_tuples,
+    store_seed_packs,
+)
+from repro.vectorizer.slp import SLPCostEstimator
+from repro.vectorizer.vector_ir import (
+    ElementSource,
+    VExtract,
+    VGather,
+    VLoad,
+    VNode,
+    VOp,
+    VScalar,
+    VStore,
+    VectorProgram,
+)
+
+__all__ = [
+    "BeamSearch", "select_packs", "CodegenError", "generate",
+    "VectorizationContext", "VectorizerConfig",
+    "ComputePack", "InvalidPack", "LoadPack", "Pack", "StorePack",
+    "operand_key", "pack_depends_on", "packs_independent",
+    "VectorizationResult", "clone_function", "scalar_program", "vectorize",
+    "producers_for_operand",
+    "render_report",
+    "AffinityEstimator", "AffinityParams", "affinity_seed_tuples",
+    "store_seed_packs",
+    "SLPCostEstimator",
+    "ElementSource", "VExtract", "VGather", "VLoad", "VNode", "VOp",
+    "VScalar", "VStore", "VectorProgram",
+]

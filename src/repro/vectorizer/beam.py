@@ -1,0 +1,655 @@
+"""Pack selection by beam search over the Figure 9 recurrence (§5.2).
+
+A search state is the tuple ``(V, S, F)``:
+
+* ``V`` — vector operands still to produce,
+* ``S`` — scalar values still to produce (stores are included but never
+  pay extraction costs),
+* ``F`` — free instructions not yet decided.
+
+Edges either add a pack (a producer of some ``v in V``, a store-seed
+pack, or an affinity-seed pack) or fix an instruction as scalar; both are
+legal only once every user of the affected values has been decided, which
+is what keeps the final pack set acyclic.  Transition costs are the
+non-recursive terms of Figure 9; states are ranked by ``g + h`` where the
+heuristic ``h`` sums the Figure 7 SLP costs of ``V`` and the scalar slice
+costs of ``S``.
+
+Beam width 1 *is* the SLP heuristic; larger widths let the search keep
+costly-but-ultimately-profitable packs alive (the idct4 shuffles of
+Figure 12).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.ir.instructions import Instruction, StoreInst, RetInst
+from repro.ir.values import Argument, Constant
+from repro.vectorizer.context import VectorizationContext
+from repro.vectorizer.pack import (
+    OperandVector,
+    Pack,
+    operand_key,
+)
+from repro.vectorizer.producers import producers_for_operand
+from repro.vectorizer.seeds import affinity_seed_tuples, store_seed_packs
+from repro.vectorizer.slp import INFINITY, SLPCostEstimator
+from repro.vidl.interp import DONT_CARE
+
+
+@dataclass(frozen=True)
+class SearchState:
+    operand_keys: FrozenSet[Tuple]   # V (keys into the operand registry)
+    scalar_bits: int                 # S as an instruction bitset
+    free_bits: int                   # F as an instruction bitset
+    packs: Tuple[Pack, ...]
+    g: float
+
+    def identity(self) -> Tuple:
+        return (self.operand_keys, self.scalar_bits, self.free_bits)
+
+    @property
+    def solved(self) -> bool:
+        return not self.operand_keys and self.scalar_bits == 0
+
+
+class BeamSearch:
+    def __init__(self, ctx: VectorizationContext):
+        self.ctx = ctx
+        self.model = ctx.cost_model
+        self.estimator = SLPCostEstimator(ctx)
+        dg = ctx.dep_graph
+        self._index = dg.index
+        self._instructions = dg.instructions
+        self._users_bits = self._compute_users_bits()
+        self._operand_registry: Dict[Tuple, OperandVector] = {}
+        self._operand_order: Dict[Tuple, int] = {}
+        self._operand_bits_cache: Dict[Tuple, int] = {}
+        self._seed_packs = self._enumerate_seed_packs()
+
+    # -- setup -------------------------------------------------------------
+
+    def _compute_users_bits(self) -> List[int]:
+        bits = [0] * len(self._instructions)
+        dg = self.ctx.dep_graph
+        for inst in self._instructions:
+            if isinstance(inst, RetInst):
+                continue
+            i = dg.index(inst)
+            for op in inst.operands:
+                if dg.contains(op):
+                    bits[dg.index(op)] |= 1 << i
+        return bits
+
+    def _enumerate_seed_packs(self) -> List[Pack]:
+        seeds: List[Pack] = list(store_seed_packs(self.ctx))
+        seen = {p.key() for p in seeds}
+        for seed_tuple in affinity_seed_tuples(self.ctx):
+            for pack in producers_for_operand(tuple(seed_tuple), self.ctx):
+                key = pack.key()
+                if key not in seen:
+                    seen.add(key)
+                    seeds.append(pack)
+        return seeds
+
+    # -- bitset helpers ------------------------------------------------------------
+
+    def _bits_of_values(self, values) -> int:
+        dg = self.ctx.dep_graph
+        bits = 0
+        for value in values:
+            if value is None or value is DONT_CARE:
+                continue
+            if isinstance(value, (Constant, Argument)):
+                continue
+            if dg.contains(value):
+                bits |= 1 << dg.index(value)
+        return bits
+
+    def _operand_bits(self, operand: OperandVector) -> int:
+        key = operand_key(operand)
+        bits = self._operand_bits_cache.get(key)
+        if bits is None:
+            bits = self._bits_of_values(operand)
+            self._operand_bits_cache[key] = bits
+        return bits
+
+    def _register_operand(self, operand: OperandVector) -> Tuple:
+        key = operand_key(operand)
+        if key not in self._operand_registry:
+            self._operand_registry[key] = operand
+            self._operand_order[key] = len(self._operand_order)
+        return key
+
+    def _sorted_keys(self, keys):
+        # Deterministic, registration-ordered iteration (frozenset order
+        # varies with hash values and must never influence the search).
+        return sorted(keys, key=lambda k: self._operand_order.get(k, 0))
+
+    # -- initial state -----------------------------------------------------------------
+
+    def initial_state(self) -> SearchState:
+        free = 0
+        scalars = 0
+        dg = self.ctx.dep_graph
+        for inst in self._instructions:
+            if isinstance(inst, RetInst):
+                continue
+            free |= 1 << dg.index(inst)
+            if isinstance(inst, StoreInst):
+                scalars |= 1 << dg.index(inst)
+        terminator = self.ctx.function.entry.terminator
+        if isinstance(terminator, RetInst) and \
+                terminator.return_value is not None and \
+                dg.contains(terminator.return_value):
+            scalars |= 1 << dg.index(terminator.return_value)
+        return SearchState(frozenset(), scalars, free, (), 0.0)
+
+    # -- transitions -------------------------------------------------------------------
+
+    def expand(self, state: SearchState) -> List[SearchState]:
+        children: List[SearchState] = []
+        seen_packs = set()
+        limit = self.ctx.config.max_transitions_per_state
+
+        candidate_packs: List[Pack] = []
+        for key in self._sorted_keys(state.operand_keys):
+            operand = self._operand_registry[key]
+            candidate_packs.extend(producers_for_operand(operand, self.ctx))
+            candidate_packs.extend(self._load_packs_for(operand))
+            candidate_packs.extend(self._subtuple_packs_for(operand))
+        candidate_packs.extend(self._seed_packs)
+
+        for pack in candidate_packs:
+            if len(children) >= limit:
+                break
+            pkey = pack.key()
+            if pkey in seen_packs:
+                continue
+            seen_packs.add(pkey)
+            child = self._apply_pack(state, pack)
+            if child is not None:
+                children.append(child)
+
+        for index in self._scalar_fix_candidates(state):
+            if len(children) >= limit:
+                break
+            children.append(self._apply_scalar_fix(state, index))
+        return children
+
+    def _load_packs_for(self, operand: OperandVector) -> List[Pack]:
+        """Vector loads covering an operand's load elements even when the
+        operand is a permutation, duplication, or interleaving of them —
+        the gather then becomes a cheap one- or two-source shuffle (the
+        vpunpck pattern of Figure 12)."""
+        from repro.ir.instructions import LoadInst, pointer_base_and_offset
+        from repro.vectorizer.pack import InvalidPack, LoadPack
+
+        by_base: Dict[int, Dict[int, object]] = {}
+        for element in operand:
+            if not isinstance(element, LoadInst):
+                continue
+            base, offset = pointer_base_and_offset(element.pointer)
+            if base is None:
+                continue
+            by_base.setdefault(id(base), {})[offset] = element
+        packs: List[Pack] = []
+        for offsets_map in by_base.values():
+            offsets = sorted(offsets_map)
+            run: List[object] = []
+            prev = None
+            for offset in offsets + [None]:
+                if prev is not None and offset == prev + 1:
+                    run.append(offsets_map[offset])
+                else:
+                    if len(run) >= 2 and tuple(run) != tuple(operand):
+                        try:
+                            packs.append(LoadPack(run))
+                        except InvalidPack:
+                            pass
+                    run = [offsets_map[offset]] if offset is not None \
+                        else []
+                prev = offset
+        return packs
+
+    def _subtuple_packs_for(self, operand: OperandVector) -> List[Pack]:
+        """Producers for homogeneous sub-tuples of a mixed-shape operand.
+
+        An operand like idct4's [e+o, e+o, e-o, e-o, ...] has no single
+        producer, but its add positions and sub positions each do; packing
+        them separately costs one shuffle on the consumer side (§5's
+        costshuffle term) and is how the Figure 12 code comes about.
+        """
+        from repro.ir.instructions import Instruction
+
+        groups: Dict[Tuple, List] = {}
+        for element in operand:
+            if isinstance(element, Instruction) and element.has_result:
+                key = (element.opcode, element.type,
+                       getattr(element, "pred", None))
+                groups.setdefault(key, []).append(element)
+        if len(groups) < 2:
+            return []  # homogeneous operands are handled by producers()
+        lane_counts = set(self.ctx.target.vector_lane_counts)
+        packs: List[Pack] = []
+        for members in groups.values():
+            distinct = list(dict.fromkeys(members))
+            if len(distinct) in lane_counts and len(distinct) >= 2:
+                packs.extend(
+                    producers_for_operand(tuple(distinct), self.ctx)
+                )
+        return packs
+
+    def _apply_pack(self, state: SearchState,
+                    pack: Pack) -> Optional[SearchState]:
+        vbits = self._bits_of_values(pack.values())
+        if vbits == 0 or (vbits & state.free_bits) != vbits:
+            return None  # some produced value already decided
+        users = 0
+        for value in pack.values():
+            if value is not None:
+                users |= self._users_bits[self._index(value)]
+        if users & state.free_bits:
+            return None  # an undecided user remains (Fig. 9 side condition)
+
+        free_after = state.free_bits & ~vbits
+        delta = self.estimator.pack_op_cost(pack)
+        # costextract(p, S): store packs never pay extraction.
+        if not pack.is_store:
+            delta += self.model.c_extract * bin(
+                vbits & state.scalar_bits
+            ).count("1")
+        # costshuffle(p, V): every live operand that overlaps but is not
+        # exactly produced by this pack needs a shuffle.
+        produced_key = operand_key(pack.values())
+        new_operand_keys = set()
+        for key in state.operand_keys:
+            operand = self._operand_registry[key]
+            obits = self._operand_bits(operand)
+            if obits & free_after:
+                new_operand_keys.add(key)  # still unresolved
+            if key != produced_key and (obits & vbits):
+                if not self._produces(pack, operand):
+                    delta += self.model.c_shuffle
+
+        scalar_additions = 0
+        for operand in pack.operands():
+            obits = self._operand_bits(operand)
+            if obits == 0:
+                delta += self._immediate_operand_cost(operand)
+                continue
+            real = [e for e in operand if e is not DONT_CARE
+                    and not isinstance(e, (Constant, Argument))]
+            if len({id(e) for e in real}) == 1:
+                # Broadcast operand (§6.2 special case): produce the one
+                # scalar and splat it.
+                delta += self.model.c_broadcast
+                scalar_additions |= obits
+                continue
+            delta += self._foreign_element_cost(operand)
+            new_operand_keys.add(self._register_operand(operand))
+
+        scalars_after = (state.scalar_bits | scalar_additions) & ~vbits
+        # §5.2 / Figure 9 note: a pack like pmaddwd replaces multiple IR
+        # instructions; interior instructions covered by its matches become
+        # dead code and leave F — unless something still needs them as
+        # scalars (an undecided user, membership in S, or an element of a
+        # live vector operand).
+        free_after = self._drop_dead_covered(pack, free_after,
+                                             scalars_after,
+                                             new_operand_keys)
+        return SearchState(
+            frozenset(new_operand_keys),
+            scalars_after,
+            free_after,
+            state.packs + (pack,),
+            state.g + delta,
+        )
+
+    def _drop_dead_covered(self, pack: Pack, free_bits: int,
+                           scalar_bits: int, operand_keys) -> int:
+        from repro.vectorizer.pack import ComputePack
+
+        if not isinstance(pack, ComputePack):
+            return free_bits
+        needed = scalar_bits
+        for key in operand_keys:
+            needed |= self._operand_bits(self._operand_registry[key])
+        produced = {id(v) for v in pack.values() if v is not None}
+        dg = self.ctx.dep_graph
+        interior = sorted(
+            {
+                dg.index(inst)
+                for inst in pack.covered_instructions()
+                if id(inst) not in produced and dg.contains(inst)
+            },
+            reverse=True,  # users always have higher indices
+        )
+        for index in interior:
+            bit = 1 << index
+            if not (free_bits & bit) or (needed & bit):
+                continue
+            if self._users_bits[index] & free_bits:
+                continue
+            free_bits &= ~bit
+        return free_bits
+
+    def _produces(self, pack: Pack, operand: OperandVector) -> bool:
+        """§4.4: pack produces operand if same size and lanes match or are
+        don't-care."""
+        values = pack.values()
+        if len(values) != len(operand):
+            return False
+        for lane, element in zip(values, operand):
+            if element is DONT_CARE:
+                continue
+            if lane is not element:
+                return False
+        return True
+
+    def _immediate_operand_cost(self, operand: OperandVector) -> float:
+        """Operand with no in-block elements: constants and/or arguments."""
+        real = [e for e in operand if e is not DONT_CARE]
+        if not real:
+            return 0.0
+        if all(isinstance(e, Constant) for e in real):
+            return self.model.c_vector_const
+        if len({id(e) for e in real}) == 1:
+            return self.model.c_broadcast
+        return self.model.c_insert * len(
+            [e for e in real if not isinstance(e, Constant)]
+        )
+
+    def _foreign_element_cost(self, operand: OperandVector) -> float:
+        """Insertion cost for operand elements that can never be produced
+        by packs or scalar fixes (function arguments)."""
+        count = sum(1 for e in operand if isinstance(e, Argument))
+        return self.model.c_insert * count
+
+    def _scalar_fix_candidates(self, state: SearchState) -> List[int]:
+        needed = state.scalar_bits
+        for key in state.operand_keys:
+            needed |= self._operand_bits(self._operand_registry[key])
+        needed &= state.free_bits
+        result = []
+        while needed:
+            index = (needed & -needed).bit_length() - 1
+            needed &= needed - 1
+            if self._users_bits[index] & state.free_bits:
+                continue  # users not yet decided
+            result.append(index)
+        return result
+
+    def _apply_scalar_fix(self, state: SearchState,
+                          index: int) -> SearchState:
+        inst = self._instructions[index]
+        free_after = state.free_bits & ~(1 << index)
+        delta = self.model.scalar_cost(inst)
+        # costinsert(i, V): once per occurrence in a live vector operand.
+        occurrences = 0
+        new_operand_keys = set()
+        for key in state.operand_keys:
+            operand = self._operand_registry[key]
+            occurrences += sum(1 for e in operand if e is inst)
+            if self._operand_bits(operand) & free_after:
+                new_operand_keys.add(key)
+        delta += self.model.c_insert * occurrences
+
+        scalars_after = state.scalar_bits & ~(1 << index)
+        dg = self.ctx.dep_graph
+        for op in inst.operands:
+            if dg.contains(op):
+                scalars_after |= 1 << dg.index(op)
+        # Uses are decided before defs, so every operand of a just-fixed
+        # instruction is still free; mask defensively anyway.
+        scalars_after &= free_after
+
+        return SearchState(
+            frozenset(new_operand_keys),
+            scalars_after,
+            free_after,
+            state.packs,
+            state.g + delta,
+        )
+
+    # -- heuristic ----------------------------------------------------------------------
+
+    def heuristic(self, state: SearchState) -> float:
+        """g + h state evaluation (§5.2), with two corrections that keep
+        the estimate from decaying toward the all-scalar cost:
+
+        * already-decided instructions never count (they were paid for at
+          decision time), so operand estimates use the *residual* lanes
+          and slices are masked to F;
+        * scalar slices shared between S and several operands are counted
+          once (a running ``counted`` bitset), since producing a value
+          once feeds every insert that needs it.
+        """
+        free = state.free_bits
+        counted = self._expand_scalar_slices(state.scalar_bits) & free
+        h = self.estimator.cost_of_bits(counted)
+        for key in self._sorted_keys(state.operand_keys):
+            operand = self._operand_registry[key]
+            cost, bits = self._operand_estimate(operand, free, counted,
+                                                depth=3)
+            h += cost
+            counted |= bits
+        return h
+
+    def _operand_estimate(self, operand: OperandVector, free: int,
+                          counted: int, depth: int):
+        """State-aware operand cost: like the Figure 7 recurrence, but
+        slices are masked to still-free instructions and deduplicated
+        against already-counted work — without this, everything already
+        vectorized below an operand is double-charged and deep pack
+        structures (idct4's pmaddwd layer) look unprofitable."""
+        residual = self._residual_operand(operand, free)
+        real = sum(
+            1 for e in residual
+            if e is not DONT_CARE
+            and not isinstance(e, (Constant, Argument))
+        )
+        slice_bits = self.estimator.scalar_slice_bits(residual) & free
+        best = (
+            self.model.c_insert * max(real, 0)
+            + self.estimator.cost_of_bits(slice_bits & ~counted)
+        )
+        best_bits = slice_bits
+        if real == 0:
+            return min(best, self.model.c_vector_const), 0
+        if depth <= 0:
+            return best, best_bits
+        for pack in producers_for_operand(residual, self.ctx)[:12]:
+            cost = self.estimator.pack_op_cost(pack)
+            sub_counted = counted
+            for sub in pack.operands():
+                sub_cost, sub_bits = self._operand_estimate(
+                    sub, free, sub_counted, depth - 1
+                )
+                cost += sub_cost
+                sub_counted |= sub_bits
+                if cost >= best:
+                    break
+            if cost < best:
+                best = cost
+                best_bits = sub_counted & ~counted
+        return best, best_bits
+
+    def _residual_operand(self, operand: OperandVector,
+                          free_bits: int) -> OperandVector:
+        dg = self.ctx.dep_graph
+        residual = []
+        changed = False
+        for element in operand:
+            if (
+                element is not DONT_CARE
+                and not isinstance(element, (Constant, Argument))
+                and dg.contains(element)
+                and not (free_bits & (1 << dg.index(element)))
+            ):
+                residual.append(DONT_CARE)
+                changed = True
+            else:
+                residual.append(element)
+        return tuple(residual) if changed else operand
+
+    def _expand_scalar_slices(self, scalar_bits: int) -> int:
+        dg = self.ctx.dep_graph
+        bits = 0
+        remaining = scalar_bits
+        while remaining:
+            index = (remaining & -remaining).bit_length() - 1
+            remaining &= remaining - 1
+            bits |= (1 << index) | dg._closure[index]
+        return bits
+
+    # -- scalar completion -------------------------------------------------------------
+
+    def _scalar_completion(self, state: SearchState) -> float:
+        """Cost of finishing the state with scalar instructions only: fix
+        every still-needed value and insert operand elements.  Turns any
+        state into a solved state in one jump, so the beam is an anytime
+        search rather than needing one transition per instruction."""
+        free = state.free_bits
+        counted = self._expand_scalar_slices(state.scalar_bits) & free
+        total = self.estimator.cost_of_bits(counted)
+        for key in self._sorted_keys(state.operand_keys):
+            operand = self._operand_registry[key]
+            residual = self._residual_operand(operand, free)
+            real = sum(
+                1 for e in residual
+                if e is not DONT_CARE and not isinstance(e, Constant)
+            )
+            slice_bits = (
+                self.estimator.scalar_slice_bits(residual) & free
+            )
+            total += self.model.c_insert * real
+            total += self.estimator.cost_of_bits(slice_bits & ~counted)
+            counted |= slice_bits
+        return total
+
+    def _complete(self, state: SearchState) -> SearchState:
+        return SearchState(
+            frozenset(), 0, state.free_bits, state.packs,
+            state.g + self._scalar_completion(state),
+        )
+
+    def _rollout(self, state: SearchState,
+                 max_steps: int = 96) -> SearchState:
+        """Complete a state by greedily following the Figure 7 recurrence:
+        repeatedly apply the best producer pack of some live operand (the
+        SLP heuristic as a completion policy), then finish scalar.
+
+        Without this, best-solved tracking undervalues partial states
+        whose remaining work has good producers, and the beam converges
+        to near-scalar solutions."""
+        current = state
+        for _ in range(max_steps):
+            progressed = False
+            for key in self._sorted_keys(current.operand_keys):
+                operand = self._operand_registry[key]
+                residual = self._residual_operand(operand,
+                                                  current.free_bits)
+                pack = self.estimator.best_producer(residual)
+                if pack is None:
+                    continue
+                child = self._apply_pack(current, pack)
+                if child is not None:
+                    current = child
+                    progressed = True
+                    break
+            if not progressed:
+                # No whole-operand producer: try splitting a mixed-shape
+                # operand into homogeneous sub-tuples (idct4's interleaved
+                # add/sub layer).  A bad choice is harmless — the rollout
+                # result is only kept if it beats the incumbent.
+                for key in self._sorted_keys(current.operand_keys):
+                    operand = self._operand_registry[key]
+                    residual = self._residual_operand(operand,
+                                                      current.free_bits)
+                    for pack in self._subtuple_packs_for(residual)[:4]:
+                        child = self._apply_pack(current, pack)
+                        if child is not None:
+                            current = child
+                            progressed = True
+                            break
+                    if progressed:
+                        break
+            if not progressed:
+                break
+        return self._complete(current)
+
+    # -- main loop ----------------------------------------------------------------------
+
+    def run(self, beam_width: int,
+            patience: Optional[int] = None) -> Optional[SearchState]:
+        if patience is None:
+            patience = self.ctx.config.patience
+        state = self.initial_state()
+        candidates = [state]
+        best_solved = self._complete(state)  # the all-scalar solution
+        stale = 0
+        for _ in range(self.ctx.config.max_steps):
+            if not candidates:
+                break
+            children: Dict[Tuple, SearchState] = {}
+            improved = False
+            for parent in candidates:
+                for child in self.expand(parent):
+                    if child.solved:
+                        if child.g < best_solved.g:
+                            best_solved = child
+                            improved = True
+                        continue
+                    key = child.identity()
+                    existing = children.get(key)
+                    if existing is None or child.g < existing.g:
+                        children[key] = child
+            scored = []
+            for child in children.values():
+                completed = self._complete(child)
+                if completed.g < best_solved.g:
+                    best_solved = completed
+                    improved = True
+                h = self.heuristic(child)
+                if h == INFINITY:
+                    continue
+                # Tie-break equal f-scores toward states that have made
+                # more vectorization progress.
+                scored.append((child.g + h, -len(child.packs), child))
+            scored.sort(key=lambda item: (item[0], item[1]))
+            candidates = [c for _, _, c in scored[:beam_width]]
+            # Rollout completion of the surviving candidates: greedy SLP
+            # extension finds full solutions long before the beam walks
+            # there step by step.
+            for candidate in candidates:
+                rolled = self._rollout(candidate)
+                if rolled.g < best_solved.g:
+                    best_solved = rolled
+                    improved = True
+            # Sound early exit: transition costs are non-negative, so no
+            # open candidate can ever beat a solved state whose g is
+            # already <= every open g.
+            if not candidates or best_solved.g <= min(
+                c.g for c in candidates
+            ):
+                break
+            stale = 0 if improved else stale + 1
+            if stale >= patience:
+                break
+        return best_solved
+
+
+def select_packs(ctx: VectorizationContext) -> Tuple[List[Pack], float]:
+    """Run pack selection; returns (packs, estimated cost of the block).
+
+    An empty pack list means "leave the block scalar"."""
+    search = BeamSearch(ctx)
+    solved = search.run(ctx.config.beam_width)
+    if solved is None:
+        return [], INFINITY
+    return list(solved.packs), solved.g

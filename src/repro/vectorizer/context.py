@@ -1,0 +1,52 @@
+"""Shared compile-time state for one vectorization run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.dag import DependenceGraph
+from repro.ir.function import Function
+from repro.machine.costs import CostModel
+from repro.patterns.match_table import MatchTable
+from repro.target.isa import TargetDesc
+
+
+@dataclass
+class VectorizerConfig:
+    """User-facing knobs of the vectorizer."""
+
+    #: Beam width; 1 is exactly the SLP heuristic (§5.2).
+    beam_width: int = 64
+    #: Maximum beam iterations (safety bound; normally terminates earlier).
+    max_steps: int = 512
+    #: Cap on producer packs enumerated per operand (Algorithm 1 fan-out).
+    max_producers_per_operand: int = 48
+    #: Cap on match combinations tried per candidate instruction (so one
+    #: commutativity-happy instruction cannot crowd out the others).
+    max_match_combinations: int = 4
+    #: Cap on affinity seed packs (§5.1 "top k" enumeration).
+    seed_packs_per_value: int = 2
+    #: Cap on transitions expanded per beam state.
+    max_transitions_per_state: int = 48
+    #: Beam iterations without improvement before giving up.
+    patience: int = 48
+
+
+class VectorizationContext:
+    """Bundles the function, its analyses, the target, and the costs."""
+
+    def __init__(self, function: Function, target: TargetDesc,
+                 cost_model: Optional[CostModel] = None,
+                 config: Optional[VectorizerConfig] = None):
+        self.function = function
+        self.target = target
+        self.cost_model = cost_model or CostModel()
+        self.config = config or VectorizerConfig()
+        self.dep_graph = DependenceGraph(function)
+        self.match_table = MatchTable(function, target.operation_index)
+        self._producer_cache: Dict[Tuple, List] = {}
+
+    @property
+    def instructions(self):
+        return self.dep_graph.instructions

@@ -1,0 +1,83 @@
+"""Exact solver for the Figure 9 pack-selection recurrence.
+
+The paper notes the recurrence "contains exponentially many subproblems"
+and solves it heuristically with beam search.  For *tiny* blocks, though,
+exhaustive depth-first search with memoization on (V, S, F) is feasible,
+which gives the test suite an optimality oracle: on toy kernels the beam
+search must find solutions no worse than this solver's optimum (and with
+a wide enough beam, equal to it).
+
+This is strictly a verification tool — it explodes beyond a few dozen
+instructions and refuses to run there.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from repro.vectorizer.beam import BeamSearch, SearchState
+from repro.vectorizer.context import VectorizationContext
+
+#: Hard cap on block size; beyond this the state space is intractable.
+MAX_INSTRUCTIONS = 40
+#: Hard cap on explored states (safety valve).
+MAX_STATES = 200_000
+
+
+class OptimalSearchError(RuntimeError):
+    """Raised when the block is too large to solve exactly."""
+
+
+class OptimalSolver(BeamSearch):
+    """Depth-first exhaustive search over the Figure 9 state space.
+
+    Reuses the beam search's transition generator (`expand`), so the two
+    explore exactly the same edges — any gap between them is a search
+    artifact, never a modeling difference.
+    """
+
+    def __init__(self, ctx: VectorizationContext):
+        if len(ctx.dep_graph.instructions) > MAX_INSTRUCTIONS:
+            raise OptimalSearchError(
+                f"block has {len(ctx.dep_graph.instructions)} instructions;"
+                f" the exact solver is capped at {MAX_INSTRUCTIONS}"
+            )
+        super().__init__(ctx)
+        self._memo: Dict[Tuple, float] = {}
+        self._states = 0
+
+    def solve(self) -> SearchState:
+        """The provably cheapest solved state reachable by the
+        transition system."""
+        state = self.initial_state()
+        best = self._complete(state)
+        best = self._dfs(state, best)
+        return best
+
+    def _dfs(self, state: SearchState, best: SearchState) -> SearchState:
+        self._states += 1
+        if self._states > MAX_STATES:
+            raise OptimalSearchError("state budget exhausted")
+        completed = self._complete(state)
+        if completed.g < best.g:
+            best = completed
+        for child in self.expand(state):
+            if child.g >= best.g:
+                continue  # branch and bound: costs only grow
+            if child.solved:
+                if child.g < best.g:
+                    best = child
+                continue
+            key = child.identity()
+            seen = self._memo.get(key)
+            if seen is not None and seen <= child.g:
+                continue
+            self._memo[key] = child.g
+            best = self._dfs(child, best)
+        return best
+
+
+def optimal_cost(ctx: VectorizationContext) -> float:
+    """The exact optimum of the transition system for a tiny block."""
+    return OptimalSolver(ctx).solve().g

@@ -1,0 +1,236 @@
+"""Vector packs (§4.4).
+
+A pack is ``(v, [m1, ..., mk])``: a vector instruction plus one match per
+output lane.  ``values(p)`` are the lane live-outs; ``operand_i(p)`` is
+computed statically from the instruction's lane bindings — including
+*don't-care* lanes for inputs the instruction never reads (Figure 6) and
+consistency checks for input lanes consumed by several operations
+(broadcast-style bindings).
+
+Loads and stores are two special pack kinds whose lanes must be contiguous
+memory accesses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.ir.dag import DependenceGraph, contiguous_accesses
+from repro.ir.instructions import Instruction, LoadInst, StoreInst
+from repro.ir.types import Type
+from repro.ir.values import Constant, Value, constants_equal
+from repro.patterns.matcher import Match
+from repro.target.isa import TargetInstruction
+from repro.vidl.interp import DONT_CARE
+
+#: One element of an operand vector.
+OperandElement = Union[Value, object]  # Value | DONT_CARE
+OperandVector = Tuple[OperandElement, ...]
+
+
+class InvalidPack(ValueError):
+    """Raised when matches cannot be combined into a consistent pack."""
+
+
+def operand_key(operand: OperandVector) -> Tuple:
+    """Hashable identity of an operand vector."""
+    parts = []
+    for el in operand:
+        if el is DONT_CARE:
+            parts.append(("dc",))
+        elif isinstance(el, Constant):
+            parts.append(("const", el.type, el.value))
+        else:
+            parts.append(("val", id(el)))
+    return tuple(parts)
+
+
+class Pack:
+    """Base class for the three pack kinds."""
+
+    _key_cache = None
+
+    def key(self) -> Tuple:
+        if self._key_cache is None:
+            self._key_cache = self._compute_key()
+        return self._key_cache
+
+    def values(self) -> Tuple[Optional[Value], ...]:
+        """Per-lane produced IR values (None = don't-care output lane)."""
+        raise NotImplementedError
+
+    def operands(self) -> List[OperandVector]:
+        return []
+
+    def _compute_key(self) -> Tuple:
+        raise NotImplementedError
+
+    @property
+    def is_store(self) -> bool:
+        return isinstance(self, StorePack)
+
+    @property
+    def is_load(self) -> bool:
+        return isinstance(self, LoadPack)
+
+    def num_lanes(self) -> int:
+        return len(self.values())
+
+    def produced_set(self):
+        return {id(v) for v in self.values() if v is not None}
+
+
+class ComputePack(Pack):
+    """A pack of matched operations lowered to one target instruction."""
+
+    def __init__(self, inst: TargetInstruction,
+                 matches: Sequence[Optional[Match]]):
+        if len(matches) != inst.num_lanes:
+            raise InvalidPack(
+                f"{inst.name}: {len(matches)} matches for "
+                f"{inst.num_lanes} lanes"
+            )
+        if all(m is None for m in matches):
+            raise InvalidPack(f"{inst.name}: all lanes are don't-care")
+        self.inst = inst
+        self.matches = tuple(matches)
+        self._values = tuple(
+            m.live_out if m is not None else None for m in matches
+        )
+        self._operands = self._compute_operands()
+
+    def _compute_operands(self) -> List[OperandVector]:
+        desc = self.inst.desc
+        operands: List[OperandVector] = []
+        for input_index, vin in enumerate(desc.inputs):
+            lanes: List[OperandElement] = []
+            for lane_index in range(vin.lanes):
+                value = self._lane_value(input_index, lane_index)
+                lanes.append(value)
+            operands.append(tuple(lanes))
+        return operands
+
+    def _lane_value(self, input_index: int,
+                    lane_index: int) -> OperandElement:
+        desc = self.inst.desc
+        chosen: Optional[Value] = None
+        for out_lane, param_pos in desc.lane_consumers(input_index,
+                                                       lane_index):
+            match = self.matches[out_lane]
+            if match is None:
+                continue
+            value = match.live_ins[param_pos]
+            if chosen is None:
+                chosen = value
+            elif chosen is not value and not constants_equal(chosen, value):
+                raise InvalidPack(
+                    f"{self.inst.name}: input lane "
+                    f"x{input_index}[{lane_index}] bound to two different "
+                    f"values"
+                )
+        return chosen if chosen is not None else DONT_CARE
+
+    def values(self) -> Tuple[Optional[Value], ...]:
+        return self._values
+
+    def operands(self) -> List[OperandVector]:
+        return self._operands
+
+    def covered_instructions(self) -> List[Instruction]:
+        """All scalar instructions this pack's matches cover."""
+        covered: List[Instruction] = []
+        for match in self.matches:
+            if match is not None:
+                covered.extend(match.covered)
+        return covered
+
+    def _compute_key(self) -> Tuple:
+        return (
+            "compute",
+            self.inst.name,
+            tuple(id(v) if v is not None else None for v in self._values),
+            tuple(operand_key(op) for op in self._operands),
+        )
+
+    def __repr__(self) -> str:
+        names = [v.short_name() if v is not None else "_"
+                 for v in self._values]
+        return f"<ComputePack {self.inst.name} [{', '.join(names)}]>"
+
+
+class LoadPack(Pack):
+    """A vector load of contiguous elements."""
+
+    def __init__(self, loads: Sequence[LoadInst]):
+        location = contiguous_accesses(loads)
+        if location is None:
+            raise InvalidPack("loads are not contiguous")
+        self.loads = tuple(loads)
+        self.base, self.first_offset = location
+
+    @property
+    def elem_type(self) -> Type:
+        return self.loads[0].type
+
+    def values(self) -> Tuple[Optional[Value], ...]:
+        return self.loads
+
+    def _compute_key(self) -> Tuple:
+        return ("load", tuple(id(l) for l in self.loads))
+
+    def __repr__(self) -> str:
+        return (
+            f"<LoadPack {self.base.name}[{self.first_offset}..."
+            f"{self.first_offset + len(self.loads) - 1}]>"
+        )
+
+
+class StorePack(Pack):
+    """A vector store of contiguous elements."""
+
+    def __init__(self, stores: Sequence[StoreInst]):
+        location = contiguous_accesses(stores)
+        if location is None:
+            raise InvalidPack("stores are not contiguous")
+        self.stores = tuple(stores)
+        self.base, self.first_offset = location
+
+    @property
+    def elem_type(self) -> Type:
+        return self.stores[0].value.type
+
+    def values(self) -> Tuple[Optional[Value], ...]:
+        # The stores themselves are the instructions this pack replaces.
+        return self.stores
+
+    def operands(self) -> List[OperandVector]:
+        return [tuple(s.value for s in self.stores)]
+
+    def _compute_key(self) -> Tuple:
+        return ("store", tuple(id(s) for s in self.stores))
+
+    def __repr__(self) -> str:
+        return (
+            f"<StorePack {self.base.name}[{self.first_offset}..."
+            f"{self.first_offset + len(self.stores) - 1}]>"
+        )
+
+
+def packs_independent(pack: Pack, dep_graph: DependenceGraph) -> bool:
+    """A pack is legal only if its lane values are pairwise independent."""
+    values = [v for v in pack.values() if v is not None]
+    return dep_graph.independent(values)
+
+
+def pack_depends_on(p1: Pack, p2: Pack,
+                    dep_graph: DependenceGraph) -> bool:
+    """§4.4: p1 depends on p2 if some value of p1 depends on one of p2."""
+    for a in p1.values():
+        if a is None:
+            continue
+        for b in p2.values():
+            if b is None:
+                continue
+            if dep_graph.depends(a, b):
+                return True
+    return False

@@ -1,0 +1,127 @@
+"""End-to-end vectorization pipeline: the compile-time half of Figure 3.
+
+``vectorize()`` is the library's main entry point: it canonicalizes a
+(copy of the) input function, runs pattern matching and pack selection,
+lowers the chosen packs, and returns the vector program together with
+model costs for both the scalar original and the vectorized output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.ir.function import Function
+from repro.ir.parser import parse_function
+from repro.ir.printer import print_function
+from repro.machine.costs import CostModel
+from repro.machine.model import ProgramCost, program_cost, \
+    scalar_function_cost
+from repro.patterns.canonicalize import canonicalize_function
+from repro.target.isa import TargetDesc
+from repro.target.registry import get_target
+from repro.vectorizer.beam import select_packs
+from repro.vectorizer.codegen import generate
+from repro.vectorizer.context import VectorizationContext, VectorizerConfig
+from repro.vectorizer.pack import Pack
+from repro.vectorizer.vector_ir import VScalar, VectorProgram
+
+
+@dataclass
+class VectorizationResult:
+    """Everything a caller needs about one vectorization run."""
+
+    function: Function            # the canonicalized working copy
+    program: VectorProgram
+    packs: List[Pack]
+    scalar_cost: float            # model cost of the canonicalized scalar
+    cost: ProgramCost             # model cost of the emitted program
+    estimated_cost: float         # the search's own estimate (g)
+
+    @property
+    def vectorized(self) -> bool:
+        return bool(self.packs)
+
+    @property
+    def speedup_over_scalar(self) -> float:
+        if self.cost.total <= 0:
+            return float("inf")
+        return self.scalar_cost / self.cost.total
+
+
+def scalar_program(function: Function) -> VectorProgram:
+    """Wrap a function as an all-scalar vector program (for uniform
+    execution and costing)."""
+    program = VectorProgram(function)
+    for inst in function.entry:
+        if not inst.is_terminator:
+            program.append(VScalar(inst))
+    return program
+
+
+def clone_function(function: Function) -> Function:
+    """Deep-copy a function via its textual form."""
+    return parse_function(print_function(function))
+
+
+def vectorize(
+    function: Function,
+    target: Union[str, TargetDesc] = "avx2",
+    beam_width: int = 64,
+    canonicalize_patterns: bool = True,
+    canonicalize_input: bool = True,
+    reassociate: bool = False,
+    cost_model: Optional[CostModel] = None,
+    config: Optional[VectorizerConfig] = None,
+) -> VectorizationResult:
+    """Vectorize one straight-line function.
+
+    The input function is never mutated; a canonicalized working copy is
+    returned in the result.  ``beam_width=1`` selects the plain SLP
+    heuristic (§5.1); larger widths enable the §5.2 lookahead search.
+    ``canonicalize_patterns=False`` reproduces the §6 ablation.
+    ``reassociate=True`` balances reduction chains first (clang -O3 /
+    -ffast-math behaviour; exposes dot-product structure in sequential
+    accumulations).
+    """
+    if isinstance(target, str):
+        target_desc = get_target(
+            target, canonicalize_patterns=canonicalize_patterns
+        )
+    else:
+        target_desc = target
+    work = clone_function(function)
+    if canonicalize_input:
+        canonicalize_function(work)
+    if reassociate:
+        from repro.patterns.reassociate import reassociate_function
+
+        reassociate_function(work)
+        if canonicalize_input:
+            canonicalize_function(work)
+    if config is None:
+        config = VectorizerConfig(beam_width=beam_width)
+    else:
+        config.beam_width = beam_width
+    ctx = VectorizationContext(work, target_desc, cost_model, config)
+    packs, estimated = select_packs(ctx)
+    model = ctx.cost_model
+    scalar_cost = scalar_function_cost(work, model)
+    if packs:
+        program = generate(ctx, packs)
+        cost = program_cost(program, model)
+        # Fall back to scalar when the emitted program models slower than
+        # the scalar original (the search estimate is a heuristic).
+        if cost.total >= scalar_cost:
+            packs = []
+    if not packs:
+        program = scalar_program(work)
+        cost = program_cost(program, model)
+    return VectorizationResult(
+        function=work,
+        program=program,
+        packs=packs,
+        scalar_cost=scalar_cost,
+        cost=cost,
+        estimated_cost=estimated,
+    )

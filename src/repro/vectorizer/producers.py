@@ -1,0 +1,140 @@
+"""Producer-pack enumeration — Algorithm 1.
+
+Given a vector operand ``x`` (a tuple of IR values / don't-cares), find
+every pack that *produces* ``x``: same lane count, and each lane either
+equals the pack's lane value or is don't-care.  Compute packs are found by
+consulting the match table per lane per candidate instruction; load packs
+are found separately by checking contiguity (§4.4).
+
+Deviations from the paper's pseudocode, both forced by commutativity: a
+match-table cell can hold several alternative matches (the binding decides
+operand lane order), so per-lane candidates are combined with a bounded
+cartesian product; and combinations that bind one physical input lane to
+two different values are rejected (the consistency check the paper leaves
+implicit).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import List, Optional
+
+from repro.ir.instructions import LoadInst
+from repro.ir.types import Type
+from repro.ir.values import Constant
+from repro.vectorizer.context import VectorizationContext
+from repro.vectorizer.pack import (
+    ComputePack,
+    InvalidPack,
+    LoadPack,
+    OperandVector,
+    Pack,
+    operand_key,
+    packs_independent,
+)
+from repro.vidl.interp import DONT_CARE
+
+
+def producers_for_operand(operand: OperandVector,
+                          ctx: VectorizationContext) -> List[Pack]:
+    """All packs that produce the operand (memoized per operand)."""
+    key = operand_key(operand)
+    cached = ctx._producer_cache.get(key)
+    if cached is not None:
+        return cached
+    result = _enumerate(operand, ctx)
+    ctx._producer_cache[key] = result
+    return result
+
+
+def _enumerate(operand: OperandVector,
+               ctx: VectorizationContext) -> List[Pack]:
+    values = [v for v in operand
+              if v is not DONT_CARE and not isinstance(v, Constant)]
+    if not values:
+        return []
+    # Algorithm 1, line 1: reject operands with internally dependent values.
+    if not ctx.dep_graph.independent(values):
+        return []
+    elem_type = _element_type(operand)
+    if elem_type is None:
+        return []
+    producers: List[Pack] = []
+    seen = set()
+
+    load_pack = _try_load_pack(operand, ctx)
+    if load_pack is not None:
+        producers.append(load_pack)
+        seen.add(load_pack.key())
+
+    limit = ctx.config.max_producers_per_operand
+    for vinst in ctx.target.instructions_for_shape(len(operand), elem_type):
+        if len(producers) >= limit:
+            break
+        per_lane: List[List[Optional[object]]] = []
+        feasible = True
+        for lane, element in enumerate(operand):
+            if element is DONT_CARE:
+                per_lane.append([None])
+                continue
+            if isinstance(element, Constant):
+                feasible = False  # packs cannot produce constant lanes
+                break
+            matches = ctx.match_table.lookup(element,
+                                             vinst.match_ops[lane])
+            if not matches:
+                feasible = False
+                break
+            per_lane.append(list(matches))
+        if not feasible:
+            continue
+        combos = 0
+        for combo in product(*per_lane):
+            combos += 1
+            if combos > ctx.config.max_match_combinations:
+                break
+            try:
+                pack = ComputePack(vinst, combo)
+            except InvalidPack:
+                continue
+            if not packs_independent(pack, ctx.dep_graph):
+                continue
+            key = pack.key()
+            if key in seen:
+                continue
+            seen.add(key)
+            producers.append(pack)
+            if len(producers) >= limit:
+                break
+    return producers
+
+
+def _element_type(operand: OperandVector) -> Optional[Type]:
+    elem_type: Optional[Type] = None
+    for element in operand:
+        if element is DONT_CARE:
+            continue
+        ty = element.type  # type: ignore[union-attr]
+        if elem_type is None:
+            elem_type = ty
+        elif elem_type != ty:
+            return None
+    return elem_type
+
+
+def _try_load_pack(operand: OperandVector,
+                   ctx: VectorizationContext) -> Optional[LoadPack]:
+    loads: List[LoadInst] = []
+    for element in operand:
+        if not isinstance(element, LoadInst):
+            return None
+        loads.append(element)
+    if len(set(map(id, loads))) != len(loads):
+        return None
+    try:
+        pack = LoadPack(loads)
+    except InvalidPack:
+        return None
+    if not packs_independent(pack, ctx.dep_graph):
+        return None
+    return pack

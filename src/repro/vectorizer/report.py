@@ -1,0 +1,90 @@
+"""Human-readable vectorization reports.
+
+Renders what the vectorizer did and why it was profitable: the packs
+chosen (with the matches and covered instruction counts), the data
+movement the code generator had to emit, and the cost accounting — the
+compile-time story §5's heuristics tell, in one page.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.machine.costs import CostModel
+from repro.machine.model import node_cost
+from repro.vectorizer.pack import ComputePack, LoadPack, StorePack
+from repro.vectorizer.pipeline import VectorizationResult
+from repro.vectorizer.vector_ir import VExtract, VGather
+
+
+def render_report(result: VectorizationResult,
+                  cost_model: CostModel = None) -> str:
+    model = cost_model or CostModel()
+    lines: List[str] = []
+    fn = result.function
+    lines.append(f"vectorization report: {fn.name}")
+    lines.append("=" * (23 + len(fn.name)))
+    lines.append(
+        f"scalar cost {result.scalar_cost:.1f} -> vector cost "
+        f"{result.cost.total:.1f} model cycles "
+        f"({result.speedup_over_scalar:.2f}x)"
+    )
+    if not result.vectorized:
+        lines.append("decision: scalar code modeled cheapest; no packs "
+                     "selected")
+        return "\n".join(lines)
+
+    lines.append(f"packs selected: {len(result.packs)}")
+    for pack in result.packs:
+        lines.append("  " + _describe_pack(pack))
+
+    gathers = [n for n in result.program.nodes if isinstance(n, VGather)]
+    extracts = [n for n in result.program.nodes
+                if isinstance(n, VExtract)]
+    if gathers:
+        shapes = {}
+        for g in gathers:
+            shapes[g.classify()] = shapes.get(g.classify(), 0) + 1
+        rendered = ", ".join(f"{k} x{v}" for k, v in sorted(shapes.items()))
+        total = sum(node_cost(g, model) for g in gathers)
+        lines.append(
+            f"data movement: {len(gathers)} gathers ({rendered}), "
+            f"{total:.1f} cycles"
+        )
+    if extracts:
+        lines.append(
+            f"extractions: {len(extracts)} packed values also needed as "
+            f"scalars"
+        )
+    breakdown = result.cost
+    lines.append(
+        "cost breakdown: "
+        f"compute {breakdown.vector_compute:.1f}, "
+        f"memory {breakdown.memory:.1f}, "
+        f"movement {breakdown.data_movement:.1f}, "
+        f"scalar remainder {breakdown.scalar:.1f}"
+    )
+    return "\n".join(lines)
+
+
+def _describe_pack(pack) -> str:
+    if isinstance(pack, StorePack):
+        return (
+            f"vstore {pack.base.name}[{pack.first_offset}.."
+            f"{pack.first_offset + len(pack.stores) - 1}]"
+        )
+    if isinstance(pack, LoadPack):
+        return (
+            f"vload {pack.base.name}[{pack.first_offset}.."
+            f"{pack.first_offset + len(pack.loads) - 1}]"
+        )
+    assert isinstance(pack, ComputePack)
+    covered = len(set(map(id, pack.covered_instructions())))
+    live = sum(1 for v in pack.values() if v is not None)
+    dead = pack.inst.num_lanes - live
+    extra = f", {dead} don't-care lanes" if dead else ""
+    kind = "SIMD" if pack.inst.is_simd else "non-SIMD"
+    return (
+        f"{pack.inst.name} ({kind}): {live} lanes replacing {covered} "
+        f"scalar instructions{extra}"
+    )

@@ -1,0 +1,217 @@
+"""Seed pack enumeration (§5.1 and Figure 8).
+
+Two kinds of seeds start the search:
+
+* **Store seeds** — chains of contiguous stores, chunked at every target
+  vector length.
+* **Affinity seeds** — for instructions feeding stores, the top-k VL-wide
+  value tuples ranked by the pairwise affinity score of Figure 8 (so that
+  the sums of affinities of adjacent lanes are maximized).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.instructions import (
+    Instruction,
+    LoadInst,
+    StoreInst,
+    pointer_base_and_offset,
+)
+from repro.ir.values import Constant, Value
+from repro.vectorizer.context import VectorizationContext
+from repro.vectorizer.pack import InvalidPack, StorePack, packs_independent
+
+
+@dataclass(frozen=True)
+class AffinityParams:
+    """The positive alpha parameters of Figure 8."""
+
+    match: float = 2.0
+    mismatch: float = 4.0
+    broadcast: float = 1.0
+    constant: float = 1.0
+    jumbled: float = 1.0
+    max_depth: int = 4
+
+
+def store_seed_packs(ctx: VectorizationContext) -> List[StorePack]:
+    """All chunked contiguous-store packs, widest chunks first."""
+    runs = _contiguous_store_runs(ctx)
+    lane_counts = [vl for vl in ctx.target.vector_lane_counts if vl >= 2]
+    packs: List[StorePack] = []
+    seen = set()
+    for run in runs:
+        for vl in sorted(lane_counts, reverse=True):
+            if vl > len(run):
+                continue
+            for start in range(0, len(run) - vl + 1):
+                window = run[start:start + vl]
+                try:
+                    pack = StorePack(window)
+                except InvalidPack:
+                    continue
+                if not packs_independent(pack, ctx.dep_graph):
+                    continue
+                # The stored values must also be independent of the other
+                # stores in the pack (no store feeding another lane's
+                # value).
+                if not _values_independent_of_stores(window, ctx):
+                    continue
+                key = pack.key()
+                if key not in seen:
+                    seen.add(key)
+                    packs.append(pack)
+    return packs
+
+
+def _values_independent_of_stores(stores: Sequence[StoreInst],
+                                  ctx: VectorizationContext) -> bool:
+    for store in stores:
+        for other in stores:
+            if store is not other and \
+                    ctx.dep_graph.depends(store.value, other):
+                return False
+    return True
+
+
+def _contiguous_store_runs(
+    ctx: VectorizationContext,
+) -> List[List[StoreInst]]:
+    by_base: Dict[int, List[Tuple[int, StoreInst]]] = {}
+    bases: Dict[int, object] = {}
+    for inst in ctx.instructions:
+        if not isinstance(inst, StoreInst):
+            continue
+        base, offset = pointer_base_and_offset(inst.pointer)
+        if base is None:
+            continue
+        by_base.setdefault(id(base), []).append((offset, inst))
+        bases[id(base)] = base
+    runs: List[List[StoreInst]] = []
+    for base_id, entries in by_base.items():
+        entries.sort(key=lambda pair: pair[0])
+        run: List[StoreInst] = []
+        prev_offset: Optional[int] = None
+        for offset, store in entries:
+            if prev_offset is not None and offset == prev_offset:
+                continue  # duplicate offset: keep the first, break the run
+            if prev_offset is None or offset == prev_offset + 1:
+                run.append(store)
+            else:
+                if len(run) >= 2:
+                    runs.append(run)
+                run = [store]
+            prev_offset = offset
+        if len(run) >= 2:
+            runs.append(run)
+    return runs
+
+
+class AffinityEstimator:
+    """Memoized pairwise affinity per Figure 8."""
+
+    def __init__(self, ctx: VectorizationContext,
+                 params: Optional[AffinityParams] = None):
+        self.ctx = ctx
+        self.params = params or AffinityParams()
+        self._memo: Dict[Tuple[int, int, int], float] = {}
+
+    def affinity(self, v: Value, w: Value, depth: int = 0) -> float:
+        key = (id(v), id(w), depth)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        result = self._compute(v, w, depth)
+        self._memo[key] = result
+        return result
+
+    def _compute(self, v: Value, w: Value, depth: int) -> float:
+        p = self.params
+        if v is w:
+            return -p.broadcast
+        if isinstance(v, Constant) and isinstance(w, Constant):
+            return -p.constant
+        if isinstance(v, LoadInst) and isinstance(w, LoadInst):
+            vb, vo = pointer_base_and_offset(v.pointer)
+            wb, wo = pointer_base_and_offset(w.pointer)
+            if vb is None or wb is None or vb is not wb:
+                return -p.mismatch
+            offset = wo - vo
+            if offset == 1:
+                return p.match
+            return -p.jumbled * abs(offset)
+        if not self._packable(v, w):
+            return -p.mismatch
+        score = p.match
+        if depth < p.max_depth and isinstance(v, Instruction) and \
+                isinstance(w, Instruction):
+            for ov, ow in zip(v.operands, w.operands):
+                score += self.affinity(ov, ow, depth + 1)
+        return score
+
+    def _packable(self, v: Value, w: Value) -> bool:
+        if not isinstance(v, Instruction) or not isinstance(w, Instruction):
+            return False
+        if v.type != w.type or v.opcode != w.opcode:
+            return False
+        pred_v = getattr(v, "pred", None)
+        pred_w = getattr(w, "pred", None)
+        return pred_v == pred_w
+
+
+def affinity_seed_tuples(ctx: VectorizationContext,
+                         params: Optional[AffinityParams] = None
+                         ) -> List[Tuple[Value, ...]]:
+    """Top-k VL-wide non-store seed tuples per instruction (Figure 8).
+
+    Only instructions that feed stores are enumerated, "to limit the total
+    number of seeds" (§5.1).
+    """
+    estimator = AffinityEstimator(ctx, params)
+    store_fed = [
+        inst for inst in ctx.instructions
+        if inst.has_result and not inst.is_memory
+        and any(isinstance(u, StoreInst) for u in inst.uses)
+    ]
+    tuples: List[Tuple[Value, ...]] = []
+    seen = set()
+    k = ctx.config.seed_packs_per_value
+    lane_counts = [vl for vl in ctx.target.vector_lane_counts if vl >= 2]
+    for first in store_fed:
+        peers = [
+            inst for inst in store_fed
+            if inst is not first and inst.type == first.type
+        ]
+        for vl in lane_counts:
+            if vl - 1 > len(peers):
+                continue
+            # Beam-extend lane by lane, ranking by adjacent-lane affinity.
+            partials: List[Tuple[float, Tuple[Value, ...]]] = [
+                (0.0, (first,))
+            ]
+            for _ in range(vl - 1):
+                extended: List[Tuple[float, Tuple[Value, ...]]] = []
+                for score, partial in partials:
+                    used = set(map(id, partial))
+                    for peer in peers:
+                        if id(peer) in used:
+                            continue
+                        gain = estimator.affinity(partial[-1], peer)
+                        extended.append((score + gain, partial + (peer,)))
+                extended.sort(key=lambda pair: -pair[0])
+                partials = extended[: max(k, 2)]
+                if not partials:
+                    break
+            for score, full in partials[:k]:
+                if len(full) != vl or score <= 0:
+                    continue
+                if not ctx.dep_graph.independent(list(full)):
+                    continue
+                key = tuple(map(id, full))
+                if key not in seen:
+                    seen.add(key)
+                    tuples.append(full)
+    return tuples

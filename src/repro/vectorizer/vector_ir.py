@@ -1,0 +1,203 @@
+"""The emitted vector program (§4.5).
+
+The code generator produces a mix of (1) scalar instructions not covered by
+packs, (2) compute vector instructions corresponding to packs, and (3)
+data-movement instructions (gathers, extracts) implied by the dependences
+between packs and scalars.  VIDL does not model shuffles (§4.1), so
+data-movement nodes here are *virtual* target-independent shuffles — the
+machine model prices them by classifying their shape (broadcast, permute,
+two-source shuffle, insert chain), standing in for LLVM's backend
+lowering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.ir.instructions import Instruction
+from repro.ir.types import Type
+from repro.ir.values import Argument, Value
+from repro.target.isa import TargetInstruction
+
+
+class VNode:
+    """Base class for vector-program nodes."""
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{self.describe()}>"
+
+
+@dataclass
+class ElementSource:
+    """Where one lane of a gathered vector comes from."""
+
+    kind: str  # 'lane' | 'scalar' | 'const' | 'undef'
+    node: Optional["VNode"] = None     # for 'lane'
+    lane: int = 0                      # for 'lane'
+    value: Optional[Value] = None      # for 'scalar' (IR value) / 'const'
+
+
+class VLoad(VNode):
+    """A contiguous vector load."""
+
+    def __init__(self, base: Argument, offset: int, lanes: int,
+                 elem_type: Type):
+        self.base = base
+        self.offset = offset
+        self.lanes = lanes
+        self.elem_type = elem_type
+
+    def describe(self) -> str:
+        return (
+            f"vload.{self.lanes}x{self.elem_type} "
+            f"{self.base.name}[{self.offset}]"
+        )
+
+
+class VGather(VNode):
+    """Assemble a vector from pack lanes, scalars, and constants."""
+
+    def __init__(self, elem_type: Type, sources: Sequence[ElementSource]):
+        self.elem_type = elem_type
+        self.sources = list(sources)
+
+    @property
+    def lanes(self) -> int:
+        return len(self.sources)
+
+    def classify(self) -> str:
+        """Shape classification used by the cost model (§6.2 special
+        cases)."""
+        kinds = {s.kind for s in self.sources if s.kind != "undef"}
+        real = [s for s in self.sources if s.kind != "undef"]
+        if not real:
+            return "undef"
+        if kinds == {"const"}:
+            return "constant"
+        if kinds == {"scalar"}:
+            distinct = {id(s.value) for s in real}
+            if len(distinct) == 1 and len(real) > 1:
+                return "broadcast"
+            return "insert"
+        if kinds == {"lane"}:
+            nodes = {id(s.node) for s in real}
+            if len(nodes) == 1:
+                lanes = [s.lane for s in real]
+                if len(set(lanes)) == 1 and len(real) > 1:
+                    return "broadcast"
+                return "permute"
+            if len(nodes) == 2:
+                return "two_source"
+            return "multi_source"
+        return "insert"
+
+    @property
+    def num_scalar_sources(self) -> int:
+        return sum(1 for s in self.sources if s.kind == "scalar")
+
+    def describe(self) -> str:
+        return f"vgather.{self.lanes}x{self.elem_type} [{self.classify()}]"
+
+
+class VOp(VNode):
+    """One target vector instruction applied to vector operands.
+
+    ``live_lanes[j]`` is False for don't-care *output* lanes (the pack had
+    no match there); dead lane operations are not executed — their inputs
+    may be undef.
+    """
+
+    def __init__(self, inst: TargetInstruction,
+                 operands: Sequence[VNode],
+                 live_lanes: Optional[Sequence[bool]] = None):
+        self.inst = inst
+        self.operands = list(operands)
+        if live_lanes is None:
+            live_lanes = [True] * inst.num_lanes
+        self.live_lanes = list(live_lanes)
+
+    def describe(self) -> str:
+        dead = self.live_lanes.count(False)
+        suffix = f" ({dead} dead lanes)" if dead else ""
+        return f"{self.inst.name}{suffix}"
+
+
+class VStore(VNode):
+    """A contiguous vector store."""
+
+    def __init__(self, source: VNode, base: Argument, offset: int,
+                 lanes: int, elem_type: Type):
+        self.source = source
+        self.base = base
+        self.offset = offset
+        self.lanes = lanes
+        self.elem_type = elem_type
+
+    def describe(self) -> str:
+        return (
+            f"vstore.{self.lanes}x{self.elem_type} "
+            f"{self.base.name}[{self.offset}]"
+        )
+
+
+class VExtract(VNode):
+    """Extract one lane of a vector into the scalar environment."""
+
+    def __init__(self, source: VNode, lane: int, value: Value):
+        self.source = source
+        self.lane = lane
+        self.value = value  # the IR value this extract defines
+
+    def describe(self) -> str:
+        return f"vextract {self.value.short_name()} <- lane {self.lane}"
+
+
+class VScalar(VNode):
+    """An original scalar instruction kept in the output program."""
+
+    def __init__(self, inst: Instruction):
+        self.inst = inst
+
+    def describe(self) -> str:
+        return f"scalar {self.inst.opcode} {self.inst.short_name()}"
+
+
+@dataclass
+class VectorProgram:
+    """An ordered vector program plus its originating function."""
+
+    function: object  # repro.ir.Function
+    nodes: List[VNode] = field(default_factory=list)
+
+    def append(self, node: VNode) -> VNode:
+        self.nodes.append(node)
+        return node
+
+    def dump(self) -> str:
+        lines = [f"vector program for {self.function.name}:"]
+        for i, node in enumerate(self.nodes):
+            lines.append(f"  {i:3d}: {node.describe()}")
+        return "\n".join(lines)
+
+    def count_nodes(self, include_free: bool = False) -> int:
+        from repro.ir.instructions import Opcode
+
+        count = 0
+        for node in self.nodes:
+            if isinstance(node, VScalar) and \
+                    node.inst.opcode == Opcode.GEP and not include_free:
+                continue
+            count += 1
+        return count
+
+    def vector_ops(self) -> List[VOp]:
+        return [n for n in self.nodes if isinstance(n, VOp)]
+
+    def uses_instruction(self, name_prefix: str) -> bool:
+        return any(
+            op.inst.name.startswith(name_prefix) for op in self.vector_ops()
+        )

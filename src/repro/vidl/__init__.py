@@ -1,0 +1,53 @@
+"""Vector Instruction Description Language (§4.1) and its offline lifter
+from pseudocode semantics (§6.1)."""
+
+from repro.vidl.ast import (
+    InstDesc,
+    LaneOp,
+    LaneRef,
+    OpConst,
+    OpExpr,
+    OpNode,
+    OpParam,
+    Operation,
+    VectorInput,
+)
+from repro.vidl.interp import (
+    DONT_CARE,
+    VIDLExecError,
+    bits_from_lanes,
+    execute_inst,
+    execute_operation,
+    lanes_from_bits,
+)
+from repro.vidl.lift import LiftError, elem_type_of, lift_spec, lift_symbolic
+from repro.vidl.printer import (
+    format_inst_desc,
+    format_op_expr,
+    format_operation,
+)
+
+__all__ = [
+    "InstDesc",
+    "LaneOp",
+    "LaneRef",
+    "OpConst",
+    "OpExpr",
+    "OpNode",
+    "OpParam",
+    "Operation",
+    "VectorInput",
+    "DONT_CARE",
+    "VIDLExecError",
+    "bits_from_lanes",
+    "execute_inst",
+    "execute_operation",
+    "lanes_from_bits",
+    "LiftError",
+    "elem_type_of",
+    "lift_spec",
+    "lift_symbolic",
+    "format_inst_desc",
+    "format_op_expr",
+    "format_operation",
+]

@@ -1,0 +1,263 @@
+"""Lifting simplified bitvector formulas to VIDL (§6.1).
+
+After symbolic evaluation and simplification, an instruction's ``dst``
+formula is sliced into output lanes; each lane expression is translated to
+a VIDL operation whose leaves are *element-aligned* slices of the input
+registers.  Element alignment is exactly the VIDL restriction that input
+lanes are selected by constant indices — if a lane expression reads a
+misaligned or partial slice of an input, the instruction cannot be
+described in VIDL and we reject it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.bitvector import (
+    BVBinary,
+    BVCast,
+    BVConst,
+    BVExpr,
+    BVExtract,
+    BVIte,
+    BVOps,
+    BVUnary,
+    BVVar,
+    bv_extract,
+    simplify,
+)
+from repro.ir.types import FloatType, I1, Type, int_type
+from repro.pseudocode.ast import ElemKind, Spec
+from repro.pseudocode.symbolic import SymbolicResult, evaluate_spec
+from repro.utils.fp import float_from_bits
+from repro.vidl.ast import (
+    InstDesc,
+    LaneOp,
+    LaneRef,
+    OpConst,
+    OpExpr,
+    OpNode,
+    OpParam,
+    Operation,
+    VectorInput,
+)
+
+
+class LiftError(ValueError):
+    """Raised when a formula cannot be expressed in VIDL."""
+
+
+def elem_type_of(kind: str, width: int) -> Type:
+    if kind == ElemKind.FLOAT:
+        return FloatType(width)
+    return int_type(width)
+
+
+def lift_spec(spec: Spec) -> InstDesc:
+    """Full offline pipeline for one instruction: symbolic evaluation,
+    simplification, lane slicing, and lifting."""
+    return lift_symbolic(evaluate_spec(spec))
+
+
+def lift_symbolic(result: SymbolicResult) -> InstDesc:
+    spec = result.spec
+    if result.references_uninitialized_output():
+        raise LiftError(
+            f"{spec.name}: semantics do not assign every output bit"
+        )
+    out = spec.output
+    out_ty = elem_type_of(out.kind, out.elem_width)
+    inputs = [
+        VectorInput(p.lanes, elem_type_of(p.kind, p.elem_width))
+        for p in spec.params
+    ]
+    input_index = {p.name: i for i, p in enumerate(spec.params)}
+    lane_ops: List[LaneOp] = []
+    for lane in range(out.lanes):
+        hi = (lane + 1) * out.elem_width - 1
+        lo = lane * out.elem_width
+        lane_expr = simplify(bv_extract(hi, lo, result.dst))
+        lifter = _LaneLifter(spec, input_index)
+        expr = lifter.lift(lane_expr, out_ty)
+        operation = Operation(tuple(lifter.param_types), expr)
+        lane_ops.append(LaneOp(operation, tuple(lifter.bindings)))
+    return InstDesc(spec.name, inputs, lane_ops, out_ty)
+
+
+class _LaneLifter:
+    """Lifts one output-lane formula; accumulates parameters in
+    first-appearance order, deduplicating repeated input lanes."""
+
+    def __init__(self, spec: Spec, input_index: Dict[str, int]):
+        self.spec = spec
+        self.input_index = input_index
+        self.param_types: List[Type] = []
+        self.bindings: List[LaneRef] = []
+        self._param_of: Dict[Tuple[int, int], int] = {}
+
+    def lift(self, expr: BVExpr, expected: Type) -> OpExpr:
+        if isinstance(expr, BVConst):
+            return self._lift_const(expr, expected)
+        if isinstance(expr, BVVar):
+            return self._lift_input_slice(expr, expr.width - 1, 0, expected)
+        if isinstance(expr, BVExtract):
+            return self._lift_extract(expr, expected)
+        if isinstance(expr, BVIte):
+            cond = self.lift(expr.cond, I1)
+            on_true = self.lift(expr.on_true, expected)
+            on_false = self.lift(expr.on_false, expected)
+            return OpNode("select", [cond, on_true, on_false], expected)
+        if isinstance(expr, BVUnary):
+            return self._lift_unary(expr, expected)
+        if isinstance(expr, BVCast):
+            return self._lift_cast(expr, expected)
+        if isinstance(expr, BVBinary):
+            return self._lift_binary(expr, expected)
+        raise LiftError(f"cannot lift {type(expr).__name__}")
+
+    # -- leaves ------------------------------------------------------------
+
+    def _lift_const(self, expr: BVConst, expected: Type) -> OpConst:
+        if expected.width != expr.width:
+            raise LiftError(
+                f"constant width {expr.width} != expected {expected.width}"
+            )
+        if expected.is_float:
+            return OpConst(float_from_bits(expr.value, expr.width), expected)
+        return OpConst(expr.value, expected)
+
+    def _lift_input_slice(self, var: BVVar, hi: int, lo: int,
+                          expected: Type) -> OpExpr:
+        if var.name not in self.input_index:
+            raise LiftError(f"free variable {var.name!r} is not an input")
+        index = self.input_index[var.name]
+        param = self.spec.params[index]
+        ew = param.elem_width
+        width = hi - lo + 1
+        if width == ew and lo % ew == 0:
+            return self._param(index, param, lo // ew, expected)
+        # A slice strictly inside one element: expressible as shift +
+        # truncate of that element (the LLVM IR idiom the pattern must
+        # match, e.g. ``trunc i32 %x to i16``).
+        if hi // ew == lo // ew and param.kind != ElemKind.FLOAT:
+            if not expected.is_integer or expected.width != width:
+                raise LiftError(
+                    f"{self.spec.name}: sub-element slice used where "
+                    f"{expected} expected"
+                )
+            elem_ty = elem_type_of(param.kind, ew)
+            node: OpExpr = self._param(index, param, lo // ew, elem_ty)
+            shift = lo % ew
+            if shift:
+                node = OpNode("lshr", [node, OpConst(shift, elem_ty)],
+                              elem_ty)
+            return OpNode("trunc", [node], int_type(width))
+        raise LiftError(
+            f"{self.spec.name}: slice [{hi}:{lo}] of input {var.name!r} "
+            f"is not element aligned (element width {ew})"
+        )
+
+    def _param(self, index: int, param, lane: int,
+               expected: Type) -> OpParam:
+        elem_ty = elem_type_of(param.kind, param.elem_width)
+        if elem_ty.is_float != expected.is_float or \
+                elem_ty.width != expected.width:
+            raise LiftError(
+                f"{self.spec.name}: input lane of type {elem_ty} used "
+                f"where {expected} expected"
+            )
+        key = (index, lane)
+        if key not in self._param_of:
+            self._param_of[key] = len(self.param_types)
+            self.param_types.append(elem_ty)
+            self.bindings.append(LaneRef(index, lane))
+        return OpParam(self._param_of[key], elem_ty)
+
+    # -- interior nodes ---------------------------------------------------------
+
+    def _lift_extract(self, expr: BVExtract, expected: Type) -> OpExpr:
+        if isinstance(expr.operand, BVVar):
+            return self._lift_input_slice(expr.operand, expr.hi, expr.lo,
+                                          expected)
+        if expr.lo == 0:
+            if not expected.is_integer:
+                raise LiftError("truncation must produce an integer")
+            inner_ty = int_type(expr.operand.width)
+            inner = self.lift(expr.operand, inner_ty)
+            return OpNode("trunc", [inner], int_type(expr.width))
+        raise LiftError(
+            f"unsupported extract [{expr.hi}:{expr.lo}] of a compound "
+            "expression"
+        )
+
+    def _lift_unary(self, expr: BVUnary, expected: Type) -> OpExpr:
+        if expr.op == "fneg":
+            if not expected.is_float:
+                raise LiftError("fneg in integer context")
+            operand = self.lift(expr.operand, expected)
+            return OpNode("fneg", [operand], expected)
+        if not expected.is_integer:
+            raise LiftError(f"{expr.op} in float context")
+        operand = self.lift(expr.operand, expected)
+        if expr.op == "neg":
+            # LLVM canonical form: 0 - x.
+            return OpNode("sub", [OpConst(0, expected), operand], expected)
+        if expr.op == "not":
+            ones = (1 << expected.width) - 1
+            return OpNode("xor", [operand, OpConst(ones, expected)],
+                          expected)
+        raise LiftError(f"unknown unary {expr.op}")
+
+    def _lift_cast(self, expr: BVCast, expected: Type) -> OpExpr:
+        inner = expr.operand
+        if expr.op in ("sext", "zext"):
+            if not expected.is_integer:
+                raise LiftError(f"{expr.op} in float context")
+            operand = self.lift(inner, int_type(inner.width))
+            return OpNode(expr.op, [operand], int_type(expr.width))
+        if expr.op in ("fpext", "fptrunc"):
+            operand = self.lift(inner, FloatType(inner.width))
+            return OpNode(expr.op, [operand], FloatType(expr.width))
+        if expr.op == "sitofp":
+            operand = self.lift(inner, int_type(inner.width))
+            return OpNode(expr.op, [operand], FloatType(expr.width))
+        if expr.op == "fptosi":
+            operand = self.lift(inner, FloatType(inner.width))
+            return OpNode(expr.op, [operand], int_type(expr.width))
+        raise LiftError(f"unknown cast {expr.op}")
+
+    def _lift_binary(self, expr: BVBinary, expected: Type) -> OpExpr:
+        op = expr.op
+        if op in BVOps.INT_BINARY:
+            if not expected.is_integer or expected.width != expr.width:
+                raise LiftError(
+                    f"{op} produces i{expr.width}, expected {expected}"
+                )
+            ty = int_type(expr.width)
+            lhs = self.lift(expr.lhs, ty)
+            rhs = self.lift(expr.rhs, ty)
+            return OpNode(op, [lhs, rhs], ty)
+        if op in BVOps.FLOAT_BINARY:
+            if not expected.is_float or expected.width != expr.width:
+                raise LiftError(
+                    f"{op} produces f{expr.width}, expected {expected}"
+                )
+            ty = FloatType(expr.width)
+            lhs = self.lift(expr.lhs, ty)
+            rhs = self.lift(expr.rhs, ty)
+            return OpNode(op, [lhs, rhs], ty)
+        if op in BVOps.ICMP:
+            if expected != I1:
+                raise LiftError("comparison used as a non-i1 value")
+            ty = int_type(expr.lhs.width)
+            lhs = self.lift(expr.lhs, ty)
+            rhs = self.lift(expr.rhs, ty)
+            return OpNode("icmp", [lhs, rhs], I1, attr=op)
+        if op in BVOps.FCMP:
+            if expected != I1:
+                raise LiftError("comparison used as a non-i1 value")
+            ty = FloatType(expr.lhs.width)
+            lhs = self.lift(expr.lhs, ty)
+            rhs = self.lift(expr.rhs, ty)
+            return OpNode("fcmp", [lhs, rhs], I1, attr=op)
+        raise LiftError(f"unknown binary op {op}")

@@ -1,0 +1,51 @@
+"""Rendering of VIDL descriptions in the paper's notation (Figure 4b)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.vidl import ast as V
+
+
+def format_op_expr(expr: "V.OpExpr") -> str:
+    if isinstance(expr, V.OpParam):
+        return f"x{expr.index + 1}"
+    if isinstance(expr, V.OpConst):
+        return str(expr.value)
+    assert isinstance(expr, V.OpNode)
+    if expr.opcode in ("icmp", "fcmp"):
+        args = ", ".join(format_op_expr(o) for o in expr.operands)
+        return f"{expr.attr}({args})"
+    if expr.opcode in ("sext", "zext", "trunc", "fpext", "fptrunc",
+                       "sitofp", "fptosi"):
+        inner = format_op_expr(expr.operands[0])
+        return f"{expr.opcode}{expr.type.width}({inner})"
+    args = ", ".join(format_op_expr(o) for o in expr.operands)
+    return f"{expr.opcode}({args})"
+
+
+def format_operation(operation: "V.Operation") -> str:
+    params = ", ".join(
+        f"x{i + 1}:{ty}" for i, ty in enumerate(operation.params)
+    )
+    return f"({params}) -> {format_op_expr(operation.expr)}"
+
+
+def format_inst_desc(desc: "V.InstDesc") -> str:
+    inputs = ", ".join(
+        f"x{i}:{vin.lanes}x{vin.elem_type}"
+        for i, vin in enumerate(desc.inputs)
+    )
+    lanes: List[str] = []
+    ops = {op.key(): f"op{i}" for i, op in
+           enumerate(desc.distinct_operations())}
+    for lane_op in desc.lane_ops:
+        name = ops[lane_op.operation.key()]
+        binds = ", ".join(repr(b) for b in lane_op.bindings)
+        lanes.append(f"{name}({binds})")
+    header = f"{desc.name} = ({inputs}) -> [{', '.join(lanes)}]"
+    defs = [
+        f"  {ops[op.key()]} = {format_operation(op)}"
+        for op in desc.distinct_operations()
+    ]
+    return "\n".join([header] + defs)

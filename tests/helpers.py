@@ -1,0 +1,72 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.ir.function import Function
+from repro.ir.interp import Buffer, run_function
+from repro.ir.types import FloatType, IntType, PointerType
+from repro.machine.exec import run_program
+from repro.utils.intmath import to_signed
+from repro.vectorizer.vector_ir import VectorProgram
+
+#: Buffer length to allocate per pointer argument when the test does not
+#: know the kernel's exact footprint.
+DEFAULT_BUFFER_LEN = 64
+
+
+def random_buffers(function: Function, rng: random.Random,
+                   length: int = DEFAULT_BUFFER_LEN) -> Dict[str, object]:
+    """Random argument bindings for a function (buffers and scalars)."""
+    args: Dict[str, object] = {}
+    for arg in function.args:
+        if isinstance(arg.type, PointerType):
+            elem = arg.type.pointee
+            if isinstance(elem, IntType):
+                data = [rng.getrandbits(elem.width)
+                        for _ in range(length)]
+            else:
+                data = [rng.uniform(-100.0, 100.0) for _ in range(length)]
+            args[arg.name] = Buffer(elem, data)
+        elif isinstance(arg.type, IntType):
+            args[arg.name] = rng.getrandbits(arg.type.width)
+        else:
+            args[arg.name] = rng.uniform(-100.0, 100.0)
+    return args
+
+
+def copy_args(args: Dict[str, object]) -> Dict[str, object]:
+    return {
+        name: value.copy() if isinstance(value, Buffer) else value
+        for name, value in args.items()
+    }
+
+
+def assert_program_matches_scalar(function: Function,
+                                  program: VectorProgram,
+                                  rng: random.Random,
+                                  rounds: int = 20,
+                                  length: int = DEFAULT_BUFFER_LEN) -> None:
+    """Differential check: the vector program and the scalar interpreter
+    must leave identical memory for random inputs."""
+    for _ in range(rounds):
+        args = random_buffers(function, rng, length)
+        scalar_args = copy_args(args)
+        vector_args = copy_args(args)
+        ret_scalar = run_function(function, scalar_args)
+        run_program(program, vector_args)
+        for name, value in scalar_args.items():
+            if isinstance(value, Buffer):
+                assert value == vector_args[name], (
+                    f"buffer {name!r} diverged:\n"
+                    f"  scalar: {value.data}\n"
+                    f"  vector: {vector_args[name].data}"
+                )
+
+
+def signed_list(buffer: Buffer):
+    if isinstance(buffer.elem_type, IntType):
+        return [to_signed(v, buffer.elem_type.width) for v in buffer.data]
+    return list(buffer.data)

@@ -1,0 +1,115 @@
+"""Tests for the LLVM-SLP-style baseline vectorizer."""
+
+import random
+
+import pytest
+
+from repro.baseline import baseline_vectorize, get_baseline_target
+from repro.frontend import compile_kernel
+from repro.kernels import build_complex_mul
+from repro.vectorizer import vectorize
+from tests.helpers import assert_program_matches_scalar
+
+
+class TestBaselineTarget:
+    def test_simd_only(self):
+        target = get_baseline_target("avx2")
+        names = set(target.by_name)
+        assert "paddd_128" in names
+        assert "pabsw_128" in names
+        assert "pmaddwd_128" not in names
+        assert "phaddd_128" not in names
+        assert "packssdw_128" not in names
+
+    def test_addsub_kept_with_inflated_cost(self):
+        baseline = get_baseline_target("avx2")
+        from repro.target import get_target
+
+        full = get_target("avx2")
+        assert baseline.get("addsubpd_128").cost > \
+            full.get("addsubpd_128").cost
+        assert baseline.get("fmaddsubpd_128").cost > \
+            full.get("fmaddsubpd_128").cost
+
+    def test_fabs_is_baseline_only(self):
+        from repro.target import get_target
+
+        assert "fabspd_128" in get_baseline_target("avx2").by_name
+        assert "fabspd_128" not in get_target("avx2").by_name
+
+    def test_cached(self):
+        assert get_baseline_target("avx2") is get_baseline_target("avx2")
+
+
+class TestBaselineBehaviour:
+    def test_vectorizes_simd_kernel(self):
+        fn = compile_kernel("""
+void f(const int32_t *restrict a, const int32_t *restrict b,
+       int32_t *restrict c) {
+    for (int i = 0; i < 8; i++) { c[i] = a[i] + b[i]; }
+}
+""")
+        result = baseline_vectorize(fn, target="avx2")
+        assert result.vectorized
+        assert_program_matches_scalar(fn, result.program,
+                                      random.Random(0), rounds=10)
+
+    def test_declines_complex_mul(self):
+        # §7.4: LLVM's blend-cost overestimate stops vectorization; VeGen
+        # vectorizes with fmaddsub.
+        fn = build_complex_mul()
+        baseline = baseline_vectorize(fn, target="avx2")
+        vegen = vectorize(fn, target="avx2", beam_width=16)
+        assert not baseline.vectorized
+        assert vegen.vectorized
+        assert vegen.program.uses_instruction("fmaddsub")
+        assert vegen.cost.total < baseline.cost.total
+
+    def test_vectorizes_float_abs_via_special_case(self):
+        fn = compile_kernel("""
+void abs_pd(const double *restrict a, double *restrict dst) {
+    for (int i = 0; i < 2; i++) {
+        dst[i] = a[i] < 0 ? -a[i] : a[i];
+    }
+}
+""")
+        baseline = baseline_vectorize(fn, target="avx2")
+        vegen = vectorize(fn, target="avx2", beam_width=8)
+        assert baseline.vectorized
+        assert baseline.program.uses_instruction("fabs")
+        assert not vegen.vectorized  # §7.1: no semantics for the trick
+        assert_program_matches_scalar(fn, baseline.program,
+                                      random.Random(1), rounds=10)
+
+    def test_emitted_addsub_repriced_to_true_cost(self):
+        fn = compile_kernel("""
+void f(const double *restrict a, const double *restrict b,
+       double *restrict dst) {
+    for (int i = 0; i < 8; i += 2) {
+        dst[i] = a[i] - b[i];
+        dst[i+1] = a[i+1] + b[i+1];
+    }
+}
+""")
+        result = baseline_vectorize(fn, target="avx2")
+        if result.vectorized and result.program.uses_instruction("addsub"):
+            from repro.target import get_target
+
+            full = get_target("avx2")
+            for op in result.program.vector_ops():
+                assert op.inst.cost == full.get(op.inst.name).cost
+
+    def test_cannot_use_dot_product_instructions(self):
+        fn = compile_kernel("""
+void dot(const int16_t *restrict a, const int16_t *restrict b,
+         int32_t *restrict c) {
+    for (int j = 0; j < 4; j++) {
+        c[j] = a[2*j] * b[2*j] + a[2*j+1] * b[2*j+1];
+    }
+}
+""")
+        baseline = baseline_vectorize(fn, target="avx2")
+        assert not baseline.program.uses_instruction("pmaddwd")
+        vegen = vectorize(fn, target="avx2", beam_width=8)
+        assert vegen.program.uses_instruction("pmaddwd")
+        assert vegen.cost.total < baseline.cost.total

@@ -1,0 +1,229 @@
+"""Tests for the bitvector expression library (the z3 substitute),
+including the key property: simplification preserves semantics."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bitvector import (
+    BVBinary,
+    BVConst,
+    BVEvalError,
+    BVExpr,
+    BVIte,
+    BVUnary,
+    bv_binary,
+    bv_concat,
+    bv_const,
+    bv_extract,
+    bv_ite,
+    bv_sext,
+    bv_trunc,
+    bv_var,
+    bv_zext,
+    evaluate,
+    expr_size,
+    free_variables,
+    simplify,
+)
+
+
+class TestConstruction:
+    def test_var(self):
+        v = bv_var("x", 32)
+        assert v.width == 32 and v.name == "x"
+
+    def test_const_masks(self):
+        assert bv_const(-1, 8).value == 255
+
+    def test_extract_bounds_checked(self):
+        with pytest.raises(ValueError):
+            bv_extract(32, 0, bv_var("x", 32))
+
+    def test_extract_full_width_is_identity(self):
+        x = bv_var("x", 16)
+        assert bv_extract(15, 0, x) is x
+
+    def test_binary_width_mismatch(self):
+        with pytest.raises(ValueError):
+            bv_binary("add", bv_var("x", 8), bv_var("y", 16))
+
+    def test_comparison_width_one(self):
+        cmp = bv_binary("slt", bv_var("x", 8), bv_var("y", 8))
+        assert cmp.width == 1
+
+    def test_ite_checks(self):
+        with pytest.raises(ValueError):
+            bv_ite(bv_var("c", 2), bv_var("x", 8), bv_var("y", 8))
+
+    def test_structural_equality(self):
+        a = bv_binary("add", bv_var("x", 8), bv_const(1, 8))
+        b = bv_binary("add", bv_var("x", 8), bv_const(1, 8))
+        assert a == b and hash(a) == hash(b)
+
+    def test_free_variables_order(self):
+        e = bv_binary("add", bv_var("b", 8), bv_var("a", 8))
+        assert [v.name for v in free_variables(e)] == ["b", "a"]
+
+
+class TestEvaluate:
+    def test_arith(self):
+        x = bv_var("x", 8)
+        assert evaluate(bv_binary("add", x, bv_const(1, 8)),
+                        {"x": 255}) == 0
+        assert evaluate(bv_binary("mul", x, bv_const(3, 8)),
+                        {"x": 100}) == 44
+
+    def test_extract_concat(self):
+        x = bv_var("x", 16)
+        hi = bv_extract(15, 8, x)
+        lo = bv_extract(7, 0, x)
+        swapped = bv_concat([lo, hi])
+        assert evaluate(swapped, {"x": 0xAB12}) == 0x12AB
+
+    def test_shifts_clamp(self):
+        # SMT-LIB semantics: oversized shifts saturate rather than trap.
+        x = bv_var("x", 8)
+        amt = bv_const(200, 8)
+        assert evaluate(bv_binary("shl", x, amt), {"x": 0xFF}) == 0
+        assert evaluate(bv_binary("lshr", x, amt), {"x": 0xFF}) == 0
+        assert evaluate(bv_binary("ashr", x, amt), {"x": 0x80}) == 0xFF
+
+    def test_signed_comparisons(self):
+        x = bv_var("x", 8)
+        sgt = bv_binary("sgt", x, bv_const(0, 8))
+        assert evaluate(sgt, {"x": 0x80}) == 0  # -128 > 0 is false
+        ugt = bv_binary("ugt", x, bv_const(0, 8))
+        assert evaluate(ugt, {"x": 0x80}) == 1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(BVEvalError):
+            evaluate(bv_binary("udiv", bv_var("x", 8), bv_const(0, 8)),
+                     {"x": 1})
+
+    def test_unbound_variable(self):
+        with pytest.raises(BVEvalError):
+            evaluate(bv_var("nope", 8), {})
+
+    def test_float_ops_on_bit_payloads(self):
+        from repro.utils.fp import float_to_bits, float_from_bits
+
+        a = bv_const(float_to_bits(1.5, 64), 64)
+        b = bv_const(float_to_bits(2.25, 64), 64)
+        out = evaluate(bv_binary("fadd", a, b), {})
+        assert float_from_bits(out, 64) == 3.75
+
+
+# A recursive strategy for random expressions over two 16-bit variables.
+_INT_OPS = ["add", "sub", "mul", "and", "or", "xor"]
+
+
+def _exprs():
+    leaves = st.one_of(
+        st.just(bv_var("x", 16)),
+        st.just(bv_var("y", 16)),
+        st.integers(0, 2 ** 16 - 1).map(lambda v: bv_const(v, 16)),
+    )
+
+    def extend(children):
+        binops = st.tuples(st.sampled_from(_INT_OPS), children, children
+                           ).map(lambda t: bv_binary(t[0], t[1], t[2]))
+        ites = st.tuples(children, children, children).map(
+            lambda t: bv_ite(bv_binary("slt", t[0], t[1]), t[1], t[2])
+        )
+        exts = children.map(lambda e: bv_extract(7, 0, e))
+        sexts = children.map(lambda e: bv_trunc(
+            bv_sext(e, 24), 16))
+        return st.one_of(binops, ites, exts.map(lambda e: bv_zext(e, 16)),
+                         sexts)
+
+    return st.recursive(leaves, extend, max_leaves=12)
+
+
+class TestSimplify:
+    def test_extract_over_concat(self):
+        x = bv_var("x", 16)
+        y = bv_var("y", 16)
+        cat = bv_concat([x, y])  # x is the high half
+        assert simplify(bv_extract(31, 16, cat)) == x
+        assert simplify(bv_extract(15, 0, cat)) == y
+
+    def test_extract_across_concat_boundary(self):
+        x = bv_var("x", 8)
+        y = bv_var("y", 8)
+        cat = bv_concat([x, y])
+        mid = simplify(bv_extract(11, 4, cat))
+        assert evaluate(mid, {"x": 0xAB, "y": 0xCD}) == \
+            ((0xABCD >> 4) & 0xFF)
+
+    def test_identity_rules(self):
+        x = bv_var("x", 16)
+        assert simplify(bv_binary("add", x, bv_const(0, 16))) == x
+        assert simplify(bv_binary("mul", x, bv_const(1, 16))) == x
+        assert simplify(bv_binary("xor", x, x)) == bv_const(0, 16)
+        assert simplify(bv_binary("and", x, bv_const(0xFFFF, 16))) == x
+
+    def test_constant_folding(self):
+        e = bv_binary("mul", bv_const(7, 16), bv_const(6, 16))
+        assert simplify(e) == bv_const(42, 16)
+
+    def test_trunc_of_widening_add(self):
+        # The narrowing rule at the heart of lane splitting.
+        x = bv_var("x", 16)
+        y = bv_var("y", 16)
+        wide = bv_binary("add", bv_sext(x, 20), bv_sext(y, 20))
+        narrowed = simplify(bv_extract(15, 0, wide))
+        assert narrowed == bv_binary("add", x, y)
+
+    def test_ite_const_condition(self):
+        x = bv_var("x", 8)
+        e = bv_ite(bv_const(1, 1), x, bv_const(0, 8))
+        assert simplify(e) == x
+
+    def test_ite_same_arms(self):
+        x = bv_var("x", 8)
+        c = bv_binary("slt", x, bv_const(0, 8))
+        assert simplify(bv_ite(c, x, x)) == x
+
+    def test_double_negation(self):
+        x = bv_var("x", 8)
+        e = BVUnary("neg", BVUnary("neg", x))
+        assert simplify(e) == x
+
+    def test_sext_of_sext(self):
+        x = bv_var("x", 8)
+        e = bv_sext(bv_sext(x, 16), 32)
+        assert simplify(e) == bv_sext(x, 32)
+
+    def test_sext_of_zext_is_zext(self):
+        x = bv_var("x", 8)
+        e = bv_sext(bv_zext(x, 16), 32)
+        assert simplify(e) == bv_zext(x, 32)
+
+    def test_extract_through_ite(self):
+        x = bv_var("x", 16)
+        c = bv_binary("slt", x, bv_const(0, 16))
+        e = bv_extract(7, 0, bv_ite(c, x, bv_const(0, 16)))
+        s = simplify(e)
+        assert isinstance(s, BVIte)
+
+    @given(_exprs())
+    @settings(max_examples=150, deadline=None)
+    def test_simplify_preserves_semantics(self, expr):
+        simplified = simplify(expr)
+        assert simplified.width == expr.width
+        rng = random.Random(42)
+        for _ in range(5):
+            env = {"x": rng.getrandbits(16), "y": rng.getrandbits(16)}
+            try:
+                expected = evaluate(expr, env)
+            except BVEvalError:
+                continue
+            assert evaluate(simplified, env) == expected
+
+    @given(_exprs())
+    @settings(max_examples=60, deadline=None)
+    def test_simplify_never_grows_much(self, expr):
+        # The simplifier may duplicate through ites but must stay bounded.
+        assert expr_size(simplify(expr)) <= 4 * expr_size(expr) + 8

@@ -1,0 +1,104 @@
+"""Property tests: IR canonicalization and reassociation preserve
+semantics on randomly generated straight-line functions."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.ir import (
+    Buffer,
+    Constant,
+    Function,
+    ICmpPred,
+    IRBuilder,
+    I16,
+    I32,
+    pointer_to,
+    run_function,
+    verify_function,
+)
+from repro.patterns.canonicalize import canonicalize_function
+from repro.patterns.reassociate import reassociate_function
+from repro.vectorizer import clone_function
+
+_OPS = ["add", "sub", "mul", "and_", "or_", "xor", "icmp_select",
+        "sext_trunc", "const_add", "const_mul", "shl_const"]
+
+
+def _build(choices):
+    fn = Function("prop", [("a", pointer_to(I16)),
+                           ("out", pointer_to(I32))])
+    b = IRBuilder(fn)
+    values = [b.sext(b.load(fn.args[0], i), I32) for i in range(4)]
+    for kind, left, right in choices:
+        lhs = values[left % len(values)]
+        rhs = values[right % len(values)]
+        op = _OPS[kind % len(_OPS)]
+        if op == "icmp_select":
+            cond = b.icmp(ICmpPred.SLT, lhs, rhs)
+            values.append(b.select(cond, lhs, rhs))
+        elif op == "sext_trunc":
+            values.append(b.sext(b.trunc(lhs, I16), I32))
+        elif op == "const_add":
+            values.append(b.add(lhs, Constant(I32, (left * 7) % 100)))
+        elif op == "const_mul":
+            values.append(b.mul(lhs, Constant(I32, 1 + right % 3)))
+        elif op == "shl_const":
+            values.append(b.shl(lhs, Constant(I32, right % 8)))
+        else:
+            values.append(getattr(b, op)(lhs, rhs))
+    for slot in range(2):
+        b.store(values[-(slot + 1)], fn.args[1], slot)
+    b.ret()
+    verify_function(fn)
+    return fn
+
+
+def _outputs(fn, seed):
+    rng = random.Random(seed)
+    a = Buffer(I16, [rng.getrandbits(16) for _ in range(4)])
+    out = Buffer(I32, [0, 0])
+    run_function(fn, {"a": a, "out": out})
+    return out.data
+
+
+_choice = st.tuples(st.integers(0, 31), st.integers(0, 15),
+                    st.integers(0, 15))
+
+
+@given(st.lists(_choice, min_size=2, max_size=12))
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_canonicalization_preserves_semantics(choices):
+    fn = _build(choices)
+    reference = clone_function(fn)
+    canonicalize_function(fn)
+    verify_function(fn)
+    for seed in range(4):
+        assert _outputs(fn, seed) == _outputs(reference, seed)
+
+
+@given(st.lists(_choice, min_size=2, max_size=12))
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_reassociation_preserves_semantics(choices):
+    fn = _build(choices)
+    reference = clone_function(fn)
+    reassociate_function(fn)
+    verify_function(fn)
+    for seed in range(3):
+        assert _outputs(fn, seed) == _outputs(reference, seed)
+
+
+@given(st.lists(_choice, min_size=2, max_size=10))
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_canonicalization_idempotent(choices):
+    from repro.ir import print_function
+
+    fn = _build(choices)
+    canonicalize_function(fn)
+    once = print_function(fn)
+    canonicalize_function(fn)
+    assert print_function(fn) == once

@@ -1,0 +1,109 @@
+"""Tests for enumeration caps and seed-window behaviour."""
+
+import pytest
+
+from repro.frontend import compile_kernel
+from repro.patterns.canonicalize import canonicalize_function
+from repro.target import get_target
+from repro.vectorizer import (
+    VectorizationContext,
+    VectorizerConfig,
+    clone_function,
+    producers_for_operand,
+    store_seed_packs,
+)
+
+
+def _ctx(source, **config_kwargs):
+    fn = clone_function(compile_kernel(source))
+    canonicalize_function(fn)
+    return VectorizationContext(
+        fn, get_target("avx2"),
+        config=VectorizerConfig(**config_kwargs) if config_kwargs else None,
+    )
+
+
+ADDS = """
+void f(const int32_t *restrict a, const int32_t *restrict b,
+       int32_t *restrict c) {
+    for (int i = 0; i < 4; i++) { c[i] = a[i] + b[i]; }
+}
+"""
+
+
+class TestProducerCaps:
+    def test_cap_respected(self):
+        ctx = _ctx(ADDS, max_producers_per_operand=2,
+                   max_match_combinations=1)
+        adds = tuple(i for i in ctx.function.body() if i.opcode == "add")
+        producers = producers_for_operand(adds, ctx)
+        assert 0 < len(producers) <= 2
+
+    def test_producers_deduplicated(self):
+        ctx = _ctx(ADDS)
+        adds = tuple(i for i in ctx.function.body() if i.opcode == "add")
+        producers = producers_for_operand(adds, ctx)
+        keys = [p.key() for p in producers]
+        assert len(keys) == len(set(keys))
+
+    def test_commutative_alternatives_bounded(self):
+        # add is commutative: without the per-instruction cap the product
+        # of alternatives would be 2^4.
+        ctx = _ctx(ADDS, max_match_combinations=2,
+                   max_producers_per_operand=50)
+        adds = tuple(i for i in ctx.function.body() if i.opcode == "add")
+        producers = producers_for_operand(adds, ctx)
+        from repro.vectorizer import ComputePack
+
+        paddd = [p for p in producers if isinstance(p, ComputePack)
+                 and p.inst.name.startswith("paddd")]
+        assert 0 < len(paddd) <= 2
+
+
+OVERLAPPING_STORES = """
+void f(const int32_t *restrict a, int32_t *restrict c) {
+    for (int i = 0; i < 6; i++) { c[i] = a[i] + 1; }
+}
+"""
+
+
+class TestStoreWindows:
+    def test_all_window_positions_enumerated(self):
+        # A 6-store run yields sliding 2- and 4-wide windows.
+        ctx = _ctx(OVERLAPPING_STORES)
+        seeds = store_seed_packs(ctx)
+        widths = {}
+        for seed in seeds:
+            widths.setdefault(len(seed.stores), set()).add(
+                seed.first_offset
+            )
+        assert widths[2] == {0, 1, 2, 3, 4}
+        assert widths[4] == {0, 1, 2}
+        assert 8 not in widths  # run too short
+
+    def test_windows_share_base(self):
+        ctx = _ctx(OVERLAPPING_STORES)
+        for seed in store_seed_packs(ctx):
+            assert seed.base.name == "c"
+
+
+MIXED_TYPE_STORES = """
+void f(const int32_t *restrict a, int32_t *restrict c,
+       int16_t *restrict d) {
+    c[0] = a[0] + 1;
+    c[1] = a[1] + 1;
+    d[0] = (int16_t)(a[2] + 1);
+    d[1] = (int16_t)(a[3] + 1);
+}
+"""
+
+
+class TestMixedBuffers:
+    def test_separate_runs_per_buffer(self):
+        ctx = _ctx(MIXED_TYPE_STORES)
+        seeds = store_seed_packs(ctx)
+        bases = {seed.base.name for seed in seeds}
+        assert bases == {"c", "d"}
+        for seed in seeds:
+            elem_types = {s.value.type for s in seed.stores}
+            assert len(elem_types) == 1

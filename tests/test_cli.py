@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def kernel_file(tmp_path):
+    path = tmp_path / "dot.c"
+    path.write_text("""
+void dot(const int16_t *restrict a, const int16_t *restrict b,
+         int32_t *restrict c) {
+    c[0] = a[0] * b[0] + a[1] * b[1];
+    c[1] = a[2] * b[2] + a[3] * b[3];
+}
+""")
+    return str(path)
+
+
+class TestVectorizeCommand:
+    def test_basic(self, kernel_file, capsys):
+        assert main(["vectorize", kernel_file, "--beam-width", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "pmaddwd" in out
+        assert "scalar cost" in out
+
+    def test_dump_ir_and_baseline(self, kernel_file, capsys):
+        assert main([
+            "vectorize", kernel_file, "--dump-ir", "--compare-baseline",
+            "--beam-width", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "func dot" in out
+        assert "llvm cost" in out
+
+
+class TestDescribeCommand:
+    def test_known_instruction(self, capsys):
+        assert main(["describe", "pmaddwd_128", "--target", "avx2"]) == 0
+        out = capsys.readouterr().out
+        assert "sext32" in out
+        assert "FOR j := 0" in out
+
+    def test_unknown_instruction_suggests(self, capsys):
+        assert main(["describe", "pmaddw", "--target", "avx2"]) == 1
+        err = capsys.readouterr().err
+        assert "did you mean" in err
+
+
+class TestOtherCommands:
+    def test_targets(self, capsys):
+        assert main(["targets"]) == 0
+        out = capsys.readouterr().out
+        assert "avx2" in out and "instructions" in out
+
+    def test_validate_sse4_quick(self, capsys):
+        assert main(["validate", "--target", "sse4", "--trials", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "validated" in out

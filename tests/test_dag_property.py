@@ -1,0 +1,101 @@
+"""Property tests for the dependence analysis: the bitset transitive
+closure must agree with a naive graph reachability recomputation."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.ir import (
+    DependenceGraph,
+    Function,
+    IRBuilder,
+    I32,
+    pointer_to,
+    verify_function,
+)
+
+
+def _build_random_function(choices, store_slots):
+    fn = Function("dagprop", [("a", pointer_to(I32)),
+                              ("b", pointer_to(I32))])
+    bld = IRBuilder(fn)
+    values = [bld.load(fn.args[0], i) for i in range(3)]
+    for kind, left, right in choices:
+        lhs = values[left % len(values)]
+        rhs = values[right % len(values)]
+        if kind % 4 == 0:
+            # Interleave memory traffic to exercise memory edges.
+            slot = (left + right) % 4
+            bld.store(lhs, fn.args[1], slot)
+            values.append(bld.load(fn.args[1], slot))
+        else:
+            op = ("add", "mul", "xor")[kind % 3]
+            values.append(getattr(bld, op)(lhs, rhs))
+    for i, slot in enumerate(store_slots):
+        bld.store(values[-(i + 1)], fn.args[1], 8 + slot % 4)
+    bld.ret()
+    verify_function(fn)
+    return fn
+
+
+def _naive_reachability(dg):
+    """Recompute transitive dependence from the direct edges."""
+    n = len(dg.instructions)
+    direct = [set() for _ in range(n)]
+    for i, inst in enumerate(dg.instructions):
+        for dep in dg.direct_dependences(inst):
+            direct[i].add(dg.index(dep))
+    reach = [set(direct[i]) for i in range(n)]
+    for i in range(n):  # indices are topological (program order)
+        for j in list(reach[i]):
+            reach[i] |= reach[j]
+    return reach
+
+
+_choice = st.tuples(st.integers(0, 15), st.integers(0, 15),
+                    st.integers(0, 15))
+
+
+@given(st.lists(_choice, min_size=1, max_size=12),
+       st.lists(st.integers(0, 3), min_size=1, max_size=3))
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_closure_matches_naive_reachability(choices, store_slots):
+    fn = _build_random_function(choices, store_slots)
+    dg = DependenceGraph(fn)
+    reach = _naive_reachability(dg)
+    insts = dg.instructions
+    for i, a in enumerate(insts):
+        for j, b in enumerate(insts):
+            assert dg.depends(a, b) == (j in reach[i]), (i, j)
+
+
+@given(st.lists(_choice, min_size=1, max_size=10),
+       st.lists(st.integers(0, 3), min_size=1, max_size=2))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_dependence_is_acyclic_and_irreflexive(choices, store_slots):
+    fn = _build_random_function(choices, store_slots)
+    dg = DependenceGraph(fn)
+    for a in dg.instructions:
+        assert not dg.depends(a, a)
+        for b in dg.instructions:
+            if dg.depends(a, b):
+                assert not dg.depends(b, a)
+
+
+@given(st.lists(_choice, min_size=1, max_size=10))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_independent_matches_pairwise_depends(choices):
+    fn = _build_random_function(choices, [0])
+    dg = DependenceGraph(fn)
+    rng = random.Random(0)
+    insts = dg.instructions
+    for _ in range(10):
+        sample = rng.sample(insts, min(3, len(insts)))
+        expected = not any(
+            dg.depends(x, y) for x in sample for y in sample if x is not y
+        )
+        assert dg.independent(sample) == expected

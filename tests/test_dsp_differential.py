@@ -1,0 +1,47 @@
+"""Heavier differential checks for the DSP kernels at realistic beam
+widths (separated from the fast integration suite)."""
+
+import random
+
+import pytest
+
+from repro.baseline import baseline_vectorize
+from repro.kernels import build_dsp_kernels
+from repro.vectorizer import VectorizerConfig, vectorize
+from tests.helpers import assert_program_matches_scalar
+
+_kernels = build_dsp_kernels()
+
+
+@pytest.mark.parametrize("name", ["fft4", "fft8", "sbc", "chroma",
+                                  "idct4"])
+def test_vegen_beam64_differential(name):
+    fn = _kernels[name]
+    result = vectorize(fn, target="avx2", beam_width=64)
+    assert_program_matches_scalar(fn, result.program,
+                                  random.Random(len(name)), rounds=5)
+
+
+@pytest.mark.parametrize("name", ["sbc", "idct4"])
+def test_vegen_avx512_differential(name):
+    fn = _kernels[name]
+    result = vectorize(fn, target="avx512_vnni", beam_width=16)
+    assert_program_matches_scalar(fn, result.program,
+                                  random.Random(7), rounds=4)
+
+
+def test_idct8_reduced_budget_differential():
+    fn = _kernels["idct8"]
+    cfg = VectorizerConfig(beam_width=4, patience=4, max_steps=64)
+    result = vectorize(fn, target="avx2", beam_width=4, config=cfg)
+    assert_program_matches_scalar(fn, result.program, random.Random(8),
+                                  rounds=2)
+
+
+def test_nocanon_differential():
+    # The ablation path must still be correct even when it matches less.
+    fn = _kernels["idct4"]
+    result = vectorize(fn, target="avx2", beam_width=8,
+                       canonicalize_patterns=False)
+    assert_program_matches_scalar(fn, result.program, random.Random(9),
+                                  rounds=4)

@@ -1,0 +1,210 @@
+"""Tests for the mini-C frontend: parsing, lowering, C semantics."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import CSyntaxError, LowerError, compile_kernel, parse_c
+from repro.ir import Buffer, I8, I16, I32, I64, F32, F64, run_function, \
+    verify_function
+from repro.ir.types import IntType
+from repro.utils.intmath import to_signed
+
+
+class TestParser:
+    def test_function_signature(self):
+        fns = parse_c("void f(const int16_t *restrict a, int b) { return; }")
+        assert fns[0].name == "f"
+        assert fns[0].params[0].is_pointer
+        assert not fns[0].params[1].is_pointer
+
+    def test_array_param_decays(self):
+        fns = parse_c("void f(int a[4]) { return; }")
+        assert fns[0].params[0].is_pointer
+
+    def test_rejects_garbage(self):
+        with pytest.raises(CSyntaxError):
+            parse_c("void f() { $$$ }")
+
+    def test_rejects_weird_loop(self):
+        with pytest.raises(CSyntaxError):
+            parse_c("void f(int *p) { for (int i = 0; i > 4; i++) {} }")
+
+
+class TestLowering:
+    def test_unrolls_loops(self):
+        fn = compile_kernel("""
+void f(const int32_t *restrict a, int32_t *restrict b) {
+    for (int i = 0; i < 4; i++) { b[i] = a[i] + 1; }
+}
+""")
+        verify_function(fn)
+        stores = [i for i in fn.body() if i.opcode == "store"]
+        assert len(stores) == 4
+
+    def test_local_arrays_promoted(self):
+        fn = compile_kernel("""
+void f(const int32_t *restrict a, int32_t *restrict b) {
+    int32_t tmp[2];
+    tmp[0] = a[0] + a[1];
+    tmp[1] = a[0] - a[1];
+    b[0] = tmp[0] * tmp[1];
+}
+""")
+        # No loads or stores for tmp: it lives in SSA values.
+        mems = [i for i in fn.body() if i.is_memory]
+        assert len(mems) == 3  # two loads of a, one store to b
+        a = Buffer(I32, [7, 3])
+        b = Buffer(I32, [0])
+        run_function(fn, {"a": a, "b": b})
+        assert to_signed(b.data[0], 32) == (7 + 3) * (7 - 3)
+
+    def test_integer_promotion(self):
+        fn = compile_kernel("""
+void f(const int8_t *restrict a, int32_t *restrict b) {
+    b[0] = a[0] * a[1];
+}
+""")
+        a = Buffer(I8, [-100, 100])
+        b = Buffer(I32, [0])
+        run_function(fn, {"a": a, "b": b})
+        assert to_signed(b.data[0], 32) == -10000  # no i8 wraparound
+
+    def test_unsigned_promotion_uses_zext(self):
+        fn = compile_kernel("""
+void f(const uint8_t *restrict a, int32_t *restrict b) {
+    b[0] = a[0] + 1;
+}
+""")
+        a = Buffer(IntType(8), [255])
+        b = Buffer(I32, [0])
+        run_function(fn, {"a": a, "b": b})
+        assert to_signed(b.data[0], 32) == 256
+
+    def test_narrowing_store(self):
+        fn = compile_kernel("""
+void f(const int32_t *restrict a, int16_t *restrict b) {
+    b[0] = (int16_t)(a[0] + a[1]);
+}
+""")
+        a = Buffer(I32, [0x12345, 0])
+        b = Buffer(I16, [0])
+        run_function(fn, {"a": a, "b": b})
+        assert b.data[0] == 0x2345
+
+    def test_ternary(self):
+        fn = compile_kernel("""
+void f(const int32_t *restrict a, int32_t *restrict b) {
+    b[0] = a[0] < a[1] ? a[0] : a[1];
+}
+""")
+        a = Buffer(I32, [5, 3])
+        b = Buffer(I32, [0])
+        run_function(fn, {"a": a, "b": b})
+        assert b.data[0] == 3
+
+    def test_compound_assignment(self):
+        fn = compile_kernel("""
+void f(const int32_t *restrict a, int32_t *restrict b) {
+    b[0] = 0;
+    for (int i = 0; i < 4; i++) { b[0] += a[i]; }
+}
+""")
+        a = Buffer(I32, [1, 2, 3, 4])
+        b = Buffer(I32, [99])
+        run_function(fn, {"a": a, "b": b})
+        assert b.data[0] == 10
+
+    def test_dead_store_elimination(self):
+        fn = compile_kernel("""
+void f(const int32_t *restrict a, int32_t *restrict b) {
+    b[0] = 0;
+    for (int i = 0; i < 4; i++) { b[0] += a[i]; }
+}
+""")
+        stores = [i for i in fn.body() if i.opcode == "store"]
+        assert len(stores) == 1  # accumulation stores eliminated
+
+    def test_shifts_and_signedness(self):
+        fn = compile_kernel("""
+void f(const int32_t *restrict a, const uint32_t *restrict u,
+       int32_t *restrict b) {
+    b[0] = a[0] >> 2;
+    b[1] = (int32_t)(u[0] >> 2);
+}
+""")
+        a = Buffer(I32, [-8])
+        u = Buffer(IntType(32, ), [0x80000000])
+        b = Buffer(I32, [0, 0])
+        run_function(fn, {"a": a, "u": u, "b": b})
+        assert to_signed(b.data[0], 32) == -2      # arithmetic shift
+        assert b.data[1] == 0x20000000             # logical shift
+
+    def test_float_kernels(self):
+        fn = compile_kernel("""
+void f(const float *restrict a, float *restrict b) {
+    b[0] = a[0] * 2.0f + a[1];
+    b[1] = -a[0];
+}
+""")
+        a = Buffer(F32, [1.5, 3.0])
+        b = Buffer(F32, [0.0, 0.0])
+        run_function(fn, {"a": a, "b": b})
+        assert b.data == [6.0, -1.5]
+
+    def test_scalar_return(self):
+        fn = compile_kernel("""
+int f(const int32_t *restrict a) {
+    return a[0] + a[1];
+}
+""")
+        assert run_function(fn, {"a": Buffer(I32, [40, 2])}) == 42
+
+    def test_uninitialized_local_array_read_raises(self):
+        with pytest.raises(LowerError):
+            compile_kernel("""
+void f(int32_t *restrict b) {
+    int32_t tmp[2];
+    b[0] = tmp[0];
+}
+""")
+
+    def test_runtime_index_rejected(self):
+        with pytest.raises(LowerError):
+            compile_kernel("""
+void f(const int32_t *restrict a, int32_t *restrict b) {
+    b[a[0]] = 1;
+}
+""")
+
+    def test_unreachable_after_return_rejected(self):
+        with pytest.raises(LowerError):
+            compile_kernel("""
+int f(const int32_t *restrict a) {
+    return a[0];
+    return a[1];
+}
+""")
+
+    @given(st.lists(st.integers(-(2 ** 15), 2 ** 15 - 1), min_size=8,
+                    max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_dot_matches_python_reference(self, values):
+        fn = compile_kernel("""
+void dot(const int16_t *restrict a, const int16_t *restrict b,
+         int32_t *restrict c) {
+    for (int j = 0; j < 2; j++) {
+        c[j] = a[2*j] * b[2*j] + a[2*j+1] * b[2*j+1];
+    }
+}
+""")
+        a = Buffer(I16, values[:4])
+        b = Buffer(I16, values[4:])
+        c = Buffer(I32, [0, 0])
+        run_function(fn, {"a": a, "b": b, "c": c})
+        sa = [to_signed(v, 16) for v in a.data]
+        sb = [to_signed(v, 16) for v in b.data]
+        expected = [sa[0] * sb[0] + sa[1] * sb[1],
+                    sa[2] * sb[2] + sa[3] * sb[3]]
+        assert [to_signed(v, 32) for v in c.data] == expected

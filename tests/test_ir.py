@@ -1,0 +1,358 @@
+"""Tests for the scalar IR substrate: types, instructions, builder,
+printer/parser round trips, interpreter, dependence analysis, verifier."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import (
+    Buffer,
+    Constant,
+    DependenceGraph,
+    Function,
+    ICmpPred,
+    FCmpPred,
+    IRBuilder,
+    InterpError,
+    Opcode,
+    VerificationError,
+    contiguous_accesses,
+    dead_code_eliminate,
+    parse_function,
+    parse_type,
+    pointer_to,
+    print_function,
+    run_function,
+    verify_function,
+    F32,
+    F64,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    IntType,
+    VOID,
+)
+from repro.ir.instructions import (
+    BinaryInst,
+    CastInst,
+    GEPInst,
+    ICmpInst,
+    SelectInst,
+    StoreInst,
+    pointer_base_and_offset,
+)
+from repro.utils.intmath import to_signed
+
+
+class TestTypes:
+    def test_structural_equality(self):
+        assert I32 == IntType(32)
+        assert I32 != I16
+        assert pointer_to(I32) == pointer_to(I32)
+        assert pointer_to(I32) != pointer_to(I16)
+
+    def test_parse_roundtrip(self):
+        for text in ("i8", "i32", "f64", "i16*", "void"):
+            assert repr(parse_type(text)) == text
+
+    def test_predicates(self):
+        assert I32.is_integer and not I32.is_float
+        assert F64.is_float and not F64.is_integer
+        assert pointer_to(I8).is_pointer
+        assert VOID.is_void
+        assert I1.is_bool and not I8.is_bool
+
+    def test_invalid_widths(self):
+        with pytest.raises(ValueError):
+            IntType(0)
+        with pytest.raises(ValueError):
+            parse_type("f16")
+
+
+class TestInstructions:
+    def test_binary_type_check(self):
+        fn = Function("f", [("a", I32), ("b", I16)])
+        with pytest.raises(TypeError):
+            BinaryInst(Opcode.ADD, fn.args[0], fn.args[1])
+
+    def test_float_op_rejects_ints(self):
+        fn = Function("f", [("a", I32), ("b", I32)])
+        with pytest.raises(TypeError):
+            BinaryInst(Opcode.FADD, fn.args[0], fn.args[1])
+
+    def test_cast_direction_checks(self):
+        fn = Function("f", [("a", I32)])
+        with pytest.raises(TypeError):
+            CastInst(Opcode.SEXT, fn.args[0], I16)
+        with pytest.raises(TypeError):
+            CastInst(Opcode.TRUNC, fn.args[0], I64)
+
+    def test_icmp_produces_i1(self):
+        fn = Function("f", [("a", I32), ("b", I32)])
+        cmp = ICmpInst(ICmpPred.SLT, fn.args[0], fn.args[1])
+        assert cmp.type == I1
+
+    def test_select_requires_bool_condition(self):
+        fn = Function("f", [("a", I32), ("b", I32)])
+        with pytest.raises(TypeError):
+            SelectInst(fn.args[0], fn.args[0], fn.args[1])
+
+    def test_predicate_tables(self):
+        assert ICmpPred.swapped(ICmpPred.SLT) == ICmpPred.SGT
+        assert ICmpPred.inverted(ICmpPred.SLE) == ICmpPred.SGT
+        assert FCmpPred.swapped(FCmpPred.OLE) == FCmpPred.OGE
+        assert FCmpPred.inverted(FCmpPred.OEQ) == FCmpPred.ONE
+
+    def test_constant_masks(self):
+        c = Constant(I8, 300)
+        assert c.value == 44
+        assert Constant(I8, -1).signed_value() == -1
+
+    def test_use_lists(self):
+        fn = Function("f", [("a", I32), ("b", I32)])
+        b = IRBuilder(fn)
+        s = b.add(fn.args[0], fn.args[1])
+        t = b.mul(s, s)
+        assert s.num_uses == 2
+        s2 = b.sub(fn.args[0], fn.args[1])
+        s.replace_all_uses_with(s2)
+        assert s.num_uses == 0
+        assert all(op is s2 for op in t.operands)
+
+    def test_pointer_base_and_offset(self):
+        fn = Function("f", [("p", pointer_to(I32))])
+        b = IRBuilder(fn)
+        g1 = b.gep(fn.args[0], 3)
+        base, off = pointer_base_and_offset(g1)
+        assert base is fn.args[0] and off == 3
+
+
+def build_saxpy():
+    fn = Function("saxpy", [("x", pointer_to(F32)), ("y", pointer_to(F32)),
+                            ("a", F32)])
+    b = IRBuilder(fn)
+    x, y, a = fn.args
+    for i in range(4):
+        xi = b.load(x, i)
+        yi = b.load(y, i)
+        prod = b.fmul(xi, a)
+        b.store(b.fadd(prod, yi), y, i)
+    b.ret()
+    return fn
+
+
+class TestInterp:
+    def test_integer_arithmetic(self):
+        fn = Function("f", [("p", pointer_to(I32)), ("q", pointer_to(I32))])
+        b = IRBuilder(fn)
+        v = b.load(fn.args[0], 0)
+        b.store(b.mul(b.add(v, b.const(I32, 3)), b.const(I32, -2)),
+                fn.args[1], 0)
+        b.ret()
+        p = Buffer(I32, [10])
+        q = Buffer(I32, [0])
+        run_function(fn, {"p": p, "q": q})
+        assert to_signed(q.data[0], 32) == -26
+
+    def test_saxpy(self):
+        fn = build_saxpy()
+        x = Buffer(F32, [1.0, 2.0, 3.0, 4.0])
+        y = Buffer(F32, [10.0, 20.0, 30.0, 40.0])
+        run_function(fn, {"x": x, "y": y, "a": 2.0})
+        assert y.data == [12.0, 24.0, 36.0, 48.0]
+
+    def test_return_value(self):
+        fn = Function("f", [("a", I32)], I32)
+        b = IRBuilder(fn)
+        b.ret(b.add(fn.args[0], b.const(I32, 1)))
+        assert run_function(fn, {"a": 41}) == 42
+
+    def test_division_by_zero_raises(self):
+        fn = Function("f", [("a", I32), ("b", I32)], I32)
+        b = IRBuilder(fn)
+        b.ret(b.sdiv(fn.args[0], fn.args[1]))
+        with pytest.raises(InterpError):
+            run_function(fn, {"a": 1, "b": 0})
+
+    def test_sdiv_truncates_toward_zero(self):
+        fn = Function("f", [("a", I32), ("b", I32)], I32)
+        b = IRBuilder(fn)
+        b.ret(b.sdiv(fn.args[0], fn.args[1]))
+        assert to_signed(run_function(fn, {"a": -7, "b": 2}), 32) == -3
+
+    def test_out_of_bounds_raises(self):
+        fn = Function("f", [("p", pointer_to(I32))])
+        b = IRBuilder(fn)
+        b.store(b.const(I32, 1), fn.args[0], 5)
+        b.ret()
+        with pytest.raises(InterpError):
+            run_function(fn, {"p": Buffer(I32, [0])})
+
+    def test_select_and_icmp(self):
+        fn = Function("f", [("a", I32), ("b", I32)], I32)
+        b = IRBuilder(fn)
+        cond = b.icmp(ICmpPred.SLT, fn.args[0], fn.args[1])
+        b.ret(b.select(cond, fn.args[0], fn.args[1]))
+        assert run_function(fn, {"a": 3, "b": 9}) == 3
+        assert run_function(fn, {"a": 9, "b": 3}) == 3
+
+    def test_shift_out_of_range_is_error(self):
+        fn = Function("f", [("a", I8), ("b", I8)], I8)
+        b = IRBuilder(fn)
+        b.ret(b.shl(fn.args[0], fn.args[1]))
+        with pytest.raises(InterpError):
+            run_function(fn, {"a": 1, "b": 8})
+
+    @given(st.integers(-(2 ** 15), 2 ** 15 - 1),
+           st.integers(-(2 ** 15), 2 ** 15 - 1))
+    @settings(max_examples=50)
+    def test_sext_mul_matches_python(self, a, b_val):
+        fn = Function("f", [("a", I16), ("b", I16)], I32)
+        b = IRBuilder(fn)
+        b.ret(b.mul(b.sext(fn.args[0], I32), b.sext(fn.args[1], I32)))
+        assert to_signed(run_function(fn, {"a": a, "b": b_val}), 32) \
+            == a * b_val
+
+
+class TestPrinterParser:
+    def test_roundtrip(self):
+        fn = build_saxpy()
+        text = print_function(fn)
+        fn2 = parse_function(text)
+        assert print_function(fn2) == text
+        verify_function(fn2)
+
+    def test_parse_rejects_undefined_value(self):
+        with pytest.raises(Exception):
+            parse_function(
+                "func f(%p: i32*) {\n  store %x, %p\n  ret\n}"
+            )
+
+    def test_parse_constants(self):
+        fn = parse_function(
+            "func f(%p: i32*) {\n"
+            "  %0 = gep %p, 0\n"
+            "  %1 = load i32, %0\n"
+            "  %2 = add i32 %1, i32 -7\n"
+            "  store %2, %0\n"
+            "  ret\n"
+            "}"
+        )
+        run = Buffer(I32, [10])
+        run_function(fn, {"p": run})
+        assert to_signed(run.data[0], 32) == 3
+
+    def test_roundtrip_executes_identically(self):
+        fn = build_saxpy()
+        fn2 = parse_function(print_function(fn))
+        rng = random.Random(0)
+        for _ in range(10):
+            x = Buffer(F32, [rng.uniform(-5, 5) for _ in range(4)])
+            y1 = Buffer(F32, [rng.uniform(-5, 5) for _ in range(4)])
+            y2 = y1.copy()
+            run_function(fn, {"x": x.copy(), "y": y1, "a": 1.5})
+            run_function(fn2, {"x": x.copy(), "y": y2, "a": 1.5})
+            assert y1 == y2
+
+
+class TestDependence:
+    def _dot(self):
+        fn = Function("dot", [("A", pointer_to(I16)),
+                              ("C", pointer_to(I32))])
+        b = IRBuilder(fn)
+        l0 = b.load(fn.args[0], 0)
+        l1 = b.load(fn.args[0], 1)
+        e0 = b.sext(l0, I32)
+        e1 = b.sext(l1, I32)
+        s = b.add(e0, e1)
+        b.store(s, fn.args[1], 0)
+        b.ret()
+        return fn, (l0, l1, e0, e1, s)
+
+    def test_data_dependence(self):
+        fn, (l0, l1, e0, e1, s) = self._dot()
+        dg = DependenceGraph(fn)
+        assert dg.depends(s, l0)
+        assert dg.depends(s, e1)
+        assert not dg.depends(l0, l1)
+        assert not dg.depends(l0, s)
+
+    def test_independent(self):
+        fn, (l0, l1, e0, e1, s) = self._dot()
+        dg = DependenceGraph(fn)
+        assert dg.independent([e0, e1])
+        assert not dg.independent([e0, s])
+
+    def test_store_load_ordering_same_location(self):
+        fn = Function("f", [("p", pointer_to(I32))])
+        b = IRBuilder(fn)
+        st1 = b.store(b.const(I32, 1), fn.args[0], 0)
+        ld = b.load(fn.args[0], 0)
+        b.store(ld, fn.args[0], 1)
+        b.ret()
+        dg = DependenceGraph(fn)
+        assert dg.depends(ld, st1)
+
+    def test_distinct_offsets_do_not_conflict(self):
+        fn = Function("f", [("p", pointer_to(I32))])
+        b = IRBuilder(fn)
+        st1 = b.store(b.const(I32, 1), fn.args[0], 0)
+        ld = b.load(fn.args[0], 1)
+        b.store(ld, fn.args[0], 2)
+        b.ret()
+        dg = DependenceGraph(fn)
+        assert not dg.depends(ld, st1)
+
+    def test_distinct_buffers_never_alias(self):
+        fn = Function("f", [("p", pointer_to(I32)), ("q", pointer_to(I32))])
+        b = IRBuilder(fn)
+        st1 = b.store(b.const(I32, 1), fn.args[0], 0)
+        ld = b.load(fn.args[1], 0)
+        b.store(ld, fn.args[1], 1)
+        b.ret()
+        dg = DependenceGraph(fn)
+        assert not dg.depends(ld, st1)
+
+    def test_contiguous_accesses(self):
+        fn = Function("f", [("p", pointer_to(I32)), ("q", pointer_to(I32))])
+        b = IRBuilder(fn)
+        loads = [b.load(fn.args[0], i) for i in range(4)]
+        other = b.load(fn.args[1], 0)
+        b.store(loads[0], fn.args[1], 1)
+        b.ret()
+        assert contiguous_accesses(loads) == (fn.args[0], 0)
+        assert contiguous_accesses(list(reversed(loads))) is None
+        assert contiguous_accesses([loads[0], other]) is None
+
+
+class TestVerifier:
+    def test_accepts_valid(self):
+        verify_function(build_saxpy())
+
+    def test_missing_terminator(self):
+        fn = Function("f", [("a", I32)])
+        with pytest.raises(VerificationError):
+            verify_function(fn)
+
+    def test_return_type_mismatch(self):
+        fn = Function("f", [("a", I32)], I32)
+        builder = IRBuilder(fn)
+        builder.ret()
+        with pytest.raises(VerificationError):
+            verify_function(fn)
+
+    def test_dead_code_elimination(self):
+        fn = Function("f", [("p", pointer_to(I32))])
+        b = IRBuilder(fn)
+        v = b.load(fn.args[0], 0)
+        b.add(v, v)  # dead
+        b.store(v, fn.args[0], 1)
+        b.ret()
+        before = len(fn.body())
+        removed = dead_code_eliminate(fn)
+        assert removed == 1
+        assert len(fn.body()) == before - 1
+        verify_function(fn)

@@ -1,0 +1,259 @@
+"""Correctness of every evaluation kernel against independent Python
+reference implementations."""
+
+import random
+
+import pytest
+
+from repro.ir import Buffer, I8, I16, I32, I64, F32, F64, run_function, \
+    verify_function
+from repro.ir.types import IntType
+from repro.kernels import (
+    build_complex_mul,
+    build_dsp_kernels,
+    build_isel_tests,
+    build_opencv_kernels,
+    build_tvm_kernel,
+)
+from repro.utils.fp import round_to_float32
+from repro.utils.intmath import to_signed
+
+U8 = IntType(8)
+
+
+def clip16(value):
+    return max(-32768, min(32767, value))
+
+
+class TestKernelsCompile:
+    def test_all_compile_and_verify(self):
+        for fn in build_isel_tests().values():
+            verify_function(fn)
+        for fn in build_dsp_kernels().values():
+            verify_function(fn)
+        for fn in build_opencv_kernels().values():
+            verify_function(fn)
+        verify_function(build_tvm_kernel())
+        verify_function(build_complex_mul())
+
+
+class TestTVMKernel:
+    def test_matches_reference(self):
+        fn = build_tvm_kernel()
+        rng = random.Random(0)
+        for _ in range(10):
+            data = [rng.getrandbits(8) for _ in range(4)]
+            kern = [rng.getrandbits(8) for _ in range(64)]
+            out = [rng.getrandbits(16) for _ in range(16)]
+            expected = list(out)
+            for i in range(16):
+                for k in range(4):
+                    expected[i] += data[k] * to_signed(kern[i * 4 + k], 8)
+            buffers = {
+                "data": Buffer(U8, data),
+                "kernel": Buffer(I8, kern),
+                "output": Buffer(I32, out),
+            }
+            run_function(fn, buffers)
+            got = [to_signed(v, 32) for v in buffers["output"].data]
+            assert got == expected
+
+
+class TestComplexMul:
+    def test_matches_reference(self):
+        fn = build_complex_mul()
+        rng = random.Random(1)
+        for _ in range(20):
+            a = complex(rng.uniform(-5, 5), rng.uniform(-5, 5))
+            b = complex(rng.uniform(-5, 5), rng.uniform(-5, 5))
+            buffers = {
+                "a": Buffer(F64, [a.real, a.imag]),
+                "b": Buffer(F64, [b.real, b.imag]),
+                "dst": Buffer(F64, [0.0, 0.0]),
+            }
+            run_function(fn, buffers)
+            product = a * b
+            assert buffers["dst"].data[0] == pytest.approx(product.real)
+            assert buffers["dst"].data[1] == pytest.approx(product.imag)
+
+
+class TestDSPKernels:
+    def test_idct4_identity_on_zero(self):
+        fn = build_dsp_kernels()["idct4"]
+        args = {"src": Buffer(I16, [0] * 16), "dst": Buffer(I16, [0] * 16)}
+        run_function(fn, args)
+        assert args["dst"].data == [0] * 16
+
+    def test_idct4_matches_reference(self):
+        fn = build_dsp_kernels()["idct4"]
+        rng = random.Random(2)
+
+        def reference(src):
+            def one_pass(block, add, shift):
+                out = [0] * 16
+                for i in range(4):
+                    o0 = 83 * block[4 + i] + 36 * block[12 + i]
+                    o1 = 36 * block[4 + i] - 83 * block[12 + i]
+                    e0 = 64 * block[i] + 64 * block[8 + i]
+                    e1 = 64 * block[i] - 64 * block[8 + i]
+                    out[i * 4 + 0] = clip16((e0 + o0 + add) >> shift)
+                    out[i * 4 + 1] = clip16((e1 + o1 + add) >> shift)
+                    out[i * 4 + 2] = clip16((e1 - o1 + add) >> shift)
+                    out[i * 4 + 3] = clip16((e0 - o0 + add) >> shift)
+                return out
+
+            return one_pass(one_pass(src, 64, 7), 2048, 12)
+
+        for _ in range(10):
+            src = [rng.randrange(-1024, 1024) for _ in range(16)]
+            args = {"src": Buffer(I16, src), "dst": Buffer(I16, [0] * 16)}
+            run_function(fn, args)
+            got = [to_signed(v, 16) for v in args["dst"].data]
+            assert got == reference(src)
+
+    def test_fft4_matches_numpy_dft(self):
+        import cmath
+
+        fn = build_dsp_kernels()["fft4"]
+        rng = random.Random(3)
+        for _ in range(10):
+            xs = [complex(round_to_float32(rng.uniform(-2, 2)),
+                          round_to_float32(rng.uniform(-2, 2)))
+                  for _ in range(4)]
+            flat = []
+            for x in xs:
+                flat.extend([x.real, x.imag])
+            args = {"in": Buffer(F32, flat),
+                    "out": Buffer(F32, [0.0] * 8)}
+            run_function(fn, args)
+            for k in range(4):
+                expected = sum(
+                    xs[n] * cmath.exp(-2j * cmath.pi * k * n / 4)
+                    for n in range(4)
+                )
+                got = complex(args["out"].data[2 * k],
+                              args["out"].data[2 * k + 1])
+                assert got.real == pytest.approx(expected.real, abs=1e-3)
+                assert got.imag == pytest.approx(expected.imag, abs=1e-3)
+
+    def test_fft8_matches_dft(self):
+        import cmath
+
+        fn = build_dsp_kernels()["fft8"]
+        rng = random.Random(4)
+        xs = [complex(round_to_float32(rng.uniform(-2, 2)),
+                      round_to_float32(rng.uniform(-2, 2)))
+              for _ in range(8)]
+        flat = []
+        for x in xs:
+            flat.extend([x.real, x.imag])
+        args = {"in": Buffer(F32, flat), "out": Buffer(F32, [0.0] * 16)}
+        run_function(fn, args)
+        for k in range(8):
+            expected = sum(
+                xs[n] * cmath.exp(-2j * cmath.pi * k * n / 8)
+                for n in range(8)
+            )
+            got = complex(args["out"].data[2 * k],
+                          args["out"].data[2 * k + 1])
+            assert got.real == pytest.approx(expected.real, abs=1e-2)
+            assert got.imag == pytest.approx(expected.imag, abs=1e-2)
+
+    def test_sbc_matches_reference(self):
+        fn = build_dsp_kernels()["sbc"]
+        rng = random.Random(5)
+        ins = [rng.randrange(-32768, 32768) for _ in range(32)]
+        win = [rng.randrange(-32768, 32768) for _ in range(32)]
+        args = {"in": Buffer(I16, ins), "win": Buffer(I16, win),
+                "out": Buffer(I32, [0] * 4)}
+        run_function(fn, args)
+        for i in range(4):
+            expected = sum(ins[8 * i + k] * win[8 * i + k]
+                           for k in range(8)) & 0xFFFFFFFF
+            assert args["out"].data[i] == expected
+
+    def test_chroma_matches_reference(self):
+        fn = build_dsp_kernels()["chroma"]
+        rng = random.Random(6)
+        src = [rng.getrandbits(8) for _ in range(16)]
+        args = {"src": Buffer(U8, src), "dst": Buffer(U8, [0] * 16)}
+        run_function(fn, args)
+        expected = [
+            max(0, min(255, ((p * 77 + 64) >> 7) + 16)) for p in src
+        ]
+        assert args["dst"].data == expected
+
+
+class TestOpenCVKernels:
+    def test_int32x8_matches_figure14_description(self):
+        fn = build_opencv_kernels()["int32x8"]
+        rng = random.Random(7)
+        a = [rng.randrange(-(2 ** 31), 2 ** 31) for _ in range(8)]
+        b = [rng.randrange(-(2 ** 31), 2 ** 31) for _ in range(8)]
+        args = {"a": Buffer(I32, a), "b": Buffer(I32, b),
+                "out": Buffer(I64, [0] * 4)}
+        run_function(fn, args)
+        got = [to_signed(v, 64) for v in args["out"].data]
+        expected = [
+            to_signed((a[2 * j] * b[2 * j]
+                       + a[2 * j + 1] * b[2 * j + 1]) & (2 ** 64 - 1), 64)
+            for j in range(4)
+        ]
+        assert got == expected
+
+    def test_int16x16_matches_reference(self):
+        fn = build_opencv_kernels()["int16x16"]
+        rng = random.Random(8)
+        a = [rng.randrange(-32768, 32768) for _ in range(16)]
+        b = [rng.randrange(-32768, 32768) for _ in range(16)]
+        args = {"a": Buffer(I16, a), "b": Buffer(I16, b),
+                "out": Buffer(I32, [0, 0])}
+        run_function(fn, args)
+        got = [to_signed(v, 32) for v in args["out"].data]
+        expected = [sum(a[8 * j + k] * b[8 * j + k] for k in range(8))
+                    for j in range(2)]
+        assert got == expected
+
+    def test_uint8x32_uses_unsigned_data(self):
+        fn = build_opencv_kernels()["uint8x32"]
+        a = [255] * 32
+        b = [1] * 32
+        args = {"a": Buffer(U8, a), "b": Buffer(I8, b),
+                "out": Buffer(I32, [0, 0])}
+        run_function(fn, args)
+        assert [to_signed(v, 32) for v in args["out"].data] == \
+            [255 * 16, 255 * 16]
+
+
+class TestIselKernels:
+    def test_hadd_pd(self):
+        fn = build_isel_tests()["hadd_pd"]
+        args = {"a": Buffer(F64, [1.0, 2.0]), "b": Buffer(F64, [10.0, 20.0]),
+                "dst": Buffer(F64, [0.0, 0.0])}
+        run_function(fn, args)
+        assert args["dst"].data == [3.0, 30.0]
+
+    def test_abs_i16(self):
+        fn = build_isel_tests()["abs_i16"]
+        args = {"a": Buffer(I16, [-5, 5, -32768, 0, 1, -1, 7, -7]),
+                "dst": Buffer(I16, [0] * 8)}
+        run_function(fn, args)
+        got = [to_signed(v, 16) for v in args["dst"].data]
+        assert got == [5, 5, -32768, 0, 1, 1, 7, 7]
+
+    def test_mul_addsub_pd(self):
+        fn = build_isel_tests()["mul_addsub_pd"]
+        args = {"a": Buffer(F64, [2.0, 3.0]), "b": Buffer(F64, [5.0, 7.0]),
+                "c": Buffer(F64, [1.0, 1.0]),
+                "dst": Buffer(F64, [0.0, 0.0])}
+        run_function(fn, args)
+        assert args["dst"].data == [9.0, 22.0]
+
+    def test_pmaddubs_saturates(self):
+        fn = build_isel_tests()["pmaddubs"]
+        args = {"a": Buffer(U8, [255] * 16),
+                "b": Buffer(I8, [127] * 16),
+                "dst": Buffer(I16, [0] * 8)}
+        run_function(fn, args)
+        assert all(to_signed(v, 16) == 32767
+                   for v in args["dst"].data)

@@ -1,0 +1,110 @@
+"""Edge cases of the offline lifting pipeline."""
+
+import pytest
+
+from repro.ir.types import I16, I32
+from repro.patterns import canonicalize_operation
+from repro.pseudocode import parse_spec
+from repro.vidl import LiftError, lift_spec
+from repro.vidl.ast import OpConst, OpNode, OpParam, Operation
+
+
+class TestLiftEdges:
+    def test_sub_element_slice_becomes_shift_and_trunc(self):
+        # Extracting the high half of a 32-bit element: lshr + trunc.
+        desc = lift_spec(parse_spec("""
+hihalf(a: 2 x s32) -> 2 x s16
+FOR j := 0 to 1
+    dst[j*16+15:j*16] := Truncate16(a[j*32+31:j*32] >> 16)
+ENDFOR
+"""))
+        text = repr(desc.lane_ops[0].operation)
+        assert "lshr" in text or "ashr" in text
+        assert "trunc16" in text
+
+    def test_broadcast_binding_repeats_lane(self):
+        # One input lane feeding every output lane.
+        desc = lift_spec(parse_spec("""
+splatmul(a: 4 x s32, b: 4 x s32) -> 4 x s32
+FOR j := 0 to 3
+    i := j*32
+    dst[i+31:i] := a[31:0] * b[i+31:i]
+ENDFOR
+"""))
+        for lane_op in desc.lane_ops:
+            refs = [r for r in lane_op.bindings if r.input_index == 0]
+            assert all(r.lane_index == 0 for r in refs)
+        assert desc.consumed_lanes(0) == [True, False, False, False]
+
+    def test_constant_lanes_fold_into_operation(self):
+        desc = lift_spec(parse_spec("""
+scale3(a: 4 x s32) -> 4 x s32
+FOR j := 0 to 3
+    i := j*32
+    dst[i+31:i] := a[i+31:i] * 3
+ENDFOR
+"""))
+        op = desc.lane_ops[0].operation
+        consts = [n for n in _walk(op.expr) if isinstance(n, OpConst)]
+        assert any(c.value == 3 for c in consts)
+
+    def test_cross_input_same_operation(self):
+        # Lanes alternate between reading a and b: same op, different
+        # bindings.
+        desc = lift_spec(parse_spec("""
+interleave(a: 2 x s32, b: 2 x s32) -> 4 x s32
+FOR j := 0 to 1
+    dst[j*64+31:j*64] := a[j*32+31:j*32] + 1
+    dst[j*64+63:j*64+32] := b[j*32+31:j*32] + 1
+ENDFOR
+"""))
+        assert len(desc.distinct_operations()) == 1
+        inputs = [lane.bindings[0].input_index for lane in desc.lane_ops]
+        assert inputs == [0, 1, 0, 1]
+
+    def test_float_context_required_for_fp_ops(self):
+        with pytest.raises(LiftError):
+            lift_spec(parse_spec("""
+bad(a: 2 x f64) -> 2 x s64
+dst[63:0] := a[63:0] + a[63:0]
+dst[127:64] := a[127:64] + a[127:64]
+"""))
+
+
+def _walk(expr):
+    yield expr
+    for child in expr.children():
+        yield from _walk(child)
+
+
+class TestCanonicalizeOperationFallbacks:
+    def test_param_dropping_rewrites_are_rejected(self):
+        # mul(x1, 0) canonicalizes to 0, losing the parameter; the
+        # canonicalizer must fall back to the original operation so lane
+        # bindings stay valid.
+        op = Operation(
+            (I32,),
+            OpNode("mul", [OpParam(0, I32), OpConst(0, I32)], I32),
+        )
+        result = canonicalize_operation(op)
+        assert result.key() == op.key()
+
+    def test_disabled_flag_returns_original(self):
+        op = Operation(
+            (I32,),
+            OpNode("add", [OpParam(0, I32), OpConst(0, I32)], I32),
+        )
+        assert canonicalize_operation(op, enabled=False) is op
+
+    def test_identity_simplification_kept_when_params_survive(self):
+        op = Operation(
+            (I32, I32),
+            OpNode("add",
+                   [OpNode("add", [OpParam(0, I32), OpConst(0, I32)], I32),
+                    OpParam(1, I32)], I32),
+        )
+        result = canonicalize_operation(op)
+        assert result.key() == Operation(
+            (I32, I32),
+            OpNode("add", [OpParam(0, I32), OpParam(1, I32)], I32),
+        ).key()

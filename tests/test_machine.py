@@ -1,0 +1,170 @@
+"""Tests for the machine model: cost classification and the vector-program
+executor."""
+
+import pytest
+
+from repro.ir import (
+    Buffer,
+    Constant,
+    Function,
+    IRBuilder,
+    I32,
+    pointer_to,
+)
+from repro.machine import (
+    CostModel,
+    MachineExecError,
+    node_cost,
+    program_cost,
+    run_program,
+    scalar_function_cost,
+    speedup,
+)
+from repro.target import get_target
+from repro.vectorizer import (
+    ElementSource,
+    VGather,
+    VLoad,
+    VOp,
+    VStore,
+    VectorProgram,
+    scalar_program,
+)
+
+
+def trivial_function():
+    fn = Function("f", [("p", pointer_to(I32)), ("q", pointer_to(I32))])
+    b = IRBuilder(fn)
+    b.store(b.add(b.load(fn.args[0], 0), b.const(I32, 1)), fn.args[1], 0)
+    b.ret()
+    return fn
+
+
+class TestCostModel:
+    def test_defaults_match_paper(self):
+        model = CostModel()
+        assert model.c_shuffle == 2.0  # §6.2
+
+    def test_with_params(self):
+        model = CostModel().with_params(c_shuffle=5.0)
+        assert model.c_shuffle == 5.0
+        assert CostModel().c_shuffle == 2.0
+
+    def test_scalar_costs(self):
+        model = CostModel()
+        fn = trivial_function()
+        gep = fn.body()[0]
+        assert model.scalar_cost(gep) == 0.0  # address math is free
+
+    def test_scalar_function_cost(self):
+        fn = trivial_function()
+        # load 2 + add 1 + store 2 (geps and ret are free).
+        assert scalar_function_cost(fn) == pytest.approx(5.0)
+
+    def test_speedup(self):
+        assert speedup(10.0, 5.0) == 2.0
+        assert speedup(10.0, 0.0) == float("inf")
+
+
+class TestGatherClassification:
+    def _gather(self, sources):
+        return VGather(I32, sources)
+
+    def test_broadcast(self):
+        fn = trivial_function()
+        load = fn.body()[1]
+        g = self._gather([ElementSource("scalar", value=load)] * 4)
+        assert g.classify() == "broadcast"
+
+    def test_constant_vector(self):
+        g = self._gather([
+            ElementSource("const", value=Constant(I32, i)) for i in range(4)
+        ])
+        assert g.classify() == "constant"
+
+    def test_permute(self):
+        node = VLoad(trivial_function().args[0], 0, 4, I32)
+        g = self._gather([
+            ElementSource("lane", node=node, lane=i) for i in (3, 2, 1, 0)
+        ])
+        assert g.classify() == "permute"
+
+    def test_two_source(self):
+        fn = trivial_function()
+        n1 = VLoad(fn.args[0], 0, 4, I32)
+        n2 = VLoad(fn.args[0], 4, 4, I32)
+        g = self._gather([
+            ElementSource("lane", node=n1, lane=0),
+            ElementSource("lane", node=n2, lane=0),
+            ElementSource("lane", node=n1, lane=1),
+            ElementSource("lane", node=n2, lane=1),
+        ])
+        assert g.classify() == "two_source"
+
+    def test_insert(self):
+        fn = trivial_function()
+        load = fn.body()[1]
+        add = fn.body()[2]
+        g = self._gather([
+            ElementSource("scalar", value=load),
+            ElementSource("scalar", value=add),
+        ])
+        assert g.classify() == "insert"
+
+    def test_costs_ordered(self):
+        model = CostModel()
+        fn = trivial_function()
+        node = VLoad(fn.args[0], 0, 4, I32)
+        broadcast = self._gather(
+            [ElementSource("lane", node=node, lane=0)] * 4
+        )
+        permute = self._gather([
+            ElementSource("lane", node=node, lane=i) for i in (1, 0, 3, 2)
+        ])
+        assert node_cost(broadcast, model) <= node_cost(permute, model)
+
+
+class TestExecutor:
+    def test_scalar_program_execution(self):
+        fn = trivial_function()
+        prog = scalar_program(fn)
+        p = Buffer(I32, [41])
+        q = Buffer(I32, [0])
+        run_program(prog, {"p": p, "q": q})
+        assert q.data[0] == 42
+
+    def test_vload_bounds_checked(self):
+        fn = trivial_function()
+        prog = VectorProgram(fn)
+        prog.append(VLoad(fn.args[0], 0, 8, I32))
+        with pytest.raises(Exception):
+            run_program(prog, {"p": Buffer(I32, [0] * 4),
+                               "q": Buffer(I32, [0] * 4)})
+
+    def test_missing_argument(self):
+        fn = trivial_function()
+        prog = scalar_program(fn)
+        with pytest.raises(MachineExecError):
+            run_program(prog, {"p": Buffer(I32, [0])})
+
+    def test_vop_executes_via_vidl(self):
+        fn = Function("f", [("a", pointer_to(I32)), ("b", pointer_to(I32)),
+                            ("c", pointer_to(I32))])
+        IRBuilder(fn).ret()
+        prog = VectorProgram(fn)
+        la = prog.append(VLoad(fn.args[0], 0, 4, I32))
+        lb = prog.append(VLoad(fn.args[1], 0, 4, I32))
+        op = prog.append(VOp(get_target("avx2").get("paddd_128"),
+                             [la, lb]))
+        prog.append(VStore(op, fn.args[2], 0, 4, I32))
+        a = Buffer(I32, [1, 2, 3, 4])
+        b = Buffer(I32, [10, 20, 30, 40])
+        c = Buffer(I32, [0] * 4)
+        run_program(prog, {"a": a, "b": b, "c": c})
+        assert c.data == [11, 22, 33, 44]
+
+    def test_program_dump(self):
+        fn = trivial_function()
+        prog = scalar_program(fn)
+        text = prog.dump()
+        assert "scalar" in text and fn.name in text

@@ -1,0 +1,314 @@
+"""Tests for pattern generation, canonicalization, matching, and the
+match table (§4.2, §4.3, §6)."""
+
+import pytest
+
+from repro.ir import (
+    Constant,
+    Function,
+    ICmpPred,
+    IRBuilder,
+    Opcode,
+    I8,
+    I16,
+    I32,
+    pointer_to,
+    print_function,
+    verify_function,
+)
+from repro.patterns import (
+    MatchTable,
+    OperationIndex,
+    canonicalize_function,
+    canonicalize_operation,
+    function_to_operation,
+    match_operation,
+    operation_to_function,
+)
+from repro.pseudocode import parse_spec
+from repro.vidl import lift_spec
+
+PMADDWD = """
+pmaddwd(a: 4 x s16, b: 4 x s16) -> 2 x s32
+FOR j := 0 to 1
+    i := j*32
+    dst[i+31:i] := a[i+15:i]*b[i+15:i] + a[i+31:i+16]*b[i+31:i+16]
+ENDFOR
+"""
+
+PACKSSDW = """
+packssdw(a: 2 x s32, b: 2 x s32) -> 4 x s16
+FOR j := 0 to 1
+    dst[j*16+15:j*16] := Saturate16(a[j*32+31:j*32])
+    dst[(j+2)*16+15:(j+2)*16] := Saturate16(b[j*32+31:j*32])
+ENDFOR
+"""
+
+
+def madd_operation(canonical=True):
+    desc = lift_spec(parse_spec(PMADDWD))
+    return canonicalize_operation(desc.lane_ops[0].operation,
+                                  enabled=canonical)
+
+
+def saturate_operation(canonical=True):
+    desc = lift_spec(parse_spec(PACKSSDW))
+    return canonicalize_operation(desc.lane_ops[0].operation,
+                                  enabled=canonical)
+
+
+class TestRoundTrip:
+    def test_operation_to_function_and_back(self):
+        op = madd_operation()
+        fn = operation_to_function(op)
+        verify_function(fn)
+        back = function_to_operation(fn)
+        assert back.key() == op.key()
+
+    def test_emitted_function_computes_operation(self):
+        from repro.ir import run_function
+        from repro.vidl import execute_operation
+
+        op = madd_operation()
+        fn = operation_to_function(op)
+        args = {f"x{i}": v for i, v in enumerate([3, 5, 7, 9])}
+        assert run_function(fn, args) == execute_operation(op, [3, 5, 7, 9])
+
+
+class TestCanonicalize:
+    def test_strictifies_sge(self):
+        # sge(x, 32768) must become sgt(x, 32767): the rewrite the paper
+        # calls crucial for saturation.
+        raw = saturate_operation(canonical=False)
+        canon = saturate_operation(canonical=True)
+        assert "sge" in repr(raw)
+        assert "sgt" in repr(canon) and "sge" not in repr(canon)
+
+    def test_constant_to_rhs(self):
+        fn = Function("f", [("a", I32)], I32)
+        b = IRBuilder(fn)
+        b.ret(b.add(b.const(I32, 3), fn.args[0]))
+        canonicalize_function(fn)
+        add = fn.body()[-1]
+        assert isinstance(add.operands[1], Constant)
+
+    def test_constant_folding(self):
+        fn = Function("f", [("p", pointer_to(I32))])
+        b = IRBuilder(fn)
+        v = b.add(b.const(I32, 2), b.const(I32, 3))
+        loaded = b.load(fn.args[0], 0)
+        b.store(b.mul(loaded, v), fn.args[0], 1)
+        b.ret()
+        canonicalize_function(fn)
+        mul = [i for i in fn.body() if i.opcode == Opcode.MUL][0]
+        assert isinstance(mul.operands[1], Constant)
+        assert mul.operands[1].value == 5
+
+    def test_identity_removal(self):
+        fn = Function("f", [("a", I32)], I32)
+        b = IRBuilder(fn)
+        v = b.add(fn.args[0], b.const(I32, 0))
+        b.ret(b.mul(v, b.const(I32, 1)))
+        canonicalize_function(fn)
+        ret = fn.entry.terminator
+        assert ret.return_value is fn.args[0]
+
+    def test_trunc_narrowing(self):
+        # trunc(add(sext a, sext b)) -> add(a, b): C promotion reconciled
+        # with element-width semantics.
+        fn = Function("f", [("a", I16), ("b", I16)], I16)
+        b = IRBuilder(fn)
+        wide = b.add(b.sext(fn.args[0], I32), b.sext(fn.args[1], I32))
+        b.ret(b.trunc(wide, I16))
+        canonicalize_function(fn)
+        ret = fn.entry.terminator.return_value
+        assert ret.opcode == Opcode.ADD
+        assert ret.type == I16
+
+    def test_trunc_pushes_through_select(self):
+        fn = Function("f", [("a", I32), ("b", I32)], I16)
+        b = IRBuilder(fn)
+        cond = b.icmp(ICmpPred.SLT, fn.args[0], fn.args[1])
+        sel = b.select(cond, fn.args[0], fn.args[1])
+        b.ret(b.trunc(sel, I16))
+        canonicalize_function(fn)
+        ret = fn.entry.terminator.return_value
+        assert ret.opcode == Opcode.SELECT
+        assert ret.type == I16
+
+    def test_cast_composition(self):
+        fn = Function("f", [("a", I8)], I32)
+        b = IRBuilder(fn)
+        b.ret(b.sext(b.sext(fn.args[0], I16), I32))
+        canonicalize_function(fn)
+        ret = fn.entry.terminator.return_value
+        assert ret.opcode == Opcode.SEXT
+        assert ret.operands[0] is fn.args[0]
+
+    def test_canonicalization_preserves_params(self):
+        op = madd_operation(canonical=True)
+        assert len(op.params) == 4
+
+
+def build_dot_function():
+    fn = Function("dot", [("A", pointer_to(I16)), ("B", pointer_to(I16)),
+                          ("C", pointer_to(I32))])
+    b = IRBuilder(fn)
+    A, B, C = fn.args
+    la = [b.load(A, i) for i in range(4)]
+    lb = [b.load(B, i) for i in range(4)]
+    pr = [b.mul(b.sext(la[i], I32), b.sext(lb[i], I32)) for i in range(4)]
+    t1 = b.add(pr[0], pr[1])
+    t2 = b.add(pr[2], pr[3])
+    b.store(t1, C, 0)
+    b.store(t2, C, 1)
+    b.ret()
+    return fn, (t1, t2)
+
+
+class TestMatcher:
+    def test_matches_dot_product(self):
+        fn, (t1, t2) = build_dot_function()
+        op = madd_operation()
+        assert match_operation(op, t1)
+        assert match_operation(op, t2)
+
+    def test_match_reports_live_ins_and_covered(self):
+        fn, (t1, _) = build_dot_function()
+        op = madd_operation()
+        m = match_operation(op, t1)[0]
+        assert len(m.live_ins) == 4
+        assert m.live_out is t1
+        # root add + 2 muls + 4 sexts
+        assert len(m.covered) == 7
+
+    def test_commutativity_produces_alternatives(self):
+        fn, (t1, _) = build_dot_function()
+        op = madd_operation()
+        matches = match_operation(op, t1)
+        assert len(matches) > 1
+        keys = {tuple(id(v) for v in m.live_ins) for m in matches}
+        assert len(keys) == len(matches)
+
+    def test_type_mismatch_rejected(self):
+        fn = Function("f", [("a", I16), ("b", I16)], I16)
+        b = IRBuilder(fn)
+        b.ret(b.add(fn.args[0], fn.args[1]))
+        op = madd_operation()
+        assert match_operation(op, fn.entry.terminator.return_value) == []
+
+    def test_param_consistency_required(self):
+        # pabs-style op: select(slt(x,0), sub(0,x), x) requires all three
+        # x occurrences to be the same value.
+        desc = lift_spec(parse_spec("""
+pabsd(a: 2 x s32) -> 2 x s32
+FOR j := 0 to 1
+    i := j*32
+    dst[i+31:i] := ABS(a[i+31:i])
+ENDFOR
+"""))
+        op = canonicalize_operation(desc.lane_ops[0].operation)
+        fn = Function("f", [("a", I32), ("b", I32)], I32)
+        b = IRBuilder(fn)
+        cond = b.icmp(ICmpPred.SLT, fn.args[0], b.const(I32, 0))
+        neg = b.sub(b.const(I32, 0), fn.args[0])
+        good = b.select(cond, neg, fn.args[0])
+        b.ret(good)
+        assert match_operation(op, good)
+        fn2 = Function("g", [("a", I32), ("b", I32)], I32)
+        b2 = IRBuilder(fn2)
+        cond2 = b2.icmp(ICmpPred.SLT, fn2.args[0], b2.const(I32, 0))
+        neg2 = b2.sub(b2.const(I32, 0), fn2.args[0])
+        bad = b2.select(cond2, neg2, fn2.args[1])  # arms use different vars
+        b2.ret(bad)
+        assert match_operation(op, bad) == []
+
+    def test_inverted_select_matches(self):
+        # Pattern select(slt(a,b), a, b) must match select(sge(a,b), b, a).
+        desc = lift_spec(parse_spec("""
+pminsd(a: 2 x s32, b: 2 x s32) -> 2 x s32
+FOR j := 0 to 1
+    i := j*32
+    dst[i+31:i] := MIN(a[i+31:i], b[i+31:i])
+ENDFOR
+"""))
+        op = canonicalize_operation(desc.lane_ops[0].operation)
+        fn = Function("f", [("a", I32), ("b", I32)], I32)
+        b = IRBuilder(fn)
+        cond = b.icmp(ICmpPred.SGE, fn.args[0], fn.args[1])
+        sel = b.select(cond, fn.args[1], fn.args[0])
+        b.ret(sel)
+        assert match_operation(op, sel)
+
+    def test_swapped_comparison_matches(self):
+        desc = lift_spec(parse_spec("""
+pminsd(a: 2 x s32, b: 2 x s32) -> 2 x s32
+FOR j := 0 to 1
+    i := j*32
+    dst[i+31:i] := MIN(a[i+31:i], b[i+31:i])
+ENDFOR
+"""))
+        op = canonicalize_operation(desc.lane_ops[0].operation)
+        fn = Function("f", [("a", I32), ("b", I32)], I32)
+        b = IRBuilder(fn)
+        cond = b.icmp(ICmpPred.SGT, fn.args[1], fn.args[0])  # b > a
+        sel = b.select(cond, fn.args[0], fn.args[1])
+        b.ret(sel)
+        assert match_operation(op, sel)
+
+    def test_constant_through_sext(self):
+        # mul(sext(x), sext(y)) must match mul(sext(load), 83).
+        op = madd_operation()
+        fn = Function("f", [("a", I16), ("b", I16)], I32)
+        b = IRBuilder(fn)
+        p1 = b.mul(b.sext(fn.args[0], I32), b.const(I32, 83))
+        p2 = b.mul(b.sext(fn.args[1], I32), b.const(I32, 36))
+        root = b.add(p1, p2)
+        b.ret(root)
+        matches = match_operation(op, root)
+        assert matches
+        consts = [v for v in matches[0].live_ins
+                  if isinstance(v, Constant)]
+        assert {c.signed_value() for c in consts} == {83, 36}
+        assert all(c.type == I16 for c in consts)
+
+    def test_constant_out_of_range_does_not_match(self):
+        op = madd_operation()
+        fn = Function("f", [("a", I16), ("b", I16)], I32)
+        b = IRBuilder(fn)
+        p1 = b.mul(b.sext(fn.args[0], I32), b.const(I32, 70000))
+        p2 = b.mul(b.sext(fn.args[1], I32), b.const(I32, 36))
+        root = b.add(p1, p2)
+        b.ret(root)
+        assert match_operation(op, root) == []
+
+
+class TestMatchTable:
+    def test_table_contents(self):
+        fn, (t1, t2) = build_dot_function()
+        op = madd_operation()
+        table = MatchTable(fn, OperationIndex([op]))
+        assert table.lookup(t1, op)
+        assert table.lookup(t2, op)
+        assert table.num_matches >= 2
+
+    def test_lookup_misses_cleanly(self):
+        fn, (t1, _) = build_dot_function()
+        op = madd_operation()
+        table = MatchTable(fn, OperationIndex([op]))
+        loads = [i for i in fn.body() if i.opcode == Opcode.LOAD]
+        assert table.lookup(loads[0], op) == []
+
+    def test_operation_index_dedups(self):
+        op1 = madd_operation()
+        op2 = madd_operation()
+        index = OperationIndex([op1, op2])
+        assert len(index) == 1
+
+    def test_candidates_filtered_by_root(self):
+        fn, (t1, _) = build_dot_function()
+        op = madd_operation()
+        index = OperationIndex([op])
+        loads = [i for i in fn.body() if i.opcode == Opcode.LOAD]
+        assert index.candidates_for(loads[0]) == []
+        assert index.candidates_for(t1) == [op]

@@ -1,0 +1,199 @@
+"""Focused tests for pipeline plumbing and beam-search internals that the
+integration tests exercise only indirectly."""
+
+import random
+
+import pytest
+
+from repro.baseline import baseline_vectorize
+from repro.frontend import compile_kernel
+from repro.ir import (
+    Buffer,
+    Function,
+    IRBuilder,
+    I16,
+    I32,
+    pointer_to,
+    print_function,
+)
+from repro.machine import CostModel
+from repro.target import get_target
+from repro.vectorizer import (
+    BeamSearch,
+    VectorizationContext,
+    VectorizerConfig,
+    clone_function,
+    scalar_program,
+    vectorize,
+)
+from tests.helpers import assert_program_matches_scalar
+
+
+def dot_kernel():
+    return compile_kernel("""
+void dot(const int16_t *restrict a, const int16_t *restrict b,
+         int32_t *restrict c) {
+    for (int j = 0; j < 2; j++) {
+        c[j] = a[2*j] * b[2*j] + a[2*j+1] * b[2*j+1];
+    }
+}
+""")
+
+
+class TestPipeline:
+    def test_clone_function_is_deep(self):
+        fn = dot_kernel()
+        clone = clone_function(fn)
+        assert clone is not fn
+        assert print_function(clone) == print_function(fn)
+        assert clone.body()[0] is not fn.body()[0]
+
+    def test_canonicalize_input_flag(self):
+        fn = dot_kernel()
+        with_canon = vectorize(fn, target="avx2", beam_width=4)
+        without = vectorize(fn, target="avx2", beam_width=4,
+                            canonicalize_input=False)
+        # Both must be correct; canonicalization may change the program.
+        assert_program_matches_scalar(fn, with_canon.program,
+                                      random.Random(0), rounds=5)
+        assert_program_matches_scalar(fn, without.program,
+                                      random.Random(0), rounds=5)
+
+    def test_pattern_canonicalization_ablation_flag(self):
+        fn = compile_kernel("""
+void sat(const int32_t *restrict x, int16_t *restrict out) {
+    for (int i = 0; i < 8; i++) {
+        int t = x[i];
+        out[i] = t > 32767 ? 32767 : (t < -32768 ? -32768 : (int16_t)t);
+    }
+}
+""")
+        with_canon = vectorize(fn, target="avx2", beam_width=8)
+        without = vectorize(fn, target="avx2", beam_width=8,
+                            canonicalize_patterns=False)
+        # The canonical patterns can use packssdw; the raw ones cannot.
+        assert with_canon.program.uses_instruction("packssdw")
+        assert not without.program.uses_instruction("packssdw")
+        assert with_canon.cost.total <= without.cost.total
+
+    def test_custom_cost_model_threaded_through(self):
+        fn = dot_kernel()
+        pricey = CostModel().with_params(
+            c_vector_load=100.0, c_vector_store=100.0, c_insert=100.0,
+            c_extract=100.0, c_shuffle=100.0, c_broadcast=100.0,
+            c_permute=100.0, c_two_source_shuffle=100.0,
+            c_vector_const=100.0,
+        )
+        result = vectorize(fn, target="avx2", beam_width=4,
+                           cost_model=pricey)
+        # With absurd data-movement costs nothing should vectorize.
+        assert not result.vectorized
+
+    def test_target_object_accepted(self):
+        fn = dot_kernel()
+        result = vectorize(fn, target=get_target("avx2"), beam_width=4)
+        assert result.vectorized
+
+    def test_estimated_vs_emitted_cost_close(self):
+        fn = dot_kernel()
+        result = vectorize(fn, target="avx2", beam_width=8)
+        assert result.vectorized
+        assert result.cost.total <= result.estimated_cost * 1.5 + 4
+
+    def test_scalar_program_counts_match(self):
+        fn = dot_kernel()
+        prog = scalar_program(fn)
+        body_non_gep = [i for i in fn.body() if i.opcode != "gep"]
+        assert prog.count_nodes() == len(body_non_gep)
+
+
+class TestBeamInternals:
+    def _ctx(self, fn, width=4):
+        from repro.patterns.canonicalize import canonicalize_function
+
+        work = clone_function(fn)
+        canonicalize_function(work)
+        return VectorizationContext(work, get_target("avx2"),
+                                    config=VectorizerConfig(
+                                        beam_width=width))
+
+    def test_dead_covered_instructions_leave_f(self):
+        ctx = self._ctx(dot_kernel())
+        search = BeamSearch(ctx)
+        state = search.initial_state()
+        # Take the store pack, then a pmaddwd producer; its interior muls
+        # and sexts must leave F so the loads become packable.
+        store_children = [c for c in search.expand(state) if c.packs]
+        assert store_children
+        state2 = store_children[0]
+        deeper = [
+            c for c in search.expand(state2)
+            if c.packs and c.packs[-1].__class__.__name__ == "ComputePack"
+            and c.packs[-1].inst.name.startswith("pmaddwd")
+        ]
+        assert deeper
+        state3 = deeper[0]
+        muls = [i for i in ctx.function.body() if i.opcode == "mul"]
+        dg = ctx.dep_graph
+        for mul in muls:
+            assert not (state3.free_bits & (1 << dg.index(mul)))
+
+    def test_rollout_reaches_solved(self):
+        ctx = self._ctx(dot_kernel())
+        search = BeamSearch(ctx)
+        rolled = search._rollout(search.initial_state())
+        assert rolled.solved
+
+    def test_scalar_completion_nonnegative_and_zero_when_done(self):
+        ctx = self._ctx(dot_kernel())
+        search = BeamSearch(ctx)
+        state = search.initial_state()
+        assert search._scalar_completion(state) > 0
+        solved = search._complete(state)
+        assert search._scalar_completion(solved) == 0
+
+    def test_beam_deterministic(self):
+        fn = dot_kernel()
+        a = vectorize(fn, target="avx2", beam_width=8)
+        b = vectorize(fn, target="avx2", beam_width=8)
+        assert a.cost.total == b.cost.total
+        assert [n.describe() for n in a.program.nodes] == \
+            [n.describe() for n in b.program.nodes]
+
+
+class TestMixedUsers:
+    def test_packed_value_with_scalar_and_vector_users(self):
+        # One value is consumed by a pack lane AND a scalar-only chain.
+        fn = Function("f", [("a", pointer_to(I16)), ("b", pointer_to(I16)),
+                            ("c", pointer_to(I32)),
+                            ("d", pointer_to(I32))])
+        bld = IRBuilder(fn)
+        prods = []
+        for i in range(4):
+            x = bld.sext(bld.load(fn.args[0], i), I32)
+            y = bld.sext(bld.load(fn.args[1], i), I32)
+            prods.append(bld.mul(x, y))
+        s0 = bld.add(prods[0], prods[1])
+        s1 = bld.add(prods[2], prods[3])
+        bld.store(s0, fn.args[2], 0)
+        bld.store(s1, fn.args[2], 1)
+        # Extra scalar user of an interior product: must survive as a
+        # scalar computation (or an extract if the muls get packed).
+        bld.store(prods[0], fn.args[3], 0)
+        bld.ret()
+        result = vectorize(fn, target="avx2", beam_width=8)
+        assert_program_matches_scalar(fn, result.program,
+                                      random.Random(7), rounds=10)
+
+    def test_duplicate_stores_to_same_location(self):
+        fn = Function("f", [("a", pointer_to(I32)), ("c", pointer_to(I32))])
+        bld = IRBuilder(fn)
+        v0 = bld.load(fn.args[0], 0)
+        bld.store(v0, fn.args[1], 0)
+        v1 = bld.add(v0, bld.const(I32, 1))
+        bld.store(v1, fn.args[1], 0)  # overwrites
+        bld.store(v1, fn.args[1], 1)
+        bld.ret()
+        result = vectorize(fn, target="avx2", beam_width=4)
+        assert_program_matches_scalar(fn, result.program,
+                                      random.Random(8), rounds=10)

@@ -1,0 +1,150 @@
+"""Tests for the opt-in reduction-chain reassociation pass."""
+
+import random
+
+import pytest
+
+from repro.frontend import compile_kernel
+from repro.ir import (
+    Buffer,
+    Function,
+    IRBuilder,
+    I16,
+    I32,
+    F64,
+    pointer_to,
+    run_function,
+    verify_function,
+)
+from repro.patterns.reassociate import reassociate_function
+from repro.utils.intmath import to_signed
+from repro.vectorizer import vectorize
+from tests.helpers import assert_program_matches_scalar
+
+SEQ_DOT = """
+void dotseq(const int16_t *restrict a, const int16_t *restrict b,
+            int32_t *restrict out) {
+    for (int j = 0; j < 2; j++) {
+        int acc = 0;
+        for (int k = 0; k < 8; k++) {
+            acc = acc + a[8*j+k] * b[8*j+k];
+        }
+        out[j] = acc;
+    }
+}
+"""
+
+
+class TestPass:
+    def test_balances_add_chain(self):
+        fn = Function("f", [("p", pointer_to(I32)), ("q", pointer_to(I32))])
+        b = IRBuilder(fn)
+        loads = [b.load(fn.args[0], i) for i in range(8)]
+        acc = loads[0]
+        for v in loads[1:]:
+            acc = b.add(acc, v)
+        b.store(acc, fn.args[1], 0)
+        b.ret()
+        assert reassociate_function(fn) == 1
+        verify_function(fn)
+        # Depth must drop from 7 to 3.
+        depth = {}
+        for inst in fn.body():
+            if inst.opcode == "add":
+                depth[id(inst)] = 1 + max(
+                    depth.get(id(op), 0) for op in inst.operands
+                )
+        assert max(depth.values()) == 3
+
+    def test_preserves_semantics(self):
+        fn = Function("f", [("p", pointer_to(I32)), ("q", pointer_to(I32))])
+        b = IRBuilder(fn)
+        loads = [b.load(fn.args[0], i) for i in range(7)]
+        acc = loads[0]
+        for v in loads[1:]:
+            acc = b.add(acc, v)
+        b.store(acc, fn.args[1], 0)
+        b.ret()
+        rng = random.Random(0)
+        inputs = [rng.getrandbits(32) for _ in range(7)]
+        before = Buffer(I32, [0])
+        run_function(fn, {"p": Buffer(I32, inputs), "q": before})
+        reassociate_function(fn)
+        verify_function(fn)
+        after = Buffer(I32, [0])
+        run_function(fn, {"p": Buffer(I32, inputs), "q": after})
+        assert before == after
+
+    def test_short_chains_untouched(self):
+        fn = Function("f", [("p", pointer_to(I32)), ("q", pointer_to(I32))])
+        b = IRBuilder(fn)
+        v = b.add(b.add(b.load(fn.args[0], 0), b.load(fn.args[0], 1)),
+                  b.load(fn.args[0], 2))
+        b.store(v, fn.args[1], 0)
+        b.ret()
+        assert reassociate_function(fn) == 0
+
+    def test_multi_use_links_break_chains(self):
+        fn = Function("f", [("p", pointer_to(I32)), ("q", pointer_to(I32))])
+        b = IRBuilder(fn)
+        loads = [b.load(fn.args[0], i) for i in range(6)]
+        partial = b.add(b.add(loads[0], loads[1]), loads[2])
+        b.store(partial, fn.args[1], 1)  # second use of the partial sum
+        acc = partial
+        for v in loads[3:]:
+            acc = b.add(acc, v)
+        b.store(acc, fn.args[1], 0)
+        b.ret()
+        reassociate_function(fn)
+        verify_function(fn)
+        rng = random.Random(1)
+        inputs = [rng.getrandbits(32) for _ in range(6)]
+        out = Buffer(I32, [0, 0])
+        run_function(fn, {"p": Buffer(I32, inputs), "q": out})
+        total = sum(inputs) & 0xFFFFFFFF
+        part = sum(inputs[:3]) & 0xFFFFFFFF
+        assert out.data == [total, part]
+
+    def test_float_gated_by_fast_math(self):
+        fn = Function("f", [("p", pointer_to(F64)), ("q", pointer_to(F64))])
+        b = IRBuilder(fn)
+        loads = [b.load(fn.args[0], i) for i in range(6)]
+        acc = loads[0]
+        for v in loads[1:]:
+            acc = b.fadd(acc, v)
+        b.store(acc, fn.args[1], 0)
+        b.ret()
+        from repro.vectorizer import clone_function
+
+        strict = clone_function(fn)
+        assert reassociate_function(strict, fast_math=False) == 0
+        assert reassociate_function(fn, fast_math=True) == 1
+
+
+class TestEndToEnd:
+    def test_unlocks_dot_products(self):
+        fn = compile_kernel(SEQ_DOT)
+        plain = vectorize(fn, target="avx2", beam_width=8)
+        balanced = vectorize(fn, target="avx2", beam_width=8,
+                             reassociate=True)
+        assert balanced.cost.total < plain.cost.total
+        assert balanced.program.uses_instruction("pmaddwd")
+
+    def test_reassociated_differential(self):
+        fn = compile_kernel(SEQ_DOT)
+        result = vectorize(fn, target="avx2", beam_width=8,
+                           reassociate=True)
+        assert_program_matches_scalar(fn, result.program,
+                                      random.Random(5), rounds=10)
+
+    def test_vnni_chain_without_reassociation(self):
+        # §7-style contrast: vpdpwssd matches the *sequential* chain
+        # directly (its semantics are written left-associated), so VNNI
+        # profits even without reassociation.
+        fn = compile_kernel(SEQ_DOT)
+        result = vectorize(fn, target="avx512_vnni", beam_width=8)
+        names = {op.inst.name.rsplit("_", 1)[0]
+                 for op in result.program.vector_ops()}
+        assert result.vectorized
+        assert_program_matches_scalar(fn, result.program,
+                                      random.Random(6), rounds=6)

@@ -1,0 +1,64 @@
+"""Tests for the vectorization report renderer."""
+
+import pytest
+
+from repro.frontend import compile_kernel
+from repro.vectorizer import render_report, vectorize
+
+
+def test_report_on_vectorized_kernel():
+    fn = compile_kernel("""
+void dot(const int16_t *restrict a, const int16_t *restrict b,
+         int32_t *restrict c) {
+    c[0] = a[0]*b[0] + a[1]*b[1];
+    c[1] = a[2]*b[2] + a[3]*b[3];
+}
+""")
+    report = render_report(vectorize(fn, target="avx2", beam_width=8))
+    assert "vectorization report: dot" in report
+    assert "pmaddwd" in report
+    assert "non-SIMD" in report
+    assert "cost breakdown" in report
+
+
+def test_report_on_scalar_fallback():
+    fn = compile_kernel("""
+void f(const int32_t *restrict a, int32_t *restrict b) {
+    b[0] = a[0] + 1;
+}
+""")
+    report = render_report(vectorize(fn, target="avx2", beam_width=4))
+    assert "scalar code modeled cheapest" in report
+
+
+def test_report_notes_dont_care_lanes():
+    fn = compile_kernel("""
+void f(const int32_t *restrict a, const int32_t *restrict b,
+       int64_t *restrict out) {
+    for (int j = 0; j < 4; j++) {
+        out[j] = (int64_t)a[2*j] * b[2*j]
+               + (int64_t)a[2*j+1] * b[2*j+1];
+    }
+}
+""")
+    result = vectorize(fn, target="avx2", beam_width=16)
+    report = render_report(result)
+    if result.program.uses_instruction("pmuldq"):
+        assert "pmuldq" in report
+
+
+def test_cli_report_flag(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "k.c"
+    path.write_text("""
+void dot(const int16_t *restrict a, const int16_t *restrict b,
+         int32_t *restrict c) {
+    c[0] = a[0]*b[0] + a[1]*b[1];
+    c[1] = a[2]*b[2] + a[3]*b[3];
+}
+""")
+    assert main(["vectorize", str(path), "--report",
+                 "--beam-width", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "vectorization report" in out

@@ -1,0 +1,75 @@
+"""Sanity checks over the generated instruction spec texts themselves."""
+
+import re
+
+import pytest
+
+from repro.pseudocode import parse_spec
+from repro.target import TARGET_CONFIGS, build_spec_entries
+
+
+@pytest.fixture(scope="module")
+def entries():
+    return build_spec_entries()
+
+
+class TestSpecInventory:
+    def test_names_unique(self, entries):
+        names = [e.name for e in entries]
+        assert len(names) == len(set(names))
+
+    def test_all_parse(self, entries):
+        for entry in entries:
+            spec = parse_spec(entry.text)
+            assert spec.name == entry.name
+
+    def test_name_matches_signature(self, entries):
+        for entry in entries:
+            first_line = next(
+                line for line in entry.text.strip().splitlines()
+                if line.strip()
+            )
+            assert first_line.startswith(entry.name)
+
+    def test_no_single_lane_outputs(self, entries):
+        for entry in entries:
+            spec = parse_spec(entry.text)
+            assert spec.output.lanes >= 2, entry.name
+
+    def test_extension_names_known(self, entries):
+        known = set().union(*TARGET_CONFIGS.values())
+        for entry in entries:
+            assert entry.requires <= known, entry.name
+
+    def test_positive_throughputs(self, entries):
+        for entry in entries:
+            assert entry.inv_throughput > 0
+
+    def test_register_width_suffixes(self, entries):
+        for entry in entries:
+            assert re.search(r"_(64|128|256|512)$", entry.name), entry.name
+
+    def test_expected_families_present(self, entries):
+        names = {e.name for e in entries}
+        for required in (
+            "pmaddwd_128", "pmaddubsw_256", "vpdpbusd_512", "phaddd_128",
+            "addsubpd_128", "fmaddsubpd_256", "packssdw_128", "pabsw_128",
+            "pminsw_128", "pavgb_128", "pmuldq_128", "psravd_256",
+            "pcmpgtd_128", "vselectd_128", "pmovsxwd_128", "pmovdb_128",
+            "haddps_128", "minpd_128",
+        ):
+            assert required in names, required
+
+    def test_widths_consistent_with_lane_counts(self, entries):
+        for entry in entries:
+            spec = parse_spec(entry.text)
+            bits = int(entry.name.rsplit("_", 1)[1])
+            out_bits = spec.output.lanes * spec.output.elem_width
+            # Output registers never exceed the nominal register width
+            # by more than 2x (widening instructions write wider lanes).
+            assert out_bits <= bits * 2, entry.name
+
+    def test_vnni_gated(self, entries):
+        for entry in entries:
+            if entry.name.startswith("vpdp"):
+                assert "avx512_vnni" in entry.requires

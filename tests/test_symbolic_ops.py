@@ -1,0 +1,98 @@
+"""Unit tests for the widening operator semantics of the symbolic
+evaluator (the language rules §6.1 describes)."""
+
+import pytest
+
+from repro.bitvector import evaluate
+from repro.pseudocode.ast import ElemKind
+from repro.pseudocode.symbolic import (
+    PseudocodeSemanticsError,
+    SymValue,
+    apply_binary,
+)
+from repro.bitvector import bv_var
+
+
+def _sym(name, width, kind=ElemKind.SIGNED):
+    return SymValue(bv_var(name, width), kind)
+
+
+class TestWidening:
+    def test_add_widens_by_one(self):
+        out = apply_binary("+", _sym("a", 16), _sym("b", 16))
+        assert out.width == 17
+
+    def test_mul_widens_to_sum(self):
+        out = apply_binary("*", _sym("a", 16), _sym("b", 8))
+        assert out.width == 24
+
+    def test_sub_is_signed(self):
+        out = apply_binary("-", _sym("a", 8, ElemKind.UNSIGNED),
+                           _sym("b", 8, ElemKind.UNSIGNED))
+        assert out.kind == ElemKind.SIGNED
+        # 3 - 10 must be exactly -7 at the widened width.
+        value = evaluate(out.expr, {"a": 3, "b": 10})
+        assert value == (-7) & ((1 << out.width) - 1)
+
+    def test_add_exact_no_wraparound(self):
+        out = apply_binary("+", _sym("a", 8, ElemKind.UNSIGNED),
+                           _sym("b", 8, ElemKind.UNSIGNED))
+        assert evaluate(out.expr, {"a": 200, "b": 100}) == 300
+
+    def test_signed_extension_in_widening(self):
+        out = apply_binary("+", _sym("a", 8), _sym("b", 16))
+        # a = -1 (0xFF) must sign-extend, not zero-extend.
+        assert evaluate(out.expr, {"a": 0xFF, "b": 1}) == 0
+
+    def test_unsigned_extension_in_widening(self):
+        out = apply_binary("+", _sym("a", 8, ElemKind.UNSIGNED),
+                           _sym("b", 16, ElemKind.UNSIGNED))
+        assert evaluate(out.expr, {"a": 0xFF, "b": 1}) == 0x100
+
+
+class TestComparisons:
+    def test_same_kind_same_width_compares_exact(self):
+        out = apply_binary("<", _sym("a", 32), _sym("b", 32))
+        assert out.width == 1
+        # The comparison must happen at width 32 (no widening), matching
+        # what C-derived IR looks like.
+        assert out.expr.lhs.width == 32
+
+    def test_mixed_kind_widens(self):
+        out = apply_binary("<", _sym("a", 8, ElemKind.UNSIGNED),
+                           _sym("b", 8, ElemKind.SIGNED))
+        assert out.expr.lhs.width == 9
+        # 200 (unsigned) vs -1 (signed): must be false under exact math.
+        assert evaluate(out.expr, {"a": 200, "b": 0xFF}) == 0
+
+
+class TestShifts:
+    def test_shift_same_width(self):
+        out = apply_binary("<<", _sym("a", 16), _sym("b", 16))
+        assert out.width == 16
+
+    def test_ashr_for_signed(self):
+        out = apply_binary(">>", _sym("a", 8), _sym("b", 8))
+        assert evaluate(out.expr, {"a": 0x80, "b": 1}) == 0xC0
+
+    def test_lshr_for_unsigned(self):
+        out = apply_binary(">>", _sym("a", 8, ElemKind.UNSIGNED),
+                           _sym("b", 8, ElemKind.UNSIGNED))
+        assert evaluate(out.expr, {"a": 0x80, "b": 1}) == 0x40
+
+
+class TestFloatRules:
+    def test_float_widths_must_match(self):
+        with pytest.raises(PseudocodeSemanticsError):
+            apply_binary("+", _sym("a", 32, ElemKind.FLOAT),
+                         _sym("b", 64, ElemKind.FLOAT))
+
+    def test_float_int_mix_rejected(self):
+        with pytest.raises(PseudocodeSemanticsError):
+            apply_binary("*", _sym("a", 64, ElemKind.FLOAT),
+                         _sym("b", 64, ElemKind.SIGNED))
+
+    def test_float_compare_produces_bit(self):
+        out = apply_binary("<", _sym("a", 64, ElemKind.FLOAT),
+                           _sym("b", 64, ElemKind.FLOAT))
+        assert out.width == 1

@@ -1,0 +1,137 @@
+"""Tests for the target descriptions and the offline build (§6.1)."""
+
+import random
+
+import pytest
+
+from repro.ir.types import F64, I8, I16, I32
+from repro.pseudocode import parse_spec, run_spec
+from repro.target import (
+    TARGET_CONFIGS,
+    available_targets,
+    build_instruction,
+    build_spec_entries,
+    get_target,
+)
+from repro.vidl import bits_from_lanes, execute_inst, lanes_from_bits
+
+
+class TestRegistry:
+    def test_available_targets(self):
+        assert set(available_targets()) >= {"sse4", "avx2", "avx512_vnni"}
+
+    def test_unknown_target_raises(self):
+        with pytest.raises(KeyError):
+            get_target("mips")
+
+    def test_caching(self):
+        assert get_target("avx2") is get_target("avx2")
+        assert get_target("avx2") is not get_target(
+            "avx2", canonicalize_patterns=False
+        )
+
+    def test_extension_gating(self):
+        sse4 = get_target("sse4")
+        avx2 = get_target("avx2")
+        vnni = get_target("avx512_vnni")
+        assert "paddd_128" in sse4.by_name
+        assert "paddd_256" not in sse4.by_name
+        assert "paddd_256" in avx2.by_name
+        assert "vpdpbusd_512" not in avx2.by_name
+        assert "vpdpbusd_512" in vnni.by_name
+
+    def test_monotone_targets(self):
+        avx2 = {i.name for i in get_target("avx2").instructions}
+        vnni = {i.name for i in get_target("avx512_vnni").instructions}
+        assert avx2 < vnni
+
+    def test_shape_index(self):
+        avx2 = get_target("avx2")
+        names = {i.name for i in avx2.instructions_for_shape(4, I32)}
+        assert "paddd_128" in names
+        assert "pmaddwd_128" in names
+        assert "paddw_128" not in names
+
+    def test_lane_counts(self):
+        counts = get_target("avx2").vector_lane_counts
+        assert 2 in counts and 4 in counts and 8 in counts
+
+
+class TestInstructionProperties:
+    def test_simd_flags(self):
+        avx2 = get_target("avx2")
+        assert avx2.get("paddd_128").is_simd
+        assert avx2.get("pabsw_128").is_simd
+        assert not avx2.get("pmaddwd_128").is_simd
+        assert not avx2.get("phaddd_128").is_simd
+        assert not avx2.get("addsubpd_128").is_simd
+        assert not avx2.get("packssdw_128").is_simd
+
+    def test_costs_scaled_from_throughput(self):
+        avx2 = get_target("avx2")
+        # §6.2: cost = inverse throughput x 2.
+        assert avx2.get("phaddd_128").cost == pytest.approx(4.0)
+        assert avx2.get("pmaddwd_128").cost == pytest.approx(1.0)
+
+    def test_match_ops_canonicalized(self):
+        canon = get_target("avx2").get("packssdw_128")
+        raw = get_target("avx2", canonicalize_patterns=False).get(
+            "packssdw_128"
+        )
+        assert "sgt" in repr(canon.match_ops[0])
+        assert "sge" in repr(raw.match_ops[0])
+
+    def test_unliftable_instruction_returns_none(self):
+        # Semantics that leave output bits unassigned cannot be lifted.
+        text = """
+broken(a: 2 x s16) -> 2 x s16
+dst[15:0] := a[15:0]
+"""
+        assert build_instruction("broken", text, frozenset(), 1.0) is None
+
+
+class TestSemanticsValidation:
+    """§6.1's random-testing validation over the full ISA (sampled here;
+    the exhaustive sweep lives in the benchmark suite)."""
+
+    @pytest.mark.parametrize("name", [
+        "pmaddwd_128", "pmaddubsw_128", "packssdw_128", "packuswb_128",
+        "paddsw_128", "psubusb_128", "pavgw_128", "pmuldq_128",
+        "pminsw_128", "pmaxub_128", "pabsw_128", "phaddd_128",
+        "addsubpd_128", "haddps_128", "fmaddsubpd_128", "psravd_128",
+        "pcmpgtd_128", "vselectd_128", "pmovsxwd_128", "pmovdw_128",
+    ])
+    def test_instruction_semantics(self, name):
+        target = get_target("avx512_vnni")
+        inst = target.get(name)
+        spec = parse_spec(inst.spec_text)
+        rng = random.Random(hash(name) & 0xFFFF)
+        for _ in range(25):
+            env = {p.name: rng.getrandbits(p.total_width)
+                   for p in spec.params}
+            expected = run_spec(spec, env)
+            lanes = [
+                lanes_from_bits(env[p.name], p.lanes,
+                                inst.desc.inputs[i].elem_type)
+                for i, p in enumerate(spec.params)
+            ]
+            got = bits_from_lanes(execute_inst(inst.desc, lanes),
+                                  inst.desc.out_elem_type)
+            assert got == expected, (name, env)
+
+    def test_vpdpbusd_is_dot_product_accumulate(self):
+        target = get_target("avx512_vnni")
+        inst = target.get("vpdpbusd_128")
+        src = [10, 20, 30, 40]
+        a = list(range(16))            # u8 lanes
+        b = [1] * 16                   # s8 lanes
+        out = execute_inst(inst.desc, [src, a, b])
+        assert out == [10 + 0 + 1 + 2 + 3, 20 + 4 + 5 + 6 + 7,
+                       30 + 8 + 9 + 10 + 11, 40 + 12 + 13 + 14 + 15]
+
+    def test_every_instruction_lifts(self):
+        # The registry silently drops unliftable specs; there must be none.
+        vnni = get_target("avx512_vnni")
+        entries = [e for e in build_spec_entries()
+                   if e.requires <= TARGET_CONFIGS["avx512_vnni"]]
+        assert len(vnni.instructions) == len(entries)

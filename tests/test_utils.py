@@ -1,0 +1,152 @@
+"""Unit and property tests for repro.utils (intmath, fp)."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.fp import (
+    float_from_bits,
+    float_to_bits,
+    round_to_float32,
+    round_to_width,
+)
+from repro.utils.intmath import (
+    mask,
+    saturate_signed,
+    saturate_unsigned,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+    truncate,
+    zero_extend,
+)
+
+
+class TestMask:
+    def test_identity_within_range(self):
+        assert mask(5, 8) == 5
+
+    def test_wraps_negative(self):
+        assert mask(-1, 8) == 255
+
+    def test_wraps_overflow(self):
+        assert mask(256, 8) == 0
+        assert mask(257, 8) == 1
+
+    @given(st.integers(), st.integers(min_value=1, max_value=64))
+    def test_always_in_range(self, value, width):
+        assert 0 <= mask(value, width) < (1 << width)
+
+
+class TestSigned:
+    def test_positive(self):
+        assert to_signed(5, 8) == 5
+
+    def test_negative(self):
+        assert to_signed(255, 8) == -1
+        assert to_signed(128, 8) == -128
+
+    def test_boundary(self):
+        assert to_signed(127, 8) == 127
+
+    @given(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+    def test_roundtrip_32(self, value):
+        assert to_signed(to_unsigned(value, 32), 32) == value
+
+    @given(st.integers(min_value=0, max_value=2 ** 16 - 1),
+           st.integers(min_value=1, max_value=16))
+    def test_signed_range(self, value, width):
+        value = mask(value, width)
+        signed = to_signed(value, width)
+        assert -(1 << (width - 1)) <= signed < (1 << (width - 1))
+
+
+class TestExtend:
+    def test_sign_extend_negative(self):
+        assert sign_extend(0xFF, 8, 16) == 0xFFFF
+
+    def test_sign_extend_positive(self):
+        assert sign_extend(0x7F, 8, 16) == 0x7F
+
+    def test_zero_extend(self):
+        assert zero_extend(0xFF, 8, 16) == 0xFF
+
+    def test_sign_extend_rejects_narrowing(self):
+        with pytest.raises(ValueError):
+            sign_extend(0, 16, 8)
+
+    def test_zero_extend_rejects_narrowing(self):
+        with pytest.raises(ValueError):
+            zero_extend(0, 16, 8)
+
+    def test_truncate(self):
+        assert truncate(0x1FF, 8) == 0xFF
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_extend_preserves_signed_value(self, bits):
+        assert to_signed(sign_extend(bits, 8, 32), 32) == to_signed(bits, 8)
+
+
+class TestSaturate:
+    def test_signed_upper(self):
+        assert to_signed(saturate_signed(40000, 16), 16) == 32767
+
+    def test_signed_lower(self):
+        assert to_signed(saturate_signed(-40000, 16), 16) == -32768
+
+    def test_signed_within(self):
+        assert to_signed(saturate_signed(-5, 16), 16) == -5
+
+    def test_unsigned_upper(self):
+        assert saturate_unsigned(300, 8) == 255
+
+    def test_unsigned_negative_clamps_to_zero(self):
+        # §6.1: unsigned saturation clamps the signed value (psubus).
+        assert saturate_unsigned(-7, 8) == 0
+
+    @given(st.integers(min_value=-(10 ** 9), max_value=10 ** 9))
+    def test_signed_always_in_range(self, value):
+        result = to_signed(saturate_signed(value, 16), 16)
+        assert -32768 <= result <= 32767
+
+    @given(st.integers(min_value=-(10 ** 9), max_value=10 ** 9))
+    def test_saturate_monotone(self, value):
+        a = to_signed(saturate_signed(value, 16), 16)
+        b = to_signed(saturate_signed(value + 1, 16), 16)
+        assert a <= b
+
+
+class TestFloat:
+    def test_round_to_float32_exact(self):
+        assert round_to_float32(1.5) == 1.5
+
+    def test_round_to_float32_rounds(self):
+        value = 1.0 + 2 ** -30
+        assert round_to_float32(value) == 1.0
+
+    def test_round_to_float32_overflow_to_inf(self):
+        assert round_to_float32(1e39) == math.inf
+        assert round_to_float32(-1e39) == -math.inf
+
+    def test_round_to_width_64_identity(self):
+        assert round_to_width(1.1, 64) == 1.1
+
+    def test_bits_roundtrip_32(self):
+        for value in (0.0, 1.0, -2.5, 3.14159):
+            bits = float_to_bits(round_to_float32(value), 32)
+            assert float_from_bits(bits, 32) == round_to_float32(value)
+
+    @given(st.floats(allow_nan=False, width=32))
+    def test_bits_roundtrip_property(self, value):
+        assert float_from_bits(float_to_bits(value, 32), 32) == value
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_round32_idempotent(self, value):
+        once = round_to_float32(value)
+        assert round_to_float32(once) == once
+
+    def test_bits_width_checked(self):
+        with pytest.raises(ValueError):
+            float_to_bits(1.0, 16)

@@ -1,0 +1,257 @@
+"""Tests for packs, producer enumeration (Algorithm 1), seeds, and the
+Figure 7 cost recurrence."""
+
+import pytest
+
+from repro.ir import (
+    Function,
+    IRBuilder,
+    I16,
+    I32,
+    I64,
+    pointer_to,
+)
+from repro.patterns.canonicalize import canonicalize_function
+from repro.target import get_target
+from repro.vectorizer import (
+    ComputePack,
+    InvalidPack,
+    LoadPack,
+    StorePack,
+    VectorizationContext,
+    VectorizerConfig,
+    producers_for_operand,
+    store_seed_packs,
+    affinity_seed_tuples,
+    AffinityEstimator,
+    SLPCostEstimator,
+    operand_key,
+    pack_depends_on,
+    packs_independent,
+)
+from repro.vidl.interp import DONT_CARE
+
+
+def make_dot_context(target="avx2"):
+    fn = Function("dot", [("A", pointer_to(I16)), ("B", pointer_to(I16)),
+                          ("C", pointer_to(I32))])
+    b = IRBuilder(fn)
+    A, B, C = fn.args
+    la = [b.load(A, i) for i in range(4)]
+    lb = [b.load(B, i) for i in range(4)]
+    pr = [b.mul(b.sext(la[i], I32), b.sext(lb[i], I32)) for i in range(4)]
+    t1 = b.add(pr[0], pr[1])
+    t2 = b.add(pr[2], pr[3])
+    b.store(t1, C, 0)
+    b.store(t2, C, 1)
+    b.ret()
+    canonicalize_function(fn)
+    ctx = VectorizationContext(fn, get_target(target))
+    adds = [i for i in fn.body() if i.opcode == "add"]
+    loads = [i for i in fn.body() if i.opcode == "load"]
+    return ctx, tuple(adds), loads
+
+
+class TestPacks:
+    def test_compute_pack_values_and_operands(self):
+        ctx, adds, loads = make_dot_context()
+        packs = producers_for_operand(adds, ctx)
+        maddwd = [p for p in packs if isinstance(p, ComputePack)
+                  and p.inst.name.startswith("pmaddwd")]
+        assert maddwd
+        pack = maddwd[0]
+        assert pack.values() == adds
+        operands = pack.operands()
+        assert len(operands) == 2
+        # Operands are the A loads and B loads (in some commutative order).
+        flat = {id(e) for op in operands for e in op}
+        assert flat == {id(l) for l in loads}
+
+    def test_load_pack_requires_contiguity(self):
+        ctx, adds, loads = make_dot_context()
+        a_loads = loads[:4]
+        lp = LoadPack(a_loads)
+        assert lp.base.name == "A" and lp.first_offset == 0
+        with pytest.raises(InvalidPack):
+            LoadPack([a_loads[0], a_loads[2]])
+        with pytest.raises(InvalidPack):
+            LoadPack(list(reversed(a_loads)))
+
+    def test_store_pack(self):
+        ctx, adds, loads = make_dot_context()
+        stores = [i for i in ctx.function.body() if i.opcode == "store"]
+        sp = StorePack(stores)
+        assert sp.operands() == [adds]
+        assert sp.is_store
+
+    def test_pack_keys_stable(self):
+        ctx, adds, loads = make_dot_context()
+        packs = producers_for_operand(adds, ctx)
+        keys = [p.key() for p in packs]
+        assert len(set(keys)) == len(keys)
+        assert packs[0].key() == packs[0].key()
+
+    def test_dont_care_operand_lanes(self):
+        # pmuldq consumes only even input lanes; its operand vector must
+        # carry DONT_CARE on the odd ones.
+        fn = Function("f", [("a", pointer_to(I32)), ("b", pointer_to(I32)),
+                            ("o", pointer_to(I64))])
+        b = IRBuilder(fn)
+        prods = []
+        for j in range(2):
+            x = b.sext(b.load(fn.args[0], j), I64)
+            y = b.sext(b.load(fn.args[1], j), I64)
+            prods.append(b.mul(x, y))
+        b.store(prods[0], fn.args[2], 0)
+        b.store(prods[1], fn.args[2], 1)
+        b.ret()
+        canonicalize_function(fn)
+        ctx = VectorizationContext(fn, get_target("avx2"))
+        muls = tuple(i for i in fn.body() if i.opcode == "mul")
+        packs = [p for p in producers_for_operand(muls, ctx)
+                 if isinstance(p, ComputePack)
+                 and p.inst.name.startswith("pmuldq")]
+        assert packs
+        operand = packs[0].operands()[0]
+        assert operand[1] is DONT_CARE and operand[3] is DONT_CARE
+
+    def test_pack_dependence(self):
+        ctx, adds, loads = make_dot_context()
+        packs = producers_for_operand(adds, ctx)
+        add_pack = packs[0]
+        lp = LoadPack(loads[:4])
+        assert pack_depends_on(add_pack, lp, ctx.dep_graph)
+        assert not pack_depends_on(lp, add_pack, ctx.dep_graph)
+
+
+class TestAlgorithm1:
+    def test_dependent_operand_rejected(self):
+        ctx, adds, loads = make_dot_context()
+        muls = [i for i in ctx.function.body() if i.opcode == "mul"]
+        # (mul, add-of-that-mul) is internally dependent.
+        assert producers_for_operand((muls[0], adds[0]), ctx) == []
+
+    def test_load_operand_produces_load_pack(self):
+        ctx, adds, loads = make_dot_context()
+        packs = producers_for_operand(tuple(loads[:4]), ctx)
+        assert any(isinstance(p, LoadPack) for p in packs)
+
+    def test_mixed_types_rejected(self):
+        ctx, adds, loads = make_dot_context()
+        assert producers_for_operand((adds[0], loads[0]), ctx) == []
+
+    def test_memoization(self):
+        ctx, adds, loads = make_dot_context()
+        first = producers_for_operand(adds, ctx)
+        second = producers_for_operand(adds, ctx)
+        assert first is second
+
+    def test_lane_count_must_match_instruction(self):
+        ctx, adds, loads = make_dot_context()
+        # A 3-wide operand matches no instruction shape.
+        muls = tuple(i for i in ctx.function.body() if i.opcode == "mul")
+        assert producers_for_operand(muls[:3], ctx) == []
+
+    def test_operand_key_distinguishes_dont_care(self):
+        ctx, adds, loads = make_dot_context()
+        assert operand_key((adds[0], DONT_CARE)) != \
+            operand_key((adds[0], adds[1]))
+
+
+class TestSeeds:
+    def test_store_seeds_chunked(self):
+        fn = Function("f", [("p", pointer_to(I32)), ("q", pointer_to(I32))])
+        b = IRBuilder(fn)
+        for i in range(8):
+            b.store(b.load(fn.args[0], i), fn.args[1], i)
+        b.ret()
+        ctx = VectorizationContext(fn, get_target("avx2"))
+        seeds = store_seed_packs(ctx)
+        sizes = {len(s.stores) for s in seeds}
+        assert sizes >= {2, 4, 8}
+
+    def test_non_contiguous_stores_not_seeded(self):
+        fn = Function("f", [("p", pointer_to(I32)), ("q", pointer_to(I32))])
+        b = IRBuilder(fn)
+        b.store(b.load(fn.args[0], 0), fn.args[1], 0)
+        b.store(b.load(fn.args[0], 1), fn.args[1], 5)
+        b.ret()
+        ctx = VectorizationContext(fn, get_target("avx2"))
+        assert store_seed_packs(ctx) == []
+
+    def test_affinity_prefers_contiguous_loads(self):
+        ctx, adds, loads = make_dot_context()
+        est = AffinityEstimator(ctx)
+        # Adjacent loads of A score positive; A vs B loads negative.
+        assert est.affinity(loads[0], loads[1]) > 0
+        assert est.affinity(loads[0], loads[4]) < 0
+
+    def test_affinity_broadcast_penalty(self):
+        ctx, adds, loads = make_dot_context()
+        est = AffinityEstimator(ctx)
+        assert est.affinity(loads[0], loads[0]) < 0
+
+    def test_affinity_recursion(self):
+        ctx, adds, loads = make_dot_context()
+        est = AffinityEstimator(ctx)
+        muls = [i for i in ctx.function.body() if i.opcode == "mul"]
+        # Adjacent multiply trees over adjacent loads: strongly positive.
+        assert est.affinity(muls[0], muls[1]) > \
+            est.affinity(muls[0], muls[0])
+
+    def test_seed_tuples_are_store_fed(self):
+        ctx, adds, loads = make_dot_context()
+        tuples = affinity_seed_tuples(ctx)
+        for t in tuples:
+            assert t[0] in adds  # only the adds feed stores
+
+
+class TestSLPRecurrence:
+    def test_prefers_pmaddwd(self):
+        ctx, adds, loads = make_dot_context()
+        est = SLPCostEstimator(ctx)
+        best = est.best_producer(adds)
+        assert best is not None
+        assert best.inst.name.startswith("pmaddwd")
+
+    def test_cost_below_insert_path(self):
+        ctx, adds, loads = make_dot_context()
+        est = SLPCostEstimator(ctx)
+        cost = est.cost_slp(adds)
+        insert_path = (ctx.cost_model.c_insert * 2
+                       + est.cost_scalar(adds))
+        assert cost < insert_path
+
+    def test_scalar_slice_cost_counts_dependencies(self):
+        ctx, adds, loads = make_dot_context()
+        est = SLPCostEstimator(ctx)
+        # Slice of one add: add + 2 muls + 4 sexts + 4 loads (+ free geps).
+        cost = est.cost_scalar([adds[0]])
+        assert cost == pytest.approx(1 + 2 * 1 + 4 * 1 + 4 * 2)
+
+    def test_load_operand_costs_vector_load(self):
+        ctx, adds, loads = make_dot_context()
+        est = SLPCostEstimator(ctx)
+        assert est.cost_slp(tuple(loads[:4])) == \
+            pytest.approx(ctx.cost_model.c_vector_load)
+
+    def test_broadcast_special_case(self):
+        ctx, adds, loads = make_dot_context()
+        est = SLPCostEstimator(ctx)
+        splat = (loads[0],) * 4
+        expected = est.cost_scalar([loads[0]]) + ctx.cost_model.c_broadcast
+        assert est.cost_slp(splat) == pytest.approx(expected)
+
+    def test_all_constant_operand_is_cheap(self):
+        from repro.ir import Constant
+
+        ctx, adds, loads = make_dot_context()
+        est = SLPCostEstimator(ctx)
+        consts = tuple(Constant(I32, i) for i in range(4))
+        assert est.cost_slp(consts) == \
+            pytest.approx(ctx.cost_model.c_vector_const)
+
+    def test_memoized(self):
+        ctx, adds, loads = make_dot_context()
+        est = SLPCostEstimator(ctx)
+        assert est.cost_slp(adds) == est.cost_slp(adds)
