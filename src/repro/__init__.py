@@ -46,65 +46,100 @@ Quick start::
     print(result.program.dump())       # uses pmaddwd
 """
 
-from repro.baseline import baseline_vectorize, get_baseline_target
-from repro.frontend import compile_c, compile_kernel
-from repro.ir import (
-    Buffer,
-    Function,
-    IRBuilder,
-    parse_function,
-    print_function,
-    run_function,
-    verify_function,
-)
-from repro.machine import (
-    CostModel,
-    program_cost,
-    run_program,
-    scalar_function_cost,
-    speedup,
-)
-from repro.target import (
-    TargetDesc,
-    TargetInstruction,
-    available_targets,
-    build_instruction,
-    get_target,
-)
-from repro.vectorizer import (
-    VectorizationResult,
-    VectorizerConfig,
-    scalar_program,
-    vectorize,
-)
+from typing import TYPE_CHECKING
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "baseline_vectorize",
-    "get_baseline_target",
-    "compile_c",
-    "compile_kernel",
-    "Buffer",
-    "Function",
-    "IRBuilder",
-    "parse_function",
-    "print_function",
-    "run_function",
-    "verify_function",
-    "CostModel",
-    "program_cost",
-    "run_program",
-    "scalar_function_cost",
-    "speedup",
-    "TargetDesc",
-    "TargetInstruction",
-    "available_targets",
-    "build_instruction",
-    "get_target",
-    "VectorizationResult",
-    "VectorizerConfig",
-    "scalar_program",
-    "vectorize",
-    "__version__",
-]
+# Public name -> defining submodule.  Imports are deferred (PEP 562): a
+# bare ``import repro`` stays cheap, and tools that only need, say, the
+# frontend never pay for the target-description build.
+_EXPORTS = {
+    "baseline_vectorize": "repro.baseline",
+    "get_baseline_target": "repro.baseline",
+    "compile_c": "repro.frontend",
+    "compile_kernel": "repro.frontend",
+    "Buffer": "repro.ir",
+    "Function": "repro.ir",
+    "IRBuilder": "repro.ir",
+    "parse_function": "repro.ir",
+    "print_function": "repro.ir",
+    "run_function": "repro.ir",
+    "verify_function": "repro.ir",
+    "CostModel": "repro.machine",
+    "program_cost": "repro.machine",
+    "run_program": "repro.machine",
+    "scalar_function_cost": "repro.machine",
+    "speedup": "repro.machine",
+    "TargetDesc": "repro.target",
+    "TargetInstruction": "repro.target",
+    "available_targets": "repro.target",
+    "build_instruction": "repro.target",
+    "get_target": "repro.target",
+    "AnalysisManager": "repro.analysis",
+    "Diagnostic": "repro.analysis",
+    "SanitizerError": "repro.analysis",
+    "analyze_result": "repro.analysis",
+    "VectorizationResult": "repro.vectorizer",
+    "VectorizerConfig": "repro.vectorizer",
+    "scalar_program": "repro.vectorizer",
+    "vectorize": "repro.vectorizer",
+}
+
+__all__ = list(_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: __getattr__ runs once per name
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro.analysis import (
+        AnalysisManager,
+        Diagnostic,
+        SanitizerError,
+        analyze_result,
+    )
+    from repro.baseline import baseline_vectorize, get_baseline_target
+    from repro.frontend import compile_c, compile_kernel
+    from repro.ir import (
+        Buffer,
+        Function,
+        IRBuilder,
+        parse_function,
+        print_function,
+        run_function,
+        verify_function,
+    )
+    from repro.machine import (
+        CostModel,
+        program_cost,
+        run_program,
+        scalar_function_cost,
+        speedup,
+    )
+    from repro.target import (
+        TargetDesc,
+        TargetInstruction,
+        available_targets,
+        build_instruction,
+        get_target,
+    )
+    from repro.vectorizer import (
+        VectorizationResult,
+        VectorizerConfig,
+        scalar_program,
+        vectorize,
+    )

@@ -1,0 +1,52 @@
+"""Static sanitizer suite for the vectorizer (lane, dependence, type
+checking across scalar IR, VIDL descriptions, and emitted vector
+programs).
+
+Quick start::
+
+    from repro.analysis import AnalysisManager, AnalysisUnit
+
+    result = vectorize(fn, target="avx2")
+    diagnostics = AnalysisManager().run(
+        AnalysisUnit.from_result(result, target=get_target("avx2")))
+    for diag in diagnostics:
+        print(diag.format())
+
+or simply ``vectorize(fn, sanitize=True)`` / ``repro lint`` from the CLI.
+"""
+
+from repro.analysis.depsan import DepSan
+from repro.analysis.diagnostics import (
+    ERROR,
+    WARNING,
+    Diagnostic,
+    SanitizerError,
+    errors_only,
+)
+from repro.analysis.irlint import IRLint
+from repro.analysis.lanesan import LaneSan
+from repro.analysis.manager import (
+    AnalysisManager,
+    AnalysisPass,
+    AnalysisUnit,
+    analyze_result,
+    default_passes,
+)
+from repro.analysis.vidllint import VIDLLint
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "AnalysisManager",
+    "AnalysisPass",
+    "AnalysisUnit",
+    "DepSan",
+    "Diagnostic",
+    "IRLint",
+    "LaneSan",
+    "SanitizerError",
+    "VIDLLint",
+    "analyze_result",
+    "default_passes",
+    "errors_only",
+]

@@ -1,0 +1,106 @@
+"""DepSan: schedule/dependence sanitizer.
+
+Verifies the emitted vector program is a topological order of the scalar
+dependence DAG — including memory dependences — of the function it was
+generated from.  This is an effective race/reorder detector for the
+scheduler: every original instruction that survives into the program
+(as a scalar, or covered by a lowered pack) must appear no earlier than
+everything it depends on, and every vector node must be emitted after the
+nodes it reads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.diagnostics import ERROR, Diagnostic
+from repro.analysis.manager import AnalysisPass, AnalysisUnit
+
+
+def _node_inputs(node) -> List[object]:
+    """Vector-program nodes this node reads."""
+    from repro.vectorizer.vector_ir import (
+        VExtract,
+        VGather,
+        VOp,
+        VStore,
+    )
+
+    if isinstance(node, VOp):
+        return list(node.operands)
+    if isinstance(node, VStore):
+        return [node.source]
+    if isinstance(node, VExtract):
+        return [node.source]
+    if isinstance(node, VGather):
+        return [s.node for s in node.sources if s.kind == "lane"]
+    return []
+
+
+def _original_instructions(node) -> List[object]:
+    """Original scalar instructions this emitted node executes/replaces."""
+    from repro.vectorizer.vector_ir import VScalar
+
+    if isinstance(node, VScalar):
+        return [node.inst]
+    origin = getattr(node, "origin", None)
+    if origin is not None:
+        return [v for v in origin.values() if v is not None]
+    return []
+
+
+class DepSan(AnalysisPass):
+    name = "depsan"
+
+    def run(self, unit: AnalysisUnit) -> List[Diagnostic]:
+        diagnostics: List[Diagnostic] = []
+        if unit.program is None:
+            return diagnostics
+        fn_name = getattr(unit.function, "name", "<function>")
+        nodes = unit.program.nodes
+        position: Dict[int, int] = {id(n): i for i, n in enumerate(nodes)}
+
+        # 1. Vector-level SSA: a node only reads already-emitted nodes.
+        for i, node in enumerate(nodes):
+            for source in _node_inputs(node):
+                j = position.get(id(source))
+                if j is None:
+                    diagnostics.append(self.diag(
+                        ERROR,
+                        f"{fn_name}: node {i} ({node.describe()})",
+                        "reads a node that is not in the program",
+                    ))
+                elif j >= i:
+                    diagnostics.append(self.diag(
+                        ERROR,
+                        f"{fn_name}: node {i} ({node.describe()})",
+                        f"reads node {j} ({nodes[j].describe()}) emitted "
+                        f"at or after it",
+                    ))
+
+        # 2. Scalar-level: emitted order must topologically respect the
+        # dependence DAG (data and memory edges) of the original function.
+        from repro.ir.dag import DependenceGraph
+
+        dep_graph = DependenceGraph(unit.function)
+        emitted: Dict[int, int] = {}
+        for i, node in enumerate(nodes):
+            for inst in _original_instructions(node):
+                emitted[id(inst)] = i
+        for inst in unit.function.entry:
+            i = emitted.get(id(inst))
+            if i is None:
+                continue
+            for dep in dep_graph.direct_dependences(inst):
+                j = emitted.get(id(dep))
+                if j is not None and j > i:
+                    kind = ("memory" if inst.is_memory and dep.is_memory
+                            else "data")
+                    diagnostics.append(self.diag(
+                        ERROR,
+                        f"{fn_name}: node {i} ({nodes[i].describe()})",
+                        f"{kind} dependence violated: executes "
+                        f"{inst.short_name()} before its dependence "
+                        f"{dep.short_name()} (node {j})",
+                    ))
+        return diagnostics

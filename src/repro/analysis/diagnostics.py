@@ -1,0 +1,54 @@
+"""Unified diagnostics for the sanitizer suite.
+
+Every analysis pass reports findings as :class:`Diagnostic` values instead
+of raising on the first problem, so one run can surface every issue in a
+program and callers can decide severity policy themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+#: Diagnostic severities, most severe first.
+ERROR = "error"
+WARNING = "warning"
+
+SEVERITIES = (ERROR, WARNING)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding from one analysis pass."""
+
+    severity: str     # "error" | "warning"
+    pass_name: str    # e.g. "lanesan"
+    location: str     # human-readable anchor, e.g. "dot: node 3 (pmaddwd_128)"
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def format(self) -> str:
+        return (f"{self.severity}: [{self.pass_name}] "
+                f"{self.location}: {self.message}")
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def errors_only(diagnostics: Sequence[Diagnostic]) -> List[Diagnostic]:
+    return [d for d in diagnostics if d.severity == ERROR]
+
+
+class SanitizerError(RuntimeError):
+    """Raised by ``vectorize(..., sanitize=True)`` when a pass reports an
+    error-severity diagnostic."""
+
+    def __init__(self, diagnostics: Sequence[Diagnostic]):
+        self.diagnostics = list(diagnostics)
+        lines = "\n".join(d.format() for d in self.diagnostics)
+        super().__init__(
+            f"{len(self.diagnostics)} sanitizer diagnostic(s):\n{lines}"
+        )

@@ -1,0 +1,99 @@
+"""IRLint: scalar-IR lint built on the structural verifier.
+
+Extends :mod:`repro.ir.verifier` from first-failure exceptions to
+diagnostics: every structural violation is collected, plus checks the
+verifier historically did not make — load/store type agreement with the
+pointed-to buffer element type, and dead stores (a store overwritten by a
+later store to the same location with no intervening read, which the
+frontend's store-elimination should have removed)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.diagnostics import ERROR, WARNING, Diagnostic
+from repro.analysis.manager import AnalysisPass, AnalysisUnit
+
+
+class IRLint(AnalysisPass):
+    name = "irlint"
+
+    def run(self, unit: AnalysisUnit) -> List[Diagnostic]:
+        from repro.ir.verifier import iter_violations
+
+        function = unit.function
+        diagnostics = [
+            self.diag(ERROR, location, message)
+            for location, message in iter_violations(function)
+        ]
+        diagnostics.extend(self._check_memory_types(function))
+        diagnostics.extend(self._check_dead_stores(function))
+        return diagnostics
+
+    def _check_memory_types(self, function) -> List[Diagnostic]:
+        from repro.ir.instructions import LoadInst, StoreInst
+        from repro.ir.types import PointerType
+
+        diagnostics: List[Diagnostic] = []
+        for inst in function.entry:
+            if isinstance(inst, LoadInst):
+                pointee = self._pointee(inst.pointer)
+                if pointee is not None and inst.type != pointee:
+                    diagnostics.append(self.diag(
+                        ERROR,
+                        f"{function.name}: {inst.short_name()}",
+                        f"load of {inst.type} from {pointee} buffer",
+                    ))
+            elif isinstance(inst, StoreInst):
+                pointee = self._pointee(inst.pointer)
+                if pointee is not None and inst.value.type != pointee:
+                    diagnostics.append(self.diag(
+                        ERROR,
+                        f"{function.name}: store {inst.short_name()}",
+                        f"store of {inst.value.type} into {pointee} "
+                        f"buffer",
+                    ))
+        return diagnostics
+
+    @staticmethod
+    def _pointee(pointer):
+        from repro.ir.types import PointerType
+
+        ptr_type = getattr(pointer, "type", None)
+        if isinstance(ptr_type, PointerType):
+            return ptr_type.pointee
+        return None
+
+    def _check_dead_stores(self, function) -> List[Diagnostic]:
+        from repro.ir.instructions import (
+            LoadInst,
+            StoreInst,
+            pointer_base_and_offset,
+        )
+
+        diagnostics: List[Diagnostic] = []
+        live: Dict[Tuple[int, int], object] = {}
+        for inst in function.entry:
+            if isinstance(inst, LoadInst):
+                base, offset = pointer_base_and_offset(inst.pointer)
+                if base is None:
+                    live.clear()  # unknown read: everything may be used
+                else:
+                    live.pop((id(base), offset), None)
+            elif isinstance(inst, StoreInst):
+                base, offset = pointer_base_and_offset(inst.pointer)
+                if base is None:
+                    live.clear()
+                    continue
+                key = (id(base), offset)
+                previous = live.get(key)
+                if previous is not None:
+                    diagnostics.append(self.diag(
+                        WARNING,
+                        f"{function.name}: store "
+                        f"{previous.short_name()}",
+                        f"dead store: overwritten by "
+                        f"{inst.short_name()} with no intervening read",
+                    ))
+                live[key] = inst
+        return diagnostics

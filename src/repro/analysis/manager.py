@@ -1,0 +1,90 @@
+"""The analysis manager: a pluggable pass pipeline over one unit.
+
+An :class:`AnalysisUnit` bundles the three program representations a
+vectorization run produces — the (canonicalized) scalar IR function, the
+selected packs, and the emitted vector program — plus the target
+description.  Passes inspect whichever parts they understand and skip the
+rest, so the same manager lints a plain scalar function or a full
+vectorization result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.analysis.diagnostics import Diagnostic
+
+
+@dataclass
+class AnalysisUnit:
+    """Everything one analysis run may look at.
+
+    ``program``/``packs``/``target`` are optional: passes that need a
+    missing part simply report nothing for it.
+    """
+
+    function: object                      # repro.ir.Function
+    program: Optional[object] = None      # vectorizer VectorProgram
+    packs: Sequence[object] = ()          # selected Pack list
+    target: Optional[object] = None       # TargetDesc
+
+    @classmethod
+    def from_result(cls, result, target=None) -> "AnalysisUnit":
+        """Build a unit from a :class:`VectorizationResult`."""
+        return cls(
+            function=result.function,
+            program=result.program,
+            packs=list(result.packs),
+            target=target,
+        )
+
+
+class AnalysisPass:
+    """Base class: one registered static check."""
+
+    name = "analysis"
+
+    def run(self, unit: AnalysisUnit) -> List[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(self, severity: str, location: str,
+             message: str) -> Diagnostic:
+        return Diagnostic(severity, self.name, location, message)
+
+
+class AnalysisManager:
+    """Runs registered passes in order and concatenates their findings."""
+
+    def __init__(self, passes: Optional[Sequence[AnalysisPass]] = None):
+        if passes is None:
+            passes = default_passes()
+        self.passes: List[AnalysisPass] = list(passes)
+
+    def register(self, analysis_pass: AnalysisPass) -> None:
+        self.passes.append(analysis_pass)
+
+    def run(self, unit: AnalysisUnit) -> List[Diagnostic]:
+        diagnostics: List[Diagnostic] = []
+        for analysis_pass in self.passes:
+            diagnostics.extend(analysis_pass.run(unit))
+        return diagnostics
+
+
+def default_passes() -> List[AnalysisPass]:
+    """The four stock sanitizers, in cheap-to-thorough order."""
+    from repro.analysis.depsan import DepSan
+    from repro.analysis.irlint import IRLint
+    from repro.analysis.lanesan import LaneSan
+    from repro.analysis.vidllint import VIDLLint
+
+    return [IRLint(), VIDLLint(), LaneSan(), DepSan()]
+
+
+def analyze_result(result, target=None,
+                   manager: Optional[AnalysisManager] = None
+                   ) -> List[Diagnostic]:
+    """Run the (default) manager over one vectorization result."""
+    if manager is None:
+        manager = AnalysisManager()
+    return manager.run(AnalysisUnit.from_result(result, target=target))

@@ -1,0 +1,130 @@
+"""VIDLLint: structural checks on generated instruction descriptions.
+
+The lifter is supposed to guarantee these by construction (Figure 5's
+restriction that lane indices are constants, one write per output lane,
+type-consistent bindings); the lint re-verifies every registered
+``TargetInstruction`` so regressions in the offline pipeline — or
+hand-built target descriptions like the ``examples/`` extension — are
+caught deterministically.  It also checks cost-table coverage: every
+instruction carries a positive finite cost, and every pattern in the
+target's operation index is backed by a real instruction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.analysis.diagnostics import ERROR, Diagnostic
+from repro.analysis.manager import AnalysisPass, AnalysisUnit
+
+
+class VIDLLint(AnalysisPass):
+    name = "vidllint"
+
+    def run(self, unit: AnalysisUnit) -> List[Diagnostic]:
+        diagnostics: List[Diagnostic] = []
+        target = unit.target
+        if target is None:
+            return diagnostics
+
+        for inst in target.instructions:
+            diagnostics.extend(self._check_instruction(target.name, inst))
+
+        # Match-table pattern coverage: every operation in the index must
+        # come from some instruction's match patterns.
+        backed = {
+            op.key()
+            for inst in target.instructions
+            for op in inst.match_ops
+        }
+        for op in target.operation_index.operations:
+            if op.key() not in backed:
+                diagnostics.append(self.diag(
+                    ERROR, f"target {target.name}",
+                    f"match-table pattern {op!r} references no real "
+                    f"instruction",
+                ))
+        return diagnostics
+
+    def _check_instruction(self, target_name: str,
+                           inst) -> List[Diagnostic]:
+        diagnostics: List[Diagnostic] = []
+        location = f"target {target_name}: {inst.name}"
+        desc = inst.desc
+
+        cost = getattr(inst, "cost", None)
+        if cost is None or not isinstance(cost, (int, float)) or \
+                not math.isfinite(cost) or cost <= 0:
+            diagnostics.append(self.diag(
+                ERROR, location,
+                f"no usable cost-table entry (cost={cost!r})",
+            ))
+
+        if len(desc.lane_ops) != desc.num_lanes:
+            diagnostics.append(self.diag(
+                ERROR, location,
+                f"{len(desc.lane_ops)} lane operations for "
+                f"{desc.num_lanes} output lanes (missing or overlapping "
+                f"lane writes)",
+            ))
+            return diagnostics
+
+        if len(inst.match_ops) != desc.num_lanes:
+            diagnostics.append(self.diag(
+                ERROR, location,
+                f"{len(inst.match_ops)} match patterns for "
+                f"{desc.num_lanes} output lanes",
+            ))
+
+        for lane, lane_op in enumerate(desc.lane_ops):
+            operation = lane_op.operation
+            if len(lane_op.bindings) != len(operation.params):
+                diagnostics.append(self.diag(
+                    ERROR, location,
+                    f"lane {lane}: {len(lane_op.bindings)} bindings for "
+                    f"{len(operation.params)} operation parameters",
+                ))
+                continue
+            if operation.result_type != desc.out_elem_type:
+                diagnostics.append(self.diag(
+                    ERROR, location,
+                    f"lane {lane}: operation produces "
+                    f"{operation.result_type}, output lanes are "
+                    f"{desc.out_elem_type}",
+                ))
+            for param_pos, ref in enumerate(lane_op.bindings):
+                if not isinstance(ref.lane_index, int) or \
+                        isinstance(ref.lane_index, bool):
+                    diagnostics.append(self.diag(
+                        ERROR, location,
+                        f"lane {lane}: non-constant lane index "
+                        f"{ref.lane_index!r} (Figure 5 requires constant "
+                        f"lane indices)",
+                    ))
+                    continue
+                if not (0 <= ref.input_index < desc.num_inputs):
+                    diagnostics.append(self.diag(
+                        ERROR, location,
+                        f"lane {lane}: binding references input "
+                        f"x{ref.input_index} of {desc.num_inputs}",
+                    ))
+                    continue
+                vin = desc.inputs[ref.input_index]
+                if not (0 <= ref.lane_index < vin.lanes):
+                    diagnostics.append(self.diag(
+                        ERROR, location,
+                        f"lane {lane}: binding reads lane "
+                        f"{ref.lane_index} of {vin.lanes}-lane input "
+                        f"x{ref.input_index}",
+                    ))
+                    continue
+                param_type = operation.params[param_pos]
+                if param_type != vin.elem_type:
+                    diagnostics.append(self.diag(
+                        ERROR, location,
+                        f"lane {lane}: parameter {param_pos} expects "
+                        f"{param_type}, input x{ref.input_index} lanes "
+                        f"are {vin.elem_type}",
+                    ))
+        return diagnostics

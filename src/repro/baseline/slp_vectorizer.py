@@ -92,6 +92,7 @@ def baseline_vectorize(
     target: str = "avx2",
     cost_model: Optional[CostModel] = None,
     config: Optional[VectorizerConfig] = None,
+    sanitize: bool = False,
 ) -> VectorizationResult:
     """Vectorize with the LLVM-SLP-style baseline.
 
@@ -116,4 +117,14 @@ def baseline_vectorize(
     from repro.machine.model import program_cost
 
     result.cost = program_cost(result.program, cost_model or CostModel())
+    if sanitize:
+        from repro.analysis import SanitizerError, analyze_result, \
+            errors_only
+
+        result.diagnostics = analyze_result(
+            result, target=get_baseline_target(target)
+        )
+        errors = errors_only(result.diagnostics)
+        if errors:
+            raise SanitizerError(errors)
     return result

@@ -16,6 +16,11 @@ Commands
 
 ``validate``
     Re-run the §6.1 random-testing validation over a target's ISA.
+
+``lint``
+    Run the ``repro.analysis`` sanitizer suite (IRLint, VIDLLint,
+    LaneSan, DepSan) over vectorization results — for a mini-C file, a
+    bundled kernel, or every bundled kernel — and report diagnostics.
 """
 
 from __future__ import annotations
@@ -129,6 +134,55 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze_result, errors_only
+    from repro.kernels import all_kernels
+
+    if args.file:
+        functions = {}
+        with open(args.file) as handle:
+            source = handle.read()
+        for fn in compile_c(source):
+            functions[fn.name] = fn
+    elif args.kernel:
+        kernels = all_kernels()
+        if args.kernel not in kernels:
+            print(f"unknown kernel {args.kernel!r}; available: "
+                  f"{', '.join(sorted(kernels))}", file=sys.stderr)
+            return 2
+        functions = {args.kernel: kernels[args.kernel]}
+    elif args.all:
+        functions = all_kernels()
+    else:
+        print("lint: give a FILE, --kernel NAME, or --all",
+              file=sys.stderr)
+        return 2
+
+    if args.target == "all":
+        targets = available_targets()
+    else:
+        targets = [args.target]
+
+    checked = 0
+    error_count = 0
+    warning_count = 0
+    for tname in targets:
+        target = get_target(tname)
+        for fname, fn in functions.items():
+            result = vectorize(fn, target=target,
+                               beam_width=args.beam_width)
+            diagnostics = analyze_result(result, target=target)
+            checked += 1
+            errors = errors_only(diagnostics)
+            error_count += len(errors)
+            warning_count += len(diagnostics) - len(errors)
+            for diag in diagnostics:
+                print(f"{tname}/{fname}: {diag.format()}")
+    print(f"linted {checked} function/target combinations: "
+          f"{error_count} errors, {warning_count} warnings")
+    return 1 if error_count else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -170,6 +224,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=3)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("lint",
+                       help="run the sanitizer suite over vectorization "
+                            "results")
+    p.add_argument("file", nargs="?", default=None,
+                   help="mini-C file to lint (omit with --kernel/--all)")
+    p.add_argument("--kernel", default=None,
+                   help="lint one bundled kernel by name")
+    p.add_argument("--all", action="store_true",
+                   help="lint every bundled kernel")
+    p.add_argument("--target", default="avx2",
+                   choices=available_targets() + ["all"])
+    p.add_argument("--beam-width", type=int, default=4,
+                   help="pack-selection beam width (small by default: "
+                        "lint favours coverage over best packing)")
+    p.set_defaults(func=_cmd_lint)
     return parser
 
 

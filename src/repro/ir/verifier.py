@@ -5,58 +5,54 @@ Checks the invariants the rest of the system relies on: SSA dominance
 single trailing terminator, and type agreement between stores/loads and
 their pointers (type agreement *within* instructions is enforced by the
 instruction constructors).
+
+:func:`iter_violations` yields every violation as ``(location, message)``
+pairs — the diagnostics backend used by ``repro.analysis``'s IRLint pass.
+:func:`verify_function` keeps the historical raise-on-first behaviour.
 """
 
 from __future__ import annotations
 
+from typing import Iterator, Tuple
+
 from repro.ir.function import Function
 from repro.ir.instructions import Opcode
-from repro.ir.values import Argument, Constant, Value
+from repro.ir.values import Argument, Constant
 
 
 class VerificationError(ValueError):
     """Raised when a function violates an IR invariant."""
 
 
-def verify_function(function: Function) -> None:
-    """Raise :class:`VerificationError` on the first violated invariant."""
+def iter_violations(function: Function) -> Iterator[Tuple[str, str]]:
+    """Yield every structural violation as ``(location, message)``."""
     seen = set()
     for arg in function.args:
         seen.add(id(arg))
 
+    name = function.name
     instructions = function.entry.instructions
     if not instructions or not instructions[-1].is_terminator:
-        raise VerificationError(
-            f"{function.name}: function must end with a terminator"
-        )
+        yield name, "function must end with a terminator"
+        return
     for i, inst in enumerate(instructions):
         if inst.is_terminator and i != len(instructions) - 1:
-            raise VerificationError(
-                f"{function.name}: terminator not at end of block"
-            )
+            yield f"{name}: {inst!r}", "terminator not at end of block"
         if inst.parent is not function.entry:
-            raise VerificationError(
-                f"{function.name}: instruction {inst!r} has wrong parent"
-            )
+            yield f"{name}: {inst!r}", "instruction has wrong parent"
         for op in inst.operands:
             if isinstance(op, Constant):
                 continue
             if isinstance(op, Argument):
                 if op not in function.args:
-                    raise VerificationError(
-                        f"{function.name}: foreign argument {op!r}"
-                    )
+                    yield f"{name}: {inst!r}", f"foreign argument {op!r}"
                 continue
             if id(op) not in seen:
-                raise VerificationError(
-                    f"{function.name}: use of {op!r} before definition "
-                    f"in {inst!r}"
-                )
-            if inst not in op.uses:
-                raise VerificationError(
-                    f"{function.name}: stale use list: {inst!r} not in "
-                    f"uses of {op!r}"
-                )
+                yield (f"{name}: {inst!r}",
+                       f"use of {op!r} before definition")
+            elif inst not in op.uses:
+                yield (f"{name}: {inst!r}",
+                       f"stale use list: not in uses of {op!r}")
         seen.add(id(inst))
 
     ret = instructions[-1]
@@ -64,11 +60,12 @@ def verify_function(function: Function) -> None:
         value = ret.operands[0] if ret.operands else None
         if function.return_type.is_void:
             if value is not None:
-                raise VerificationError(
-                    f"{function.name}: void function returns a value"
-                )
-        else:
-            if value is None or value.type != function.return_type:
-                raise VerificationError(
-                    f"{function.name}: return type mismatch"
-                )
+                yield name, "void function returns a value"
+        elif value is None or value.type != function.return_type:
+            yield name, "return type mismatch"
+
+
+def verify_function(function: Function) -> None:
+    """Raise :class:`VerificationError` on the first violated invariant."""
+    for location, message in iter_violations(function):
+        raise VerificationError(f"{location}: {message}")

@@ -14,8 +14,26 @@ from repro.kernels.isel_tests import (
     llvm_vectorizable,
 )
 
+def all_kernels():
+    """Every bundled kernel as ``{name: Function}`` (fresh builds).
+
+    Names are prefixed by family (``isel_``, ``opencv_``, ``dsp_``) so the
+    flat namespace stays collision-free; used by ``repro lint`` and the
+    sanitizer acceptance sweep.
+    """
+    kernels = {f"isel_{k}": v for k, v in build_isel_tests().items()}
+    kernels["complex_mul"] = build_complex_mul()
+    kernels["tvm_dot"] = build_tvm_kernel()
+    kernels.update(
+        {f"opencv_{k}": v for k, v in build_opencv_kernels().items()}
+    )
+    kernels.update({f"dsp_{k}": v for k, v in build_dsp_kernels().items()})
+    return kernels
+
+
 __all__ = [
     "COMPLEX_MUL_SOURCE",
+    "all_kernels",
     "build_complex_mul",
     "OPENCV_SOURCES",
     "TVM_DOT_SOURCE",

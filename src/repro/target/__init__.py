@@ -1,0 +1,27 @@
+"""The synthetic x86-ish vector ISA and its cached target registry.
+
+``get_target("avx2")`` runs the offline generator phase (parse the
+pseudocode specs, lift to VIDL, canonicalize match patterns) for every
+instruction the avx2 extension set provides, and caches the result.
+"""
+
+from repro.target.isa import TargetDesc, TargetInstruction, build_instruction
+from repro.target.registry import available_targets, get_target
+from repro.target.specs import (
+    TARGET_CONFIGS,
+    SpecEntry,
+    baseline_fabs_entries,
+    build_spec_entries,
+)
+
+__all__ = [
+    "TARGET_CONFIGS",
+    "SpecEntry",
+    "TargetDesc",
+    "TargetInstruction",
+    "available_targets",
+    "baseline_fabs_entries",
+    "build_instruction",
+    "build_spec_entries",
+    "get_target",
+]

@@ -1,0 +1,117 @@
+"""Target instruction descriptions and the offline build pipeline.
+
+``build_instruction`` is the whole offline phase of the generator for one
+instruction: parse the vendor pseudocode, symbolically evaluate and lift
+it to a VIDL description, and canonicalize the per-lane operations into
+the match patterns the online vectorizer consumes (§3–§4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.ir.types import Type
+from repro.patterns.canonicalize import canonicalize_operation
+from repro.patterns.match_table import OperationIndex
+from repro.pseudocode import parse_spec
+from repro.vidl import InstDesc, LiftError, Operation, lift_spec
+
+
+@dataclass
+class TargetInstruction:
+    """One vector instruction: VIDL semantics plus matching metadata."""
+
+    name: str
+    desc: InstDesc
+    match_ops: Tuple[Operation, ...]
+    cost: float
+    requires: FrozenSet[str]
+    spec_text: str
+
+    @property
+    def is_simd(self) -> bool:
+        return self.desc.is_simd
+
+    @property
+    def num_lanes(self) -> int:
+        return self.desc.num_lanes
+
+    def __repr__(self) -> str:
+        kind = "simd" if self.is_simd else "non-simd"
+        return (f"<TargetInstruction {self.name} ({kind}, "
+                f"{self.num_lanes} lanes, cost {self.cost:g})>")
+
+
+class TargetDesc:
+    """An instruction set: what one compilation target may emit."""
+
+    def __init__(self, name: str, extensions, instructions):
+        self.name = name
+        self.extensions: FrozenSet[str] = frozenset(extensions)
+        self.instructions: List[TargetInstruction] = list(instructions)
+        self.by_name: Dict[str, TargetInstruction] = {
+            inst.name: inst for inst in self.instructions
+        }
+        self._by_shape: Dict[Tuple[int, Type], List[TargetInstruction]] = {}
+        for inst in self.instructions:
+            key = (inst.desc.num_lanes, inst.desc.out_elem_type)
+            self._by_shape.setdefault(key, []).append(inst)
+        self._operation_index: Optional[OperationIndex] = None
+
+    def get(self, name: str) -> TargetInstruction:
+        return self.by_name[name]
+
+    def instructions_for_shape(self, lanes: int,
+                               elem_type: Type) -> List[TargetInstruction]:
+        """All instructions producing ``lanes`` lanes of ``elem_type``."""
+        return list(self._by_shape.get((lanes, elem_type), ()))
+
+    @property
+    def vector_lane_counts(self) -> FrozenSet[int]:
+        """Output widths (in lanes) this target can produce."""
+        return frozenset(inst.num_lanes for inst in self.instructions)
+
+    @property
+    def operation_index(self) -> OperationIndex:
+        """The distinct canonical lane operations, for the match table."""
+        if self._operation_index is None:
+            self._operation_index = OperationIndex(
+                op for inst in self.instructions for op in inst.match_ops
+            )
+        return self._operation_index
+
+    def __repr__(self) -> str:
+        return (f"<TargetDesc {self.name}: "
+                f"{len(self.instructions)} instructions>")
+
+
+def build_instruction(name: str, text: str, requires,
+                      inv_throughput: float,
+                      canonicalize_patterns: bool = True
+                      ) -> Optional[TargetInstruction]:
+    """Run the offline pipeline for one pseudocode spec.
+
+    Returns ``None`` when the spec cannot be lifted to VIDL (e.g. it
+    leaves output lanes uninitialized) — such entries are simply not part
+    of the generated vectorizer, mirroring VeGen skipping untranslatable
+    intrinsics.
+    """
+    spec = parse_spec(text)
+    try:
+        desc = lift_spec(spec)
+    except LiftError:
+        return None
+    match_ops = tuple(
+        canonicalize_operation(lane_op.operation,
+                               enabled=canonicalize_patterns)
+        for lane_op in desc.lane_ops
+    )
+    return TargetInstruction(
+        name=name,
+        desc=desc,
+        match_ops=match_ops,
+        cost=inv_throughput * 2.0,
+        requires=frozenset(requires),
+        spec_text=text,
+    )

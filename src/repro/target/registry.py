@@ -1,0 +1,73 @@
+"""Cached target registry.
+
+Building a whole ISA (parse + symbolic evaluation + lifting for every
+instruction) is the expensive offline phase, so built targets and the
+individual built instructions are memoized at module level.  The
+benchmark suite clears ``_cache``/``_inst_cache``/``_entry_cache`` to
+measure cold builds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.target.isa import TargetDesc, TargetInstruction, build_instruction
+from repro.target.specs import TARGET_CONFIGS, SpecEntry, build_spec_entries
+
+#: Built targets, keyed by (target name, canonicalize_patterns).
+_cache: Dict[Tuple[str, bool], TargetDesc] = {}
+
+#: Built instructions, keyed by (instruction name, canonicalize_patterns).
+_inst_cache: Dict[Tuple[str, bool], Optional[TargetInstruction]] = {}
+
+#: Parsed spec entry list (shared across all targets).
+_entry_cache: Optional[List[SpecEntry]] = None
+
+
+def available_targets() -> List[str]:
+    """Names accepted by :func:`get_target`."""
+    return sorted(TARGET_CONFIGS)
+
+
+def _entries() -> List[SpecEntry]:
+    global _entry_cache
+    if _entry_cache is None:
+        _entry_cache = build_spec_entries()
+    return _entry_cache
+
+
+def get_target(name: str, canonicalize_patterns: bool = True) -> TargetDesc:
+    """Build (or fetch the cached) target description for ``name``.
+
+    Raises ``KeyError`` for unknown target names.  Entries whose
+    ``requires`` set is not covered by the target's extensions are
+    filtered out; entries that fail to lift are skipped.
+    """
+    key = (name, canonicalize_patterns)
+    cached = _cache.get(key)
+    if cached is not None:
+        return cached
+    try:
+        extensions = TARGET_CONFIGS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown target {name!r}; available: "
+            f"{', '.join(available_targets())}"
+        ) from None
+    instructions = []
+    for entry in _entries():
+        if not entry.requires <= extensions:
+            continue
+        inst_key = (entry.name, canonicalize_patterns)
+        if inst_key not in _inst_cache:
+            _inst_cache[inst_key] = build_instruction(
+                entry.name, entry.text, entry.requires,
+                entry.inv_throughput,
+                canonicalize_patterns=canonicalize_patterns,
+            )
+        inst = _inst_cache[inst_key]
+        if inst is not None:
+            instructions.append(inst)
+    target = TargetDesc(name, extensions, instructions)
+    _cache[key] = target
+    return target

@@ -225,16 +225,18 @@ class _Codegen:
                     VLoad(container.base, container.first_offset,
                           len(container.loads), container.elem_type)
                 )
+                node.origin = container
                 node_of_pack[id(container)] = node
             elif isinstance(container, StorePack):
                 source = self._vector_operand(
                     program, node_of_pack, container.operands()[0],
                     container.elem_type,
                 )
-                program.append(
+                store_node = program.append(
                     VStore(source, container.base, container.first_offset,
                            len(container.stores), container.elem_type)
                 )
+                store_node.origin = container
             elif isinstance(container, ComputePack):
                 operands = [
                     self._vector_operand(program, node_of_pack, operand,
@@ -246,6 +248,7 @@ class _Codegen:
                     container.inst, operands,
                     live_lanes=[m is not None for m in container.matches],
                 ))
+                node.origin = container
                 node_of_pack[id(container)] = node
             else:
                 program.append(VScalar(container))

@@ -8,7 +8,7 @@ model costs for both the scalar original and the vectorized output.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
 from repro.ir.function import Function
@@ -37,6 +37,7 @@ class VectorizationResult:
     scalar_cost: float            # model cost of the canonicalized scalar
     cost: ProgramCost             # model cost of the emitted program
     estimated_cost: float         # the search's own estimate (g)
+    diagnostics: List = field(default_factory=list)  # sanitizer findings
 
     @property
     def vectorized(self) -> bool:
@@ -73,6 +74,7 @@ def vectorize(
     reassociate: bool = False,
     cost_model: Optional[CostModel] = None,
     config: Optional[VectorizerConfig] = None,
+    sanitize: bool = False,
 ) -> VectorizationResult:
     """Vectorize one straight-line function.
 
@@ -82,7 +84,9 @@ def vectorize(
     ``canonicalize_patterns=False`` reproduces the §6 ablation.
     ``reassociate=True`` balances reduction chains first (clang -O3 /
     -ffast-math behaviour; exposes dot-product structure in sequential
-    accumulations).
+    accumulations).  ``sanitize=True`` runs the ``repro.analysis``
+    sanitizer suite over the result and raises
+    :class:`repro.analysis.SanitizerError` on any error diagnostic.
     """
     if isinstance(target, str):
         target_desc = get_target(
@@ -117,7 +121,7 @@ def vectorize(
     if not packs:
         program = scalar_program(work)
         cost = program_cost(program, model)
-    return VectorizationResult(
+    result = VectorizationResult(
         function=work,
         program=program,
         packs=packs,
@@ -125,3 +129,13 @@ def vectorize(
         cost=cost,
         estimated_cost=estimated,
     )
+    if sanitize:
+        # Imported lazily: repro.analysis imports vectorizer modules.
+        from repro.analysis import SanitizerError, analyze_result, \
+            errors_only
+
+        result.diagnostics = analyze_result(result, target=target_desc)
+        errors = errors_only(result.diagnostics)
+        if errors:
+            raise SanitizerError(errors)
+    return result

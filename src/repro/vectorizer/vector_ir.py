@@ -24,6 +24,11 @@ from repro.target.isa import TargetInstruction
 class VNode:
     """Base class for vector-program nodes."""
 
+    #: Provenance: the pack this node lowers (set by codegen; None for
+    #: derived data-movement nodes).  Sanitizer passes use it to map the
+    #: emitted schedule back onto the scalar dependence DAG.
+    origin = None
+
     def describe(self) -> str:
         raise NotImplementedError
 

@@ -1,0 +1,121 @@
+"""Tests for the repro.analysis sanitizer suite (clean-path behaviour).
+
+The seeded-defect side lives in ``tests/test_mutation_sanitizers.py``;
+this module covers diagnostics plumbing, the manager, and the acceptance
+property that every bundled kernel lints clean on every target.
+"""
+
+import pytest
+
+from repro.analysis import (
+    ERROR,
+    WARNING,
+    AnalysisManager,
+    AnalysisPass,
+    AnalysisUnit,
+    Diagnostic,
+    SanitizerError,
+    analyze_result,
+    default_passes,
+    errors_only,
+)
+from repro.baseline import baseline_vectorize
+from repro.kernels import all_kernels, build_complex_mul
+from repro.target import available_targets, get_target
+from repro.vectorizer import scalar_program, vectorize
+
+
+class TestDiagnostics:
+    def test_format(self):
+        diag = Diagnostic(ERROR, "lanesan", "dot: pack pmaddwd_128",
+                          "lane 1: bad binding")
+        assert diag.format() == \
+            "error: [lanesan] dot: pack pmaddwd_128: lane 1: bad binding"
+        assert str(diag) == diag.format()
+
+    def test_severity_validated(self):
+        with pytest.raises(ValueError):
+            Diagnostic("fatal", "lanesan", "loc", "msg")
+
+    def test_errors_only(self):
+        err = Diagnostic(ERROR, "p", "loc", "bad")
+        warn = Diagnostic(WARNING, "p", "loc", "meh")
+        assert errors_only([warn, err, warn]) == [err]
+
+    def test_sanitizer_error_carries_diagnostics(self):
+        diags = [Diagnostic(ERROR, "depsan", "f: node 3", "reordered")]
+        exc = SanitizerError(diags)
+        assert exc.diagnostics == diags
+        assert "1 sanitizer diagnostic(s)" in str(exc)
+        assert "[depsan]" in str(exc)
+
+
+class TestManager:
+    def test_default_passes(self):
+        names = [p.name for p in default_passes()]
+        assert names == ["irlint", "vidllint", "lanesan", "depsan"]
+
+    def test_register_and_run_custom_pass(self):
+        class Shouty(AnalysisPass):
+            name = "shouty"
+
+            def run(self, unit):
+                return [self.diag(WARNING, unit.function.name, "seen")]
+
+        manager = AnalysisManager(passes=[])
+        manager.register(Shouty())
+        fn = build_complex_mul()
+        unit = AnalysisUnit(function=fn, program=scalar_program(fn))
+        diags = manager.run(unit)
+        assert len(diags) == 1
+        assert diags[0].pass_name == "shouty"
+        assert diags[0].location == fn.name
+
+    def test_unit_from_result(self):
+        result = vectorize(build_complex_mul(), target="avx2",
+                           beam_width=4)
+        unit = AnalysisUnit.from_result(result, target=get_target("avx2"))
+        assert unit.function is result.function
+        assert unit.program is result.program
+        assert list(unit.packs) == list(result.packs)
+
+    def test_scalar_function_lints_clean(self):
+        fn = build_complex_mul()
+        unit = AnalysisUnit(function=fn, program=scalar_program(fn),
+                            target=get_target("avx2"))
+        assert AnalysisManager().run(unit) == []
+
+
+class TestSanitizeFlag:
+    def test_vectorize_sanitize_records_diagnostics(self):
+        result = vectorize(build_complex_mul(), target="avx2",
+                           beam_width=8, sanitize=True)
+        assert result.vectorized
+        assert result.diagnostics == []
+
+    def test_vectorize_without_sanitize_skips_analysis(self):
+        result = vectorize(build_complex_mul(), target="avx2",
+                           beam_width=8)
+        assert result.diagnostics == []
+
+    def test_baseline_sanitize(self):
+        result = baseline_vectorize(build_complex_mul(), target="avx2",
+                                    sanitize=True)
+        assert result.diagnostics == []
+
+
+# The full acceptance sweep (every kernel x every target) runs in CI via
+# ``repro lint --all --target all``; here a representative fast subset
+# keeps the unit suite quick.
+_KERNELS = all_kernels()
+_SUBSET = ["complex_mul", "tvm_dot", "isel_pmaddwd", "isel_hadd_ps",
+           "opencv_int16x16", "dsp_fft4"]
+
+
+@pytest.mark.parametrize("target_name", available_targets())
+@pytest.mark.parametrize("kernel_name", _SUBSET)
+def test_kernels_lint_clean(kernel_name, target_name):
+    result = vectorize(_KERNELS[kernel_name], target=target_name,
+                       beam_width=4)
+    diagnostics = analyze_result(result, target=get_target(target_name))
+    assert diagnostics == [], [str(d) for d in diagnostics]

@@ -48,6 +48,26 @@ class TestDescribeCommand:
         assert "did you mean" in err
 
 
+class TestLintCommand:
+    def test_lint_bundled_kernel(self, capsys):
+        assert main(["lint", "--kernel", "complex_mul"]) == 0
+        out = capsys.readouterr().out
+        assert "0 errors" in out
+
+    def test_lint_file(self, kernel_file, capsys):
+        assert main(["lint", kernel_file, "--target", "avx2"]) == 0
+        out = capsys.readouterr().out
+        assert "linted 1 function/target combinations" in out
+
+    def test_lint_unknown_kernel(self, capsys):
+        assert main(["lint", "--kernel", "nope"]) == 2
+        assert "unknown kernel" in capsys.readouterr().err
+
+    def test_lint_requires_a_subject(self, capsys):
+        assert main(["lint"]) == 2
+        assert "give a FILE" in capsys.readouterr().err
+
+
 class TestOtherCommands:
     def test_targets(self, capsys):
         assert main(["targets"]) == 0
@@ -58,3 +78,24 @@ class TestOtherCommands:
         assert main(["validate", "--target", "sse4", "--trials", "1"]) == 0
         out = capsys.readouterr().out
         assert "validated" in out
+
+
+class TestEntryPointSmoke:
+    """End-to-end: the installed entry point, in a fresh interpreter."""
+
+    def test_module_help(self):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert proc.returncode == 0
+        for command in ("vectorize", "describe", "targets", "validate",
+                        "lint"):
+            assert command in proc.stdout

@@ -17,7 +17,8 @@ _kernels = build_dsp_kernels()
                                   "idct4"])
 def test_vegen_beam64_differential(name):
     fn = _kernels[name]
-    result = vectorize(fn, target="avx2", beam_width=64)
+    result = vectorize(fn, target="avx2", beam_width=64,
+                       sanitize=True)
     assert_program_matches_scalar(fn, result.program,
                                   random.Random(len(name)), rounds=5)
 
@@ -25,7 +26,8 @@ def test_vegen_beam64_differential(name):
 @pytest.mark.parametrize("name", ["sbc", "idct4"])
 def test_vegen_avx512_differential(name):
     fn = _kernels[name]
-    result = vectorize(fn, target="avx512_vnni", beam_width=16)
+    result = vectorize(fn, target="avx512_vnni", beam_width=16,
+                       sanitize=True)
     assert_program_matches_scalar(fn, result.program,
                                   random.Random(7), rounds=4)
 
@@ -33,7 +35,8 @@ def test_vegen_avx512_differential(name):
 def test_idct8_reduced_budget_differential():
     fn = _kernels["idct8"]
     cfg = VectorizerConfig(beam_width=4, patience=4, max_steps=64)
-    result = vectorize(fn, target="avx2", beam_width=4, config=cfg)
+    result = vectorize(fn, target="avx2", beam_width=4, config=cfg,
+                       sanitize=True)
     assert_program_matches_scalar(fn, result.program, random.Random(8),
                                   rounds=2)
 
@@ -42,6 +45,6 @@ def test_nocanon_differential():
     # The ablation path must still be correct even when it matches less.
     fn = _kernels["idct4"]
     result = vectorize(fn, target="avx2", beam_width=8,
-                       canonicalize_patterns=False)
+                       canonicalize_patterns=False, sanitize=True)
     assert_program_matches_scalar(fn, result.program, random.Random(9),
                                   rounds=4)

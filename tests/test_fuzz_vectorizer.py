@@ -99,7 +99,8 @@ _op_choice = st.tuples(st.integers(0, 31), st.integers(0, 31),
           suppress_health_check=[HealthCheck.too_slow])
 def test_fuzz_int_kernels_vegen(op_choices, store_count):
     fn = _build_int_kernel(op_choices, store_count)
-    result = vectorize(fn, target="avx2", beam_width=4)
+    result = vectorize(fn, target="avx2", beam_width=4,
+                       sanitize=True)
     assert_program_matches_scalar(fn, result.program, random.Random(0),
                                   rounds=4, length=16)
 
@@ -110,7 +111,8 @@ def test_fuzz_int_kernels_vegen(op_choices, store_count):
           suppress_health_check=[HealthCheck.too_slow])
 def test_fuzz_float_kernels_vegen(op_choices, store_count):
     fn = _build_float_kernel(op_choices, store_count)
-    result = vectorize(fn, target="avx2", beam_width=4)
+    result = vectorize(fn, target="avx2", beam_width=4,
+                       sanitize=True)
     assert_program_matches_scalar(fn, result.program, random.Random(1),
                                   rounds=3, length=16)
 
@@ -121,7 +123,7 @@ def test_fuzz_float_kernels_vegen(op_choices, store_count):
           suppress_health_check=[HealthCheck.too_slow])
 def test_fuzz_int_kernels_baseline(op_choices, store_count):
     fn = _build_int_kernel(op_choices, store_count)
-    result = baseline_vectorize(fn, target="avx2")
+    result = baseline_vectorize(fn, target="avx2", sanitize=True)
     assert_program_matches_scalar(fn, result.program, random.Random(2),
                                   rounds=3, length=16)
 
@@ -132,6 +134,7 @@ def test_fuzz_int_kernels_baseline(op_choices, store_count):
           suppress_health_check=[HealthCheck.too_slow])
 def test_fuzz_avx512_target(op_choices, store_count):
     fn = _build_int_kernel(op_choices, store_count)
-    result = vectorize(fn, target="avx512_vnni", beam_width=4)
+    result = vectorize(fn, target="avx512_vnni", beam_width=4,
+                       sanitize=True)
     assert_program_matches_scalar(fn, result.program, random.Random(3),
                                   rounds=3, length=16)

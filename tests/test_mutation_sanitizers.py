@@ -1,0 +1,174 @@
+"""Seeded-defect tests: each sanitizer catches its own mutation class.
+
+Every test corrupts one representation the vectorizer produced (or one
+input it consumed), runs the full default pass pipeline, and asserts that
+the targeted pass — and only that pass — reports diagnostics.  This is
+the mutation-testing half of the sanitizer suite's acceptance criteria.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import AnalysisManager, AnalysisUnit, errors_only
+from repro.ir.values import Constant
+from repro.kernels import all_kernels
+from repro.target import TargetDesc, get_target
+from repro.vectorizer import scalar_program, vectorize
+from repro.vectorizer.pack import ComputePack
+from repro.vectorizer.vector_ir import VStore
+from repro.vidl.interp import DONT_CARE
+
+_KERNELS = all_kernels()
+
+
+def _run_passes(unit):
+    diags = AnalysisManager().run(unit)
+    return diags, {d.pass_name for d in diags}
+
+
+def _vectorized_unit(kernel="tvm_dot", target_name="avx2"):
+    target = get_target(target_name)
+    result = vectorize(_KERNELS[kernel], target=target, beam_width=8)
+    assert result.vectorized, f"{kernel} must vectorize on {target_name}"
+    return AnalysisUnit.from_result(result, target=target)
+
+
+def test_clean_result_has_no_diagnostics():
+    diags, _ = _run_passes(_vectorized_unit())
+    assert diags == [], [str(d) for d in diags]
+
+
+class TestLaneSanMutation:
+    def test_corrupted_lane_binding(self):
+        unit = _vectorized_unit()
+        # Find a compute pack with two distinct real values in one operand
+        # vector and swap them: the lane bindings now deliver the wrong
+        # scalar to the lane operation.
+        for pack in unit.packs:
+            if not isinstance(pack, ComputePack):
+                continue
+            for operand_index, operand in enumerate(pack.operands()):
+                real = [e for e in operand if e is not DONT_CARE]
+                if len({id(e) for e in real}) >= 2:
+                    lanes = list(operand)
+                    i, j = [k for k, e in enumerate(lanes)
+                            if e is not DONT_CARE][:2]
+                    lanes[i], lanes[j] = lanes[j], lanes[i]
+                    pack._operands[operand_index] = tuple(lanes)
+                    break
+            else:
+                continue
+            break
+        else:
+            pytest.fail("no compute pack with distinct operand lanes")
+
+        diags, passes = _run_passes(unit)
+        assert passes == {"lanesan"}, [str(d) for d in diags]
+        assert errors_only(diags)
+        assert any("live-in" in d.message or "don't-care" in d.message
+                   for d in diags)
+
+
+class TestDepSanMutation:
+    def test_reordered_dependent_store(self):
+        unit = _vectorized_unit()
+        nodes = unit.program.nodes
+        store_index = next(
+            (i for i, n in enumerate(nodes) if isinstance(n, VStore)),
+            None,
+        )
+        assert store_index is not None, "expected a vector store"
+        # Illegally hoist the store above everything it depends on.
+        store = nodes.pop(store_index)
+        nodes.insert(0, store)
+
+        diags, passes = _run_passes(unit)
+        assert passes == {"depsan"}, [str(d) for d in diags]
+        assert errors_only(diags)
+        assert any("emitted" in d.message or "dependence" in d.message
+                   for d in diags)
+
+
+class TestVIDLLintMutation:
+    def test_deleted_cost_table_entry(self):
+        # Never mutate the cached target: registry caching would poison
+        # every later get_target() call in the process.
+        full = get_target("avx2")
+        victim = full.instructions[0]
+        mutated = TargetDesc(
+            "avx2-mutated",
+            full.extensions,
+            [dataclasses.replace(inst, cost=None)
+             if inst.name == victim.name else inst
+             for inst in full.instructions],
+        )
+        fn = _KERNELS["complex_mul"]
+        unit = AnalysisUnit(function=fn, program=scalar_program(fn),
+                            target=mutated)
+
+        diags, passes = _run_passes(unit)
+        assert passes == {"vidllint"}, [str(d) for d in diags]
+        assert errors_only(diags)
+        assert any(victim.name in d.location and
+                   "cost-table" in d.message for d in diags)
+
+    def test_unbacked_match_table_pattern(self):
+        full = get_target("avx2")
+        vnni = get_target("avx512_vnni")
+        # Drop an instruction from the table but leave its patterns in the
+        # operation index: the index now references a ghost instruction.
+        mutated = TargetDesc("avx2-ghost", full.extensions,
+                             list(full.instructions))
+        foreign = vnni.get("vpdpbusd_512")
+        for op in foreign.match_ops:
+            mutated.operation_index.add(op)
+
+        fn = _KERNELS["complex_mul"]
+        unit = AnalysisUnit(function=fn, program=scalar_program(fn),
+                            target=mutated)
+        diags, passes = _run_passes(unit)
+        assert passes == {"vidllint"}, [str(d) for d in diags]
+        assert any("references no real instruction" in d.message
+                   for d in diags)
+
+
+class TestIRLintMutation:
+    def test_store_type_mismatch(self):
+        from repro.ir.instructions import StoreInst
+
+        fn = _KERNELS["complex_mul"]
+        store = next(inst for inst in fn.entry
+                     if isinstance(inst, StoreInst))
+        # Bypass the StoreInst constructor's type check, as a buggy
+        # transform would.
+        from repro.ir.types import I16
+
+        store.operands[0] = Constant(I16, 0)
+
+        unit = AnalysisUnit(function=fn, program=scalar_program(fn),
+                            target=get_target("avx2"))
+        diags, passes = _run_passes(unit)
+        assert passes == {"irlint"}, [str(d) for d in diags]
+        assert errors_only(diags)
+        assert any("store of" in d.message for d in diags)
+
+    def test_dead_store_warning(self):
+        # Built by hand: the frontend's store elimination would remove it.
+        from repro.ir import Function, IRBuilder
+        from repro.ir.types import I32, PointerType
+
+        fn = Function("dead", [
+            ("a", PointerType(I32)),
+            ("c", PointerType(I32)),
+        ])
+        b = IRBuilder(fn)
+        b.store(b.load(fn.arg("a"), 0), fn.arg("c"), 0)
+        b.store(b.load(fn.arg("a"), 1), fn.arg("c"), 0)
+        fn.finish()
+
+        unit = AnalysisUnit(function=fn, program=scalar_program(fn))
+        diags, passes = _run_passes(unit)
+        assert passes == {"irlint"}, [str(d) for d in diags]
+        assert all(d.severity == "warning" for d in diags)
+        assert any("dead store" in d.message for d in diags)
