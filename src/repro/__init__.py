@@ -29,6 +29,8 @@ The package splits the same way the paper does (Figure 3):
 * :mod:`repro.machine` - the throughput cost model (Section 6.2) and the
   vector program interpreter used for differential correctness.
 * :mod:`repro.kernels` - every kernel of the paper's evaluation.
+* :mod:`repro.obs` - observability: phase tracing, pipeline counters,
+  and the ``repro bench`` perf-trajectory harness.
 
 Quick start::
 
@@ -79,6 +81,12 @@ _EXPORTS = {
     "Diagnostic": "repro.analysis",
     "SanitizerError": "repro.analysis",
     "analyze_result": "repro.analysis",
+    "Counters": "repro.obs",
+    "Tracer": "repro.obs",
+    "compare_bench": "repro.obs",
+    "load_bench": "repro.obs",
+    "run_bench": "repro.obs",
+    "write_bench": "repro.obs",
     "VectorizationResult": "repro.vectorizer",
     "VectorizerConfig": "repro.vectorizer",
     "scalar_program": "repro.vectorizer",
@@ -129,6 +137,14 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         run_program,
         scalar_function_cost,
         speedup,
+    )
+    from repro.obs import (
+        Counters,
+        Tracer,
+        compare_bench,
+        load_bench,
+        run_bench,
+        write_bench,
     )
     from repro.target import (
         TargetDesc,

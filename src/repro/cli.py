@@ -21,6 +21,11 @@ Commands
     Run the ``repro.analysis`` sanitizer suite (IRLint, VIDLLint,
     LaneSan, DepSan) over vectorization results — for a mini-C file, a
     bundled kernel, or every bundled kernel — and report diagnostics.
+
+``bench``
+    Run the bundled kernel × target matrix with tracing and counters on;
+    write the ``BENCH_vegen.json`` perf trajectory and (optionally)
+    compare against an older trajectory, failing on cost regressions.
 """
 
 from __future__ import annotations
@@ -47,10 +52,15 @@ def _cmd_vectorize(args: argparse.Namespace) -> int:
         if args.dump_ir:
             print(print_function(fn))
             print()
+        obs = {}
+        if args.trace:
+            from repro.obs import Counters, Tracer
+
+            obs = {"tracer": Tracer(), "counters": Counters()}
         result = vectorize(fn, target=args.target,
                            beam_width=args.beam_width,
-                           reassociate=args.reassociate)
-        if args.report:
+                           reassociate=args.reassociate, **obs)
+        if args.report or args.trace:
             from repro.vectorizer.report import render_report
 
             print(render_report(result))
@@ -183,6 +193,63 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if error_count else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.kernels import all_kernels
+    from repro.obs import (
+        compare_bench,
+        load_bench,
+        render_bench_summary,
+        run_bench,
+        validate_bench,
+        write_bench,
+    )
+
+    if args.targets == "all":
+        targets = list(available_targets())
+    else:
+        targets = [t.strip() for t in args.targets.split(",") if t.strip()]
+        unknown = [t for t in targets if t not in available_targets()]
+        if unknown:
+            print(f"unknown targets: {', '.join(unknown)}; available: "
+                  f"{', '.join(available_targets())}", file=sys.stderr)
+            return 2
+
+    kernel_names = None
+    if args.kernel:
+        kernel_names = list(args.kernel)
+    elif args.kernels is not None:
+        kernel_names = sorted(all_kernels())[:args.kernels]
+
+    progress = None
+    if not args.quiet:
+        progress = lambda msg: print(msg, file=sys.stderr)  # noqa: E731
+    try:
+        doc = run_bench(kernel_names=kernel_names, targets=targets,
+                        beam_width=args.beam_width, progress=progress)
+    except KeyError as exc:
+        print(f"bench: {exc.args[0]}", file=sys.stderr)
+        return 2
+    validate_bench(doc)
+    write_bench(doc, args.out)
+    render_bench_summary(doc)
+    print(f"wrote {args.out}")
+
+    if args.compare:
+        old = load_bench(args.compare)
+        regressions, notes = compare_bench(
+            old, doc, cost_tolerance=args.tolerance
+        )
+        for note in notes:
+            print(f"note: {note}")
+        for regression in regressions:
+            print(f"REGRESSION: {regression}")
+        if regressions:
+            print(f"{len(regressions)} regression(s) vs {args.compare}")
+            return 1
+        print(f"no regressions vs {args.compare}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -205,6 +272,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "-ffast-math behaviour)")
     p.add_argument("--compare-baseline", action="store_true",
                    help="also run the LLVM-style baseline")
+    p.add_argument("--trace", action="store_true",
+                   help="run with tracing/counters on and print the "
+                        "phase-timing report")
     p.set_defaults(func=_cmd_vectorize)
 
     p = sub.add_parser("describe",
@@ -240,6 +310,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pack-selection beam width (small by default: "
                         "lint favours coverage over best packing)")
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser("bench",
+                       help="benchmark the kernel x target matrix and "
+                            "write the BENCH_vegen.json trajectory")
+    p.add_argument("--kernel", action="append", default=None,
+                   help="bench one kernel by name (repeatable; default: "
+                        "all bundled kernels)")
+    p.add_argument("--kernels", type=int, default=None, metavar="N",
+                   help="bench only the first N kernels (sorted by name)")
+    p.add_argument("--targets", default="sse4,avx2,avx512_vnni",
+                   help="comma-separated target list, or 'all' "
+                        "(default: sse4,avx2,avx512_vnni)")
+    p.add_argument("--beam-width", type=int, default=8,
+                   help="pack-selection beam width (default 8: wide "
+                        "enough to exercise the search, fast enough for "
+                        "the full matrix)")
+    p.add_argument("--out", default="BENCH_vegen.json",
+                   help="output path (default: BENCH_vegen.json)")
+    p.add_argument("--compare", default=None, metavar="OLD.json",
+                   help="compare against an older bench file; exit 1 on "
+                        "cost regressions")
+    p.add_argument("--tolerance", type=float, default=0.01,
+                   help="cost-ratio regression tolerance (default 0.01)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-kernel progress on stderr")
+    p.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -1,0 +1,282 @@
+"""The ``repro bench`` harness: the repository's perf trajectory.
+
+Runs the bundled kernel × target matrix through ``vectorize()`` with
+tracing and counters enabled, and records for each cell
+
+* per-phase wall times (from the span tree, flattened by name),
+* pipeline counters (beam work, producer-cache behaviour, codegen
+  data movement),
+* model costs: scalar cost, vector cost, and their ratio
+  (``cost_ratio < 1`` means the vectorizer won).
+
+The result is written as ``BENCH_vegen.json`` at the repo root so every
+future PR has a baseline to compare against: cost ratios are
+deterministic (pure model arithmetic) and treated as a hard contract by
+:func:`compare_bench`; wall times are machine-dependent and only ever
+reported informationally.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Schema identifier; bump on any breaking change to the document shape.
+BENCH_SCHEMA = "repro-bench/v1"
+
+#: The default benchmark target matrix (§7 evaluates these ISAs).
+DEFAULT_TARGETS: Tuple[str, ...] = ("sse4", "avx2", "avx512_vnni")
+
+#: Default beam width: wide enough to exercise the real search, small
+#: enough that the full 33-kernel × 3-target matrix stays fast.
+DEFAULT_BEAM_WIDTH = 8
+
+#: Default output file name (written at the current working directory,
+#: conventionally the repo root).
+DEFAULT_BENCH_PATH = "BENCH_vegen.json"
+
+#: Cost-ratio slack for regression detection: ratios are deterministic,
+#: so the tolerance only absorbs float formatting, not noise.
+DEFAULT_COST_TOLERANCE = 0.01
+
+
+def bench_one(kernel_name: str, function, target: str,
+              beam_width: int = DEFAULT_BEAM_WIDTH) -> Dict:
+    """Benchmark one (kernel, target) cell with observability enabled."""
+    from repro.obs.counters import Counters
+    from repro.obs.trace import Tracer
+    from repro.vectorizer import vectorize
+
+    tracer = Tracer()
+    counters = Counters()
+    start = time.perf_counter()
+    result = vectorize(function, target=target, beam_width=beam_width,
+                       tracer=tracer, counters=counters)
+    wall_s = time.perf_counter() - start
+    phases = tracer.phase_times()
+    phases.pop("vectorize", None)  # the root duplicates wall_s
+    scalar = result.scalar_cost
+    vector = result.cost.total
+    return {
+        "kernel": kernel_name,
+        "target": target,
+        "vectorized": result.vectorized,
+        "num_packs": len(result.packs),
+        "scalar_cost": scalar,
+        "vector_cost": vector,
+        "cost_ratio": (vector / scalar) if scalar > 0 else 1.0,
+        "wall_s": wall_s,
+        "phases": {name: round(dur, 6)
+                   for name, dur in sorted(phases.items())},
+        "counters": counters.as_dict(),
+    }
+
+
+def run_bench(kernel_names: Optional[Sequence[str]] = None,
+              targets: Sequence[str] = DEFAULT_TARGETS,
+              beam_width: int = DEFAULT_BEAM_WIDTH,
+              progress: Optional[Callable[[str], None]] = None) -> Dict:
+    """Run the kernel × target matrix; returns the bench document."""
+    from repro import __version__
+    from repro.kernels import all_kernels
+
+    kernels = all_kernels()
+    if kernel_names is None:
+        selected = sorted(kernels)
+    else:
+        unknown = [n for n in kernel_names if n not in kernels]
+        if unknown:
+            raise KeyError(
+                f"unknown kernels: {', '.join(sorted(unknown))}; "
+                f"available: {', '.join(sorted(kernels))}"
+            )
+        selected = list(kernel_names)
+
+    results: List[Dict] = []
+    total_start = time.perf_counter()
+    for target in targets:
+        for name in selected:
+            if progress is not None:
+                progress(f"bench {name} on {target}")
+            results.append(
+                bench_one(name, kernels[name], target, beam_width)
+            )
+    total_wall = time.perf_counter() - total_start
+
+    ratios = [r["cost_ratio"] for r in results if r["cost_ratio"] > 0]
+    geomean = (
+        math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        if ratios else 1.0
+    )
+    return {
+        "schema": BENCH_SCHEMA,
+        "version": __version__,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S",
+                                      time.gmtime()),
+        "python": platform.python_version(),
+        "beam_width": beam_width,
+        "targets": list(targets),
+        "kernels": selected,
+        "results": results,
+        "summary": {
+            "num_results": len(results),
+            "num_vectorized": sum(1 for r in results if r["vectorized"]),
+            "geomean_cost_ratio": geomean,
+            "total_wall_s": round(total_wall, 3),
+        },
+    }
+
+
+# -- schema ------------------------------------------------------------
+
+_RESULT_FIELDS = {
+    "kernel": str,
+    "target": str,
+    "vectorized": bool,
+    "num_packs": int,
+    "scalar_cost": (int, float),
+    "vector_cost": (int, float),
+    "cost_ratio": (int, float),
+    "wall_s": (int, float),
+    "phases": dict,
+    "counters": dict,
+}
+
+
+def validate_bench(doc: Dict) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a valid bench document."""
+    if not isinstance(doc, dict):
+        raise ValueError("bench document must be a JSON object")
+    if doc.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"unknown bench schema {doc.get('schema')!r}; "
+            f"expected {BENCH_SCHEMA!r}"
+        )
+    for field in ("version", "beam_width", "targets", "kernels",
+                  "results", "summary"):
+        if field not in doc:
+            raise ValueError(f"bench document missing field {field!r}")
+    if not isinstance(doc["results"], list):
+        raise ValueError("'results' must be a list")
+    for i, result in enumerate(doc["results"]):
+        for field, types in _RESULT_FIELDS.items():
+            if field not in result:
+                raise ValueError(f"results[{i}] missing field {field!r}")
+            if not isinstance(result[field], types):
+                raise ValueError(
+                    f"results[{i}].{field} has type "
+                    f"{type(result[field]).__name__}"
+                )
+        for name, value in result["phases"].items():
+            if not isinstance(name, str) or \
+                    not isinstance(value, (int, float)):
+                raise ValueError(f"results[{i}].phases malformed")
+        for name, value in result["counters"].items():
+            if not isinstance(name, str) or not isinstance(value, int):
+                raise ValueError(f"results[{i}].counters malformed")
+    seen = set()
+    for result in doc["results"]:
+        key = (result["kernel"], result["target"])
+        if key in seen:
+            raise ValueError(f"duplicate result for {key}")
+        seen.add(key)
+
+
+def write_bench(doc: Dict, path: str = DEFAULT_BENCH_PATH) -> None:
+    validate_bench(doc)
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_bench(path: str) -> Dict:
+    with open(path) as handle:
+        doc = json.load(handle)
+    validate_bench(doc)
+    return doc
+
+
+# -- comparison --------------------------------------------------------
+
+def compare_bench(old: Dict, new: Dict,
+                  cost_tolerance: float = DEFAULT_COST_TOLERANCE
+                  ) -> Tuple[List[str], List[str]]:
+    """Compare two bench documents.
+
+    Returns ``(regressions, notes)``: regressions are hard failures
+    (cost ratio got worse beyond tolerance, a kernel stopped
+    vectorizing, or a previously-covered cell disappeared); notes are
+    informational (wall-time deltas, new coverage).
+    """
+    regressions: List[str] = []
+    notes: List[str] = []
+    old_by_key = {(r["kernel"], r["target"]): r for r in old["results"]}
+    new_by_key = {(r["kernel"], r["target"]): r for r in new["results"]}
+
+    for key in sorted(old_by_key):
+        kernel, target = key
+        old_r = old_by_key[key]
+        new_r = new_by_key.get(key)
+        if new_r is None:
+            regressions.append(
+                f"{kernel}/{target}: present in old bench but missing "
+                f"from new"
+            )
+            continue
+        if old_r["vectorized"] and not new_r["vectorized"]:
+            regressions.append(
+                f"{kernel}/{target}: was vectorized, now scalar"
+            )
+        old_ratio = old_r["cost_ratio"]
+        new_ratio = new_r["cost_ratio"]
+        if new_ratio > old_ratio * (1.0 + cost_tolerance):
+            regressions.append(
+                f"{kernel}/{target}: cost ratio regressed "
+                f"{old_ratio:.4f} -> {new_ratio:.4f} "
+                f"({(new_ratio / old_ratio - 1) * 100:+.1f}%)"
+            )
+        elif new_ratio < old_ratio / (1.0 + cost_tolerance):
+            notes.append(
+                f"{kernel}/{target}: cost ratio improved "
+                f"{old_ratio:.4f} -> {new_ratio:.4f}"
+            )
+        old_wall = old_r["wall_s"]
+        new_wall = new_r["wall_s"]
+        if old_wall > 0 and (new_wall > old_wall * 1.5 or
+                             new_wall < old_wall / 1.5):
+            notes.append(
+                f"{kernel}/{target}: wall time {old_wall:.3f}s -> "
+                f"{new_wall:.3f}s (informational; machine-dependent)"
+            )
+    for key in sorted(set(new_by_key) - set(old_by_key)):
+        notes.append(f"{key[0]}/{key[1]}: new coverage")
+    return regressions, notes
+
+
+def render_bench_summary(doc: Dict, stream=None) -> None:
+    """Print a human-readable table of one bench document."""
+    out = stream or sys.stdout
+    summary = doc["summary"]
+    print(
+        f"repro bench: {summary['num_results']} kernel/target cells, "
+        f"{summary['num_vectorized']} vectorized, geomean cost ratio "
+        f"{summary['geomean_cost_ratio']:.4f} "
+        f"(beam width {doc['beam_width']}, "
+        f"{summary['total_wall_s']:.1f}s)",
+        file=out,
+    )
+    header = (f"{'kernel':28s} {'target':12s} {'ratio':>7s} "
+              f"{'packs':>5s} {'wall':>8s}")
+    print(header, file=out)
+    print("-" * len(header), file=out)
+    for result in doc["results"]:
+        print(
+            f"{result['kernel']:28s} {result['target']:12s} "
+            f"{result['cost_ratio']:7.4f} {result['num_packs']:5d} "
+            f"{result['wall_s'] * 1e3:7.1f}ms",
+            file=out,
+        )

@@ -1,0 +1,112 @@
+"""Pipeline counters: how much work each vectorization stage did.
+
+A :class:`Counters` object is a flat named-integer registry attached to
+:class:`repro.vectorizer.context.VectorizationContext`.  Like tracing,
+counting is off by default: the pipeline uses the :data:`NULL_COUNTERS`
+singleton whose ``inc`` is a no-op, so hot loops (producer enumeration,
+match-table lookups) pay one cheap method call when observability is
+disabled.
+
+Counter names are a stable, tested contract — see :data:`COUNTER_NAMES`.
+They are namespaced by stage: ``beam.*`` for the Figure 9 search,
+``producers.*`` for Algorithm 1, ``matcher.*`` for §4.3 pattern matching,
+``seeds.*`` for Figure 8 seed enumeration, ``codegen.*`` for §4.5
+lowering, and ``sanitizer.*`` for the repro.analysis suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Tuple
+
+#: The stable counter-name contract.  Every ``inc()`` in the pipeline
+#: uses one of these names; renaming an entry is a breaking change to
+#: the ``BENCH_*.json`` trajectory and must be deliberate.
+COUNTER_NAMES = frozenset({
+    # beam search (§5.2, Figure 9)
+    "beam.iterations",            # outer search iterations run
+    "beam.states_expanded",       # parent states passed to expand()
+    "beam.children_generated",    # child states produced by expand()
+    "beam.candidates_pruned",     # scored children cut by the beam width
+    "beam.rollouts",              # greedy SLP rollout completions
+    "beam.solved_improvements",   # times the incumbent solution improved
+    # producer enumeration (Algorithm 1)
+    "producers.cache_hits",       # memoized operand lookups served
+    "producers.cache_misses",     # operand enumerations actually run
+    "producers.packs_enumerated",  # producer packs built in total
+    # pattern matching (§4.3)
+    "matcher.table_lookups",      # match-table cell lookups
+    "matcher.roots_tried",        # (value, operation) match attempts
+    "matcher.matches_found",      # successful matches recorded
+    # seed enumeration (Figure 8)
+    "seeds.store_packs",          # contiguous store seed packs
+    "seeds.affinity_packs",       # affinity seed packs (§5.1 top-k)
+    # code generation (§4.5)
+    "codegen.packs_lowered",      # packs emitted as vector nodes
+    "codegen.scalars_emitted",    # surviving scalar instructions
+    "codegen.gathers_emitted",    # operand vectors nothing produced
+    "codegen.extracts_emitted",   # packed values also needed as scalars
+    # sanitizers (repro.analysis)
+    "sanitizer.diagnostics",      # total diagnostics reported
+    "sanitizer.errors",           # error-severity diagnostics
+    "sanitizer.warnings",         # warning-severity diagnostics
+})
+
+
+class Counters:
+    """A flat, mergeable registry of named integer counters."""
+
+    enabled = True
+
+    __slots__ = ("_data",)
+
+    def __init__(self, initial: Mapping[str, int] = ()):
+        self._data: Dict[str, int] = dict(initial)
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self._data[name] = self._data.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self._data.get(name, 0)
+
+    def __getitem__(self, name: str) -> int:
+        return self._data.get(name, 0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._data
+
+    def __iter__(self) -> Iterator[Tuple[str, int]]:
+        return iter(sorted(self._data.items()))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def merge(self, other: "Counters") -> "Counters":
+        """Add another registry's counts into this one (in place)."""
+        for name, value in other._data.items():
+            self._data[name] = self._data.get(name, 0) + value
+        return self
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(sorted(self._data.items()))
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __repr__(self) -> str:
+        return f"Counters({self.as_dict()!r})"
+
+
+class NullCounters(Counters):
+    """Off-by-default counters: ``inc`` does nothing, reads return 0."""
+
+    enabled = False
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        return None
+
+    def merge(self, other: "Counters") -> "Counters":
+        return self
+
+
+#: Shared no-op registry used by the pipeline when counting is off.
+NULL_COUNTERS = NullCounters()

@@ -1,0 +1,269 @@
+"""Span-based phase tracing for the vectorization pipeline.
+
+A :class:`Tracer` records a tree of :class:`Span` objects, one per
+pipeline phase (canonicalize, match-table build, pack selection, codegen,
+...), each with wall-clock and monotonic timestamps.  The API is a plain
+context manager::
+
+    tracer = Tracer()
+    with tracer.span("vectorize", function="dot"):
+        with tracer.span("select_packs"):
+            ...
+    print(tracer.to_json())
+
+Tracing is **off by default** everywhere in the pipeline: when no tracer
+is supplied, the singleton :data:`NULL_TRACER` is used, whose ``span()``
+returns one preallocated no-op context manager, so the instrumented code
+pays a single attribute lookup and method call per phase and nothing per
+measurement.
+
+Export formats:
+
+* :meth:`Tracer.to_dict` — nested ``{name, start, duration_s, meta,
+  children}`` tree (the round-trippable form);
+* :meth:`Tracer.to_trace_events` — flat Chrome ``about:tracing`` /
+  Perfetto "trace event" list (``ph: "X"`` complete events with
+  microsecond timestamps), loadable by standard trace viewers.
+
+Span names used by the pipeline are a stable, tested contract: see
+:data:`SPAN_NAMES`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+#: The stable span-name contract: every span the pipeline opens uses one
+#: of these names.  Renaming an entry is a breaking change to the bench
+#: trajectory (``BENCH_*.json`` phase keys) and must be deliberate.
+SPAN_NAMES = frozenset({
+    "vectorize",          # root: one whole vectorize() call
+    "target_build",       # target description resolution (offline phase;
+                          # cached after first use per target)
+    "canonicalize",       # pattern canonicalization of the input (§6)
+    "reassociate",        # optional reduction-chain balancing
+    "dep_graph",          # dependence analysis (§4.4 legality substrate)
+    "match_table",        # pattern matching / match-table build (§4.3)
+    "seed_enumeration",   # store + affinity seed packs (Figure 8)
+    "select_packs",       # beam search over the Figure 9 recurrence
+    "codegen",            # scheduling + lowering (§4.5)
+    "cost_model",         # scalar/vector program costing (§6.2)
+    "sanitize",           # repro.analysis sanitizer suite
+})
+
+
+class Span:
+    """One timed phase.  Started/finished by :meth:`Tracer.span`."""
+
+    __slots__ = ("name", "meta", "children", "start_wall", "_start_mono",
+                 "duration_s")
+
+    def __init__(self, name: str, meta: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.meta = meta or {}
+        self.children: List["Span"] = []
+        self.start_wall = time.time()
+        self._start_mono = time.perf_counter()
+        self.duration_s: float = 0.0
+
+    def _finish(self) -> None:
+        self.duration_s = time.perf_counter() - self._start_mono
+
+    @property
+    def self_time_s(self) -> float:
+        """Time spent in this span excluding child spans."""
+        return max(0.0, self.duration_s
+                   - sum(c.duration_s for c in self.children))
+
+    def find(self, name: str) -> Optional["Span"]:
+        """Depth-first search for the first span with the given name."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "start": self.start_wall,
+            "duration_s": self.duration_s,
+            "meta": dict(self.meta),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        span = cls.__new__(cls)
+        span.name = data["name"]
+        span.meta = dict(data.get("meta", {}))
+        span.start_wall = data["start"]
+        span._start_mono = 0.0
+        span.duration_s = data["duration_s"]
+        span.children = [cls.from_dict(c)
+                         for c in data.get("children", [])]
+        return span
+
+    def phase_times(self) -> Dict[str, float]:
+        """Flatten the subtree to ``{span name: summed duration}``."""
+        times: Dict[str, float] = {}
+        for span in self.walk():
+            times[span.name] = times.get(span.name, 0.0) + span.duration_s
+        return times
+
+    def __repr__(self) -> str:
+        return (f"<Span {self.name} {self.duration_s * 1e3:.2f}ms "
+                f"{len(self.children)} children>")
+
+
+class _SpanContext:
+    """Context manager that finishes its span and pops the tracer stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc_info) -> None:
+        self._span._finish()
+        self._tracer._stack.pop()
+
+
+class Tracer:
+    """Records a forest of timed spans (usually a single root)."""
+
+    enabled = True
+
+    def __init__(self):
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    def span(self, name: str, **meta) -> _SpanContext:
+        span = Span(name, meta or None)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return _SpanContext(self, span)
+
+    @property
+    def root(self) -> Optional[Span]:
+        """The first root span (the usual single-``vectorize()`` case)."""
+        return self.roots[0] if self.roots else None
+
+    def find(self, name: str) -> Optional[Span]:
+        for root in self.roots:
+            found = root.find(name)
+            if found is not None:
+                return found
+        return None
+
+    # -- export --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"spans": [r.to_dict() for r in self.roots]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Tracer":
+        tracer = cls()
+        tracer.roots = [Span.from_dict(s) for s in data.get("spans", [])]
+        return tracer
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_trace_events(self, pid: int = 1,
+                        tid: int = 1) -> List[Dict[str, Any]]:
+        """Chrome trace-event format: flat list of complete ("X") events
+        with microsecond timestamps relative to the earliest span."""
+        if not self.roots:
+            return []
+        origin = min(r.start_wall for r in self.roots)
+        events: List[Dict[str, Any]] = []
+
+        def emit(span: Span, offset_us: float) -> None:
+            events.append({
+                "name": span.name,
+                "ph": "X",
+                "ts": offset_us,
+                "dur": span.duration_s * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": dict(span.meta),
+            })
+            child_offset = offset_us
+            for child in span.children:
+                emit(child, child_offset)
+                child_offset += child.duration_s * 1e6
+
+        for root in self.roots:
+            emit(root, (root.start_wall - origin) * 1e6)
+        return events
+
+    def phase_times(self) -> Dict[str, float]:
+        times: Dict[str, float] = {}
+        for root in self.roots:
+            for name, value in root.phase_times().items():
+                times[name] = times.get(name, 0.0) + value
+        return times
+
+
+class _NullSpanContext:
+    """Reusable no-op context manager: the entire cost of disabled
+    tracing is one method call returning this preallocated object."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """Off-by-default tracer: ``span()`` allocates nothing."""
+
+    enabled = False
+    roots: List[Span] = []
+
+    def span(self, name: str, **meta) -> _NullSpanContext:
+        return _NULL_SPAN_CONTEXT
+
+    @property
+    def root(self) -> Optional[Span]:
+        return None
+
+    def find(self, name: str) -> Optional[Span]:
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"spans": []}
+
+    def to_trace_events(self, pid: int = 1,
+                        tid: int = 1) -> List[Dict[str, Any]]:
+        return []
+
+    def phase_times(self) -> Dict[str, float]:
+        return {}
+
+
+#: Shared no-op tracer used by the pipeline when tracing is off.
+NULL_TRACER = NullTracer()

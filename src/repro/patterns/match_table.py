@@ -12,11 +12,12 @@ the full list of alternative matches.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.ir.function import Function
 from repro.ir.instructions import Instruction, Opcode
 from repro.ir.values import Value
+from repro.obs.counters import NULL_COUNTERS, Counters
 from repro.patterns.matcher import Match, match_operation
 from repro.vidl.ast import OpExpr, OpNode, Operation
 
@@ -73,9 +74,11 @@ class OperationIndex:
 class MatchTable:
     """All matches found in one function, keyed by (live-out, operation)."""
 
-    def __init__(self, function: Function, index: OperationIndex):
+    def __init__(self, function: Function, index: OperationIndex,
+                 counters: Optional[Counters] = None):
         self.function = function
         self.index = index
+        self.counters = counters if counters is not None else NULL_COUNTERS
         self._table: Dict[Tuple[int, OpKey], List[Match]] = {}
         self._by_value: Dict[int, List[Match]] = {}
         self._build()
@@ -86,7 +89,8 @@ class MatchTable:
                                                       Opcode.LOAD):
                 continue
             for operation in self.index.candidates_for(inst):
-                matches = match_operation(operation, inst)
+                matches = match_operation(operation, inst,
+                                          counters=self.counters)
                 if not matches:
                     continue
                 key = (id(inst), operation.key())
@@ -95,6 +99,7 @@ class MatchTable:
 
     def lookup(self, value: Value, operation: Operation) -> List[Match]:
         """All matches with the given live-out implementing ``operation``."""
+        self.counters.inc("matcher.table_lookups")
         return self._table.get((id(value), operation.key()), [])
 
     def matches_for_value(self, value: Value) -> List[Match]:

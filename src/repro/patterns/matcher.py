@@ -75,8 +75,15 @@ class _Bindings:
 
 
 def match_operation(operation: Operation, value: Value,
-                    max_matches: int = MAX_MATCHES_PER_ROOT) -> List[Match]:
-    """All distinct matches of ``operation`` rooted at ``value``."""
+                    max_matches: int = MAX_MATCHES_PER_ROOT,
+                    counters=None) -> List[Match]:
+    """All distinct matches of ``operation`` rooted at ``value``.
+
+    ``counters`` (a :class:`repro.obs.Counters`) records attempt and
+    success counts under ``matcher.*`` when observability is on.
+    """
+    if counters is not None:
+        counters.inc("matcher.roots_tried")
     if operation.result_type != value.type:
         return []
     bindings = _Bindings(len(operation.params))
@@ -99,6 +106,8 @@ def match_operation(operation: Operation, value: Value,
         )
         if len(results) >= max_matches:
             break
+    if counters is not None and results:
+        counters.inc("matcher.matches_found", len(results))
     return results
 
 

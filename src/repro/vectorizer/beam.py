@@ -69,7 +69,8 @@ class BeamSearch:
         self._operand_registry: Dict[Tuple, OperandVector] = {}
         self._operand_order: Dict[Tuple, int] = {}
         self._operand_bits_cache: Dict[Tuple, int] = {}
-        self._seed_packs = self._enumerate_seed_packs()
+        with ctx.tracer.span("seed_enumeration"):
+            self._seed_packs = self._enumerate_seed_packs()
 
     # -- setup -------------------------------------------------------------
 
@@ -86,7 +87,9 @@ class BeamSearch:
         return bits
 
     def _enumerate_seed_packs(self) -> List[Pack]:
+        counters = self.ctx.counters
         seeds: List[Pack] = list(store_seed_packs(self.ctx))
+        counters.inc("seeds.store_packs", len(seeds))
         seen = {p.key() for p in seeds}
         for seed_tuple in affinity_seed_tuples(self.ctx):
             for pack in producers_for_operand(tuple(seed_tuple), self.ctx):
@@ -94,6 +97,7 @@ class BeamSearch:
                 if key not in seen:
                     seen.add(key)
                     seeds.append(pack)
+                    counters.inc("seeds.affinity_packs")
         return seeds
 
     # -- bitset helpers ------------------------------------------------------------
@@ -152,6 +156,7 @@ class BeamSearch:
     # -- transitions -------------------------------------------------------------------
 
     def expand(self, state: SearchState) -> List[SearchState]:
+        self.ctx.counters.inc("beam.states_expanded")
         children: List[SearchState] = []
         seen_packs = set()
         limit = self.ctx.config.max_transitions_per_state
@@ -179,6 +184,7 @@ class BeamSearch:
             if len(children) >= limit:
                 break
             children.append(self._apply_scalar_fix(state, index))
+        self.ctx.counters.inc("beam.children_generated", len(children))
         return children
 
     def _load_packs_for(self, operand: OperandVector) -> List[Pack]:
@@ -589,6 +595,7 @@ class BeamSearch:
             patience: Optional[int] = None) -> Optional[SearchState]:
         if patience is None:
             patience = self.ctx.config.patience
+        counters = self.ctx.counters
         state = self.initial_state()
         candidates = [state]
         best_solved = self._complete(state)  # the all-scalar solution
@@ -596,6 +603,7 @@ class BeamSearch:
         for _ in range(self.ctx.config.max_steps):
             if not candidates:
                 break
+            counters.inc("beam.iterations")
             children: Dict[Tuple, SearchState] = {}
             improved = False
             for parent in candidates:
@@ -622,11 +630,15 @@ class BeamSearch:
                 # more vectorization progress.
                 scored.append((child.g + h, -len(child.packs), child))
             scored.sort(key=lambda item: (item[0], item[1]))
+            if len(scored) > beam_width:
+                counters.inc("beam.candidates_pruned",
+                             len(scored) - beam_width)
             candidates = [c for _, _, c in scored[:beam_width]]
             # Rollout completion of the surviving candidates: greedy SLP
             # extension finds full solutions long before the beam walks
             # there step by step.
             for candidate in candidates:
+                counters.inc("beam.rollouts")
                 rolled = self._rollout(candidate)
                 if rolled.g < best_solved.g:
                     best_solved = rolled
@@ -638,6 +650,8 @@ class BeamSearch:
                 c.g for c in candidates
             ):
                 break
+            if improved:
+                counters.inc("beam.solved_improvements")
             stale = 0 if improved else stale + 1
             if stale >= patience:
                 break

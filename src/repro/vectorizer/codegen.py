@@ -214,6 +214,7 @@ class _Codegen:
     # -- step 3: lowering -------------------------------------------------------------------
 
     def run(self) -> VectorProgram:
+        counters = self.ctx.counters
         self._collect_liveness()
         order = self._schedule()
         program = VectorProgram(self.function)
@@ -252,9 +253,11 @@ class _Codegen:
                 node_of_pack[id(container)] = node
             else:
                 program.append(VScalar(container))
+                counters.inc("codegen.scalars_emitted")
             # Emit extracts for packed values with scalar users as soon as
             # the pack is lowered.
             if isinstance(container, Pack):
+                counters.inc("codegen.packs_lowered")
                 node = node_of_pack.get(id(container))
                 if node is None:
                     continue
@@ -262,6 +265,7 @@ class _Codegen:
                     if value is not None and \
                             id(value) in self.extract_needed:
                         program.append(VExtract(node, lane, value))
+                        counters.inc("codegen.extracts_emitted")
                         self.extract_needed.discard(id(value))
         return program
 
@@ -291,6 +295,7 @@ class _Codegen:
             else:
                 sources.append(ElementSource("scalar", value=element))
         gather = VGather(elem_type, sources)
+        self.ctx.counters.inc("codegen.gathers_emitted")
         return program.append(gather)
 
     def _exact_producer(self, operand: OperandVector) -> Optional[Pack]:

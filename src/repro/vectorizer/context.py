@@ -8,6 +8,8 @@ from typing import Dict, List, Optional, Tuple
 from repro.ir.dag import DependenceGraph
 from repro.ir.function import Function
 from repro.machine.costs import CostModel
+from repro.obs.counters import NULL_COUNTERS, Counters
+from repro.obs.trace import NULL_TRACER
 from repro.patterns.match_table import MatchTable
 from repro.target.isa import TargetDesc
 
@@ -38,13 +40,22 @@ class VectorizationContext:
 
     def __init__(self, function: Function, target: TargetDesc,
                  cost_model: Optional[CostModel] = None,
-                 config: Optional[VectorizerConfig] = None):
+                 config: Optional[VectorizerConfig] = None,
+                 tracer=None, counters: Optional[Counters] = None):
         self.function = function
         self.target = target
         self.cost_model = cost_model or CostModel()
         self.config = config or VectorizerConfig()
-        self.dep_graph = DependenceGraph(function)
-        self.match_table = MatchTable(function, target.operation_index)
+        # Observability is off by default: the null singletons make every
+        # span/counter site a single no-op call.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.counters = counters if counters is not None else NULL_COUNTERS
+        with self.tracer.span("dep_graph"):
+            self.dep_graph = DependenceGraph(function)
+        with self.tracer.span("match_table"):
+            self.match_table = MatchTable(function,
+                                          target.operation_index,
+                                          counters=self.counters)
         self._producer_cache: Dict[Tuple, List] = {}
 
     @property

@@ -45,13 +45,21 @@ def operand_key(operand: OperandVector) -> Tuple:
     return tuple(parts)
 
 
+#: Sentinel for "key not computed yet" — distinct from any real key, so
+#: the cache works even if a key were ever falsy/None.
+_KEY_UNSET = object()
+
+
 class Pack:
     """Base class for the three pack kinds."""
 
-    _key_cache = None
+    def __init__(self):
+        # Per-instance init: a class-level default would be shared state
+        # (and a plain None sentinel could alias a legitimate key).
+        self._key_cache = _KEY_UNSET
 
     def key(self) -> Tuple:
-        if self._key_cache is None:
+        if self._key_cache is _KEY_UNSET:
             self._key_cache = self._compute_key()
         return self._key_cache
 
@@ -85,6 +93,7 @@ class ComputePack(Pack):
 
     def __init__(self, inst: TargetInstruction,
                  matches: Sequence[Optional[Match]]):
+        super().__init__()
         if len(matches) != inst.num_lanes:
             raise InvalidPack(
                 f"{inst.name}: {len(matches)} matches for "
@@ -162,6 +171,7 @@ class LoadPack(Pack):
     """A vector load of contiguous elements."""
 
     def __init__(self, loads: Sequence[LoadInst]):
+        super().__init__()
         location = contiguous_accesses(loads)
         if location is None:
             raise InvalidPack("loads are not contiguous")
@@ -189,6 +199,7 @@ class StorePack(Pack):
     """A vector store of contiguous elements."""
 
     def __init__(self, stores: Sequence[StoreInst]):
+        super().__init__()
         location = contiguous_accesses(stores)
         if location is None:
             raise InvalidPack("stores are not contiguous")

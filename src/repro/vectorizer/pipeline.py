@@ -17,6 +17,8 @@ from repro.ir.printer import print_function
 from repro.machine.costs import CostModel
 from repro.machine.model import ProgramCost, program_cost, \
     scalar_function_cost
+from repro.obs.counters import NULL_COUNTERS, Counters
+from repro.obs.trace import NULL_TRACER
 from repro.patterns.canonicalize import canonicalize_function
 from repro.target.isa import TargetDesc
 from repro.target.registry import get_target
@@ -38,6 +40,8 @@ class VectorizationResult:
     cost: ProgramCost             # model cost of the emitted program
     estimated_cost: float         # the search's own estimate (g)
     diagnostics: List = field(default_factory=list)  # sanitizer findings
+    trace: Optional[object] = None     # repro.obs.Span when tracing is on
+    counters: Optional[object] = None  # repro.obs.Counters when counting
 
     @property
     def vectorized(self) -> bool:
@@ -75,6 +79,8 @@ def vectorize(
     cost_model: Optional[CostModel] = None,
     config: Optional[VectorizerConfig] = None,
     sanitize: bool = False,
+    tracer=None,
+    counters: Optional[Counters] = None,
 ) -> VectorizationResult:
     """Vectorize one straight-line function.
 
@@ -87,55 +93,96 @@ def vectorize(
     accumulations).  ``sanitize=True`` runs the ``repro.analysis``
     sanitizer suite over the result and raises
     :class:`repro.analysis.SanitizerError` on any error diagnostic.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) and ``counters`` (a
+    :class:`repro.obs.Counters`) enable observability: per-phase spans
+    and pipeline work counters, surfaced on the result as
+    ``result.trace`` / ``result.counters``.  Both are off by default and
+    never perturb the compilation: with or without them, the emitted
+    program and costs are identical.
     """
-    if isinstance(target, str):
-        target_desc = get_target(
-            target, canonicalize_patterns=canonicalize_patterns
-        )
-    else:
-        target_desc = target
-    work = clone_function(function)
-    if canonicalize_input:
-        canonicalize_function(work)
-    if reassociate:
-        from repro.patterns.reassociate import reassociate_function
-
-        reassociate_function(work)
+    obs_on = tracer is not None or counters is not None
+    if tracer is None:
+        tracer = NULL_TRACER
+    if counters is None:
+        counters = NULL_COUNTERS
+    with tracer.span("vectorize", function=function.name,
+                     beam_width=beam_width) as root_span:
+        if isinstance(target, str):
+            # First use of a target builds its whole description (the
+            # offline phase: pseudocode -> VIDL -> patterns); later uses
+            # hit the registry cache.  Traced so bench wall times are
+            # attributable.
+            with tracer.span("target_build"):
+                target_desc = get_target(
+                    target, canonicalize_patterns=canonicalize_patterns
+                )
+        else:
+            target_desc = target
+        if root_span is not None:
+            root_span.meta["target"] = target_desc.name
+        work = clone_function(function)
         if canonicalize_input:
-            canonicalize_function(work)
-    if config is None:
-        config = VectorizerConfig(beam_width=beam_width)
-    else:
-        config.beam_width = beam_width
-    ctx = VectorizationContext(work, target_desc, cost_model, config)
-    packs, estimated = select_packs(ctx)
-    model = ctx.cost_model
-    scalar_cost = scalar_function_cost(work, model)
-    if packs:
-        program = generate(ctx, packs)
-        cost = program_cost(program, model)
-        # Fall back to scalar when the emitted program models slower than
-        # the scalar original (the search estimate is a heuristic).
-        if cost.total >= scalar_cost:
-            packs = []
-    if not packs:
-        program = scalar_program(work)
-        cost = program_cost(program, model)
-    result = VectorizationResult(
-        function=work,
-        program=program,
-        packs=packs,
-        scalar_cost=scalar_cost,
-        cost=cost,
-        estimated_cost=estimated,
-    )
-    if sanitize:
-        # Imported lazily: repro.analysis imports vectorizer modules.
-        from repro.analysis import SanitizerError, analyze_result, \
-            errors_only
+            with tracer.span("canonicalize"):
+                canonicalize_function(work)
+        if reassociate:
+            from repro.patterns.reassociate import reassociate_function
 
-        result.diagnostics = analyze_result(result, target=target_desc)
-        errors = errors_only(result.diagnostics)
-        if errors:
-            raise SanitizerError(errors)
+            with tracer.span("reassociate"):
+                reassociate_function(work)
+                if canonicalize_input:
+                    canonicalize_function(work)
+        if config is None:
+            config = VectorizerConfig(beam_width=beam_width)
+        else:
+            config.beam_width = beam_width
+        ctx = VectorizationContext(work, target_desc, cost_model, config,
+                                   tracer=tracer, counters=counters)
+        with tracer.span("select_packs"):
+            packs, estimated = select_packs(ctx)
+        model = ctx.cost_model
+        with tracer.span("cost_model"):
+            scalar_cost = scalar_function_cost(work, model)
+        if packs:
+            with tracer.span("codegen"):
+                program = generate(ctx, packs)
+            with tracer.span("cost_model"):
+                cost = program_cost(program, model)
+            # Fall back to scalar when the emitted program models slower
+            # than the scalar original (the search estimate is a
+            # heuristic).
+            if cost.total >= scalar_cost:
+                packs = []
+        if not packs:
+            with tracer.span("codegen"):
+                program = scalar_program(work)
+            with tracer.span("cost_model"):
+                cost = program_cost(program, model)
+        result = VectorizationResult(
+            function=work,
+            program=program,
+            packs=packs,
+            scalar_cost=scalar_cost,
+            cost=cost,
+            estimated_cost=estimated,
+        )
+        if obs_on:
+            result.trace = root_span  # None when only counters were on
+            result.counters = counters if counters.enabled else None
+        if sanitize:
+            # Imported lazily: repro.analysis imports vectorizer modules.
+            from repro.analysis import SanitizerError, analyze_result, \
+                errors_only
+
+            with tracer.span("sanitize"):
+                result.diagnostics = analyze_result(result,
+                                                    target=target_desc)
+                errors = errors_only(result.diagnostics)
+                counters.inc("sanitizer.diagnostics",
+                             len(result.diagnostics))
+                counters.inc("sanitizer.errors", len(errors))
+                counters.inc("sanitizer.warnings",
+                             len(result.diagnostics) - len(errors))
+            if errors:
+                raise SanitizerError(errors)
     return result

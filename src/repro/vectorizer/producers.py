@@ -41,8 +41,12 @@ def producers_for_operand(operand: OperandVector,
     key = operand_key(operand)
     cached = ctx._producer_cache.get(key)
     if cached is not None:
+        ctx.counters.inc("producers.cache_hits")
         return cached
+    ctx.counters.inc("producers.cache_misses")
     result = _enumerate(operand, ctx)
+    if result:
+        ctx.counters.inc("producers.packs_enumerated", len(result))
     ctx._producer_cache[key] = result
     return result
 

@@ -32,6 +32,7 @@ def render_report(result: VectorizationResult,
     if not result.vectorized:
         lines.append("decision: scalar code modeled cheapest; no packs "
                      "selected")
+        lines.extend(_observability_lines(result))
         return "\n".join(lines)
 
     lines.append(f"packs selected: {len(result.packs)}")
@@ -64,7 +65,26 @@ def render_report(result: VectorizationResult,
         f"movement {breakdown.data_movement:.1f}, "
         f"scalar remainder {breakdown.scalar:.1f}"
     )
+    lines.extend(_observability_lines(result))
     return "\n".join(lines)
+
+
+def _observability_lines(result: VectorizationResult) -> List[str]:
+    """Phase timings and pipeline counters, when the run was traced
+    (``vectorize(..., tracer=..., counters=...)``)."""
+    lines: List[str] = []
+    if result.trace is not None:
+        total = result.trace.duration_s
+        lines.append(f"phase timings ({total * 1e3:.1f}ms total):")
+        for child in result.trace.children:
+            lines.append(
+                f"  {child.name:18s} {child.duration_s * 1e3:8.2f}ms"
+            )
+    if result.counters is not None and len(result.counters):
+        lines.append("pipeline counters:")
+        for name, value in result.counters:
+            lines.append(f"  {name:28s} {value:8d}")
+    return lines
 
 
 def _describe_pack(pack) -> str:

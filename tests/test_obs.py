@@ -1,0 +1,282 @@
+"""Unit tests for the observability layer (repro.obs).
+
+Covers the tentpole contracts: tracer nesting and timing, the no-op
+(off-by-default) path, counters merge semantics, JSON / trace-event
+export round-trips, and the stability of the span/counter name
+vocabulary the pipeline emits.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.kernels import build_complex_mul
+from repro.obs import (
+    COUNTER_NAMES,
+    Counters,
+    NULL_COUNTERS,
+    NULL_TRACER,
+    SPAN_NAMES,
+    Span,
+    Tracer,
+)
+from repro.vectorizer import vectorize
+
+
+# -- Tracer ------------------------------------------------------------
+
+class TestTracerNesting:
+    def test_nested_spans_build_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("vectorize"):
+            with tracer.span("canonicalize"):
+                pass
+            with tracer.span("select_packs"):
+                with tracer.span("seed_enumeration"):
+                    pass
+        root = tracer.root
+        assert root.name == "vectorize"
+        assert [c.name for c in root.children] == ["canonicalize",
+                                                   "select_packs"]
+        assert [c.name for c in root.children[1].children] == \
+            ["seed_enumeration"]
+
+    def test_span_durations_nest(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.01)
+        outer = tracer.root
+        inner = outer.children[0]
+        assert inner.duration_s >= 0.01
+        assert outer.duration_s >= inner.duration_s
+        assert outer.self_time_s >= 0.0
+
+    def test_span_context_yields_the_span(self):
+        tracer = Tracer()
+        with tracer.span("phase", detail=7) as span:
+            assert span.name == "phase"
+            assert span.meta == {"detail": 7}
+
+    def test_exception_still_finishes_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        assert tracer.root.duration_s > 0.0
+        assert tracer.root.children[0].duration_s > 0.0
+        # The stack fully unwound: a new span starts a new root.
+        with tracer.span("after"):
+            pass
+        assert [r.name for r in tracer.roots] == ["outer", "after"]
+
+    def test_find_and_walk(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        assert tracer.find("c").name == "c"
+        assert tracer.find("missing") is None
+        assert [s.name for s in tracer.root.walk()] == ["a", "b", "c"]
+
+    def test_phase_times_sums_repeated_names(self):
+        tracer = Tracer()
+        with tracer.span("vectorize"):
+            with tracer.span("cost_model"):
+                pass
+            with tracer.span("cost_model"):
+                pass
+        times = tracer.phase_times()
+        assert set(times) == {"vectorize", "cost_model"}
+        assert times["cost_model"] >= 0.0
+
+
+class TestNoOpPath:
+    def test_null_tracer_span_is_reused(self):
+        # The entire overhead of disabled tracing is one method call
+        # returning a preallocated context manager: no allocation.
+        cm1 = NULL_TRACER.span("vectorize")
+        cm2 = NULL_TRACER.span("codegen", meta=1)
+        assert cm1 is cm2
+
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("x") as span:
+            assert span is None
+        assert NULL_TRACER.root is None
+        assert NULL_TRACER.find("x") is None
+        assert NULL_TRACER.to_dict() == {"spans": []}
+        assert NULL_TRACER.to_trace_events() == []
+        assert NULL_TRACER.phase_times() == {}
+        assert not NULL_TRACER.enabled
+
+    def test_null_tracer_reentrant(self):
+        with NULL_TRACER.span("outer"):
+            with NULL_TRACER.span("inner"):
+                pass
+        # and again, with an exception unwinding through it
+        with pytest.raises(ValueError):
+            with NULL_TRACER.span("outer"):
+                raise ValueError()
+
+    def test_null_counters_inert(self):
+        before = NULL_COUNTERS.as_dict()
+        NULL_COUNTERS.inc("beam.iterations")
+        NULL_COUNTERS.inc("beam.iterations", 100)
+        assert NULL_COUNTERS.as_dict() == before == {}
+        assert NULL_COUNTERS.get("beam.iterations") == 0
+        assert not NULL_COUNTERS.enabled
+
+    def test_vectorize_without_obs_has_none_fields(self):
+        result = vectorize(build_complex_mul(), target="sse4",
+                           beam_width=2)
+        assert result.trace is None
+        assert result.counters is None
+
+
+# -- Counters ----------------------------------------------------------
+
+class TestCounters:
+    def test_inc_and_get(self):
+        c = Counters()
+        c.inc("beam.iterations")
+        c.inc("beam.iterations", 2)
+        assert c.get("beam.iterations") == 3
+        assert c["beam.iterations"] == 3
+        assert c.get("never.touched") == 0
+        assert "beam.iterations" in c
+        assert "never.touched" not in c
+
+    def test_merge_adds_counts(self):
+        a = Counters({"x": 1, "y": 2})
+        b = Counters({"y": 40, "z": 5})
+        result = a.merge(b)
+        assert result is a
+        assert a.as_dict() == {"x": 1, "y": 42, "z": 5}
+        # merge does not mutate the source
+        assert b.as_dict() == {"y": 40, "z": 5}
+
+    def test_merge_is_associative_on_totals(self):
+        parts = [Counters({"n": i}) for i in range(5)]
+        left = Counters()
+        for p in parts:
+            left.merge(p)
+        right = Counters()
+        for p in reversed(parts):
+            right.merge(p)
+        assert left.as_dict() == right.as_dict() == {"n": 10}
+
+    def test_iteration_is_sorted(self):
+        c = Counters({"b": 2, "a": 1, "c": 3})
+        assert list(c) == [("a", 1), ("b", 2), ("c", 3)]
+        assert list(c.as_dict()) == ["a", "b", "c"]
+
+    def test_clear(self):
+        c = Counters({"x": 1})
+        c.clear()
+        assert len(c) == 0
+
+
+# -- export round-trips ------------------------------------------------
+
+class TestExport:
+    def _sample_tracer(self):
+        tracer = Tracer()
+        with tracer.span("vectorize", function="f", target="avx2"):
+            with tracer.span("select_packs"):
+                with tracer.span("seed_enumeration"):
+                    pass
+            with tracer.span("codegen"):
+                pass
+        return tracer
+
+    def test_json_round_trip(self):
+        tracer = self._sample_tracer()
+        data = json.loads(tracer.to_json())
+        rebuilt = Tracer.from_dict(data)
+        assert rebuilt.to_dict() == tracer.to_dict()
+        names = [s.name for s in rebuilt.root.walk()]
+        assert names == [s.name for s in tracer.root.walk()]
+        assert rebuilt.root.meta == {"function": "f", "target": "avx2"}
+
+    def test_trace_event_export(self):
+        tracer = self._sample_tracer()
+        events = tracer.to_trace_events(pid=7, tid=3)
+        assert len(events) == 4  # one complete event per span
+        by_name = {e["name"]: e for e in events}
+        assert set(by_name) == {"vectorize", "select_packs",
+                                "seed_enumeration", "codegen"}
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["pid"] == 7 and event["tid"] == 3
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+        # Children are contained within the root's duration.
+        root = by_name["vectorize"]
+        for name in ("select_packs", "codegen"):
+            child = by_name[name]
+            assert child["ts"] >= root["ts"]
+            assert child["ts"] + child["dur"] <= \
+                root["ts"] + root["dur"] + 1e-6
+        # Trace-event JSON must itself be serializable.
+        json.dumps(events)
+
+    def test_span_dict_round_trip(self):
+        tracer = self._sample_tracer()
+        span = tracer.root
+        rebuilt = Span.from_dict(span.to_dict())
+        assert rebuilt.to_dict() == span.to_dict()
+        assert rebuilt.phase_times() == span.phase_times()
+
+
+# -- the pipeline's name contract --------------------------------------
+
+class TestNameContract:
+    def test_pipeline_emits_only_contract_names(self):
+        tracer, counters = Tracer(), Counters()
+        result = vectorize(build_complex_mul(), target="sse4",
+                           beam_width=4, tracer=tracer, counters=counters,
+                           sanitize=True)
+        span_names = {s.name for s in tracer.root.walk()}
+        assert span_names <= SPAN_NAMES
+        assert set(counters.as_dict()) <= COUNTER_NAMES
+        # The load-bearing phases are always present.
+        for expected in ("vectorize", "dep_graph", "match_table",
+                         "seed_enumeration", "select_packs", "codegen",
+                         "cost_model", "sanitize"):
+            assert expected in span_names, expected
+        # The pipeline did real, counted work.
+        assert counters["beam.iterations"] >= 1
+        assert counters["beam.states_expanded"] >= 1
+        assert counters["producers.cache_misses"] >= 1
+        assert counters["matcher.table_lookups"] >= 1
+        assert result.trace is tracer.root
+        assert result.counters is counters
+
+    def test_result_trace_is_this_calls_root(self):
+        # A reused tracer accumulates roots; each result points at its
+        # own call's span, not the first one.
+        tracer = Tracer()
+        fn = build_complex_mul()
+        r1 = vectorize(fn, target="sse4", beam_width=2, tracer=tracer)
+        r2 = vectorize(fn, target="sse4", beam_width=2, tracer=tracer)
+        assert len(tracer.roots) == 2
+        assert r1.trace is tracer.roots[0]
+        assert r2.trace is tracer.roots[1]
+
+    def test_counters_accumulate_across_runs_and_merge(self):
+        fn = build_complex_mul()
+        per_run = []
+        for _ in range(2):
+            c = Counters()
+            vectorize(fn, target="sse4", beam_width=2, counters=c)
+            per_run.append(c)
+        merged = Counters()
+        for c in per_run:
+            merged.merge(c)
+        shared = Counters()
+        for _ in range(2):
+            vectorize(fn, target="sse4", beam_width=2, counters=shared)
+        assert shared.as_dict() == merged.as_dict()

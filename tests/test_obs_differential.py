@@ -1,0 +1,89 @@
+"""Observability must never perturb compilation.
+
+Property/differential tests: running ``vectorize()`` with tracing and
+counters enabled yields byte-identical emitted programs and identical
+costs compared to running with observability off — across the same fuzz
+corpus the soundness tests use, and across the bundled kernels on every
+target.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.kernels import all_kernels
+from repro.obs import Counters, Tracer
+from repro.target import available_targets
+from repro.vectorizer import vectorize
+from tests.test_fuzz_vectorizer import (
+    _build_float_kernel,
+    _build_int_kernel,
+    _op_choice,
+)
+
+
+def _assert_observability_is_inert(fn, target, beam_width):
+    plain = vectorize(fn, target=target, beam_width=beam_width)
+    traced = vectorize(fn, target=target, beam_width=beam_width,
+                       tracer=Tracer(), counters=Counters())
+    assert traced.program.dump() == plain.program.dump()
+    assert traced.cost.total == plain.cost.total
+    assert traced.scalar_cost == plain.scalar_cost
+    assert traced.estimated_cost == plain.estimated_cost
+    assert len(traced.packs) == len(plain.packs)
+    # Pack keys are id()-based and each run clones the function, so
+    # compare the packs' stable textual forms instead.
+    assert [repr(p) for p in traced.packs] == \
+        [repr(p) for p in plain.packs]
+
+
+@given(st.lists(_op_choice, min_size=4, max_size=14),
+       st.integers(2, 6))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_tracing_differential_int_corpus(op_choices, store_count):
+    fn = _build_int_kernel(op_choices, store_count)
+    _assert_observability_is_inert(fn, "avx2", beam_width=4)
+
+
+@given(st.lists(_op_choice, min_size=4, max_size=12),
+       st.integers(2, 4))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_tracing_differential_float_corpus(op_choices, store_count):
+    fn = _build_float_kernel(op_choices, store_count)
+    _assert_observability_is_inert(fn, "avx2", beam_width=4)
+
+
+@given(st.lists(_op_choice, min_size=3, max_size=10),
+       st.integers(2, 4))
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_tracing_differential_avx512(op_choices, store_count):
+    fn = _build_int_kernel(op_choices, store_count)
+    _assert_observability_is_inert(fn, "avx512_vnni", beam_width=4)
+
+
+@pytest.mark.parametrize("target", available_targets())
+@pytest.mark.parametrize("kernel", ["complex_mul", "tvm_dot",
+                                    "dsp_idct4", "isel_abs_i16"])
+def test_tracing_differential_bundled_kernels(kernel, target):
+    fn = all_kernels()[kernel]
+    _assert_observability_is_inert(fn, target, beam_width=4)
+
+
+def test_tracer_only_and_counters_only_are_inert():
+    fn = all_kernels()["complex_mul"]
+    plain = vectorize(fn, target="sse4", beam_width=4)
+    tracer_only = vectorize(fn, target="sse4", beam_width=4,
+                            tracer=Tracer())
+    counters_only = vectorize(fn, target="sse4", beam_width=4,
+                              counters=Counters())
+    assert tracer_only.program.dump() == plain.program.dump()
+    assert counters_only.program.dump() == plain.program.dump()
+    assert tracer_only.cost.total == plain.cost.total == \
+        counters_only.cost.total
+    # Partial observability surfaces exactly what was collected.
+    assert tracer_only.trace is not None
+    assert tracer_only.counters is None
+    assert counters_only.counters is not None
+    assert counters_only.trace is None

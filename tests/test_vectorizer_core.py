@@ -91,6 +91,23 @@ class TestPacks:
         assert len(set(keys)) == len(keys)
         assert packs[0].key() == packs[0].key()
 
+    def test_pack_key_cache_is_per_instance(self):
+        # Regression: the key cache must live on each instance.  A
+        # class-level default would alias the first computed key across
+        # every Pack, making distinct packs dedupe into one.
+        ctx, adds, loads = make_dot_context()
+        lp1 = LoadPack(loads[:2])
+        lp2 = LoadPack(loads[2:4])
+        assert lp1.key() != lp2.key()
+        # Neither instance sees the other's cached key, and the class
+        # itself gained no shared cache attribute.
+        assert lp1._key_cache != lp2._key_cache
+        assert "_key_cache" not in vars(LoadPack)
+        assert "_key_cache" not in vars(type(lp1).__mro__[1])
+        # Keys survive recomputation and interleaved calls.
+        assert lp1.key() == ("load", tuple(id(l) for l in loads[:2]))
+        assert lp2.key() == ("load", tuple(id(l) for l in loads[2:4]))
+
     def test_dont_care_operand_lanes(self):
         # pmuldq consumes only even input lanes; its operand vector must
         # carry DONT_CARE on the odd ones.
