@@ -225,7 +225,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         progress = lambda msg: print(msg, file=sys.stderr)  # noqa: E731
     try:
         doc = run_bench(kernel_names=kernel_names, targets=targets,
-                        beam_width=args.beam_width, progress=progress)
+                        beam_width=args.beam_width, progress=progress,
+                        jobs=args.jobs)
     except KeyError as exc:
         print(f"bench: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -326,6 +327,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pack-selection beam width (default 8: wide "
                         "enough to exercise the search, fast enough for "
                         "the full matrix)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="fan the kernel x target cells over N worker "
+                        "processes (default 1: serial); the merged "
+                        "document is identical apart from wall times")
     p.add_argument("--out", default="BENCH_vegen.json",
                    help="output path (default: BENCH_vegen.json)")
     p.add_argument("--compare", default=None, metavar="OLD.json",

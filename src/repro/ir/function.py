@@ -17,50 +17,171 @@ from repro.ir.values import Argument, Value
 
 
 class Block:
-    """An ordered list of instructions ending (at most) in one terminator."""
+    """An ordered sequence of instructions ending (at most) in one
+    terminator.
 
-    __slots__ = ("instructions", "parent")
+    Storage is an intrusive doubly-linked list threaded through
+    ``Instruction._prev``/``Instruction._next``: ``append``,
+    :meth:`insert_before`, :meth:`insert_after`, and :meth:`remove` are
+    all O(1).  The canonicalizer's worklist loop mutates blocks millions
+    of times on the unrolled DSP kernels, so these must not be backed by
+    ``list.insert``/``list.remove`` (each O(n), turning canonicalization
+    into O(n²·passes)).
+
+    The old list-style API (``instructions``, ``insert(index, inst)``,
+    ``index_of``) is kept as a compatible — but O(n) — view so the
+    printer, verifier, and interpreter are untouched.
+    """
+
+    __slots__ = ("parent", "_head", "_tail", "_size")
 
     def __init__(self, parent: Optional["Function"] = None):
-        self.instructions: List[Instruction] = []
         self.parent = parent
+        self._head: Optional[Instruction] = None
+        self._tail: Optional[Instruction] = None
+        self._size = 0
+
+    # -- O(1) mutation ---------------------------------------------------
 
     def append(self, inst: Instruction) -> Instruction:
-        if self.instructions and self.instructions[-1].is_terminator:
+        if self._tail is not None and self._tail.is_terminator:
             raise ValueError("cannot append after a terminator")
         inst.parent = self
-        self.instructions.append(inst)
+        inst._prev = self._tail
+        inst._next = None
+        if self._tail is None:
+            self._head = inst
+        else:
+            self._tail._next = inst
+        self._tail = inst
+        self._size += 1
         return inst
 
-    def insert(self, index: int, inst: Instruction) -> Instruction:
+    def insert_before(self, anchor: Instruction,
+                      inst: Instruction) -> Instruction:
+        """Link ``inst`` immediately before ``anchor`` (O(1))."""
+        if anchor.parent is not self:
+            raise ValueError("anchor is not in this block")
         inst.parent = self
-        self.instructions.insert(index, inst)
+        inst._next = anchor
+        inst._prev = anchor._prev
+        if anchor._prev is None:
+            self._head = inst
+        else:
+            anchor._prev._next = inst
+        anchor._prev = inst
+        self._size += 1
+        return inst
+
+    def insert_after(self, anchor: Instruction,
+                     inst: Instruction) -> Instruction:
+        """Link ``inst`` immediately after ``anchor`` (O(1))."""
+        if anchor.parent is not self:
+            raise ValueError("anchor is not in this block")
+        inst.parent = self
+        inst._prev = anchor
+        inst._next = anchor._next
+        if anchor._next is None:
+            self._tail = inst
+        else:
+            anchor._next._prev = inst
+        anchor._next = inst
+        self._size += 1
         return inst
 
     def remove(self, inst: Instruction) -> None:
-        self.instructions.remove(inst)
+        """Unlink ``inst`` from the block (O(1))."""
+        if inst.parent is not self:
+            raise ValueError("instruction is not in this block")
+        if inst._prev is None:
+            self._head = inst._next
+        else:
+            inst._prev._next = inst._next
+        if inst._next is None:
+            self._tail = inst._prev
+        else:
+            inst._next._prev = inst._prev
+        inst._prev = None
+        inst._next = None
         inst.parent = None
+        self._size -= 1
+
+    # -- compatible list-style view (O(n)) -------------------------------
+
+    def insert(self, index: int, inst: Instruction) -> Instruction:
+        """Positional insert with ``list.insert`` semantics (O(n)).
+
+        Prefer :meth:`insert_before`/:meth:`insert_after` in passes."""
+        if index < 0:
+            index = max(0, self._size + index)
+        if index >= self._size:
+            anchor = None
+        else:
+            anchor = self._head
+            for _ in range(index):
+                anchor = anchor._next  # type: ignore[union-attr]
+        if anchor is None:
+            # Bypass append()'s terminator check: list.insert at the end
+            # never raised, and the parser relies on building freely.
+            inst.parent = self
+            inst._prev = self._tail
+            inst._next = None
+            if self._tail is None:
+                self._head = inst
+            else:
+                self._tail._next = inst
+            self._tail = inst
+            self._size += 1
+            return inst
+        return self.insert_before(anchor, inst)
 
     def index_of(self, inst: Instruction) -> int:
-        return self.instructions.index(inst)
+        """Position of ``inst`` in the block (O(n); hot paths should use
+        the anchor-based mutation API instead)."""
+        for i, current in enumerate(self):
+            if current is inst:
+                return i
+        raise ValueError("instruction is not in this block")
+
+    @property
+    def instructions(self) -> List[Instruction]:
+        """The instructions as a fresh list (a snapshot, not the storage:
+        mutating the returned list never changes the block)."""
+        return list(self)
 
     @property
     def terminator(self) -> Optional[Instruction]:
-        if self.instructions and self.instructions[-1].is_terminator:
-            return self.instructions[-1]
+        if self._tail is not None and self._tail.is_terminator:
+            return self._tail
         return None
 
     def body(self) -> List[Instruction]:
-        """Instructions excluding the terminator."""
-        if self.terminator is not None:
-            return self.instructions[:-1]
-        return list(self.instructions)
+        """Instructions excluding the terminator, always as a fresh list
+        (mutating the returned list never aliases the block)."""
+        result = []
+        for inst in self:
+            if not inst.is_terminator:
+                result.append(inst)
+        return result
 
     def __iter__(self) -> Iterator[Instruction]:
-        return iter(self.instructions)
+        # Capture the successor before yielding so removing (or moving)
+        # the yielded instruction mid-iteration is safe.
+        current = self._head
+        while current is not None:
+            nxt = current._next
+            yield current
+            current = nxt
+
+    def __reversed__(self) -> Iterator[Instruction]:
+        current = self._tail
+        while current is not None:
+            prev = current._prev
+            yield current
+            current = prev
 
     def __len__(self) -> int:
-        return len(self.instructions)
+        return self._size
 
 
 class Function:
@@ -142,7 +263,10 @@ def dead_code_eliminate(function: Function) -> int:
     changed = True
     while changed:
         changed = False
-        for inst in list(function.entry.instructions):
+        # Reverse order: uses come after defs in this straight-line IR,
+        # so removing dead users first exposes dead defs within the same
+        # sweep — one pass does all the work, the second just confirms.
+        for inst in reversed(function.entry):
             if inst.opcode in (Opcode.STORE, Opcode.RET):
                 continue
             if inst.num_uses == 0:

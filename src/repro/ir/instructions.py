@@ -186,7 +186,7 @@ class Instruction(Value):
     use lists consistent.
     """
 
-    __slots__ = ("opcode", "operands", "parent")
+    __slots__ = ("opcode", "operands", "parent", "_prev", "_next")
 
     def __init__(self, opcode: str, ty: Type, operands: Sequence[Value],
                  name: str = ""):
@@ -194,6 +194,9 @@ class Instruction(Value):
         self.opcode = opcode
         self.operands: List[Value] = list(operands)
         self.parent = None  # set when inserted into a Block
+        # Intrusive doubly-linked-list hooks, owned by the parent Block.
+        self._prev: Optional["Instruction"] = None
+        self._next: Optional["Instruction"] = None
         for op in self.operands:
             op.uses.append(self)
 

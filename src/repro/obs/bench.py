@@ -76,11 +76,30 @@ def bench_one(kernel_name: str, function, target: str,
     }
 
 
+def _bench_cell(task: Tuple[str, str, int]) -> Dict:
+    """Process-pool worker: benchmark one (kernel, target) cell.
+
+    Takes only picklable names — each worker process rebuilds the kernel
+    from the bundled sources and populates its own target registry, so
+    no IR or target state ever crosses the process boundary."""
+    from repro.kernels import all_kernels
+
+    kernel_name, target, beam_width = task
+    return bench_one(kernel_name, all_kernels()[kernel_name], target,
+                     beam_width)
+
+
 def run_bench(kernel_names: Optional[Sequence[str]] = None,
               targets: Sequence[str] = DEFAULT_TARGETS,
               beam_width: int = DEFAULT_BEAM_WIDTH,
-              progress: Optional[Callable[[str], None]] = None) -> Dict:
-    """Run the kernel × target matrix; returns the bench document."""
+              progress: Optional[Callable[[str], None]] = None,
+              jobs: int = 1) -> Dict:
+    """Run the kernel × target matrix; returns the bench document.
+
+    ``jobs > 1`` fans the cells out over a ``ProcessPoolExecutor``.
+    Results are merged back in the serial (target-outer, kernel-inner)
+    order, so the document is identical to a ``jobs=1`` run except for
+    wall times and the recorded ``jobs`` value."""
     from repro import __version__
     from repro.kernels import all_kernels
 
@@ -96,14 +115,25 @@ def run_bench(kernel_names: Optional[Sequence[str]] = None,
             )
         selected = list(kernel_names)
 
-    results: List[Dict] = []
+    tasks = [(name, target, beam_width)
+             for target in targets for name in selected]
     total_start = time.perf_counter()
-    for target in targets:
-        for name in selected:
+    if jobs > 1 and len(tasks) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            # executor.map preserves submission order: the merge is
+            # deterministic no matter which worker finishes first.
+            if progress is not None:
+                progress(f"bench {len(tasks)} cells over {jobs} workers")
+            results = list(pool.map(_bench_cell, tasks))
+    else:
+        results = []
+        for name, target, width in tasks:
             if progress is not None:
                 progress(f"bench {name} on {target}")
             results.append(
-                bench_one(name, kernels[name], target, beam_width)
+                bench_one(name, kernels[name], target, width)
             )
     total_wall = time.perf_counter() - total_start
 
@@ -119,6 +149,7 @@ def run_bench(kernel_names: Optional[Sequence[str]] = None,
                                       time.gmtime()),
         "python": platform.python_version(),
         "beam_width": beam_width,
+        "jobs": jobs,
         "targets": list(targets),
         "kernels": selected,
         "results": results,

@@ -22,6 +22,9 @@ from typing import Dict, Iterator, Mapping, Tuple
 #: uses one of these names; renaming an entry is a breaking change to
 #: the ``BENCH_*.json`` trajectory and must be deliberate.
 COUNTER_NAMES = frozenset({
+    # canonicalization (the worklist instcombine)
+    "canon.worklist_pushes",      # instructions enqueued on the worklist
+    "canon.rewrites",             # rewrites applied (replace + in-place)
     # beam search (§5.2, Figure 9)
     "beam.iterations",            # outer search iterations run
     "beam.states_expanded",       # parent states passed to expand()
@@ -29,6 +32,10 @@ COUNTER_NAMES = frozenset({
     "beam.candidates_pruned",     # scored children cut by the beam width
     "beam.rollouts",              # greedy SLP rollout completions
     "beam.solved_improvements",   # times the incumbent solution improved
+    "beam.tt_hits",               # re-derived states dropped by the
+                                  # transposition table
+    # search-layer memoization (SLP estimator + heuristic)
+    "slp.estimate_hits",          # memoized estimate/slice-cost lookups
     # producer enumeration (Algorithm 1)
     "producers.cache_hits",       # memoized operand lookups served
     "producers.cache_misses",     # operand enumerations actually run

@@ -7,12 +7,23 @@ comparison strictification (``x <= 1`` becomes ``x < 2``) — crucial for
 recognizing integer saturations — plus the usual constant folding,
 constant-to-RHS placement, and algebraic identities.
 
-The pass mutates the function in place and runs to a fixpoint.
+The pass mutates the function in place.  It is driven by an
+instcombine-style *worklist* over def-use edges rather than whole-function
+fixpoint sweeps: the list is seeded with every instruction in block order,
+and a rewrite re-enqueues only the values whose folding opportunities it
+could have changed (the rewritten instruction's users, plus any
+instructions the rewrite created).  Replaced instructions are erased
+eagerly — together with operand chains the erasure leaves dead — instead
+of accumulating until a final dead-code sweep re-scans them on every pass.
+Combined with the O(1) block-mutation API this makes canonicalization
+near-linear in practice; the previous fixpoint driver is preserved as
+:func:`_legacy_canonicalize` for differential testing.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from collections import deque
+from typing import List, Optional
 
 from repro.ir.function import Function, dead_code_eliminate
 from repro.ir.instructions import (
@@ -37,13 +48,97 @@ from repro.ir.interp import (
 )
 from repro.ir.types import IntType
 from repro.ir.values import Constant, Value
+from repro.obs.counters import NULL_COUNTERS, Counters
 from repro.utils.intmath import mask, to_signed
 
 _MAX_PASSES = 32
 
 
-def canonicalize_function(function: Function) -> int:
-    """Run rewrites to a fixpoint; returns the number of rewrites applied."""
+def canonicalize_function(function: Function,
+                          counters: Optional[Counters] = None) -> int:
+    """Run rewrites to a fixpoint; returns the number of rewrites applied.
+
+    ``counters`` (a :class:`repro.obs.Counters`) records
+    ``canon.worklist_pushes`` and ``canon.rewrites`` when provided.
+    """
+    if counters is None:
+        counters = NULL_COUNTERS
+    block = function.entry
+    worklist = deque(block)
+    queued = {id(inst) for inst in worklist}
+    counters.inc("canon.worklist_pushes", len(worklist))
+    total = 0
+
+    def push(value) -> None:
+        if (
+            isinstance(value, Instruction)
+            and value.parent is block
+            and id(value) not in queued
+        ):
+            queued.add(id(value))
+            worklist.append(value)
+            counters.inc("canon.worklist_pushes")
+
+    while worklist:
+        inst = worklist.popleft()
+        queued.discard(id(inst))
+        if inst.parent is not block:
+            continue  # erased while queued
+        created: List[Instruction] = []
+        replacement = _simplify_inst(inst, created)
+        if replacement is not None and replacement is not inst:
+            user_insts = list(dict.fromkeys(inst.uses))
+            inst.replace_all_uses_with(replacement)
+            total += 1
+            counters.inc("canon.rewrites")
+            for new_inst in created:
+                push(new_inst)
+            push(replacement)
+            for user in user_insts:
+                push(user)
+            _erase_if_dead(inst, block)
+            continue
+        changed = _rewrite_in_place(inst)
+        if changed:
+            total += changed
+            counters.inc("canon.rewrites", changed)
+            # Operand-order/predicate rewrites can enable this very
+            # instruction's value simplifications (e.g. moving a constant
+            # to the RHS exposes ``x + 0``) as well as its users'.
+            push(inst)
+            for user in list(dict.fromkeys(inst.uses)):
+                push(user)
+    dead_code_eliminate(function)
+    return total
+
+
+def _erase_if_dead(inst: Instruction, block) -> None:
+    """Eagerly erase ``inst`` if dead, then any operand chains the
+    erasure left dead (the worklist analogue of dead_code_eliminate)."""
+    stack = [inst]
+    while stack:
+        current = stack.pop()
+        if current.parent is not block or current.num_uses:
+            continue
+        if current.opcode in (Opcode.STORE, Opcode.RET):
+            continue
+        operands = [op for op in current.operands
+                    if isinstance(op, Instruction)]
+        current.drop_operands()
+        block.remove(current)
+        for op in operands:
+            if op.num_uses == 0:
+                stack.append(op)
+
+
+def _legacy_canonicalize(function: Function) -> int:
+    """The original fixpoint driver: whole-function sweeps until no sweep
+    changes anything (or ``_MAX_PASSES``), then one dead-code sweep.
+
+    Kept only as the differential-testing oracle for the worklist driver
+    (``tests/test_canon_differential.py``); it applies the exact same
+    rewrites, so both must produce identical IR.
+    """
     total = 0
     for _ in range(_MAX_PASSES):
         changed = _run_once(function)
@@ -56,8 +151,8 @@ def canonicalize_function(function: Function) -> int:
 
 def _run_once(function: Function) -> int:
     changed = 0
-    for inst in list(function.entry.instructions):
-        replacement = _simplify_inst(inst, function)
+    for inst in list(function.entry):
+        replacement = _simplify_inst(inst, [])
         if replacement is not None and replacement is not inst:
             inst.replace_all_uses_with(replacement)
             changed += 1
@@ -98,8 +193,12 @@ def _const(inst: Instruction) -> Optional[Constant]:
 
 
 def _simplify_inst(inst: Instruction,
-                   function: Function) -> Optional[Value]:
-    """Rewrites that replace the instruction with an existing value."""
+                   created: List[Instruction]) -> Optional[Value]:
+    """Rewrites that replace the instruction with an existing value.
+
+    Any new instructions a rewrite inserts are also appended to
+    ``created`` so the worklist driver can enqueue them.
+    """
     folded = _const(inst)
     if folded is not None:
         return folded
@@ -128,22 +227,22 @@ def _simplify_inst(inst: Instruction,
     if isinstance(inst, CastInst):
         inner = ops[0]
         if isinstance(inner, CastInst):
-            composed = _compose_casts(inst, inner)
+            composed = _compose_casts(inst, inner, created)
             if composed is not None:
                 return composed
         if inst.opcode == Opcode.TRUNC:
             if isinstance(inner, SelectInst):
                 # trunc(select(c, a, b)) -> select(c, trunc a, trunc b)
                 block = inst.parent
-                at = block.index_of(inst)
                 lo = CastInst(Opcode.TRUNC, inner.true_value, inst.type)
                 hi = CastInst(Opcode.TRUNC, inner.false_value, inst.type)
-                block.insert(at, lo)
-                block.insert(at + 1, hi)
                 new = SelectInst(inner.condition, lo, hi)
-                block.insert(at + 2, new)
+                block.insert_before(inst, lo)
+                block.insert_before(inst, hi)
+                block.insert_before(inst, new)
+                created.extend((lo, hi, new))
                 return new
-            narrowed = _narrow(inner, inst.type, inst, depth=3)
+            narrowed = _narrow(inner, inst.type, inst, created)
             if narrowed is not None:
                 return narrowed
     return None
@@ -155,15 +254,37 @@ _NARROWABLE = frozenset(
 
 
 def _narrow(value: Value, dest: IntType, before: Instruction,
-            depth: int) -> Optional[Value]:
+            created: List[Instruction],
+            depth: int = 3) -> Optional[Value]:
     """Demanded-bits narrowing: rebuild ``value`` at width ``dest`` if its
     low bits are computable narrowly (LLVM's trunc(binop(ext, ext)) ->
     binop rewrite, which reconciles C's integer promotions with
     element-width instruction semantics).
 
-    New instructions are inserted before ``before``.  Returns None if the
-    value cannot be narrowed.
+    The narrow tree is built *speculatively*: new instructions are only
+    inserted (before ``before``) once the whole value narrows.  If any
+    sub-value fails — e.g. a binop whose LHS narrows but whose RHS does
+    not — the partially built instructions are discarded instead of being
+    abandoned in the block as dead code for later passes to re-scan.
+    Returns None if the value cannot be narrowed; on success the inserted
+    instructions are appended to ``created``.
     """
+    speculative: List[Instruction] = []
+    result = _narrow_rec(value, dest, depth, speculative)
+    if result is None:
+        # Unregister the aborted tree from its operands' use lists.
+        for inst in reversed(speculative):
+            inst.drop_operands()
+        return None
+    block = before.parent
+    for inst in speculative:
+        block.insert_before(before, inst)
+    created.extend(speculative)
+    return result
+
+
+def _narrow_rec(value: Value, dest: IntType, depth: int,
+                speculative: List[Instruction]) -> Optional[Value]:
     if isinstance(value, Constant):
         return Constant(dest, value.value)
     if isinstance(value, CastInst) and value.opcode in (Opcode.SEXT,
@@ -173,47 +294,46 @@ def _narrow(value: Value, dest: IntType, before: Instruction,
             return src
         if src.type.width < dest.width:
             new = CastInst(value.opcode, src, dest)
-            before.parent.insert(before.parent.index_of(before), new)
+            speculative.append(new)
             return new
         return None
     if depth <= 0:
         return None
     if isinstance(value, BinaryInst) and value.opcode in _NARROWABLE:
-        lhs = _narrow(value.operands[0], dest, before, depth - 1)
+        lhs = _narrow_rec(value.operands[0], dest, depth - 1, speculative)
         if lhs is None:
             return None
-        rhs = _narrow(value.operands[1], dest, before, depth - 1)
+        rhs = _narrow_rec(value.operands[1], dest, depth - 1, speculative)
         if rhs is None:
             return None
         new = BinaryInst(value.opcode, lhs, rhs)
-        before.parent.insert(before.parent.index_of(before), new)
+        speculative.append(new)
         return new
     return None
 
 
-def _compose_casts(outer: CastInst, inner: CastInst) -> Optional[Value]:
+def _compose_casts(outer: CastInst, inner: CastInst,
+                   created: List[Instruction]) -> Optional[Value]:
     """Fold cast-of-cast chains (trunc(sext(x)) and friends)."""
+
+    def emit(new: CastInst) -> CastInst:
+        outer.parent.insert_before(outer, new)
+        created.append(new)
+        return new
+
     oo, io = outer.opcode, inner.opcode
     src = inner.operands[0]
     ext_ops = (Opcode.SEXT, Opcode.ZEXT)
     if oo in ext_ops and io == oo:
-        new = CastInst(oo, src, outer.type)
-        outer.parent.insert(outer.parent.index_of(outer), new)
-        return new
+        return emit(CastInst(oo, src, outer.type))
     if oo == Opcode.SEXT and io == Opcode.ZEXT:
-        new = CastInst(Opcode.ZEXT, src, outer.type)
-        outer.parent.insert(outer.parent.index_of(outer), new)
-        return new
+        return emit(CastInst(Opcode.ZEXT, src, outer.type))
     if oo == Opcode.TRUNC and io in ext_ops:
         if outer.type.width == src.type.width:
             return src
         if outer.type.width < src.type.width:
-            new = CastInst(Opcode.TRUNC, src, outer.type)
-            outer.parent.insert(outer.parent.index_of(outer), new)
-            return new
-        new = CastInst(io, src, outer.type)
-        outer.parent.insert(outer.parent.index_of(outer), new)
-        return new
+            return emit(CastInst(Opcode.TRUNC, src, outer.type))
+        return emit(CastInst(io, src, outer.type))
     return None
 
 

@@ -97,7 +97,7 @@ def _build_balanced(leaves: List[Value], opcode: str, function: Function,
         next_level: List[Value] = []
         for i in range(0, len(level) - 1, 2):
             combined = BinaryInst(opcode, level[i], level[i + 1])
-            block.insert(block.index_of(before), combined)
+            block.insert_before(before, combined)
             next_level.append(combined)
         if len(level) % 2:
             next_level.append(level[-1])

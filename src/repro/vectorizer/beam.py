@@ -33,7 +33,6 @@ from repro.vectorizer.context import VectorizationContext
 from repro.vectorizer.pack import (
     OperandVector,
     Pack,
-    operand_key,
 )
 from repro.vectorizer.producers import producers_for_operand
 from repro.vectorizer.seeds import affinity_seed_tuples, store_seed_packs
@@ -69,6 +68,35 @@ class BeamSearch:
         self._operand_registry: Dict[Tuple, OperandVector] = {}
         self._operand_order: Dict[Tuple, int] = {}
         self._operand_bits_cache: Dict[Tuple, int] = {}
+        # Search-layer memoization (config.memoize, on by default).  Both
+        # memos are exact — keys capture every input the computation
+        # reads — so the search result is bit-identical with them off
+        # (differential-tested in tests/test_canon_differential.py).
+        # Keys route through the context's id-keyed operand_key cache:
+        # operand tuples are stable objects, so the steady-state lookup
+        # never rebuilds a key tuple.
+        self._memoize = ctx.config.memoize
+        # id(operand) -> (operand, operand_bits, {free & operand_bits:
+        # residual}).  Masking free to the operand's own bits collapses
+        # the many frees that agree on the operand's lanes onto one
+        # entry; holding the operand in the value pins its id.
+        self._residual_memo: Dict[int, Tuple] = {}
+        # id(residual) -> (residual, real-lane count, raw slice bitset):
+        # the two per-residual quantities the operand estimate needs,
+        # served by a single identity probe.
+        self._residual_info: Dict[int, Tuple] = {}
+        # (id(residual), free & closure, counted & closure, depth) ->
+        # (cost, bits).  The estimate only ever reads free/counted inside
+        # the residual's backward closure (see _operand_estimate), so
+        # masking the key to it collapses the per-state variation that
+        # made a full-key memo useless.
+        self._estimate_memo: Dict[Tuple, Tuple] = {}
+        self._completion_memo: Dict[Tuple, float] = {}
+        #: Transposition table: best g seen per SearchState.identity().
+        #: Re-derived states (same V/S/F at equal-or-worse g) are dropped
+        #: before completion/rollout — their transitions and completions
+        #: are pointwise dominated, so they can never improve the search.
+        self._tt: Dict[Tuple, float] = {}
         with ctx.tracer.span("seed_enumeration"):
             self._seed_packs = self._enumerate_seed_packs()
 
@@ -115,7 +143,7 @@ class BeamSearch:
         return bits
 
     def _operand_bits(self, operand: OperandVector) -> int:
-        key = operand_key(operand)
+        key = self.ctx.operand_key_of(operand)
         bits = self._operand_bits_cache.get(key)
         if bits is None:
             bits = self._bits_of_values(operand)
@@ -123,7 +151,7 @@ class BeamSearch:
         return bits
 
     def _register_operand(self, operand: OperandVector) -> Tuple:
-        key = operand_key(operand)
+        key = self.ctx.operand_key_of(operand)
         if key not in self._operand_registry:
             self._operand_registry[key] = operand
             self._operand_order[key] = len(self._operand_order)
@@ -271,7 +299,7 @@ class BeamSearch:
             ).count("1")
         # costshuffle(p, V): every live operand that overlaps but is not
         # exactly produced by this pack needs a shuffle.
-        produced_key = operand_key(pack.values())
+        produced_key = self.ctx.operand_key_of(pack.values())
         new_operand_keys = set()
         for key in state.operand_keys:
             operand = self._operand_registry[key]
@@ -452,14 +480,37 @@ class BeamSearch:
         slices are masked to still-free instructions and deduplicated
         against already-counted work — without this, everything already
         vectorized below an operand is double-charged and deep pack
-        structures (idct4's pmaddwd layer) look unprofitable."""
+        structures (idct4's pmaddwd layer) look unprofitable.
+
+        Memoized on ``(residual, free & closure, counted & closure,
+        depth)`` where *closure* is the residual's raw backward-slice
+        bitset.  Every quantity the recursion reads lives inside that
+        closure: slices are subsets of it, and producer sub-operands are
+        dependencies of the residual's values, so their own closures are
+        contained in it.  Masking ``free``/``counted`` down to the
+        closure is therefore exact — and it is what makes the memo hit:
+        a full ``(free, counted)`` key almost never repeats across
+        states (measured ~3% on dsp_sbc), the masked key does."""
         residual = self._residual_operand(operand, free)
-        real = sum(
-            1 for e in residual
-            if e is not DONT_CARE
-            and not isinstance(e, (Constant, Argument))
-        )
-        slice_bits = self.estimator.scalar_slice_bits(residual) & free
+        real, raw_bits = self._residual_lane_info(residual)
+        memo_key = None
+        if self._memoize:
+            memo_key = (id(residual), free & raw_bits,
+                        counted & raw_bits, depth)
+            cached = self._estimate_memo.get(memo_key)
+            if cached is not None:
+                self.ctx.counters.inc("slp.estimate_hits")
+                return cached
+        result = self._estimate_residual(residual, real, raw_bits,
+                                         free, counted, depth)
+        if memo_key is not None:
+            self._estimate_memo[memo_key] = result
+        return result
+
+    def _estimate_residual(self, residual: OperandVector, real: int,
+                           raw_bits: int, free: int, counted: int,
+                           depth: int):
+        slice_bits = raw_bits & free
         best = (
             self.model.c_insert * max(real, 0)
             + self.estimator.cost_of_bits(slice_bits & ~counted)
@@ -485,8 +536,44 @@ class BeamSearch:
                 best_bits = sub_counted & ~counted
         return best, best_bits
 
+    def _residual_lane_info(self, residual: OperandVector):
+        """(real-lane count, raw backward-slice bitset) of a residual.
+
+        Residual tuples are interned by :meth:`_residual_operand`, so an
+        identity probe serves repeat queries — the estimate's two inner
+        lane scans collapse into one dict hit."""
+        if self._memoize:
+            entry = self._residual_info.get(id(residual))
+            if entry is not None:
+                self.ctx.counters.inc("slp.estimate_hits")
+                return entry[1], entry[2]
+        real = sum(
+            1 for e in residual
+            if e is not DONT_CARE
+            and not isinstance(e, (Constant, Argument))
+        )
+        raw_bits = self.estimator.scalar_slice_bits(residual)
+        if self._memoize:
+            self._residual_info[id(residual)] = (residual, real, raw_bits)
+        return real, raw_bits
+
     def _residual_operand(self, operand: OperandVector,
                           free_bits: int) -> OperandVector:
+        if not self._memoize:
+            return self._residual_operand_uncached(operand, free_bits)
+        entry = self._residual_memo.get(id(operand))
+        if entry is None:
+            entry = (operand, self._operand_bits(operand), {})
+            self._residual_memo[id(operand)] = entry
+        masked = free_bits & entry[1]
+        cached = entry[2].get(masked)
+        if cached is None:
+            cached = self._residual_operand_uncached(operand, free_bits)
+            entry[2][masked] = cached
+        return cached
+
+    def _residual_operand_uncached(self, operand: OperandVector,
+                                   free_bits: int) -> OperandVector:
         dg = self.ctx.dep_graph
         residual = []
         changed = False
@@ -519,7 +606,23 @@ class BeamSearch:
         """Cost of finishing the state with scalar instructions only: fix
         every still-needed value and insert operand elements.  Turns any
         state into a solved state in one jump, so the beam is an anytime
-        search rather than needing one transition per instruction."""
+        search rather than needing one transition per instruction.
+
+        The completion cost is a pure function of the state's identity
+        (V, S, F), so it is memoized on it."""
+        identity = None
+        if self._memoize:
+            identity = state.identity()
+            cached = self._completion_memo.get(identity)
+            if cached is not None:
+                self.ctx.counters.inc("slp.estimate_hits")
+                return cached
+        total = self._scalar_completion_uncached(state)
+        if identity is not None:
+            self._completion_memo[identity] = total
+        return total
+
+    def _scalar_completion_uncached(self, state: SearchState) -> float:
         free = state.free_bits
         counted = self._expand_scalar_slices(state.scalar_bits) & free
         total = self.estimator.cost_of_bits(counted)
@@ -614,6 +717,19 @@ class BeamSearch:
                             improved = True
                         continue
                     key = child.identity()
+                    if self._memoize:
+                        # Transposition table: a state with this same
+                        # (V, S, F) was already generated at equal or
+                        # better g — this re-derivation's completions,
+                        # rollouts, and transitions are all pointwise
+                        # dominated, so drop it before scoring.
+                        seen_g = self._tt.get(key)
+                        if seen_g is not None and seen_g <= child.g:
+                            counters.inc("beam.tt_hits")
+                            continue
+                        self._tt[key] = child.g
+                        children[key] = child
+                        continue
                     existing = children.get(key)
                     if existing is None or child.g < existing.g:
                         children[key] = child

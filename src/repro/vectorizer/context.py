@@ -12,6 +12,7 @@ from repro.obs.counters import NULL_COUNTERS, Counters
 from repro.obs.trace import NULL_TRACER
 from repro.patterns.match_table import MatchTable
 from repro.target.isa import TargetDesc
+from repro.vectorizer.pack import operand_key
 
 
 @dataclass
@@ -33,6 +34,11 @@ class VectorizerConfig:
     max_transitions_per_state: int = 48
     #: Beam iterations without improvement before giving up.
     patience: int = 48
+    #: Enable search-layer memoization: operand-estimate/slice-cost
+    #: memos and the transposition table on ``SearchState.identity()``.
+    #: Off reproduces the unmemoized search exactly (differential-tested:
+    #: the selected packs and costs are identical either way).
+    memoize: bool = True
 
 
 class VectorizationContext:
@@ -57,6 +63,23 @@ class VectorizationContext:
                                           target.operation_index,
                                           counters=self.counters)
         self._producer_cache: Dict[Tuple, List] = {}
+        # id-keyed operand_key cache.  Operand tuples are overwhelmingly
+        # stable objects (precomputed on cached Pack instances, interned
+        # in the beam's operand registry and residual memo), so keying by
+        # object identity turns every repeated operand_key() build — the
+        # single hottest call in the PR 2 profile — into one dict probe.
+        # Values hold the tuple itself: a live tuple's id can never be
+        # reused, which is what makes id-keying sound.
+        self._operand_key_cache: Dict[int, Tuple] = {}
+
+    def operand_key_of(self, operand) -> Tuple:
+        """``operand_key(operand)``, cached by tuple identity."""
+        entry = self._operand_key_cache.get(id(operand))
+        if entry is not None:
+            return entry[1]
+        key = operand_key(operand)
+        self._operand_key_cache[id(operand)] = (operand, key)
+        return key
 
     @property
     def instructions(self):

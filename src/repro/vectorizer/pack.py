@@ -205,6 +205,9 @@ class StorePack(Pack):
             raise InvalidPack("stores are not contiguous")
         self.stores = tuple(stores)
         self.base, self.first_offset = location
+        # Precomputed so operands() returns stable tuple objects (the
+        # context's id-keyed operand_key cache relies on identity).
+        self._operands = [tuple(s.value for s in self.stores)]
 
     @property
     def elem_type(self) -> Type:
@@ -215,7 +218,7 @@ class StorePack(Pack):
         return self.stores
 
     def operands(self) -> List[OperandVector]:
-        return [tuple(s.value for s in self.stores)]
+        return self._operands
 
     def _compute_key(self) -> Tuple:
         return ("store", tuple(id(s) for s in self.stores))

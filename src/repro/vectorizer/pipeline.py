@@ -124,14 +124,14 @@ def vectorize(
         work = clone_function(function)
         if canonicalize_input:
             with tracer.span("canonicalize"):
-                canonicalize_function(work)
+                canonicalize_function(work, counters=counters)
         if reassociate:
             from repro.patterns.reassociate import reassociate_function
 
             with tracer.span("reassociate"):
                 reassociate_function(work)
                 if canonicalize_input:
-                    canonicalize_function(work)
+                    canonicalize_function(work, counters=counters)
         if config is None:
             config = VectorizerConfig(beam_width=beam_width)
         else:

@@ -29,7 +29,6 @@ from repro.vectorizer.pack import (
     LoadPack,
     OperandVector,
     Pack,
-    operand_key,
     packs_independent,
 )
 from repro.vidl.interp import DONT_CARE
@@ -38,7 +37,7 @@ from repro.vidl.interp import DONT_CARE
 def producers_for_operand(operand: OperandVector,
                           ctx: VectorizationContext) -> List[Pack]:
     """All packs that produce the operand (memoized per operand)."""
-    key = operand_key(operand)
+    key = ctx.operand_key_of(operand)
     cached = ctx._producer_cache.get(key)
     if cached is not None:
         ctx.counters.inc("producers.cache_hits")

@@ -55,11 +55,35 @@ class SLPCostEstimator:
             for inst in ctx.dep_graph.instructions
         ]
         self._bits_cost_memo: Dict[int, float] = {}
+        self._memoize = ctx.config.memoize
+        self._slice_bits_memo: Dict[Tuple, int] = {}
 
     # -- scalar slice costs ----------------------------------------------------
 
     def scalar_slice_bits(self, values) -> int:
-        """Bitset of instructions in the union of backward slices."""
+        """Bitset of instructions in the union of backward slices.
+
+        Memoized on the operand key: the beam heuristic asks for the
+        same slices millions of times across states (it was the single
+        hottest call in the PR 2 perf trajectory).  Tuples go through
+        the context's id-keyed operand_key cache, so the steady-state
+        lookup is two dict probes with no key construction.
+        """
+        if not self._memoize:
+            return self._compute_slice_bits(values)
+        if type(values) is tuple:
+            key = self.ctx.operand_key_of(values)
+        else:
+            key = operand_key(tuple(values))
+        bits = self._slice_bits_memo.get(key)
+        if bits is None:
+            bits = self._compute_slice_bits(values)
+            self._slice_bits_memo[key] = bits
+        else:
+            self.ctx.counters.inc("slp.estimate_hits")
+        return bits
+
+    def _compute_slice_bits(self, values) -> int:
         dg = self.ctx.dep_graph
         bits = 0
         for value in values:
@@ -99,7 +123,7 @@ class SLPCostEstimator:
     # -- the Figure 7 recurrence ------------------------------------------------------
 
     def cost_slp(self, operand: OperandVector) -> float:
-        key = operand_key(operand)
+        key = self.ctx.operand_key_of(operand)
         cached = self._memo.get(key)
         if cached is not None:
             return cached
@@ -153,7 +177,7 @@ class SLPCostEstimator:
         """The pack chosen by the Figure 7 recurrence (None = insert/scalar
         path)."""
         self.cost_slp(operand)
-        return self._choice.get(operand_key(operand))
+        return self._choice.get(self.ctx.operand_key_of(operand))
 
 
 def _contiguous_load_runs(values) -> int:

@@ -1,0 +1,21 @@
+func complex_mul(%a: f64*, %b: f64*, %dst: f64*) {
+  %0 = gep %a, 0
+  %1 = load f64, %0
+  %2 = gep %b, 0
+  %3 = load f64, %2
+  %4 = fmul f64 %1, %3
+  %5 = gep %a, 1
+  %6 = load f64, %5
+  %7 = gep %b, 1
+  %8 = load f64, %7
+  %9 = fmul f64 %6, %8
+  %10 = fsub f64 %4, %9
+  %11 = gep %dst, 0
+  store %10, %11
+  %12 = fmul f64 %1, %8
+  %13 = fmul f64 %6, %3
+  %14 = fadd f64 %12, %13
+  %15 = gep %dst, 1
+  store %14, %15
+  ret
+}

@@ -1,0 +1,51 @@
+func fft4(%in: f32*, %out: f32*) {
+  %0 = gep %in, 0
+  %1 = load f32, %0
+  %2 = gep %in, 4
+  %3 = load f32, %2
+  %4 = fadd f32 %1, %3
+  %5 = gep %in, 1
+  %6 = load f32, %5
+  %7 = gep %in, 5
+  %8 = load f32, %7
+  %9 = fadd f32 %6, %8
+  %10 = fsub f32 %1, %3
+  %11 = fsub f32 %6, %8
+  %12 = gep %in, 2
+  %13 = load f32, %12
+  %14 = gep %in, 6
+  %15 = load f32, %14
+  %16 = fadd f32 %13, %15
+  %17 = gep %in, 3
+  %18 = load f32, %17
+  %19 = gep %in, 7
+  %20 = load f32, %19
+  %21 = fadd f32 %18, %20
+  %22 = fsub f32 %13, %15
+  %23 = fsub f32 %18, %20
+  %24 = fadd f32 %4, %16
+  %25 = gep %out, 0
+  store %24, %25
+  %26 = fadd f32 %9, %21
+  %27 = gep %out, 1
+  store %26, %27
+  %28 = fadd f32 %10, %23
+  %29 = gep %out, 2
+  store %28, %29
+  %30 = fsub f32 %11, %22
+  %31 = gep %out, 3
+  store %30, %31
+  %32 = fsub f32 %4, %16
+  %33 = gep %out, 4
+  store %32, %33
+  %34 = fsub f32 %9, %21
+  %35 = gep %out, 5
+  store %34, %35
+  %36 = fsub f32 %10, %23
+  %37 = gep %out, 6
+  store %36, %37
+  %38 = fadd f32 %11, %22
+  %39 = gep %out, 7
+  store %38, %39
+  ret
+}

@@ -1,0 +1,125 @@
+func fft8(%in: f32*, %out: f32*) {
+  %0 = gep %in, 0
+  %1 = load f32, %0
+  %2 = gep %in, 8
+  %3 = load f32, %2
+  %4 = fadd f32 %1, %3
+  %5 = gep %in, 1
+  %6 = load f32, %5
+  %7 = gep %in, 9
+  %8 = load f32, %7
+  %9 = fadd f32 %6, %8
+  %10 = fsub f32 %1, %3
+  %11 = fsub f32 %6, %8
+  %12 = gep %in, 2
+  %13 = load f32, %12
+  %14 = gep %in, 10
+  %15 = load f32, %14
+  %16 = fadd f32 %13, %15
+  %17 = gep %in, 3
+  %18 = load f32, %17
+  %19 = gep %in, 11
+  %20 = load f32, %19
+  %21 = fadd f32 %18, %20
+  %22 = fsub f32 %13, %15
+  %23 = fsub f32 %18, %20
+  %24 = gep %in, 4
+  %25 = load f32, %24
+  %26 = gep %in, 12
+  %27 = load f32, %26
+  %28 = fadd f32 %25, %27
+  %29 = gep %in, 5
+  %30 = load f32, %29
+  %31 = gep %in, 13
+  %32 = load f32, %31
+  %33 = fadd f32 %30, %32
+  %34 = fsub f32 %25, %27
+  %35 = fsub f32 %30, %32
+  %36 = gep %in, 6
+  %37 = load f32, %36
+  %38 = gep %in, 14
+  %39 = load f32, %38
+  %40 = fadd f32 %37, %39
+  %41 = gep %in, 7
+  %42 = load f32, %41
+  %43 = gep %in, 15
+  %44 = load f32, %43
+  %45 = fadd f32 %42, %44
+  %46 = fsub f32 %37, %39
+  %47 = fsub f32 %42, %44
+  %48 = fadd f32 %22, %23
+  %49 = fmul f32 %48, f32 0.7071067690849304
+  %50 = fsub f32 %23, %22
+  %51 = fmul f32 %50, f32 0.7071067690849304
+  %52 = fneg f32 %34
+  %53 = fsub f32 %47, %46
+  %54 = fmul f32 %53, f32 0.7071067690849304
+  %55 = fadd f32 %46, %47
+  %56 = fmul f32 %55, f32 0.7071067690849304
+  %57 = fneg f32 %56
+  %58 = fadd f32 %4, %28
+  %59 = fadd f32 %9, %33
+  %60 = fsub f32 %4, %28
+  %61 = fsub f32 %9, %33
+  %62 = fadd f32 %16, %40
+  %63 = fadd f32 %21, %45
+  %64 = fsub f32 %21, %45
+  %65 = fsub f32 %40, %16
+  %66 = fadd f32 %58, %62
+  %67 = gep %out, 0
+  store %66, %67
+  %68 = fadd f32 %59, %63
+  %69 = gep %out, 1
+  store %68, %69
+  %70 = fsub f32 %58, %62
+  %71 = gep %out, 8
+  store %70, %71
+  %72 = fsub f32 %59, %63
+  %73 = gep %out, 9
+  store %72, %73
+  %74 = fadd f32 %60, %64
+  %75 = gep %out, 4
+  store %74, %75
+  %76 = fadd f32 %61, %65
+  %77 = gep %out, 5
+  store %76, %77
+  %78 = fsub f32 %60, %64
+  %79 = gep %out, 12
+  store %78, %79
+  %80 = fsub f32 %61, %65
+  %81 = gep %out, 13
+  store %80, %81
+  %82 = fadd f32 %10, %35
+  %83 = fadd f32 %11, %52
+  %84 = fsub f32 %10, %35
+  %85 = fsub f32 %11, %52
+  %86 = fadd f32 %49, %54
+  %87 = fadd f32 %51, %57
+  %88 = fsub f32 %51, %57
+  %89 = fsub f32 %54, %49
+  %90 = fadd f32 %82, %86
+  %91 = gep %out, 2
+  store %90, %91
+  %92 = fadd f32 %83, %87
+  %93 = gep %out, 3
+  store %92, %93
+  %94 = fsub f32 %82, %86
+  %95 = gep %out, 10
+  store %94, %95
+  %96 = fsub f32 %83, %87
+  %97 = gep %out, 11
+  store %96, %97
+  %98 = fadd f32 %84, %88
+  %99 = gep %out, 6
+  store %98, %99
+  %100 = fadd f32 %85, %89
+  %101 = gep %out, 7
+  store %100, %101
+  %102 = fsub f32 %84, %88
+  %103 = gep %out, 14
+  store %102, %103
+  %104 = fsub f32 %85, %89
+  %105 = gep %out, 15
+  store %104, %105
+  ret
+}

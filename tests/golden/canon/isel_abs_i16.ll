@@ -1,0 +1,67 @@
+func abs_i16(%a: i16*, %dst: i16*) {
+  %0 = gep %a, 0
+  %1 = load i16, %0
+  %2 = sext i16 %1 to i32
+  %3 = icmp slt i32 %2, i32 0
+  %0 = sub i16 i16 0, %1
+  %1 = select %3, %0, %1
+  %9 = gep %dst, 0
+  store %1, %9
+  %10 = gep %a, 1
+  %11 = load i16, %10
+  %12 = sext i16 %11 to i32
+  %13 = icmp slt i32 %12, i32 0
+  %2 = sub i16 i16 0, %11
+  %3 = select %13, %2, %11
+  %19 = gep %dst, 1
+  store %3, %19
+  %20 = gep %a, 2
+  %21 = load i16, %20
+  %22 = sext i16 %21 to i32
+  %23 = icmp slt i32 %22, i32 0
+  %4 = sub i16 i16 0, %21
+  %5 = select %23, %4, %21
+  %29 = gep %dst, 2
+  store %5, %29
+  %30 = gep %a, 3
+  %31 = load i16, %30
+  %32 = sext i16 %31 to i32
+  %33 = icmp slt i32 %32, i32 0
+  %6 = sub i16 i16 0, %31
+  %7 = select %33, %6, %31
+  %39 = gep %dst, 3
+  store %7, %39
+  %40 = gep %a, 4
+  %41 = load i16, %40
+  %42 = sext i16 %41 to i32
+  %43 = icmp slt i32 %42, i32 0
+  %8 = sub i16 i16 0, %41
+  %9 = select %43, %8, %41
+  %49 = gep %dst, 4
+  store %9, %49
+  %50 = gep %a, 5
+  %51 = load i16, %50
+  %52 = sext i16 %51 to i32
+  %53 = icmp slt i32 %52, i32 0
+  %10 = sub i16 i16 0, %51
+  %11 = select %53, %10, %51
+  %59 = gep %dst, 5
+  store %11, %59
+  %60 = gep %a, 6
+  %61 = load i16, %60
+  %62 = sext i16 %61 to i32
+  %63 = icmp slt i32 %62, i32 0
+  %12 = sub i16 i16 0, %61
+  %13 = select %63, %12, %61
+  %69 = gep %dst, 6
+  store %13, %69
+  %70 = gep %a, 7
+  %71 = load i16, %70
+  %72 = sext i16 %71 to i32
+  %73 = icmp slt i32 %72, i32 0
+  %14 = sub i16 i16 0, %71
+  %15 = select %73, %14, %71
+  %79 = gep %dst, 7
+  store %15, %79
+  ret
+}

@@ -1,0 +1,31 @@
+func abs_i32(%a: i32*, %dst: i32*) {
+  %0 = gep %a, 0
+  %1 = load i32, %0
+  %2 = icmp slt i32 %1, i32 0
+  %3 = sub i32 i32 0, %1
+  %4 = select %2, %3, %1
+  %5 = gep %dst, 0
+  store %4, %5
+  %6 = gep %a, 1
+  %7 = load i32, %6
+  %8 = icmp slt i32 %7, i32 0
+  %9 = sub i32 i32 0, %7
+  %10 = select %8, %9, %7
+  %11 = gep %dst, 1
+  store %10, %11
+  %12 = gep %a, 2
+  %13 = load i32, %12
+  %14 = icmp slt i32 %13, i32 0
+  %15 = sub i32 i32 0, %13
+  %16 = select %14, %15, %13
+  %17 = gep %dst, 2
+  store %16, %17
+  %18 = gep %a, 3
+  %19 = load i32, %18
+  %20 = icmp slt i32 %19, i32 0
+  %21 = sub i32 i32 0, %19
+  %22 = select %20, %21, %19
+  %23 = gep %dst, 3
+  store %22, %23
+  ret
+}

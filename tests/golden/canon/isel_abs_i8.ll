@@ -1,0 +1,131 @@
+func abs_i8(%a: i8*, %dst: i8*) {
+  %0 = gep %a, 0
+  %1 = load i8, %0
+  %2 = sext i8 %1 to i32
+  %3 = icmp slt i32 %2, i32 0
+  %0 = sub i8 i8 0, %1
+  %1 = select %3, %0, %1
+  %9 = gep %dst, 0
+  store %1, %9
+  %10 = gep %a, 1
+  %11 = load i8, %10
+  %12 = sext i8 %11 to i32
+  %13 = icmp slt i32 %12, i32 0
+  %2 = sub i8 i8 0, %11
+  %3 = select %13, %2, %11
+  %19 = gep %dst, 1
+  store %3, %19
+  %20 = gep %a, 2
+  %21 = load i8, %20
+  %22 = sext i8 %21 to i32
+  %23 = icmp slt i32 %22, i32 0
+  %4 = sub i8 i8 0, %21
+  %5 = select %23, %4, %21
+  %29 = gep %dst, 2
+  store %5, %29
+  %30 = gep %a, 3
+  %31 = load i8, %30
+  %32 = sext i8 %31 to i32
+  %33 = icmp slt i32 %32, i32 0
+  %6 = sub i8 i8 0, %31
+  %7 = select %33, %6, %31
+  %39 = gep %dst, 3
+  store %7, %39
+  %40 = gep %a, 4
+  %41 = load i8, %40
+  %42 = sext i8 %41 to i32
+  %43 = icmp slt i32 %42, i32 0
+  %8 = sub i8 i8 0, %41
+  %9 = select %43, %8, %41
+  %49 = gep %dst, 4
+  store %9, %49
+  %50 = gep %a, 5
+  %51 = load i8, %50
+  %52 = sext i8 %51 to i32
+  %53 = icmp slt i32 %52, i32 0
+  %10 = sub i8 i8 0, %51
+  %11 = select %53, %10, %51
+  %59 = gep %dst, 5
+  store %11, %59
+  %60 = gep %a, 6
+  %61 = load i8, %60
+  %62 = sext i8 %61 to i32
+  %63 = icmp slt i32 %62, i32 0
+  %12 = sub i8 i8 0, %61
+  %13 = select %63, %12, %61
+  %69 = gep %dst, 6
+  store %13, %69
+  %70 = gep %a, 7
+  %71 = load i8, %70
+  %72 = sext i8 %71 to i32
+  %73 = icmp slt i32 %72, i32 0
+  %14 = sub i8 i8 0, %71
+  %15 = select %73, %14, %71
+  %79 = gep %dst, 7
+  store %15, %79
+  %80 = gep %a, 8
+  %81 = load i8, %80
+  %82 = sext i8 %81 to i32
+  %83 = icmp slt i32 %82, i32 0
+  %16 = sub i8 i8 0, %81
+  %17 = select %83, %16, %81
+  %89 = gep %dst, 8
+  store %17, %89
+  %90 = gep %a, 9
+  %91 = load i8, %90
+  %92 = sext i8 %91 to i32
+  %93 = icmp slt i32 %92, i32 0
+  %18 = sub i8 i8 0, %91
+  %19 = select %93, %18, %91
+  %99 = gep %dst, 9
+  store %19, %99
+  %100 = gep %a, 10
+  %101 = load i8, %100
+  %102 = sext i8 %101 to i32
+  %103 = icmp slt i32 %102, i32 0
+  %20 = sub i8 i8 0, %101
+  %21 = select %103, %20, %101
+  %109 = gep %dst, 10
+  store %21, %109
+  %110 = gep %a, 11
+  %111 = load i8, %110
+  %112 = sext i8 %111 to i32
+  %113 = icmp slt i32 %112, i32 0
+  %22 = sub i8 i8 0, %111
+  %23 = select %113, %22, %111
+  %119 = gep %dst, 11
+  store %23, %119
+  %120 = gep %a, 12
+  %121 = load i8, %120
+  %122 = sext i8 %121 to i32
+  %123 = icmp slt i32 %122, i32 0
+  %24 = sub i8 i8 0, %121
+  %25 = select %123, %24, %121
+  %129 = gep %dst, 12
+  store %25, %129
+  %130 = gep %a, 13
+  %131 = load i8, %130
+  %132 = sext i8 %131 to i32
+  %133 = icmp slt i32 %132, i32 0
+  %26 = sub i8 i8 0, %131
+  %27 = select %133, %26, %131
+  %139 = gep %dst, 13
+  store %27, %139
+  %140 = gep %a, 14
+  %141 = load i8, %140
+  %142 = sext i8 %141 to i32
+  %143 = icmp slt i32 %142, i32 0
+  %28 = sub i8 i8 0, %141
+  %29 = select %143, %28, %141
+  %149 = gep %dst, 14
+  store %29, %149
+  %150 = gep %a, 15
+  %151 = load i8, %150
+  %152 = sext i8 %151 to i32
+  %153 = icmp slt i32 %152, i32 0
+  %30 = sub i8 i8 0, %151
+  %31 = select %153, %30, %151
+  %159 = gep %dst, 15
+  store %31, %159
+  ret
+}

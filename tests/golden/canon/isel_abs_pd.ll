@@ -1,0 +1,17 @@
+func abs_pd(%a: f64*, %dst: f64*) {
+  %0 = gep %a, 0
+  %1 = load f64, %0
+  %2 = fcmp olt f64 %1, f64 0.0
+  %3 = fneg f64 %1
+  %4 = select %2, %3, %1
+  %5 = gep %dst, 0
+  store %4, %5
+  %6 = gep %a, 1
+  %7 = load f64, %6
+  %8 = fcmp olt f64 %7, f64 0.0
+  %9 = fneg f64 %7
+  %10 = select %8, %9, %7
+  %11 = gep %dst, 1
+  store %10, %11
+  ret
+}

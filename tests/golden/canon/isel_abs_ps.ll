@@ -1,0 +1,31 @@
+func abs_ps(%a: f32*, %dst: f32*) {
+  %0 = gep %a, 0
+  %1 = load f32, %0
+  %2 = fcmp olt f32 %1, f32 0.0
+  %3 = fneg f32 %1
+  %4 = select %2, %3, %1
+  %5 = gep %dst, 0
+  store %4, %5
+  %6 = gep %a, 1
+  %7 = load f32, %6
+  %8 = fcmp olt f32 %7, f32 0.0
+  %9 = fneg f32 %7
+  %10 = select %8, %9, %7
+  %11 = gep %dst, 1
+  store %10, %11
+  %12 = gep %a, 2
+  %13 = load f32, %12
+  %14 = fcmp olt f32 %13, f32 0.0
+  %15 = fneg f32 %13
+  %16 = select %14, %15, %13
+  %17 = gep %dst, 2
+  store %16, %17
+  %18 = gep %a, 3
+  %19 = load f32, %18
+  %20 = fcmp olt f32 %19, f32 0.0
+  %21 = fneg f32 %19
+  %22 = select %20, %21, %19
+  %23 = gep %dst, 3
+  store %22, %23
+  ret
+}

@@ -1,0 +1,59 @@
+func hadd_i16(%a: i16*, %b: i16*, %dst: i16*) {
+  %0 = gep %a, 0
+  %1 = load i16, %0
+  %2 = gep %a, 1
+  %3 = load i16, %2
+  %0 = add i16 %1, %3
+  %8 = gep %dst, 0
+  store %0, %8
+  %9 = gep %b, 0
+  %10 = load i16, %9
+  %11 = gep %b, 1
+  %12 = load i16, %11
+  %1 = add i16 %10, %12
+  %17 = gep %dst, 4
+  store %1, %17
+  %18 = gep %a, 2
+  %19 = load i16, %18
+  %20 = gep %a, 3
+  %21 = load i16, %20
+  %2 = add i16 %19, %21
+  %26 = gep %dst, 1
+  store %2, %26
+  %27 = gep %b, 2
+  %28 = load i16, %27
+  %29 = gep %b, 3
+  %30 = load i16, %29
+  %3 = add i16 %28, %30
+  %35 = gep %dst, 5
+  store %3, %35
+  %36 = gep %a, 4
+  %37 = load i16, %36
+  %38 = gep %a, 5
+  %39 = load i16, %38
+  %4 = add i16 %37, %39
+  %44 = gep %dst, 2
+  store %4, %44
+  %45 = gep %b, 4
+  %46 = load i16, %45
+  %47 = gep %b, 5
+  %48 = load i16, %47
+  %5 = add i16 %46, %48
+  %53 = gep %dst, 6
+  store %5, %53
+  %54 = gep %a, 6
+  %55 = load i16, %54
+  %56 = gep %a, 7
+  %57 = load i16, %56
+  %6 = add i16 %55, %57
+  %62 = gep %dst, 3
+  store %6, %62
+  %63 = gep %b, 6
+  %64 = load i16, %63
+  %65 = gep %b, 7
+  %66 = load i16, %65
+  %7 = add i16 %64, %66
+  %71 = gep %dst, 7
+  store %7, %71
+  ret
+}

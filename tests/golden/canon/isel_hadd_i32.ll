@@ -1,0 +1,31 @@
+func hadd_i32(%a: i32*, %b: i32*, %dst: i32*) {
+  %0 = gep %a, 0
+  %1 = load i32, %0
+  %2 = gep %a, 1
+  %3 = load i32, %2
+  %4 = add i32 %1, %3
+  %5 = gep %dst, 0
+  store %4, %5
+  %6 = gep %b, 0
+  %7 = load i32, %6
+  %8 = gep %b, 1
+  %9 = load i32, %8
+  %10 = add i32 %7, %9
+  %11 = gep %dst, 2
+  store %10, %11
+  %12 = gep %a, 2
+  %13 = load i32, %12
+  %14 = gep %a, 3
+  %15 = load i32, %14
+  %16 = add i32 %13, %15
+  %17 = gep %dst, 1
+  store %16, %17
+  %18 = gep %b, 2
+  %19 = load i32, %18
+  %20 = gep %b, 3
+  %21 = load i32, %20
+  %22 = add i32 %19, %21
+  %23 = gep %dst, 3
+  store %22, %23
+  ret
+}

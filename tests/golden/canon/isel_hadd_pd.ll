@@ -1,0 +1,17 @@
+func hadd_pd(%a: f64*, %b: f64*, %dst: f64*) {
+  %0 = gep %a, 0
+  %1 = load f64, %0
+  %2 = gep %a, 1
+  %3 = load f64, %2
+  %4 = fadd f64 %1, %3
+  %5 = gep %dst, 0
+  store %4, %5
+  %6 = gep %b, 0
+  %7 = load f64, %6
+  %8 = gep %b, 1
+  %9 = load f64, %8
+  %10 = fadd f64 %7, %9
+  %11 = gep %dst, 1
+  store %10, %11
+  ret
+}

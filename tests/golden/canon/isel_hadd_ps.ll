@@ -1,0 +1,31 @@
+func hadd_ps(%a: f32*, %b: f32*, %dst: f32*) {
+  %0 = gep %a, 0
+  %1 = load f32, %0
+  %2 = gep %a, 1
+  %3 = load f32, %2
+  %4 = fadd f32 %1, %3
+  %5 = gep %dst, 0
+  store %4, %5
+  %6 = gep %b, 0
+  %7 = load f32, %6
+  %8 = gep %b, 1
+  %9 = load f32, %8
+  %10 = fadd f32 %7, %9
+  %11 = gep %dst, 2
+  store %10, %11
+  %12 = gep %a, 2
+  %13 = load f32, %12
+  %14 = gep %a, 3
+  %15 = load f32, %14
+  %16 = fadd f32 %13, %15
+  %17 = gep %dst, 1
+  store %16, %17
+  %18 = gep %b, 2
+  %19 = load f32, %18
+  %20 = gep %b, 3
+  %21 = load f32, %20
+  %22 = fadd f32 %19, %21
+  %23 = gep %dst, 3
+  store %22, %23
+  ret
+}

@@ -1,0 +1,35 @@
+func max_ps(%a: f32*, %b: f32*, %dst: f32*) {
+  %0 = gep %a, 0
+  %1 = load f32, %0
+  %2 = gep %b, 0
+  %3 = load f32, %2
+  %4 = fcmp ogt f32 %1, %3
+  %5 = select %4, %1, %3
+  %6 = gep %dst, 0
+  store %5, %6
+  %7 = gep %a, 1
+  %8 = load f32, %7
+  %9 = gep %b, 1
+  %10 = load f32, %9
+  %11 = fcmp ogt f32 %8, %10
+  %12 = select %11, %8, %10
+  %13 = gep %dst, 1
+  store %12, %13
+  %14 = gep %a, 2
+  %15 = load f32, %14
+  %16 = gep %b, 2
+  %17 = load f32, %16
+  %18 = fcmp ogt f32 %15, %17
+  %19 = select %18, %15, %17
+  %20 = gep %dst, 2
+  store %19, %20
+  %21 = gep %a, 3
+  %22 = load f32, %21
+  %23 = gep %b, 3
+  %24 = load f32, %23
+  %25 = fcmp ogt f32 %22, %24
+  %26 = select %25, %22, %24
+  %27 = gep %dst, 3
+  store %26, %27
+  ret
+}

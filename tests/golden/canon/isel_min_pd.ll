@@ -1,0 +1,19 @@
+func min_pd(%a: f64*, %b: f64*, %dst: f64*) {
+  %0 = gep %a, 0
+  %1 = load f64, %0
+  %2 = gep %b, 0
+  %3 = load f64, %2
+  %4 = fcmp olt f64 %1, %3
+  %5 = select %4, %1, %3
+  %6 = gep %dst, 0
+  store %5, %6
+  %7 = gep %a, 1
+  %8 = load f64, %7
+  %9 = gep %b, 1
+  %10 = load f64, %9
+  %11 = fcmp olt f64 %8, %10
+  %12 = select %11, %8, %10
+  %13 = gep %dst, 1
+  store %12, %13
+  ret
+}

@@ -1,0 +1,23 @@
+func mul_addsub_pd(%a: f64*, %b: f64*, %c: f64*, %dst: f64*) {
+  %0 = gep %a, 0
+  %1 = load f64, %0
+  %2 = gep %b, 0
+  %3 = load f64, %2
+  %4 = fmul f64 %1, %3
+  %5 = gep %c, 0
+  %6 = load f64, %5
+  %7 = fsub f64 %4, %6
+  %8 = gep %dst, 0
+  store %7, %8
+  %9 = gep %a, 1
+  %10 = load f64, %9
+  %11 = gep %b, 1
+  %12 = load f64, %11
+  %13 = fmul f64 %10, %12
+  %14 = gep %c, 1
+  %15 = load f64, %14
+  %16 = fadd f64 %13, %15
+  %17 = gep %dst, 1
+  store %16, %17
+  ret
+}

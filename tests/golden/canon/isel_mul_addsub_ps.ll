@@ -1,0 +1,43 @@
+func mul_addsub_ps(%a: f32*, %b: f32*, %c: f32*, %dst: f32*) {
+  %0 = gep %a, 0
+  %1 = load f32, %0
+  %2 = gep %b, 0
+  %3 = load f32, %2
+  %4 = fmul f32 %1, %3
+  %5 = gep %c, 0
+  %6 = load f32, %5
+  %7 = fsub f32 %4, %6
+  %8 = gep %dst, 0
+  store %7, %8
+  %9 = gep %a, 1
+  %10 = load f32, %9
+  %11 = gep %b, 1
+  %12 = load f32, %11
+  %13 = fmul f32 %10, %12
+  %14 = gep %c, 1
+  %15 = load f32, %14
+  %16 = fadd f32 %13, %15
+  %17 = gep %dst, 1
+  store %16, %17
+  %18 = gep %a, 2
+  %19 = load f32, %18
+  %20 = gep %b, 2
+  %21 = load f32, %20
+  %22 = fmul f32 %19, %21
+  %23 = gep %c, 2
+  %24 = load f32, %23
+  %25 = fsub f32 %22, %24
+  %26 = gep %dst, 2
+  store %25, %26
+  %27 = gep %a, 3
+  %28 = load f32, %27
+  %29 = gep %b, 3
+  %30 = load f32, %29
+  %31 = fmul f32 %28, %30
+  %32 = gep %c, 3
+  %33 = load f32, %32
+  %34 = fadd f32 %31, %33
+  %35 = gep %dst, 3
+  store %34, %35
+  ret
+}

@@ -1,0 +1,71 @@
+func pmaddwd(%a: i16*, %b: i16*, %dst: i32*) {
+  %0 = gep %a, 0
+  %1 = load i16, %0
+  %2 = gep %b, 0
+  %3 = load i16, %2
+  %4 = sext i16 %1 to i32
+  %5 = sext i16 %3 to i32
+  %6 = mul i32 %4, %5
+  %7 = gep %a, 1
+  %8 = load i16, %7
+  %9 = gep %b, 1
+  %10 = load i16, %9
+  %11 = sext i16 %8 to i32
+  %12 = sext i16 %10 to i32
+  %13 = mul i32 %11, %12
+  %14 = add i32 %6, %13
+  %15 = gep %dst, 0
+  store %14, %15
+  %16 = gep %a, 2
+  %17 = load i16, %16
+  %18 = gep %b, 2
+  %19 = load i16, %18
+  %20 = sext i16 %17 to i32
+  %21 = sext i16 %19 to i32
+  %22 = mul i32 %20, %21
+  %23 = gep %a, 3
+  %24 = load i16, %23
+  %25 = gep %b, 3
+  %26 = load i16, %25
+  %27 = sext i16 %24 to i32
+  %28 = sext i16 %26 to i32
+  %29 = mul i32 %27, %28
+  %30 = add i32 %22, %29
+  %31 = gep %dst, 1
+  store %30, %31
+  %32 = gep %a, 4
+  %33 = load i16, %32
+  %34 = gep %b, 4
+  %35 = load i16, %34
+  %36 = sext i16 %33 to i32
+  %37 = sext i16 %35 to i32
+  %38 = mul i32 %36, %37
+  %39 = gep %a, 5
+  %40 = load i16, %39
+  %41 = gep %b, 5
+  %42 = load i16, %41
+  %43 = sext i16 %40 to i32
+  %44 = sext i16 %42 to i32
+  %45 = mul i32 %43, %44
+  %46 = add i32 %38, %45
+  %47 = gep %dst, 2
+  store %46, %47
+  %48 = gep %a, 6
+  %49 = load i16, %48
+  %50 = gep %b, 6
+  %51 = load i16, %50
+  %52 = sext i16 %49 to i32
+  %53 = sext i16 %51 to i32
+  %54 = mul i32 %52, %53
+  %55 = gep %a, 7
+  %56 = load i16, %55
+  %57 = gep %b, 7
+  %58 = load i16, %57
+  %59 = sext i16 %56 to i32
+  %60 = sext i16 %58 to i32
+  %61 = mul i32 %59, %60
+  %62 = add i32 %54, %61
+  %63 = gep %dst, 3
+  store %62, %63
+  ret
+}

@@ -1,0 +1,71 @@
+func dot_int32x8(%a: i32*, %b: i32*, %out: i64*) {
+  %0 = gep %a, 0
+  %1 = load i32, %0
+  %2 = sext i32 %1 to i64
+  %3 = gep %b, 0
+  %4 = load i32, %3
+  %5 = sext i32 %4 to i64
+  %6 = mul i64 %2, %5
+  %7 = gep %a, 1
+  %8 = load i32, %7
+  %9 = sext i32 %8 to i64
+  %10 = gep %b, 1
+  %11 = load i32, %10
+  %12 = sext i32 %11 to i64
+  %13 = mul i64 %9, %12
+  %14 = add i64 %6, %13
+  %15 = gep %out, 0
+  store %14, %15
+  %16 = gep %a, 2
+  %17 = load i32, %16
+  %18 = sext i32 %17 to i64
+  %19 = gep %b, 2
+  %20 = load i32, %19
+  %21 = sext i32 %20 to i64
+  %22 = mul i64 %18, %21
+  %23 = gep %a, 3
+  %24 = load i32, %23
+  %25 = sext i32 %24 to i64
+  %26 = gep %b, 3
+  %27 = load i32, %26
+  %28 = sext i32 %27 to i64
+  %29 = mul i64 %25, %28
+  %30 = add i64 %22, %29
+  %31 = gep %out, 1
+  store %30, %31
+  %32 = gep %a, 4
+  %33 = load i32, %32
+  %34 = sext i32 %33 to i64
+  %35 = gep %b, 4
+  %36 = load i32, %35
+  %37 = sext i32 %36 to i64
+  %38 = mul i64 %34, %37
+  %39 = gep %a, 5
+  %40 = load i32, %39
+  %41 = sext i32 %40 to i64
+  %42 = gep %b, 5
+  %43 = load i32, %42
+  %44 = sext i32 %43 to i64
+  %45 = mul i64 %41, %44
+  %46 = add i64 %38, %45
+  %47 = gep %out, 2
+  store %46, %47
+  %48 = gep %a, 6
+  %49 = load i32, %48
+  %50 = sext i32 %49 to i64
+  %51 = gep %b, 6
+  %52 = load i32, %51
+  %53 = sext i32 %52 to i64
+  %54 = mul i64 %50, %53
+  %55 = gep %a, 7
+  %56 = load i32, %55
+  %57 = sext i32 %56 to i64
+  %58 = gep %b, 7
+  %59 = load i32, %58
+  %60 = sext i32 %59 to i64
+  %61 = mul i64 %57, %60
+  %62 = add i64 %54, %61
+  %63 = gep %out, 3
+  store %62, %63
+  ret
+}

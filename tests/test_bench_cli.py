@@ -206,3 +206,55 @@ class TestBenchCLI:
                        "--quiet", "--out", str(tmp_path / "b.json")])
         assert status == 2
         assert "unknown kernels" in capsys.readouterr().err
+
+
+class TestParallelBench:
+    """``jobs > 1`` fans cells over worker processes; the merged document
+    must be identical to a serial run apart from wall times."""
+
+    @staticmethod
+    def _stable_view(doc):
+        """Everything in a bench document except timings and job count."""
+        view = {k: v for k, v in doc.items()
+                if k not in ("generated_at", "jobs")}
+        view["summary"] = {k: v for k, v in doc["summary"].items()
+                           if k != "total_wall_s"}
+        view["results"] = [
+            {k: v for k, v in cell.items()
+             if k not in ("wall_s", "phases")}
+            for cell in doc["results"]
+        ]
+        return view
+
+    def test_parallel_matches_serial_modulo_timings(self):
+        kwargs = dict(kernel_names=["complex_mul", "isel_abs_i16"],
+                      targets=["sse4"], beam_width=2)
+        serial = run_bench(jobs=1, **kwargs)
+        parallel = run_bench(jobs=2, **kwargs)
+        assert parallel["jobs"] == 2
+        validate_bench(parallel)
+        assert self._stable_view(serial) == self._stable_view(parallel)
+
+    def test_parallel_merge_preserves_serial_cell_order(self):
+        doc = run_bench(kernel_names=["isel_abs_i16", "complex_mul"],
+                        targets=["sse4"], beam_width=2, jobs=2)
+        assert [c["kernel"] for c in doc["results"]] == \
+            ["isel_abs_i16", "complex_mul"]
+
+    def test_compare_gates_parallel_output(self, tmp_path):
+        kwargs = dict(kernel_names=["complex_mul"], targets=["sse4"],
+                      beam_width=2)
+        old = run_bench(jobs=1, **kwargs)
+        new = run_bench(jobs=2, **kwargs)
+        regressions, _ = compare_bench(old, new)
+        assert regressions == []
+
+    def test_cli_jobs_flag(self, tmp_path, capsys):
+        out = tmp_path / "bench_jobs.json"
+        status = main(["bench", "--kernel", "complex_mul",
+                       "--targets", "sse4", "--beam-width", "2",
+                       "--jobs", "2", "--quiet", "--out", str(out)])
+        assert status == 0
+        doc = load_bench(str(out))
+        assert doc["jobs"] == 2
+        assert len(doc["results"]) == 1

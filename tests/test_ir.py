@@ -356,3 +356,72 @@ class TestVerifier:
         assert removed == 1
         assert len(fn.body()) == before - 1
         verify_function(fn)
+
+
+class TestBlockLinkedList:
+    """The O(1) intrusive-list mutation API and its compat views."""
+
+    def _three_load_fn(self):
+        fn = Function("f", [("p", pointer_to(I32))])
+        b = IRBuilder(fn)
+        loads = [b.load(fn.args[0], i) for i in range(3)]
+        b.store(loads[0], fn.args[0], 3)
+        b.ret()
+        return fn, loads
+
+    def test_body_returns_fresh_list_each_call(self):
+        fn, _ = self._three_load_fn()
+        first = fn.entry.body()
+        second = fn.entry.body()
+        assert first == second
+        assert first is not second
+        # Mutating the returned list must never alias block storage.
+        first.clear()
+        assert fn.entry.body() == second
+        assert len(fn.entry) == len(second) + 1  # + terminator
+
+    def test_instructions_snapshot_does_not_alias(self):
+        fn, _ = self._three_load_fn()
+        snapshot = fn.entry.instructions
+        snapshot.pop()
+        assert len(fn.entry) == len(snapshot) + 1
+
+    def test_insert_before_and_remove(self):
+        fn, loads = self._three_load_fn()
+        block = fn.entry
+        extra = BinaryInst(Opcode.ADD, loads[0], loads[1])
+        block.insert_before(loads[2], extra)
+        order = block.instructions
+        assert order[order.index(extra) + 1] is loads[2]
+        assert extra.parent is block
+        block.remove(extra)
+        extra.drop_operands()
+        assert extra.parent is None
+        assert extra not in block.instructions
+        verify_function(fn)
+
+    def test_remove_foreign_instruction_raises(self):
+        fn, _ = self._three_load_fn()
+        other, other_loads = self._three_load_fn()
+        with pytest.raises(ValueError):
+            fn.entry.remove(other_loads[0])
+
+    def test_mutation_during_iteration_is_safe(self):
+        fn, loads = self._three_load_fn()
+        removed = []
+        for inst in fn.entry:
+            if inst.opcode == Opcode.LOAD and inst.num_uses == 0:
+                inst.drop_operands()
+                fn.entry.remove(inst)
+                removed.append(inst)
+        assert len(removed) == 2
+        verify_function(fn)
+
+    def test_index_of_and_positional_insert_compat(self):
+        fn, loads = self._three_load_fn()
+        block = fn.entry
+        idx = block.index_of(loads[1])
+        extra = BinaryInst(Opcode.ADD, loads[0], loads[0])
+        block.insert(idx, extra)
+        assert block.index_of(extra) == idx
+        assert block.index_of(loads[1]) == idx + 1
