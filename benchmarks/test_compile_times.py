@@ -56,17 +56,39 @@ def test_compile_time_table():
 
 
 @pytest.mark.benchmark(group="compile-time")
-def test_offline_target_build_time(benchmark):
+def test_offline_target_build_time(benchmark, monkeypatch):
     """Cost of the full offline phase for one fresh (uncached) target.
 
-    Uses pedantic mode with a single round: the build is seconds-scale
-    and deterministic."""
+    Artifact loading is disabled so the benchmark measures the real
+    pseudocode build, not the serialized shortcut.  Uses pedantic mode
+    with a single round: the build is seconds-scale and deterministic."""
     import repro.target.registry as registry
 
+    monkeypatch.setenv(registry.ARTIFACT_ENV_VAR, "off")
+
     def build():
-        registry._cache.clear()
-        registry._inst_cache.clear()
-        registry._entry_cache = None
+        registry.clear_caches()
         registry.get_target("sse4")
 
     benchmark.pedantic(build, rounds=1, iterations=1)
+    registry.clear_caches()  # drop artifact-disabled state for later tests
+
+
+@pytest.mark.benchmark(group="compile-time")
+def test_artifact_target_load_time(benchmark):
+    """Cost of a cold target load from the committed artifact.
+
+    The serialized offline phase (``repro gen``) is the reason target
+    construction is milliseconds-scale at compile time; compare against
+    ``test_offline_target_build_time`` for the speedup."""
+    import repro.target.registry as registry
+
+    if registry.artifact_path() is None:
+        pytest.skip("artifact loading disabled via environment")
+
+    def load():
+        registry.clear_caches()
+        registry.get_target("sse4")
+
+    benchmark.pedantic(load, rounds=3, iterations=1)
+    registry.clear_caches()

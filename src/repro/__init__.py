@@ -16,7 +16,8 @@ The package splits the same way the paper does (Figure 3):
 * :mod:`repro.patterns` - generated pattern matchers and the
   instcombine-style canonicalizer (Sections 4.2 and 6).
 * :mod:`repro.target` - the synthetic x86-flavoured ISA, built entirely
-  from pseudocode specs.
+  from pseudocode specs; ``repro gen`` serializes the generated
+  utilities into a versioned artifact loaded at compile time.
 
 **Compile-time phase** (the generated vectorizer):
 
@@ -29,6 +30,11 @@ The package splits the same way the paper does (Figure 3):
 * :mod:`repro.machine` - the throughput cost model (Section 6.2) and the
   vector program interpreter used for differential correctness.
 * :mod:`repro.kernels` - every kernel of the paper's evaluation.
+* :mod:`repro.passes` - the LLVM-new-PM-style pass manager the
+  compile-time phase is organized as (passes, pipelines, cached
+  analyses with invalidation).
+* :mod:`repro.session` - :class:`VectorizationSession`, amortizing
+  target construction and pipeline setup across many functions.
 * :mod:`repro.obs` - observability: phase tracing, pipeline counters,
   and the ``repro bench`` perf-trajectory harness.
 
@@ -76,7 +82,16 @@ _EXPORTS = {
     "TargetInstruction": "repro.target",
     "available_targets": "repro.target",
     "build_instruction": "repro.target",
+    "clear_caches": "repro.target",
+    "generate_artifact": "repro.target",
     "get_target": "repro.target",
+    "load_artifact": "repro.target",
+    "write_artifact": "repro.target",
+    "PassPipeline": "repro.passes",
+    "available_passes": "repro.passes",
+    "build_pipeline": "repro.passes",
+    "VectorizationSession": "repro.session",
+    "vectorize_many": "repro.session",
     "AnalysisManager": "repro.analysis",
     "Diagnostic": "repro.analysis",
     "SanitizerError": "repro.analysis",
@@ -146,12 +161,22 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         run_bench,
         write_bench,
     )
+    from repro.passes import (
+        PassPipeline,
+        available_passes,
+        build_pipeline,
+    )
+    from repro.session import VectorizationSession, vectorize_many
     from repro.target import (
         TargetDesc,
         TargetInstruction,
         available_targets,
         build_instruction,
+        clear_caches,
+        generate_artifact,
         get_target,
+        load_artifact,
+        write_artifact,
     )
     from repro.vectorizer import (
         VectorizationResult,

@@ -2,7 +2,9 @@
 
 from repro.baseline.slp_vectorizer import (
     baseline_vectorize,
+    clear_baseline_cache,
     get_baseline_target,
 )
 
-__all__ = ["baseline_vectorize", "get_baseline_target"]
+__all__ = ["baseline_vectorize", "clear_baseline_cache",
+           "get_baseline_target"]

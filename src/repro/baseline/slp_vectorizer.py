@@ -21,6 +21,7 @@ LLVM's SLP vectorizer faithfully in its capabilities and blind spots:
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional
 
 from repro.machine.costs import CostModel
@@ -32,7 +33,7 @@ from repro.target.isa import (
 from repro.target.registry import get_target
 from repro.target.specs import baseline_fabs_entries
 from repro.vectorizer.context import VectorizerConfig
-from repro.vectorizer.pipeline import VectorizationResult, vectorize
+from repro.vectorizer.pipeline import VectorizationResult
 
 #: Instruction families LLVM's SLP special-cases despite not being SIMD.
 _ALTERNATING_FAMILIES = ("addsubps", "addsubpd", "fmaddsubps",
@@ -44,6 +45,14 @@ _ALTERNATING_COST_OPS = 2
 _ALTERNATING_BLEND_COST = 3.0
 
 _baseline_cache: Dict[str, TargetDesc] = {}
+_baseline_lock = threading.RLock()
+
+
+def clear_baseline_cache() -> None:
+    """Reset the derived baseline-target cache (cold-build measurement
+    companion to :func:`repro.target.registry.clear_caches`)."""
+    with _baseline_lock:
+        _baseline_cache.clear()
 
 
 def get_baseline_target(name: str = "avx2") -> TargetDesc:
@@ -51,6 +60,14 @@ def get_baseline_target(name: str = "avx2") -> TargetDesc:
     cached = _baseline_cache.get(name)
     if cached is not None:
         return cached
+    with _baseline_lock:
+        cached = _baseline_cache.get(name)
+        if cached is not None:
+            return cached
+        return _build_baseline_target(name)
+
+
+def _build_baseline_target(name: str) -> TargetDesc:
     full = get_target(name)
     instructions: List[TargetInstruction] = []
     for inst in full.instructions:
@@ -102,13 +119,15 @@ def baseline_vectorize(
     blend pattern to the real addsub instruction when the vectorizer does
     emit it.
     """
-    result = vectorize(
-        function,
+    from repro.session import VectorizationSession
+
+    session = VectorizationSession(
         target=get_baseline_target(target),
         beam_width=1,
         cost_model=cost_model,
         config=config,
     )
+    result = session.vectorize(function)
     full = get_target(target)
     for op in result.program.vector_ops():
         true_inst = full.by_name.get(op.inst.name)

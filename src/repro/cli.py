@@ -26,6 +26,13 @@ Commands
     Run the bundled kernel × target matrix with tracing and counters on;
     write the ``BENCH_vegen.json`` perf trajectory and (optionally)
     compare against an older trajectory, failing on cost regressions.
+
+``gen``
+    Run the offline generator phase for the whole spec inventory and
+    serialize the generated vectorization utilities into a versioned
+    JSON artifact (``repro.target.artifact``); ``--check`` verifies the
+    committed artifact is present, fresh, and byte-identical to a
+    regeneration.
 """
 
 from __future__ import annotations
@@ -43,9 +50,29 @@ from repro.vectorizer import vectorize
 
 
 def _cmd_vectorize(args: argparse.Namespace) -> int:
+    from repro.session import VectorizationSession
+
     with open(args.file) as handle:
         source = handle.read()
     functions = compile_c(source)
+    pipeline = None
+    if args.passes:
+        from repro.passes import available_passes, build_pipeline
+
+        names = [n.strip() for n in args.passes.split(",") if n.strip()]
+        try:
+            pipeline = build_pipeline(names)
+        except KeyError:
+            unknown = [n for n in names if n not in available_passes()]
+            print(f"unknown passes: {', '.join(unknown)}; available: "
+                  f"{', '.join(available_passes())}", file=sys.stderr)
+            return 2
+    session = VectorizationSession(
+        target=args.target,
+        beam_width=args.beam_width,
+        reassociate=args.reassociate,
+        pipeline=pipeline,
+    )
     status = 0
     for fn in functions:
         print(f"=== {fn.name} ===")
@@ -57,9 +84,7 @@ def _cmd_vectorize(args: argparse.Namespace) -> int:
             from repro.obs import Counters, Tracer
 
             obs = {"tracer": Tracer(), "counters": Counters()}
-        result = vectorize(fn, target=args.target,
-                           beam_width=args.beam_width,
-                           reassociate=args.reassociate, **obs)
+        result = session.vectorize(fn, **obs)
         if args.report or args.trace:
             from repro.vectorizer.report import render_report
 
@@ -177,10 +202,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     error_count = 0
     warning_count = 0
     for tname in targets:
+        from repro.session import VectorizationSession
+
         target = get_target(tname)
+        session = VectorizationSession(target=target,
+                                       beam_width=args.beam_width)
         for fname, fn in functions.items():
-            result = vectorize(fn, target=target,
-                               beam_width=args.beam_width)
+            result = session.vectorize(fn)
             diagnostics = analyze_result(result, target=target)
             checked += 1
             errors = errors_only(diagnostics)
@@ -251,6 +279,56 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_gen(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.target.artifact import (
+        dumps_artifact,
+        generate_artifact,
+        load_artifact,
+        spec_content_hash,
+        write_artifact,
+    )
+    from repro.target.registry import DEFAULT_ARTIFACT_PATH
+
+    path = args.out or DEFAULT_ARTIFACT_PATH
+    if args.check:
+        if not os.path.exists(path):
+            print(f"gen --check: artifact missing at {path} "
+                  f"(run `repro gen` and commit the result)",
+                  file=sys.stderr)
+            return 1
+        try:
+            committed = load_artifact(path, check_fresh=False)
+        except Exception as exc:  # malformed artifact is a failure too
+            print(f"gen --check: {exc}", file=sys.stderr)
+            return 1
+        if committed.get("spec_hash") != spec_content_hash():
+            print(f"gen --check: artifact at {path} is STALE (spec "
+                  f"inventory or target configs changed since it was "
+                  f"generated); rerun `repro gen` and commit",
+                  file=sys.stderr)
+            return 1
+        regenerated = dumps_artifact(generate_artifact())
+        with open(path) as handle:
+            on_disk = handle.read()
+        if regenerated != on_disk:
+            print(f"gen --check: artifact at {path} differs from a "
+                  f"fresh regeneration; rerun `repro gen` and commit",
+                  file=sys.stderr)
+            return 1
+        print(f"gen --check: {path} is fresh and byte-identical to a "
+              f"regeneration")
+        return 0
+    doc = generate_artifact()
+    write_artifact(doc, path)
+    n_insts = len(doc["instructions"])
+    n_bad = len(doc["unliftable"])
+    print(f"wrote {path}: {n_insts} instructions "
+          f"({n_bad} unliftable), spec hash {doc['spec_hash'][:12]}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -273,6 +351,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "-ffast-math behaviour)")
     p.add_argument("--compare-baseline", action="store_true",
                    help="also run the LLVM-style baseline")
+    p.add_argument("--passes", default=None, metavar="P1,P2,...",
+                   help="run a custom pass pipeline instead of the "
+                        "default (see repro.passes.available_passes)")
     p.add_argument("--trace", action="store_true",
                    help="run with tracing/counters on and print the "
                         "phase-timing report")
@@ -341,6 +422,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-kernel progress on stderr")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "gen",
+        help="run the offline generator and serialize the target "
+             "artifact (repro.target.artifact)")
+    p.add_argument("--out", default=None, metavar="FILE.json",
+                   help="artifact path (default: the committed "
+                        "src/repro/target/vegen_targets.json)")
+    p.add_argument("--check", action="store_true",
+                   help="verify the committed artifact is present, "
+                        "fresh, and byte-identical to a regeneration; "
+                        "exit 1 otherwise")
+    p.set_defaults(func=_cmd_gen)
     return parser
 
 

@@ -45,17 +45,26 @@ DEFAULT_COST_TOLERANCE = 0.01
 
 
 def bench_one(kernel_name: str, function, target: str,
-              beam_width: int = DEFAULT_BEAM_WIDTH) -> Dict:
-    """Benchmark one (kernel, target) cell with observability enabled."""
+              beam_width: int = DEFAULT_BEAM_WIDTH,
+              session=None) -> Dict:
+    """Benchmark one (kernel, target) cell with observability enabled.
+
+    ``session`` (a :class:`repro.session.VectorizationSession`) lets the
+    serial harness amortize target/pipeline setup across cells; omitted,
+    a one-shot session is created (identical output either way).
+    """
     from repro.obs.counters import Counters
     from repro.obs.trace import Tracer
-    from repro.vectorizer import vectorize
+    from repro.session import VectorizationSession
 
+    if session is None:
+        session = VectorizationSession(target=target,
+                                       beam_width=beam_width)
     tracer = Tracer()
     counters = Counters()
     start = time.perf_counter()
-    result = vectorize(function, target=target, beam_width=beam_width,
-                       tracer=tracer, counters=counters)
+    result = session.vectorize(function, tracer=tracer,
+                               counters=counters)
     wall_s = time.perf_counter() - start
     phases = tracer.phase_times()
     phases.pop("vectorize", None)  # the root duplicates wall_s
@@ -128,12 +137,20 @@ def run_bench(kernel_names: Optional[Sequence[str]] = None,
                 progress(f"bench {len(tasks)} cells over {jobs} workers")
             results = list(pool.map(_bench_cell, tasks))
     else:
+        from repro.session import VectorizationSession
+
         results = []
+        sessions: Dict[Tuple[str, int], object] = {}
         for name, target, width in tasks:
             if progress is not None:
                 progress(f"bench {name} on {target}")
+            key = (target, width)
+            if key not in sessions:
+                sessions[key] = VectorizationSession(target=target,
+                                                     beam_width=width)
             results.append(
-                bench_one(name, kernels[name], target, width)
+                bench_one(name, kernels[name], target, width,
+                          session=sessions[key])
             )
     total_wall = time.perf_counter() - total_start
 

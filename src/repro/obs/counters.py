@@ -22,6 +22,11 @@ from typing import Dict, Iterator, Mapping, Tuple
 #: uses one of these names; renaming an entry is a breaking change to
 #: the ``BENCH_*.json`` trajectory and must be deliberate.
 COUNTER_NAMES = frozenset({
+    # pass manager (repro.passes)
+    "passes.runs",                  # passes executed by PassPipeline.run
+    "passes.analysis_reuses",       # required analyses served from cache
+    "passes.analysis_invalidations",  # cached analyses dropped by a
+                                      # non-preserving pass
     # canonicalization (the worklist instcombine)
     "canon.worklist_pushes",      # instructions enqueued on the worklist
     "canon.rewrites",             # rewrites applied (replace + in-place)

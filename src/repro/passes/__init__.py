@@ -1,0 +1,52 @@
+"""LLVM-new-PM-style pass infrastructure for the compile-time phase.
+
+The vectorizer's stages — canonicalize, reassociate, pack selection,
+codegen, sanitizers — are registered :class:`Pass` objects composed
+into a :class:`PassPipeline` running over one :class:`PipelineState`,
+with an :class:`AnalysisCache` keeping the dependence graph, match
+table, and scalar cost alive across passes that preserve them.
+
+``vectorize()`` is a thin wrapper over :func:`default_passes`;
+``repro vectorize --passes <list>`` runs custom pipelines built with
+:func:`build_pipeline`.
+"""
+
+from repro.passes.library import (
+    PASS_REGISTRY,
+    CanonicalizePass,
+    CodegenPass,
+    PackSelectionPass,
+    ReassociatePass,
+    SanitizePass,
+    ScalarCostPass,
+    available_passes,
+    build_pipeline,
+    default_passes,
+)
+from repro.passes.manager import (
+    ALL,
+    ANALYSIS_BUILDERS,
+    AnalysisCache,
+    Pass,
+    PassPipeline,
+    PipelineState,
+)
+
+__all__ = [
+    "ALL",
+    "ANALYSIS_BUILDERS",
+    "AnalysisCache",
+    "Pass",
+    "PassPipeline",
+    "PipelineState",
+    "PASS_REGISTRY",
+    "CanonicalizePass",
+    "CodegenPass",
+    "PackSelectionPass",
+    "ReassociatePass",
+    "SanitizePass",
+    "ScalarCostPass",
+    "available_passes",
+    "build_pipeline",
+    "default_passes",
+]

@@ -1,0 +1,223 @@
+"""The registered pipeline passes and the default pipeline.
+
+Each stage of ``vectorize()`` is one registered pass; the default
+pipeline reproduces the historical monolithic entry point exactly
+(byte-identical packs, program text, and costs — enforced by the
+differential suite), and ``repro vectorize --passes <list>`` composes
+custom pipelines from the same registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.passes.manager import ALL, Pass, PassPipeline, PipelineState
+
+
+class CanonicalizePass(Pass):
+    """Worklist canonicalization of the scalar input (§6)."""
+
+    name = "canonicalize"
+    span_name = "canonicalize"
+    preserves = frozenset()  # rewrites the function
+
+    def run(self, state: PipelineState) -> None:
+        from repro.patterns.canonicalize import canonicalize_function
+
+        canonicalize_function(state.function, counters=state.counters)
+
+
+class ReassociatePass(Pass):
+    """Reduction-chain balancing (clang -O3 / -ffast-math behaviour).
+
+    Mirrors the monolithic pipeline: when input canonicalization is on,
+    the rebalanced function is re-canonicalized inside the same span.
+    """
+
+    name = "reassociate"
+    span_name = "reassociate"
+    preserves = frozenset()
+
+    def __init__(self, canonicalize_after: bool = True):
+        self.canonicalize_after = canonicalize_after
+
+    def run(self, state: PipelineState) -> None:
+        from repro.patterns.canonicalize import canonicalize_function
+        from repro.patterns.reassociate import reassociate_function
+
+        reassociate_function(state.function)
+        if self.canonicalize_after:
+            canonicalize_function(state.function, counters=state.counters)
+
+
+class PackSelectionPass(Pass):
+    """Beam search over the Figure 9 recurrence (§5)."""
+
+    name = "select-packs"
+    span_name = "select_packs"
+    requires = ("context",)
+    preserves = ALL
+
+    def run(self, state: PipelineState) -> None:
+        from repro.vectorizer.beam import select_packs
+
+        state.packs, state.estimated_cost = select_packs(state.context)
+
+
+class ScalarCostPass(Pass):
+    """Model cost of the canonicalized scalar function (§6.2)."""
+
+    name = "scalar-cost"
+    span_name = "cost_model"
+    requires = ("context",)
+    preserves = ALL
+
+    def run(self, state: PipelineState) -> None:
+        state.scalar_cost = state.analyses.get("scalar_cost")
+
+
+class CodegenPass(Pass):
+    """Lowering plus the scalar-fallback cost gate (§4.5).
+
+    Manages its own spans: the monolithic pipeline emitted a
+    ``codegen`` + ``cost_model`` span pair per attempt (vectorized,
+    then scalar fallback), and the bench trajectory's phase keys keep
+    that shape.
+    """
+
+    name = "codegen"
+    span_name = None
+    requires = ("context",)
+    preserves = ALL
+
+    def run(self, state: PipelineState) -> None:
+        from repro.machine.model import program_cost
+        from repro.vectorizer.codegen import generate
+        from repro.vectorizer.pipeline import scalar_program
+
+        ctx = state.context
+        tracer = state.tracer
+        model = ctx.cost_model
+        if state.scalar_cost is None:
+            state.scalar_cost = state.analyses.get("scalar_cost")
+        packs = state.packs
+        program = None
+        cost = None
+        if packs:
+            with tracer.span("codegen"):
+                program = generate(ctx, packs)
+            with tracer.span("cost_model"):
+                cost = program_cost(program, model)
+            # Fall back to scalar when the emitted program models slower
+            # than the scalar original (the search estimate is a
+            # heuristic).
+            if cost.total >= state.scalar_cost:
+                packs = []
+        if not packs:
+            with tracer.span("codegen"):
+                program = scalar_program(state.function)
+            with tracer.span("cost_model"):
+                cost = program_cost(program, model)
+        state.packs = packs
+        state.program = program
+        state.cost = cost
+
+
+class SanitizePass(Pass):
+    """The ``repro.analysis`` sanitizer suite over the emitted program.
+
+    Raises :class:`repro.analysis.SanitizerError` on any
+    error-severity diagnostic, mirroring ``vectorize(sanitize=True)``.
+    """
+
+    name = "sanitize"
+    span_name = "sanitize"
+    preserves = ALL
+
+    def run(self, state: PipelineState) -> None:
+        # Imported lazily: repro.analysis imports vectorizer modules.
+        from repro.analysis import SanitizerError, analyze_result, \
+            errors_only
+        from repro.vectorizer.pipeline import VectorizationResult
+
+        result = VectorizationResult(
+            function=state.function,
+            program=state.program,
+            packs=state.packs,
+            scalar_cost=state.scalar_cost or 0.0,
+            cost=state.cost,
+            estimated_cost=state.estimated_cost,
+        )
+        state.diagnostics = analyze_result(result, target=state.target)
+        errors = errors_only(state.diagnostics)
+        state.counters.inc("sanitizer.diagnostics",
+                           len(state.diagnostics))
+        state.counters.inc("sanitizer.errors", len(errors))
+        state.counters.inc("sanitizer.warnings",
+                           len(state.diagnostics) - len(errors))
+        if errors:
+            raise SanitizerError(errors)
+
+
+#: Registry: pass name -> factory.  Factories take the pipeline options
+#: relevant to them (today only the reassociate/canonicalize coupling).
+PASS_REGISTRY: Dict[str, Callable[..., Pass]] = {
+    CanonicalizePass.name: CanonicalizePass,
+    ReassociatePass.name: ReassociatePass,
+    PackSelectionPass.name: PackSelectionPass,
+    ScalarCostPass.name: ScalarCostPass,
+    CodegenPass.name: CodegenPass,
+    SanitizePass.name: SanitizePass,
+}
+
+
+def available_passes() -> List[str]:
+    """Names accepted by :func:`build_pipeline`."""
+    return sorted(PASS_REGISTRY)
+
+
+def default_passes(canonicalize_input: bool = True,
+                   reassociate: bool = False,
+                   sanitize: bool = False) -> List[Pass]:
+    """The default pipeline: the historical ``vectorize()`` stages."""
+    passes: List[Pass] = []
+    if canonicalize_input:
+        passes.append(CanonicalizePass())
+    if reassociate:
+        passes.append(
+            ReassociatePass(canonicalize_after=canonicalize_input)
+        )
+    passes.extend([
+        PackSelectionPass(),
+        ScalarCostPass(),
+        CodegenPass(),
+    ])
+    if sanitize:
+        passes.append(SanitizePass())
+    return passes
+
+
+def build_pipeline(names: Sequence[str],
+                   canonicalize_input: bool = True) -> PassPipeline:
+    """Build a custom pipeline from registry names.
+
+    Unknown names raise ``KeyError`` listing the registry.  A pipeline
+    without ``codegen`` leaves ``state.program``/``state.cost`` unset;
+    the session completes such runs with an implicit codegen stage so
+    every run still yields a costed program.
+    """
+    passes: List[Pass] = []
+    for name in names:
+        factory = PASS_REGISTRY.get(name)
+        if factory is None:
+            raise KeyError(
+                f"unknown pass {name!r}; available: "
+                f"{', '.join(available_passes())}"
+            )
+        if factory is ReassociatePass:
+            passes.append(
+                ReassociatePass(canonicalize_after=canonicalize_input)
+            )
+        else:
+            passes.append(factory())
+    return PassPipeline(passes)

@@ -1,0 +1,215 @@
+"""The pass manager: typed passes, a pipeline, and an analysis cache.
+
+Modeled on LLVM's new pass manager, scaled to this codebase: a
+:class:`Pass` transforms (or annotates) one :class:`PipelineState`, a
+:class:`PassPipeline` runs an ordered list of passes, and an
+:class:`AnalysisCache` keeps derived analyses (the vectorization
+context with its dependence graph and match table, the scalar cost)
+alive across passes that declare they preserve them — and invalidates
+them across passes that do not.
+
+Observability falls out of the structure: the pipeline opens one obs
+span per pass (named by the pass, so the existing ``SPAN_NAMES``
+contract is unchanged) and counts pass runs and analysis reuse /
+invalidation under the ``passes.*`` counters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, \
+    Tuple, Union
+
+from repro.ir.function import Function
+from repro.machine.costs import CostModel
+from repro.obs.counters import NULL_COUNTERS, Counters
+from repro.obs.trace import NULL_TRACER
+from repro.target.isa import TargetDesc
+from repro.vectorizer.context import VectorizationContext, VectorizerConfig
+
+#: A pass's ``preserves`` declaration: a set of analysis keys, or the
+#: sentinel :data:`ALL` meaning "everything stays valid".
+ALL = "all"
+Preserved = Union[str, FrozenSet[str]]
+
+
+class PipelineState:
+    """Everything one vectorization run carries between passes.
+
+    The state owns the *working copy* of the function (passes mutate it
+    freely), the resolved target, the knobs, and the products each
+    stage deposits: selected packs, the emitted program, and model
+    costs.  Derived analyses live in :attr:`analyses`.
+    """
+
+    def __init__(self, function: Function, target: TargetDesc,
+                 cost_model: Optional[CostModel] = None,
+                 config: Optional[VectorizerConfig] = None,
+                 tracer=None, counters: Optional[Counters] = None):
+        self.function = function
+        self.target = target
+        self.cost_model = cost_model or CostModel()
+        self.config = config or VectorizerConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.counters = counters if counters is not None else NULL_COUNTERS
+        self.analyses = AnalysisCache(self)
+        # Stage products (filled in by the passes that compute them).
+        self.packs: List = []
+        self.estimated_cost: float = 0.0
+        self.program = None
+        self.scalar_cost: Optional[float] = None
+        self.cost = None
+        self.diagnostics: List = []
+
+    @property
+    def context(self) -> VectorizationContext:
+        """The (cached) vectorization context analysis."""
+        return self.analyses.get("context")
+
+
+# -- analyses ----------------------------------------------------------
+
+def _build_context(state: PipelineState) -> VectorizationContext:
+    # Constructing the context builds the dependence graph and match
+    # table, each under its own obs span.
+    return VectorizationContext(
+        state.function, state.target, state.cost_model, state.config,
+        tracer=state.tracer, counters=state.counters,
+    )
+
+
+def _build_dep_graph(state: PipelineState):
+    return state.analyses.get("context").dep_graph
+
+
+def _build_match_table(state: PipelineState):
+    return state.analyses.get("context").match_table
+
+
+def _build_scalar_cost(state: PipelineState) -> float:
+    from repro.machine.model import scalar_function_cost
+
+    model = state.analyses.get("context").cost_model
+    return scalar_function_cost(state.function, model)
+
+
+#: Analysis key -> builder.  Keys are the invalidation granularity.
+ANALYSIS_BUILDERS: Dict[str, Callable[[PipelineState], object]] = {
+    "context": _build_context,
+    "dep_graph": _build_dep_graph,
+    "match_table": _build_match_table,
+    "scalar_cost": _build_scalar_cost,
+}
+
+
+class AnalysisCache:
+    """Caches derived analyses across passes, with invalidation.
+
+    ``get(key)`` builds on miss and reuses on hit; after each pass the
+    pipeline calls :meth:`retain` with the pass's ``preserves`` set,
+    dropping everything else.  The dependence graph and match table are
+    sub-analyses of the context (they share its lifetime) but have
+    their own keys so passes can name what they preserve precisely.
+    """
+
+    def __init__(self, state: PipelineState):
+        self._state = state
+        self._cache: Dict[str, object] = {}
+
+    def get(self, key: str):
+        if key in self._cache:
+            return self._cache[key]
+        builder = ANALYSIS_BUILDERS.get(key)
+        if builder is None:
+            raise KeyError(f"unknown analysis {key!r}; known: "
+                           f"{', '.join(sorted(ANALYSIS_BUILDERS))}")
+        value = builder(self._state)
+        self._cache[key] = value
+        return value
+
+    def ensure(self, key: str) -> None:
+        """Materialize an analysis, counting reuse."""
+        if key in self._cache:
+            self._state.counters.inc("passes.analysis_reuses")
+        else:
+            self.get(key)
+
+    def cached(self, key: str) -> bool:
+        return key in self._cache
+
+    def invalidate(self, key: str) -> None:
+        self._cache.pop(key, None)
+
+    def retain(self, preserved: Preserved) -> None:
+        """Drop every cached analysis not in ``preserved``.
+
+        Dropping the context also drops its sub-analyses: they are
+        views into it and cannot outlive it.
+        """
+        if preserved == ALL:
+            return
+        keep = frozenset(preserved)
+        if "context" not in keep:
+            keep = keep - {"dep_graph", "match_table"}
+        dropped = [key for key in self._cache if key not in keep]
+        for key in dropped:
+            del self._cache[key]
+        if dropped:
+            self._state.counters.inc("passes.analysis_invalidations",
+                                     len(dropped))
+
+
+# -- passes ------------------------------------------------------------
+
+
+class Pass:
+    """Base class for pipeline passes.
+
+    Subclasses set:
+
+    * ``name`` — the registry identifier (``repro vectorize --passes``);
+    * ``span_name`` — the obs span the pipeline opens around ``run()``,
+      or None when the pass manages its own spans;
+    * ``requires`` — analysis keys the pipeline materializes *before*
+      opening the pass's span (so analysis build time is attributed to
+      the analysis spans, not the pass);
+    * ``preserves`` — analysis keys still valid after the pass ran
+      (:data:`ALL` for pure analysis/emission passes).
+    """
+
+    name: str = "<anonymous>"
+    span_name: Optional[str] = None
+    requires: Tuple[str, ...] = ()
+    preserves: Preserved = frozenset()
+
+    def run(self, state: PipelineState) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class PassPipeline:
+    """An ordered pass list with analysis-aware execution."""
+
+    def __init__(self, passes: Sequence[Pass]):
+        self.passes: List[Pass] = list(passes)
+
+    @property
+    def names(self) -> List[str]:
+        return [p.name for p in self.passes]
+
+    def run(self, state: PipelineState) -> PipelineState:
+        for pass_ in self.passes:
+            for key in pass_.requires:
+                state.analyses.ensure(key)
+            state.counters.inc("passes.runs")
+            if pass_.span_name is not None:
+                with state.tracer.span(pass_.span_name):
+                    pass_.run(state)
+            else:
+                pass_.run(state)
+            state.analyses.retain(pass_.preserves)
+        return state
+
+    def __repr__(self) -> str:
+        return f"<PassPipeline [{', '.join(self.names)}]>"

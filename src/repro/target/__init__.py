@@ -1,12 +1,30 @@
 """The synthetic x86-ish vector ISA and its cached target registry.
 
-``get_target("avx2")`` runs the offline generator phase (parse the
-pseudocode specs, lift to VIDL, canonicalize match patterns) for every
-instruction the avx2 extension set provides, and caches the result.
+``get_target("avx2")`` loads the committed offline-generator artifact
+(``vegen_targets.json``, see :mod:`repro.target.artifact`) when it is
+present and fresh, and otherwise runs the offline generator phase
+(parse the pseudocode specs, lift to VIDL, canonicalize match patterns)
+for every instruction the avx2 extension set provides.  Either way the
+result is cached; ``clear_caches()`` resets the registry for cold-build
+measurement.
 """
 
+from repro.target.artifact import (
+    ARTIFACT_SCHEMA,
+    ArtifactError,
+    generate_artifact,
+    load_artifact,
+    spec_content_hash,
+    target_from_artifact,
+    write_artifact,
+)
 from repro.target.isa import TargetDesc, TargetInstruction, build_instruction
-from repro.target.registry import available_targets, get_target
+from repro.target.registry import (
+    artifact_path,
+    available_targets,
+    clear_caches,
+    get_target,
+)
 from repro.target.specs import (
     TARGET_CONFIGS,
     SpecEntry,
@@ -15,13 +33,22 @@ from repro.target.specs import (
 )
 
 __all__ = [
+    "ARTIFACT_SCHEMA",
+    "ArtifactError",
     "TARGET_CONFIGS",
     "SpecEntry",
     "TargetDesc",
     "TargetInstruction",
+    "artifact_path",
     "available_targets",
     "baseline_fabs_entries",
     "build_instruction",
     "build_spec_entries",
+    "clear_caches",
+    "generate_artifact",
     "get_target",
+    "load_artifact",
+    "spec_content_hash",
+    "target_from_artifact",
+    "write_artifact",
 ]

@@ -106,6 +106,14 @@ class ComputePack(Pack):
         self._values = tuple(
             m.live_out if m is not None else None for m in matches
         )
+        # Every scalar is produced by exactly one pack lane: a pack whose
+        # lanes repeat a live-out would compute the same value twice and
+        # has no consistent lowering (codegen maps value -> (pack, lane)).
+        produced = [id(v) for v in self._values if v is not None]
+        if len(set(produced)) != len(produced):
+            raise InvalidPack(
+                f"{inst.name}: the same value is produced by two lanes"
+            )
         self._operands = self._compute_operands()
 
     def _compute_operands(self) -> List[OperandVector]:

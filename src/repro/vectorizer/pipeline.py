@@ -81,6 +81,7 @@ def vectorize(
     sanitize: bool = False,
     tracer=None,
     counters: Optional[Counters] = None,
+    passes: Optional[List[str]] = None,
 ) -> VectorizationResult:
     """Vectorize one straight-line function.
 
@@ -100,7 +101,52 @@ def vectorize(
     ``result.trace`` / ``result.counters``.  Both are off by default and
     never perturb the compilation: with or without them, the emitted
     program and costs are identical.
+
+    This is a thin wrapper over a one-shot
+    :class:`repro.session.VectorizationSession` running the default
+    :mod:`repro.passes` pipeline.  ``passes`` selects a custom pipeline
+    by registry names (e.g. ``["canonicalize", "select-packs",
+    "codegen"]``); reusing a session amortizes setup across many
+    functions.
     """
+    from repro.passes import build_pipeline
+    from repro.session import VectorizationSession
+
+    pipeline = None
+    if passes is not None:
+        pipeline = build_pipeline(passes,
+                                  canonicalize_input=canonicalize_input)
+    session = VectorizationSession(
+        target=target,
+        beam_width=beam_width,
+        canonicalize_patterns=canonicalize_patterns,
+        canonicalize_input=canonicalize_input,
+        reassociate=reassociate,
+        cost_model=cost_model,
+        config=config,
+        sanitize=sanitize,
+        pipeline=pipeline,
+    )
+    return session.vectorize(function, tracer=tracer, counters=counters)
+
+
+def _legacy_vectorize(
+    function: Function,
+    target: Union[str, TargetDesc] = "avx2",
+    beam_width: int = 64,
+    canonicalize_patterns: bool = True,
+    canonicalize_input: bool = True,
+    reassociate: bool = False,
+    cost_model: Optional[CostModel] = None,
+    config: Optional[VectorizerConfig] = None,
+    sanitize: bool = False,
+    tracer=None,
+    counters: Optional[Counters] = None,
+) -> VectorizationResult:
+    """The pre-pass-manager monolithic pipeline, kept verbatim as the
+    differential-testing oracle (``tests/test_passes_differential.py``
+    asserts ``vectorize()`` matches it byte-for-byte on every bundled
+    kernel and target)."""
     obs_on = tracer is not None or counters is not None
     if tracer is None:
         tracer = NULL_TRACER

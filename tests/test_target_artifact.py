@@ -1,0 +1,227 @@
+"""The serialized offline phase: ``repro.target.artifact``.
+
+Covers the PR 4 artifact contract end-to-end: determinism (two
+generations are byte-identical), round-trip equivalence (an
+artifact-loaded target is pattern-for-pattern identical to a
+pseudocode-built one), staleness invalidation (a changed spec inventory
+is rejected and the registry silently falls back to the pseudocode
+build), and the cold-load speedup the whole layer exists for.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+import repro.target.registry as registry
+from repro.target.artifact import (
+    ArtifactError,
+    dumps_artifact,
+    generate_artifact,
+    load_artifact,
+    spec_content_hash,
+    target_from_artifact,
+    validate_artifact,
+    write_artifact,
+)
+from repro.target.isa import build_instruction
+from repro.target.specs import build_spec_entries
+from repro.vidl import format_inst_desc
+
+
+@pytest.fixture(scope="module")
+def artifact_doc():
+    return generate_artifact()
+
+
+@pytest.fixture(autouse=True)
+def _isolate_registry():
+    """Every test here starts and ends with a cold registry."""
+    registry.clear_caches()
+    yield
+    registry.clear_caches()
+
+
+def test_generation_is_deterministic(artifact_doc):
+    again = generate_artifact()
+    assert dumps_artifact(artifact_doc) == dumps_artifact(again)
+
+
+def test_committed_artifact_is_fresh_and_identical(artifact_doc):
+    """The artifact checked into the repo matches a regeneration
+    byte-for-byte (the invariant ``repro gen --check`` gates in CI)."""
+    path = registry.DEFAULT_ARTIFACT_PATH
+    assert os.path.exists(path), "run `repro gen` and commit the result"
+    with open(path) as handle:
+        on_disk = handle.read()
+    assert json.loads(on_disk)["spec_hash"] == spec_content_hash()
+    assert on_disk == dumps_artifact(artifact_doc)
+
+
+@pytest.mark.parametrize("name", ["sse4", "avx2", "avx512_vnni"])
+def test_round_trip_equivalence(artifact_doc, name):
+    """Artifact-loaded target == pseudocode-built target, instruction by
+    instruction and pattern by pattern."""
+    built = registry._build_target(name, canonicalize_patterns=True)
+    loaded = target_from_artifact(artifact_doc, name)
+    assert [i.name for i in loaded.instructions] == \
+        [i.name for i in built.instructions]
+    assert loaded.extensions == built.extensions
+    for got, want in zip(loaded.instructions, built.instructions):
+        assert format_inst_desc(got.desc) == format_inst_desc(want.desc)
+        assert [op.key() for op in got.match_ops] == \
+            [op.key() for op in want.match_ops]
+        assert got.cost == want.cost
+        assert got.requires == want.requires
+        assert got.spec_text == want.spec_text
+
+
+def test_registry_loads_from_artifact(tmp_path, monkeypatch, artifact_doc):
+    path = tmp_path / "artifact.json"
+    write_artifact(artifact_doc, str(path))
+    monkeypatch.setenv(registry.ARTIFACT_ENV_VAR, str(path))
+    registry.clear_caches()
+    target = registry.get_target("avx2")
+    # The artifact path never populates the per-instruction build cache.
+    assert not registry._inst_cache
+    assert target.name == "avx2"
+    assert len(target.instructions) > 0
+
+
+def test_registry_falls_back_when_artifact_stale(tmp_path, monkeypatch,
+                                                 artifact_doc):
+    doc = json.loads(dumps_artifact(artifact_doc))
+    doc["spec_hash"] = "0" * 64  # simulate an edited spec inventory
+    path = tmp_path / "stale.json"
+    path.write_text(json.dumps(doc))
+    monkeypatch.setenv(registry.ARTIFACT_ENV_VAR, str(path))
+    registry.clear_caches()
+
+    with pytest.raises(ArtifactError, match="stale"):
+        load_artifact(str(path))
+    load_artifact(str(path), check_fresh=False)  # shape is still valid
+
+    # get_target silently falls back to the pseudocode build.
+    target = registry.get_target("sse4")
+    assert registry._inst_cache  # the build path ran
+    assert target.name == "sse4"
+
+
+def test_registry_ignores_ablation_artifact(tmp_path, monkeypatch,
+                                            artifact_doc):
+    """An artifact generated with canonicalize_patterns=False must never
+    be used for default get_target calls."""
+    doc = json.loads(dumps_artifact(artifact_doc))
+    doc["canonicalize_patterns"] = False
+    path = tmp_path / "ablation.json"
+    path.write_text(json.dumps(doc))
+    monkeypatch.setenv(registry.ARTIFACT_ENV_VAR, str(path))
+    registry.clear_caches()
+    registry.get_target("sse4")
+    assert registry._inst_cache  # pseudocode path, not the artifact
+
+
+def test_artifact_disabled_via_env(monkeypatch):
+    monkeypatch.setenv(registry.ARTIFACT_ENV_VAR, "off")
+    assert registry.artifact_path() is None
+    registry.clear_caches()
+    registry.get_target("sse4")
+    assert registry._inst_cache
+
+
+def test_spec_hash_tracks_inventory_changes():
+    entries = build_spec_entries()
+    baseline = spec_content_hash(entries)
+    assert baseline == spec_content_hash(entries)  # stable
+    mutated = list(entries)
+    mutated[0] = type(entries[0])(
+        name=entries[0].name,
+        text=entries[0].text + "\n// edited",
+        requires=entries[0].requires,
+        inv_throughput=entries[0].inv_throughput,
+    )
+    assert spec_content_hash(mutated) != baseline
+
+
+def test_validate_rejects_malformed():
+    with pytest.raises(ArtifactError, match="JSON object"):
+        validate_artifact([])
+    with pytest.raises(ArtifactError, match="schema"):
+        validate_artifact({"schema": "bogus"})
+    doc = {"schema": "repro-target-artifact/v1"}
+    with pytest.raises(ArtifactError, match="missing field"):
+        validate_artifact(doc)
+
+
+def test_unknown_target_name(artifact_doc):
+    with pytest.raises(KeyError, match="unknown target"):
+        target_from_artifact(artifact_doc, "mmx")
+
+
+def test_cold_load_is_10x_faster_than_build(artifact_doc, tmp_path,
+                                            monkeypatch):
+    """The acceptance criterion: a cold ``get_target("avx512_vnni")``
+    from a fresh artifact is >= 10x faster than the pseudocode build.
+
+    Both sides are measured truly cold (cleared registry, including the
+    cross-target instruction cache) on the same machine in the same
+    process; the artifact load is ~ms and the build ~seconds, so the
+    10x bar has an order of magnitude of slack.  The load side takes
+    the best of three cold runs: scheduler/GC hiccups can only inflate
+    a measurement, and a single spiked load under a busy test machine
+    must not fail the bound.
+    """
+    path = tmp_path / "artifact.json"
+    write_artifact(artifact_doc, str(path))
+
+    monkeypatch.setenv(registry.ARTIFACT_ENV_VAR, "off")
+    registry.clear_caches()
+    start = time.perf_counter()
+    built = registry.get_target("avx512_vnni")
+    build_s = time.perf_counter() - start
+
+    monkeypatch.setenv(registry.ARTIFACT_ENV_VAR, str(path))
+    load_s = float("inf")
+    for _ in range(3):
+        registry.clear_caches()
+        start = time.perf_counter()
+        loaded = registry.get_target("avx512_vnni")
+        load_s = min(load_s, time.perf_counter() - start)
+
+    assert [i.name for i in loaded.instructions] == \
+        [i.name for i in built.instructions]
+    assert load_s * 10 <= build_s, (
+        f"artifact load {load_s * 1e3:.1f}ms vs pseudocode build "
+        f"{build_s * 1e3:.1f}ms: less than the required 10x"
+    )
+
+
+def test_build_instruction_pool_indices_match(artifact_doc):
+    """Serialized lane/match op pool indices stay in range and resolve
+    (guards the compact per-instruction operation pool encoding)."""
+    for name, data in artifact_doc["instructions"].items():
+        pool_size = len(data["ops"])
+        for entry in data["lane_ops"]:
+            assert 0 <= entry["op"] < pool_size
+        for idx in data["match_ops"]:
+            assert 0 <= idx < pool_size
+
+
+def test_single_instruction_round_trip():
+    """Spot-check one non-SIMD instruction through json and back."""
+    from repro.target.artifact import (
+        _instruction_from_json,
+        _instruction_to_json,
+    )
+
+    entries = {e.name: e for e in build_spec_entries()}
+    entry = entries["pmaddwd_128"]
+    built = build_instruction(entry.name, entry.text, entry.requires,
+                              entry.inv_throughput)
+    data = json.loads(json.dumps(_instruction_to_json(built)))
+    restored = _instruction_from_json(entry.name, data)
+    assert format_inst_desc(restored.desc) == format_inst_desc(built.desc)
+    assert [op.key() for op in restored.match_ops] == \
+        [op.key() for op in built.match_ops]
+    assert restored.cost == built.cost

@@ -67,6 +67,20 @@ class TestPacks:
         flat = {id(e) for op in operands for e in op}
         assert flat == {id(l) for l in loads}
 
+    def test_compute_pack_rejects_duplicate_lane(self):
+        # Regression: a pack whose lanes repeat a live-out computes the
+        # same value twice and has no consistent lowering (codegen maps
+        # value -> (pack, lane)); such packs used to slip through the
+        # search's bitmask bookkeeping and crash codegen.
+        ctx, adds, loads = make_dot_context()
+        packs = producers_for_operand(adds, ctx)
+        pack = next(p for p in packs if isinstance(p, ComputePack))
+        matches = list(pack.matches)
+        live = next(m for m in matches if m is not None)
+        dup = [live if m is not None else None for m in matches]
+        with pytest.raises(InvalidPack, match="two lanes"):
+            ComputePack(pack.inst, dup)
+
     def test_load_pack_requires_contiguity(self):
         ctx, adds, loads = make_dot_context()
         a_loads = loads[:4]
