@@ -10,7 +10,7 @@ vectorization result.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.analysis.diagnostics import Diagnostic

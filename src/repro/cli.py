@@ -254,7 +254,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     try:
         doc = run_bench(kernel_names=kernel_names, targets=targets,
                         beam_width=args.beam_width, progress=progress,
-                        jobs=args.jobs)
+                        jobs=args.jobs, profile_top=args.profile)
     except KeyError as exc:
         print(f"bench: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -412,6 +412,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fan the kernel x target cells over N worker "
                         "processes (default 1: serial); the merged "
                         "document is identical apart from wall times")
+    p.add_argument("--profile", type=int, nargs="?", const=15, default=0,
+                   metavar="N",
+                   help="run each cell under cProfile and record its top "
+                        "N functions by cumulative time in the bench "
+                        "document (default N: 15); profiled wall times "
+                        "carry tracing overhead")
     p.add_argument("--out", default="BENCH_vegen.json",
                    help="output path (default: BENCH_vegen.json)")
     p.add_argument("--compare", default=None, metavar="OLD.json",

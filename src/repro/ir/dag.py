@@ -42,6 +42,12 @@ class DependenceGraph:
         }
         self._direct: List[int] = [0] * len(self.instructions)
         self._closure: List[int] = [0] * len(self.instructions)
+        # (base, offset) per memory access, resolved once at build time.
+        # The graph is built after canonicalization and the function is
+        # frozen for its lifetime, so callers on the packing hot paths
+        # (load-pack recognition, the shuffle special cases) read this
+        # instead of re-walking GEP chains.
+        self._locations: Dict[int, Tuple[Optional[Value], int]] = {}
         self._build()
 
     # -- construction -------------------------------------------------------
@@ -54,6 +60,8 @@ class DependenceGraph:
                 j = self._index.get(id(op))
                 if j is not None:
                     deps |= 1 << j
+            if inst.is_memory:
+                self._locations[id(inst)] = _access_location(inst)
             if inst.is_memory or inst.opcode == Opcode.RET:
                 deps |= self._memory_deps(i, inst, accesses)
             if inst.is_memory:
@@ -76,10 +84,15 @@ class DependenceGraph:
                 if isinstance(prev, StoreInst):
                     deps |= 1 << j
             return deps
+        locations = self._locations
+        base_a, off_a = locations[id(inst)]
         for j, prev in accesses:
             if inst.opcode == Opcode.LOAD and prev.opcode == Opcode.LOAD:
                 continue  # loads never conflict
-            if _may_alias(inst, prev):
+            base_b, off_b = locations[id(prev)]
+            if base_a is None or base_b is None:
+                deps |= 1 << j  # unresolvable: be conservative
+            elif base_a is base_b and off_a == off_b:
                 deps |= 1 << j
         return deps
 
@@ -104,18 +117,32 @@ class DependenceGraph:
         return bool(self._closure[ia] & (1 << ib))
 
     def independent(self, values: Sequence[Value]) -> bool:
-        """True if no value in the list depends on another in the list."""
-        indices = []
+        """True if no value in the list depends on another in the list.
+
+        One pass: a closure bitset never contains its own index (the
+        block is a DAG), so "some value depends on another in the list"
+        is exactly "the union of closures intersects the list's bits".
+        """
+        index = self._index
+        closures = self._closure
+        union = 0
+        bits = 0
         for v in values:
-            i = self._index.get(id(v))
+            i = index.get(id(v))
             if i is not None:
-                indices.append(i)
-        for i in indices:
-            closure = self._closure[i]
-            for j in indices:
-                if i != j and closure & (1 << j):
-                    return False
-        return True
+                bits |= 1 << i
+                union |= closures[i]
+        return not (union & bits)
+
+    def access_location(self, inst: Instruction
+                        ) -> Tuple[Optional[Value], int]:
+        """(base, element offset) of a memory access, from the build-time
+        cache; falls back to resolving on the fly for out-of-block
+        accesses (which cannot occur for packs over this function)."""
+        cached = self._locations.get(id(inst))
+        if cached is not None:
+            return cached
+        return _access_location(inst)
 
     def dependence_set(self, value: Value) -> int:
         """Bitset of instruction indices ``value`` transitively depends on."""

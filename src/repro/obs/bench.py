@@ -46,12 +46,18 @@ DEFAULT_COST_TOLERANCE = 0.01
 
 def bench_one(kernel_name: str, function, target: str,
               beam_width: int = DEFAULT_BEAM_WIDTH,
-              session=None) -> Dict:
+              session=None, profile_top: int = 0) -> Dict:
     """Benchmark one (kernel, target) cell with observability enabled.
 
     ``session`` (a :class:`repro.session.VectorizationSession`) lets the
     serial harness amortize target/pipeline setup across cells; omitted,
     a one-shot session is created (identical output either way).
+
+    ``profile_top > 0`` runs the cell under :mod:`cProfile` and records
+    the top-N functions by cumulative time in a ``profile`` list next to
+    ``phases`` (``repro bench --profile``).  Profiling adds tracing
+    overhead, so profiled wall times are not comparable to unprofiled
+    runs — model costs and counters are unaffected.
     """
     from repro.obs.counters import Counters
     from repro.obs.trace import Tracer
@@ -62,15 +68,23 @@ def bench_one(kernel_name: str, function, target: str,
                                        beam_width=beam_width)
     tracer = Tracer()
     counters = Counters()
+    profiler = None
+    if profile_top > 0:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     start = time.perf_counter()
     result = session.vectorize(function, tracer=tracer,
                                counters=counters)
     wall_s = time.perf_counter() - start
+    if profiler is not None:
+        profiler.disable()
     phases = tracer.phase_times()
     phases.pop("vectorize", None)  # the root duplicates wall_s
     scalar = result.scalar_cost
     vector = result.cost.total
-    return {
+    cell = {
         "kernel": kernel_name,
         "target": target,
         "vectorized": result.vectorized,
@@ -83,9 +97,35 @@ def bench_one(kernel_name: str, function, target: str,
                    for name, dur in sorted(phases.items())},
         "counters": counters.as_dict(),
     }
+    if profiler is not None:
+        cell["profile"] = _top_profile_entries(profiler, profile_top)
+    return cell
 
 
-def _bench_cell(task: Tuple[str, str, int]) -> Dict:
+def _top_profile_entries(profiler, top: int) -> List[Dict]:
+    """The profiler's top-``top`` functions by cumulative time.
+
+    Each entry is ``{"function", "ncalls", "tottime", "cumtime"}`` with
+    the function named ``file:line(name)`` (paths trimmed to the last
+    two components so documents are machine-independent-ish)."""
+    import pstats
+
+    stats = pstats.Stats(profiler)
+    entries = []
+    for (filename, lineno, name), (cc, nc, tt, ct, _callers) in \
+            stats.stats.items():  # type: ignore[attr-defined]
+        short = "/".join(filename.replace("\\", "/").split("/")[-2:])
+        entries.append({
+            "function": f"{short}:{lineno}({name})",
+            "ncalls": nc,
+            "tottime": round(tt, 6),
+            "cumtime": round(ct, 6),
+        })
+    entries.sort(key=lambda e: (-e["cumtime"], e["function"]))
+    return entries[:top]
+
+
+def _bench_cell(task: Tuple[str, str, int, int]) -> Dict:
     """Process-pool worker: benchmark one (kernel, target) cell.
 
     Takes only picklable names — each worker process rebuilds the kernel
@@ -93,22 +133,26 @@ def _bench_cell(task: Tuple[str, str, int]) -> Dict:
     no IR or target state ever crosses the process boundary."""
     from repro.kernels import all_kernels
 
-    kernel_name, target, beam_width = task
+    kernel_name, target, beam_width, profile_top = task
     return bench_one(kernel_name, all_kernels()[kernel_name], target,
-                     beam_width)
+                     beam_width, profile_top=profile_top)
 
 
 def run_bench(kernel_names: Optional[Sequence[str]] = None,
               targets: Sequence[str] = DEFAULT_TARGETS,
               beam_width: int = DEFAULT_BEAM_WIDTH,
               progress: Optional[Callable[[str], None]] = None,
-              jobs: int = 1) -> Dict:
+              jobs: int = 1, profile_top: int = 0) -> Dict:
     """Run the kernel × target matrix; returns the bench document.
 
     ``jobs > 1`` fans the cells out over a ``ProcessPoolExecutor``.
     Results are merged back in the serial (target-outer, kernel-inner)
     order, so the document is identical to a ``jobs=1`` run except for
-    wall times and the recorded ``jobs`` value."""
+    wall times and the recorded ``jobs`` value.
+
+    ``profile_top > 0`` profiles every cell under :mod:`cProfile` and
+    records each cell's top-N cumulative functions (see
+    :func:`bench_one`)."""
     from repro import __version__
     from repro.kernels import all_kernels
 
@@ -124,7 +168,7 @@ def run_bench(kernel_names: Optional[Sequence[str]] = None,
             )
         selected = list(kernel_names)
 
-    tasks = [(name, target, beam_width)
+    tasks = [(name, target, beam_width, profile_top)
              for target in targets for name in selected]
     total_start = time.perf_counter()
     if jobs > 1 and len(tasks) > 1:
@@ -141,7 +185,7 @@ def run_bench(kernel_names: Optional[Sequence[str]] = None,
 
         results = []
         sessions: Dict[Tuple[str, int], object] = {}
-        for name, target, width in tasks:
+        for name, target, width, top in tasks:
             if progress is not None:
                 progress(f"bench {name} on {target}")
             key = (target, width)
@@ -150,7 +194,7 @@ def run_bench(kernel_names: Optional[Sequence[str]] = None,
                                                      beam_width=width)
             results.append(
                 bench_one(name, kernels[name], target, width,
-                          session=sessions[key])
+                          session=sessions[key], profile_top=top)
             )
     total_wall = time.perf_counter() - total_start
 
@@ -226,6 +270,20 @@ def validate_bench(doc: Dict) -> None:
         for name, value in result["counters"].items():
             if not isinstance(name, str) or not isinstance(value, int):
                 raise ValueError(f"results[{i}].counters malformed")
+        if "profile" in result:  # optional: present under --profile
+            if not isinstance(result["profile"], list):
+                raise ValueError(f"results[{i}].profile must be a list")
+            for j, entry in enumerate(result["profile"]):
+                if not isinstance(entry, dict) or \
+                        not isinstance(entry.get("function"), str) or \
+                        not isinstance(entry.get("ncalls"), int) or \
+                        not isinstance(entry.get("tottime"),
+                                       (int, float)) or \
+                        not isinstance(entry.get("cumtime"),
+                                       (int, float)):
+                    raise ValueError(
+                        f"results[{i}].profile[{j}] malformed"
+                    )
     seen = set()
     for result in doc["results"]:
         key = (result["kernel"], result["target"])

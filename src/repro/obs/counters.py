@@ -39,8 +39,14 @@ COUNTER_NAMES = frozenset({
     "beam.solved_improvements",   # times the incumbent solution improved
     "beam.tt_hits",               # re-derived states dropped by the
                                   # transposition table
+    "beam.incumbent_prunes",      # children/parents/rollouts dropped
+                                  # because g already met the incumbent
+    "beam.apply_reject_hits",     # pack applications rejected from the
+                                  # masked feasibility memo
+    "beam.seed_skips",            # seed packs skipped by the liveness
+                                  # index before _apply_pack
     # search-layer memoization (SLP estimator + heuristic)
-    "slp.estimate_hits",          # memoized estimate/slice-cost lookups
+    "slp.estimate_hits",          # memoized completion-cost lookups
     # producer enumeration (Algorithm 1)
     "producers.cache_hits",       # memoized operand lookups served
     "producers.cache_misses",     # operand enumerations actually run

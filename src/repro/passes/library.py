@@ -9,7 +9,7 @@ custom pipelines from the same registry.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Sequence
 
 from repro.passes.manager import ALL, Pass, PassPipeline, PipelineState
 

@@ -16,6 +16,7 @@ invalidation under the ``passes.*`` counters.
 
 from __future__ import annotations
 
+import weakref
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, \
     Tuple, Union
 
@@ -112,8 +113,24 @@ class AnalysisCache:
     """
 
     def __init__(self, state: PipelineState):
-        self._state = state
+        # Weakly referencing the owning state breaks the
+        # PipelineState <-> AnalysisCache reference cycle.  The cache is
+        # only ever reached *through* the state, so the referent cannot
+        # disappear while a method runs — and without the cycle a
+        # finished run's entire analysis graph (context, dependence
+        # bitsets, estimator memos) is reclaimed by refcounting instead
+        # of lingering until a full gen-2 cyclic collection.
+        self._state_ref = weakref.ref(state)
         self._cache: Dict[str, object] = {}
+
+    @property
+    def _state(self) -> PipelineState:
+        state = self._state_ref()
+        if state is None:
+            raise ReferenceError(
+                "AnalysisCache used after its PipelineState was collected"
+            )
+        return state
 
     def get(self, key: str):
         if key in self._cache:

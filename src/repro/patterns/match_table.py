@@ -79,9 +79,50 @@ class MatchTable:
         self.function = function
         self.index = index
         self.counters = counters if counters is not None else NULL_COUNTERS
-        self._table: Dict[Tuple[int, OpKey], List[Match]] = {}
+        self._table: Dict[Tuple[int, int], List[Match]] = {}
         self._by_value: Dict[int, List[Match]] = {}
+        # Operations interned to small integer tokens.  lookup() was
+        # rebuilding — and the table dict re-hashing — the recursive
+        # structural key on every call, the hottest leaf of producer
+        # enumeration; now each distinct Operation object pays for one
+        # structural key exactly once (id-keyed, the value pins the
+        # operation so its id cannot be reused), and structurally equal
+        # operations map to the same token via ``_token_by_key``.
+        self._op_tokens: Dict[int, Tuple[Operation, int]] = {}
+        self._token_by_key: Dict[OpKey, int] = {}
+        self._lane_signatures: Dict[int, Tuple[object, Tuple[int, ...]]] \
+            = {}
         self._build()
+        # Raw cell accessor for the producer-enumeration hot loop: call
+        # with ``(value id, operation token)``; returns the match list or
+        # None.  Callers that use it count their probes into
+        # ``matcher.table_lookups`` in bulk, keeping the counter's
+        # meaning identical to per-call lookup().
+        self.probe = self._table.get
+
+    def _operation_token(self, operation: Operation) -> int:
+        entry = self._op_tokens.get(id(operation))
+        if entry is not None:
+            return entry[1]
+        key = operation.key()
+        token = self._token_by_key.setdefault(key,
+                                              len(self._token_by_key))
+        self._op_tokens[id(operation)] = (operation, token)
+        return token
+
+    def lane_signature(self, vinst) -> Tuple[int, ...]:
+        """The per-lane operation tokens of a target instruction.
+
+        Producer enumeration uses this as a memo key: two instructions
+        with the same signature have identical per-lane match vectors
+        for any operand, so their table lookups can be shared.  Cached
+        by instruction identity (the value pins the instruction)."""
+        entry = self._lane_signatures.get(id(vinst))
+        if entry is not None:
+            return entry[1]
+        sig = tuple(self._operation_token(op) for op in vinst.match_ops)
+        self._lane_signatures[id(vinst)] = (vinst, sig)
+        return sig
 
     def _build(self) -> None:
         for inst in self.function.entry:
@@ -93,14 +134,16 @@ class MatchTable:
                                           counters=self.counters)
                 if not matches:
                     continue
-                key = (id(inst), operation.key())
+                key = (id(inst), self._operation_token(operation))
                 self._table[key] = matches
                 self._by_value.setdefault(id(inst), []).extend(matches)
 
     def lookup(self, value: Value, operation: Operation) -> List[Match]:
         """All matches with the given live-out implementing ``operation``."""
         self.counters.inc("matcher.table_lookups")
-        return self._table.get((id(value), operation.key()), [])
+        return self._table.get(
+            (id(value), self._operation_token(operation)), []
+        )
 
     def matches_for_value(self, value: Value) -> List[Match]:
         return self._by_value.get(id(value), [])

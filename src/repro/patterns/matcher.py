@@ -153,7 +153,7 @@ def _match(expr: OpExpr, value: Value, bindings: _Bindings,
 def _match_const_through_cast(expr: OpNode, value: Constant,
                               bindings: _Bindings) -> Iterator[None]:
     from repro.ir.types import IntType
-    from repro.utils.intmath import mask, to_signed
+    from repro.utils.intmath import to_signed
 
     if expr.opcode not in (Opcode.SEXT, Opcode.ZEXT):
         return
@@ -242,19 +242,24 @@ def _match_all(exprs, values, bindings: _Bindings) -> Iterator[None]:
     per combination of sub-matches."""
     if len(exprs) != len(values):
         return
-
-    def recurse(i: int) -> Iterator[None]:
-        if i == len(exprs):
-            yield
-            return
-        for _ in _match(exprs[i], values[i], bindings):
-            yield from recurse(i + 1)
-
     state = bindings.snapshot()
     count = 0
-    for _ in recurse(0):
+    for _ in _match_from(exprs, values, 0, bindings):
         yield
         count += 1
         if count >= MAX_MATCHES_PER_ROOT * 4:
             break
     bindings.restore(state)
+
+
+def _match_from(exprs, values, i: int,
+                bindings: _Bindings) -> Iterator[None]:
+    # Module-level recursion on purpose: a nested ``recurse`` closure is
+    # a reference cycle (its cell holds the function itself), and the
+    # matcher runs often enough that those cycles dominated the cyclic
+    # collector's workload.
+    if i == len(exprs):
+        yield
+        return
+    for _ in _match(exprs[i], values[i], bindings):
+        yield from _match_from(exprs, values, i + 1, bindings)

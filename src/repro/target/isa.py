@@ -8,8 +8,8 @@ the match patterns the online vectorizer consumes (§3–§4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.ir.types import Type
 from repro.patterns.canonicalize import canonicalize_operation
@@ -53,19 +53,30 @@ class TargetDesc:
         self.by_name: Dict[str, TargetInstruction] = {
             inst.name: inst for inst in self.instructions
         }
-        self._by_shape: Dict[Tuple[int, Type], List[TargetInstruction]] = {}
+        by_shape: Dict[Tuple[int, Type], List[TargetInstruction]] = {}
         for inst in self.instructions:
             key = (inst.desc.num_lanes, inst.desc.out_elem_type)
-            self._by_shape.setdefault(key, []).append(inst)
+            by_shape.setdefault(key, []).append(inst)
+        # Frozen to tuples: instructions_for_shape is called once per
+        # distinct operand on the enumeration hot path and hands the
+        # shared sequence out directly instead of copying.
+        self._by_shape: Dict[Tuple[int, Type], Tuple[TargetInstruction,
+                                                     ...]] = {
+            key: tuple(insts) for key, insts in by_shape.items()
+        }
         self._operation_index: Optional[OperationIndex] = None
 
     def get(self, name: str) -> TargetInstruction:
         return self.by_name[name]
 
     def instructions_for_shape(self, lanes: int,
-                               elem_type: Type) -> List[TargetInstruction]:
-        """All instructions producing ``lanes`` lanes of ``elem_type``."""
-        return list(self._by_shape.get((lanes, elem_type), ()))
+                               elem_type: Type
+                               ) -> Tuple[TargetInstruction, ...]:
+        """All instructions producing ``lanes`` lanes of ``elem_type``.
+
+        The returned tuple is the shared internal sequence — do not
+        mutate (it is handed out without a copy on the hot path)."""
+        return self._by_shape.get((lanes, elem_type), ())
 
     @property
     def vector_lane_counts(self) -> FrozenSet[int]:

@@ -18,12 +18,36 @@ costs of ``S``.
 Beam width 1 *is* the SLP heuristic; larger widths let the search keep
 costly-but-ultimately-profitable packs alive (the idct4 shuffles of
 Figure 12).
+
+The search is engineered as a bounded branch-and-bound engine:
+
+* **Per-pack transition precomputation** — everything ``_apply_pack``
+  reads that does not depend on the state (produced-value bitsets, user
+  bitsets, op costs, operand classification, interior covered indices)
+  is computed once per pack and reused across every state of every
+  iteration.  Pure caching: bit-identical by construction.
+* **Seed liveness indexing** — seed packs are indexed by their produced
+  bitsets, so a decided instruction kills exactly the seeds it
+  invalidates and ``expand`` never re-tries them (``beam.seed_skips``).
+  Rejected pack applications are additionally memoized on the masked
+  free-set key (``beam.apply_reject_hits``); feasibility depends only on
+  ``free & (vbits | users)``, so the memo is exact.
+* **Incumbent pruning + lazy child scoring**
+  (``VectorizerConfig(prune=True)``, default on) — transition costs are
+  non-negative, so a child whose ``g`` already meets the incumbent
+  solved cost is dominated along with all its descendants and is dropped
+  before completion, heuristic, and rollout
+  (``beam.incumbent_prunes``); children are ranked by ``g + h`` first
+  and only beam survivors (plus children whose ``f`` beats the
+  incumbent) are completed, so completion work scales with the beam
+  width instead of the branching factor.  The returned cost is never
+  worse than the unpruned search's (``tests/test_prune_differential``);
+  ``prune=False`` restores the exhaustive scoring path exactly.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
+import gc
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
@@ -38,6 +62,14 @@ from repro.vectorizer.producers import producers_for_operand
 from repro.vectorizer.seeds import affinity_seed_tuples, store_seed_packs
 from repro.vectorizer.slp import INFINITY, SLPCostEstimator
 from repro.vidl.interp import DONT_CARE
+
+#: Operand classification in the per-pack apply table: an operand with no
+#: in-block elements (constants/arguments, materialized directly), a
+#: broadcast operand (one scalar, splatted), or a regular operand that is
+#: registered into V.
+_OP_IMMEDIATE = 0
+_OP_BROADCAST = 1
+_OP_REGISTER = 2
 
 
 @dataclass(frozen=True)
@@ -76,6 +108,8 @@ class BeamSearch:
         # operand tuples are stable objects, so the steady-state lookup
         # never rebuilds a key tuple.
         self._memoize = ctx.config.memoize
+        # Incumbent pruning + lazy child scoring (config.prune).
+        self._prune = ctx.config.prune
         # id(operand) -> (operand, operand_bits, {free & operand_bits:
         # residual}).  Masking free to the operand's own bits collapses
         # the many frees that agree on the operand's lanes onto one
@@ -92,13 +126,50 @@ class BeamSearch:
         # made a full-key memo useless.
         self._estimate_memo: Dict[Tuple, Tuple] = {}
         self._completion_memo: Dict[Tuple, float] = {}
+        # Per-operand completion term, keyed like the estimate memo:
+        # (id(residual), free & closure, counted & closure) ->
+        # (term cost, slice bits).  Everything the term reads lives in
+        # the residual's backward closure, so the masked key is exact.
+        self._completion_term_memo: Dict[Tuple, Tuple] = {}
+        # operand key -> {id(element): occurrence count}; _apply_scalar_fix
+        # charges one insert per occurrence of the fixed instruction in
+        # each live operand, and scanning lanes per fix per key is the
+        # hottest part of scalar-fix expansion.
+        self._operand_elem_counts: Dict[Tuple, Dict[int, int]] = {}
         #: Transposition table: best g seen per SearchState.identity().
         #: Re-derived states (same V/S/F at equal-or-worse g) are dropped
         #: before completion/rollout — their transitions and completions
         #: are pointwise dominated, so they can never improve the search.
         self._tt: Dict[Tuple, float] = {}
+        # Per-pack transition tables, keyed by pack object identity (the
+        # pack is pinned inside the value, so its id can never be
+        # reused).  Always on: these cache quantities that do not depend
+        # on the search state, so the search path is unchanged.
+        #   feasibility: (pack, vbits, users_bits, mask, reject_memo)
+        self._pack_feas: Dict[int, Tuple] = {}
+        #   application: (pack, op_cost, produced_key, operand_entries,
+        #                 interior_indices, produces_memo); built on a
+        #   pack's first successful application so the operand-registry
+        #   registration order matches the unprecomputed search exactly.
+        self._pack_apply: Dict[int, Tuple] = {}
+        # Candidate packs built by expand() outside the producer cache
+        # (vector-load covers, sub-tuple splits): cached per operand key
+        # so the pack objects are stable and the per-pack tables hit.
+        self._load_packs_cache: Dict[Tuple, List[Pack]] = {}
+        self._subtuple_cache: Dict[Tuple, List[Pack]] = {}
+        # Registration-order sort of a state's operand keys, cached per
+        # frozenset (frozensets cache their hash; order indices never
+        # change once a key is registered, and every key in a state was
+        # registered when the state was built).
+        self._sorted_keys_cache: Dict[FrozenSet, Tuple] = {}
+        # scalar_bits -> union of the scalar set with its backward
+        # closures; children mostly share S, so this repeats heavily
+        # across heuristic and completion calls.
+        self._scalar_slice_memo: Dict[int, int] = {}
         with ctx.tracer.span("seed_enumeration"):
             self._seed_packs = self._enumerate_seed_packs()
+        (self._seed_kill_masks, self._seed_dead_mask,
+         self._seed_vbits_union) = self._index_seeds()
 
     # -- setup -------------------------------------------------------------
 
@@ -128,18 +199,42 @@ class BeamSearch:
                     counters.inc("seeds.affinity_packs")
         return seeds
 
+    def _index_seeds(self) -> Tuple[List[int], int, int]:
+        """Seed liveness index: per instruction, a bitmask over seed-list
+        positions whose produced values (vbits) include it.
+
+        A seed applies only while *all* its produced instructions are
+        still free, so the seeds killed by a state are exactly the union
+        of the kill masks of its decided instructions — computed with
+        one OR per decided bit in ``expand`` instead of one
+        ``_apply_pack`` attempt per seed per state."""
+        kill = [0] * len(self._instructions)
+        dead = 0
+        union = 0
+        for pos, pack in enumerate(self._seed_packs):
+            vbits = self._pack_feasibility(pack)[1]
+            if vbits == 0:
+                dead |= 1 << pos  # can never apply
+                continue
+            union |= vbits
+            remaining = vbits
+            while remaining:
+                index = (remaining & -remaining).bit_length() - 1
+                remaining &= remaining - 1
+                kill[index] |= 1 << pos
+        return kill, dead, union
+
     # -- bitset helpers ------------------------------------------------------------
 
     def _bits_of_values(self, values) -> int:
-        dg = self.ctx.dep_graph
+        index_of = self.ctx.dep_graph._index.get
         bits = 0
         for value in values:
             if value is None or value is DONT_CARE:
                 continue
-            if isinstance(value, (Constant, Argument)):
-                continue
-            if dg.contains(value):
-                bits |= 1 << dg.index(value)
+            i = index_of(id(value))
+            if i is not None:
+                bits |= 1 << i
         return bits
 
     def _operand_bits(self, operand: OperandVector) -> int:
@@ -155,12 +250,97 @@ class BeamSearch:
         if key not in self._operand_registry:
             self._operand_registry[key] = operand
             self._operand_order[key] = len(self._operand_order)
+            if key not in self._operand_bits_cache:
+                self._operand_bits_cache[key] = \
+                    self._bits_of_values(operand)
+            counts: Dict[int, int] = {}
+            for element in operand:
+                if element is not DONT_CARE:
+                    eid = id(element)
+                    counts[eid] = counts.get(eid, 0) + 1
+            self._operand_elem_counts[key] = counts
         return key
 
     def _sorted_keys(self, keys):
         # Deterministic, registration-ordered iteration (frozenset order
         # varies with hash values and must never influence the search).
-        return sorted(keys, key=lambda k: self._operand_order.get(k, 0))
+        cached = self._sorted_keys_cache.get(keys)
+        if cached is None:
+            cached = tuple(
+                sorted(keys, key=lambda k: self._operand_order.get(k, 0))
+            )
+            self._sorted_keys_cache[keys] = cached
+        return cached
+
+    # -- per-pack transition tables ----------------------------------------------------
+
+    def _pack_feasibility(self, pack: Pack) -> Tuple:
+        """(pack, vbits, users_bits, mask, reject_memo) for a pack.
+
+        ``vbits`` and ``users_bits`` do not depend on the state, so they
+        are computed once per pack object; the reject memo caches
+        infeasible applications per masked free set (feasibility reads
+        only ``free & (vbits | users)``, so the masked key is exact)."""
+        info = self._pack_feas.get(id(pack))
+        if info is None:
+            vbits = self._bits_of_values(pack.values())
+            users = 0
+            for value in pack.values():
+                if value is not None:
+                    users |= self._users_bits[self._index(value)]
+            info = (pack, vbits, users, vbits | users, {})
+            self._pack_feas[id(pack)] = info
+        return info
+
+    def _pack_apply_info(self, pack: Pack) -> Tuple:
+        """State-independent transition data, built on a pack's *first
+        successful application* so operand registration happens in
+        exactly the order the unprecomputed search would register."""
+        info = self._pack_apply.get(id(pack))
+        if info is None:
+            op_cost = self.estimator.pack_op_cost(pack)
+            produced_key = self.ctx.operand_key_of(pack.values())
+            entries = []
+            for operand in pack.operands():
+                obits = self._operand_bits(operand)
+                if obits == 0:
+                    entries.append((_OP_IMMEDIATE, 0,
+                                    self._immediate_operand_cost(operand),
+                                    None))
+                    continue
+                real = [e for e in operand if e is not DONT_CARE
+                        and not isinstance(e, (Constant, Argument))]
+                if len({id(e) for e in real}) == 1:
+                    # Broadcast operand (§6.2 special case): produce the
+                    # one scalar and splat it.
+                    entries.append((_OP_BROADCAST, obits,
+                                    self.model.c_broadcast, None))
+                    continue
+                key = self._register_operand(operand)
+                entries.append((_OP_REGISTER, obits,
+                                self._foreign_element_cost(operand), key))
+            info = (pack, op_cost, produced_key, tuple(entries),
+                    self._interior_indices(pack), {})
+            self._pack_apply[id(pack)] = info
+        return info
+
+    def _interior_indices(self, pack: Pack) -> Tuple[int, ...]:
+        """Covered-but-not-produced instruction indices of a compute
+        pack, highest first (users always have higher indices)."""
+        from repro.vectorizer.pack import ComputePack
+
+        if not isinstance(pack, ComputePack):
+            return ()
+        produced = {id(v) for v in pack.values() if v is not None}
+        dg = self.ctx.dep_graph
+        return tuple(sorted(
+            {
+                dg.index(inst)
+                for inst in pack.covered_instructions()
+                if id(inst) not in produced and dg.contains(inst)
+            },
+            reverse=True,
+        ))
 
     # -- initial state -----------------------------------------------------------------
 
@@ -184,7 +364,8 @@ class BeamSearch:
     # -- transitions -------------------------------------------------------------------
 
     def expand(self, state: SearchState) -> List[SearchState]:
-        self.ctx.counters.inc("beam.states_expanded")
+        counters = self.ctx.counters
+        counters.inc("beam.states_expanded")
         children: List[SearchState] = []
         seen_packs = set()
         limit = self.ctx.config.max_transitions_per_state
@@ -195,7 +376,6 @@ class BeamSearch:
             candidate_packs.extend(producers_for_operand(operand, self.ctx))
             candidate_packs.extend(self._load_packs_for(operand))
             candidate_packs.extend(self._subtuple_packs_for(operand))
-        candidate_packs.extend(self._seed_packs)
 
         for pack in candidate_packs:
             if len(children) >= limit:
@@ -208,26 +388,64 @@ class BeamSearch:
             if child is not None:
                 children.append(child)
 
+        # Seed packs, filtered through the liveness index: every decided
+        # instruction kills the seeds whose vbits contain it, so only
+        # still-plausible seeds reach _apply_pack.  Iteration stays in
+        # enumeration order — the skip is a pure filter, so the children
+        # produced (and their order) are unchanged.
+        killed = self._seed_dead_mask
+        decided = self._seed_vbits_union & ~state.free_bits
+        kill_masks = self._seed_kill_masks
+        while decided:
+            index = (decided & -decided).bit_length() - 1
+            decided &= decided - 1
+            killed |= kill_masks[index]
+        skipped = 0
+        for pos, pack in enumerate(self._seed_packs):
+            if (killed >> pos) & 1:
+                skipped += 1
+                continue
+            if len(children) >= limit:
+                break
+            pkey = pack.key()
+            if pkey in seen_packs:
+                continue
+            seen_packs.add(pkey)
+            child = self._apply_pack(state, pack)
+            if child is not None:
+                children.append(child)
+        if skipped:
+            counters.inc("beam.seed_skips", skipped)
+
         for index in self._scalar_fix_candidates(state):
             if len(children) >= limit:
                 break
             children.append(self._apply_scalar_fix(state, index))
-        self.ctx.counters.inc("beam.children_generated", len(children))
+        counters.inc("beam.children_generated", len(children))
         return children
 
     def _load_packs_for(self, operand: OperandVector) -> List[Pack]:
+        key = self.ctx.operand_key_of(operand)
+        cached = self._load_packs_cache.get(key)
+        if cached is None:
+            cached = self._load_packs_uncached(operand)
+            self._load_packs_cache[key] = cached
+        return cached
+
+    def _load_packs_uncached(self, operand: OperandVector) -> List[Pack]:
         """Vector loads covering an operand's load elements even when the
         operand is a permutation, duplication, or interleaving of them —
         the gather then becomes a cheap one- or two-source shuffle (the
         vpunpck pattern of Figure 12)."""
-        from repro.ir.instructions import LoadInst, pointer_base_and_offset
+        from repro.ir.instructions import LoadInst
         from repro.vectorizer.pack import InvalidPack, LoadPack
 
         by_base: Dict[int, Dict[int, object]] = {}
+        location_of = self.ctx.dep_graph.access_location
         for element in operand:
             if not isinstance(element, LoadInst):
                 continue
-            base, offset = pointer_base_and_offset(element.pointer)
+            base, offset = location_of(element)
             if base is None:
                 continue
             by_base.setdefault(id(base), {})[offset] = element
@@ -251,6 +469,15 @@ class BeamSearch:
         return packs
 
     def _subtuple_packs_for(self, operand: OperandVector) -> List[Pack]:
+        key = self.ctx.operand_key_of(operand)
+        cached = self._subtuple_cache.get(key)
+        if cached is None:
+            cached = self._subtuple_packs_uncached(operand)
+            self._subtuple_cache[key] = cached
+        return cached
+
+    def _subtuple_packs_uncached(self,
+                                 operand: OperandVector) -> List[Pack]:
         """Producers for homogeneous sub-tuples of a mixed-shape operand.
 
         An operand like idct4's [e+o, e+o, e-o, e-o, ...] has no single
@@ -258,8 +485,6 @@ class BeamSearch:
         them separately costs one shuffle on the consumer side (§5's
         costshuffle term) and is how the Figure 12 code comes about.
         """
-        from repro.ir.instructions import Instruction
-
         groups: Dict[Tuple, List] = {}
         for element in operand:
             if isinstance(element, Instruction) and element.has_result:
@@ -280,18 +505,24 @@ class BeamSearch:
 
     def _apply_pack(self, state: SearchState,
                     pack: Pack) -> Optional[SearchState]:
-        vbits = self._bits_of_values(pack.values())
-        if vbits == 0 or (vbits & state.free_bits) != vbits:
+        _, vbits, users, mask, reject = self._pack_feasibility(pack)
+        if vbits == 0:
+            return None
+        masked = state.free_bits & mask
+        if masked in reject:
+            self.ctx.counters.inc("beam.apply_reject_hits")
+            return None
+        if (vbits & state.free_bits) != vbits:
+            reject[masked] = True
             return None  # some produced value already decided
-        users = 0
-        for value in pack.values():
-            if value is not None:
-                users |= self._users_bits[self._index(value)]
         if users & state.free_bits:
+            reject[masked] = True
             return None  # an undecided user remains (Fig. 9 side condition)
 
+        (_, op_cost, produced_key, entries, interior,
+         produces_memo) = self._pack_apply_info(pack)
         free_after = state.free_bits & ~vbits
-        delta = self.estimator.pack_op_cost(pack)
+        delta = op_cost
         # costextract(p, S): store packs never pay extraction.
         if not pack.is_store:
             delta += self.model.c_extract * bin(
@@ -299,33 +530,29 @@ class BeamSearch:
             ).count("1")
         # costshuffle(p, V): every live operand that overlaps but is not
         # exactly produced by this pack needs a shuffle.
-        produced_key = self.ctx.operand_key_of(pack.values())
+        bits_of = self._operand_bits_cache
         new_operand_keys = set()
         for key in state.operand_keys:
-            operand = self._operand_registry[key]
-            obits = self._operand_bits(operand)
+            obits = bits_of[key]
             if obits & free_after:
                 new_operand_keys.add(key)  # still unresolved
             if key != produced_key and (obits & vbits):
-                if not self._produces(pack, operand):
+                needs_shuffle = produces_memo.get(key)
+                if needs_shuffle is None:
+                    needs_shuffle = not self._produces(
+                        pack, self._operand_registry[key]
+                    )
+                    produces_memo[key] = needs_shuffle
+                if needs_shuffle:
                     delta += self.model.c_shuffle
 
         scalar_additions = 0
-        for operand in pack.operands():
-            obits = self._operand_bits(operand)
-            if obits == 0:
-                delta += self._immediate_operand_cost(operand)
-                continue
-            real = [e for e in operand if e is not DONT_CARE
-                    and not isinstance(e, (Constant, Argument))]
-            if len({id(e) for e in real}) == 1:
-                # Broadcast operand (§6.2 special case): produce the one
-                # scalar and splat it.
-                delta += self.model.c_broadcast
+        for kind, obits, cost, key in entries:
+            delta += cost
+            if kind == _OP_BROADCAST:
                 scalar_additions |= obits
-                continue
-            delta += self._foreign_element_cost(operand)
-            new_operand_keys.add(self._register_operand(operand))
+            elif kind == _OP_REGISTER:
+                new_operand_keys.add(key)
 
         scalars_after = (state.scalar_bits | scalar_additions) & ~vbits
         # §5.2 / Figure 9 note: a pack like pmaddwd replaces multiple IR
@@ -333,7 +560,7 @@ class BeamSearch:
         # dead code and leave F — unless something still needs them as
         # scalars (an undecided user, membership in S, or an element of a
         # live vector operand).
-        free_after = self._drop_dead_covered(pack, free_after,
+        free_after = self._drop_dead_covered(interior, free_after,
                                              scalars_after,
                                              new_operand_keys)
         return SearchState(
@@ -344,25 +571,14 @@ class BeamSearch:
             state.g + delta,
         )
 
-    def _drop_dead_covered(self, pack: Pack, free_bits: int,
+    def _drop_dead_covered(self, interior: Tuple[int, ...], free_bits: int,
                            scalar_bits: int, operand_keys) -> int:
-        from repro.vectorizer.pack import ComputePack
-
-        if not isinstance(pack, ComputePack):
+        if not interior:
             return free_bits
         needed = scalar_bits
+        bits_of = self._operand_bits_cache
         for key in operand_keys:
-            needed |= self._operand_bits(self._operand_registry[key])
-        produced = {id(v) for v in pack.values() if v is not None}
-        dg = self.ctx.dep_graph
-        interior = sorted(
-            {
-                dg.index(inst)
-                for inst in pack.covered_instructions()
-                if id(inst) not in produced and dg.contains(inst)
-            },
-            reverse=True,  # users always have higher indices
-        )
+            needed |= bits_of[key]
         for index in interior:
             bit = 1 << index
             if not (free_bits & bit) or (needed & bit):
@@ -406,8 +622,9 @@ class BeamSearch:
 
     def _scalar_fix_candidates(self, state: SearchState) -> List[int]:
         needed = state.scalar_bits
+        bits_of = self._operand_bits_cache
         for key in state.operand_keys:
-            needed |= self._operand_bits(self._operand_registry[key])
+            needed |= bits_of[key]
         needed &= state.free_bits
         result = []
         while needed:
@@ -421,15 +638,17 @@ class BeamSearch:
     def _apply_scalar_fix(self, state: SearchState,
                           index: int) -> SearchState:
         inst = self._instructions[index]
+        inst_id = id(inst)
         free_after = state.free_bits & ~(1 << index)
         delta = self.model.scalar_cost(inst)
         # costinsert(i, V): once per occurrence in a live vector operand.
         occurrences = 0
         new_operand_keys = set()
+        bits_of = self._operand_bits_cache
+        elem_counts = self._operand_elem_counts
         for key in state.operand_keys:
-            operand = self._operand_registry[key]
-            occurrences += sum(1 for e in operand if e is inst)
-            if self._operand_bits(operand) & free_after:
+            occurrences += elem_counts[key].get(inst_id, 0)
+            if bits_of[key] & free_after:
                 new_operand_keys.add(key)
         delta += self.model.c_insert * occurrences
 
@@ -491,15 +710,13 @@ class BeamSearch:
         closure is therefore exact — and it is what makes the memo hit:
         a full ``(free, counted)`` key almost never repeats across
         states (measured ~3% on dsp_sbc), the masked key does."""
-        residual = self._residual_operand(operand, free)
-        real, raw_bits = self._residual_lane_info(residual)
+        residual, real, raw_bits = self._residual_entry(operand, free)
         memo_key = None
         if self._memoize:
             memo_key = (id(residual), free & raw_bits,
                         counted & raw_bits, depth)
             cached = self._estimate_memo.get(memo_key)
             if cached is not None:
-                self.ctx.counters.inc("slp.estimate_hits")
                 return cached
         result = self._estimate_residual(residual, real, raw_bits,
                                          free, counted, depth)
@@ -536,31 +753,20 @@ class BeamSearch:
                 best_bits = sub_counted & ~counted
         return best, best_bits
 
-    def _residual_lane_info(self, residual: OperandVector):
-        """(real-lane count, raw backward-slice bitset) of a residual.
+    def _residual_entry(self, operand: OperandVector,
+                        free_bits: int) -> Tuple:
+        """(residual, real-lane count, raw slice bitset) for an operand
+        under a free set, in a single memo probe.
 
-        Residual tuples are interned by :meth:`_residual_operand`, so an
-        identity probe serves repeat queries — the estimate's two inner
-        lane scans collapse into one dict hit."""
-        if self._memoize:
-            entry = self._residual_info.get(id(residual))
-            if entry is not None:
-                self.ctx.counters.inc("slp.estimate_hits")
-                return entry[1], entry[2]
-        real = sum(
-            1 for e in residual
-            if e is not DONT_CARE
-            and not isinstance(e, (Constant, Argument))
-        )
-        raw_bits = self.estimator.scalar_slice_bits(residual)
-        if self._memoize:
-            self._residual_info[id(residual)] = (residual, real, raw_bits)
-        return real, raw_bits
-
-    def _residual_operand(self, operand: OperandVector,
-                          free_bits: int) -> OperandVector:
+        All three quantities depend on ``free`` only through the
+        operand's own lane bits, so the per-operand memo is keyed on
+        that mask; the triple itself is interned per residual identity
+        (the unchanged-residual case collapses every mask that agrees
+        on the operand's lanes onto one entry)."""
         if not self._memoize:
-            return self._residual_operand_uncached(operand, free_bits)
+            return self._residual_triple(
+                self._residual_operand_uncached(operand, free_bits)
+            )
         entry = self._residual_memo.get(id(operand))
         if entry is None:
             entry = (operand, self._operand_bits(operand), {})
@@ -568,22 +774,39 @@ class BeamSearch:
         masked = free_bits & entry[1]
         cached = entry[2].get(masked)
         if cached is None:
-            cached = self._residual_operand_uncached(operand, free_bits)
+            residual = self._residual_operand_uncached(operand, free_bits)
+            cached = self._residual_info.get(id(residual))
+            if cached is None:
+                cached = self._residual_triple(residual)
+                self._residual_info[id(residual)] = cached
             entry[2][masked] = cached
         return cached
 
+    def _residual_triple(self, residual: OperandVector) -> Tuple:
+        real = sum(
+            1 for e in residual
+            if e is not DONT_CARE
+            and not isinstance(e, (Constant, Argument))
+        )
+        raw_bits = self.estimator.scalar_slice_bits(residual)
+        return (residual, real, raw_bits)
+
+    def _residual_operand(self, operand: OperandVector,
+                          free_bits: int) -> OperandVector:
+        if not self._memoize:
+            return self._residual_operand_uncached(operand, free_bits)
+        return self._residual_entry(operand, free_bits)[0]
+
     def _residual_operand_uncached(self, operand: OperandVector,
                                    free_bits: int) -> OperandVector:
-        dg = self.ctx.dep_graph
+        # Constants/arguments/don't-cares are never in the dependence
+        # graph's index, so one index probe subsumes the kind checks.
+        index_of = self.ctx.dep_graph._index.get
         residual = []
         changed = False
         for element in operand:
-            if (
-                element is not DONT_CARE
-                and not isinstance(element, (Constant, Argument))
-                and dg.contains(element)
-                and not (free_bits & (1 << dg.index(element)))
-            ):
+            i = None if element is DONT_CARE else index_of(id(element))
+            if i is not None and not (free_bits & (1 << i)):
                 residual.append(DONT_CARE)
                 changed = True
             else:
@@ -591,6 +814,9 @@ class BeamSearch:
         return tuple(residual) if changed else operand
 
     def _expand_scalar_slices(self, scalar_bits: int) -> int:
+        cached = self._scalar_slice_memo.get(scalar_bits)
+        if cached is not None:
+            return cached
         dg = self.ctx.dep_graph
         bits = 0
         remaining = scalar_bits
@@ -598,6 +824,7 @@ class BeamSearch:
             index = (remaining & -remaining).bit_length() - 1
             remaining &= remaining - 1
             bits |= (1 << index) | dg._closure[index]
+        self._scalar_slice_memo[scalar_bits] = bits
         return bits
 
     # -- scalar completion -------------------------------------------------------------
@@ -626,19 +853,42 @@ class BeamSearch:
         free = state.free_bits
         counted = self._expand_scalar_slices(state.scalar_bits) & free
         total = self.estimator.cost_of_bits(counted)
+        c_insert = self.model.c_insert
+        cost_of_bits = self.estimator.cost_of_bits
+        term_memo = self._completion_term_memo
+        memoize = self._memoize
         for key in self._sorted_keys(state.operand_keys):
             operand = self._operand_registry[key]
-            residual = self._residual_operand(operand, free)
-            real = sum(
-                1 for e in residual
-                if e is not DONT_CARE and not isinstance(e, Constant)
-            )
-            slice_bits = (
-                self.estimator.scalar_slice_bits(residual) & free
-            )
-            total += self.model.c_insert * real
-            total += self.estimator.cost_of_bits(slice_bits & ~counted)
-            counted |= slice_bits
+            # Per-operand term, memoized on the closure-masked key (same
+            # exactness argument as _operand_estimate: everything the
+            # term reads is inside the residual's backward closure).
+            # Argument lanes are excluded from the insert count: they
+            # were already paid for by _foreign_element_cost when the
+            # operand entered V (they can never be produced or
+            # scalar-fixed), so charging c_insert again here
+            # double-counts them — this mirrors the residual lane
+            # accounting of _residual_entry (Figure 9's costinsert only
+            # covers instructions fixed as scalars).
+            residual, real, raw_bits = self._residual_entry(operand, free)
+            if memoize:
+                term_key = (id(residual), free & raw_bits,
+                            counted & raw_bits)
+                entry = term_memo.get(term_key)
+                if entry is None:
+                    slice_bits = raw_bits & free
+                    entry = (
+                        c_insert * real
+                        + cost_of_bits(slice_bits & ~counted),
+                        slice_bits,
+                    )
+                    term_memo[term_key] = entry
+                total += entry[0]
+                counted |= entry[1]
+            else:
+                slice_bits = raw_bits & free
+                total += c_insert * real
+                total += cost_of_bits(slice_bits & ~counted)
+                counted |= slice_bits
         return total
 
     def _complete(self, state: SearchState) -> SearchState:
@@ -647,17 +897,25 @@ class BeamSearch:
             state.g + self._scalar_completion(state),
         )
 
-    def _rollout(self, state: SearchState,
-                 max_steps: int = 96) -> SearchState:
+    def _rollout(self, state: SearchState, max_steps: int = 96,
+                 bound: Optional[float] = None) -> Optional[SearchState]:
         """Complete a state by greedily following the Figure 7 recurrence:
         repeatedly apply the best producer pack of some live operand (the
         SLP heuristic as a completion policy), then finish scalar.
 
         Without this, best-solved tracking undervalues partial states
         whose remaining work has good producers, and the beam converges
-        to near-scalar solutions."""
+        to near-scalar solutions.
+
+        ``bound`` (set when incumbent pruning is on) stops the rollout —
+        returning None — once ``g`` meets the incumbent cost: transition
+        and completion costs are non-negative, so the finished rollout
+        could never be kept."""
         current = state
         for _ in range(max_steps):
+            if bound is not None and current.g >= bound:
+                self.ctx.counters.inc("beam.incumbent_prunes")
+                return None
             progressed = False
             for key in self._sorted_keys(current.operand_keys):
                 operand = self._operand_registry[key]
@@ -699,6 +957,7 @@ class BeamSearch:
         if patience is None:
             patience = self.ctx.config.patience
         counters = self.ctx.counters
+        prune = self._prune
         state = self.initial_state()
         candidates = [state]
         best_solved = self._complete(state)  # the all-scalar solution
@@ -710,11 +969,22 @@ class BeamSearch:
             children: Dict[Tuple, SearchState] = {}
             improved = False
             for parent in candidates:
+                if prune and parent.g >= best_solved.g:
+                    # Dominated parent: transition costs are
+                    # non-negative, so every descendant is too.
+                    counters.inc("beam.incumbent_prunes")
+                    continue
                 for child in self.expand(parent):
                     if child.solved:
                         if child.g < best_solved.g:
                             best_solved = child
                             improved = True
+                        continue
+                    if prune and child.g >= best_solved.g:
+                        # Incumbent (branch-and-bound) pruning: drop the
+                        # child before completion, heuristic, and
+                        # rollout — it can never improve the incumbent.
+                        counters.inc("beam.incumbent_prunes")
                         continue
                     key = child.identity()
                     if self._memoize:
@@ -735,10 +1005,13 @@ class BeamSearch:
                         children[key] = child
             scored = []
             for child in children.values():
-                completed = self._complete(child)
-                if completed.g < best_solved.g:
-                    best_solved = completed
-                    improved = True
+                if not prune:
+                    # Exhaustive scoring (the pre-engine search path):
+                    # complete every surviving child before ranking.
+                    completed = self._complete(child)
+                    if completed.g < best_solved.g:
+                        best_solved = completed
+                        improved = True
                 h = self.heuristic(child)
                 if h == INFINITY:
                     continue
@@ -750,13 +1023,32 @@ class BeamSearch:
                 counters.inc("beam.candidates_pruned",
                              len(scored) - beam_width)
             candidates = [c for _, _, c in scored[:beam_width]]
+            if prune:
+                # Lazy child completion: only beam survivors — plus any
+                # child whose f = g + h still beats the incumbent (h
+                # under-estimates the scalar completion, so every child
+                # whose completion could win is covered) — are
+                # completed.  Completion work scales with the beam
+                # width, not the branching factor.
+                for rank, (f, _, child) in enumerate(scored):
+                    if rank >= beam_width and f >= best_solved.g:
+                        continue
+                    completed = self._complete(child)
+                    if completed.g < best_solved.g:
+                        best_solved = completed
+                        improved = True
             # Rollout completion of the surviving candidates: greedy SLP
             # extension finds full solutions long before the beam walks
             # there step by step.
             for candidate in candidates:
+                if prune and candidate.g >= best_solved.g:
+                    counters.inc("beam.incumbent_prunes")
+                    continue
                 counters.inc("beam.rollouts")
-                rolled = self._rollout(candidate)
-                if rolled.g < best_solved.g:
+                rolled = self._rollout(
+                    candidate, bound=best_solved.g if prune else None
+                )
+                if rolled is not None and rolled.g < best_solved.g:
                     best_solved = rolled
                     improved = True
             # Sound early exit: transition costs are non-negative, so no
@@ -777,9 +1069,22 @@ class BeamSearch:
 def select_packs(ctx: VectorizationContext) -> Tuple[List[Pack], float]:
     """Run pack selection; returns (packs, estimated cost of the block).
 
-    An empty pack list means "leave the block scalar"."""
-    search = BeamSearch(ctx)
-    solved = search.run(ctx.config.beam_width)
+    An empty pack list means "leave the block scalar".
+
+    The cyclic garbage collector is paused for the duration of the
+    search: the search allocates millions of short-lived tuples and
+    packs, and generation-0 scans were measured at ~15-25% of search
+    wall time on the heaviest kernels.  Pausing changes nothing about
+    the result — only when cyclic garbage is reclaimed — and the
+    collector is restored (and left to catch up) on exit."""
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        search = BeamSearch(ctx)
+        solved = search.run(ctx.config.beam_width)
+    finally:
+        if was_enabled:
+            gc.enable()
     if solved is None:
         return [], INFINITY
     return list(solved.packs), solved.g

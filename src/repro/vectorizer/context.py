@@ -39,6 +39,17 @@ class VectorizerConfig:
     #: Off reproduces the unmemoized search exactly (differential-tested:
     #: the selected packs and costs are identical either way).
     memoize: bool = True
+    #: Enable incumbent (branch-and-bound) pruning and lazy child
+    #: scoring in the beam search.  Transition costs are non-negative,
+    #: so a child whose ``g`` already meets the best solved cost — and
+    #: every descendant of it — can never improve the returned solution;
+    #: such children are dropped before completion, heuristic, and
+    #: rollout, and only beam survivors (plus children whose ``f = g+h``
+    #: beats the incumbent) are completed.  The returned cost is never
+    #: worse than the unpruned search's (differential-tested on every
+    #: bundled kernel and target); ``prune=False`` restores the
+    #: exhaustive scoring path of the unpruned search exactly.
+    prune: bool = True
 
 
 class VectorizationContext:
@@ -71,6 +82,26 @@ class VectorizationContext:
         # Values hold the tuple itself: a live tuple's id can never be
         # reused, which is what makes id-keying sound.
         self._operand_key_cache: Dict[int, Tuple] = {}
+        # (lanes, elem_type) -> tuple of (vinst, lane-token signature)
+        # pairs, in the target's instruction order.  Producer enumeration
+        # walks this plan for every distinct operand of a shape; building
+        # it once per shape hoists the per-instruction signature lookups
+        # out of the hot loop.
+        self._shape_plans: Dict[Tuple, Tuple] = {}
+
+    def shape_plan(self, lanes: int, elem_type) -> Tuple:
+        """(vinst, signature) pairs for one operand shape, cached."""
+        key = (lanes, elem_type)
+        plan = self._shape_plans.get(key)
+        if plan is None:
+            lane_signature = self.match_table.lane_signature
+            plan = tuple(
+                (vinst, lane_signature(vinst))
+                for vinst in self.target.instructions_for_shape(lanes,
+                                                                elem_type)
+            )
+            self._shape_plans[key] = plan
+        return plan
 
     def operand_key_of(self, operand) -> Tuple:
         """``operand_key(operand)``, cached by tuple identity."""

@@ -13,7 +13,6 @@ instructions and refuses to run there.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Tuple
 
 from repro.vectorizer.beam import BeamSearch, SearchState

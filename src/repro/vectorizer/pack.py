@@ -33,7 +33,12 @@ class InvalidPack(ValueError):
 
 
 def operand_key(operand: OperandVector) -> Tuple:
-    """Hashable identity of an operand vector."""
+    """Hashable identity of an operand vector.
+
+    Plain values key by bare ``id`` — the overwhelmingly common case on
+    the enumeration hot path — while don't-cares and constants keep
+    tagged tuples.  An ``int`` never compares equal to a tuple, so the
+    mixed element shapes cannot collide across lane kinds."""
     parts = []
     for el in operand:
         if el is DONT_CARE:
@@ -41,7 +46,7 @@ def operand_key(operand: OperandVector) -> Tuple:
         elif isinstance(el, Constant):
             parts.append(("const", el.type, el.value))
         else:
-            parts.append(("val", id(el)))
+            parts.append(id(el))
     return tuple(parts)
 
 

@@ -22,10 +22,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Optional, Tuple
 
-from repro.ir.instructions import (
-    LoadInst,
-    pointer_base_and_offset,
-)
+from repro.ir.instructions import LoadInst
 from repro.ir.values import Constant
 from repro.vectorizer.context import VectorizationContext
 from repro.vectorizer.pack import (
@@ -55,6 +52,15 @@ class SLPCostEstimator:
             for inst in ctx.dep_graph.instructions
         ]
         self._bits_cost_memo: Dict[int, float] = {}
+        # 64-bit-chunk subtotal memo for cost_of_bits.  Chunk subtotals
+        # re-associate the float sum, so the fast path is only taken when
+        # every per-instruction cost is integral (the default model; sums
+        # of modest integers are exact in either association) — a model
+        # with fractional costs falls back to the strict low-to-high loop.
+        self._word_cost_memo: Dict[Tuple[int, int], float] = {}
+        self._integral_costs = all(
+            float(c).is_integer() for c in self._inst_costs
+        )
         self._memoize = ctx.config.memoize
         self._slice_bits_memo: Dict[Tuple, int] = {}
 
@@ -79,31 +85,60 @@ class SLPCostEstimator:
         if bits is None:
             bits = self._compute_slice_bits(values)
             self._slice_bits_memo[key] = bits
-        else:
-            self.ctx.counters.inc("slp.estimate_hits")
         return bits
 
     def _compute_slice_bits(self, values) -> int:
         dg = self.ctx.dep_graph
+        index_of = dg._index.get
+        closures = dg._closure
         bits = 0
         for value in values:
             if value is DONT_CARE or isinstance(value, Constant):
                 continue
-            if not dg.contains(value):
+            i = index_of(id(value))
+            if i is None:
                 continue
-            bits |= dg.dependence_set(value) | (1 << dg.index(value))
+            bits |= closures[i] | (1 << i)
         return bits
 
     def cost_of_bits(self, bits: int) -> float:
         cached = self._bits_cost_memo.get(bits)
         if cached is not None:
             return cached
-        total = 0.0
-        remaining = bits
-        while remaining:
-            index = (remaining & -remaining).bit_length() - 1
-            total += self._inst_costs[index]
-            remaining &= remaining - 1
+        if self._integral_costs:
+            # Per-64-bit-chunk subtotals: the beam heuristic asks for
+            # millions of distinct masks, but their chunks repeat, so
+            # the steady state is a handful of dict probes per mask
+            # instead of one loop iteration per set bit.
+            total = 0.0
+            remaining = bits
+            word = 0
+            memo = self._word_cost_memo
+            costs = self._inst_costs
+            while remaining:
+                chunk = remaining & 0xFFFFFFFFFFFFFFFF
+                if chunk:
+                    key = (word, chunk)
+                    sub = memo.get(key)
+                    if sub is None:
+                        sub = 0.0
+                        base = word * 64
+                        rem = chunk
+                        while rem:
+                            index = (rem & -rem).bit_length() - 1
+                            sub += costs[base + index]
+                            rem &= rem - 1
+                        memo[key] = sub
+                    total += sub
+                remaining >>= 64
+                word += 1
+        else:
+            total = 0.0
+            remaining = bits
+            while remaining:
+                index = (remaining & -remaining).bit_length() - 1
+                total += self._inst_costs[index]
+                remaining &= remaining - 1
         self._bits_cost_memo[bits] = total
         return total
 
@@ -154,7 +189,8 @@ class SLPCostEstimator:
             # Broadcast: one scalar plus a splat.
             best = min(best,
                        self.cost_scalar(real[:1]) + self.model.c_broadcast)
-        runs = _contiguous_load_runs(list(distinct.values()))
+        runs = _contiguous_load_runs(list(distinct.values()),
+                                     self.ctx.dep_graph)
         if runs == 1:
             best = min(best,
                        self.model.c_vector_load + self.model.c_permute)
@@ -180,18 +216,22 @@ class SLPCostEstimator:
         return self._choice.get(self.ctx.operand_key_of(operand))
 
 
-def _contiguous_load_runs(values) -> int:
+def _contiguous_load_runs(values, dep_graph) -> int:
     """If the (distinct) values are all loads of one buffer, the number of
     contiguous offset runs they form (1 = producible as vector load +
-    permute, 2 = two loads + a two-source shuffle); 0 if not loads."""
+    permute, 2 = two loads + a two-source shuffle); 0 if not loads.
+
+    Access locations come from the dependence graph's build-time cache
+    rather than re-walking GEP chains per query."""
     if len(values) < 2:
         return 0
     offsets = []
     base0 = None
+    location_of = dep_graph.access_location
     for value in values:
         if not isinstance(value, LoadInst):
             return 0
-        base, offset = pointer_base_and_offset(value.pointer)
+        base, offset = location_of(value)
         if base is None:
             return 0
         if base0 is None:

@@ -173,6 +173,7 @@ class InstDesc:
         self.inputs = tuple(inputs)
         self.lane_ops = tuple(lane_ops)
         self.out_elem_type = out_elem_type
+        self._consumer_table: Optional[Dict] = None
         self._validate()
 
     @property
@@ -250,14 +251,20 @@ class InstDesc:
 
         This is the statically-computed inverse of the lane bindings: the
         generated ``operand_i(.)`` functions (Figure 4c) read off this map.
+        The full inverse is built lazily on first use — pack construction
+        asks for every input lane of an instruction, so a per-query scan
+        over all bindings is quadratic in the lane count.
         """
-        consumers = []
-        for out_lane, lane_op in enumerate(self.lane_ops):
-            for param_pos, ref in enumerate(lane_op.bindings):
-                if ref.input_index == input_index and \
-                        ref.lane_index == lane_index:
-                    consumers.append((out_lane, param_pos))
-        return consumers
+        table = self._consumer_table
+        if table is None:
+            table = {}
+            for out_lane, lane_op in enumerate(self.lane_ops):
+                for param_pos, ref in enumerate(lane_op.bindings):
+                    table.setdefault(
+                        (ref.input_index, ref.lane_index), []
+                    ).append((out_lane, param_pos))
+            self._consumer_table = table
+        return table.get((input_index, lane_index), [])
 
     def __repr__(self) -> str:
         from repro.vidl.printer import format_inst_desc

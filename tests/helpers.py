@@ -3,11 +3,11 @@
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.ir.function import Function
 from repro.ir.interp import Buffer, run_function
-from repro.ir.types import FloatType, IntType, PointerType
+from repro.ir.types import IntType, PointerType
 from repro.machine.exec import run_program
 from repro.utils.intmath import to_signed
 from repro.vectorizer.vector_ir import VectorProgram

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.baseline import baseline_vectorize, get_baseline_target
 from repro.frontend import compile_kernel

@@ -4,17 +4,7 @@ import random
 
 import pytest
 
-from repro.ir import (
-    Buffer,
-    Function,
-    IRBuilder,
-    I16,
-    I32,
-    F64,
-    pointer_to,
-    run_function,
-)
-from repro.machine import run_program, program_cost
+from repro.ir import Function, IRBuilder, I16, I32, pointer_to
 from repro.target import get_target
 from repro.vectorizer import (
     BeamSearch,
@@ -23,12 +13,11 @@ from repro.vectorizer import (
     VLoad,
     VOp,
     VStore,
-    generate,
     scalar_program,
     select_packs,
     vectorize,
 )
-from tests.helpers import assert_program_matches_scalar, random_buffers
+from tests.helpers import assert_program_matches_scalar
 
 
 def dot_function():

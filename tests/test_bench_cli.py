@@ -195,6 +195,36 @@ class TestBenchCLI:
         assert "REGRESSION" in captured.out
         assert "cost ratio regressed" in captured.out
 
+    def test_bench_profile_records_top_functions(self, tmp_path, capsys):
+        out = tmp_path / "prof.json"
+        status = main(["bench", "--kernel", "complex_mul",
+                       "--targets", "sse4", "--beam-width", "2",
+                       "--quiet", "--profile", "5", "--out", str(out)])
+        assert status == 0
+        doc = load_bench(str(out))  # profile entries validate on load
+        cell = doc["results"][0]
+        profile = cell["profile"]
+        assert 0 < len(profile) <= 5
+        for entry in profile:
+            assert entry["ncalls"] >= 1
+            assert entry["cumtime"] >= entry["tottime"] >= 0
+            assert "(" in entry["function"]
+        # Sorted by cumulative time, descending.
+        cums = [entry["cumtime"] for entry in profile]
+        assert cums == sorted(cums, reverse=True)
+        # The profile sits next to phases and does not perturb them.
+        assert "phases" in cell and "select_packs" in cell["phases"]
+
+    def test_bench_without_profile_has_no_profile_field(self, small_bench):
+        for cell in small_bench["results"]:
+            assert "profile" not in cell
+
+    def test_validate_rejects_malformed_profile(self, small_bench):
+        doc = copy.deepcopy(small_bench)
+        doc["results"][0]["profile"] = [{"function": 7}]
+        with pytest.raises(ValueError, match="profile"):
+            validate_bench(doc)
+
     def test_bench_rejects_unknown_target(self, tmp_path, capsys):
         status = main(["bench", "--kernels", "1", "--targets", "mips",
                        "--out", str(tmp_path / "b.json")])

@@ -7,10 +7,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.bitvector import (
-    BVBinary,
-    BVConst,
     BVEvalError,
-    BVExpr,
     BVIte,
     BVUnary,
     bv_binary,

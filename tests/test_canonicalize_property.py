@@ -3,7 +3,6 @@ semantics on randomly generated straight-line functions."""
 
 import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.ir import (

@@ -1,6 +1,5 @@
 """Tests for enumeration caps and seed-window behaviour."""
 
-import pytest
 
 from repro.frontend import compile_kernel
 from repro.patterns.canonicalize import canonicalize_function

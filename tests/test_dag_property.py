@@ -3,7 +3,6 @@ closure must agree with a naive graph reachability recomputation."""
 
 import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.ir import (

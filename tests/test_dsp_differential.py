@@ -5,7 +5,6 @@ import random
 
 import pytest
 
-from repro.baseline import baseline_vectorize
 from repro.kernels import build_dsp_kernels
 from repro.vectorizer import VectorizerConfig, vectorize
 from tests.helpers import assert_program_matches_scalar

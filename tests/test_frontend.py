@@ -1,13 +1,11 @@
 """Tests for the mini-C frontend: parsing, lowering, C semantics."""
 
-import random
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.frontend import CSyntaxError, LowerError, compile_kernel, parse_c
-from repro.ir import Buffer, I8, I16, I32, I64, F32, F64, run_function, \
-    verify_function
+from repro.ir import Buffer, I8, I16, I32, F32, run_function, verify_function
 from repro.ir.types import IntType
 from repro.utils.intmath import to_signed
 

@@ -10,12 +10,10 @@ here as memory divergence.
 
 import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.baseline import baseline_vectorize
 from repro.ir import (
-    Buffer,
     FCmpPred,
     Function,
     ICmpPred,

@@ -38,10 +38,8 @@ from repro.ir import (
 from repro.ir.instructions import (
     BinaryInst,
     CastInst,
-    GEPInst,
     ICmpInst,
     SelectInst,
-    StoreInst,
     pointer_base_and_offset,
 )
 from repro.utils.intmath import to_signed

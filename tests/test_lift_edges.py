@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ir.types import I16, I32
+from repro.ir.types import I32
 from repro.patterns import canonicalize_operation
 from repro.pseudocode import parse_spec
 from repro.vidl import LiftError, lift_spec

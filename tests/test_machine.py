@@ -15,7 +15,6 @@ from repro.machine import (
     CostModel,
     MachineExecError,
     node_cost,
-    program_cost,
     run_program,
     scalar_function_cost,
     speedup,

@@ -1,7 +1,6 @@
 """Tests for pattern generation, canonicalization, matching, and the
 match table (§4.2, §4.3, §6)."""
 
-import pytest
 
 from repro.ir import (
     Constant,
@@ -13,7 +12,6 @@ from repro.ir import (
     I16,
     I32,
     pointer_to,
-    print_function,
     verify_function,
 )
 from repro.patterns import (

@@ -3,19 +3,9 @@ integration tests exercise only indirectly."""
 
 import random
 
-import pytest
 
-from repro.baseline import baseline_vectorize
 from repro.frontend import compile_kernel
-from repro.ir import (
-    Buffer,
-    Function,
-    IRBuilder,
-    I16,
-    I32,
-    pointer_to,
-    print_function,
-)
+from repro.ir import Function, IRBuilder, I16, I32, pointer_to, print_function
 from repro.machine import CostModel
 from repro.target import get_target
 from repro.vectorizer import (

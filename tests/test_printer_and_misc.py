@@ -1,7 +1,6 @@
 """Coverage for printers, formatters, and assorted edge cases across the
 smaller modules."""
 
-import pytest
 
 from repro.bitvector import (
     bv_binary,
@@ -13,14 +12,9 @@ from repro.bitvector import (
     bv_var,
     format_expr,
 )
-from repro.ir import Function, IRBuilder, I16, I32, pointer_to
+from repro.ir import Function, IRBuilder, I32, pointer_to
 from repro.pseudocode import parse_spec
-from repro.vidl import (
-    format_inst_desc,
-    format_op_expr,
-    format_operation,
-    lift_spec,
-)
+from repro.vidl import format_inst_desc, format_operation, lift_spec
 
 
 class TestBitvectorPrinter:

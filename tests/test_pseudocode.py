@@ -5,19 +5,14 @@ random-testing validation, as a property test)."""
 import random
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import strategies as st
 
 from repro.bitvector import evaluate as bv_evaluate
 from repro.pseudocode import (
-    Assign,
-    BinExpr,
     ForStmt,
     IfStmt,
-    Num,
     PseudocodeSemanticsError,
     PseudocodeSyntaxError,
-    Ref,
-    SliceExpr,
     evaluate_spec,
     parse_spec,
     run_spec,

@@ -2,14 +2,12 @@
 
 import random
 
-import pytest
 
 from repro.frontend import compile_kernel
 from repro.ir import (
     Buffer,
     Function,
     IRBuilder,
-    I16,
     I32,
     F64,
     pointer_to,
@@ -17,7 +15,6 @@ from repro.ir import (
     verify_function,
 )
 from repro.patterns.reassociate import reassociate_function
-from repro.utils.intmath import to_signed
 from repro.vectorizer import vectorize
 from tests.helpers import assert_program_matches_scalar
 

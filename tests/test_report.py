@@ -1,6 +1,5 @@
 """Tests for the vectorization report renderer."""
 
-import pytest
 
 from repro.frontend import compile_kernel
 from repro.vectorizer import render_report, vectorize

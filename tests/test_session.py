@@ -8,9 +8,6 @@ from repro.kernels import all_kernels
 from repro.obs import Counters, Tracer
 from repro.passes import (
     ALL,
-    AnalysisCache,
-    CodegenPass,
-    PassPipeline,
     PipelineState,
     available_passes,
     build_pipeline,

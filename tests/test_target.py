@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.ir.types import F64, I8, I16, I32
+from repro.ir.types import I32
 from repro.pseudocode import parse_spec, run_spec
 from repro.target import (
     TARGET_CONFIGS,

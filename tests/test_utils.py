@@ -1,7 +1,6 @@
 """Unit and property tests for repro.utils (intmath, fp)."""
 
 import math
-import struct
 
 import pytest
 from hypothesis import given, strategies as st

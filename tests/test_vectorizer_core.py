@@ -19,7 +19,6 @@ from repro.vectorizer import (
     LoadPack,
     StorePack,
     VectorizationContext,
-    VectorizerConfig,
     producers_for_operand,
     store_seed_packs,
     affinity_seed_tuples,
@@ -27,7 +26,6 @@ from repro.vectorizer import (
     SLPCostEstimator,
     operand_key,
     pack_depends_on,
-    packs_independent,
 )
 from repro.vidl.interp import DONT_CARE
 

@@ -8,14 +8,10 @@ import pytest
 from repro.ir.types import F64, I1, I16, I32, I64
 from repro.pseudocode import parse_spec, run_spec
 from repro.vidl import (
-    DONT_CARE,
     InstDesc,
     LaneOp,
     LaneRef,
     LiftError,
-    OpNode,
-    OpParam,
-    Operation,
     VIDLExecError,
     VectorInput,
     bits_from_lanes,
