@@ -1,6 +1,7 @@
 """Static sanitizer suite for the vectorizer (lane, dependence, type
 checking across scalar IR, VIDL descriptions, and emitted vector
-programs).
+programs), plus the dataflow engine and the TransVal translation
+validator built on it.
 
 Quick start::
 
@@ -13,8 +14,17 @@ Quick start::
         print(diag.format())
 
 or simply ``vectorize(fn, sanitize=True)`` / ``repro lint`` from the CLI.
+For static equivalence proofs use ``vectorize(fn, verify=True)`` /
+``repro verify`` (see :mod:`repro.analysis.transval`).
 """
 
+from repro.analysis.dataflow import (
+    DataflowFacts,
+    DataflowLint,
+    KnownBits,
+    ValueRange,
+    compute_dataflow,
+)
 from repro.analysis.depsan import DepSan
 from repro.analysis.diagnostics import (
     ERROR,
@@ -32,6 +42,14 @@ from repro.analysis.manager import (
     analyze_result,
     default_passes,
 )
+from repro.analysis.transval import (
+    TransVal,
+    TransValConfig,
+    TransValReport,
+    TranslationValidationError,
+    validate_program,
+    validate_result,
+)
 from repro.analysis.vidllint import VIDLLint
 
 __all__ = [
@@ -40,13 +58,24 @@ __all__ = [
     "AnalysisManager",
     "AnalysisPass",
     "AnalysisUnit",
+    "DataflowFacts",
+    "DataflowLint",
     "DepSan",
     "Diagnostic",
     "IRLint",
+    "KnownBits",
     "LaneSan",
     "SanitizerError",
+    "TransVal",
+    "TransValConfig",
+    "TransValReport",
+    "TranslationValidationError",
     "VIDLLint",
+    "ValueRange",
     "analyze_result",
+    "compute_dataflow",
     "default_passes",
     "errors_only",
+    "validate_program",
+    "validate_result",
 ]

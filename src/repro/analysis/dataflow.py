@@ -1,0 +1,649 @@
+"""Forward/backward dataflow over the scalar IR, plus the lints it powers.
+
+Three classic abstract domains, computed in one pass each over the single
+basic block (the IR is straight-line SSA, so every analysis converges in
+exactly one sweep — no fixpoint iteration needed):
+
+* **known bits** (:class:`KnownBits`) — for every integer value, which
+  bits are provably 0 and which provably 1.  The lattice element is a
+  pair of masks ``(zeros, ones)`` with ``zeros & ones == 0``; *top* is
+  ``(0, 0)`` (nothing known), and a fully-known element is a constant.
+* **value range** (:class:`ValueRange`) — an unsigned interval
+  ``[umin, umax]``; *top* is ``[0, 2^w - 1]``.
+* **demanded bits** — a backward analysis: which bits of each value can
+  influence any observable output (a store, the return value, or an
+  address).  Stores, returns, and unmodelled users demand every bit;
+  ``trunc``/``shl``/``and``-by-constant shrink the demand.
+
+These feed two consumers:
+
+* :class:`DataflowLint` — an :class:`~repro.analysis.manager.AnalysisPass`
+  reporting undefined shift amounts (scalar IR shifts with an
+  out-of-range amount are UB — the interpreter raises), narrowing
+  conversions that provably/possibly drop demanded non-zero bits, and
+  overlapping or statically out-of-bounds vector memory accesses in the
+  emitted program;
+* the TransVal translation validator (:mod:`repro.analysis.transval`),
+  which reuses the :class:`KnownBits` domain over *bitvector
+  expressions* to close equivalence goals without enumeration and to
+  justify its SMT-style (clamping) shift semantics on the scalar side:
+  a function whose shifts the range analysis proves in-bounds has no
+  shift UB, so clamping and LLVM semantics agree on every input.
+
+Lattice contracts (documented for DESIGN.md):
+
+* ``KnownBits.join`` is the lattice join (union of uncertainty):
+  ``join(a, b)`` keeps exactly the bits on which ``a`` and ``b`` agree.
+* Transfer functions are *sound over-approximations*: the concrete
+  result of an operation on any concretization of the inputs is a
+  concretization of the transferred element.  Exactness is only
+  guaranteed for the bitwise ops, shifts by constants, and casts.
+* ``ValueRange`` transfer functions must never wrap: any operation that
+  may overflow returns *top* rather than a wrapped interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.diagnostics import ERROR, WARNING, Diagnostic
+from repro.analysis.manager import AnalysisPass, AnalysisUnit
+from repro.ir.instructions import (
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    Opcode,
+    RetInst,
+    SelectInst,
+    StoreInst,
+)
+from repro.ir.values import Argument, Constant, Value
+from repro.utils.intmath import mask
+
+
+def _all_ones(width: int) -> int:
+    return (1 << width) - 1
+
+
+@dataclass(frozen=True)
+class KnownBits:
+    """Which bits of a ``width``-bit value are provably 0 / provably 1.
+
+    Invariant: ``zeros & ones == 0`` and both masks fit in ``width``.
+    """
+
+    zeros: int
+    ones: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.zeros & self.ones:
+            raise ValueError("contradictory known bits")
+
+    @classmethod
+    def top(cls, width: int) -> "KnownBits":
+        return cls(0, 0, width)
+
+    @classmethod
+    def from_const(cls, value: int, width: int) -> "KnownBits":
+        value = mask(value, width)
+        return cls(_all_ones(width) ^ value, value, width)
+
+    @property
+    def known_mask(self) -> int:
+        return self.zeros | self.ones
+
+    @property
+    def is_constant(self) -> bool:
+        return self.known_mask == _all_ones(self.width)
+
+    def constant_value(self) -> Optional[int]:
+        return self.ones if self.is_constant else None
+
+    def umin(self) -> int:
+        """Smallest unsigned value consistent with the known bits."""
+        return self.ones
+
+    def umax(self) -> int:
+        """Largest unsigned value consistent with the known bits."""
+        return _all_ones(self.width) ^ self.zeros
+
+    def join(self, other: "KnownBits") -> "KnownBits":
+        """Lattice join: keep only the bits both elements agree on."""
+        assert self.width == other.width
+        return KnownBits(self.zeros & other.zeros,
+                         self.ones & other.ones, self.width)
+
+    def __repr__(self) -> str:
+        digits = []
+        for bit in range(self.width - 1, -1, -1):
+            sel = 1 << bit
+            digits.append("1" if self.ones & sel
+                          else "0" if self.zeros & sel else "?")
+        return f"KnownBits({''.join(digits)})"
+
+
+# -- known-bits transfer functions (shared with transval's BVExpr walk) --
+
+
+def kb_and(a: KnownBits, b: KnownBits) -> KnownBits:
+    return KnownBits(a.zeros | b.zeros, a.ones & b.ones, a.width)
+
+
+def kb_or(a: KnownBits, b: KnownBits) -> KnownBits:
+    return KnownBits(a.zeros & b.zeros, a.ones | b.ones, a.width)
+
+
+def kb_xor(a: KnownBits, b: KnownBits) -> KnownBits:
+    known = a.known_mask & b.known_mask
+    value = (a.ones ^ b.ones) & known
+    return KnownBits(known ^ value, value, a.width)
+
+
+def kb_not(a: KnownBits) -> KnownBits:
+    return KnownBits(a.ones, a.zeros, a.width)
+
+
+def kb_add(a: KnownBits, b: KnownBits) -> KnownBits:
+    """Carry-aware addition: bits below the first unknown carry stay
+    known."""
+    width = a.width
+    zeros, ones = 0, 0
+    carry_known, carry = True, 0
+    for bit in range(width):
+        sel = 1 << bit
+        a_known = bool(a.known_mask & sel)
+        b_known = bool(b.known_mask & sel)
+        if a_known and b_known and carry_known:
+            a_bit = 1 if a.ones & sel else 0
+            b_bit = 1 if b.ones & sel else 0
+            total = a_bit + b_bit + carry
+            if total & 1:
+                ones |= sel
+            else:
+                zeros |= sel
+            carry = total >> 1
+        else:
+            carry_known = False
+    return KnownBits(zeros, ones, width)
+
+
+def kb_shl_const(a: KnownBits, amount: int) -> KnownBits:
+    width = a.width
+    if amount >= width:
+        return KnownBits.from_const(0, width)
+    zeros = (mask(a.zeros << amount, width)) | _all_ones(amount)
+    ones = mask(a.ones << amount, width)
+    return KnownBits(zeros & ~ones, ones, width)
+
+
+def kb_lshr_const(a: KnownBits, amount: int) -> KnownBits:
+    width = a.width
+    if amount >= width:
+        return KnownBits.from_const(0, width)
+    high = mask(_all_ones(amount) << (width - amount), width)
+    zeros = (a.zeros >> amount) | high
+    ones = a.ones >> amount
+    return KnownBits(zeros & ~ones, ones, width)
+
+
+def kb_ashr_const(a: KnownBits, amount: int) -> KnownBits:
+    width = a.width
+    if amount >= width:
+        amount = width - 1
+    sign = 1 << (width - 1)
+    zeros = a.zeros >> amount
+    ones = a.ones >> amount
+    high = mask(_all_ones(amount) << (width - amount), width)
+    if a.zeros & sign:
+        zeros |= high
+    elif a.ones & sign:
+        ones |= high
+    return KnownBits(zeros & ~ones, ones, width)
+
+
+def kb_zext(a: KnownBits, width: int) -> KnownBits:
+    high = _all_ones(width) ^ _all_ones(a.width)
+    return KnownBits(a.zeros | high, a.ones, width)
+
+
+def kb_sext(a: KnownBits, width: int) -> KnownBits:
+    sign = 1 << (a.width - 1)
+    high = _all_ones(width) ^ _all_ones(a.width)
+    if a.zeros & sign:
+        return KnownBits(a.zeros | high, a.ones, width)
+    if a.ones & sign:
+        return KnownBits(a.zeros, a.ones | high, width)
+    return KnownBits(a.zeros & ~high & _all_ones(width),
+                     a.ones & _all_ones(width), width)
+
+
+def kb_trunc(a: KnownBits, width: int) -> KnownBits:
+    low = _all_ones(width)
+    return KnownBits(a.zeros & low, a.ones & low, width)
+
+
+@dataclass(frozen=True)
+class ValueRange:
+    """An unsigned interval ``[umin, umax]`` over ``width``-bit values."""
+
+    umin: int
+    umax: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.umin <= self.umax <= _all_ones(self.width):
+            raise ValueError(
+                f"bad range [{self.umin}, {self.umax}] at width "
+                f"{self.width}"
+            )
+
+    @classmethod
+    def top(cls, width: int) -> "ValueRange":
+        return cls(0, _all_ones(width), width)
+
+    @classmethod
+    def from_const(cls, value: int, width: int) -> "ValueRange":
+        value = mask(value, width)
+        return cls(value, value, width)
+
+    @property
+    def is_constant(self) -> bool:
+        return self.umin == self.umax
+
+    def join(self, other: "ValueRange") -> "ValueRange":
+        assert self.width == other.width
+        return ValueRange(min(self.umin, other.umin),
+                          max(self.umax, other.umax), self.width)
+
+    def __repr__(self) -> str:
+        return f"ValueRange([{self.umin}, {self.umax}], i{self.width})"
+
+
+def _range_add(a: ValueRange, b: ValueRange) -> ValueRange:
+    hi = a.umax + b.umax
+    if hi > _all_ones(a.width):
+        return ValueRange.top(a.width)  # may wrap: give up, never wrap
+    return ValueRange(a.umin + b.umin, hi, a.width)
+
+
+def _range_mul(a: ValueRange, b: ValueRange) -> ValueRange:
+    hi = a.umax * b.umax
+    if hi > _all_ones(a.width):
+        return ValueRange.top(a.width)
+    return ValueRange(a.umin * b.umin, hi, a.width)
+
+
+def _range_from_known(kb: KnownBits) -> ValueRange:
+    return ValueRange(kb.umin(), kb.umax(), kb.width)
+
+
+class DataflowFacts:
+    """Per-value facts for one function: the result of
+    :func:`compute_dataflow`.
+
+    Lookups take IR values; non-integer values (floats, pointers) report
+    *top*/fully-demanded, so callers never need to special-case them.
+    """
+
+    def __init__(self, function) -> None:
+        self.function = function
+        self._known: Dict[int, KnownBits] = {}
+        self._range: Dict[int, ValueRange] = {}
+        self._demanded: Dict[int, int] = {}
+
+    def known_bits(self, value: Value) -> Optional[KnownBits]:
+        """Known bits of an integer value (None for floats/pointers)."""
+        if not value.type.is_integer:
+            return None
+        cached = self._known.get(id(value))
+        if cached is not None:
+            return cached
+        if isinstance(value, Constant):
+            return KnownBits.from_const(value.value, value.type.width)
+        return KnownBits.top(value.type.width)
+
+    def value_range(self, value: Value) -> Optional[ValueRange]:
+        """Unsigned range of an integer value (None for floats etc.)."""
+        if not value.type.is_integer:
+            return None
+        cached = self._range.get(id(value))
+        if cached is not None:
+            return cached
+        if isinstance(value, Constant):
+            return ValueRange.from_const(value.value, value.type.width)
+        return ValueRange.top(value.type.width)
+
+    def demanded_bits(self, value: Value) -> int:
+        """Mask of bits that can influence an observable output."""
+        if not value.type.is_integer:
+            return -1
+        width = value.type.width
+        return self._demanded.get(id(value), _all_ones(width))
+
+
+def compute_dataflow(function) -> DataflowFacts:
+    """Run all three analyses over one straight-line function."""
+    facts = DataflowFacts(function)
+    instructions: List[Instruction] = list(function.entry)
+
+    # Forward sweep: known bits + ranges in instruction order (operands
+    # always precede their users in a single-block SSA function).
+    for inst in instructions:
+        if not inst.type.is_integer:
+            continue
+        kb, vr = _transfer(inst, facts)
+        # Each domain can sharpen the other: a known-bits element bounds
+        # the range, and a constant range pins every bit.
+        kb_from_range = None
+        if vr.is_constant:
+            kb_from_range = KnownBits.from_const(vr.umin, vr.width)
+        if kb_from_range is not None:
+            kb = KnownBits(kb.zeros | kb_from_range.zeros,
+                           kb.ones | kb_from_range.ones, kb.width) \
+                if not (kb.zeros & kb_from_range.ones
+                        or kb.ones & kb_from_range.zeros) else kb
+        range_from_kb = _range_from_known(kb)
+        vr = ValueRange(max(vr.umin, range_from_kb.umin),
+                        min(vr.umax, range_from_kb.umax), vr.width) \
+            if max(vr.umin, range_from_kb.umin) <= \
+            min(vr.umax, range_from_kb.umax) else vr
+        facts._known[id(inst)] = kb
+        facts._range[id(inst)] = vr
+
+    # Backward sweep: demanded bits in reverse instruction order.
+    demanded: Dict[int, int] = {}
+
+    def demand(value: Value, bits: int) -> None:
+        if isinstance(value, (Constant, Argument)):
+            return
+        if not value.type.is_integer:
+            return
+        bits &= _all_ones(value.type.width)
+        demanded[id(value)] = demanded.get(id(value), 0) | bits
+
+    for inst in reversed(instructions):
+        if isinstance(inst, StoreInst):
+            demand(inst.value, -1)
+            continue
+        if isinstance(inst, RetInst):
+            if inst.return_value is not None:
+                demand(inst.return_value, -1)
+            continue
+        if isinstance(inst, (GEPInst, LoadInst)):
+            continue  # addresses are structural, not bit-level
+        if not inst.has_result:
+            continue
+        own = demanded.get(id(inst), 0)
+        if own == 0:
+            continue  # dead: demands nothing of its operands
+        _demand_operands(inst, own, demand, facts)
+
+    facts._demanded = demanded
+    return facts
+
+
+def _kb_of(value: Value, facts: DataflowFacts) -> KnownBits:
+    kb = facts.known_bits(value)
+    assert kb is not None
+    return kb
+
+
+def _vr_of(value: Value, facts: DataflowFacts) -> ValueRange:
+    vr = facts.value_range(value)
+    assert vr is not None
+    return vr
+
+
+def _transfer(inst: Instruction,
+              facts: DataflowFacts) -> Tuple[KnownBits, ValueRange]:
+    """Known-bits + range transfer for one integer-typed instruction."""
+    op = inst.opcode
+    width = inst.type.width
+    top = (KnownBits.top(width), ValueRange.top(width))
+
+    if isinstance(inst, LoadInst):
+        return top
+    if isinstance(inst, ICmpInst):
+        return KnownBits.top(1), ValueRange(0, 1, 1)
+    if isinstance(inst, SelectInst):
+        kb = _kb_of(inst.true_value, facts).join(
+            _kb_of(inst.false_value, facts))
+        vr = _vr_of(inst.true_value, facts).join(
+            _vr_of(inst.false_value, facts))
+        return kb, vr
+    if op in (Opcode.SEXT, Opcode.ZEXT, Opcode.TRUNC):
+        src = inst.operands[0]
+        kb = _kb_of(src, facts)
+        if op == Opcode.ZEXT:
+            out = kb_zext(kb, width)
+            return out, _range_from_known(out)
+        if op == Opcode.SEXT:
+            out = kb_sext(kb, width)
+            return out, _range_from_known(out)
+        out = kb_trunc(kb, width)
+        return out, _range_from_known(out)
+    if op == Opcode.FPTOSI:
+        return top
+
+    if len(inst.operands) != 2 or not inst.operands[0].type.is_integer:
+        return top
+    a, b = inst.operands
+    ka, kb_ = _kb_of(a, facts), _kb_of(b, facts)
+    ra, rb = _vr_of(a, facts), _vr_of(b, facts)
+
+    if op == Opcode.AND:
+        out = kb_and(ka, kb_)
+        return out, _range_from_known(out)
+    if op == Opcode.OR:
+        out = kb_or(ka, kb_)
+        return out, _range_from_known(out)
+    if op == Opcode.XOR:
+        out = kb_xor(ka, kb_)
+        return out, _range_from_known(out)
+    if op == Opcode.ADD:
+        out = kb_add(ka, kb_)
+        vr = _range_add(ra, rb)
+        return out, vr
+    if op == Opcode.SUB:
+        # a - b == a + ~b + 1; reuse the carry-aware adder.
+        out = kb_add(kb_add(ka, kb_not(kb_)),
+                     KnownBits.from_const(1, width))
+        return out, ValueRange.top(width)
+    if op == Opcode.MUL:
+        return KnownBits.top(width), _range_mul(ra, rb)
+    if op in (Opcode.SHL, Opcode.LSHR, Opcode.ASHR):
+        amount = kb_.constant_value()
+        if amount is None and rb.is_constant:
+            amount = rb.umin
+        if amount is None:
+            return top
+        if op == Opcode.SHL:
+            out = kb_shl_const(ka, amount)
+        elif op == Opcode.LSHR:
+            out = kb_lshr_const(ka, amount)
+        else:
+            out = kb_ashr_const(ka, amount)
+        return out, _range_from_known(out)
+    if op == Opcode.UDIV and rb.umin > 0:
+        return KnownBits.top(width), ValueRange(
+            ra.umin // rb.umax, ra.umax // rb.umin, width)
+    if op == Opcode.UREM and rb.umin > 0:
+        return KnownBits.top(width), ValueRange(
+            0, min(ra.umax, rb.umax - 1), width)
+    return top
+
+
+def _demand_operands(inst: Instruction, own: int, demand, facts) -> None:
+    """Push this instruction's demanded bits onto its operands."""
+    op = inst.opcode
+    if op == Opcode.TRUNC:
+        demand(inst.operands[0], own)
+        return
+    if op == Opcode.ZEXT or op == Opcode.SEXT:
+        src = inst.operands[0]
+        src_mask = _all_ones(src.type.width)
+        wanted = own & src_mask
+        if op == Opcode.SEXT and own & ~src_mask:
+            wanted |= 1 << (src.type.width - 1)  # sign bit replicated
+        demand(src, wanted)
+        return
+    if op in (Opcode.AND, Opcode.OR):
+        a, b = inst.operands
+        ka, kb_ = facts.known_bits(a), facts.known_bits(b)
+        if op == Opcode.AND:
+            # Bits the other side zeroes are never demanded.
+            demand(a, own & ~(kb_.zeros if kb_ else 0))
+            demand(b, own & ~(ka.zeros if ka else 0))
+        else:
+            demand(a, own & ~(kb_.ones if kb_ else 0))
+            demand(b, own & ~(ka.ones if ka else 0))
+        return
+    if op == Opcode.XOR:
+        demand(inst.operands[0], own)
+        demand(inst.operands[1], own)
+        return
+    if op in (Opcode.SHL, Opcode.LSHR, Opcode.ASHR):
+        a, b = inst.operands
+        kb_ = facts.known_bits(b)
+        amount = kb_.constant_value() if kb_ else None
+        width = inst.type.width
+        if amount is not None and amount < width:
+            if op == Opcode.SHL:
+                demand(a, own >> amount)
+            elif op == Opcode.LSHR:
+                demand(a, mask(own << amount, width))
+            else:
+                wanted = mask(own << amount, width)
+                if own >> (width - amount or width):
+                    wanted |= 1 << (width - 1)
+                demand(a, wanted)
+        else:
+            demand(a, -1)
+        demand(b, -1)
+        return
+    if isinstance(inst, SelectInst):
+        demand(inst.condition, -1)
+        demand(inst.true_value, own)
+        demand(inst.false_value, own)
+        return
+    if op == Opcode.ADD or op == Opcode.SUB:
+        # Low bits depend only on low operand bits: demand up to the
+        # highest demanded bit.
+        high = own.bit_length()
+        wanted = _all_ones(high) if high else 0
+        demand(inst.operands[0], wanted)
+        demand(inst.operands[1], wanted)
+        return
+    for operand in inst.operands:
+        demand(operand, -1)
+
+
+# -- the lints ----------------------------------------------------------
+
+
+class DataflowLint(AnalysisPass):
+    """Dataflow-powered lints over the scalar IR and the emitted program.
+
+    * ``shift``: a shift whose amount can reach the operand width is UB
+      in the scalar IR (ERROR when it *always* is, WARNING when it may).
+    * ``narrow``: a ``trunc`` that provably drops demanded non-zero bits
+      (WARNING — often intentional wrap-around, never silent).
+    * ``memory``: vector loads/stores with statically negative offsets
+      (ERROR) and overlapping same-buffer vector store ranges (ERROR:
+      each scalar store is covered exactly once, so overlap means two
+      packs write the same element).
+    """
+
+    name = "dataflow"
+
+    def run(self, unit: AnalysisUnit) -> List[Diagnostic]:
+        diagnostics: List[Diagnostic] = []
+        function = unit.function
+        fn_name = getattr(function, "name", "<function>")
+        facts = compute_dataflow(function)
+
+        for inst in function.entry:
+            if inst.opcode in (Opcode.SHL, Opcode.LSHR, Opcode.ASHR):
+                diagnostics.extend(
+                    self._check_shift(fn_name, inst, facts))
+            elif inst.opcode == Opcode.TRUNC:
+                diagnostics.extend(
+                    self._check_narrow(fn_name, inst, facts))
+
+        if unit.program is not None:
+            diagnostics.extend(self._check_memory(fn_name, unit.program))
+        return diagnostics
+
+    def _check_shift(self, fn_name: str, inst: Instruction,
+                     facts: DataflowFacts) -> List[Diagnostic]:
+        amount = inst.operands[1]
+        vr = facts.value_range(amount)
+        if vr is None:
+            return []
+        width = inst.type.width
+        location = f"{fn_name}: {inst.opcode} {inst.short_name()}"
+        if vr.umin >= width:
+            return [self.diag(
+                ERROR, location,
+                f"shift amount is always >= {width} (range "
+                f"[{vr.umin}, {vr.umax}]): undefined in the scalar IR",
+            )]
+        if vr.umax >= width:
+            return [self.diag(
+                WARNING, location,
+                f"shift amount may reach {vr.umax} >= width {width}: "
+                f"undefined for those inputs",
+            )]
+        return []
+
+    def _check_narrow(self, fn_name: str, inst: Instruction,
+                      facts: DataflowFacts) -> List[Diagnostic]:
+        src = inst.operands[0]
+        kb = facts.known_bits(src)
+        if kb is None:
+            return []
+        dest_width = inst.type.width
+        dropped = kb.ones >> dest_width
+        if dropped and facts.demanded_bits(inst):
+            location = f"{fn_name}: trunc {inst.short_name()}"
+            return [self.diag(
+                WARNING, location,
+                f"narrowing i{src.type.width} -> i{dest_width} drops "
+                f"bits that are provably non-zero (overflow on narrow)",
+            )]
+        return []
+
+    def _check_memory(self, fn_name: str, program) -> List[Diagnostic]:
+        from repro.vectorizer.vector_ir import VLoad, VStore
+
+        diagnostics: List[Diagnostic] = []
+        store_ranges: List[Tuple[str, int, int, str]] = []
+        for node in program.nodes:
+            if isinstance(node, (VLoad, VStore)):
+                kind = "vload" if isinstance(node, VLoad) else "vstore"
+                location = (f"{fn_name}: {kind} {node.base.name}"
+                            f"[{node.offset}]")
+                if node.offset < 0:
+                    diagnostics.append(self.diag(
+                        ERROR, location,
+                        f"statically out-of-bounds: negative element "
+                        f"offset {node.offset}",
+                    ))
+                if isinstance(node, VStore):
+                    lo, hi = node.offset, node.offset + node.lanes - 1
+                    for (base, plo, phi, ploc) in store_ranges:
+                        if base == node.base.name and \
+                                lo <= phi and plo <= hi:
+                            diagnostics.append(self.diag(
+                                ERROR, location,
+                                f"overlaps earlier vector store "
+                                f"{ploc}: two packs write "
+                                f"{base}[{max(lo, plo)}..."
+                                f"{min(hi, phi)}]",
+                            ))
+                    store_ranges.append(
+                        (node.base.name, lo, hi, location))
+        return diagnostics

@@ -66,19 +66,30 @@ class AnalysisManager:
 
     def run(self, unit: AnalysisUnit) -> List[Diagnostic]:
         diagnostics: List[Diagnostic] = []
+        seen = set()
         for analysis_pass in self.passes:
-            diagnostics.extend(analysis_pass.run(unit))
+            for diag in analysis_pass.run(unit):
+                # Deduplicate: passes over overlapping representations
+                # (e.g. per-pack and per-program walks) can report the
+                # same finding more than once.
+                key = (diag.severity, diag.pass_name, diag.location,
+                       diag.message)
+                if key in seen:
+                    continue
+                seen.add(key)
+                diagnostics.append(diag)
         return diagnostics
 
 
 def default_passes() -> List[AnalysisPass]:
-    """The four stock sanitizers, in cheap-to-thorough order."""
+    """The stock sanitizers, in cheap-to-thorough order."""
+    from repro.analysis.dataflow import DataflowLint
     from repro.analysis.depsan import DepSan
     from repro.analysis.irlint import IRLint
     from repro.analysis.lanesan import LaneSan
     from repro.analysis.vidllint import VIDLLint
 
-    return [IRLint(), VIDLLint(), LaneSan(), DepSan()]
+    return [IRLint(), DataflowLint(), VIDLLint(), LaneSan(), DepSan()]
 
 
 def analyze_result(result, target=None,

@@ -1,0 +1,1069 @@
+"""TransVal: Alive2-style translation validation for emitted programs.
+
+VeGen's premise is that target semantics written once (pseudocode ->
+bitvector formulas -> VIDL, §6.1) can *generate* a vectorizer; this module
+closes the loop by using the same semantics layer to *verify* the
+vectorizer's output.  For one :class:`VectorizationResult` it proves,
+statically, that the emitted vector program computes the same thing as the
+(canonicalized) scalar input:
+
+1. **Scalar symbolic execution** — run the scalar IR over
+   :mod:`repro.bitvector` expressions instead of concrete values.  Memory
+   is exact: every address is a (buffer argument, constant offset) pair
+   (restrict pointers + constant-offset ``gep``, see
+   ``ir.instructions.GEPInst``), so the heap is a flat map from location
+   to expression with store-to-load forwarding.
+2. **Vector symbolic execution** — run the emitted program lane-by-lane,
+   executing each compute instruction through its VIDL description
+   (mirroring :mod:`repro.machine.exec`, but over expressions).  Both
+   executions share one pool of initial-memory variables, so a location
+   neither side wrote reads back as the *same* free variable.
+3. **Goal discharge** — for every stored location (and the return value)
+   prove the two sides' expressions equal, in escalating tiers:
+
+   * *structural*: ``bitvector.simplify`` both sides, canonicalize
+     commutative operand order (hash-consed, local to the validator — the
+     global simplifier's output is frozen by the serialized target
+     artifact), compare for syntactic identity;
+   * *known-bits*: fold comparisons and selects decided by the
+     :mod:`repro.analysis.dataflow` known-bits domain (this is what
+     discharges saturation clamps that provably cannot clip), then
+     re-compare;
+   * *enumeration*: when the goal's free variables total at most
+     ``enum_bits`` bits, exhaustively evaluate both sides with
+     ``bitvector.eval`` over every assignment — a complete proof;
+   * *sampling*: otherwise check deterministic corner + random
+     assignments.  This tier only ever *validates* (status ``sampled``),
+     never proves; the report and counters say which tier closed each
+     goal.
+
+Undefined behaviour follows Alive2's refinement direction: assignments on
+which the *scalar* side is undefined (shift amount >= width, division by
+zero) are excluded, while the vector side raising on a scalar-defined
+assignment is a bug.  Symbolically, both sides use the clamping SMT-LIB
+shift semantics, which agree with the scalar interpreter on every
+scalar-defined input.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.dataflow import (
+    KnownBits,
+    kb_add,
+    kb_and,
+    kb_ashr_const,
+    kb_lshr_const,
+    kb_not,
+    kb_or,
+    kb_sext,
+    kb_shl_const,
+    kb_trunc,
+    kb_xor,
+    kb_zext,
+)
+from repro.analysis.diagnostics import ERROR, WARNING, Diagnostic
+from repro.analysis.manager import AnalysisPass, AnalysisUnit
+from repro.bitvector.eval import BVEvalError, evaluate
+from repro.bitvector.expr import (
+    BVBinary,
+    BVCast,
+    BVConcat,
+    BVConst,
+    BVExpr,
+    BVExtract,
+    BVIte,
+    BVOps,
+    BVUnary,
+    BVVar,
+    bv_const,
+    bv_sext,
+    bv_trunc,
+    bv_zext,
+    free_variables,
+)
+from repro.bitvector.simplify import _Simplifier
+from repro.ir.instructions import (
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    Opcode,
+    RetInst,
+    SelectInst,
+    StoreInst,
+)
+from repro.ir.values import Argument, Constant, Value
+from repro.obs.counters import NULL_COUNTERS
+from repro.utils.fp import float_to_bits
+from repro.utils.intmath import to_signed
+from repro.vidl.ast import OpConst, OpExpr, OpNode, OpParam, Operation
+
+#: Recursion headroom for deep expression DAGs (reduction chains).
+_RECURSION_LIMIT = 100_000
+
+_CAST_OPS = frozenset(
+    {"sext", "zext", "trunc", "fpext", "fptrunc", "sitofp", "fptosi"}
+)
+
+#: Goal statuses, ordered strongest-first.
+PROVED_STRUCTURAL = "proved-structural"
+PROVED_KNOWNBITS = "proved-knownbits"
+PROVED_ENUM = "proved-enum"
+SAMPLED = "sampled"
+FAILED = "failed"
+
+_PROVED = frozenset({PROVED_STRUCTURAL, PROVED_KNOWNBITS, PROVED_ENUM})
+
+
+@dataclass
+class TransValConfig:
+    """Validator knobs.
+
+    ``enum_bits`` bounds the exhaustive tier: a goal is enumerated only
+    when its free variables total at most this many bits (2^enum_bits
+    evaluations).  ``samples`` is the budget for the sampling tier;
+    ``seed`` makes it deterministic.
+    """
+
+    enum_bits: int = 12
+    samples: int = 64
+    seed: int = 0xC0FFEE
+
+
+@dataclass
+class GoalResult:
+    """Outcome of one equivalence goal (a stored location or the return
+    value)."""
+
+    location: str
+    status: str
+    detail: str = ""
+
+    @property
+    def proved(self) -> bool:
+        return self.status in _PROVED
+
+
+@dataclass
+class TransValReport:
+    """Everything one validation run established."""
+
+    function: str
+    status: str  # 'proved' | 'validated' | 'failed'
+    goals: List[GoalResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status != FAILED
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for goal in self.goals:
+            out[goal.status] = out.get(goal.status, 0) + 1
+        return out
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "function": self.function,
+            "status": self.status,
+            "goals": [
+                {"location": g.location, "status": g.status,
+                 **({"detail": g.detail} if g.detail else {})}
+                for g in self.goals
+            ],
+        }
+
+    def diagnostics(self, pass_name: str = "transval") -> List[Diagnostic]:
+        out: List[Diagnostic] = []
+        for goal in self.goals:
+            if goal.status == FAILED:
+                out.append(Diagnostic(
+                    ERROR, pass_name,
+                    f"{self.function}: {goal.location}",
+                    f"scalar/vector mismatch: {goal.detail}"
+                    if goal.detail else "scalar/vector mismatch",
+                ))
+            elif goal.status == SAMPLED:
+                out.append(Diagnostic(
+                    WARNING, pass_name,
+                    f"{self.function}: {goal.location}",
+                    f"equivalence validated by sampling only "
+                    f"({goal.detail})" if goal.detail else
+                    "equivalence validated by sampling only",
+                ))
+        return out
+
+
+class TranslationValidationError(RuntimeError):
+    """Raised by the VerifyPass when validation finds a miscompile."""
+
+    def __init__(self, report: TransValReport):
+        self.report = report
+        failed = [g for g in report.goals if g.status == FAILED]
+        lines = [f"translation validation failed for {report.function}:"]
+        for goal in failed:
+            suffix = f" ({goal.detail})" if goal.detail else ""
+            lines.append(f"  {goal.location}: {goal.status}{suffix}")
+        super().__init__("\n".join(lines))
+
+
+class _SetupError(RuntimeError):
+    """Symbolic execution itself went wrong (malformed program)."""
+
+
+# -- shared symbolic memory ----------------------------------------------------
+
+
+class _Memory:
+    """One pool of initial-memory variables shared by both executions.
+
+    Locations are ``(buffer argument, element offset)``; distinct
+    arguments never alias (restrict semantics, ``ir.dag._may_alias``).
+    """
+
+    def __init__(self) -> None:
+        self._initial: Dict[Tuple[int, int], BVVar] = {}
+        self._names: Dict[Tuple[int, int], str] = {}
+
+    def initial(self, base: Argument, offset: int, width: int) -> BVVar:
+        key = (id(base), offset)
+        var = self._initial.get(key)
+        if var is None:
+            var = BVVar(f"{base.name}[{offset}]", width)
+            self._initial[key] = var
+        return var
+
+
+class _MemorySide:
+    """One execution's view: its own writes over the shared initial pool."""
+
+    def __init__(self, memory: _Memory) -> None:
+        self._memory = memory
+        self.writes: Dict[Tuple[int, int], BVExpr] = {}
+        self.locations: Dict[Tuple[int, int], Tuple[Argument, int]] = {}
+
+    def read(self, base: Argument, offset: int, width: int) -> BVExpr:
+        stored = self.writes.get((id(base), offset))
+        if stored is not None:
+            return stored  # store-to-load forwarding
+        return self._memory.initial(base, offset, width)
+
+    def write(self, base: Argument, offset: int, expr: BVExpr) -> None:
+        self.writes[(id(base), offset)] = expr
+        self.locations[(id(base), offset)] = (base, offset)
+
+
+def _const_bits(constant: Constant) -> BVConst:
+    ty = constant.type
+    if ty.is_float:
+        return bv_const(float_to_bits(constant.value, ty.width), ty.width)
+    return bv_const(constant.value, ty.width)
+
+
+def _get_expr(env: Dict[int, object], value: Value):
+    if isinstance(value, Constant):
+        return _const_bits(value)
+    try:
+        return env[id(value)]
+    except KeyError:
+        raise _SetupError(f"use of uncomputed value {value!r}")
+
+
+# -- scalar symbolic execution -------------------------------------------------
+
+
+def _sym_execute(inst: Instruction, env: Dict[int, object],
+                 memory: _MemorySide):
+    """Symbolic mirror of ``ir.interp._execute`` over one instruction."""
+    op = inst.opcode
+    if isinstance(inst, GEPInst):
+        base, offset = _get_expr(env, inst.base)
+        return (base, offset + inst.offset)
+    if isinstance(inst, LoadInst):
+        base, offset = _get_expr(env, inst.pointer)
+        return memory.read(base, offset, inst.type.width)
+    if isinstance(inst, StoreInst):
+        base, offset = _get_expr(env, inst.pointer)
+        memory.write(base, offset, _get_expr(env, inst.value))
+        return None
+    if isinstance(inst, (ICmpInst, FCmpInst)):
+        lhs = _get_expr(env, inst.operands[0])
+        rhs = _get_expr(env, inst.operands[1])
+        return BVBinary(inst.pred, lhs, rhs)
+    if isinstance(inst, SelectInst):
+        return BVIte(
+            _get_expr(env, inst.condition),
+            _get_expr(env, inst.true_value),
+            _get_expr(env, inst.false_value),
+        )
+    if op == Opcode.FNEG:
+        return BVUnary("fneg", _get_expr(env, inst.operands[0]))
+    if len(inst.operands) == 2 and not inst.type.is_void:
+        lhs = _get_expr(env, inst.operands[0])
+        rhs = _get_expr(env, inst.operands[1])
+        return BVBinary(op, lhs, rhs)
+    if len(inst.operands) == 1:  # casts
+        value = _get_expr(env, inst.operands[0])
+        return _sym_cast(op, value, inst.type.width)
+    raise _SetupError(f"cannot symbolically execute {inst!r}")
+
+
+def _sym_cast(op: str, value: BVExpr, dest_width: int) -> BVExpr:
+    if op == Opcode.SEXT:
+        return bv_sext(value, dest_width)
+    if op == Opcode.ZEXT:
+        return bv_zext(value, dest_width)
+    if op == Opcode.TRUNC:
+        return bv_trunc(value, dest_width)
+    if op in ("fpext", "fptrunc", "sitofp", "fptosi"):
+        return BVCast(op, value, dest_width)
+    raise _SetupError(f"unknown cast {op}")
+
+
+def _run_scalar(function, memory: _Memory
+                ) -> Tuple[_MemorySide, Optional[BVExpr]]:
+    """Symbolically execute the scalar function; return its memory side
+    and (symbolic) return value."""
+    side = _MemorySide(memory)
+    env: Dict[int, object] = {}
+    for arg in function.args:
+        if arg.type.is_pointer:
+            env[id(arg)] = (arg, 0)
+        else:
+            env[id(arg)] = BVVar(arg.name, arg.type.width)
+    for inst in function.entry:
+        if isinstance(inst, RetInst):
+            if inst.return_value is not None:
+                return side, _get_expr(env, inst.return_value)
+            return side, None
+        result = _sym_execute(inst, env, side)
+        if inst.has_result:
+            env[id(inst)] = result
+    return side, None
+
+
+# -- vector symbolic execution -------------------------------------------------
+
+
+def _sym_op_eval(operation: Operation, args: Sequence[BVExpr]) -> BVExpr:
+    """Symbolic mirror of ``vidl.interp.execute_operation``."""
+    if len(args) != len(operation.params):
+        raise _SetupError(
+            f"operation takes {len(operation.params)} args, "
+            f"got {len(args)}"
+        )
+    return _sym_op_expr(operation.expr, list(args))
+
+
+def _sym_op_expr(expr: OpExpr, args: List[BVExpr]) -> BVExpr:
+    if isinstance(expr, OpParam):
+        value = args[expr.index]
+        if expr.type.is_integer and value.width != expr.type.width:
+            # Mirror the concrete interpreter's masking of parameters.
+            if value.width > expr.type.width:
+                return bv_trunc(value, expr.type.width)
+            return bv_zext(value, expr.type.width)
+        return value
+    if isinstance(expr, OpConst):
+        if expr.type.is_float:
+            return bv_const(float_to_bits(expr.value, expr.type.width),
+                            expr.type.width)
+        return bv_const(expr.value, expr.type.width)
+    assert isinstance(expr, OpNode)
+    op = expr.opcode
+    operands = [_sym_op_expr(o, args) for o in expr.operands]
+    if op == "select":
+        cond = operands[0]
+        if cond.width != 1:
+            cond = BVBinary("ne", cond, bv_const(0, cond.width))
+        return BVIte(cond, operands[1], operands[2])
+    if op in ("icmp", "fcmp"):
+        return BVBinary(expr.attr, operands[0], operands[1])
+    if op == "fneg":
+        return BVUnary("fneg", operands[0])
+    if op in _CAST_OPS:
+        return _sym_cast(op, operands[0], expr.type.width)
+    return BVBinary(op, operands[0], operands[1])
+
+
+class _VectorExec:
+    """Symbolic mirror of the vector-program interpreter."""
+
+    def __init__(self, program, memory: _Memory) -> None:
+        self.program = program
+        self.side = _MemorySide(memory)
+        self.scalar_env: Dict[int, object] = {}
+        self.vector_env: Dict[int, List[Optional[BVExpr]]] = {}
+
+    def run(self) -> None:
+        function = self.program.function
+        for arg in function.args:
+            if arg.type.is_pointer:
+                self.scalar_env[id(arg)] = (arg, 0)
+            else:
+                self.scalar_env[id(arg)] = BVVar(arg.name, arg.type.width)
+        for node in self.program.nodes:
+            self._step(node)
+
+    def _step(self, node) -> None:
+        from repro.vectorizer.vector_ir import (
+            VExtract,
+            VGather,
+            VLoad,
+            VOp,
+            VScalar,
+            VStore,
+        )
+
+        if isinstance(node, VLoad):
+            width = node.elem_type.width
+            self.vector_env[id(node)] = [
+                self.side.read(node.base, node.offset + lane, width)
+                for lane in range(node.lanes)
+            ]
+            return
+        if isinstance(node, VGather):
+            self.vector_env[id(node)] = [
+                self._resolve_source(source) for source in node.sources
+            ]
+            return
+        if isinstance(node, VOp):
+            try:
+                inputs = [self.vector_env[id(op)] for op in node.operands]
+            except KeyError:
+                raise _SetupError(
+                    f"{node.describe()}: operand not computed before use"
+                )
+            self.vector_env[id(node)] = self._execute_vop(node, inputs)
+            return
+        if isinstance(node, VStore):
+            lanes = self.vector_env.get(id(node.source))
+            if lanes is None or len(lanes) != node.lanes:
+                raise _SetupError(
+                    f"{node.describe()}: source lane count mismatch"
+                )
+            for lane, expr in enumerate(lanes):
+                if expr is None:
+                    raise _SetupError(
+                        f"{node.describe()}: stores undef lane {lane}"
+                    )
+                self.side.write(node.base, node.offset + lane, expr)
+            return
+        if isinstance(node, VExtract):
+            lanes = self.vector_env.get(id(node.source))
+            if lanes is None:
+                raise _SetupError(
+                    f"{node.describe()}: source not computed before use"
+                )
+            expr = lanes[node.lane]
+            if expr is None:
+                raise _SetupError(
+                    f"{node.describe()}: extracts undef lane {node.lane}"
+                )
+            self.scalar_env[id(node.value)] = expr
+            return
+        if isinstance(node, VScalar):
+            inst = node.inst
+            if isinstance(inst, RetInst):
+                return
+            result = _sym_execute(inst, self.scalar_env, self.side)
+            if inst.has_result:
+                self.scalar_env[id(inst)] = result
+            return
+        raise _SetupError(f"unknown vector node {node!r}")
+
+    def _execute_vop(self, node, inputs) -> List[Optional[BVExpr]]:
+        desc = node.inst.desc
+        output: List[Optional[BVExpr]] = []
+        for lane_index, lane_op in enumerate(desc.lane_ops):
+            if not node.live_lanes[lane_index]:
+                output.append(None)
+                continue
+            args = []
+            for ref in lane_op.bindings:
+                value = inputs[ref.input_index][ref.lane_index]
+                if value is None:
+                    raise _SetupError(
+                        f"{desc.name}: live lane {lane_index} consumes "
+                        f"an undef input lane"
+                    )
+                args.append(value)
+            output.append(_sym_op_eval(lane_op.operation, args))
+        return output
+
+    def _resolve_source(self, source) -> Optional[BVExpr]:
+        if source.kind == "undef":
+            return None
+        if source.kind == "const":
+            return _const_bits(source.value)
+        if source.kind == "lane":
+            lanes = self.vector_env.get(id(source.node))
+            if lanes is None:
+                raise _SetupError(
+                    "gather reads a vector not computed before use"
+                )
+            return lanes[source.lane]
+        if source.kind == "scalar":
+            return _get_expr(self.scalar_env, source.value)
+        raise _SetupError(f"unknown element source {source.kind!r}")
+
+
+# -- canonicalization (local to the validator) ---------------------------------
+
+
+_SWAPPED_ICMP = {
+    "eq": "eq", "ne": "ne",
+    "slt": "sgt", "sgt": "slt", "sle": "sge", "sge": "sle",
+    "ult": "ugt", "ugt": "ult", "ule": "uge", "uge": "ule",
+}
+
+
+def _relax_strict(op: str, rhs: BVConst
+                  ) -> Optional[Tuple[str, BVConst]]:
+    """Rewrite a strict comparison against a constant as non-strict
+    (``sgt x C`` == ``sge x (C+1)`` for C < signed max), so the scalar
+    IR's select clamps and VIDL's saturation formulas canonicalize to
+    the same form."""
+    width = rhs.width
+    value = rhs.value
+    smax = (1 << (width - 1)) - 1
+    smin = 1 << (width - 1)  # unsigned encoding of the signed minimum
+    umax = (1 << width) - 1
+    if op == "sgt" and value != smax:
+        return "sge", bv_const(value + 1, width)
+    if op == "slt" and value != smin:
+        return "sle", bv_const(value - 1, width)
+    if op == "ugt" and value != umax:
+        return "uge", bv_const(value + 1, width)
+    if op == "ult" and value != 0:
+        return "ule", bv_const(value - 1, width)
+    return None
+
+
+class _Canon:
+    """Hash-consing canonicalizer: sorts commutative operand pairs.
+
+    Keeping this *out* of ``bitvector.simplify`` is deliberate: the
+    global simplifier's output is serialized into the target artifact
+    (``repro gen --check`` asserts byte-identical regeneration), so its
+    normal form is frozen.  Here structurally identical subtrees get the
+    same intern id, commutative operands are ordered by id, and goal
+    equality becomes an integer comparison.
+    """
+
+    def __init__(self) -> None:
+        self._ids: Dict[Tuple, int] = {}
+        self._memo: Dict[int, Tuple[BVExpr, int]] = {}
+        self._keep: List[BVExpr] = []  # pin originals so ids stay valid
+
+    def canon(self, expr: BVExpr) -> Tuple[BVExpr, int]:
+        cached = self._memo.get(id(expr))
+        if cached is not None:
+            return cached
+        result = self._rebuild(expr)
+        self._memo[id(expr)] = result
+        self._keep.append(expr)
+        return result
+
+    def _intern(self, key: Tuple, expr: BVExpr) -> Tuple[BVExpr, int]:
+        node_id = self._ids.get(key)
+        if node_id is None:
+            node_id = len(self._ids)
+            self._ids[key] = node_id
+        return expr, node_id
+
+    def _rebuild(self, expr: BVExpr) -> Tuple[BVExpr, int]:
+        if isinstance(expr, BVVar):
+            return self._intern(("var", expr.name, expr.width), expr)
+        if isinstance(expr, BVConst):
+            return self._intern(("const", expr.value, expr.width), expr)
+        if isinstance(expr, BVExtract):
+            operand, oid = self.canon(expr.operand)
+            rebuilt = expr if operand is expr.operand else \
+                BVExtract(expr.hi, expr.lo, operand)
+            return self._intern(("extract", expr.hi, expr.lo, oid),
+                                rebuilt)
+        if isinstance(expr, BVConcat):
+            parts = [self.canon(p) for p in expr.parts]
+            rebuilt = expr if all(p is orig for (p, _), orig in
+                                  zip(parts, expr.parts)) else \
+                BVConcat([p for p, _ in parts])
+            return self._intern(
+                ("concat",) + tuple(pid for _, pid in parts), rebuilt)
+        if isinstance(expr, BVUnary):
+            operand, oid = self.canon(expr.operand)
+            rebuilt = expr if operand is expr.operand else \
+                BVUnary(expr.op, operand)
+            return self._intern(("unary", expr.op, oid), rebuilt)
+        if isinstance(expr, BVCast):
+            operand, oid = self.canon(expr.operand)
+            rebuilt = expr if operand is expr.operand else \
+                BVCast(expr.op, operand, expr.width)
+            return self._intern(("cast", expr.op, expr.width, oid),
+                                rebuilt)
+        if isinstance(expr, BVIte):
+            cond, cid = self.canon(expr.cond)
+            on_true, tid = self.canon(expr.on_true)
+            on_false, fid = self.canon(expr.on_false)
+            rebuilt = expr if (cond is expr.cond and
+                               on_true is expr.on_true and
+                               on_false is expr.on_false) else \
+                BVIte(cond, on_true, on_false)
+            return self._intern(("ite", cid, tid, fid), rebuilt)
+        assert isinstance(expr, BVBinary)
+        lhs, lid = self.canon(expr.lhs)
+        rhs, rid = self.canon(expr.rhs)
+        op = expr.op
+        if (op in BVOps.COMMUTATIVE or op in ("eq", "ne")) and rid < lid:
+            lhs, lid, rhs, rid = rhs, rid, lhs, lid
+        if op in BVOps.ICMP:
+            if isinstance(lhs, BVConst) and not isinstance(rhs, BVConst):
+                lhs, lid, rhs, rid = rhs, rid, lhs, lid
+                op = _SWAPPED_ICMP[op]
+            if isinstance(rhs, BVConst):
+                relaxed = _relax_strict(op, rhs)
+                if relaxed is not None:
+                    op, rhs = relaxed
+                    rhs, rid = self.canon(rhs)
+        rebuilt = expr if (op == expr.op and lhs is expr.lhs and
+                           rhs is expr.rhs) else BVBinary(op, lhs, rhs)
+        return self._intern(("binary", op, lid, rid), rebuilt)
+
+
+# -- known-bits over bitvector expressions -------------------------------------
+
+
+def expr_known_bits(expr: BVExpr,
+                    memo: Optional[Dict[int, KnownBits]] = None
+                    ) -> KnownBits:
+    """Known-bits abstraction of a bitvector expression.
+
+    Reuses the :mod:`repro.analysis.dataflow` transfer functions — the
+    same lattice the scalar lints run on, applied to formulas instead of
+    instructions.  Float-interpreting ops are *top*.
+    """
+    if memo is None:
+        memo = {}
+    cached = memo.get(id(expr))
+    if cached is not None:
+        return cached
+    result = _expr_kb(expr, memo)
+    memo[id(expr)] = result
+    return result
+
+
+def _expr_kb(expr: BVExpr, memo: Dict[int, KnownBits]) -> KnownBits:
+    top = KnownBits.top(expr.width)
+    if isinstance(expr, BVConst):
+        return KnownBits.from_const(expr.value, expr.width)
+    if isinstance(expr, BVVar):
+        return top
+    if isinstance(expr, BVExtract):
+        kb = expr_known_bits(expr.operand, memo)
+        low = (1 << expr.width) - 1
+        return KnownBits((kb.zeros >> expr.lo) & low,
+                         (kb.ones >> expr.lo) & low, expr.width)
+    if isinstance(expr, BVConcat):
+        zeros, ones = 0, 0
+        for part in expr.parts:  # MSB first
+            kb = expr_known_bits(part, memo)
+            zeros = (zeros << part.width) | kb.zeros
+            ones = (ones << part.width) | kb.ones
+        return KnownBits(zeros, ones, expr.width)
+    if isinstance(expr, BVIte):
+        cond = expr_known_bits(expr.cond, memo)
+        if cond.constant_value() == 1:
+            return expr_known_bits(expr.on_true, memo)
+        if cond.constant_value() == 0:
+            return expr_known_bits(expr.on_false, memo)
+        return expr_known_bits(expr.on_true, memo).join(
+            expr_known_bits(expr.on_false, memo))
+    if isinstance(expr, BVUnary):
+        kb = expr_known_bits(expr.operand, memo)
+        if expr.op == "not":
+            return kb_not(kb)
+        if expr.op == "neg":
+            return kb_add(kb_not(kb), KnownBits.from_const(1, kb.width))
+        return top  # fneg
+    if isinstance(expr, BVCast):
+        kb = expr_known_bits(expr.operand, memo)
+        if expr.op == "zext":
+            return kb_zext(kb, expr.width)
+        if expr.op == "sext":
+            return kb_sext(kb, expr.width)
+        return top  # float casts
+    assert isinstance(expr, BVBinary)
+    op = expr.op
+    if op in BVOps.ICMP:
+        decided = _decide_icmp(op, expr_known_bits(expr.lhs, memo),
+                               expr_known_bits(expr.rhs, memo))
+        if decided is not None:
+            return KnownBits.from_const(decided, 1)
+        return KnownBits.top(1)
+    if op in BVOps.FCMP or op in BVOps.FLOAT_BINARY:
+        return top
+    lhs = expr_known_bits(expr.lhs, memo)
+    rhs = expr_known_bits(expr.rhs, memo)
+    if op == "and":
+        return kb_and(lhs, rhs)
+    if op == "or":
+        return kb_or(lhs, rhs)
+    if op == "xor":
+        return kb_xor(lhs, rhs)
+    if op == "add":
+        return kb_add(lhs, rhs)
+    if op == "sub":
+        return kb_add(kb_add(lhs, kb_not(rhs)),
+                      KnownBits.from_const(1, lhs.width))
+    if op in ("shl", "lshr", "ashr"):
+        amount = rhs.constant_value()
+        if amount is None:
+            return top
+        if op == "shl":
+            return kb_shl_const(lhs, amount)
+        if op == "lshr":
+            return kb_lshr_const(lhs, amount)
+        return kb_ashr_const(lhs, amount)
+    if op == "trunc":  # not produced, but keep total
+        return kb_trunc(lhs, expr.width)
+    return top
+
+
+def _signed_bounds(kb: KnownBits) -> Tuple[int, int]:
+    """Attainable signed [min, max] consistent with the known bits."""
+    width = kb.width
+    sign = 1 << (width - 1)
+    if kb.zeros & sign:
+        return kb.umin(), kb.umax()
+    if kb.ones & sign:
+        return to_signed(kb.umin(), width), to_signed(kb.umax(), width)
+    return to_signed(kb.ones | sign, width), kb.umax() & ~sign
+
+
+def _decide_icmp(op: str, lhs: KnownBits,
+                 rhs: KnownBits) -> Optional[int]:
+    """Decide a comparison from known bits, or None."""
+    if op in ("eq", "ne"):
+        if lhs.is_constant and rhs.is_constant:
+            equal = lhs.ones == rhs.ones
+            return int(equal) if op == "eq" else int(not equal)
+        if (lhs.ones & rhs.zeros) or (lhs.zeros & rhs.ones):
+            return 0 if op == "eq" else 1  # provably different
+        return None
+    if op in ("ult", "ule", "ugt", "uge"):
+        lo_l, hi_l = lhs.umin(), lhs.umax()
+        lo_r, hi_r = rhs.umin(), rhs.umax()
+    elif op in ("slt", "sle", "sgt", "sge"):
+        lo_l, hi_l = _signed_bounds(lhs)
+        lo_r, hi_r = _signed_bounds(rhs)
+    else:
+        return None
+    if op in ("ugt", "uge", "sgt", "sge"):
+        lo_l, hi_l, lo_r, hi_r = lo_r, hi_r, lo_l, hi_l
+        op = {"ugt": "ult", "uge": "ule",
+              "sgt": "slt", "sge": "sle"}[op]
+    strict = op in ("ult", "slt")
+    if (hi_l < lo_r) or (not strict and hi_l == lo_r):
+        return 1
+    if (lo_l > hi_r) or (strict and lo_l == hi_r):
+        return 0
+    return None
+
+
+def _knownbits_fold(expr: BVExpr, memo: Dict[int, KnownBits],
+                    rebuild_memo: Dict[int, BVExpr]) -> BVExpr:
+    """Replace comparisons/selects decided by known bits with constants.
+
+    This is the tier that discharges saturation clamps the dataflow
+    facts prove can never fire (e.g. ``ite(sgt(sext(x16), 32767), ...)``
+    is always the pass-through arm).
+    """
+    cached = rebuild_memo.get(id(expr))
+    if cached is not None:
+        return cached
+    kb = expr_known_bits(expr, memo)
+    value = kb.constant_value()
+    if value is not None:
+        result: BVExpr = bv_const(value, expr.width)
+    elif isinstance(expr, BVIte):
+        cond_kb = expr_known_bits(expr.cond, memo)
+        if cond_kb.constant_value() == 1:
+            result = _knownbits_fold(expr.on_true, memo, rebuild_memo)
+        elif cond_kb.constant_value() == 0:
+            result = _knownbits_fold(expr.on_false, memo, rebuild_memo)
+        else:
+            result = BVIte(
+                _knownbits_fold(expr.cond, memo, rebuild_memo),
+                _knownbits_fold(expr.on_true, memo, rebuild_memo),
+                _knownbits_fold(expr.on_false, memo, rebuild_memo),
+            )
+    elif isinstance(expr, BVBinary):
+        result = BVBinary(
+            expr.op,
+            _knownbits_fold(expr.lhs, memo, rebuild_memo),
+            _knownbits_fold(expr.rhs, memo, rebuild_memo),
+        )
+    elif isinstance(expr, BVUnary):
+        result = BVUnary(
+            expr.op, _knownbits_fold(expr.operand, memo, rebuild_memo))
+    elif isinstance(expr, BVCast):
+        result = BVCast(
+            expr.op, _knownbits_fold(expr.operand, memo, rebuild_memo),
+            expr.width)
+    elif isinstance(expr, BVExtract):
+        result = BVExtract(
+            expr.hi, expr.lo,
+            _knownbits_fold(expr.operand, memo, rebuild_memo))
+    elif isinstance(expr, BVConcat):
+        result = BVConcat([
+            _knownbits_fold(p, memo, rebuild_memo) for p in expr.parts])
+    else:
+        result = expr
+    rebuild_memo[id(expr)] = result
+    return result
+
+
+# -- the prover ----------------------------------------------------------------
+
+
+class _Prover:
+    """Discharges equivalence goals in escalating tiers."""
+
+    def __init__(self, config: TransValConfig, counters) -> None:
+        self.config = config
+        self.counters = counters
+        self.simplifier = _Simplifier()
+        self.canon = _Canon()
+        self._kb_memo: Dict[int, KnownBits] = {}
+
+    def prove(self, location: str, scalar: BVExpr,
+              vector: BVExpr, goal_index: int) -> GoalResult:
+        self.counters.inc("transval.goals")
+        if scalar.width != vector.width:
+            self.counters.inc("transval.failures")
+            return GoalResult(
+                location, FAILED,
+                f"width mismatch: scalar i{scalar.width} vs vector "
+                f"i{vector.width}",
+            )
+        # Tier 1: simplify + commutative canonicalization -> identity.
+        lhs = self.simplifier.run(scalar)
+        rhs = self.simplifier.run(vector)
+        lhs, lid = self.canon.canon(lhs)
+        rhs, rid = self.canon.canon(rhs)
+        if lid == rid:
+            self.counters.inc("transval.proved.structural")
+            return GoalResult(location, PROVED_STRUCTURAL)
+        # Tier 2: fold known-bits-decided clamps, then retry identity.
+        fold_memo: Dict[int, BVExpr] = {}
+        folded_l = _knownbits_fold(lhs, self._kb_memo, fold_memo)
+        folded_r = _knownbits_fold(rhs, self._kb_memo, fold_memo)
+        if folded_l is not lhs or folded_r is not rhs:
+            _, lid2 = self.canon.canon(self.simplifier.run(folded_l))
+            _, rid2 = self.canon.canon(self.simplifier.run(folded_r))
+            if lid2 == rid2:
+                self.counters.inc("transval.proved.knownbits")
+                return GoalResult(location, PROVED_KNOWNBITS)
+        # Tier 3: exhaustive enumeration over small free-variable spaces.
+        variables = self._goal_variables(lhs, rhs)
+        total_bits = sum(v.width for v in variables)
+        if total_bits <= self.config.enum_bits:
+            return self._enumerate(location, lhs, rhs, variables)
+        # Tier 4: deterministic sampling (validates, never proves).
+        return self._sample(location, lhs, rhs, variables, goal_index)
+
+    @staticmethod
+    def _goal_variables(lhs: BVExpr, rhs: BVExpr) -> List[BVVar]:
+        seen = {}
+        for var in free_variables(lhs) + free_variables(rhs):
+            seen.setdefault((var.name, var.width), var)
+        return sorted(seen.values(), key=lambda v: (v.name, v.width))
+
+    def _check(self, lhs: BVExpr, rhs: BVExpr,
+               env: Dict[str, int]) -> Optional[str]:
+        """Check one assignment.  None = agree (or scalar-UB, which is
+        excluded); a string describes a mismatch."""
+        try:
+            expected = evaluate(lhs, env)
+        except BVEvalError:
+            return None  # scalar side undefined: assignment excluded
+        try:
+            actual = evaluate(rhs, env)
+        except BVEvalError as exc:
+            return f"vector side undefined where scalar is not ({exc})"
+        if expected != actual:
+            binding = ", ".join(
+                f"{name}={value:#x}" for name, value in sorted(env.items())
+            )
+            return (f"counterexample {binding}: scalar={expected:#x} "
+                    f"vector={actual:#x}")
+        return None
+
+    def _enumerate(self, location: str, lhs: BVExpr, rhs: BVExpr,
+                   variables: List[BVVar]) -> GoalResult:
+        self.counters.inc("transval.enumerated")
+        spaces = [range(1 << v.width) for v in variables]
+        names = [v.name for v in variables]
+        for point in itertools.product(*spaces):
+            env = dict(zip(names, point))
+            mismatch = self._check(lhs, rhs, env)
+            if mismatch is not None:
+                self.counters.inc("transval.failures")
+                return GoalResult(location, FAILED, mismatch)
+        self.counters.inc("transval.proved.enum")
+        total_bits = sum(v.width for v in variables)
+        return GoalResult(location, PROVED_ENUM,
+                          f"exhausted {total_bits} free bits")
+
+    def _sample(self, location: str, lhs: BVExpr, rhs: BVExpr,
+                variables: List[BVVar], goal_index: int) -> GoalResult:
+        rng = random.Random(self.config.seed + goal_index)
+        corners = (0, 1, None, None)  # None slots filled per-width below
+        checked = 0
+        for sample in range(self.config.samples):
+            env: Dict[str, int] = {}
+            for var in variables:
+                all_ones = (1 << var.width) - 1
+                if sample < len(corners):
+                    choice = corners[sample]
+                    if choice is None:
+                        choice = all_ones if sample == 2 \
+                            else 1 << (var.width - 1)
+                    env[var.name] = choice & all_ones
+                else:
+                    env[var.name] = rng.getrandbits(var.width)
+            mismatch = self._check(lhs, rhs, env)
+            if mismatch is not None:
+                self.counters.inc("transval.failures")
+                return GoalResult(location, FAILED, mismatch)
+            checked += 1
+        self.counters.inc("transval.sampled")
+        return GoalResult(location, SAMPLED, f"{checked} samples")
+
+
+# -- entry points --------------------------------------------------------------
+
+
+def validate_program(function, program,
+                     config: Optional[TransValConfig] = None,
+                     counters=None) -> TransValReport:
+    """Prove a vector program equivalent to its scalar function."""
+    if config is None:
+        config = TransValConfig()
+    if counters is None:
+        counters = NULL_COUNTERS
+    counters.inc("transval.runs")
+    fn_name = getattr(function, "name", "<function>")
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, _RECURSION_LIMIT))
+    try:
+        return _validate(function, program, config, counters, fn_name)
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+
+def _validate(function, program, config, counters,
+              fn_name: str) -> TransValReport:
+    memory = _Memory()
+    try:
+        scalar_side, scalar_ret = _run_scalar(function, memory)
+        vector = _VectorExec(program, memory)
+        vector.run()
+    except _SetupError as exc:
+        counters.inc("transval.failures")
+        return TransValReport(fn_name, FAILED, [
+            GoalResult("<program>", FAILED, str(exc)),
+        ])
+
+    prover = _Prover(config, counters)
+    goals: List[GoalResult] = []
+    locations = dict(scalar_side.locations)
+    locations.update(vector.side.locations)
+    ordered = sorted(
+        locations.items(), key=lambda kv: (kv[1][0].name, kv[1][1]))
+    for index, (key, (base, offset)) in enumerate(ordered):
+        label = f"{base.name}[{offset}]"
+        scalar_expr = scalar_side.writes.get(key)
+        vector_expr = vector.side.writes.get(key)
+        if scalar_expr is None:
+            counters.inc("transval.goals")
+            counters.inc("transval.failures")
+            goals.append(GoalResult(
+                label, FAILED,
+                "vector program stores a location the scalar never "
+                "writes"))
+            continue
+        if vector_expr is None:
+            counters.inc("transval.goals")
+            counters.inc("transval.failures")
+            goals.append(GoalResult(
+                label, FAILED,
+                "scalar store has no counterpart in the vector program"))
+            continue
+        goals.append(prover.prove(label, scalar_expr, vector_expr, index))
+
+    ret_inst = None
+    for inst in function.entry:
+        if isinstance(inst, RetInst):
+            ret_inst = inst
+            break
+    if ret_inst is not None and ret_inst.return_value is not None:
+        value = ret_inst.return_value
+        try:
+            vector_ret = _get_expr(vector.scalar_env, value)
+        except _SetupError:
+            counters.inc("transval.goals")
+            counters.inc("transval.failures")
+            goals.append(GoalResult(
+                "<return>", FAILED,
+                "return value not computed by the vector program"))
+            vector_ret = None
+        if vector_ret is not None and scalar_ret is not None:
+            goals.append(prover.prove("<return>", scalar_ret,
+                                      vector_ret, len(goals)))
+
+    if any(g.status == FAILED for g in goals):
+        status = FAILED
+    elif any(g.status == SAMPLED for g in goals):
+        status = "validated"
+    else:
+        status = "proved"
+    return TransValReport(fn_name, status, goals)
+
+
+def validate_result(result, config: Optional[TransValConfig] = None,
+                    counters=None) -> TransValReport:
+    """Validate one :class:`VectorizationResult` (scalar function vs its
+    emitted program — ``result.function`` *is* ``program.function``, the
+    canonicalized working copy)."""
+    if counters is None:
+        counters = getattr(result, "counters", None) or NULL_COUNTERS
+    return validate_program(result.function, result.program,
+                            config=config, counters=counters)
+
+
+class TransVal(AnalysisPass):
+    """Translation validation as an :class:`AnalysisManager` pass.
+
+    Reports ERROR diagnostics for disproved goals and WARNINGs for goals
+    only validated by sampling; proves are silent.
+    """
+
+    name = "transval"
+
+    def __init__(self, config: Optional[TransValConfig] = None):
+        self.config = config
+
+    def run(self, unit: AnalysisUnit) -> List[Diagnostic]:
+        if unit.program is None:
+            return []
+        report = validate_program(unit.function, unit.program,
+                                  config=self.config)
+        return report.diagnostics(pass_name=self.name)

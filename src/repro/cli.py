@@ -18,9 +18,16 @@ Commands
     Re-run the §6.1 random-testing validation over a target's ISA.
 
 ``lint``
-    Run the ``repro.analysis`` sanitizer suite (IRLint, VIDLLint,
-    LaneSan, DepSan) over vectorization results — for a mini-C file, a
-    bundled kernel, or every bundled kernel — and report diagnostics.
+    Run the ``repro.analysis`` sanitizer suite (IRLint, DataflowLint,
+    VIDLLint, LaneSan, DepSan) over vectorization results — for a
+    mini-C file, a bundled kernel, or every bundled kernel — and report
+    diagnostics.
+
+``verify``
+    Run TransVal translation validation (``repro.analysis.transval``)
+    over vectorization results: statically prove each emitted vector
+    program equivalent to its scalar input, reporting per-goal proof
+    status and exiting non-zero on any disproved goal.
 
 ``bench``
     Run the bundled kernel × target matrix with tracing and counters on;
@@ -221,6 +228,90 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if error_count else 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.analysis.transval import (
+        FAILED,
+        SAMPLED,
+        TransValConfig,
+        validate_result,
+    )
+    from repro.kernels import all_kernels
+    from repro.obs import Counters
+    from repro.session import VectorizationSession
+
+    if args.file:
+        functions = {}
+        with open(args.file) as handle:
+            source = handle.read()
+        for fn in compile_c(source):
+            functions[fn.name] = fn
+    elif args.kernel:
+        kernels = all_kernels()
+        functions = {}
+        for name in args.kernel:
+            if name not in kernels:
+                print(f"unknown kernel {name!r}; available: "
+                      f"{', '.join(sorted(kernels))}", file=sys.stderr)
+                return 2
+            functions[name] = kernels[name]
+    elif args.all:
+        functions = all_kernels()
+    else:
+        print("verify: give a FILE, --kernel NAME, or --all",
+              file=sys.stderr)
+        return 2
+
+    if args.target == "all":
+        targets = available_targets()
+    else:
+        targets = [args.target]
+
+    config = TransValConfig(enum_bits=args.enum_bits)
+    counters = Counters()
+    cells = []
+    checked = 0
+    failed = 0
+    sampled = 0
+    for tname in targets:
+        session = VectorizationSession(target=tname,
+                                       beam_width=args.beam_width)
+        for fname in sorted(functions):
+            result = session.vectorize(functions[fname])
+            report = validate_result(result, config=config,
+                                     counters=counters)
+            checked += 1
+            counts = report.counts()
+            if report.status == FAILED:
+                failed += 1
+            elif counts.get(SAMPLED):
+                sampled += 1
+            cell = report.as_dict()
+            cell["target"] = tname
+            cells.append(cell)
+            if not args.quiet or report.status == FAILED:
+                print(f"{tname}/{fname}: {report.status} "
+                      f"({len(report.goals)} goals)")
+            for diag in report.diagnostics():
+                print(f"{tname}/{fname}: {diag.format()}")
+    print(f"verified {checked} function/target combinations: "
+          f"{checked - failed - sampled} proved, {sampled} sampled, "
+          f"{failed} failed")
+    if args.report:
+        import json
+
+        doc = {
+            "schema": "repro-verify-report/v1",
+            "cells": cells,
+            "counters": {k: v for k, v in counters.as_dict().items()
+                         if k.startswith("transval.")},
+        }
+        with open(args.report, "w") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.report}")
+    return 1 if failed else 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.kernels import all_kernels
     from repro.obs import (
@@ -254,7 +345,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     try:
         doc = run_bench(kernel_names=kernel_names, targets=targets,
                         beam_width=args.beam_width, progress=progress,
-                        jobs=args.jobs, profile_top=args.profile)
+                        jobs=args.jobs, profile_top=args.profile,
+                        verify=not args.no_verify)
     except KeyError as exc:
         print(f"bench: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -393,6 +485,30 @@ def build_parser() -> argparse.ArgumentParser:
                         "lint favours coverage over best packing)")
     p.set_defaults(func=_cmd_lint)
 
+    p = sub.add_parser("verify",
+                       help="prove emitted vector programs equivalent "
+                            "to their scalar inputs (TransVal)")
+    p.add_argument("file", nargs="?", default=None,
+                   help="mini-C file to verify (omit with "
+                        "--kernel/--all)")
+    p.add_argument("--kernel", action="append", default=None,
+                   help="verify one bundled kernel by name (repeatable)")
+    p.add_argument("--all", action="store_true",
+                   help="verify every bundled kernel")
+    p.add_argument("--target", default="avx2",
+                   choices=available_targets() + ["all"])
+    p.add_argument("--beam-width", type=int, default=8,
+                   help="pack-selection beam width (default 8, matching "
+                        "the bench matrix)")
+    p.add_argument("--enum-bits", type=int, default=12,
+                   help="exhaustively enumerate fallback goals with at "
+                        "most this many free input bits (default 12)")
+    p.add_argument("--report", default=None, metavar="FILE.json",
+                   help="write the per-cell verification report as JSON")
+    p.add_argument("--quiet", action="store_true",
+                   help="only print failures and the summary line")
+    p.set_defaults(func=_cmd_verify)
+
     p = sub.add_parser("bench",
                        help="benchmark the kernel x target matrix and "
                             "write the BENCH_vegen.json trajectory")
@@ -418,6 +534,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "N functions by cumulative time in the bench "
                         "document (default N: 15); profiled wall times "
                         "carry tracing overhead")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip the per-cell TransVal verification column")
     p.add_argument("--out", default="BENCH_vegen.json",
                    help="output path (default: BENCH_vegen.json)")
     p.add_argument("--compare", default=None, metavar="OLD.json",

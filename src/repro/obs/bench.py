@@ -46,7 +46,8 @@ DEFAULT_COST_TOLERANCE = 0.01
 
 def bench_one(kernel_name: str, function, target: str,
               beam_width: int = DEFAULT_BEAM_WIDTH,
-              session=None, profile_top: int = 0) -> Dict:
+              session=None, profile_top: int = 0,
+              verify: bool = True) -> Dict:
     """Benchmark one (kernel, target) cell with observability enabled.
 
     ``session`` (a :class:`repro.session.VectorizationSession`) lets the
@@ -58,6 +59,12 @@ def bench_one(kernel_name: str, function, target: str,
     ``phases`` (``repro bench --profile``).  Profiling adds tracing
     overhead, so profiled wall times are not comparable to unprofiled
     runs — model costs and counters are unaffected.
+
+    ``verify=True`` (the default) additionally runs TransVal translation
+    validation over the emitted program and records its proof status in
+    a ``verify`` column (``proved``/``validated``/``failed``) plus
+    ``transval.*`` counters.  Verification runs after ``wall_s`` is
+    measured, so vectorization wall times are unaffected.
     """
     from repro.obs.counters import Counters
     from repro.obs.trace import Tracer
@@ -80,6 +87,12 @@ def bench_one(kernel_name: str, function, target: str,
     wall_s = time.perf_counter() - start
     if profiler is not None:
         profiler.disable()
+    verify_status = None
+    if verify:
+        from repro.analysis.transval import validate_result
+
+        report = validate_result(result, counters=counters)
+        verify_status = report.status
     phases = tracer.phase_times()
     phases.pop("vectorize", None)  # the root duplicates wall_s
     scalar = result.scalar_cost
@@ -97,6 +110,8 @@ def bench_one(kernel_name: str, function, target: str,
                    for name, dur in sorted(phases.items())},
         "counters": counters.as_dict(),
     }
+    if verify_status is not None:
+        cell["verify"] = verify_status
     if profiler is not None:
         cell["profile"] = _top_profile_entries(profiler, profile_top)
     return cell
@@ -125,7 +140,7 @@ def _top_profile_entries(profiler, top: int) -> List[Dict]:
     return entries[:top]
 
 
-def _bench_cell(task: Tuple[str, str, int, int]) -> Dict:
+def _bench_cell(task: Tuple[str, str, int, int, bool]) -> Dict:
     """Process-pool worker: benchmark one (kernel, target) cell.
 
     Takes only picklable names — each worker process rebuilds the kernel
@@ -133,16 +148,17 @@ def _bench_cell(task: Tuple[str, str, int, int]) -> Dict:
     no IR or target state ever crosses the process boundary."""
     from repro.kernels import all_kernels
 
-    kernel_name, target, beam_width, profile_top = task
+    kernel_name, target, beam_width, profile_top, verify = task
     return bench_one(kernel_name, all_kernels()[kernel_name], target,
-                     beam_width, profile_top=profile_top)
+                     beam_width, profile_top=profile_top, verify=verify)
 
 
 def run_bench(kernel_names: Optional[Sequence[str]] = None,
               targets: Sequence[str] = DEFAULT_TARGETS,
               beam_width: int = DEFAULT_BEAM_WIDTH,
               progress: Optional[Callable[[str], None]] = None,
-              jobs: int = 1, profile_top: int = 0) -> Dict:
+              jobs: int = 1, profile_top: int = 0,
+              verify: bool = True) -> Dict:
     """Run the kernel × target matrix; returns the bench document.
 
     ``jobs > 1`` fans the cells out over a ``ProcessPoolExecutor``.
@@ -152,7 +168,8 @@ def run_bench(kernel_names: Optional[Sequence[str]] = None,
 
     ``profile_top > 0`` profiles every cell under :mod:`cProfile` and
     records each cell's top-N cumulative functions (see
-    :func:`bench_one`)."""
+    :func:`bench_one`).  ``verify=False`` skips the per-cell TransVal
+    verification column."""
     from repro import __version__
     from repro.kernels import all_kernels
 
@@ -168,7 +185,7 @@ def run_bench(kernel_names: Optional[Sequence[str]] = None,
             )
         selected = list(kernel_names)
 
-    tasks = [(name, target, beam_width, profile_top)
+    tasks = [(name, target, beam_width, profile_top, verify)
              for target in targets for name in selected]
     total_start = time.perf_counter()
     if jobs > 1 and len(tasks) > 1:
@@ -185,7 +202,7 @@ def run_bench(kernel_names: Optional[Sequence[str]] = None,
 
         results = []
         sessions: Dict[Tuple[str, int], object] = {}
-        for name, target, width, top in tasks:
+        for name, target, width, top, do_verify in tasks:
             if progress is not None:
                 progress(f"bench {name} on {target}")
             key = (target, width)
@@ -194,7 +211,8 @@ def run_bench(kernel_names: Optional[Sequence[str]] = None,
                                                      beam_width=width)
             results.append(
                 bench_one(name, kernels[name], target, width,
-                          session=sessions[key], profile_top=top)
+                          session=sessions[key], profile_top=top,
+                          verify=do_verify)
             )
     total_wall = time.perf_counter() - total_start
 
@@ -203,6 +221,16 @@ def run_bench(kernel_names: Optional[Sequence[str]] = None,
         math.exp(sum(math.log(r) for r in ratios) / len(ratios))
         if ratios else 1.0
     )
+    summary = {
+        "num_results": len(results),
+        "num_vectorized": sum(1 for r in results if r["vectorized"]),
+        "geomean_cost_ratio": geomean,
+        "total_wall_s": round(total_wall, 3),
+    }
+    if verify:
+        summary["num_proved"] = sum(
+            1 for r in results if r.get("verify") == "proved"
+        )
     return {
         "schema": BENCH_SCHEMA,
         "version": __version__,
@@ -214,12 +242,7 @@ def run_bench(kernel_names: Optional[Sequence[str]] = None,
         "targets": list(targets),
         "kernels": selected,
         "results": results,
-        "summary": {
-            "num_results": len(results),
-            "num_vectorized": sum(1 for r in results if r["vectorized"]),
-            "geomean_cost_ratio": geomean,
-            "total_wall_s": round(total_wall, 3),
-        },
+        "summary": summary,
     }
 
 
@@ -270,6 +293,9 @@ def validate_bench(doc: Dict) -> None:
         for name, value in result["counters"].items():
             if not isinstance(name, str) or not isinstance(value, int):
                 raise ValueError(f"results[{i}].counters malformed")
+        if "verify" in result:  # optional: present unless --no-verify
+            if not isinstance(result["verify"], str):
+                raise ValueError(f"results[{i}].verify must be a string")
         if "profile" in result:  # optional: present under --profile
             if not isinstance(result["profile"], list):
                 raise ValueError(f"results[{i}].profile must be a list")
@@ -375,14 +401,19 @@ def render_bench_summary(doc: Dict, stream=None) -> None:
         f"{summary['total_wall_s']:.1f}s)",
         file=out,
     )
+    has_verify = any("verify" in r for r in doc["results"])
     header = (f"{'kernel':28s} {'target':12s} {'ratio':>7s} "
               f"{'packs':>5s} {'wall':>8s}")
+    if has_verify:
+        header += f" {'verify':>9s}"
     print(header, file=out)
     print("-" * len(header), file=out)
     for result in doc["results"]:
-        print(
+        line = (
             f"{result['kernel']:28s} {result['target']:12s} "
             f"{result['cost_ratio']:7.4f} {result['num_packs']:5d} "
-            f"{result['wall_s'] * 1e3:7.1f}ms",
-            file=out,
+            f"{result['wall_s'] * 1e3:7.1f}ms"
         )
+        if has_verify:
+            line += f" {result.get('verify', '-'):>9s}"
+        print(line, file=out)

@@ -67,6 +67,15 @@ COUNTER_NAMES = frozenset({
     "sanitizer.diagnostics",      # total diagnostics reported
     "sanitizer.errors",           # error-severity diagnostics
     "sanitizer.warnings",         # warning-severity diagnostics
+    # translation validation (repro.analysis.transval)
+    "transval.runs",              # validation runs started
+    "transval.goals",             # equivalence goals discharged
+    "transval.proved.structural",  # closed by simplify + canonical form
+    "transval.proved.knownbits",  # closed by known-bits clamp folding
+    "transval.proved.enum",       # closed by exhaustive enumeration
+    "transval.enumerated",        # goals that entered the enumeration tier
+    "transval.sampled",           # goals only validated by sampling
+    "transval.failures",          # goals disproved (miscompile found)
 })
 
 

@@ -51,6 +51,7 @@ SPAN_NAMES = frozenset({
     "codegen",            # scheduling + lowering (§4.5)
     "cost_model",         # scalar/vector program costing (§6.2)
     "sanitize",           # repro.analysis sanitizer suite
+    "verify",             # TransVal translation validation
 })
 
 

@@ -19,6 +19,7 @@ from repro.passes.library import (
     ReassociatePass,
     SanitizePass,
     ScalarCostPass,
+    VerifyPass,
     available_passes,
     build_pipeline,
     default_passes,
@@ -46,6 +47,7 @@ __all__ = [
     "ReassociatePass",
     "SanitizePass",
     "ScalarCostPass",
+    "VerifyPass",
     "available_passes",
     "build_pipeline",
     "default_passes",

@@ -159,6 +159,44 @@ class SanitizePass(Pass):
             raise SanitizerError(errors)
 
 
+class VerifyPass(Pass):
+    """TransVal translation validation of the emitted program (opt-in).
+
+    Statically proves the vector program equivalent to the canonicalized
+    scalar input through the same VIDL semantics it was selected with
+    (see :mod:`repro.analysis.transval`).  Stores the report on
+    ``state.verification``, appends its diagnostics, and raises
+    :class:`repro.analysis.transval.TranslationValidationError` when any
+    goal is disproved.
+    """
+
+    name = "verify"
+    span_name = "verify"
+    preserves = ALL
+
+    def __init__(self, config=None):
+        self.config = config  # transval.TransValConfig or None
+
+    def run(self, state: PipelineState) -> None:
+        # Imported lazily: repro.analysis imports vectorizer modules.
+        from repro.analysis.transval import (
+            FAILED,
+            TranslationValidationError,
+            validate_program,
+        )
+
+        if state.program is None:
+            return  # nothing emitted yet (custom pipeline without codegen)
+        report = validate_program(
+            state.function, state.program,
+            config=self.config, counters=state.counters,
+        )
+        state.verification = report
+        state.diagnostics = list(state.diagnostics) + report.diagnostics()
+        if report.status == FAILED:
+            raise TranslationValidationError(report)
+
+
 #: Registry: pass name -> factory.  Factories take the pipeline options
 #: relevant to them (today only the reassociate/canonicalize coupling).
 PASS_REGISTRY: Dict[str, Callable[..., Pass]] = {
@@ -168,6 +206,7 @@ PASS_REGISTRY: Dict[str, Callable[..., Pass]] = {
     ScalarCostPass.name: ScalarCostPass,
     CodegenPass.name: CodegenPass,
     SanitizePass.name: SanitizePass,
+    VerifyPass.name: VerifyPass,
 }
 
 
@@ -178,7 +217,8 @@ def available_passes() -> List[str]:
 
 def default_passes(canonicalize_input: bool = True,
                    reassociate: bool = False,
-                   sanitize: bool = False) -> List[Pass]:
+                   sanitize: bool = False,
+                   verify: bool = False) -> List[Pass]:
     """The default pipeline: the historical ``vectorize()`` stages."""
     passes: List[Pass] = []
     if canonicalize_input:
@@ -194,6 +234,8 @@ def default_passes(canonicalize_input: bool = True,
     ])
     if sanitize:
         passes.append(SanitizePass())
+    if verify:
+        passes.append(VerifyPass())
     return passes
 
 

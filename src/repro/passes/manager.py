@@ -60,6 +60,7 @@ class PipelineState:
         self.scalar_cost: Optional[float] = None
         self.cost = None
         self.diagnostics: List = []
+        self.verification = None  # transval.TransValReport when verifying
 
     @property
     def context(self) -> VectorizationContext:

@@ -45,6 +45,7 @@ class VectorizationSession:
         cost_model: Optional[CostModel] = None,
         config: Optional[VectorizerConfig] = None,
         sanitize: bool = False,
+        verify: bool = False,
         pipeline: Optional[PassPipeline] = None,
     ):
         self._target_spec = target
@@ -59,11 +60,13 @@ class VectorizationSession:
         self.cost_model = cost_model
         self.config = config
         self.sanitize = sanitize
+        self.verify = verify
         self.pipeline = pipeline if pipeline is not None else PassPipeline(
             default_passes(
                 canonicalize_input=canonicalize_input,
                 reassociate=reassociate,
                 sanitize=sanitize,
+                verify=verify,
             )
         )
 
@@ -135,6 +138,7 @@ class VectorizationSession:
                 cost=state.cost,
                 estimated_cost=state.estimated_cost,
                 diagnostics=state.diagnostics,
+                verification=state.verification,
             )
             if obs_on:
                 result.trace = root_span  # None when only counters on

@@ -42,6 +42,8 @@ class VectorizationResult:
     diagnostics: List = field(default_factory=list)  # sanitizer findings
     trace: Optional[object] = None     # repro.obs.Span when tracing is on
     counters: Optional[object] = None  # repro.obs.Counters when counting
+    verification: Optional[object] = None  # transval.TransValReport when
+                                           # verify=True
 
     @property
     def vectorized(self) -> bool:
@@ -79,6 +81,7 @@ def vectorize(
     cost_model: Optional[CostModel] = None,
     config: Optional[VectorizerConfig] = None,
     sanitize: bool = False,
+    verify: bool = False,
     tracer=None,
     counters: Optional[Counters] = None,
     passes: Optional[List[str]] = None,
@@ -94,6 +97,11 @@ def vectorize(
     accumulations).  ``sanitize=True`` runs the ``repro.analysis``
     sanitizer suite over the result and raises
     :class:`repro.analysis.SanitizerError` on any error diagnostic.
+    ``verify=True`` runs TransVal translation validation: the emitted
+    program is statically proved equivalent to the canonicalized scalar
+    input (report on ``result.verification``), raising
+    :class:`repro.analysis.transval.TranslationValidationError` on any
+    disproved goal.
 
     ``tracer`` (a :class:`repro.obs.Tracer`) and ``counters`` (a
     :class:`repro.obs.Counters`) enable observability: per-phase spans
@@ -125,6 +133,7 @@ def vectorize(
         cost_model=cost_model,
         config=config,
         sanitize=sanitize,
+        verify=verify,
         pipeline=pipeline,
     )
     return session.vectorize(function, tracer=tracer, counters=counters)

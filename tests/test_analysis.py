@@ -53,7 +53,8 @@ class TestDiagnostics:
 class TestManager:
     def test_default_passes(self):
         names = [p.name for p in default_passes()]
-        assert names == ["irlint", "vidllint", "lanesan", "depsan"]
+        assert names == ["irlint", "dataflow", "vidllint", "lanesan",
+                         "depsan"]
 
     def test_register_and_run_custom_pass(self):
         class Shouty(AnalysisPass):

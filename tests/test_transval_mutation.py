@@ -1,0 +1,253 @@
+"""Mutation-kill suite for the TransVal translation validator.
+
+A validator that proves every correct program but also "proves" broken
+ones is worthless.  Each test here takes real vectorization results,
+injects one class of miscompile into the emitted vector program —
+
+* two gather lanes swapped,
+* a vector instruction's lane semantics changed (add -> sub, ...),
+* a pack element dropped (a live output lane marked dead),
+* an off-by-one vector load / store memory offset —
+
+and asserts :func:`repro.analysis.transval.validate_program` rejects
+**every** mutant (report status ``failed``; zero unsound passes).
+Mutation sites are discovered on the real bench programs, so the suite
+also guards against the mutations becoming unrepresentable.  Programs
+are shared across tests (vectorization dominates the runtime); every
+mutation is applied under ``try/finally`` and restored exactly.
+"""
+
+from __future__ import annotations
+
+import types
+
+import pytest
+
+from repro.analysis.transval import FAILED, TransValConfig, validate_program
+from repro.kernels import all_kernels
+from repro.session import VectorizationSession
+from repro.vectorizer.vector_ir import VGather, VLoad, VOp, VStore
+from repro.vidl.ast import LaneOp, OpNode, Operation
+
+TARGET = "avx2"
+
+#: Semantic opcode swaps for the wrong-opcode mutant.
+_OPCODE_SWAPS = {"add": "sub", "sub": "add", "mul": "add",
+                 "and": "or", "or": "and", "shl": "lshr"}
+
+#: Enough distinct kernels that every mutation class finds >= 3 sites,
+#: small enough that the suite stays inside the tier-1 time budget.
+_MAX_KERNELS = 14
+_MIN_KILLS = 3
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Vectorization results for the first kernels that vectorize."""
+    session = VectorizationSession(target=TARGET, beam_width=8)
+    out = []
+    for name in sorted(all_kernels()):
+        result = session.vectorize(all_kernels()[name])
+        if result.vectorized:
+            out.append((name, result))
+        if len(out) >= _MAX_KERNELS:
+            break
+    assert out, "no kernel vectorized; mutation suite has nothing to kill"
+    return out
+
+
+def _assert_killed(result, label):
+    report = validate_program(result.function, result.program,
+                              config=TransValConfig())
+    assert report.status == FAILED, (
+        f"{label}: TransVal unsoundly passed a mutated program "
+        f"(status {report.status!r}, goals "
+        f"{[g.status for g in report.goals]})"
+    )
+
+
+def _assert_still_proves(result, label):
+    """Guard the restore path: the unmutated program must verify again."""
+    report = validate_program(result.function, result.program,
+                              config=TransValConfig())
+    assert report.status != FAILED, f"{label}: restore left a mutation"
+
+
+def _source_key(source):
+    return (source.kind, id(source.node), source.lane, id(source.value))
+
+
+def test_baseline_results_all_prove(results):
+    """Sanity: the unmutated programs all verify (the mutants below are
+    rejected because of the mutation, not pre-existing failures)."""
+    for name, result in results:
+        _assert_still_proves(result, name)
+
+
+def test_swapped_gather_lanes_killed(results):
+    killed = 0
+    for name, result in results:
+        site = None
+        for node in result.program.nodes:
+            if not isinstance(node, VGather):
+                continue
+            for i in range(len(node.sources)):
+                for j in range(i + 1, len(node.sources)):
+                    a, b = node.sources[i], node.sources[j]
+                    if a.kind == "undef" or b.kind == "undef":
+                        continue
+                    if _source_key(a) != _source_key(b):
+                        site = (node, i, j)
+                        break
+                if site:
+                    break
+            if site:
+                break
+        if site is None:
+            continue
+        node, i, j = site
+        node.sources[i], node.sources[j] = node.sources[j], node.sources[i]
+        try:
+            _assert_killed(result, f"{name}: swap gather lanes {i}<->{j}")
+        finally:
+            node.sources[i], node.sources[j] = (node.sources[j],
+                                                node.sources[i])
+        _assert_still_proves(result, name)
+        killed += 1
+        if killed >= _MIN_KILLS:
+            break
+    assert killed >= _MIN_KILLS, \
+        f"only {killed} swappable gather sites found"
+
+
+def _mutate_operation(operation):
+    """Return the operation with its first swappable OpNode's opcode
+    changed, or None if it contains none."""
+
+    def rewrite(expr):
+        if isinstance(expr, OpNode):
+            if expr.opcode in _OPCODE_SWAPS:
+                return OpNode(_OPCODE_SWAPS[expr.opcode], expr.operands,
+                              expr.type, expr.attr)
+            for idx, child in enumerate(expr.operands):
+                new_child = rewrite(child)
+                if new_child is not None:
+                    operands = list(expr.operands)
+                    operands[idx] = new_child
+                    return OpNode(expr.opcode, operands, expr.type,
+                                  expr.attr)
+        return None
+
+    new_expr = rewrite(operation.expr)
+    if new_expr is None:
+        return None
+    return Operation(params=operation.params, expr=new_expr)
+
+
+def test_wrong_opcode_killed(results):
+    killed = 0
+    for name, result in results:
+        site = None
+        for node in result.program.nodes:
+            if not isinstance(node, VOp):
+                continue
+            for lane, lane_op in enumerate(node.inst.desc.lane_ops):
+                if not node.live_lanes[lane]:
+                    continue
+                mutated = _mutate_operation(lane_op.operation)
+                if mutated is not None:
+                    site = (node, lane, lane_op, mutated)
+                    break
+            if site:
+                break
+        if site is None:
+            continue
+        node, lane, lane_op, mutated = site
+        lane_ops = list(node.inst.desc.lane_ops)
+        lane_ops[lane] = LaneOp(operation=mutated,
+                                bindings=lane_op.bindings)
+        # A duck-typed stand-in: only .desc.lane_ops / .desc.name and
+        # .name are consulted by the symbolic executor.
+        original_inst = node.inst
+        node.inst = types.SimpleNamespace(
+            name=original_inst.name,
+            desc=types.SimpleNamespace(name=original_inst.desc.name,
+                                       lane_ops=tuple(lane_ops)),
+        )
+        try:
+            _assert_killed(result, f"{name}: wrong opcode in lane {lane}")
+        finally:
+            node.inst = original_inst
+        _assert_still_proves(result, name)
+        killed += 1
+        if killed >= _MIN_KILLS:
+            break
+    assert killed >= _MIN_KILLS, \
+        f"only {killed} opcode-mutable VOps found"
+
+
+def test_dropped_pack_element_killed(results):
+    killed = 0
+    for name, result in results:
+        site = None
+        for node in result.program.nodes:
+            if isinstance(node, VStore) and isinstance(node.source, VOp):
+                vop = node.source
+                for lane in range(min(node.lanes, len(vop.live_lanes))):
+                    if vop.live_lanes[lane]:
+                        site = (vop, lane)
+                        break
+            if site:
+                break
+        if site is None:
+            continue
+        vop, lane = site
+        vop.live_lanes[lane] = False
+        try:
+            _assert_killed(result, f"{name}: dropped pack element {lane}")
+        finally:
+            vop.live_lanes[lane] = True
+        _assert_still_proves(result, name)
+        killed += 1
+        if killed >= _MIN_KILLS:
+            break
+    assert killed >= _MIN_KILLS, \
+        f"only {killed} droppable stored lanes found"
+
+
+def test_load_offset_off_by_one_killed(results):
+    killed = 0
+    for name, result in results:
+        load = next((n for n in result.program.nodes
+                     if isinstance(n, VLoad)), None)
+        if load is None:
+            continue
+        load.offset += 1
+        try:
+            _assert_killed(result, f"{name}: vload offset +1")
+        finally:
+            load.offset -= 1
+        _assert_still_proves(result, name)
+        killed += 1
+        if killed >= _MIN_KILLS:
+            break
+    assert killed >= _MIN_KILLS, f"only {killed} vector loads found"
+
+
+def test_store_offset_off_by_one_killed(results):
+    killed = 0
+    for name, result in results:
+        store = next((n for n in result.program.nodes
+                      if isinstance(n, VStore)), None)
+        if store is None:
+            continue
+        store.offset += 1
+        try:
+            _assert_killed(result, f"{name}: vstore offset +1")
+        finally:
+            store.offset -= 1
+        _assert_still_proves(result, name)
+        killed += 1
+        if killed >= _MIN_KILLS:
+            break
+    assert killed >= _MIN_KILLS, f"only {killed} vector stores found"

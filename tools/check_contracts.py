@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Statically check the observability naming contracts.
+
+``repro.obs`` treats counter and span names as stable contracts
+(:data:`repro.obs.counters.COUNTER_NAMES`,
+:data:`repro.obs.trace.SPAN_NAMES`): every ``counters.inc("...")`` and
+``tracer.span("...")`` in the pipeline must use a registered name, or
+the bench trajectory silently grows unvalidated keys.  This tool walks
+every Python file under ``src/`` with :mod:`ast` and verifies
+
+* every literal first argument to a ``.inc(...)`` call is a member of
+  ``COUNTER_NAMES``;
+* every literal first argument to a ``.span(...)`` call is a member of
+  ``SPAN_NAMES``;
+* every ``span_name = "..."`` class attribute (the pass-manager's
+  indirect span naming) is a member of ``SPAN_NAMES``.
+
+Non-literal arguments (computed names) are counted and reported but not
+checked — there are deliberately almost none.  Exits non-zero on any
+violation; run by CI next to the tier-1 tests.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from typing import Iterator, List, Tuple
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_REPO = os.path.dirname(_HERE)
+_SRC = os.path.join(_REPO, "src")
+
+sys.path.insert(0, _SRC)
+
+from repro.obs.counters import COUNTER_NAMES  # noqa: E402
+from repro.obs.trace import SPAN_NAMES  # noqa: E402
+
+
+def _python_files(root: str) -> Iterator[str]:
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                yield os.path.join(dirpath, name)
+
+
+def _literal_str(node: ast.AST) -> "str | None":
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def check_file(path: str) -> Tuple[List[str], int]:
+    """Return (violations, dynamic_call_count) for one source file."""
+    with open(path) as handle:
+        source = handle.read()
+    tree = ast.parse(source, filename=path)
+    rel = os.path.relpath(path, _REPO)
+    violations: List[str] = []
+    dynamic = 0
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr in ("inc", "span") and node.args:
+            kind = node.func.attr
+            name = _literal_str(node.args[0])
+            if name is None:
+                dynamic += 1
+                continue
+            contract = COUNTER_NAMES if kind == "inc" else SPAN_NAMES
+            if name not in contract:
+                registry = ("COUNTER_NAMES" if kind == "inc"
+                            else "SPAN_NAMES")
+                violations.append(
+                    f"{rel}:{node.lineno}: .{kind}({name!r}) uses a "
+                    f"name not in {registry}"
+                )
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                isinstance(node.targets[0], ast.Name) and \
+                node.targets[0].id == "span_name":
+            name = _literal_str(node.value)
+            if name is not None and name not in SPAN_NAMES:
+                violations.append(
+                    f"{rel}:{node.lineno}: span_name = {name!r} is not "
+                    f"in SPAN_NAMES"
+                )
+    return violations, dynamic
+
+
+def main() -> int:
+    files = list(_python_files(os.path.join(_SRC, "repro")))
+    all_violations: List[str] = []
+    dynamic_total = 0
+    for path in files:
+        violations, dynamic = check_file(path)
+        all_violations.extend(violations)
+        dynamic_total += dynamic
+    for violation in all_violations:
+        print(violation, file=sys.stderr)
+    print(f"check_contracts: scanned {len(files)} files, "
+          f"{len(all_violations)} violation(s), "
+          f"{dynamic_total} dynamic call(s) skipped")
+    return 1 if all_violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
