@@ -34,6 +34,11 @@ Commands
     write the ``BENCH_vegen.json`` perf trajectory and (optionally)
     compare against an older trajectory, failing on cost regressions.
 
+``serve``
+    Run the long-lived asyncio compile server (``repro.serve``): JSON
+    over HTTP, content-addressed result cache, hash-sharded worker
+    pool, ``/metrics`` endpoint.
+
 ``gen``
     Run the offline generator phase for the whole spec inventory and
     serialize the generated vectorization utilities into a versioned
@@ -312,7 +317,79 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ServeConfig, run_server
+    from repro.vectorizer.context import VectorizerConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        max_pending=args.max_pending,
+        max_batch=args.max_batch,
+        default_timeout_s=args.timeout,
+        cache_dir=args.cache_dir,
+        cache_memory_entries=args.cache_entries,
+        allow_faults=args.allow_faults,
+        default_config=VectorizerConfig(beam_width=args.beam_width),
+    )
+    try:
+        asyncio.run(run_server(config))
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        render_serve_summary,
+        run_serve_bench,
+        validate_serve_bench,
+        write_serve_bench,
+    )
+
+    targets = [t.strip() for t in args.targets.split(",") if t.strip()]
+    unknown = [t for t in targets if t not in available_targets()]
+    if unknown:
+        print(f"unknown targets: {', '.join(unknown)}; available: "
+              f"{', '.join(available_targets())}", file=sys.stderr)
+        return 2
+    progress = None
+    if not args.quiet:
+        progress = lambda msg: print(msg, file=sys.stderr)  # noqa: E731
+    try:
+        doc = run_serve_bench(
+            kernel_names=args.kernel or None,
+            targets=targets,
+            concurrency=args.concurrency,
+            hot_requests=args.requests,
+            workers=args.serve_workers,
+            beam_width=args.beam_width,
+            progress=progress,
+        )
+    except KeyError as exc:
+        print(f"bench --serve: {exc.args[0]}", file=sys.stderr)
+        return 2
+    try:
+        validate_serve_bench(doc)
+    except ValueError as exc:
+        print(f"bench --serve FAILED: {exc}", file=sys.stderr)
+        return 1
+    out = args.out
+    if out == "BENCH_vegen.json":  # the non-serve default doesn't apply
+        out = "BENCH_serve.json"
+    write_serve_bench(doc, out)
+    render_serve_summary(doc)
+    print(f"wrote {out}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.serve:
+        return _cmd_bench_serve(args)
     from repro.kernels import all_kernels
     from repro.obs import (
         compare_bench,
@@ -545,7 +622,53 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cost-ratio regression tolerance (default 0.01)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-kernel progress on stderr")
+    p.add_argument("--serve", action="store_true",
+                   help="benchmark the compile server instead: spin an "
+                        "in-process server, drive it with concurrent "
+                        "clients, write BENCH_serve.json")
+    p.add_argument("--concurrency", type=int, default=128,
+                   help="[--serve] concurrent keep-alive clients in the "
+                        "hot phase (default 128)")
+    p.add_argument("--requests", type=int, default=1000,
+                   help="[--serve] total hot-phase requests "
+                        "(default 1000)")
+    p.add_argument("--serve-workers", type=int, default=2, metavar="N",
+                   help="[--serve] compile worker processes "
+                        "(0: inline threads; default 2)")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the long-lived compile server (repro.serve)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787,
+                   help="listen port (0: pick a free port; default 8787)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="compile worker processes (0: inline threads; "
+                        "default 2)")
+    p.add_argument("--beam-width", type=int, default=8,
+                   help="default pack-selection beam width (requests "
+                        "may override via config.beam_width)")
+    p.add_argument("--queue-depth", type=int, default=64,
+                   help="per-worker inbox bound (default 64)")
+    p.add_argument("--max-pending", type=int, default=256,
+                   help="global in-flight bound; above it requests get "
+                        "429 (default 256)")
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="max requests per worker IPC round-trip "
+                        "(default 8)")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="default per-request deadline in seconds "
+                        "(default 30)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="persistent on-disk result cache directory "
+                        "(default: in-memory only)")
+    p.add_argument("--cache-entries", type=int, default=1024,
+                   help="in-memory LRU capacity (default 1024)")
+    p.add_argument("--allow-faults", action="store_true",
+                   help="enable the fault-injection request fields "
+                        "(test harness only; never in production)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "gen",

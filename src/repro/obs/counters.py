@@ -67,6 +67,23 @@ COUNTER_NAMES = frozenset({
     "sanitizer.diagnostics",      # total diagnostics reported
     "sanitizer.errors",           # error-severity diagnostics
     "sanitizer.warnings",         # warning-severity diagnostics
+    # compile server (repro.serve)
+    "serve.requests",             # compile requests accepted for parsing
+    "serve.cache_hits",           # responses served from the result cache
+    "serve.cache_memory_hits",    # ... from the in-memory LRU tier
+    "serve.cache_disk_hits",      # ... from the on-disk store
+    "serve.cache_misses",         # requests that had to compile
+    "serve.cache_evictions",      # LRU entries dropped by capacity
+    "serve.cache_corrupt_evictions",  # disk entries failing their body
+                                      # hash, deleted and recompiled
+    "serve.compiles",             # compiles completed by the worker pool
+    "serve.batches",              # worker batches dispatched
+    "serve.batched_requests",     # requests that rode a multi-item batch
+    "serve.rejected",             # requests rejected by backpressure (429)
+    "serve.timeouts",             # requests cancelled at their deadline
+    "serve.worker_crashes",       # workers observed dead mid-request
+    "serve.worker_respawns",      # replacement workers started
+    "serve.errors",               # structured error responses (4xx/5xx)
     # translation validation (repro.analysis.transval)
     "transval.runs",              # validation runs started
     "transval.goals",             # equivalence goals discharged

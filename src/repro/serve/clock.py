@@ -1,0 +1,82 @@
+"""Injectable clocks and request deadlines for the compile server.
+
+Every timeout decision in :mod:`repro.serve` flows through a
+:class:`Deadline` built from an injectable clock, so the fault-injection
+test harness can drive expiry deterministically with a
+:class:`FakeClock` (``advance()`` is the only way fake time moves)
+instead of sleeping real wall time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class MonotonicClock:
+    """The production clock: ``time.monotonic``."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class FakeClock:
+    """A manually-advanced clock for deterministic timeout tests."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("FakeClock cannot move backwards")
+        self._now += seconds
+
+
+class Deadline:
+    """One request's time budget against an injectable clock.
+
+    ``timeout_s=None`` means no deadline: ``expired()`` is always False
+    and ``remaining()`` is None.
+    """
+
+    __slots__ = ("_clock", "timeout_s", "_expires_at")
+
+    def __init__(self, clock, timeout_s: Optional[float]):
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
+        self._clock = clock
+        self.timeout_s = timeout_s
+        self._expires_at = (
+            None if timeout_s is None else clock.now() + timeout_s
+        )
+
+    def remaining(self) -> Optional[float]:
+        if self._expires_at is None:
+            return None
+        return self._expires_at - self._clock.now()
+
+    def expired(self) -> bool:
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0
+
+    @staticmethod
+    def earliest(deadlines) -> "Deadline":
+        """The tightest deadline of a batch (a batch waits as one)."""
+        best = None
+        for deadline in deadlines:
+            if deadline._expires_at is None:
+                continue
+            if best is None or deadline._expires_at < best._expires_at:
+                best = deadline
+        if best is not None:
+            return best
+        for deadline in deadlines:
+            return deadline  # all unbounded: any of them will do
+        raise ValueError("earliest() of an empty batch")
+
+    def __repr__(self) -> str:
+        return f"<Deadline timeout={self.timeout_s} " \
+               f"remaining={self.remaining()}>"

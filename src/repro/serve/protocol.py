@@ -1,0 +1,254 @@
+"""Request/response protocol for the compile server.
+
+A compile request is one JSON object::
+
+    {"source": "...", "lang": "c" | "ir", "target": "avx2",
+     "function": "dot",          # required when a C file has >1 function
+     "config": {"beam_width": 8, ...},   # partial VectorizerConfig
+     "timeout_s": 10.0,                  # per-request deadline
+     "fault": "crash" | "hang" | "error"}  # test harness only
+
+The server canonicalizes the program text before anything else: the
+source is parsed (mini-C is lowered) and the function re-printed through
+:func:`repro.ir.printer.print_function`, so two requests that differ
+only in whitespace/comments/variable spelling of the same IR hash to the
+same cache key.
+
+A compile response body is deterministic — it carries model costs, the
+emitted program text, and the per-request pipeline counters, but never
+wall times or timestamps — which is what lets the content-addressed
+cache store the serialized bytes and replay them byte-identically.
+Cache status travels in the ``X-Repro-Cache`` header, never the body.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.vectorizer.context import VectorizerConfig
+
+#: Response body schema; bump on any breaking change.
+RESPONSE_SCHEMA = "repro-serve-response/v1"
+
+#: Faults the in-worker injection layer understands (harness only).
+FAULT_KINDS = ("crash", "hang", "error")
+
+
+class RequestError(ValueError):
+    """A malformed compile request; maps to an HTTP 4xx."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class CompileRequest:
+    """A validated, canonicalized compile request."""
+
+    canonical_ir: str
+    target: str
+    config: VectorizerConfig
+    function_name: str
+    timeout_s: Optional[float] = None
+    fault: Optional[str] = None
+    config_overrides: Dict[str, object] = field(default_factory=dict)
+
+
+def canonicalize_source(source: str, lang: str,
+                        function: Optional[str] = None
+                        ) -> Tuple[str, str]:
+    """Parse ``source`` and return ``(canonical_ir, function_name)``.
+
+    The canonical form is the IR printer's output for the parsed
+    function: stable whitespace, stable value numbering for mini-C
+    input, and a parse failure here (not in a worker) for garbage.
+    """
+    from repro.ir.printer import print_function
+
+    if lang == "ir":
+        from repro.ir.parser import parse_function
+
+        try:
+            fn = parse_function(source)
+        except Exception as exc:
+            raise RequestError(f"IR parse error: {exc}") from exc
+    elif lang == "c":
+        from repro.frontend import compile_c
+
+        try:
+            functions = compile_c(source)
+        except Exception as exc:
+            raise RequestError(f"mini-C compile error: {exc}") from exc
+        if not functions:
+            raise RequestError("source contains no functions")
+        if function is not None:
+            matches = [f for f in functions if f.name == function]
+            if not matches:
+                raise RequestError(
+                    f"no function {function!r} in source; found: "
+                    f"{', '.join(f.name for f in functions)}"
+                )
+            fn = matches[0]
+        elif len(functions) == 1:
+            fn = functions[0]
+        else:
+            raise RequestError(
+                "source contains multiple functions; pass 'function' "
+                f"to pick one of: {', '.join(f.name for f in functions)}"
+            )
+    else:
+        raise RequestError(f"unknown lang {lang!r}; expected 'c' or 'ir'")
+    return print_function(fn), fn.name
+
+
+def parse_compile_request(payload: Dict, *,
+                          default_timeout_s: Optional[float] = None,
+                          max_timeout_s: Optional[float] = None,
+                          allow_faults: bool = False,
+                          default_config: Optional[VectorizerConfig] = None,
+                          ) -> CompileRequest:
+    """Validate a decoded JSON payload into a :class:`CompileRequest`."""
+    from repro.target import available_targets
+
+    if not isinstance(payload, dict):
+        raise RequestError("request body must be a JSON object")
+    unknown = sorted(set(payload) - {
+        "source", "lang", "target", "function", "config", "timeout_s",
+        "fault",
+    })
+    if unknown:
+        raise RequestError(f"unknown request fields: {', '.join(unknown)}")
+    source = payload.get("source")
+    if not isinstance(source, str) or not source.strip():
+        raise RequestError("'source' must be a non-empty string")
+    lang = payload.get("lang", "c")
+    if lang not in ("c", "ir"):
+        raise RequestError(f"unknown lang {lang!r}; expected 'c' or 'ir'")
+    target = payload.get("target", "avx2")
+    if target not in available_targets():
+        raise RequestError(
+            f"unknown target {target!r}; available: "
+            f"{', '.join(available_targets())}"
+        )
+    function = payload.get("function")
+    if function is not None and not isinstance(function, str):
+        raise RequestError("'function' must be a string")
+
+    overrides = payload.get("config") or {}
+    if not isinstance(overrides, dict):
+        raise RequestError("'config' must be a JSON object")
+    base = (default_config.canonical_dict()
+            if default_config is not None else {})
+    try:
+        config = VectorizerConfig.from_canonical_dict({**base, **overrides})
+    except ValueError as exc:
+        raise RequestError(f"bad config: {exc}") from exc
+
+    timeout_s = payload.get("timeout_s", default_timeout_s)
+    if timeout_s is not None:
+        if not isinstance(timeout_s, (int, float)) or \
+                isinstance(timeout_s, bool) or timeout_s <= 0:
+            raise RequestError("'timeout_s' must be a positive number")
+        timeout_s = float(timeout_s)
+        if max_timeout_s is not None:
+            timeout_s = min(timeout_s, max_timeout_s)
+
+    fault = payload.get("fault")
+    if fault is not None:
+        if not allow_faults:
+            raise RequestError(
+                "fault injection is disabled on this server"
+            )
+        if fault not in FAULT_KINDS:
+            raise RequestError(
+                f"unknown fault {fault!r}; expected one of "
+                f"{', '.join(FAULT_KINDS)}"
+            )
+
+    canonical_ir, function_name = canonicalize_source(
+        source, lang, function
+    )
+    return CompileRequest(
+        canonical_ir=canonical_ir,
+        target=target,
+        config=config,
+        function_name=function_name,
+        timeout_s=timeout_s,
+        fault=fault,
+        config_overrides=dict(overrides),
+    )
+
+
+# -- response bodies ---------------------------------------------------
+
+
+def build_response_body(request_target: str, config: VectorizerConfig,
+                        cache_key: str, result,
+                        counters) -> Dict:
+    """The deterministic compile-response document for one result.
+
+    Everything here is a pure function of (canonical IR, target,
+    config): model costs, pack counts, program text, diagnostics, and
+    the per-request pipeline counters.  Wall-clock data is deliberately
+    excluded so a cached replay is byte-identical to a cold compile.
+    """
+    return {
+        "schema": RESPONSE_SCHEMA,
+        "function": result.function.name,
+        "target": request_target,
+        "config": config.canonical_dict(),
+        "cache_key": cache_key,
+        "vectorized": result.vectorized,
+        "num_packs": len(result.packs),
+        "scalar_cost": result.scalar_cost,
+        "vector_cost": result.cost.total,
+        "cost_ratio": (result.cost.total / result.scalar_cost
+                       if result.scalar_cost > 0 else 1.0),
+        "estimated_cost": result.estimated_cost,
+        "program": result.program.dump(),
+        "diagnostics": [diag.format() for diag in result.diagnostics],
+        "counters": counters.as_dict(),
+    }
+
+
+def encode_body(body: Dict) -> bytes:
+    """Canonical byte encoding for response bodies (and cache values)."""
+    return (json.dumps(body, sort_keys=True, separators=(",", ":"))
+            + "\n").encode("utf-8")
+
+
+def error_body(code: str, message: str, **extra) -> Dict:
+    doc = {"error": code, "message": message}
+    doc.update(extra)
+    return doc
+
+
+# -- error taxonomy ----------------------------------------------------
+
+#: Structured error codes the server emits (tested contract).
+ERROR_CODES = frozenset({
+    "bad-request",        # 400: malformed payload / parse failure
+    "not-found",          # 404: unknown route
+    "overloaded",         # 429: backpressure rejection
+    "timeout",            # 504: deadline exceeded, work cancelled
+    "worker-crashed",     # 502: worker died mid-request (pool respawns)
+    "compile-error",      # 500: the pipeline raised on this input
+    "shutting-down",      # 503: server is draining
+})
+
+
+STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}

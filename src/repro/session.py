@@ -146,10 +146,28 @@ class VectorizationSession:
         return result
 
     def vectorize_many(self, functions: Iterable, tracer=None,
-                       counters: Optional[Counters] = None
+                       counters: Optional[Counters] = None,
+                       counters_list: Optional[Sequence[Counters]] = None,
                        ) -> List[VectorizationResult]:
         """Vectorize a batch of functions, sharing the session's target
-        and pipeline; results are returned in input order."""
+        and pipeline; results are returned in input order.
+
+        ``counters_list`` gives each function its own
+        :class:`~repro.obs.counters.Counters` registry (one per input,
+        same order) instead of the shared ``counters`` — the compile
+        server batches requests through here and must report per-request
+        counters that are identical whether or not a request rode a
+        batch.
+        """
+        if counters_list is not None:
+            functions = list(functions)
+            if len(counters_list) != len(functions):
+                raise ValueError(
+                    f"counters_list has {len(counters_list)} entries "
+                    f"for {len(functions)} functions"
+                )
+            return [self.vectorize(fn, tracer=tracer, counters=ctrs)
+                    for fn, ctrs in zip(functions, counters_list)]
         return [self.vectorize(fn, tracer=tracer, counters=counters)
                 for fn in functions]
 

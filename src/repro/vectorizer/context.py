@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+import json
+from dataclasses import dataclass, fields
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.ir.dag import DependenceGraph
 from repro.ir.function import Function
@@ -50,6 +51,82 @@ class VectorizerConfig:
     #: bundled kernel and target); ``prune=False`` restores the
     #: exhaustive scoring path of the unpruned search exactly.
     prune: bool = True
+
+    # -- canonical serialization ---------------------------------------
+    #
+    # The compile server keys its content-addressed result cache on (among
+    # other things) the full configuration, and reports the effective
+    # configuration on /metrics.  Both need a *canonical* form: stable
+    # field ordering, no reliance on dataclass declaration order or dict
+    # iteration.  ``_CANONICAL_FIELDS`` is the explicit contract; adding a
+    # dataclass field without registering it here makes every
+    # serialization call raise, so a cache key can never silently ignore
+    # a new knob (regression-tested in tests/test_serve_cache.py).
+
+    _CANONICAL_FIELDS = (
+        "beam_width",
+        "max_steps",
+        "max_producers_per_operand",
+        "max_match_combinations",
+        "seed_packs_per_value",
+        "max_transitions_per_state",
+        "patience",
+        "memoize",
+        "prune",
+    )
+
+    def canonical_dict(self) -> Dict[str, object]:
+        """All knobs as ``{name: value}`` in ``_CANONICAL_FIELDS`` order.
+
+        Raises ``RuntimeError`` when the dataclass fields and the
+        canonical contract have drifted apart, in either direction.
+        """
+        declared = tuple(f.name for f in fields(self))
+        if set(declared) != set(self._CANONICAL_FIELDS):
+            extra = sorted(set(declared) - set(self._CANONICAL_FIELDS))
+            gone = sorted(set(self._CANONICAL_FIELDS) - set(declared))
+            raise RuntimeError(
+                "VectorizerConfig fields drifted from the canonical "
+                f"serialization contract (unregistered: {extra}, "
+                f"stale: {gone}); update "
+                "VectorizerConfig._CANONICAL_FIELDS deliberately — "
+                "this changes every serve cache key"
+            )
+        return {name: getattr(self, name)
+                for name in self._CANONICAL_FIELDS}
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON form used in cache keys and /metrics."""
+        return json.dumps(self.canonical_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_canonical_dict(cls, data: Mapping[str, object]
+                            ) -> "VectorizerConfig":
+        """Build a config from a (possibly partial) canonical dict.
+
+        Unknown keys raise ``ValueError`` — a client sending a knob this
+        build does not know must fail loudly, not compile under silently
+        different settings.
+        """
+        unknown = sorted(set(data) - set(cls._CANONICAL_FIELDS))
+        if unknown:
+            raise ValueError(
+                f"unknown VectorizerConfig fields: {', '.join(unknown)}"
+            )
+        config = cls()
+        for name, value in data.items():
+            expected = type(getattr(config, name))
+            if not isinstance(value, expected) or \
+                    isinstance(value, bool) is not \
+                    isinstance(getattr(config, name), bool):
+                raise ValueError(
+                    f"VectorizerConfig.{name} expects "
+                    f"{expected.__name__}, got {type(value).__name__}"
+                )
+            setattr(config, name, value)
+        config.canonical_dict()  # re-assert the contract
+        return config
 
 
 class VectorizationContext:

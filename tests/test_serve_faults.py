@@ -1,0 +1,180 @@
+"""Fault-injection tests: the satellite that proves the server degrades
+loudly and recovers.
+
+Every scenario runs against a real forked worker through the HTTP
+fixture: SIGKILL mid-request, SIGKILL between requests, deterministic
+fake-clock timeouts, corrupted disk-cache entries, and a poisoned
+offline-artifact hash.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.clock import FakeClock
+from repro.serve.fixture import ServerFixture
+
+_C_SRC = "void f(int* a, int* b) { a[0] = b[0] + b[1]; }"
+
+
+@pytest.fixture
+def faulty(tmp_path):
+    with ServerFixture(workers=1, allow_faults=True,
+                       cache_dir=str(tmp_path / "cache")) as fixture:
+        yield fixture
+
+
+def test_crash_mid_request_gives_structured_502_and_respawns(faulty):
+    pids_before = faulty.worker_pids()
+    status, _headers, doc = faulty.compile(source=_C_SRC, fault="crash")
+    assert status == 502
+    assert doc["error"] == "worker-crashed"
+    assert isinstance(doc["message"], str) and doc["message"]
+
+    metrics = faulty.metrics()
+    assert metrics["counters"]["serve.worker_crashes"] == 1
+    assert metrics["counters"]["serve.worker_respawns"] == 1
+    # Still exactly one worker, and it is a new process.
+    assert len(metrics["workers"]) == 1
+    assert metrics["workers"][0]["alive"]
+    assert faulty.worker_pids() != pids_before
+
+    # The pool keeps serving after the crash.
+    status, headers, _doc = faulty.compile(source=_C_SRC)
+    assert status == 200
+    assert headers["x-repro-cache"] == "miss"
+
+
+def test_sigkill_between_requests_recovers(faulty):
+    status, _headers, _doc = faulty.compile(source=_C_SRC)
+    assert status == 200
+    killed_pid = faulty.kill_worker(0)
+    assert killed_pid is not None
+    # The very next (uncached) request is served by a respawned worker.
+    status, headers, _doc = faulty.compile(
+        source="void g(int* a, int* b) { a[0] = b[0] * b[1]; }")
+    assert status == 200
+    assert headers["x-repro-cache"] == "miss"
+    metrics = faulty.metrics()
+    assert metrics["counters"]["serve.worker_respawns"] >= 1
+    assert faulty.worker_pids()[0] not in (None, killed_pid)
+
+
+def test_crash_responses_are_never_cached(faulty):
+    status, _headers, _doc = faulty.compile(source=_C_SRC, fault="crash")
+    assert status == 502
+    # Same source without the fault: a miss that compiles, not a replay
+    # of the failure — fault requests must not poison the cache.
+    status, headers, doc = faulty.compile(source=_C_SRC)
+    assert status == 200
+    assert headers["x-repro-cache"] == "miss"
+    assert doc["schema"].startswith("repro-serve-response/")
+    # And the successful compile DID get cached.
+    status, headers, _doc = faulty.compile(source=_C_SRC)
+    assert status == 200
+    assert headers["x-repro-cache"] == "hit"
+
+
+def test_injected_compile_error_is_500_and_not_cached(faulty):
+    status, _headers, doc = faulty.compile(source=_C_SRC, fault="error")
+    assert status == 500
+    assert doc["error"] == "compile-error"
+    assert "injected" in doc["message"]
+    # No respawn needed: the worker survives an error fault.
+    assert faulty.metrics()["counters"].get("serve.worker_respawns",
+                                            0) == 0
+    status, headers, _doc = faulty.compile(source=_C_SRC)
+    assert status == 200
+    assert headers["x-repro-cache"] == "miss"
+
+
+def test_fake_clock_timeout_returns_504_without_leaking_worker():
+    """Deterministic timeout: the request only times out because the
+    injected fake clock advances, never because wall time passed."""
+    clock = FakeClock()
+    with ServerFixture(workers=1, allow_faults=True,
+                       clock=clock) as fixture:
+        result = {}
+
+        def hang_request():
+            result["response"] = fixture.compile(
+                source=_C_SRC, fault="hang", timeout_s=5.0,
+                timeout=60.0,
+            )
+
+        thread = threading.Thread(target=hang_request)
+        thread.start()
+        # Let the request reach the worker; fake time has not moved, so
+        # nothing can time out yet.
+        time.sleep(0.5)
+        assert "response" not in result
+        clock.advance(5.1)
+        thread.join(timeout=30.0)
+        assert not thread.is_alive(), "timeout never fired"
+
+        status, _headers, doc = result["response"]
+        assert status == 504
+        assert doc["error"] == "timeout"
+
+        metrics = fixture.metrics()
+        assert metrics["counters"]["serve.timeouts"] == 1
+        assert metrics["counters"]["serve.worker_respawns"] == 1
+        # No leaked worker: the hung process was killed and replaced.
+        assert len(metrics["workers"]) == 1
+        assert metrics["workers"][0]["alive"]
+
+        status, _headers, _doc = fixture.compile(source=_C_SRC)
+        assert status == 200
+
+
+def test_corrupted_disk_cache_entry_detected_evicted_recompiled(faulty):
+    status, headers, doc = faulty.compile(source=_C_SRC)
+    assert status == 200
+    key = headers["x-repro-key"]
+
+    # Flip a byte on disk and drop the memory tier so the disk entry is
+    # the only copy left.
+    faulty.corrupt_cache_entry(key)
+    faulty.run(_clear_memory(faulty))
+
+    status, headers, doc_again = faulty.compile(source=_C_SRC)
+    assert status == 200
+    assert headers["x-repro-cache"] == "miss"  # corruption = recompile
+    assert doc_again == doc                    # recompile is identical
+    metrics = faulty.metrics()
+    assert metrics["counters"]["serve.cache_corrupt_evictions"] == 1
+
+    # The rewritten entry is healthy: next request hits again.
+    faulty.run(_clear_memory(faulty))
+    status, headers, _doc = faulty.compile(source=_C_SRC)
+    assert status == 200
+    assert headers["x-repro-cache"] == "hit"
+    assert faulty.metrics()["counters"]["serve.cache_disk_hits"] == 1
+
+
+async def _clear_memory(fixture):
+    fixture.server.cache.clear_memory()
+
+
+def test_poisoned_artifact_hash_invalidates_every_key(faulty):
+    status, headers, _doc = faulty.compile(source=_C_SRC)
+    assert status == 200
+    status, headers, _doc = faulty.compile(source=_C_SRC)
+    assert headers["x-repro-cache"] == "hit"
+    old_key = headers["x-repro-key"]
+
+    # A regenerated offline artifact changes its content hash, which is
+    # part of every cache key — old entries must stop matching.
+    original = faulty.poison_artifact_hash("regenerated-artifact")
+    status, headers, _doc = faulty.compile(source=_C_SRC)
+    assert status == 200
+    assert headers["x-repro-cache"] == "miss"
+    assert headers["x-repro-key"] != old_key
+
+    # Restoring the artifact hash restores the original entries.
+    faulty.poison_artifact_hash(original)
+    status, headers, _doc = faulty.compile(source=_C_SRC)
+    assert status == 200
+    assert headers["x-repro-cache"] == "hit"
+    assert headers["x-repro-key"] == old_key
