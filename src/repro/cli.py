@@ -79,11 +79,18 @@ def _cmd_vectorize(args: argparse.Namespace) -> int:
             print(f"unknown passes: {', '.join(unknown)}; available: "
                   f"{', '.join(available_passes())}", file=sys.stderr)
             return 2
+    config = None
+    if args.exact:
+        from repro.vectorizer.context import VectorizerConfig
+
+        config = VectorizerConfig(beam_width=args.beam_width, exact=True,
+                                  exact_node_budget=args.exact_budget)
     session = VectorizationSession(
         target=args.target,
         beam_width=args.beam_width,
         reassociate=args.reassociate,
         pipeline=pipeline,
+        config=config,
     )
     status = 0
     for fn in functions:
@@ -96,7 +103,20 @@ def _cmd_vectorize(args: argparse.Namespace) -> int:
             from repro.obs import Counters, Tracer
 
             obs = {"tracer": Tracer(), "counters": Counters()}
+        if args.exact and "counters" not in obs:
+            from repro.obs import Counters
+
+            obs["counters"] = Counters()
         result = session.vectorize(fn, **obs)
+        if args.exact:
+            counters = obs["counters"]
+            nodes = counters.get("beam.exact_nodes")
+            if counters.get("beam.exact_proved"):
+                print(f"exact       : proved optimal "
+                      f"({nodes} nodes explored)")
+            else:
+                print(f"exact       : node budget exhausted after "
+                      f"{nodes} nodes (best incumbent, no proof)")
         if args.report or args.trace:
             from repro.vectorizer.report import render_report
 
@@ -423,7 +443,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         doc = run_bench(kernel_names=kernel_names, targets=targets,
                         beam_width=args.beam_width, progress=progress,
                         jobs=args.jobs, profile_top=args.profile,
-                        verify=not args.no_verify)
+                        verify=not args.no_verify, warm=args.warm,
+                        gap_node_budget=args.gap_budget)
     except KeyError as exc:
         print(f"bench: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -511,6 +532,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--target", default="avx2",
                    choices=available_targets())
     p.add_argument("--beam-width", type=int, default=64)
+    p.add_argument("--exact", action="store_true",
+                   help="run pack selection to exhaustion (incumbent "
+                        "branch and bound seeded by the beam) and report "
+                        "whether the cost is provably optimal; bounded "
+                        "by --exact-budget")
+    p.add_argument("--exact-budget", type=int, default=400000,
+                   metavar="N",
+                   help="node budget for --exact (default 400000); when "
+                        "exhausted the best incumbent is returned "
+                        "without an optimality proof")
     p.add_argument("--dump-ir", action="store_true",
                    help="also print the scalar IR")
     p.add_argument("--report", action="store_true",
@@ -613,6 +644,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "carry tracing overhead")
     p.add_argument("--no-verify", action="store_true",
                    help="skip the per-cell TransVal verification column")
+    p.add_argument("--warm", action="store_true",
+                   help="enable the warm-start cost cache "
+                        "(VectorizerConfig(warm_start=True)); identical "
+                        "packs/costs to a cold run, faster search on "
+                        "repeat compiles (set REPRO_WARM_CACHE_DIR for "
+                        "cross-process reuse)")
+    p.add_argument("--gap-budget", type=int, default=50000, metavar="N",
+                   help="node budget for the per-cell exact pass behind "
+                        "the optimality_gap column (default 50000; 0 "
+                        "disables the pass, reporting null everywhere)")
     p.add_argument("--out", default="BENCH_vegen.json",
                    help="output path (default: BENCH_vegen.json)")
     p.add_argument("--compare", default=None, metavar="OLD.json",

@@ -17,7 +17,12 @@ class Type:
     __slots__ = ("_hash_cache",)
 
     def __eq__(self, other: object) -> bool:
-        return type(self) is type(other) and self._key() == other._key()
+        # Identity first: the factory functions hand out singletons for
+        # every common scalar type, so equal types are almost always the
+        # same object on the vectorizer's hot paths.
+        return other is self or (
+            type(self) is type(other) and self._key() == other._key()
+        )
 
     def __hash__(self) -> int:
         cached = getattr(self, "_hash_cache", None)

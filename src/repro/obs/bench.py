@@ -26,7 +26,20 @@ import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 #: Schema identifier; bump on any breaking change to the document shape.
-BENCH_SCHEMA = "repro-bench/v1"
+#: v2 added the per-cell ``optimality_gap`` column (beam cost minus the
+#: exhaustive branch-and-bound cost when the bounded exact pass ran to
+#: completion, explicit ``null`` when its node budget was exhausted).
+BENCH_SCHEMA = "repro-bench/v2"
+
+#: Schemas :func:`validate_bench` accepts: current plus still-readable
+#: older revisions (v1 documents simply lack ``optimality_gap``).
+KNOWN_BENCH_SCHEMAS = ("repro-bench/v1", "repro-bench/v2")
+
+#: Default node budget for the per-cell exact pass behind
+#: ``optimality_gap``: enough to prove the small/medium kernels optimal,
+#: bounded so the heavy cells (dsp_idct8, dsp_sbc) report ``null`` in
+#: seconds instead of minutes.
+DEFAULT_GAP_NODE_BUDGET = 50000
 
 #: The default benchmark target matrix (§7 evaluates these ISAs).
 DEFAULT_TARGETS: Tuple[str, ...] = ("sse4", "avx2", "avx512_vnni")
@@ -47,7 +60,8 @@ DEFAULT_COST_TOLERANCE = 0.01
 def bench_one(kernel_name: str, function, target: str,
               beam_width: int = DEFAULT_BEAM_WIDTH,
               session=None, profile_top: int = 0,
-              verify: bool = True) -> Dict:
+              verify: bool = True, warm: bool = False,
+              gap_node_budget: int = DEFAULT_GAP_NODE_BUDGET) -> Dict:
     """Benchmark one (kernel, target) cell with observability enabled.
 
     ``session`` (a :class:`repro.session.VectorizationSession`) lets the
@@ -65,14 +79,36 @@ def bench_one(kernel_name: str, function, target: str,
     a ``verify`` column (``proved``/``validated``/``failed``) plus
     ``transval.*`` counters.  Verification runs after ``wall_s`` is
     measured, so vectorization wall times are unaffected.
+
+    ``warm=True`` turns on the content-addressed warm-start cost cache
+    (``VectorizerConfig(warm_start=True)``; point ``REPRO_WARM_CACHE_DIR``
+    at a directory for cross-process reuse).  The warm-start contract
+    guarantees identical packs and costs to a cold run — only wall
+    times and ``beam.warmstart_*``/node counters change — so warm and
+    cold documents ``--compare`` clean against each other.
+
+    ``gap_node_budget`` bounds the exhaustive branch-and-bound pass
+    behind the ``optimality_gap`` column: after the measured run, the
+    cell is re-vectorized with ``exact=True`` under this budget and the
+    column records ``beam vector cost - exact vector cost`` (``0.0``
+    means the beam already found the proved optimum) or ``null`` when
+    the budget was exhausted before the proof finished.  ``0`` disables
+    the exact pass entirely (the column is then an explicit ``null``).
+    The exact pass runs after ``wall_s``/``phases`` are measured and
+    never touches the recorded costs, so v1 trajectories compare clean
+    against v2 documents.
     """
     from repro.obs.counters import Counters
     from repro.obs.trace import Tracer
     from repro.session import VectorizationSession
+    from repro.vectorizer.context import VectorizerConfig
 
     if session is None:
+        config = VectorizerConfig(beam_width=beam_width,
+                                  warm_start=warm) if warm else None
         session = VectorizationSession(target=target,
-                                       beam_width=beam_width)
+                                       beam_width=beam_width,
+                                       config=config)
     tracer = Tracer()
     counters = Counters()
     profiler = None
@@ -93,6 +129,20 @@ def bench_one(kernel_name: str, function, target: str,
 
         report = validate_result(result, counters=counters)
         verify_status = report.status
+    optimality_gap = None
+    if gap_node_budget > 0:
+        exact_counters = Counters()
+        exact_session = VectorizationSession(
+            target=target, beam_width=beam_width,
+            config=VectorizerConfig(beam_width=beam_width, exact=True,
+                                    exact_node_budget=gap_node_budget),
+        )
+        exact_result = exact_session.vectorize(function,
+                                               counters=exact_counters)
+        if exact_counters.get("beam.exact_proved") > 0:
+            optimality_gap = round(
+                result.cost.total - exact_result.cost.total, 6
+            )
     phases = tracer.phase_times()
     phases.pop("vectorize", None)  # the root duplicates wall_s
     scalar = result.scalar_cost
@@ -109,6 +159,9 @@ def bench_one(kernel_name: str, function, target: str,
         "phases": {name: round(dur, 6)
                    for name, dur in sorted(phases.items())},
         "counters": counters.as_dict(),
+        # Number (0.0 = beam proved optimal) or explicit null (exact
+        # node budget exhausted / exact pass disabled) — never omitted.
+        "optimality_gap": optimality_gap,
     }
     if verify_status is not None:
         cell["verify"] = verify_status
@@ -140,7 +193,7 @@ def _top_profile_entries(profiler, top: int) -> List[Dict]:
     return entries[:top]
 
 
-def _bench_cell(task: Tuple[str, str, int, int, bool]) -> Dict:
+def _bench_cell(task: Tuple[str, str, int, int, bool, bool, int]) -> Dict:
     """Process-pool worker: benchmark one (kernel, target) cell.
 
     Takes only picklable names — each worker process rebuilds the kernel
@@ -148,9 +201,11 @@ def _bench_cell(task: Tuple[str, str, int, int, bool]) -> Dict:
     no IR or target state ever crosses the process boundary."""
     from repro.kernels import all_kernels
 
-    kernel_name, target, beam_width, profile_top, verify = task
+    (kernel_name, target, beam_width, profile_top, verify, warm,
+     gap_node_budget) = task
     return bench_one(kernel_name, all_kernels()[kernel_name], target,
-                     beam_width, profile_top=profile_top, verify=verify)
+                     beam_width, profile_top=profile_top, verify=verify,
+                     warm=warm, gap_node_budget=gap_node_budget)
 
 
 def run_bench(kernel_names: Optional[Sequence[str]] = None,
@@ -158,7 +213,8 @@ def run_bench(kernel_names: Optional[Sequence[str]] = None,
               beam_width: int = DEFAULT_BEAM_WIDTH,
               progress: Optional[Callable[[str], None]] = None,
               jobs: int = 1, profile_top: int = 0,
-              verify: bool = True) -> Dict:
+              verify: bool = True, warm: bool = False,
+              gap_node_budget: int = DEFAULT_GAP_NODE_BUDGET) -> Dict:
     """Run the kernel × target matrix; returns the bench document.
 
     ``jobs > 1`` fans the cells out over a ``ProcessPoolExecutor``.
@@ -169,7 +225,9 @@ def run_bench(kernel_names: Optional[Sequence[str]] = None,
     ``profile_top > 0`` profiles every cell under :mod:`cProfile` and
     records each cell's top-N cumulative functions (see
     :func:`bench_one`).  ``verify=False`` skips the per-cell TransVal
-    verification column."""
+    verification column.  ``warm=True`` enables the warm-start cost
+    cache and ``gap_node_budget`` bounds the ``optimality_gap`` exact
+    pass (see :func:`bench_one` for both)."""
     from repro import __version__
     from repro.kernels import all_kernels
 
@@ -185,7 +243,8 @@ def run_bench(kernel_names: Optional[Sequence[str]] = None,
             )
         selected = list(kernel_names)
 
-    tasks = [(name, target, beam_width, profile_top, verify)
+    tasks = [(name, target, beam_width, profile_top, verify, warm,
+              gap_node_budget)
              for target in targets for name in selected]
     total_start = time.perf_counter()
     if jobs > 1 and len(tasks) > 1:
@@ -199,20 +258,26 @@ def run_bench(kernel_names: Optional[Sequence[str]] = None,
             results = list(pool.map(_bench_cell, tasks))
     else:
         from repro.session import VectorizationSession
+        from repro.vectorizer.context import VectorizerConfig
 
         results = []
         sessions: Dict[Tuple[str, int], object] = {}
-        for name, target, width, top, do_verify in tasks:
+        for name, target, width, top, do_verify, do_warm, budget in tasks:
             if progress is not None:
                 progress(f"bench {name} on {target}")
             key = (target, width)
             if key not in sessions:
+                config = VectorizerConfig(beam_width=width,
+                                          warm_start=True) \
+                    if do_warm else None
                 sessions[key] = VectorizationSession(target=target,
-                                                     beam_width=width)
+                                                     beam_width=width,
+                                                     config=config)
             results.append(
                 bench_one(name, kernels[name], target, width,
                           session=sessions[key], profile_top=top,
-                          verify=do_verify)
+                          verify=do_verify, warm=do_warm,
+                          gap_node_budget=budget)
             )
     total_wall = time.perf_counter() - total_start
 
@@ -221,11 +286,14 @@ def run_bench(kernel_names: Optional[Sequence[str]] = None,
         math.exp(sum(math.log(r) for r in ratios) / len(ratios))
         if ratios else 1.0
     )
+    gaps = [r["optimality_gap"] for r in results]
     summary = {
         "num_results": len(results),
         "num_vectorized": sum(1 for r in results if r["vectorized"]),
         "geomean_cost_ratio": geomean,
         "total_wall_s": round(total_wall, 3),
+        "num_gap_proved": sum(1 for g in gaps if g is not None),
+        "num_gap_zero": sum(1 for g in gaps if g == 0),
     }
     if verify:
         summary["num_proved"] = sum(
@@ -239,6 +307,8 @@ def run_bench(kernel_names: Optional[Sequence[str]] = None,
         "python": platform.python_version(),
         "beam_width": beam_width,
         "jobs": jobs,
+        "warm_start": warm,
+        "gap_node_budget": gap_node_budget,
         "targets": list(targets),
         "kernels": selected,
         "results": results,
@@ -263,13 +333,19 @@ _RESULT_FIELDS = {
 
 
 def validate_bench(doc: Dict) -> None:
-    """Raise ``ValueError`` unless ``doc`` is a valid bench document."""
+    """Raise ``ValueError`` unless ``doc`` is a valid bench document.
+
+    Accepts every schema in :data:`KNOWN_BENCH_SCHEMAS`: v1 documents
+    (no ``optimality_gap``) stay loadable as ``--compare`` baselines;
+    v2 documents must carry the column in *every* cell — a number or an
+    explicit ``null``, never a silent omission."""
     if not isinstance(doc, dict):
         raise ValueError("bench document must be a JSON object")
-    if doc.get("schema") != BENCH_SCHEMA:
+    schema = doc.get("schema")
+    if schema not in KNOWN_BENCH_SCHEMAS:
         raise ValueError(
-            f"unknown bench schema {doc.get('schema')!r}; "
-            f"expected {BENCH_SCHEMA!r}"
+            f"unknown bench schema {schema!r}; "
+            f"expected one of {KNOWN_BENCH_SCHEMAS!r}"
         )
     for field in ("version", "beam_width", "targets", "kernels",
                   "results", "summary"):
@@ -285,6 +361,18 @@ def validate_bench(doc: Dict) -> None:
                 raise ValueError(
                     f"results[{i}].{field} has type "
                     f"{type(result[field]).__name__}"
+                )
+        if schema != "repro-bench/v1":
+            if "optimality_gap" not in result:
+                raise ValueError(
+                    f"results[{i}] missing field 'optimality_gap' "
+                    f"(v2 cells must report a number or explicit null)"
+                )
+            gap = result["optimality_gap"]
+            if gap is not None and not isinstance(gap, (int, float)):
+                raise ValueError(
+                    f"results[{i}].optimality_gap must be a number "
+                    f"or null"
                 )
         for name, value in result["phases"].items():
             if not isinstance(name, str) or \
@@ -340,9 +428,12 @@ def compare_bench(old: Dict, new: Dict,
     """Compare two bench documents.
 
     Returns ``(regressions, notes)``: regressions are hard failures
-    (cost ratio got worse beyond tolerance, a kernel stopped
-    vectorizing, or a previously-covered cell disappeared); notes are
-    informational (wall-time deltas, new coverage).
+    (cost ratio got worse beyond tolerance, the pack count changed, a
+    kernel stopped vectorizing, or a previously-covered cell
+    disappeared); notes are informational (wall-time deltas, new
+    coverage).  Schema-tolerant: a v1 baseline compares clean against a
+    v2 document — the added ``optimality_gap`` column is ignored here
+    (it never feeds the search, so it cannot regress costs).
     """
     regressions: List[str] = []
     notes: List[str] = []
@@ -362,6 +453,11 @@ def compare_bench(old: Dict, new: Dict,
         if old_r["vectorized"] and not new_r["vectorized"]:
             regressions.append(
                 f"{kernel}/{target}: was vectorized, now scalar"
+            )
+        if old_r["num_packs"] != new_r["num_packs"]:
+            regressions.append(
+                f"{kernel}/{target}: pack count changed "
+                f"{old_r['num_packs']} -> {new_r['num_packs']}"
             )
         old_ratio = old_r["cost_ratio"]
         new_ratio = new_r["cost_ratio"]
@@ -402,10 +498,13 @@ def render_bench_summary(doc: Dict, stream=None) -> None:
         file=out,
     )
     has_verify = any("verify" in r for r in doc["results"])
+    has_gap = any("optimality_gap" in r for r in doc["results"])
     header = (f"{'kernel':28s} {'target':12s} {'ratio':>7s} "
               f"{'packs':>5s} {'wall':>8s}")
     if has_verify:
         header += f" {'verify':>9s}"
+    if has_gap:
+        header += f" {'gap':>7s}"
     print(header, file=out)
     print("-" * len(header), file=out)
     for result in doc["results"]:
@@ -416,4 +515,7 @@ def render_bench_summary(doc: Dict, stream=None) -> None:
         )
         if has_verify:
             line += f" {result.get('verify', '-'):>9s}"
+        if has_gap:
+            gap = result.get("optimality_gap")
+            line += f" {'null':>7s}" if gap is None else f" {gap:7.1f}"
         print(line, file=out)

@@ -45,6 +45,28 @@ COUNTER_NAMES = frozenset({
                                   # masked feasibility memo
     "beam.seed_skips",            # seed packs skipped by the liveness
                                   # index before _apply_pack
+    "beam.heuristic_skips",       # children scored by g alone: g already
+                                  # above the running kth-best f, so the
+                                  # heuristic call is provably redundant
+    # bitset-native search core (config.bitset)
+    "beam.bitset_runs",           # searches run on the bitset engine
+    "beam.bitset_operands",       # dense operand ids assigned by the
+                                  # bitset registry
+    # exhaustive branch-and-bound (config.exact)
+    "beam.exact_runs",            # exhaustive passes started
+    "beam.exact_nodes",           # states visited by the exhaustive DFS
+    "beam.exact_proved",          # passes that ran to exhaustion (the
+                                  # returned cost is provably optimal)
+    "beam.exact_budget_exhausted",  # passes stopped by exact_node_budget
+                                    # (incumbent returned, no proof)
+    "beam.exact_improvements",    # times exhaustion beat the beam's cost
+    # warm-started incumbents (config.warm_start)
+    "beam.warmstart_hits",        # warm cost cache lookups that hit
+    "beam.warmstart_misses",      # ... that missed
+    "beam.warmstart_stops",       # beam loops stopped early at the
+                                  # warm-cached final cost
+    "beam.warmstart_prunes",      # exhaustive branches cut by the warm
+                                  # bound (strictly above it)
     # search-layer memoization (SLP estimator + heuristic)
     "slp.estimate_hits",          # memoized completion-cost lookups
     # producer enumeration (Algorithm 1)

@@ -81,6 +81,11 @@ class MatchTable:
         self.counters = counters if counters is not None else NULL_COUNTERS
         self._table: Dict[Tuple[int, int], List[Match]] = {}
         self._by_value: Dict[int, List[Match]] = {}
+        # value id -> tuple of operation tokens the value has matches
+        # for.  Producer enumeration intersects these against a shape
+        # plan's per-lane token masks to discard infeasible instructions
+        # without probing the table lane by lane.
+        self._value_tokens: Dict[int, Tuple[int, ...]] = {}
         # Operations interned to small integer tokens.  lookup() was
         # rebuilding — and the table dict re-hashing — the recursive
         # structural key on every call, the hottest leaf of producer
@@ -137,6 +142,11 @@ class MatchTable:
                 key = (id(inst), self._operation_token(operation))
                 self._table[key] = matches
                 self._by_value.setdefault(id(inst), []).extend(matches)
+        tokens: Dict[int, List[int]] = {}
+        for vid, token in self._table:
+            tokens.setdefault(vid, []).append(token)
+        self._value_tokens = {vid: tuple(toks)
+                              for vid, toks in tokens.items()}
 
     def lookup(self, value: Value, operation: Operation) -> List[Match]:
         """All matches with the given live-out implementing ``operation``."""
@@ -147,6 +157,10 @@ class MatchTable:
 
     def matches_for_value(self, value: Value) -> List[Match]:
         return self._by_value.get(id(value), [])
+
+    def tokens_for_value_id(self, vid: int) -> Tuple[int, ...]:
+        """Operation tokens a value (by id) has matches for."""
+        return self._value_tokens.get(vid, ())
 
     @property
     def num_matches(self) -> int:

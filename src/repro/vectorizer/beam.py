@@ -49,10 +49,12 @@ from __future__ import annotations
 
 import gc
 from dataclasses import dataclass
+from heapq import heappush, heapreplace
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.ir.instructions import Instruction, StoreInst, RetInst
 from repro.ir.values import Argument, Constant
+from repro.obs.counters import NULL_COUNTERS
 from repro.vectorizer.context import VectorizationContext
 from repro.vectorizer.pack import (
     OperandVector,
@@ -70,6 +72,12 @@ from repro.vidl.interp import DONT_CARE
 _OP_IMMEDIATE = 0
 _OP_BROADCAST = 1
 _OP_REGISTER = 2
+
+try:
+    _bit_count = int.bit_count  # Python >= 3.10: one C call
+except AttributeError:  # pragma: no cover - exercised on 3.9 CI only
+    def _bit_count(value: int) -> int:
+        return bin(value).count("1")
 
 
 @dataclass(frozen=True)
@@ -115,22 +123,24 @@ class BeamSearch:
         # the many frees that agree on the operand's lanes onto one
         # entry; holding the operand in the value pins its id.
         self._residual_memo: Dict[int, Tuple] = {}
-        # id(residual) -> (residual, real-lane count, raw slice bitset):
-        # the two per-residual quantities the operand estimate needs,
-        # served by a single identity probe.
-        self._residual_info: Dict[int, Tuple] = {}
-        # (id(residual), free & closure, counted & closure, depth) ->
-        # (cost, bits).  The estimate only ever reads free/counted inside
-        # the residual's backward closure (see _operand_estimate), so
-        # masking the key to it collapses the per-state variation that
-        # made a full-key memo useless.
-        self._estimate_memo: Dict[Tuple, Tuple] = {}
+        # residual operand key -> (canonical residual, real-lane count,
+        # raw slice bitset, estimate memo, completion-term memo): the
+        # per-residual quantities the operand estimate needs, interned by
+        # content so equal residuals reached through different parent
+        # objects share one entry.  The two trailing dicts hang the
+        # estimate/term memos directly off the interned triple:
+        #   estimate memo: (free & closure, counted & closure, depth) ->
+        #     (cost, bits); the estimate only ever reads free/counted
+        #     inside the residual's backward closure (see
+        #     _operand_estimate), so masking the key to it collapses the
+        #     per-state variation that made a full-key memo useless, and
+        #     interning makes the per-triple dict exactly equivalent to a
+        #     global id(residual)-keyed one — minus the id in every key
+        #     tuple and the one shared giant table.
+        #   completion-term memo: (free & closure, counted & closure) ->
+        #     (term cost, slice bits); same exactness argument.
+        self._residual_info: Dict[Tuple, Tuple] = {}
         self._completion_memo: Dict[Tuple, float] = {}
-        # Per-operand completion term, keyed like the estimate memo:
-        # (id(residual), free & closure, counted & closure) ->
-        # (term cost, slice bits).  Everything the term reads lives in
-        # the residual's backward closure, so the masked key is exact.
-        self._completion_term_memo: Dict[Tuple, Tuple] = {}
         # operand key -> {id(element): occurrence count}; _apply_scalar_fix
         # charges one insert per occurrence of the fixed instruction in
         # each live operand, and scanning lanes per fix per key is the
@@ -166,6 +176,13 @@ class BeamSearch:
         # closures; children mostly share S, so this repeats heavily
         # across heuristic and completion calls.
         self._scalar_slice_memo: Dict[int, int] = {}
+        #: Warm-start bound (config.warm_start): the previous identical
+        #: run's final cost, or None.  Only ever used as an early-stop
+        #: threshold the search's own incumbent must *reach* — every
+        #: incumbent update is strictly improving, so stopping once
+        #: ``best_solved.g <= bound`` returns the same object the full
+        #: run would have.
+        self._warm_bound: Optional[float] = None
         with ctx.tracer.span("seed_enumeration"):
             self._seed_packs = self._enumerate_seed_packs()
         (self._seed_kill_masks, self._seed_dead_mask,
@@ -272,6 +289,17 @@ class BeamSearch:
             self._sorted_keys_cache[keys] = cached
         return cached
 
+    def _live_operands(self, state: SearchState) -> List[OperandVector]:
+        """A state's live operand vectors in registration order.
+
+        The single iteration hook shared by expand, heuristic, scalar
+        completion, and rollout; the bitset engine overrides it with
+        LSB-first mask iteration, which visits the same operands in the
+        same order (dense ids *are* registration order)."""
+        registry = self._operand_registry
+        return [registry[key]
+                for key in self._sorted_keys(state.operand_keys)]
+
     # -- per-pack transition tables ----------------------------------------------------
 
     def _pack_feasibility(self, pack: Pack) -> Tuple:
@@ -306,7 +334,7 @@ class BeamSearch:
                 if obits == 0:
                     entries.append((_OP_IMMEDIATE, 0,
                                     self._immediate_operand_cost(operand),
-                                    None))
+                                    None, None))
                     continue
                 real = [e for e in operand if e is not DONT_CARE
                         and not isinstance(e, (Constant, Argument))]
@@ -314,11 +342,15 @@ class BeamSearch:
                     # Broadcast operand (§6.2 special case): produce the
                     # one scalar and splat it.
                     entries.append((_OP_BROADCAST, obits,
-                                    self.model.c_broadcast, None))
+                                    self.model.c_broadcast, None, None))
                     continue
                 key = self._register_operand(operand)
+                # The trailing element is the operand's dense id (its
+                # registration order) — unused by the legacy engine, the
+                # bitset engine's register bit.
                 entries.append((_OP_REGISTER, obits,
-                                self._foreign_element_cost(operand), key))
+                                self._foreign_element_cost(operand), key,
+                                self._operand_order[key]))
             info = (pack, op_cost, produced_key, tuple(entries),
                     self._interior_indices(pack), {})
             self._pack_apply[id(pack)] = info
@@ -371,8 +403,7 @@ class BeamSearch:
         limit = self.ctx.config.max_transitions_per_state
 
         candidate_packs: List[Pack] = []
-        for key in self._sorted_keys(state.operand_keys):
-            operand = self._operand_registry[key]
+        for operand in self._live_operands(state):
             candidate_packs.extend(producers_for_operand(operand, self.ctx))
             candidate_packs.extend(self._load_packs_for(operand))
             candidate_packs.extend(self._subtuple_packs_for(operand))
@@ -547,7 +578,7 @@ class BeamSearch:
                     delta += self.model.c_shuffle
 
         scalar_additions = 0
-        for kind, obits, cost, key in entries:
+        for kind, obits, cost, key, _order in entries:
             delta += cost
             if kind == _OP_BROADCAST:
                 scalar_additions |= obits
@@ -685,12 +716,75 @@ class BeamSearch:
         free = state.free_bits
         counted = self._expand_scalar_slices(state.scalar_bits) & free
         h = self.estimator.cost_of_bits(counted)
-        for key in self._sorted_keys(state.operand_keys):
-            operand = self._operand_registry[key]
-            cost, bits = self._operand_estimate(operand, free, counted,
-                                                depth=3)
-            h += cost
-            counted |= bits
+        if not self._memoize:
+            for operand in self._live_operands(state):
+                cost, bits = self._operand_estimate(operand, free, counted,
+                                                    depth=3)
+                h += cost
+                counted |= bits
+            return h
+        # Memoized fast path: the per-operand loop below is
+        # _residual_entry + _operand_estimate inlined (hot-path hit rates
+        # are >95% on the probe-bound kernels, so the two call frames per
+        # operand were pure overhead).  Must stay semantically identical
+        # to those methods.
+        #
+        # The loop also computes the scalar-completion total as a fused
+        # by-product: _scalar_completion_uncached walks the same live
+        # operands resolving the same residual triples, differing only in
+        # which per-operand term it accumulates (the completion term vs.
+        # the estimate) and therefore in its counted chain.  Running the
+        # two counted chains side by side here — both seeded from the
+        # same scalar-slice base — produces exactly the value
+        # _scalar_completion_uncached would, so the completion memo can
+        # be filled for free before _complete ever asks.  Nearly every
+        # scored child is completed (f almost always beats the
+        # incumbent), so the fused term probes replace, not add to, the
+        # later completion walk.
+        residual_memo = self._residual_memo
+        residual_info = self._residual_info
+        operand_key_of = self.ctx.operand_key_of
+        c_insert = self.model.c_insert
+        cost_of_bits = self.estimator.cost_of_bits
+        comp = h
+        counted_c = counted
+        for operand in self._live_operands(state):
+            entry = residual_memo.get(id(operand))
+            if entry is None:
+                entry = (operand, self._operand_bits(operand), {})
+                residual_memo[id(operand)] = entry
+            masked = free & entry[1]
+            triple = entry[2].get(masked)
+            if triple is None:
+                uncached = self._residual_operand_uncached(operand, free)
+                rkey = operand_key_of(uncached)
+                triple = residual_info.get(rkey)
+                if triple is None:
+                    triple = self._residual_triple(uncached)
+                    residual_info[rkey] = triple
+                entry[2][masked] = triple
+            raw_bits = triple[2]
+            fraw = free & raw_bits
+            ekey = (fraw, counted & raw_bits, 3)
+            cached = triple[3].get(ekey)
+            if cached is None:
+                cached = self._estimate_residual(triple[0], triple[1],
+                                                 raw_bits, free, counted, 3)
+                triple[3][ekey] = cached
+            h += cached[0]
+            counted |= cached[1]
+            term_key = (fraw, counted_c & raw_bits)
+            term = triple[4].get(term_key)
+            if term is None:
+                term = (
+                    c_insert * triple[1]
+                    + cost_of_bits(fraw & ~counted_c),
+                    fraw,
+                )
+                triple[4][term_key] = term
+            comp += term[0]
+            counted_c |= term[1]
+        self._completion_memo[state.identity()] = comp
         return h
 
     def _operand_estimate(self, operand: OperandVector, free: int,
@@ -709,19 +803,25 @@ class BeamSearch:
         contained in it.  Masking ``free``/``counted`` down to the
         closure is therefore exact — and it is what makes the memo hit:
         a full ``(free, counted)`` key almost never repeats across
-        states (measured ~3% on dsp_sbc), the masked key does."""
-        residual, real, raw_bits = self._residual_entry(operand, free)
-        memo_key = None
+        states (measured ~3% on dsp_sbc), the masked key does.  (Keying
+        on the operand's closure instead — skipping residual
+        construction on a hit — was tried and measured slower: the
+        operand closure is a superset of the residual's, and the finer
+        ``free`` masking costs more hit rate than the skipped residual
+        probes buy.)"""
+        triple = self._residual_entry(operand, free)
+        residual, real, raw_bits = triple[0], triple[1], triple[2]
+        memo = memo_key = None
         if self._memoize:
-            memo_key = (id(residual), free & raw_bits,
-                        counted & raw_bits, depth)
-            cached = self._estimate_memo.get(memo_key)
+            memo = triple[3]
+            memo_key = (free & raw_bits, counted & raw_bits, depth)
+            cached = memo.get(memo_key)
             if cached is not None:
                 return cached
         result = self._estimate_residual(residual, real, raw_bits,
                                          free, counted, depth)
-        if memo_key is not None:
-            self._estimate_memo[memo_key] = result
+        if memo is not None:
+            memo[memo_key] = result
         return result
 
     def _estimate_residual(self, residual: OperandVector, real: int,
@@ -737,15 +837,61 @@ class BeamSearch:
             return min(best, self.model.c_vector_const), 0
         if depth <= 0:
             return best, best_bits
+        if not self._memoize:
+            for pack in producers_for_operand(residual, self.ctx)[:12]:
+                cost = self.estimator.pack_op_cost(pack)
+                sub_counted = counted
+                for sub in pack.operands():
+                    sub_cost, sub_bits = self._operand_estimate(
+                        sub, free, sub_counted, depth - 1
+                    )
+                    cost += sub_cost
+                    sub_counted |= sub_bits
+                    if cost >= best:
+                        break
+                if cost < best:
+                    best = cost
+                    best_bits = sub_counted & ~counted
+            return best, best_bits
+        # Memoized fast path: the sub-operand loop is _residual_entry +
+        # _operand_estimate inlined, same as the heuristic's operand
+        # loop — semantically identical, two fewer call frames per
+        # sub-operand probe.
+        sub_depth = depth - 1
+        residual_memo = self._residual_memo
+        residual_info = self._residual_info
+        operand_key_of = self.ctx.operand_key_of
+        pack_op_cost = self.estimator.pack_op_cost
         for pack in producers_for_operand(residual, self.ctx)[:12]:
-            cost = self.estimator.pack_op_cost(pack)
+            cost = pack_op_cost(pack)
             sub_counted = counted
             for sub in pack.operands():
-                sub_cost, sub_bits = self._operand_estimate(
-                    sub, free, sub_counted, depth - 1
-                )
-                cost += sub_cost
-                sub_counted |= sub_bits
+                entry = residual_memo.get(id(sub))
+                if entry is None:
+                    entry = (sub, self._operand_bits(sub), {})
+                    residual_memo[id(sub)] = entry
+                masked = free & entry[1]
+                triple = entry[2].get(masked)
+                if triple is None:
+                    uncached = self._residual_operand_uncached(sub, free)
+                    rkey = operand_key_of(uncached)
+                    triple = residual_info.get(rkey)
+                    if triple is None:
+                        triple = self._residual_triple(uncached)
+                        residual_info[rkey] = triple
+                    entry[2][masked] = triple
+                sub_raw = triple[2]
+                memo_key = (free & sub_raw, sub_counted & sub_raw,
+                            sub_depth)
+                cached = triple[3].get(memo_key)
+                if cached is None:
+                    cached = self._estimate_residual(
+                        triple[0], triple[1], sub_raw,
+                        free, sub_counted, sub_depth
+                    )
+                    triple[3][memo_key] = cached
+                cost += cached[0]
+                sub_counted |= cached[1]
                 if cost >= best:
                     break
             if cost < best:
@@ -775,10 +921,19 @@ class BeamSearch:
         cached = entry[2].get(masked)
         if cached is None:
             residual = self._residual_operand_uncached(operand, free_bits)
-            cached = self._residual_info.get(id(residual))
+            # Canonicalize by *content*: sub-operands of different packs
+            # are distinct tuple objects with equal operand keys, and a
+            # per-object residual would give each its own estimate-memo
+            # universe.  Interning the triple per residual key makes
+            # every id(residual)-keyed memo downstream content-shared.
+            # Exact: the operand key distinguishes instruction lanes by
+            # identity and constant lanes by value, which is everything
+            # the estimate reads.
+            rkey = self.ctx.operand_key_of(residual)
+            cached = self._residual_info.get(rkey)
             if cached is None:
                 cached = self._residual_triple(residual)
-                self._residual_info[id(residual)] = cached
+                self._residual_info[rkey] = cached
             entry[2][masked] = cached
         return cached
 
@@ -789,7 +944,9 @@ class BeamSearch:
             and not isinstance(e, (Constant, Argument))
         )
         raw_bits = self.estimator.scalar_slice_bits(residual)
-        return (residual, real, raw_bits)
+        # Trailing dicts: per-residual estimate and completion-term
+        # memos (see the _residual_info comment for the key layout).
+        return (residual, real, raw_bits, {}, {})
 
     def _residual_operand(self, operand: OperandVector,
                           free_bits: int) -> OperandVector:
@@ -855,40 +1012,56 @@ class BeamSearch:
         total = self.estimator.cost_of_bits(counted)
         c_insert = self.model.c_insert
         cost_of_bits = self.estimator.cost_of_bits
-        term_memo = self._completion_term_memo
-        memoize = self._memoize
-        for key in self._sorted_keys(state.operand_keys):
-            operand = self._operand_registry[key]
-            # Per-operand term, memoized on the closure-masked key (same
-            # exactness argument as _operand_estimate: everything the
-            # term reads is inside the residual's backward closure).
-            # Argument lanes are excluded from the insert count: they
-            # were already paid for by _foreign_element_cost when the
-            # operand entered V (they can never be produced or
-            # scalar-fixed), so charging c_insert again here
-            # double-counts them — this mirrors the residual lane
-            # accounting of _residual_entry (Figure 9's costinsert only
-            # covers instructions fixed as scalars).
-            residual, real, raw_bits = self._residual_entry(operand, free)
-            if memoize:
-                term_key = (id(residual), free & raw_bits,
-                            counted & raw_bits)
-                entry = term_memo.get(term_key)
-                if entry is None:
-                    slice_bits = raw_bits & free
-                    entry = (
-                        c_insert * real
-                        + cost_of_bits(slice_bits & ~counted),
-                        slice_bits,
-                    )
-                    term_memo[term_key] = entry
-                total += entry[0]
-                counted |= entry[1]
-            else:
-                slice_bits = raw_bits & free
-                total += c_insert * real
+        if not self._memoize:
+            for operand in self._live_operands(state):
+                triple = self._residual_entry(operand, free)
+                slice_bits = triple[2] & free
+                total += c_insert * triple[1]
                 total += cost_of_bits(slice_bits & ~counted)
                 counted |= slice_bits
+            return total
+        # Memoized fast path: _residual_entry and the per-operand term
+        # memo probe inlined (same discipline as the heuristic loop).
+        # Per-operand terms are memoized on the closure-masked key (same
+        # exactness argument as _operand_estimate: everything the term
+        # reads is inside the residual's backward closure).  Argument
+        # lanes are excluded from the insert count: they were already
+        # paid for by _foreign_element_cost when the operand entered V
+        # (they can never be produced or scalar-fixed), so charging
+        # c_insert again here double-counts them — this mirrors the
+        # residual lane accounting of _residual_entry (Figure 9's
+        # costinsert only covers instructions fixed as scalars).
+        residual_memo = self._residual_memo
+        residual_info = self._residual_info
+        operand_key_of = self.ctx.operand_key_of
+        for operand in self._live_operands(state):
+            entry = residual_memo.get(id(operand))
+            if entry is None:
+                entry = (operand, self._operand_bits(operand), {})
+                residual_memo[id(operand)] = entry
+            masked = free & entry[1]
+            triple = entry[2].get(masked)
+            if triple is None:
+                uncached = self._residual_operand_uncached(operand, free)
+                rkey = operand_key_of(uncached)
+                triple = residual_info.get(rkey)
+                if triple is None:
+                    triple = self._residual_triple(uncached)
+                    residual_info[rkey] = triple
+                entry[2][masked] = triple
+            raw_bits = triple[2]
+            fraw = free & raw_bits
+            term_key = (fraw, counted & raw_bits)
+            term = triple[4].get(term_key)
+            if term is None:
+                term = (
+                    c_insert * triple[1]
+                    + cost_of_bits(fraw & ~counted),
+                    fraw,
+                )
+                triple[4][term_key] = term
+            total += term[0]
+            counted |= term[1]
         return total
 
     def _complete(self, state: SearchState) -> SearchState:
@@ -917,8 +1090,7 @@ class BeamSearch:
                 self.ctx.counters.inc("beam.incumbent_prunes")
                 return None
             progressed = False
-            for key in self._sorted_keys(current.operand_keys):
-                operand = self._operand_registry[key]
+            for operand in self._live_operands(current):
                 residual = self._residual_operand(operand,
                                                   current.free_bits)
                 pack = self.estimator.best_producer(residual)
@@ -934,8 +1106,7 @@ class BeamSearch:
                 # operand into homogeneous sub-tuples (idct4's interleaved
                 # add/sub layer).  A bad choice is harmless — the rollout
                 # result is only kept if it beats the incumbent.
-                for key in self._sorted_keys(current.operand_keys):
-                    operand = self._operand_registry[key]
+                for operand in self._live_operands(current):
                     residual = self._residual_operand(operand,
                                                       current.free_bits)
                     for pack in self._subtuple_packs_for(residual)[:4]:
@@ -1004,24 +1175,53 @@ class BeamSearch:
                     if existing is None or child.g < existing.g:
                         children[key] = child
             scored = []
-            for child in children.values():
-                if not prune:
+            deferred: List[SearchState] = []
+            if prune:
+                # Lazy heuristic scoring.  The beam keeps the k smallest
+                # f = g + h with h >= 0, so once k children are scored,
+                # any child whose g alone strictly exceeds the running
+                # kth-best f satisfies f >= g > kth-best-so-far >= final
+                # kth-best and provably cannot enter the beam — its
+                # (expensive) heuristic is never computed.  Children
+                # tying the bound are still scored, so equal-f beam
+                # ties resolve exactly as the eager path's stable sort
+                # would.  Skipped children are not lost: the deferred
+                # completion pass below is the only other place a
+                # non-beam child can matter.
+                topk: List[float] = []  # max-heap (negated) of k best f
+                for child in children.values():
+                    g = child.g
+                    if len(topk) == beam_width and g > -topk[0]:
+                        counters.inc("beam.heuristic_skips")
+                        deferred.append(child)
+                        continue
+                    h = self.heuristic(child)
+                    if h == INFINITY:
+                        continue
+                    f = g + h
+                    # Tie-break equal f-scores toward states that have
+                    # made more vectorization progress.
+                    scored.append((f, -len(child.packs), child))
+                    if len(topk) < beam_width:
+                        heappush(topk, -f)
+                    elif f < -topk[0]:
+                        heapreplace(topk, -f)
+            else:
+                for child in children.values():
                     # Exhaustive scoring (the pre-engine search path):
                     # complete every surviving child before ranking.
                     completed = self._complete(child)
                     if completed.g < best_solved.g:
                         best_solved = completed
                         improved = True
-                h = self.heuristic(child)
-                if h == INFINITY:
-                    continue
-                # Tie-break equal f-scores toward states that have made
-                # more vectorization progress.
-                scored.append((child.g + h, -len(child.packs), child))
+                    h = self.heuristic(child)
+                    if h == INFINITY:
+                        continue
+                    scored.append((child.g + h, -len(child.packs), child))
             scored.sort(key=lambda item: (item[0], item[1]))
-            if len(scored) > beam_width:
-                counters.inc("beam.candidates_pruned",
-                             len(scored) - beam_width)
+            outside_beam = len(scored) + len(deferred) - beam_width
+            if outside_beam > 0:
+                counters.inc("beam.candidates_pruned", outside_beam)
             candidates = [c for _, _, c in scored[:beam_width]]
             if prune:
                 # Lazy child completion: only beam survivors — plus any
@@ -1032,6 +1232,21 @@ class BeamSearch:
                 # width, not the branching factor.
                 for rank, (f, _, child) in enumerate(scored):
                     if rank >= beam_width and f >= best_solved.g:
+                        continue
+                    completed = self._complete(child)
+                    if completed.g < best_solved.g:
+                        best_solved = completed
+                        improved = True
+                # Deferred children have no f, so gate on g instead.
+                # This completes a superset of what the eager path
+                # would (g <= f), and the extras are provably no-ops:
+                # h under-estimates the scalar completion, so any child
+                # the eager f-gate skips has completed.g >= f >=
+                # incumbent and can never update it.  Both gates only
+                # drop provably-useless completions, so best_solved
+                # leaves this block identical to the eager path's.
+                for child in deferred:
+                    if child.g >= best_solved.g:
                         continue
                     completed = self._complete(child)
                     if completed.g < best_solved.g:
@@ -1051,6 +1266,15 @@ class BeamSearch:
                 if rolled is not None and rolled.g < best_solved.g:
                     best_solved = rolled
                     improved = True
+            # Warm-started early stop: the bound is a previous identical
+            # run's *final* cost, every incumbent update above is a
+            # strict improvement, and costs are deterministic — so once
+            # the incumbent reaches the bound it is the object the full
+            # run would have returned, and the loop can stop.
+            if self._warm_bound is not None and \
+                    best_solved.g <= self._warm_bound:
+                counters.inc("beam.warmstart_stops")
+                break
             # Sound early exit: transition costs are non-negative, so no
             # open candidate can ever beat a solved state whose g is
             # already <= every open g.
@@ -1066,10 +1290,352 @@ class BeamSearch:
         return best_solved
 
 
+class BitsetBeamSearch(BeamSearch):
+    """The beam engine on a bitset-native state representation.
+
+    A state's live-operand set ``V`` is a big-int bitmask over *dense
+    operand ids* — bit ``i`` is the operand registered ``i``-th — so a
+    state is three ints plus its pack tuple, ``identity()`` is an int
+    triple, and every transition is mask AND/OR/ANDNOT arithmetic over
+    tables built at registration time:
+
+    * ``_ops_by_id`` / ``_obits_by_id`` — id -> operand / produced-bits
+      (flat lists; one index replaces a tuple-keyed dict probe),
+    * ``_member_masks`` — instruction index -> mask of operand ids whose
+      lanes contain it (scalar fixes retest only those),
+    * ``_inst_occ`` — element id -> [(operand-id bit, occurrence count)]
+      (the Figure 9 costinsert term as mask tests).
+
+    **Invariant: dense ids are registration order.**  LSB-first mask
+    iteration therefore visits operands in exactly the order the legacy
+    engine's ``_sorted_keys`` (registration-order sort) does, every
+    float is accumulated in the same sequence, and the explored state
+    trajectory — hence packs and cost — is bit-identical
+    (``tests/test_bitset_differential.py``).
+    """
+
+    def __init__(self, ctx: VectorizationContext):
+        self._ops_by_id: List[OperandVector] = []
+        self._obits_by_id: List[int] = []
+        self._member_masks: List[int] = []
+        self._inst_occ: Dict[int, List[Tuple[int, int]]] = {}
+        self._inst_opnd_bits: Dict[int, int] = {}
+        # operand mask -> [operands] / union of operand bits.  Pure
+        # per-mask caches (contents are functions of the mask alone);
+        # masks repeat heavily across heuristic/completion/expand calls.
+        self._live_ops_memo: Dict[int, List[OperandVector]] = {}
+        self._mask_obits_memo: Dict[int, int] = {}
+        super().__init__(ctx)
+        # No operand is registered during base setup (seed enumeration
+        # only touches feasibility tables); sized now that the
+        # instruction list exists.
+        self._member_masks = [0] * len(self._instructions)
+
+    # -- dense-id registry -------------------------------------------------
+
+    def _register_operand(self, operand: OperandVector) -> Tuple:
+        key = self.ctx.operand_key_of(operand)
+        if key not in self._operand_order:
+            super()._register_operand(operand)
+            obits = self._operand_bits_cache[key]
+            opbit = 1 << len(self._ops_by_id)
+            self._ops_by_id.append(self._operand_registry[key])
+            self._obits_by_id.append(obits)
+            member = self._member_masks
+            remaining = obits
+            while remaining:
+                index = (remaining & -remaining).bit_length() - 1
+                remaining &= remaining - 1
+                member[index] |= opbit
+            occ = self._inst_occ
+            for eid, count in self._operand_elem_counts[key].items():
+                entry = occ.get(eid)
+                if entry is None:
+                    occ[eid] = [(opbit, count)]
+                else:
+                    entry.append((opbit, count))
+            self.ctx.counters.inc("beam.bitset_operands")
+        return key
+
+    def _live_operands(self, state: SearchState) -> List[OperandVector]:
+        mask = state.operand_keys
+        ops = self._live_ops_memo.get(mask)
+        if ops is None:
+            ops = []
+            ops_by_id = self._ops_by_id
+            remaining = mask
+            while remaining:
+                bit = remaining & -remaining
+                remaining ^= bit
+                ops.append(ops_by_id[bit.bit_length() - 1])
+            self._live_ops_memo[mask] = ops
+        return ops
+
+    def _mask_obits(self, mask: int) -> int:
+        """Union of the produced-bits of every operand id in a mask."""
+        bits = self._mask_obits_memo.get(mask)
+        if bits is None:
+            bits = 0
+            obits_by_id = self._obits_by_id
+            remaining = mask
+            while remaining:
+                bits |= obits_by_id[(remaining & -remaining)
+                                    .bit_length() - 1]
+                remaining &= remaining - 1
+            self._mask_obits_memo[mask] = bits
+        return bits
+
+    # -- states and transitions --------------------------------------------
+
+    def initial_state(self) -> SearchState:
+        base = super().initial_state()
+        return SearchState(0, base.scalar_bits, base.free_bits, (), 0.0)
+
+    def _complete(self, state: SearchState) -> SearchState:
+        return SearchState(
+            0, 0, state.free_bits, state.packs,
+            state.g + self._scalar_completion(state),
+        )
+
+    def _apply_pack(self, state: SearchState,
+                    pack: Pack) -> Optional[SearchState]:
+        _, vbits, users, fmask, reject = self._pack_feasibility(pack)
+        if vbits == 0:
+            return None
+        free_bits = state.free_bits
+        masked = free_bits & fmask
+        if masked in reject:
+            self.ctx.counters.inc("beam.apply_reject_hits")
+            return None
+        if (vbits & free_bits) != vbits:
+            reject[masked] = True
+            return None  # some produced value already decided
+        if users & free_bits:
+            reject[masked] = True
+            return None  # an undecided user remains (Fig. 9 side cond.)
+
+        (_, op_cost, _produced_key, entries, interior,
+         produces_memo) = self._pack_apply_info(pack)
+        free_after = free_bits & ~vbits
+        delta = op_cost
+        if not pack.is_store:
+            delta += self.model.c_extract * _bit_count(
+                vbits & state.scalar_bits
+            )
+        # costshuffle(p, V), by dense id.  The produced operand needs no
+        # key comparison here: if a live operand *is* the produced
+        # vector, _produces answers True (operand keys are id-exact for
+        # instruction lanes) and the memo result is False — same
+        # outcome, one int probe.  produces_memo is keyed by dense id in
+        # this engine (the legacy engine keys it by operand key; the
+        # tables are per-instance, so the keyspaces never mix).
+        c_shuffle = self.model.c_shuffle
+        ops_by_id = self._ops_by_id
+        obits_by_id = self._obits_by_id
+        new_mask = 0
+        remaining = state.operand_keys
+        while remaining:
+            bit = remaining & -remaining
+            remaining ^= bit
+            opid = bit.bit_length() - 1
+            obits = obits_by_id[opid]
+            if obits & free_after:
+                new_mask |= bit  # still unresolved
+            if obits & vbits:
+                needs_shuffle = produces_memo.get(opid)
+                if needs_shuffle is None:
+                    needs_shuffle = not self._produces(pack,
+                                                       ops_by_id[opid])
+                    produces_memo[opid] = needs_shuffle
+                if needs_shuffle:
+                    delta += c_shuffle
+
+        scalar_additions = 0
+        for kind, obits, cost, _key, order in entries:
+            delta += cost
+            if kind == _OP_BROADCAST:
+                scalar_additions |= obits
+            elif kind == _OP_REGISTER:
+                new_mask |= 1 << order
+
+        scalars_after = (state.scalar_bits | scalar_additions) & ~vbits
+        if interior:
+            free_after = self._drop_dead_covered_mask(
+                interior, free_after, scalars_after, new_mask
+            )
+        return SearchState(
+            new_mask,
+            scalars_after,
+            free_after,
+            state.packs + (pack,),
+            state.g + delta,
+        )
+
+    def _drop_dead_covered_mask(self, interior: Tuple[int, ...],
+                                free_bits: int, scalar_bits: int,
+                                op_mask: int) -> int:
+        needed = scalar_bits | self._mask_obits(op_mask)
+        users_bits = self._users_bits
+        for index in interior:
+            bit = 1 << index
+            if not (free_bits & bit) or (needed & bit):
+                continue
+            if users_bits[index] & free_bits:
+                continue
+            free_bits &= ~bit
+        return free_bits
+
+    def _scalar_fix_candidates(self, state: SearchState) -> List[int]:
+        needed = (state.scalar_bits
+                  | self._mask_obits(state.operand_keys)) & state.free_bits
+        result = []
+        users_bits = self._users_bits
+        free = state.free_bits
+        while needed:
+            index = (needed & -needed).bit_length() - 1
+            needed &= needed - 1
+            if users_bits[index] & free:
+                continue  # users not yet decided
+            result.append(index)
+        return result
+
+    def _apply_scalar_fix(self, state: SearchState,
+                          index: int) -> SearchState:
+        inst = self._instructions[index]
+        bit = 1 << index
+        free_after = state.free_bits & ~bit
+        delta = self.model.scalar_cost(inst)
+        # costinsert(i, V): occurrence lists are per element, so only
+        # operands actually containing the instruction are touched.
+        mask = state.operand_keys
+        occurrences = 0
+        for opbit, count in self._inst_occ.get(id(inst), ()):
+            if mask & opbit:
+                occurrences += count
+        delta += self.model.c_insert * occurrences
+        # Only operands whose lanes contain the fixed instruction can
+        # become fully decided by this transition.
+        new_mask = mask
+        affected = mask & self._member_masks[index]
+        obits_by_id = self._obits_by_id
+        while affected:
+            opbit = affected & -affected
+            affected ^= opbit
+            if not (obits_by_id[opbit.bit_length() - 1] & free_after):
+                new_mask ^= opbit
+
+        opnd_bits = self._inst_opnd_bits.get(index)
+        if opnd_bits is None:
+            opnd_bits = 0
+            dg = self.ctx.dep_graph
+            for op in inst.operands:
+                if dg.contains(op):
+                    opnd_bits |= 1 << dg.index(op)
+            self._inst_opnd_bits[index] = opnd_bits
+        scalars_after = ((state.scalar_bits & ~bit) | opnd_bits) \
+            & free_after
+
+        return SearchState(
+            new_mask,
+            scalars_after,
+            free_after,
+            state.packs,
+            state.g + delta,
+        )
+
+
+def exhaustive_search(search: BeamSearch,
+                      incumbent: Optional[SearchState] = None,
+                      bound: Optional[float] = None,
+                      node_budget: Optional[int] = None,
+                      memo: Optional[Dict[Tuple, float]] = None,
+                      counters=None) -> Tuple[SearchState, bool, int]:
+    """Run a search's transition system to exhaustion (branch and bound).
+
+    An iterative depth-first traversal replicating the classic recursive
+    formulation's visit order exactly: entry work (node accounting,
+    scalar completion, incumbent update) happens when a state is pushed;
+    child pruning — incumbent bound, solved handling, dominance memo —
+    is evaluated lazily against the *evolving* incumbent as each child
+    is popped.  Returns ``(best, proved, nodes)``:
+
+    * ``best`` — the cheapest solved state found; with ``proved`` True
+      it is the exact optimum of the transition system.
+    * ``proved`` — False when ``node_budget`` stopped the traversal
+      first (``best`` is then just the best incumbent).
+    * ``nodes`` — states visited.
+
+    ``incumbent`` seeds the bound (typically the beam's solved state),
+    so the result is never worse than it.  ``bound`` enables the
+    warm-start strict prune (``child.g > bound`` branches are cut); it
+    is only sound to pass a *proved* previous final cost — see
+    :mod:`repro.vectorizer.warm`.  The traversal uses a fresh dominance
+    memo by default: the beam's transposition table also holds states
+    whose subtrees were beam-width-pruned without exploration, so
+    reusing it here would unsoundly skip them.
+    """
+    if memo is None:
+        memo = {}
+    if counters is None:
+        counters = NULL_COUNTERS
+    root = search.initial_state()
+    best = search._complete(root)
+    if incumbent is not None and incumbent.g < best.g:
+        best = incumbent
+    nodes = 0
+    proved = True
+    # Stack frames are [children, next-index]; mutated in place.
+    stack: List[List] = []
+
+    def _enter(state: SearchState) -> bool:
+        nonlocal nodes, best
+        if node_budget is not None and nodes >= node_budget:
+            return False
+        nodes += 1
+        completed = search._complete(state)
+        if completed.g < best.g:
+            best = completed
+        stack.append([search.expand(state), 0])
+        return True
+
+    if not _enter(root):
+        return best, False, nodes
+    while stack:
+        frame = stack[-1]
+        children, index = frame
+        if index >= len(children):
+            stack.pop()
+            continue
+        frame[1] = index + 1
+        child = children[index]
+        if child.g >= best.g:
+            continue  # branch and bound: costs only grow
+        if bound is not None and child.g > bound:
+            counters.inc("beam.warmstart_prunes")
+            continue
+        if child.solved:
+            best = child  # g < best.g checked above
+            continue
+        key = child.identity()
+        seen = memo.get(key)
+        if seen is not None and seen <= child.g:
+            continue
+        memo[key] = child.g
+        if not _enter(child):
+            proved = False
+            break
+    return best, proved, nodes
+
+
 def select_packs(ctx: VectorizationContext) -> Tuple[List[Pack], float]:
     """Run pack selection; returns (packs, estimated cost of the block).
 
     An empty pack list means "leave the block scalar".
+
+    Dispatches on the config: ``bitset`` picks the engine, ``exact``
+    appends the exhaustive branch-and-bound pass (seeded with the beam's
+    incumbent, so never worse), ``warm_start`` consults the
+    content-addressed cost cache for an early-stop/prune bound.
 
     The cyclic garbage collector is paused for the duration of the
     search: the search allocates millions of short-lived tuples and
@@ -1077,14 +1643,59 @@ def select_packs(ctx: VectorizationContext) -> Tuple[List[Pack], float]:
     wall time on the heaviest kernels.  Pausing changes nothing about
     the result — only when cyclic garbage is reclaimed — and the
     collector is restored (and left to catch up) on exit."""
+    config = ctx.config
+    counters = ctx.counters
+    warm_cache = None
+    warm_cache_key = None
+    warm_entry = None
+    if config.warm_start:
+        from repro.vectorizer.warm import (
+            context_warm_key,
+            default_warm_cache,
+        )
+        warm_cache = default_warm_cache()
+        warm_cache_key = context_warm_key(ctx)
+        warm_entry = warm_cache.get(warm_cache_key)
+        counters.inc("beam.warmstart_hits" if warm_entry is not None
+                     else "beam.warmstart_misses")
     was_enabled = gc.isenabled()
     gc.disable()
     try:
-        search = BeamSearch(ctx)
-        solved = search.run(ctx.config.beam_width)
+        if config.bitset:
+            counters.inc("beam.bitset_runs")
+            search: BeamSearch = BitsetBeamSearch(ctx)
+        else:
+            search = BeamSearch(ctx)
+        if warm_entry is not None:
+            search._warm_bound = warm_entry[0]
+        solved = search.run(config.beam_width)
+        proved = False
+        if config.exact and solved is not None:
+            counters.inc("beam.exact_runs")
+            # Warm bound only when the cached cost carries an optimality
+            # proof: pruning at an unproved (budget-truncated) cost
+            # could steer a budget-truncated rerun to a different
+            # incumbent, breaking warm/cold identity.
+            exact_bound = warm_entry[0] \
+                if warm_entry is not None and warm_entry[1] else None
+            beam_g = solved.g
+            solved, proved, nodes = exhaustive_search(
+                search,
+                incumbent=solved,
+                bound=exact_bound,
+                node_budget=config.exact_node_budget,
+                counters=counters,
+            )
+            counters.inc("beam.exact_nodes", nodes)
+            counters.inc("beam.exact_proved" if proved
+                         else "beam.exact_budget_exhausted")
+            if solved.g < beam_g:
+                counters.inc("beam.exact_improvements")
     finally:
         if was_enabled:
             gc.enable()
     if solved is None:
         return [], INFINITY
+    if warm_cache is not None:
+        warm_cache.put(warm_cache_key, solved.g, proved)
     return list(solved.packs), solved.g

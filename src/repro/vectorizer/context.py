@@ -51,6 +51,42 @@ class VectorizerConfig:
     #: bundled kernel and target); ``prune=False`` restores the
     #: exhaustive scoring path of the unpruned search exactly.
     prune: bool = True
+    #: Run the search on the bitset-native state representation: a
+    #: state's live-operand set is a big-int bitmask over dense operand
+    #: ids (assigned at registry time) instead of a frozenset of operand
+    #: keys, and every transition becomes precomputed mask AND/OR/ANDNOT
+    #: batches over the per-pack tables.  The bitset engine explores the
+    #: identical state sequence — dense ids are registration order, so
+    #: LSB-first mask iteration reproduces the legacy engine's
+    #: registration-ordered key iteration exactly — and is
+    #: differential-tested bit-identical on every bundled kernel and
+    #: target (``tests/test_bitset_differential.py``); ``bitset=False``
+    #: restores the frozenset-keyed legacy engine.
+    bitset: bool = True
+    #: After the beam finishes, run the incumbent branch-and-bound to
+    #: exhaustion under the admissible bound (seeded with the beam's
+    #: solved state, so the result is never worse than the beam's) and
+    #: return the provably optimal pack set — the Figure 9 recurrence
+    #: solved exactly rather than heuristically.  Bounded by
+    #: ``exact_node_budget``; when the budget is exhausted the best
+    #: incumbent found so far is returned and the run is flagged
+    #: (``beam.exact_budget_exhausted``).
+    exact: bool = False
+    #: Node budget for the exhaustive pass (states visited); exhaustion
+    #: returns the incumbent instead of a proof of optimality.
+    exact_node_budget: int = 400000
+    #: Warm-start the incumbent from a previous run's final cost, looked
+    #: up in the content-addressed warm cost cache
+    #: (:mod:`repro.vectorizer.warm`, keyed like the serve cache:
+    #: canonical IR x target x canonical config x artifact hash, plus
+    #: the cost model).  Provably identity-preserving: the beam stops
+    #: early only once its incumbent already equals the cached final
+    #: cost (every later improvement is strictly ``<``, so the returned
+    #: state could never change), and the exhaustive pass prunes only
+    #: strictly-above-bound branches.  Off by default so counter-shape
+    #: differential contracts are unperturbed; only node counts and
+    #: ``beam.warmstart_*`` counters may differ when enabled.
+    warm_start: bool = False
 
     # -- canonical serialization ---------------------------------------
     #
@@ -73,6 +109,10 @@ class VectorizerConfig:
         "patience",
         "memoize",
         "prune",
+        "bitset",
+        "exact",
+        "exact_node_budget",
+        "warm_start",
     )
 
     def canonical_dict(self) -> Dict[str, object]:
@@ -165,6 +205,13 @@ class VectorizationContext:
         # it once per shape hoists the per-instruction signature lookups
         # out of the hot loop.
         self._shape_plans: Dict[Tuple, Tuple] = {}
+        # (lanes, elem_type) -> (plan, lane_token_masks) where
+        # ``lane_token_masks[(lane, token)]`` is a bitmask over plan
+        # indices whose signature demands ``token`` at ``lane``.
+        # Producer enumeration ANDs per-lane mask unions to find the
+        # feasible plan entries in O(lanes) dict probes instead of
+        # probing the match table per (instruction, lane) cell.
+        self._shape_indexes: Dict[Tuple, Tuple] = {}
 
     def shape_plan(self, lanes: int, elem_type) -> Tuple:
         """(vinst, signature) pairs for one operand shape, cached."""
@@ -179,6 +226,22 @@ class VectorizationContext:
             )
             self._shape_plans[key] = plan
         return plan
+
+    def shape_index(self, lanes: int, elem_type) -> Tuple:
+        """``(plan, lane_token_masks)`` for one operand shape, cached."""
+        key = (lanes, elem_type)
+        index = self._shape_indexes.get(key)
+        if index is None:
+            plan = self.shape_plan(lanes, elem_type)
+            masks: Dict[Tuple[int, int], int] = {}
+            for position, (_vinst, sig) in enumerate(plan):
+                bit = 1 << position
+                for lane, token in enumerate(sig):
+                    cell = (lane, token)
+                    masks[cell] = masks.get(cell, 0) | bit
+            index = (plan, masks)
+            self._shape_indexes[key] = index
+        return index
 
     def operand_key_of(self, operand) -> Tuple:
         """``operand_key(operand)``, cached by tuple identity."""

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.vectorizer.beam import BeamSearch, SearchState
+from repro.vectorizer.beam import BeamSearch, SearchState, exhaustive_search
 from repro.vectorizer.context import VectorizationContext
 
 #: Hard cap on block size; beyond this the state space is intractable.
@@ -31,8 +31,11 @@ class OptimalSearchError(RuntimeError):
 class OptimalSolver(BeamSearch):
     """Depth-first exhaustive search over the Figure 9 state space.
 
-    Reuses the beam search's transition generator (`expand`), so the two
-    explore exactly the same edges — any gap between them is a search
+    Reuses the beam search's transition generator (`expand`) and — since
+    the exact-mode refactor — the same :func:`exhaustive_search` engine
+    that ``VectorizerConfig(exact=True)`` runs, so the oracle and the
+    production exact mode solve the identical traversal with the
+    identical cost model; any gap between beam and oracle is a search
     artifact, never a modeling difference.
     """
 
@@ -49,31 +52,13 @@ class OptimalSolver(BeamSearch):
     def solve(self) -> SearchState:
         """The provably cheapest solved state reachable by the
         transition system."""
-        state = self.initial_state()
-        best = self._complete(state)
-        best = self._dfs(state, best)
-        return best
-
-    def _dfs(self, state: SearchState, best: SearchState) -> SearchState:
-        self._states += 1
-        if self._states > MAX_STATES:
+        # MAX_STATES is read at call time so tests can monkeypatch it.
+        best, proved, nodes = exhaustive_search(
+            self, node_budget=MAX_STATES, memo=self._memo
+        )
+        self._states = nodes
+        if not proved:
             raise OptimalSearchError("state budget exhausted")
-        completed = self._complete(state)
-        if completed.g < best.g:
-            best = completed
-        for child in self.expand(state):
-            if child.g >= best.g:
-                continue  # branch and bound: costs only grow
-            if child.solved:
-                if child.g < best.g:
-                    best = child
-                continue
-            key = child.identity()
-            seen = self._memo.get(key)
-            if seen is not None and seen <= child.g:
-                continue
-            self._memo[key] = child.g
-            best = self._dfs(child, best)
         return best
 
 

@@ -39,15 +39,12 @@ def operand_key(operand: OperandVector) -> Tuple:
     the enumeration hot path — while don't-cares and constants keep
     tagged tuples.  An ``int`` never compares equal to a tuple, so the
     mixed element shapes cannot collide across lane kinds."""
-    parts = []
-    for el in operand:
-        if el is DONT_CARE:
-            parts.append(("dc",))
-        elif isinstance(el, Constant):
-            parts.append(("const", el.type, el.value))
-        else:
-            parts.append(id(el))
-    return tuple(parts)
+    return tuple(
+        [id(el) if el.__class__ is not Constant and el is not DONT_CARE
+         else (("dc",) if el is DONT_CARE
+               else ("const", el.type, el.value))
+         for el in operand]
+    )
 
 
 #: Sentinel for "key not computed yet" — distinct from any real key, so
@@ -57,6 +54,8 @@ _KEY_UNSET = object()
 
 class Pack:
     """Base class for the three pack kinds."""
+
+    __slots__ = ("_key_cache",)
 
     def __init__(self):
         # Per-instance init: a class-level default would be shared state
@@ -96,6 +95,8 @@ class Pack:
 class ComputePack(Pack):
     """A pack of matched operations lowered to one target instruction."""
 
+    __slots__ = ("inst", "matches", "_values", "_operands")
+
     def __init__(self, inst: TargetInstruction,
                  matches: Sequence[Optional[Match]]):
         super().__init__()
@@ -104,53 +105,69 @@ class ComputePack(Pack):
                 f"{inst.name}: {len(matches)} matches for "
                 f"{inst.num_lanes} lanes"
             )
-        if all(m is None for m in matches):
-            raise InvalidPack(f"{inst.name}: all lanes are don't-care")
         self.inst = inst
-        self.matches = tuple(matches)
-        self._values = tuple(
-            m.live_out if m is not None else None for m in matches
-        )
-        # Every scalar is produced by exactly one pack lane: a pack whose
-        # lanes repeat a live-out would compute the same value twice and
-        # has no consistent lowering (codegen maps value -> (pack, lane)).
-        produced = [id(v) for v in self._values if v is not None]
-        if len(set(produced)) != len(produced):
+        self.matches = matches = tuple(matches)
+        # One pass builds the lane values and checks both lane
+        # invariants: at least one real lane, and every scalar produced
+        # by exactly one pack lane (a pack whose lanes repeat a live-out
+        # would compute the same value twice and has no consistent
+        # lowering — codegen maps value -> (pack, lane)).
+        values: List[Optional[Value]] = []
+        produced: List[int] = []
+        for m in matches:
+            if m is None:
+                values.append(None)
+            else:
+                live_out = m.live_out
+                values.append(live_out)
+                produced.append(id(live_out))
+        if not produced:
+            raise InvalidPack(f"{inst.name}: all lanes are don't-care")
+        if len(produced) > 1 and len(set(produced)) != len(produced):
             raise InvalidPack(
                 f"{inst.name}: the same value is produced by two lanes"
             )
+        self._values = tuple(values)
         self._operands = self._compute_operands()
 
     def _compute_operands(self) -> List[OperandVector]:
-        desc = self.inst.desc
+        # Driven by the desc's flat lane-consumer plan (built once per
+        # instruction description): the single-consumer "simple" inputs
+        # read their bound value directly, the "general" ones replicate
+        # the per-lane consistency check of multi-consumer bindings.
+        matches = self.matches
         operands: List[OperandVector] = []
-        for input_index, vin in enumerate(desc.inputs):
-            lanes: List[OperandElement] = []
-            for lane_index in range(vin.lanes):
-                value = self._lane_value(input_index, lane_index)
-                lanes.append(value)
-            operands.append(tuple(lanes))
-        return operands
-
-    def _lane_value(self, input_index: int,
-                    lane_index: int) -> OperandElement:
-        desc = self.inst.desc
-        chosen: Optional[Value] = None
-        for out_lane, param_pos in desc.lane_consumers(input_index,
-                                                       lane_index):
-            match = self.matches[out_lane]
-            if match is None:
-                continue
-            value = match.live_ins[param_pos]
-            if chosen is None:
-                chosen = value
-            elif chosen is not value and not constants_equal(chosen, value):
-                raise InvalidPack(
-                    f"{self.inst.name}: input lane "
-                    f"x{input_index}[{lane_index}] bound to two different "
-                    f"values"
+        for input_index, (kind, lanes_plan) in \
+                enumerate(self.inst.desc.pack_plan()):
+            if kind == "simple":
+                lanes = tuple(
+                    DONT_CARE if entry is None
+                    or (match := matches[entry[0]]) is None
+                    else match.live_ins[entry[1]]
+                    for entry in lanes_plan
                 )
-        return chosen if chosen is not None else DONT_CARE
+                operands.append(lanes)
+                continue
+            general: List[OperandElement] = []
+            for lane_index, consumers in enumerate(lanes_plan):
+                chosen: Optional[Value] = None
+                for out_lane, param_pos in consumers:
+                    match = matches[out_lane]
+                    if match is None:
+                        continue
+                    value = match.live_ins[param_pos]
+                    if chosen is None:
+                        chosen = value
+                    elif chosen is not value and \
+                            not constants_equal(chosen, value):
+                        raise InvalidPack(
+                            f"{self.inst.name}: input lane "
+                            f"x{input_index}[{lane_index}] bound to two "
+                            f"different values"
+                        )
+                general.append(chosen if chosen is not None else DONT_CARE)
+            operands.append(tuple(general))
+        return operands
 
     def values(self) -> Tuple[Optional[Value], ...]:
         return self._values
@@ -183,6 +200,8 @@ class ComputePack(Pack):
 class LoadPack(Pack):
     """A vector load of contiguous elements."""
 
+    __slots__ = ("loads", "base", "first_offset")
+
     def __init__(self, loads: Sequence[LoadInst]):
         super().__init__()
         location = contiguous_accesses(loads)
@@ -210,6 +229,8 @@ class LoadPack(Pack):
 
 class StorePack(Pack):
     """A vector store of contiguous elements."""
+
+    __slots__ = ("stores", "base", "first_offset", "_operands")
 
     def __init__(self, stores: Sequence[StoreInst]):
         super().__init__()

@@ -20,7 +20,6 @@ from itertools import product
 from typing import List, Optional
 
 from repro.ir.instructions import LoadInst
-from repro.ir.types import Type
 from repro.ir.values import Constant
 from repro.vectorizer.context import VectorizationContext
 from repro.vectorizer.pack import (
@@ -29,7 +28,6 @@ from repro.vectorizer.pack import (
     LoadPack,
     OperandVector,
     Pack,
-    packs_independent,
 )
 from repro.vidl.interp import DONT_CARE
 
@@ -52,15 +50,27 @@ def producers_for_operand(operand: OperandVector,
 
 def _enumerate(operand: OperandVector,
                ctx: VectorizationContext) -> List[Pack]:
-    values = [v for v in operand
-              if v is not DONT_CARE and not isinstance(v, Constant)]
+    # One pass collects the real values, flags constants, and resolves
+    # the element type (mixed-type operands have no producers).
+    has_const = False
+    elem_type = None
+    values = []
+    for v in operand:
+        if v is DONT_CARE:
+            continue
+        ty = v.type
+        if elem_type is None:
+            elem_type = ty
+        elif elem_type != ty:
+            return []
+        if v.__class__ is Constant:
+            has_const = True
+            continue
+        values.append(v)
     if not values:
         return []
     # Algorithm 1, line 1: reject operands with internally dependent values.
     if not ctx.dep_graph.independent(values):
-        return []
-    elem_type = _element_type(operand)
-    if elem_type is None:
         return []
     producers: List[Pack] = []
     seen = set()
@@ -70,15 +80,33 @@ def _enumerate(operand: OperandVector,
         producers.append(load_pack)
         seen.add(load_pack.key())
 
-    # An element with no match-table entries at all (loads, geps, values
-    # no target operation implements) can never be produced by any lane
-    # of any compute pack — lookup() against every operation is empty —
-    # so the whole instruction loop is futile.  On the dsp kernels this
-    # prefilter discharges ~45% of enumerations with one dict probe per
-    # lane.
-    matches_for_value = ctx.match_table.matches_for_value
-    for element in values:
-        if not matches_for_value(element):
+    # Packs cannot produce constant lanes, so one constant lane rules
+    # out every compute producer outright.
+    if has_const:
+        return producers
+
+    # Feasibility prefilter over the whole shape plan at once: a plan
+    # entry is viable only if every real lane's element has a match for
+    # the token that entry demands at that lane.  The shape index's
+    # per-(lane, token) bitmasks turn this into one AND per lane of a
+    # union over the element's few tokens — on the dsp kernels ~90% of
+    # plan entries die here without a single match-table probe, and
+    # elements with no matches at all (loads, geps, unsupported ops)
+    # zero the mask on their first lane.
+    plan, lane_masks = ctx.shape_index(len(operand), elem_type)
+    if not plan:
+        return producers
+    tokens_of = ctx.match_table.tokens_for_value_id
+    mask_get = lane_masks.get
+    feasible = (1 << len(plan)) - 1
+    for lane, element in enumerate(operand):
+        if element is DONT_CARE:
+            continue
+        lane_bits = 0
+        for token in tokens_of(id(element)):
+            lane_bits |= mask_get((lane, token), 0)
+        feasible &= lane_bits
+        if not feasible:
             return producers
 
     limit = ctx.config.max_producers_per_operand
@@ -88,37 +116,36 @@ def _enumerate(operand: OperandVector,
     # 4-lane add-ish vinst asks lane i for the same `add` operation).
     # The per-lane match vectors depend only on (operand, lane ops), so
     # they are memoized per lane-token signature within this enumeration
-    # — instructions still iterate in their original order, so the
-    # producers found (and their order) are unchanged.  The signatures
-    # come precomputed with the shape plan, and table cells are probed
-    # directly by (value id, lane token).
+    # — feasible entries still iterate in their original plan order (the
+    # mask walks LSB-first), so the producers found (and their order)
+    # are unchanged.  Probes on surviving entries always hit: the
+    # feasibility mask is exactly "this (value, token) cell exists".
     sig_memo: dict = {}
     probes = 0
-    for vinst, sig in ctx.shape_plan(len(operand), elem_type):
+    remaining = feasible
+    while remaining:
+        position = (remaining & -remaining).bit_length() - 1
+        remaining &= remaining - 1
         if len(producers) >= limit:
             break
-        cached = sig_memo.get(sig)
-        if cached is None:
+        vinst, sig = plan[position]
+        cell = sig_memo.get(sig)
+        if cell is None:
             per_lane = []
-            feasible = True
             for lane, element in enumerate(operand):
                 if element is DONT_CARE:
                     per_lane.append(dont_care_lane)
                     continue
-                if isinstance(element, Constant):
-                    feasible = False  # packs cannot produce constant lanes
-                    break
                 probes += 1
-                matches = probe((id(element), sig[lane]))
-                if not matches:
-                    feasible = False
-                    break
-                per_lane.append(matches)
-            sig_memo[sig] = (feasible, per_lane)
-        else:
-            feasible, per_lane = cached
-        if not feasible:
-            continue
+                per_lane.append(probe((id(element), sig[lane])))
+            # Duplicate packs can only arise when some lane offers
+            # several alternative matches (one cartesian product yields
+            # two combos building the same pack); single-combo cells
+            # skip the dedup key entirely — most packs here only ever
+            # feed cost estimates and never need their key materialized.
+            cell = (per_lane, any(len(pl) != 1 for pl in per_lane))
+            sig_memo[sig] = cell
+        per_lane, multi = cell
         combos = 0
         for combo in product(*per_lane):
             combos += 1
@@ -128,31 +155,22 @@ def _enumerate(operand: OperandVector,
                 pack = ComputePack(vinst, combo)
             except InvalidPack:
                 continue
-            if not packs_independent(pack, ctx.dep_graph):
-                continue
-            key = pack.key()
-            if key in seen:
-                continue
-            seen.add(key)
+            # No packs_independent() check: the pack's lane values are a
+            # subset of the operand's real elements (probe() only returns
+            # matches whose live-out IS the lane element), and subsets of
+            # an independent set are independent — the entry check above
+            # already proved it.
+            if multi:
+                key = pack.key()
+                if key in seen:
+                    continue
+                seen.add(key)
             producers.append(pack)
             if len(producers) >= limit:
                 break
     if probes:
         ctx.counters.inc("matcher.table_lookups", probes)
     return producers
-
-
-def _element_type(operand: OperandVector) -> Optional[Type]:
-    elem_type: Optional[Type] = None
-    for element in operand:
-        if element is DONT_CARE:
-            continue
-        ty = element.type  # type: ignore[union-attr]
-        if elem_type is None:
-            elem_type = ty
-        elif elem_type != ty:
-            return None
-    return elem_type
 
 
 def _try_load_pack(operand: OperandVector,
@@ -182,6 +200,6 @@ def _try_load_pack(operand: OperandVector,
         pack = LoadPack(loads)
     except InvalidPack:
         return None
-    if not packs_independent(pack, ctx.dep_graph):
-        return None
+    # No packs_independent() check: the loads are exactly the operand's
+    # elements, whose pairwise independence _enumerate checked at entry.
     return pack

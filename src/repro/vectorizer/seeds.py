@@ -12,8 +12,11 @@ Two kinds of seeds start the search:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import nlargest
+from operator import itemgetter
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.ir.types import Type
 from repro.ir.instructions import (
     Instruction,
     LoadInst,
@@ -148,8 +151,14 @@ class AffinityEstimator:
         score = p.match
         if depth < p.max_depth and isinstance(v, Instruction) and \
                 isinstance(w, Instruction):
+            memo_get = self._memo.get
+            sub_depth = depth + 1
             for ov, ow in zip(v.operands, w.operands):
-                score += self.affinity(ov, ow, depth + 1)
+                sub = memo_get((id(ov), id(ow), sub_depth))
+                if sub is None:
+                    sub = self.affinity(ov, ow, sub_depth)
+                score += sub
+            return score
         return score
 
     def _packable(self, v: Value, w: Value) -> bool:
@@ -176,33 +185,70 @@ def affinity_seed_tuples(ctx: VectorizationContext,
         if inst.has_result and not inst.is_memory
         and any(isinstance(u, StoreInst) for u in inst.uses)
     ]
+    # Peers are "same type, not self": group once instead of re-scanning
+    # (and re-comparing types) per first instruction.  Types hash
+    # structurally, so bucketing matches the == filter exactly, and
+    # bucket order preserves store_fed order.
+    by_type: Dict[Type, List[Instruction]] = {}
+    for inst in store_fed:
+        by_type.setdefault(inst.type, []).append(inst)
     tuples: List[Tuple[Value, ...]] = []
     seen = set()
     k = ctx.config.seed_packs_per_value
+    beam = max(k, 2)
     lane_counts = [vl for vl in ctx.target.vector_lane_counts if vl >= 2]
+    affinity = estimator.affinity
+    aff_memo_get = estimator._memo.get
+    # Per-instruction gain rows over the instruction's whole type group,
+    # sorted by gain descending (stable, so equal gains keep group
+    # order), shared across every first/vl that extends from that
+    # instruction.  A beam extension only ever selects a partial's
+    # ``beam`` best unused candidates, and the row walk yields exactly
+    # those in the order the full candidate sort would have ranked them
+    # (total = score + gain is monotone in gain per partial; ties keep
+    # group order in both), so the surviving partials are identical to
+    # the all-peers enumeration this replaces — while touching only
+    # ``beam + len(used)`` row entries instead of the whole group.
+    rows: Dict[int, List[Tuple[float, Value]]] = {}
     for first in store_fed:
-        peers = [
-            inst for inst in store_fed
-            if inst is not first and inst.type == first.type
-        ]
+        group = by_type[first.type]
+        max_lanes = len(group)  # group minus first, plus the first lane
         for vl in lane_counts:
-            if vl - 1 > len(peers):
+            if vl > max_lanes:
                 continue
-            # Beam-extend lane by lane, ranking by adjacent-lane affinity.
             partials: List[Tuple[float, Tuple[Value, ...]]] = [
                 (0.0, (first,))
             ]
             for _ in range(vl - 1):
-                extended: List[Tuple[float, Tuple[Value, ...]]] = []
-                for score, partial in partials:
+                extended: List[Tuple[float, int, Value]] = []
+                append = extended.append
+                for index, (score, partial) in enumerate(partials):
                     used = set(map(id, partial))
-                    for peer in peers:
+                    last = partial[-1]
+                    last_id = id(last)
+                    row = rows.get(last_id)
+                    if row is None:
+                        row = []
+                        for peer in group:
+                            gain = aff_memo_get((last_id, id(peer), 0))
+                            if gain is None:
+                                gain = affinity(last, peer)
+                            row.append((gain, peer))
+                        row.sort(key=itemgetter(0), reverse=True)
+                        rows[last_id] = row
+                    taken = 0
+                    for gain, peer in row:
                         if id(peer) in used:
                             continue
-                        gain = estimator.affinity(partial[-1], peer)
-                        extended.append((score + gain, partial + (peer,)))
-                extended.sort(key=lambda pair: -pair[0])
-                partials = extended[: max(k, 2)]
+                        append((score + gain, index, peer))
+                        taken += 1
+                        if taken == beam:
+                            break
+                best = nlargest(beam, extended, key=itemgetter(0))
+                partials = [
+                    (total, partials[index][1] + (peer,))
+                    for total, index, peer in best
+                ]
                 if not partials:
                     break
             for score, full in partials[:k]:

@@ -176,37 +176,51 @@ class SLPCostEstimator:
     def _solve(self, operand: OperandVector
                ) -> Tuple[float, Optional[Pack]]:
         real = [v for v in operand
-                if v is not DONT_CARE and not isinstance(v, Constant)]
+                if v is not DONT_CARE and v.__class__ is not Constant]
         if not real:
             # A constant (or empty) vector: materialized directly.
             return self.model.c_vector_const, None
-        best = (
-            self.model.c_insert * len(operand) + self.cost_scalar(operand)
-        )
+        model = self.model
+        best = model.c_insert * len(operand) + self.cost_scalar(operand)
         # §6.2: special-case shuffle patterns override the default model.
         distinct = {id(v): v for v in real}
         if len(distinct) == 1:
             # Broadcast: one scalar plus a splat.
             best = min(best,
-                       self.cost_scalar(real[:1]) + self.model.c_broadcast)
+                       self.cost_scalar(real[:1]) + model.c_broadcast)
         runs = _contiguous_load_runs(list(distinct.values()),
                                      self.ctx.dep_graph)
         if runs == 1:
-            best = min(best,
-                       self.model.c_vector_load + self.model.c_permute)
+            best = min(best, model.c_vector_load + model.c_permute)
         elif runs == 2:
-            best = min(best, 2 * self.model.c_vector_load
-                       + self.model.c_two_source_shuffle)
+            best = min(best, 2 * model.c_vector_load
+                       + model.c_two_source_shuffle)
         best_pack: Optional[Pack] = None
-        for pack in producers_for_operand(operand, self.ctx):
-            cost = self.pack_op_cost(pack)
-            for sub in pack.operands():
-                cost += self.cost_slp(sub)
-                if cost >= best:
-                    break
-            if cost < best:
-                best = cost
-                best_pack = pack
+        producers = producers_for_operand(operand, self.ctx)
+        if producers:
+            # The recursion's memo probe, inlined: a solved sub-operand
+            # costs two dict lookups instead of a frame (the Figure 7
+            # recurrence revisits the same sub-operands constantly once
+            # the rollout policy queries it per beam state).
+            memo_get = self._memo.get
+            key_of = self.ctx.operand_key_of
+            load_cost = model.c_vector_load
+            store_cost = model.c_vector_store
+            for pack in producers:
+                cls = pack.__class__
+                cost = (pack.inst.cost if cls is ComputePack
+                        else load_cost if cls is LoadPack
+                        else store_cost)
+                for sub in pack.operands():
+                    sub_cost = memo_get(key_of(sub))
+                    if sub_cost is None:
+                        sub_cost = self.cost_slp(sub)
+                    cost += sub_cost
+                    if cost >= best:
+                        break
+                if cost < best:
+                    best = cost
+                    best_pack = pack
         return best, best_pack
 
     def best_producer(self, operand: OperandVector) -> Optional[Pack]:

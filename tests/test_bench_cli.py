@@ -101,11 +101,35 @@ class TestValidateBench:
         with pytest.raises(ValueError, match="counters"):
             validate_bench(doc)
 
+    def test_v2_requires_gap_column_in_every_cell(self, small_bench):
+        doc = copy.deepcopy(small_bench)
+        del doc["results"][0]["optimality_gap"]
+        with pytest.raises(ValueError, match="optimality_gap"):
+            validate_bench(doc)
+
+    def test_v1_baseline_without_gap_column_still_loads(self,
+                                                        small_bench):
+        """The committed pre-v2 trajectory must stay usable as a
+        ``--compare`` baseline."""
+        doc = copy.deepcopy(small_bench)
+        doc["schema"] = "repro-bench/v1"
+        for result in doc["results"]:
+            del result["optimality_gap"]
+        validate_bench(doc)  # must not raise
+        regressions, _ = compare_bench(doc, small_bench)
+        assert regressions == []
+
 
 class TestCompareBench:
     def test_identical_documents_have_no_regressions(self, small_bench):
         regressions, _ = compare_bench(small_bench, small_bench)
         assert regressions == []
+
+    def test_pack_count_change_is_a_regression(self, small_bench):
+        doc = copy.deepcopy(small_bench)
+        doc["results"][0]["num_packs"] += 1
+        regressions, _ = compare_bench(small_bench, doc)
+        assert any("pack count" in r for r in regressions)
 
     def test_injected_cost_regression_is_flagged(self, small_bench):
         worse = copy.deepcopy(small_bench)

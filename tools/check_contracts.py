@@ -13,11 +13,18 @@ every Python file under ``src/`` with :mod:`ast` and verifies
 * every literal first argument to a ``.span(...)`` call is a member of
   ``SPAN_NAMES``;
 * every ``span_name = "..."`` class attribute (the pass-manager's
-  indirect span naming) is a member of ``SPAN_NAMES``.
+  indirect span naming) is a member of ``SPAN_NAMES``;
+* every literal first argument to a ``.get(...)`` call that *looks like*
+  a counter name (``namespace.rest`` with a registered counter
+  namespace, e.g. ``beam.``) is a member of ``COUNTER_NAMES`` — a typo
+  in a counter read silently returns 0, which is exactly the failure
+  mode the differential tests' counter assertions must not have.
 
-Non-literal arguments (computed names) are counted and reported but not
-checked — there are deliberately almost none.  Exits non-zero on any
-violation; run by CI next to the tier-1 tests.
+``tests/``, ``benchmarks/``, and ``tools/`` are walked alongside
+``src/``: the read-side contract matters most where counters gate
+assertions.  Non-literal arguments (computed names) are counted and
+reported but not checked — there are deliberately almost none.  Exits
+non-zero on any violation; run by CI next to the tier-1 tests.
 """
 
 from __future__ import annotations
@@ -36,6 +43,13 @@ sys.path.insert(0, _SRC)
 from repro.obs.counters import COUNTER_NAMES  # noqa: E402
 from repro.obs.trace import SPAN_NAMES  # noqa: E402
 
+#: Registered counter namespaces ("beam", "slp", ...).  A ``.get("x.y")``
+#: whose prefix is one of these is a counter read and must name a
+#: registered counter; any other dotted string (file names, phase keys,
+#: the deliberate ``never.touched`` probe in the obs tests) is left
+#: alone.
+COUNTER_NAMESPACES = frozenset(n.split(".", 1)[0] for n in COUNTER_NAMES)
+
 
 def _python_files(root: str) -> Iterator[str]:
     for dirpath, _dirnames, filenames in os.walk(root):
@@ -50,8 +64,15 @@ def _literal_str(node: ast.AST) -> "str | None":
     return None
 
 
-def check_file(path: str) -> Tuple[List[str], int]:
-    """Return (violations, dynamic_call_count) for one source file."""
+def check_file(path: str,
+               writes: bool = True) -> Tuple[List[str], int]:
+    """Return (violations, dynamic_call_count) for one source file.
+
+    ``writes=False`` (used outside ``src/``) applies only the
+    counter-read check: the obs tests legitimately exercise the Tracer
+    and Counters mechanics with throwaway names, but counter *reads*
+    that gate assertions must still be registered everywhere.
+    """
     with open(path) as handle:
         source = handle.read()
     tree = ast.parse(source, filename=path)
@@ -59,7 +80,7 @@ def check_file(path: str) -> Tuple[List[str], int]:
     violations: List[str] = []
     dynamic = 0
     for node in ast.walk(tree):
-        if isinstance(node, ast.Call) and \
+        if writes and isinstance(node, ast.Call) and \
                 isinstance(node.func, ast.Attribute) and \
                 node.func.attr in ("inc", "span") and node.args:
             kind = node.func.attr
@@ -75,7 +96,20 @@ def check_file(path: str) -> Tuple[List[str], int]:
                     f"{rel}:{node.lineno}: .{kind}({name!r}) uses a "
                     f"name not in {registry}"
                 )
-        if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr == "get" and node.args:
+            name = _literal_str(node.args[0])
+            if name is not None and "." in name and \
+                    name.split(".", 1)[0] in COUNTER_NAMESPACES and \
+                    name not in COUNTER_NAMES:
+                violations.append(
+                    f"{rel}:{node.lineno}: .get({name!r}) reads a "
+                    f"counter name not in COUNTER_NAMES (typo'd reads "
+                    f"silently return 0)"
+                )
+        if writes and isinstance(node, ast.Assign) and \
+                len(node.targets) == 1 and \
                 isinstance(node.targets[0], ast.Name) and \
                 node.targets[0].id == "span_name":
             name = _literal_str(node.value)
@@ -88,11 +122,17 @@ def check_file(path: str) -> Tuple[List[str], int]:
 
 
 def main() -> int:
-    files = list(_python_files(os.path.join(_SRC, "repro")))
+    roots = [(os.path.join(_SRC, "repro"), True)]
+    for extra in ("tests", "benchmarks", "tools"):
+        path = os.path.join(_REPO, extra)
+        if os.path.isdir(path):
+            roots.append((path, False))
+    files = [(f, writes) for root, writes in roots
+             for f in _python_files(root)]
     all_violations: List[str] = []
     dynamic_total = 0
-    for path in files:
-        violations, dynamic = check_file(path)
+    for path, writes in files:
+        violations, dynamic = check_file(path, writes=writes)
         all_violations.extend(violations)
         dynamic_total += dynamic
     for violation in all_violations:
