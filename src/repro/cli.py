@@ -94,7 +94,10 @@ def _cmd_vectorize(args: argparse.Namespace) -> int:
     )
     status = 0
     for fn in functions:
-        print(f"=== {fn.name} ===")
+        if not args.emit_c:
+            # Suppressed in emit mode so stdout is a compilable
+            # translation unit (headers are include-guarded).
+            print(f"=== {fn.name} ===")
         if args.dump_ir:
             print(print_function(fn))
             print()
@@ -122,6 +125,15 @@ def _cmd_vectorize(args: argparse.Namespace) -> int:
 
             print(render_report(result))
             print()
+        if args.emit_c:
+            from repro.emit import EmitError
+
+            try:
+                print(result.c_source)
+            except EmitError as exc:
+                print(f"cannot emit C: {exc}", file=sys.stderr)
+                status = 1
+            continue
         print(result.program.dump())
         print(f"scalar cost : {result.scalar_cost:8.1f} model cycles")
         print(f"vector cost : {result.cost.total:8.1f} model cycles "
@@ -557,6 +569,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", action="store_true",
                    help="run with tracing/counters on and print the "
                         "phase-timing report")
+    p.add_argument("--emit-c", action="store_true",
+                   help="print the vectorized program as compilable C "
+                        "intrinsics source instead of the IR dump")
     p.set_defaults(func=_cmd_vectorize)
 
     p = sub.add_parser("describe",
@@ -625,9 +640,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "all bundled kernels)")
     p.add_argument("--kernels", type=int, default=None, metavar="N",
                    help="bench only the first N kernels (sorted by name)")
-    p.add_argument("--targets", default="sse4,avx2,avx512_vnni",
+    p.add_argument("--targets",
+                   default="sse4,avx2,avx512_vnni,neon128",
                    help="comma-separated target list, or 'all' "
-                        "(default: sse4,avx2,avx512_vnni)")
+                        "(default: sse4,avx2,avx512_vnni,neon128)")
     p.add_argument("--beam-width", type=int, default=8,
                    help="pack-selection beam width (default 8: wide "
                         "enough to exercise the search, fast enough for "

@@ -1,0 +1,16 @@
+"""C intrinsics emission: render vector programs as compilable source.
+
+The online vectorizer's output (:class:`repro.vectorizer.VectorProgram`)
+is target-instruction-accurate but lives in the model world.  This
+package turns it into real, compilable C: every :class:`VOp` becomes a
+call to the vendor intrinsic recorded in the target artifact's v2
+metadata (``_mm_madd_epi16``, ``vmlaq_s32``, ...), loads/stores/gathers
+become the family's memory intrinsics, and uncovered scalar IR becomes
+plain C statements.  Formatting follows BLAZE's ``SIMDCodeGen`` idiom
+(SNIPPETS.md §3): one SSA-style local per node, intrinsic names straight
+from the spec metadata.
+"""
+
+from repro.emit.c_emitter import CEmitter, EmitError, emit_c
+
+__all__ = ["CEmitter", "EmitError", "emit_c"]

@@ -1,0 +1,523 @@
+"""Render a :class:`VectorProgram` as compilable C intrinsics source.
+
+The emitter walks the scheduled vector program in order and assigns one
+C local per node (``v0, v1, ...`` for vectors, ``s0, s1, ...`` for
+scalars), so the output reads like the program dump with real types and
+real intrinsics.  Per-family conventions (vector C types, load/store
+intrinsics, lane reads) are the *only* family-specific code in the
+whole pipeline; everything upstream is ISA-agnostic.
+
+Only shapes the bundled families can express are supported; anything
+else (an instruction without intrinsic metadata, an ``i1`` mask gather,
+an unresolvable pointer) raises :class:`EmitError` rather than emitting
+wrong C.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.ir.instructions import (
+    FCmpInst,
+    ICmpInst,
+    Instruction,
+    Opcode,
+    pointer_base_and_offset,
+)
+from repro.ir.types import FloatType, IntType, Type, scalar_bit_width
+from repro.ir.values import Argument, Constant, Value
+from repro.target.isa import TargetDesc
+from repro.vectorizer.vector_ir import (
+    ElementSource,
+    VectorProgram,
+    VExtract,
+    VGather,
+    VLoad,
+    VNode,
+    VOp,
+    VScalar,
+    VStore,
+)
+
+
+class EmitError(ValueError):
+    """The program contains a shape the C emitter cannot render."""
+
+
+#: family -> default C header (matches the family modules' headers; kept
+#: here so artifact-loaded targets emit without the family registry).
+_FAMILY_HEADERS = {"x86": "immintrin.h", "neon": "arm_neon.h"}
+
+
+def _scalar_ctype(ty: Type, unsigned: bool = False) -> str:
+    """The C spelling of a scalar IR type."""
+    if isinstance(ty, IntType):
+        if ty.width == 1:
+            return "int"
+        if ty.width not in (8, 16, 32, 64):
+            raise EmitError(f"no C type for {ty}")
+        return f"{'u' if unsigned else ''}int{ty.width}_t"
+    if isinstance(ty, FloatType):
+        return "float" if ty.width == 32 else "double"
+    raise EmitError(f"no C type for {ty}")
+
+
+def _neon_suffix(ty: Type) -> str:
+    """ACLE type suffix (``s16``, ``f32``, ...)."""
+    kind = "f" if ty.is_float else "s"
+    return f"{kind}{scalar_bit_width(ty)}"
+
+
+class CEmitter:
+    """Stateful single-program emitter.  Use :func:`emit_c` normally."""
+
+    def __init__(self, program: VectorProgram, target: TargetDesc):
+        self.program = program
+        self.target = target
+        self.family = target.family
+        if self.family not in _FAMILY_HEADERS:
+            raise EmitError(f"no C conventions for ISA family "
+                            f"{self.family!r}")
+        self.lines: List[str] = []
+        self._counter = 0
+        #: id(VNode) -> (C var name, lanes, elem Type, is_array)
+        #: ``is_array`` marks virtual vectors wider than the target's
+        #: registers, held as C arrays instead (lane reads index them).
+        self._vnode: Dict[int, Tuple[str, int, Type, bool]] = {}
+        #: id(IR Value) -> C expression for it
+        self._value: Dict[int, str] = {}
+        #: Widest register the target actually has.  Load/gather packs
+        #: may be wider than any instruction (virtual shuffles bridge
+        #: them); such nodes fall back to plain arrays.
+        self._max_bits = max(
+            (inst.num_lanes *
+             scalar_bit_width(inst.desc.out_elem_type)
+             for inst in target.instructions),
+            default=128,
+        )
+        self._max_bits = max(self._max_bits, 128)
+
+    # -- naming / value rendering ---------------------------------------
+
+    def _fresh(self, prefix: str) -> str:
+        name = f"{prefix}{self._counter}"
+        self._counter += 1
+        return name
+
+    def _const_expr(self, const: Constant) -> str:
+        ty = const.type
+        if isinstance(ty, IntType):
+            value = const.signed_value()
+            return f"{value}ll" if ty.width == 64 else str(value)
+        value = const.value
+        if math.isnan(value) or math.isinf(value):
+            raise EmitError(f"cannot render float constant {value!r}")
+        text = repr(float(value))
+        return f"{text}f" if ty.width == 32 else text
+
+    def _value_expr(self, value: Value) -> str:
+        if isinstance(value, Constant):
+            return self._const_expr(value)
+        expr = self._value.get(id(value))
+        if expr is None:
+            if isinstance(value, Argument):
+                return value.name
+            raise EmitError(
+                f"scalar value {value.short_name()} has no C definition"
+            )
+        return expr
+
+    # -- per-family vector conventions ----------------------------------
+
+    def _vector_ctype(self, lanes: int, elem: Type) -> str:
+        if isinstance(elem, IntType) and elem.width == 1:
+            raise EmitError("i1 mask vectors have no C type")
+        bits = lanes * scalar_bit_width(elem)
+        if self.family == "neon":
+            if bits not in (64, 128):
+                raise EmitError(f"no NEON register for {lanes}x{elem}")
+            kind = "float" if elem.is_float else "int"
+            return f"{kind}{scalar_bit_width(elem)}x{lanes}_t"
+        # x86: sub-128-bit programs live in the low half of an xmm.
+        if bits <= 128:
+            width = ""
+        elif bits == 256:
+            width = "256"
+        elif bits == 512:
+            width = "512"
+        else:
+            raise EmitError(f"no x86 register for {lanes}x{elem}")
+        if elem.is_float:
+            return f"__m{width or '128'}{'d' if elem.width == 64 else ''}"
+        return f"__m{width or '128'}i"
+
+    def _mm(self, bits: int) -> str:
+        """x86 intrinsic prefix for a register width."""
+        return {128: "_mm", 256: "_mm256", 512: "_mm512"}[max(bits, 128)]
+
+    def _load_expr(self, base: str, lanes: int, elem: Type) -> str:
+        bits = lanes * scalar_bit_width(elem)
+        if self.family == "neon":
+            q = "q" if bits == 128 else ""
+            return f"vld1{q}_{_neon_suffix(elem)}({base})"
+        mm = self._mm(bits)
+        if elem.is_float:
+            sfx = "pd" if elem.width == 64 else "ps"
+            return f"{mm}_loadu_{sfx}({base})"
+        if bits <= 64:
+            return f"_mm_loadl_epi64((const __m128i *)({base}))"
+        if bits == 512:
+            return f"_mm512_loadu_si512({base})"
+        return f"{mm}_loadu_si{bits}((const __m{bits}i *)({base}))"
+
+    def _store_stmt(self, base: str, source: str, lanes: int,
+                    elem: Type) -> str:
+        bits = lanes * scalar_bit_width(elem)
+        if self.family == "neon":
+            q = "q" if bits == 128 else ""
+            return f"vst1{q}_{_neon_suffix(elem)}({base}, {source});"
+        mm = self._mm(bits)
+        if elem.is_float:
+            sfx = "pd" if elem.width == 64 else "ps"
+            return f"{mm}_storeu_{sfx}({base}, {source});"
+        if bits <= 64:
+            return f"_mm_storel_epi64((__m128i *)({base}), {source});"
+        if bits == 512:
+            return f"_mm512_storeu_si512({base}, {source});"
+        return f"{mm}_storeu_si{bits}((__m{bits}i *)({base}), {source});"
+
+    def _broadcast_expr(self, scalar: str, lanes: int, elem: Type) -> str:
+        bits = lanes * scalar_bit_width(elem)
+        if self.family == "neon":
+            q = "q" if bits == 128 else ""
+            return f"vdup{q}_n_{_neon_suffix(elem)}({scalar})"
+        mm = self._mm(bits)
+        if elem.is_float:
+            sfx = "pd" if elem.width == 64 else "ps"
+            return f"{mm}_set1_{sfx}({scalar})"
+        sfx = {8: "epi8", 16: "epi16", 32: "epi32",
+               64: "epi64x" if bits <= 128 else "epi64"}[elem.width]
+        return f"{mm}_set1_{sfx}({scalar})"
+
+    def _lane_expr(self, node: VNode, lane: int) -> str:
+        var, lanes, elem, is_array = self._vnode[id(node)]
+        if is_array:
+            return f"{var}[{lane}]"
+        if self.family == "neon":
+            bits = lanes * scalar_bit_width(elem)
+            q = "q" if bits == 128 else ""
+            return f"vget{q}_lane_{_neon_suffix(elem)}({var}, {lane})"
+        return f"(((const {_scalar_ctype(elem)} *)&{var})[{lane}])"
+
+    # -- node emission ---------------------------------------------------
+
+    def _bind(self, node: VNode, var: str, lanes: int, elem: Type,
+              is_array: bool = False) -> None:
+        self._vnode[id(node)] = (var, lanes, elem, is_array)
+
+    def _pointer(self, base: Argument, offset: int) -> str:
+        return base.name if offset == 0 else f"{base.name} + {offset}"
+
+    def _too_wide(self, lanes: int, elem: Type) -> bool:
+        return lanes * scalar_bit_width(elem) > self._max_bits
+
+    def _emit_vload(self, node: VLoad) -> None:
+        var = self._fresh("v")
+        ptr = self._pointer(node.base, node.offset)
+        if self._too_wide(node.lanes, node.elem_type):
+            # Wider than any register: keep a pointer view; lane reads
+            # index memory directly.
+            self.lines.append(
+                f"const {_scalar_ctype(node.elem_type)} *{var} = {ptr};"
+            )
+            self._bind(node, var, node.lanes, node.elem_type,
+                       is_array=True)
+            return
+        ctype = self._vector_ctype(node.lanes, node.elem_type)
+        self.lines.append(
+            f"{ctype} {var} = "
+            f"{self._load_expr(ptr, node.lanes, node.elem_type)};"
+        )
+        self._bind(node, var, node.lanes, node.elem_type)
+
+    def _emit_vstore(self, node: VStore) -> None:
+        src = self._vnode.get(id(node.source))
+        if src is None:
+            raise EmitError("vstore of an unemitted source")
+        if src[3]:  # array-held source: elementwise stores
+            for lane in range(node.lanes):
+                self.lines.append(
+                    f"{node.base.name}[{node.offset + lane}] = "
+                    f"{src[0]}[{lane}];"
+                )
+            return
+        ptr = self._pointer(node.base, node.offset)
+        self.lines.append(
+            self._store_stmt(ptr, src[0], node.lanes, node.elem_type)
+        )
+
+    def _source_expr(self, source: ElementSource) -> str:
+        if source.kind == "lane":
+            return self._lane_expr(source.node, source.lane)
+        if source.kind == "scalar":
+            return self._value_expr(source.value)
+        if source.kind == "const":
+            return self._const_expr(source.value)
+        return "0"  # undef lane: any value is correct
+
+    def _emit_vgather(self, node: VGather) -> None:
+        elem = node.elem_type
+        var = self._fresh("v")
+        if self._too_wide(node.lanes, elem):
+            # Wider than any register: a plain stack array (its only
+            # consumers are lane reads, element stores, and extracts).
+            init = ", ".join(self._source_expr(s) for s in node.sources)
+            self.lines.append(
+                f"const {_scalar_ctype(elem)} {var}[{node.lanes}] = "
+                f"{{{init}}};"
+            )
+            self._bind(node, var, node.lanes, elem, is_array=True)
+            return
+        ctype = self._vector_ctype(node.lanes, elem)
+        shape = node.classify()
+        if shape == "broadcast":
+            scalar = self._source_expr(
+                next(s for s in node.sources if s.kind != "undef")
+            )
+            self.lines.append(
+                f"{ctype} {var} = "
+                f"{self._broadcast_expr(scalar, node.lanes, elem)};"
+            )
+        else:
+            # General shape: materialize the lanes into a stack array
+            # and load it (the portable spelling of set/insert chains).
+            init = ", ".join(self._source_expr(s) for s in node.sources)
+            arr = f"{var}_init"
+            self.lines.append(
+                f"const {_scalar_ctype(elem)} {arr}[{node.lanes}] = "
+                f"{{{init}}};"
+            )
+            self.lines.append(
+                f"{ctype} {var} = "
+                f"{self._load_expr(arr, node.lanes, elem)};"
+            )
+        self._bind(node, var, node.lanes, elem)
+
+    def _imm_expr(self, operand: VNode) -> str:
+        """An immediate operand must be a known constant vector."""
+        if isinstance(operand, VGather):
+            consts = {
+                s.value.signed_value()
+                for s in operand.sources
+                if s.kind == "const"
+            }
+            if len(consts) == 1 and all(
+                s.kind in ("const", "undef") for s in operand.sources
+            ):
+                return str(consts.pop())
+        raise EmitError(
+            "immediate operand is not a uniform constant vector"
+        )
+
+    def _emit_vop(self, node: VOp) -> None:
+        inst = node.inst
+        if inst.intrinsic is None:
+            raise EmitError(
+                f"{inst.name} has no intrinsic metadata (model-only)"
+            )
+        args = []
+        for index, operand in enumerate(node.operands):
+            if inst.imm_operand == index:
+                args.append(self._imm_expr(operand))
+                continue
+            bound = self._vnode.get(id(operand))
+            if bound is None:
+                raise EmitError(f"{inst.name} operand {index} unemitted")
+            if bound[3]:
+                raise EmitError(
+                    f"{inst.name} operand {index} is wider than any "
+                    f"{self.family} register"
+                )
+            args.append(bound[0])
+        if "{" in inst.intrinsic:
+            call = inst.intrinsic.format(*args)
+        else:
+            call = f"{inst.intrinsic}({', '.join(args)})"
+        out_elem = inst.desc.out_elem_type
+        lanes = inst.num_lanes
+        if isinstance(out_elem, IntType) and out_elem.width == 1:
+            # Mask-producing ops (pcmpgt): the result register has the
+            # shape of the compared operands.
+            ref = self._vnode.get(id(node.operands[0]))
+            if ref is None:
+                raise EmitError(f"{inst.name}: untyped mask result")
+            _, lanes, out_elem, _ = ref
+        var = self._fresh("v")
+        ctype = self._vector_ctype(lanes, out_elem)
+        self.lines.append(f"{ctype} {var} = {call};")
+        self._bind(node, var, lanes, out_elem)
+
+    def _emit_vextract(self, node: VExtract) -> None:
+        if id(node.source) not in self._vnode:
+            raise EmitError("vextract of an unemitted source")
+        var = self._fresh("s")
+        _, _, elem, _ = self._vnode[id(node.source)]
+        expr = self._lane_expr(node.source, node.lane)
+        self.lines.append(f"{_scalar_ctype(elem)} {var} = {expr};")
+        self._value[id(node.value)] = var
+
+    # -- scalar statement emission ---------------------------------------
+
+    _INT_OPS = {
+        Opcode.ADD: "+", Opcode.SUB: "-", Opcode.MUL: "*",
+        Opcode.SDIV: "/", Opcode.SREM: "%",
+        Opcode.AND: "&", Opcode.OR: "|", Opcode.XOR: "^",
+        Opcode.SHL: "<<", Opcode.ASHR: ">>",
+    }
+    _FLOAT_OPS = {
+        Opcode.FADD: "+", Opcode.FSUB: "-",
+        Opcode.FMUL: "*", Opcode.FDIV: "/",
+    }
+    _ICMP = {
+        "eq": "==", "ne": "!=", "slt": "<", "sle": "<=",
+        "sgt": ">", "sge": ">=", "ult": "<", "ule": "<=",
+        "ugt": ">", "uge": ">=",
+    }
+    _FCMP = {
+        "oeq": "==", "one": "!=", "olt": "<", "ole": "<=",
+        "ogt": ">", "oge": ">=",
+    }
+
+    def _scalar_expr(self, inst: Instruction) -> str:
+        op = inst.opcode
+        ops = [self._value_expr(o) for o in inst.operands]
+        ty = inst.type
+        if op in self._INT_OPS or op in self._FLOAT_OPS:
+            sym = self._INT_OPS.get(op) or self._FLOAT_OPS[op]
+            expr = f"{ops[0]} {sym} {ops[1]}"
+            if isinstance(ty, IntType) and ty.width < 32:
+                # The model wraps at the lane width; C promotes to int.
+                expr = f"({_scalar_ctype(ty)})({expr})"
+            return expr
+        if op in (Opcode.LSHR, Opcode.UDIV, Opcode.UREM):
+            sym = {Opcode.LSHR: ">>", Opcode.UDIV: "/",
+                   Opcode.UREM: "%"}[op]
+            u = _scalar_ctype(ty, unsigned=True)
+            return (f"({_scalar_ctype(ty)})"
+                    f"((({u}){ops[0]}) {sym} {ops[1]})")
+        if op == Opcode.FNEG:
+            return f"-{ops[0]}"
+        if op == Opcode.SEXT or op == Opcode.TRUNC:
+            return f"({_scalar_ctype(ty)}){ops[0]}"
+        if op == Opcode.ZEXT:
+            src = _scalar_ctype(inst.operands[0].type, unsigned=True)
+            return f"({_scalar_ctype(ty)})(({src}){ops[0]})"
+        if op in (Opcode.FPEXT, Opcode.FPTRUNC, Opcode.SITOFP,
+                  Opcode.FPTOSI):
+            return f"({_scalar_ctype(ty)}){ops[0]}"
+        if op == Opcode.ICMP:
+            assert isinstance(inst, ICmpInst)
+            sym = self._ICMP[inst.pred]
+            if inst.pred.startswith("u"):
+                u = _scalar_ctype(inst.operands[0].type, unsigned=True)
+                return f"(({u}){ops[0]}) {sym} (({u}){ops[1]})"
+            return f"{ops[0]} {sym} {ops[1]}"
+        if op == Opcode.FCMP:
+            assert isinstance(inst, FCmpInst)
+            return f"{ops[0]} {self._FCMP[inst.pred]} {ops[1]}"
+        if op == Opcode.SELECT:
+            return f"{ops[0]} ? {ops[1]} : {ops[2]}"
+        raise EmitError(f"no C rendering for scalar opcode {op!r}")
+
+    def _emit_vscalar(self, node: VScalar) -> None:
+        inst = node.inst
+        op = inst.opcode
+        if op == Opcode.GEP:
+            return  # folded into load/store pointer expressions
+        if op == Opcode.RET:
+            value = inst.return_value
+            if value is not None:
+                self.lines.append(f"return {self._value_expr(value)};")
+            return
+        if op == Opcode.LOAD:
+            base, offset = pointer_base_and_offset(inst.pointer)
+            if base is None:
+                raise EmitError("load from unresolvable pointer")
+            var = self._fresh("s")
+            self.lines.append(
+                f"{_scalar_ctype(inst.type)} {var} = "
+                f"{base.name}[{offset}];"
+            )
+            self._value[id(inst)] = var
+            return
+        if op == Opcode.STORE:
+            base, offset = pointer_base_and_offset(inst.pointer)
+            if base is None:
+                raise EmitError("store to unresolvable pointer")
+            self.lines.append(
+                f"{base.name}[{offset}] = "
+                f"{self._value_expr(inst.value)};"
+            )
+            return
+        expr = self._scalar_expr(inst)
+        var = self._fresh("s")
+        self.lines.append(f"{_scalar_ctype(inst.type)} {var} = {expr};")
+        self._value[id(inst)] = var
+
+    # -- whole-program emission ------------------------------------------
+
+    def _signature(self) -> str:
+        func = self.program.function
+        params = []
+        for arg in func.args:
+            if arg.type.is_pointer:
+                params.append(
+                    f"{_scalar_ctype(arg.type.pointee)} *{arg.name}"
+                )
+            else:
+                params.append(f"{_scalar_ctype(arg.type)} {arg.name}")
+        ret = ("void" if func.return_type.is_void
+               else _scalar_ctype(func.return_type))
+        return f"{ret} {func.name}({', '.join(params)})"
+
+    def _headers(self) -> List[str]:
+        headers = {_FAMILY_HEADERS[self.family]}
+        for vop in self.program.vector_ops():
+            if vop.inst.header is not None:
+                headers.add(vop.inst.header)
+        return ["stdint.h"] + sorted(headers)
+
+    def emit(self) -> str:
+        for node in self.program.nodes:
+            if isinstance(node, VLoad):
+                self._emit_vload(node)
+            elif isinstance(node, VGather):
+                self._emit_vgather(node)
+            elif isinstance(node, VOp):
+                self._emit_vop(node)
+            elif isinstance(node, VStore):
+                self._emit_vstore(node)
+            elif isinstance(node, VExtract):
+                self._emit_vextract(node)
+            elif isinstance(node, VScalar):
+                self._emit_vscalar(node)
+            else:
+                raise EmitError(f"unknown node {node!r}")
+        includes = "\n".join(f"#include <{h}>" for h in self._headers())
+        body = "\n".join(f"    {line}" for line in self.lines)
+        return (
+            f"/* generated by repro.emit for target "
+            f"{self.target.name} ({self.family}) */\n"
+            f"{includes}\n\n"
+            f"{self._signature()} {{\n{body}\n}}\n"
+        )
+
+
+def emit_c(program: VectorProgram, target: TargetDesc) -> str:
+    """Render ``program`` as C source for ``target``.
+
+    Raises :class:`EmitError` when the program uses a shape or an
+    instruction the emitter cannot express in C.
+    """
+    return CEmitter(program, target).emit()

@@ -96,6 +96,8 @@ COUNTER_NAMES = frozenset({
     "serve.cache_disk_hits",      # ... from the on-disk store
     "serve.cache_misses",         # requests that had to compile
     "serve.cache_evictions",      # LRU entries dropped by capacity
+    "serve.cache_disk_evictions",  # disk entries dropped by the size
+                                   # cap (REPRO_SERVE_CACHE_LIMIT)
     "serve.cache_corrupt_evictions",  # disk entries failing their body
                                       # hash, deleted and recompiled
     "serve.compiles",             # compiles completed by the worker pool

@@ -147,6 +147,7 @@ class SanitizePass(Pass):
             scalar_cost=state.scalar_cost or 0.0,
             cost=state.cost,
             estimated_cost=state.estimated_cost,
+            target=state.target,
         )
         state.diagnostics = analyze_result(result, target=state.target)
         errors = errors_only(state.diagnostics)

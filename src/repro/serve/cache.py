@@ -17,6 +17,12 @@ Two tiers:
   body; a read that fails the hash (bit rot, torn write, deliberate
   fault injection) deletes the entry and reports a miss, so corruption
   degrades to a recompile instead of serving garbage.
+
+The disk tier is size-capped via :mod:`repro.disklru`: set
+``REPRO_SERVE_CACHE_LIMIT`` (bytes, optional K/M/G suffix) or pass
+``disk_limit_bytes`` and every write evicts least-recently-used entries
+(disk hits refresh recency) until the tier fits.  Unset means unbounded,
+the historical behaviour.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ import tempfile
 from collections import OrderedDict
 from typing import Optional
 
+from repro.disklru import enforce_disk_limit, limit_from_env, mark_used
 from repro.obs.counters import NULL_COUNTERS
 from repro.vectorizer.context import VectorizerConfig
 
@@ -36,6 +43,10 @@ CACHE_ENTRY_SCHEMA = "repro-serve-cache/v1"
 
 #: Key-derivation version: bump to invalidate every existing key.
 KEY_SCHEMA = "repro-serve-key/v1"
+
+#: Environment variable capping the disk tier's total size in bytes
+#: (optional K/M/G suffix); unset or empty means unbounded.
+CACHE_LIMIT_ENV = "REPRO_SERVE_CACHE_LIMIT"
 
 
 def cache_key(canonical_ir: str, target: str, config: VectorizerConfig,
@@ -66,11 +77,16 @@ class ResultCache:
     """Two-tier (memory LRU + disk) content-addressed byte cache."""
 
     def __init__(self, disk_dir: Optional[str] = None,
-                 memory_entries: int = 1024):
+                 memory_entries: int = 1024,
+                 disk_limit_bytes: Optional[int] = None):
         if memory_entries < 0:
             raise ValueError("memory_entries must be >= 0")
         self.disk_dir = disk_dir
         self.memory_entries = memory_entries
+        # Explicit cap wins; otherwise the environment knob applies.
+        self.disk_limit_bytes = (disk_limit_bytes
+                                 if disk_limit_bytes is not None
+                                 else limit_from_env(CACHE_LIMIT_ENV))
         self._memory: "OrderedDict[str, bytes]" = OrderedDict()
         if disk_dir is not None:
             os.makedirs(disk_dir, exist_ok=True)
@@ -106,7 +122,7 @@ class ResultCache:
     def put(self, key: str, body: bytes,
             counters=NULL_COUNTERS) -> None:
         self._memory_put(key, body, counters)
-        self._disk_put(key, body)
+        self._disk_put(key, body, counters)
 
     def __contains__(self, key: str) -> bool:
         path = self.entry_path(key)
@@ -122,6 +138,12 @@ class ResultCache:
             return 0
         return sum(1 for name in os.listdir(self.disk_dir)
                    if name.endswith(".json"))
+
+    def disk_size_bytes(self) -> int:
+        """Total bytes held by the disk tier (0 without one)."""
+        from repro.disklru import disk_tier_size
+
+        return disk_tier_size(self.disk_dir)
 
     def clear_memory(self) -> None:
         """Drop the LRU tier (disk entries survive) — restart simulation."""
@@ -155,6 +177,9 @@ class ResultCache:
             digest = hashlib.sha256(body).hexdigest()
             if digest != entry.get("body_sha256"):
                 raise ValueError("body hash mismatch")
+            # A hit is a use: refresh mtime so size-capped eviction
+            # drops this entry last (the disk tier's move_to_end).
+            mark_used(path)
             return body
         except (OSError, ValueError, KeyError, UnicodeDecodeError,
                 AttributeError):
@@ -167,7 +192,8 @@ class ResultCache:
                 pass
             return None
 
-    def _disk_put(self, key: str, body: bytes) -> None:
+    def _disk_put(self, key: str, body: bytes,
+                  counters=NULL_COUNTERS) -> None:
         path = self.entry_path(key)
         if path is None:
             return
@@ -191,3 +217,8 @@ class ResultCache:
                 os.unlink(tmp)
             except OSError:
                 pass
+            return
+        evicted = enforce_disk_limit(self.disk_dir,
+                                     self.disk_limit_bytes)
+        if evicted:
+            counters.inc("serve.cache_disk_evictions", evicted)

@@ -64,6 +64,8 @@ class ServeConfig:
     max_timeout_s: Optional[float] = 120.0
     cache_dir: Optional[str] = None   # None: memory-only cache
     cache_memory_entries: int = 1024
+    cache_disk_limit_bytes: Optional[int] = None  # None: use the
+                                      # REPRO_SERVE_CACHE_LIMIT env knob
     allow_faults: bool = False        # enable the fault-injection layer
     default_config: VectorizerConfig = field(
         default_factory=lambda: VectorizerConfig(beam_width=8)
@@ -80,6 +82,7 @@ class CompileServer:
         self.cache = ResultCache(
             disk_dir=self.config.cache_dir,
             memory_entries=self.config.cache_memory_entries,
+            disk_limit_bytes=self.config.cache_disk_limit_bytes,
         )
         if self.config.workers >= 1:
             self.pool = WorkerPool(

@@ -139,6 +139,7 @@ class VectorizationSession:
                 estimated_cost=state.estimated_cost,
                 diagnostics=state.diagnostics,
                 verification=state.verification,
+                target=target_desc,
             )
             if obs_on:
                 result.trace = root_span  # None when only counters on

@@ -1,4 +1,4 @@
-"""The synthetic x86-ish vector ISA and its cached target registry.
+"""The pluggable vector ISA families and their cached target registry.
 
 ``get_target("avx2")`` loads the committed offline-generator artifact
 (``vegen_targets.json``, see :mod:`repro.target.artifact`) when it is
@@ -27,16 +27,23 @@ from repro.target.registry import (
 )
 from repro.target.specs import (
     TARGET_CONFIGS,
+    ISAFamily,
     SpecEntry,
+    TargetConfig,
     baseline_fabs_entries,
     build_spec_entries,
+    register_family,
+    target_family,
+    unregister_family,
 )
 
 __all__ = [
     "ARTIFACT_SCHEMA",
     "ArtifactError",
+    "ISAFamily",
     "TARGET_CONFIGS",
     "SpecEntry",
+    "TargetConfig",
     "TargetDesc",
     "TargetInstruction",
     "artifact_path",
@@ -48,7 +55,10 @@ __all__ = [
     "generate_artifact",
     "get_target",
     "load_artifact",
+    "register_family",
     "spec_content_hash",
+    "target_family",
     "target_from_artifact",
+    "unregister_family",
     "write_artifact",
 ]

@@ -45,7 +45,16 @@ from repro.vidl.ast import (
 )
 
 #: Schema identifier; bump on any breaking change to the document shape.
-ARTIFACT_SCHEMA = "repro-target-artifact/v1"
+#: v2 adds per-target ISA-family records and per-instruction
+#: real-intrinsic metadata (intrinsic name, C header, immediate-operand
+#: position).
+ARTIFACT_SCHEMA = "repro-target-artifact/v2"
+
+#: Older schemas the loader still parses.  A v1 document is well-formed
+#: but (by construction — the schema string is part of the content
+#: hash) never fresh, so the registry falls back to the pseudocode
+#: build rather than erroring on it.
+COMPAT_SCHEMAS = (ARTIFACT_SCHEMA, "repro-target-artifact/v1")
 
 
 class ArtifactError(ValueError):
@@ -68,13 +77,18 @@ def spec_content_hash(entries: Optional[List[SpecEntry]] = None) -> str:
     digest = hashlib.sha256()
     digest.update(ARTIFACT_SCHEMA.encode())
     for name in sorted(TARGET_CONFIGS):
+        config = TARGET_CONFIGS[name]
         digest.update(name.encode())
-        digest.update(",".join(sorted(TARGET_CONFIGS[name])).encode())
+        digest.update(",".join(sorted(config.extensions)).encode())
+        digest.update(config.family.encode())
     for entry in entries:
         digest.update(entry.name.encode())
         digest.update(entry.text.encode())
         digest.update(",".join(sorted(entry.requires)).encode())
         digest.update(repr(entry.inv_throughput).encode())
+        digest.update(repr(entry.intrinsic).encode())
+        digest.update(repr(entry.header).encode())
+        digest.update(repr(entry.imm_operand).encode())
     return digest.hexdigest()
 
 
@@ -164,7 +178,7 @@ def _instruction_to_json(inst: TargetInstruction) -> Dict:
         }
         for lane_op in desc.lane_ops
     ]
-    return {
+    data = {
         "cost": inst.cost,
         "requires": sorted(inst.requires),
         "spec_text": inst.spec_text,
@@ -175,6 +189,14 @@ def _instruction_to_json(inst: TargetInstruction) -> Dict:
         "lane_ops": lane_ops,
         "match_ops": [intern(op) for op in inst.match_ops],
     }
+    # v2 emission metadata, omitted when absent (model-only entries).
+    if inst.intrinsic is not None:
+        data["intrinsic"] = inst.intrinsic
+    if inst.header is not None:
+        data["header"] = inst.header
+    if inst.imm_operand is not None:
+        data["imm_operand"] = inst.imm_operand
+    return data
 
 
 def _instruction_from_json(name: str, data: Dict) -> TargetInstruction:
@@ -200,6 +222,9 @@ def _instruction_from_json(name: str, data: Dict) -> TargetInstruction:
         cost=data["cost"],
         requires=frozenset(data["requires"]),
         spec_text=data["spec_text"],
+        intrinsic=data.get("intrinsic"),
+        header=data.get("header"),
+        imm_operand=data.get("imm_operand"),
     )
 
 
@@ -226,15 +251,22 @@ def generate_artifact(canonicalize_patterns: bool = True) -> Dict:
         built = build_instruction(
             entry.name, entry.text, entry.requires, entry.inv_throughput,
             canonicalize_patterns=canonicalize_patterns,
+            intrinsic=entry.intrinsic,
+            header=entry.header,
+            imm_operand=entry.imm_operand,
         )
         if built is None:
             unliftable.append(entry.name)
         else:
             instructions[entry.name] = _instruction_to_json(built)
     targets = {
-        name: [entry.name for entry in entries
-               if entry.requires <= extensions]
-        for name, extensions in TARGET_CONFIGS.items()
+        name: {
+            "family": config.family,
+            "extensions": sorted(config.extensions),
+            "entries": [entry.name for entry in entries
+                        if entry.requires <= config.extensions],
+        }
+        for name, config in TARGET_CONFIGS.items()
     }
     return {
         "schema": ARTIFACT_SCHEMA,
@@ -264,10 +296,10 @@ def validate_artifact(doc: Dict, check_fresh: bool = False) -> None:
     artifact (and, with ``check_fresh``, matches the current specs)."""
     if not isinstance(doc, dict):
         raise ArtifactError("artifact must be a JSON object")
-    if doc.get("schema") != ARTIFACT_SCHEMA:
+    if doc.get("schema") not in COMPAT_SCHEMAS:
         raise ArtifactError(
             f"unknown artifact schema {doc.get('schema')!r}; "
-            f"expected {ARTIFACT_SCHEMA!r}"
+            f"expected one of {COMPAT_SCHEMAS!r}"
         )
     for field in ("spec_hash", "canonicalize_patterns", "entry_order",
                   "unliftable", "targets", "instructions"):
@@ -304,16 +336,27 @@ def target_from_artifact(doc: Dict, name: str) -> TargetDesc:
     same matching behaviour.
     """
     try:
-        gated = set(doc["targets"][name])
+        record = doc["targets"][name]
     except KeyError:
         raise KeyError(
             f"unknown target {name!r}; artifact has: "
             f"{', '.join(sorted(doc['targets']))}"
         ) from None
+    config = TARGET_CONFIGS[name]
+    if isinstance(record, dict):
+        gated = set(record["entries"])
+        family = record.get("family", config.family)
+        extensions = frozenset(record.get("extensions",
+                                          config.extensions))
+    else:
+        # v1 documents: a bare entry-name list, no family/extensions.
+        gated = set(record)
+        family = config.family
+        extensions = config.extensions
     unliftable = set(doc["unliftable"])
     instructions = [
         _instruction_from_json(iname, doc["instructions"][iname])
         for iname in doc["entry_order"]
         if iname in gated and iname not in unliftable
     ]
-    return TargetDesc(name, TARGET_CONFIGS[name], instructions)
+    return TargetDesc(name, extensions, instructions, family=family)

@@ -20,7 +20,13 @@ from repro.vidl import InstDesc, LiftError, Operation, lift_spec
 
 @dataclass
 class TargetInstruction:
-    """One vector instruction: VIDL semantics plus matching metadata."""
+    """One vector instruction: VIDL semantics plus matching metadata.
+
+    ``intrinsic``/``header``/``imm_operand`` carry the real-intrinsic
+    emission metadata from the spec entry (see
+    :class:`repro.target.specs.SpecEntry`); they are ``None`` for
+    model-only instructions the C emitter cannot render.
+    """
 
     name: str
     desc: InstDesc
@@ -28,6 +34,9 @@ class TargetInstruction:
     cost: float
     requires: FrozenSet[str]
     spec_text: str
+    intrinsic: Optional[str] = None
+    header: Optional[str] = None
+    imm_operand: Optional[int] = None
 
     @property
     def is_simd(self) -> bool:
@@ -44,10 +53,17 @@ class TargetInstruction:
 
 
 class TargetDesc:
-    """An instruction set: what one compilation target may emit."""
+    """An instruction set: what one compilation target may emit.
 
-    def __init__(self, name: str, extensions, instructions):
+    ``family`` names the ISA family the target belongs to (``"x86"``,
+    ``"neon"``); the C emitter keys its per-family conventions (vector
+    types, load/store intrinsics) on it.
+    """
+
+    def __init__(self, name: str, extensions, instructions,
+                 family: str = "x86"):
         self.name = name
+        self.family = family
         self.extensions: FrozenSet[str] = frozenset(extensions)
         self.instructions: List[TargetInstruction] = list(instructions)
         self.by_name: Dict[str, TargetInstruction] = {
@@ -99,7 +115,10 @@ class TargetDesc:
 
 def build_instruction(name: str, text: str, requires,
                       inv_throughput: float,
-                      canonicalize_patterns: bool = True
+                      canonicalize_patterns: bool = True,
+                      intrinsic: Optional[str] = None,
+                      header: Optional[str] = None,
+                      imm_operand: Optional[int] = None
                       ) -> Optional[TargetInstruction]:
     """Run the offline pipeline for one pseudocode spec.
 
@@ -125,4 +144,7 @@ def build_instruction(name: str, text: str, requires,
         cost=inv_throughput * 2.0,
         requires=frozenset(requires),
         spec_text=text,
+        intrinsic=intrinsic,
+        header=header,
+        imm_operand=imm_operand,
     )

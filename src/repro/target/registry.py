@@ -114,10 +114,10 @@ def _entries() -> List[SpecEntry]:
 
 def _build_target(name: str, canonicalize_patterns: bool) -> TargetDesc:
     """The pseudocode build path (must be called with ``_lock`` held)."""
-    extensions = TARGET_CONFIGS[name]
+    config = TARGET_CONFIGS[name]
     instructions = []
     for entry in _entries():
-        if not entry.requires <= extensions:
+        if not entry.requires <= config.extensions:
             continue
         inst_key = (entry.name, canonicalize_patterns)
         if inst_key not in _inst_cache:
@@ -125,11 +125,15 @@ def _build_target(name: str, canonicalize_patterns: bool) -> TargetDesc:
                 entry.name, entry.text, entry.requires,
                 entry.inv_throughput,
                 canonicalize_patterns=canonicalize_patterns,
+                intrinsic=entry.intrinsic,
+                header=entry.header,
+                imm_operand=entry.imm_operand,
             )
         inst = _inst_cache[inst_key]
         if inst is not None:
             instructions.append(inst)
-    return TargetDesc(name, extensions, instructions)
+    return TargetDesc(name, config.extensions, instructions,
+                      family=config.family)
 
 
 def get_target(name: str, canonicalize_patterns: bool = True) -> TargetDesc:

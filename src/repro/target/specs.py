@@ -1,532 +1,176 @@
-"""Pseudocode specifications for the synthetic x86-ish vector ISA.
+"""ISA-agnostic spec core: entries, target configs, and the family registry.
 
-This module is the "vendor manual" of the reproduction: every instruction
-the vectorizer generator knows about is described here as a pseudocode
-spec (the same documentation language VeGen translates in §3), together
-with the extension set that provides it and its inverse throughput.
+The "vendor manual" of the reproduction is split per ISA family: each
+family module (:mod:`repro.target.specs_x86`,
+:mod:`repro.target.specs_neon`) declares its targets and builds its
+pseudocode spec entries, and registers itself here.  This module owns
+the ISA-agnostic data model — :class:`SpecEntry`, :class:`TargetConfig`,
+:class:`ISAFamily` — plus the aggregation API the registry and the
+artifact generator consume (``TARGET_CONFIGS``, ``build_spec_entries``).
 
-Conventions (see DESIGN.md "As-built notes"):
-
-* Sub-32-bit integer semantics are written with explicit C-style
-  promotions (``SignExtend32``/``ZeroExtend32`` plus ``Truncate32``
-  around intermediate sums) so the lifted patterns line up with what the
-  mini-C frontend and the canonicalizer produce.
-* ``Saturate*`` clamps are deliberately non-strict (``>= hi+1`` /
-  ``<= lo-1``); canonicalization strictifies them.
-* ``_64`` variants model xmm instructions with only the low half live.
-* 256/512-bit instructions use whole-register semantics (no in-lane
-  128-bit halving) — a deliberate deviation from x86.
-* ``psravd``-style variable shifts stand in for the immediate shift
-  forms, and the ``pmov*`` truncations are available at the SSE level.
+Supporting a new ISA is therefore pure data: write the pseudocode specs
+in a new module, wrap them in an :class:`ISAFamily`, and call
+:func:`register_family` (see ``examples/new_isa_extension.py`` and the
+README "Adding a target" quick-start).  Nothing downstream — VIDL
+lifting, pattern canonicalization, pack selection, codegen — knows
+which family an instruction came from; only the C emitter
+(:mod:`repro.emit`) consults the per-family conventions to render
+loads, stores, and vector types.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, List
-
-# --------------------------------------------------------------------------
-# Targets: monotone extension sets (sse4 < avx2 < avx512_vnni).
-
-_SSE4 = frozenset({"sse2", "ssse3", "sse4"})
-_AVX2 = _SSE4 | {"avx", "avx2"}
-_VNNI = _AVX2 | {"avx512f", "avx512_vnni"}
-
-TARGET_CONFIGS: Dict[str, FrozenSet[str]] = {
-    "sse4": _SSE4,
-    "avx2": _AVX2,
-    "avx512_vnni": _VNNI,
-}
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional
 
 
 @dataclass(frozen=True)
 class SpecEntry:
-    """One ISA entry: a named pseudocode spec plus target metadata."""
+    """One ISA entry: a named pseudocode spec plus target metadata.
+
+    ``intrinsic`` is the real vendor intrinsic the instruction renders
+    as in emitted C (``None`` for model-only entries).  It is either a
+    plain function name (``_mm_madd_epi16``: operands become call
+    arguments in order) or a format template with ``{i}`` operand
+    placeholders for intrinsics whose argument order differs from the
+    spec's (``_mm_blendv_epi8({2}, {1}, {0})``).  ``header`` names the C
+    header providing it (defaulted from the owning family).
+    ``imm_operand`` marks an operand position the real intrinsic takes
+    as a compile-time immediate rather than a vector (NEON's
+    ``vshrq_n_*`` shift counts).
+    """
 
     name: str
     text: str
     requires: FrozenSet[str]
     inv_throughput: float
+    intrinsic: Optional[str] = None
+    header: Optional[str] = None
+    imm_operand: Optional[int] = None
 
 
-# --------------------------------------------------------------------------
-# Spec text templates.  Each returns text whose first line is the
-# signature ``name(params) -> lanes x kind``.
+@dataclass(frozen=True)
+class TargetConfig:
+    """Per-target metadata: the extension set gating spec entries plus
+    the ISA family the target belongs to."""
+
+    extensions: FrozenSet[str]
+    family: str
 
 
-def _binop(name: str, lanes: int, kind: str, width: int, op: str) -> str:
-    """Element-wise binary operation (``+ - * AND OR XOR`` ...)."""
-    return f"""
-{name}(a: {lanes} x {kind}{width}, b: {lanes} x {kind}{width}) -> {lanes} x {kind}{width}
-FOR j := 0 to {lanes - 1}
-    i := j*{width}
-    dst[i+{width - 1}:i] := a[i+{width - 1}:i] {op} b[i+{width - 1}:i]
-ENDFOR
-"""
+@dataclass(frozen=True)
+class ISAFamily:
+    """One pluggable instruction-set family.
+
+    ``targets`` maps each target name to its extension set (entries are
+    gated by ``entry.requires <= extensions``, so families do not
+    partition the entry inventory — a target may combine extensions
+    from several families).  ``build_entries`` is the family's whole
+    "vendor manual": a zero-argument callable returning its
+    :class:`SpecEntry` list.  ``header`` is the default C header for
+    the family's intrinsics, applied to entries that do not name one.
+    """
+
+    name: str
+    header: str
+    targets: Mapping[str, FrozenSet[str]]
+    build_entries: Callable[[], List[SpecEntry]]
 
 
-def _minmax(name: str, lanes: int, kind: str, width: int, fn: str) -> str:
-    return f"""
-{name}(a: {lanes} x {kind}{width}, b: {lanes} x {kind}{width}) -> {lanes} x {kind}{width}
-FOR j := 0 to {lanes - 1}
-    i := j*{width}
-    dst[i+{width - 1}:i] := {fn}(a[i+{width - 1}:i], b[i+{width - 1}:i])
-ENDFOR
-"""
+#: Registered families, in registration order (spec entry order follows).
+FAMILIES: Dict[str, ISAFamily] = {}
+
+#: Aggregated target configurations across every registered family.
+TARGET_CONFIGS: Dict[str, TargetConfig] = {}
 
 
-def _abs(name: str, lanes: int, kind: str, width: int) -> str:
-    return f"""
-{name}(a: {lanes} x {kind}{width}) -> {lanes} x {kind}{width}
-FOR j := 0 to {lanes - 1}
-    i := j*{width}
-    dst[i+{width - 1}:i] := ABS(a[i+{width - 1}:i])
-ENDFOR
-"""
+def register_family(family: ISAFamily) -> None:
+    """Add an ISA family to the registry.
+
+    Validates that the family's name, target names, and entry names do
+    not collide with anything already registered, then publishes its
+    targets into ``TARGET_CONFIGS``.  Registering a family invalidates
+    the target registry's caches (and implicitly the committed offline
+    artifact, whose content hash covers the whole inventory — rerun
+    ``repro gen`` to re-serialize).
+    """
+    if family.name in FAMILIES:
+        raise ValueError(f"ISA family {family.name!r} already registered")
+    clash = set(family.targets) & set(TARGET_CONFIGS)
+    if clash:
+        raise ValueError(
+            f"family {family.name!r} redefines targets: {sorted(clash)}"
+        )
+    existing = {e.name for e in build_spec_entries()}
+    new_names = [e.name for e in family.build_entries()]
+    dup = [n for n in new_names if n in existing or new_names.count(n) > 1]
+    if dup:
+        raise ValueError(
+            f"family {family.name!r} redefines entries: {sorted(set(dup))}"
+        )
+    FAMILIES[family.name] = family
+    for target_name, extensions in family.targets.items():
+        TARGET_CONFIGS[target_name] = TargetConfig(
+            extensions=frozenset(extensions), family=family.name
+        )
+    _clear_registry_caches()
 
 
-def _avg(name: str, lanes: int, width: int) -> str:
-    """Unsigned rounding average: ``(a + b + 1) >> 1``."""
-    return f"""
-{name}(a: {lanes} x u{width}, b: {lanes} x u{width}) -> {lanes} x u{width}
-FOR j := 0 to {lanes - 1}
-    i := j*{width}
-    dst[i+{width - 1}:i] := Truncate32(ZeroExtend32(a[i+{width - 1}:i]) + ZeroExtend32(b[i+{width - 1}:i]) + 1) >> 1
-ENDFOR
-"""
+def unregister_family(name: str) -> None:
+    """Remove a registered family (test/extension hygiene)."""
+    family = FAMILIES.pop(name, None)
+    if family is None:
+        raise KeyError(f"no registered ISA family {name!r}")
+    for target_name in family.targets:
+        TARGET_CONFIGS.pop(target_name, None)
+    _clear_registry_caches()
 
 
-def _saturating(name: str, lanes: int, kind: str, width: int, op: str) -> str:
-    """Saturating add/sub with explicit C-style 32-bit promotion."""
-    ext = "SignExtend32" if kind == "s" else "ZeroExtend32"
-    sat = f"Saturate{width}" if kind == "s" else f"SaturateU{width}"
-    hi = width - 1
-    return f"""
-{name}(a: {lanes} x {kind}{width}, b: {lanes} x {kind}{width}) -> {lanes} x {kind}{width}
-FOR j := 0 to {lanes - 1}
-    i := j*{width}
-    dst[i+{hi}:i] := {sat}(Truncate32({ext}(a[i+{hi}:i]) {op} {ext}(b[i+{hi}:i])))
-ENDFOR
-"""
+def _clear_registry_caches() -> None:
+    # Lazy and via sys.modules: the registry imports this module, and
+    # during the bootstrap registration below it may not exist yet.
+    import sys
+
+    registry = sys.modules.get("repro.target.registry")
+    # getattr-guarded: the registry module may itself be mid-import (it
+    # imports this module before defining clear_caches).
+    clear = getattr(registry, "clear_caches", None)
+    if clear is not None:
+        clear()
 
 
-def _shift(name: str, lanes: int, kind: str, width: int, op: str) -> str:
-    """Variable per-lane shift (``>>`` is arithmetic on signed lanes)."""
-    return _binop(name, lanes, kind, width, op)
-
-
-def _cmpgt(name: str, lanes: int, width: int) -> str:
-    return f"""
-{name}(a: {lanes} x s{width}, b: {lanes} x s{width}) -> {lanes} x u1
-FOR j := 0 to {lanes - 1}
-    i := j*{width}
-    dst[j:j] := a[i+{width - 1}:i] > b[i+{width - 1}:i]
-ENDFOR
-"""
-
-
-def _vselect(name: str, lanes: int, width: int) -> str:
-    return f"""
-{name}(c: {lanes} x u1, a: {lanes} x s{width}, b: {lanes} x s{width}) -> {lanes} x s{width}
-FOR j := 0 to {lanes - 1}
-    i := j*{width}
-    dst[i+{width - 1}:i] := Select(c[j:j], a[i+{width - 1}:i], b[i+{width - 1}:i])
-ENDFOR
-"""
-
-
-def _extend(name: str, lanes: int, in_kind: str, in_w: int, out_w: int) -> str:
-    ext = "SignExtend" if in_kind == "s" else "ZeroExtend"
-    return f"""
-{name}(a: {lanes} x {in_kind}{in_w}) -> {lanes} x {in_kind}{out_w}
-FOR j := 0 to {lanes - 1}
-    dst[j*{out_w}+{out_w - 1}:j*{out_w}] := {ext}{out_w}(a[j*{in_w}+{in_w - 1}:j*{in_w}])
-ENDFOR
-"""
-
-
-def _truncate(name: str, lanes: int, in_w: int, out_w: int) -> str:
-    return f"""
-{name}(a: {lanes} x s{in_w}) -> {lanes} x s{out_w}
-FOR j := 0 to {lanes - 1}
-    dst[j*{out_w}+{out_w - 1}:j*{out_w}] := Truncate{out_w}(a[j*{in_w}+{in_w - 1}:j*{in_w}])
-ENDFOR
-"""
-
-
-def _pmaddwd(name: str, out_lanes: int) -> str:
-    """Multiply adjacent s16 pairs and add horizontally into s32 lanes."""
-    return f"""
-{name}(a: {2 * out_lanes} x s16, b: {2 * out_lanes} x s16) -> {out_lanes} x s32
-FOR j := 0 to {out_lanes - 1}
-    i := j*32
-    dst[i+31:i] := a[i+15:i]*b[i+15:i] + a[i+31:i+16]*b[i+31:i+16]
-ENDFOR
-"""
-
-
-def _pmaddubsw(name: str, out_lanes: int) -> str:
-    """Multiply u8 x s8 pairs, add adjacent products, saturate to s16."""
-    return f"""
-{name}(a: {2 * out_lanes} x u8, b: {2 * out_lanes} x s8) -> {out_lanes} x s16
-FOR j := 0 to {out_lanes - 1}
-    i := j*16
-    dst[i+15:i] := Saturate16(Truncate32(Truncate32(ZeroExtend32(a[i+7:i]) * SignExtend32(b[i+7:i])) +
-                   Truncate32(ZeroExtend32(a[i+15:i+8]) * SignExtend32(b[i+15:i+8]))))
-ENDFOR
-"""
-
-
-def _pmuldq(name: str, out_lanes: int) -> str:
-    """Multiply the even s32 lanes into full s64 products."""
-    return f"""
-{name}(a: {2 * out_lanes} x s32, b: {2 * out_lanes} x s32) -> {out_lanes} x s64
-FOR j := 0 to {out_lanes - 1}
-    i := j*64
-    dst[i+63:i] := a[i+31:i] * b[i+31:i]
-ENDFOR
-"""
-
-
-def _vpdpbusd(name: str, out_lanes: int) -> str:
-    """u8 x s8 dot product accumulated into s32 (AVX512-VNNI)."""
-    return f"""
-{name}(src: {out_lanes} x s32, a: {4 * out_lanes} x u8, b: {4 * out_lanes} x s8) -> {out_lanes} x s32
-FOR j := 0 to {out_lanes - 1}
-    i := j*32
-    dst[i+31:i] := src[i+31:i] +
-        Truncate32(ZeroExtend32(a[i+7:i]) * SignExtend32(b[i+7:i])) +
-        Truncate32(ZeroExtend32(a[i+15:i+8]) * SignExtend32(b[i+15:i+8])) +
-        Truncate32(ZeroExtend32(a[i+23:i+16]) * SignExtend32(b[i+23:i+16])) +
-        Truncate32(ZeroExtend32(a[i+31:i+24]) * SignExtend32(b[i+31:i+24]))
-ENDFOR
-"""
-
-
-def _vpdpwssd(name: str, out_lanes: int) -> str:
-    """s16 x s16 dot product accumulated into s32 (AVX512-VNNI)."""
-    return f"""
-{name}(src: {out_lanes} x s32, a: {2 * out_lanes} x s16, b: {2 * out_lanes} x s16) -> {out_lanes} x s32
-FOR j := 0 to {out_lanes - 1}
-    i := j*32
-    dst[i+31:i] := src[i+31:i] + a[i+15:i]*b[i+15:i] + a[i+31:i+16]*b[i+31:i+16]
-ENDFOR
-"""
-
-
-def _horizontal(name: str, lanes: int, kind: str, width: int, op: str) -> str:
-    """Horizontal pairwise op: low half from ``a`` pairs, high from ``b``."""
-    half = lanes // 2
-    hw = half * width
-    hi = width - 1
-    return f"""
-{name}(a: {lanes} x {kind}{width}, b: {lanes} x {kind}{width}) -> {lanes} x {kind}{width}
-FOR j := 0 to {half - 1}
-    i := j*{width}
-    k := j*{2 * width}
-    dst[i+{hi}:i] := a[k+{hi}:k] {op} a[k+{2 * width - 1}:k+{width}]
-    dst[i+{hw}+{hi}:i+{hw}] := b[k+{hi}:k] {op} b[k+{2 * width - 1}:k+{width}]
-ENDFOR
-"""
-
-
-def _addsub(name: str, lanes: int, width: int) -> str:
-    """Even lanes subtract, odd lanes add (SSE3 ADDSUB*)."""
-    hi = width - 1
-    return f"""
-{name}(a: {lanes} x f{width}, b: {lanes} x f{width}) -> {lanes} x f{width}
-FOR j := 0 to {lanes // 2 - 1}
-    i := j*{2 * width}
-    dst[i+{hi}:i] := a[i+{hi}:i] - b[i+{hi}:i]
-    dst[i+{width}+{hi}:i+{width}] := a[i+{width}+{hi}:i+{width}] + b[i+{width}+{hi}:i+{width}]
-ENDFOR
-"""
-
-
-def _fmaddsub(name: str, lanes: int, width: int, even_op: str,
-              odd_op: str) -> str:
-    """Fused multiply with alternating add/sub (FMADDSUB / FMSUBADD)."""
-    hi = width - 1
-    return f"""
-{name}(a: {lanes} x f{width}, b: {lanes} x f{width}, c: {lanes} x f{width}) -> {lanes} x f{width}
-FOR j := 0 to {lanes // 2 - 1}
-    i := j*{2 * width}
-    dst[i+{hi}:i] := a[i+{hi}:i] * b[i+{hi}:i] {even_op} c[i+{hi}:i]
-    dst[i+{width}+{hi}:i+{width}] := a[i+{width}+{hi}:i+{width}] * b[i+{width}+{hi}:i+{width}] {odd_op} c[i+{width}+{hi}:i+{width}]
-ENDFOR
-"""
-
-
-def _pack(name: str, in_lanes: int, in_w: int, out_kind: str,
-          out_w: int) -> str:
-    """Narrowing pack with saturation: ``a`` fills the low half of the
-    destination, ``b`` the high half."""
-    sat = f"Saturate{out_w}" if out_kind == "s" else f"SaturateU{out_w}"
-    return f"""
-{name}(a: {in_lanes} x s{in_w}, b: {in_lanes} x s{in_w}) -> {2 * in_lanes} x {out_kind}{out_w}
-FOR j := 0 to {in_lanes - 1}
-    dst[j*{out_w}+{out_w - 1}:j*{out_w}] := {sat}(a[j*{in_w}+{in_w - 1}:j*{in_w}])
-    dst[(j+{in_lanes})*{out_w}+{out_w - 1}:(j+{in_lanes})*{out_w}] := {sat}(b[j*{in_w}+{in_w - 1}:j*{in_w}])
-ENDFOR
-"""
-
-
-def _fabs(name: str, lanes: int, width: int) -> str:
-    """Float absolute value (baseline-only helper entries)."""
-    hi = width - 1
-    return f"""
-{name}(a: {lanes} x f{width}) -> {lanes} x f{width}
-FOR j := 0 to {lanes - 1}
-    i := j*{width}
-    dst[i+{hi}:i] := ABS(a[i+{hi}:i])
-ENDFOR
-"""
-
-
-# --------------------------------------------------------------------------
-# The ISA inventory.
-
-#: inverse throughputs (cycles between issues on the model machine).
-_FAST = 0.5      # simple ALU / multiply / shuffle-free ops
-_HORIZ = 2.0     # horizontal pairwise reductions (cross-lane)
+def target_family(name: str) -> str:
+    """The ISA family name a target belongs to."""
+    return TARGET_CONFIGS[name].family
 
 
 def build_spec_entries() -> List[SpecEntry]:
-    """All ISA entries, ungated.  The registry filters by target."""
+    """All ISA entries across every registered family, ungated, in
+    family registration order.  The registry filters by target."""
     entries: List[SpecEntry] = []
-
-    def add(name: str, text: str, requires, inv_throughput: float) -> None:
-        entries.append(SpecEntry(name, text, frozenset(requires),
-                                 inv_throughput))
-
-    sse2 = {"sse2"}
-    ssse3 = {"ssse3"}
-    sse4 = {"sse4"}
-    avx = {"avx"}
-    avx2 = {"avx2"}
-    avx512f = {"avx512f"}
-    vnni = {"avx512_vnni"}
-
-    # -- 64-bit (low-half xmm) integer forms --------------------------------
-    add("paddd_64", _binop("paddd_64", 2, "s", 32, "+"), sse2, _FAST)
-    add("psubd_64", _binop("psubd_64", 2, "s", 32, "-"), sse2, _FAST)
-    add("pmulld_64", _binop("pmulld_64", 2, "s", 32, "*"), sse4, _FAST)
-    add("pmaddwd_64", _pmaddwd("pmaddwd_64", 2), sse2, _FAST)
-    add("packssdw_64", _pack("packssdw_64", 2, 32, "s", 16), sse2, _FAST)
-    add("vpdpwssd_64", _vpdpwssd("vpdpwssd_64", 2), vnni, _FAST)
-
-    # -- 128-bit integer arithmetic -----------------------------------------
-    for suffix, lanes, width in (("b", 16, 8), ("w", 8, 16), ("d", 4, 32),
-                                 ("q", 2, 64)):
-        add(f"padd{suffix}_128",
-            _binop(f"padd{suffix}_128", lanes, "s", width, "+"), sse2, _FAST)
-        add(f"psub{suffix}_128",
-            _binop(f"psub{suffix}_128", lanes, "s", width, "-"), sse2, _FAST)
-    add("pand_128", _binop("pand_128", 4, "s", 32, "AND"), sse2, _FAST)
-    add("por_128", _binop("por_128", 4, "s", 32, "OR"), sse2, _FAST)
-    add("pxor_128", _binop("pxor_128", 4, "s", 32, "XOR"), sse2, _FAST)
-    add("pmullw_128", _binop("pmullw_128", 8, "s", 16, "*"), sse2, _FAST)
-    add("pmulld_128", _binop("pmulld_128", 4, "s", 32, "*"), sse4, _FAST)
-    add("pmuldq_128", _pmuldq("pmuldq_128", 2), sse4, _FAST)
-
-    add("pminsw_128", _minmax("pminsw_128", 8, "s", 16, "MIN"), sse2, _FAST)
-    add("pmaxsw_128", _minmax("pmaxsw_128", 8, "s", 16, "MAX"), sse2, _FAST)
-    add("pminub_128", _minmax("pminub_128", 16, "u", 8, "MIN"), sse2, _FAST)
-    add("pmaxub_128", _minmax("pmaxub_128", 16, "u", 8, "MAX"), sse2, _FAST)
-    add("pminsd_128", _minmax("pminsd_128", 4, "s", 32, "MIN"), sse4, _FAST)
-    add("pmaxsd_128", _minmax("pmaxsd_128", 4, "s", 32, "MAX"), sse4, _FAST)
-
-    add("pabsb_128", _abs("pabsb_128", 16, "s", 8), ssse3, _FAST)
-    add("pabsw_128", _abs("pabsw_128", 8, "s", 16), ssse3, _FAST)
-    add("pabsd_128", _abs("pabsd_128", 4, "s", 32), ssse3, _FAST)
-
-    add("pavgb_128", _avg("pavgb_128", 16, 8), sse2, _FAST)
-    add("pavgw_128", _avg("pavgw_128", 8, 16), sse2, _FAST)
-
-    add("paddsb_128", _saturating("paddsb_128", 16, "s", 8, "+"), sse2, _FAST)
-    add("psubsb_128", _saturating("psubsb_128", 16, "s", 8, "-"), sse2, _FAST)
-    add("paddsw_128", _saturating("paddsw_128", 8, "s", 16, "+"), sse2, _FAST)
-    add("psubsw_128", _saturating("psubsw_128", 8, "s", 16, "-"), sse2, _FAST)
-    add("paddusb_128", _saturating("paddusb_128", 16, "u", 8, "+"), sse2,
-        _FAST)
-    add("psubusb_128", _saturating("psubusb_128", 16, "u", 8, "-"), sse2,
-        _FAST)
-    add("paddusw_128", _saturating("paddusw_128", 8, "u", 16, "+"), sse2,
-        _FAST)
-    add("psubusw_128", _saturating("psubusw_128", 8, "u", 16, "-"), sse2,
-        _FAST)
-
-    add("pcmpgtd_128", _cmpgt("pcmpgtd_128", 4, 32), sse2, _FAST)
-    add("vselectd_128", _vselect("vselectd_128", 4, 32), sse4, _FAST)
-
-    add("psravd_128", _shift("psravd_128", 4, "s", 32, ">>"), sse2, _FAST)
-    add("psllvd_128", _shift("psllvd_128", 4, "s", 32, "<<"), sse2, _FAST)
-
-    add("pmovsxbw_128", _extend("pmovsxbw_128", 8, "s", 8, 16), sse4, _FAST)
-    add("pmovsxwd_128", _extend("pmovsxwd_128", 4, "s", 16, 32), sse4, _FAST)
-    add("pmovsxdq_128", _extend("pmovsxdq_128", 2, "s", 32, 64), sse4, _FAST)
-    add("pmovzxbw_128", _extend("pmovzxbw_128", 8, "u", 8, 16), sse4, _FAST)
-    add("pmovzxwd_128", _extend("pmovzxwd_128", 4, "u", 16, 32), sse4, _FAST)
-    add("pmovdw_128", _truncate("pmovdw_128", 4, 32, 16), sse2, _FAST)
-    add("pmovdb_128", _truncate("pmovdb_128", 4, 32, 8), sse2, _FAST)
-    add("pmovwb_128", _truncate("pmovwb_128", 8, 16, 8), sse2, _FAST)
-
-    add("pmaddwd_128", _pmaddwd("pmaddwd_128", 4), sse2, _FAST)
-    add("pmaddubsw_128", _pmaddubsw("pmaddubsw_128", 8), ssse3, _FAST)
-
-    add("phaddw_128", _horizontal("phaddw_128", 8, "s", 16, "+"), ssse3,
-        _HORIZ)
-    add("phaddd_128", _horizontal("phaddd_128", 4, "s", 32, "+"), ssse3,
-        _HORIZ)
-    add("phsubw_128", _horizontal("phsubw_128", 8, "s", 16, "-"), ssse3,
-        _HORIZ)
-    add("phsubd_128", _horizontal("phsubd_128", 4, "s", 32, "-"), ssse3,
-        _HORIZ)
-
-    add("packsswb_128", _pack("packsswb_128", 8, 16, "s", 8), sse2, _FAST)
-    add("packssdw_128", _pack("packssdw_128", 4, 32, "s", 16), sse2, _FAST)
-    add("packuswb_128", _pack("packuswb_128", 8, 16, "u", 8), sse2, _FAST)
-    add("packusdw_128", _pack("packusdw_128", 4, 32, "u", 16), sse4, _FAST)
-
-    # -- 128-bit float ------------------------------------------------------
-    for op_name, op in (("add", "+"), ("sub", "-"), ("mul", "*")):
-        add(f"{op_name}ps_128",
-            _binop(f"{op_name}ps_128", 4, "f", 32, op), sse2, _FAST)
-        add(f"{op_name}pd_128",
-            _binop(f"{op_name}pd_128", 2, "f", 64, op), sse2, _FAST)
-    add("minps_128", _minmax("minps_128", 4, "f", 32, "MIN"), sse2, _FAST)
-    add("maxps_128", _minmax("maxps_128", 4, "f", 32, "MAX"), sse2, _FAST)
-    add("minpd_128", _minmax("minpd_128", 2, "f", 64, "MIN"), sse2, _FAST)
-    add("maxpd_128", _minmax("maxpd_128", 2, "f", 64, "MAX"), sse2, _FAST)
-
-    add("haddps_128", _horizontal("haddps_128", 4, "f", 32, "+"), ssse3,
-        _HORIZ)
-    add("haddpd_128", _horizontal("haddpd_128", 2, "f", 64, "+"), ssse3,
-        _HORIZ)
-    add("hsubps_128", _horizontal("hsubps_128", 4, "f", 32, "-"), ssse3,
-        _HORIZ)
-    add("hsubpd_128", _horizontal("hsubpd_128", 2, "f", 64, "-"), ssse3,
-        _HORIZ)
-
-    add("addsubps_128", _addsub("addsubps_128", 4, 32), ssse3, _FAST)
-    add("addsubpd_128", _addsub("addsubpd_128", 2, 64), ssse3, _FAST)
-
-    add("fmaddsubps_128", _fmaddsub("fmaddsubps_128", 4, 32, "-", "+"),
-        avx, _FAST)
-    add("fmaddsubpd_128", _fmaddsub("fmaddsubpd_128", 2, 64, "-", "+"),
-        avx, _FAST)
-    add("fmsubaddps_128", _fmaddsub("fmsubaddps_128", 4, 32, "+", "-"),
-        avx, _FAST)
-    add("fmsubaddpd_128", _fmaddsub("fmsubaddpd_128", 2, 64, "+", "-"),
-        avx, _FAST)
-
-    # -- 256-bit integer (AVX2) ---------------------------------------------
-    for suffix, lanes, width in (("b", 32, 8), ("w", 16, 16), ("d", 8, 32),
-                                 ("q", 4, 64)):
-        add(f"padd{suffix}_256",
-            _binop(f"padd{suffix}_256", lanes, "s", width, "+"), avx2, _FAST)
-        add(f"psub{suffix}_256",
-            _binop(f"psub{suffix}_256", lanes, "s", width, "-"), avx2, _FAST)
-    add("pand_256", _binop("pand_256", 8, "s", 32, "AND"), avx2, _FAST)
-    add("por_256", _binop("por_256", 8, "s", 32, "OR"), avx2, _FAST)
-    add("pxor_256", _binop("pxor_256", 8, "s", 32, "XOR"), avx2, _FAST)
-    add("pmullw_256", _binop("pmullw_256", 16, "s", 16, "*"), avx2, _FAST)
-    add("pmulld_256", _binop("pmulld_256", 8, "s", 32, "*"), avx2, _FAST)
-    add("pmuldq_256", _pmuldq("pmuldq_256", 4), avx2, _FAST)
-
-    add("pminsw_256", _minmax("pminsw_256", 16, "s", 16, "MIN"), avx2, _FAST)
-    add("pmaxsw_256", _minmax("pmaxsw_256", 16, "s", 16, "MAX"), avx2, _FAST)
-    add("pminsd_256", _minmax("pminsd_256", 8, "s", 32, "MIN"), avx2, _FAST)
-    add("pmaxsd_256", _minmax("pmaxsd_256", 8, "s", 32, "MAX"), avx2, _FAST)
-    add("pminub_256", _minmax("pminub_256", 32, "u", 8, "MIN"), avx2, _FAST)
-    add("pmaxub_256", _minmax("pmaxub_256", 32, "u", 8, "MAX"), avx2, _FAST)
-
-    add("pabsb_256", _abs("pabsb_256", 32, "s", 8), avx2, _FAST)
-    add("pabsw_256", _abs("pabsw_256", 16, "s", 16), avx2, _FAST)
-    add("pabsd_256", _abs("pabsd_256", 8, "s", 32), avx2, _FAST)
-
-    add("pavgb_256", _avg("pavgb_256", 32, 8), avx2, _FAST)
-    add("pavgw_256", _avg("pavgw_256", 16, 16), avx2, _FAST)
-
-    add("paddsw_256", _saturating("paddsw_256", 16, "s", 16, "+"), avx2,
-        _FAST)
-    add("psubsw_256", _saturating("psubsw_256", 16, "s", 16, "-"), avx2,
-        _FAST)
-
-    add("pcmpgtd_256", _cmpgt("pcmpgtd_256", 8, 32), avx2, _FAST)
-    add("vselectd_256", _vselect("vselectd_256", 8, 32), avx2, _FAST)
-
-    add("psravd_256", _shift("psravd_256", 8, "s", 32, ">>"), avx2, _FAST)
-    add("psllvd_256", _shift("psllvd_256", 8, "s", 32, "<<"), avx2, _FAST)
-
-    add("pmovsxwd_256", _extend("pmovsxwd_256", 8, "s", 16, 32), avx2, _FAST)
-    add("pmovsxdq_256", _extend("pmovsxdq_256", 4, "s", 32, 64), avx2, _FAST)
-    add("pmovdw_256", _truncate("pmovdw_256", 8, 32, 16), avx2, _FAST)
-    add("pmovdb_256", _truncate("pmovdb_256", 8, 32, 8), avx2, _FAST)
-
-    add("pmaddwd_256", _pmaddwd("pmaddwd_256", 8), avx2, _FAST)
-    add("pmaddubsw_256", _pmaddubsw("pmaddubsw_256", 16), avx2, _FAST)
-
-    add("phaddd_256", _horizontal("phaddd_256", 8, "s", 32, "+"), avx2,
-        _HORIZ)
-    add("packssdw_256", _pack("packssdw_256", 8, 32, "s", 16), avx2, _FAST)
-
-    # -- 256-bit float (AVX) ------------------------------------------------
-    for op_name, op in (("add", "+"), ("sub", "-"), ("mul", "*")):
-        add(f"{op_name}ps_256",
-            _binop(f"{op_name}ps_256", 8, "f", 32, op), avx, _FAST)
-        add(f"{op_name}pd_256",
-            _binop(f"{op_name}pd_256", 4, "f", 64, op), avx, _FAST)
-    add("minps_256", _minmax("minps_256", 8, "f", 32, "MIN"), avx, _FAST)
-    add("maxps_256", _minmax("maxps_256", 8, "f", 32, "MAX"), avx, _FAST)
-    add("minpd_256", _minmax("minpd_256", 4, "f", 64, "MIN"), avx, _FAST)
-    add("maxpd_256", _minmax("maxpd_256", 4, "f", 64, "MAX"), avx, _FAST)
-
-    add("haddps_256", _horizontal("haddps_256", 8, "f", 32, "+"), avx,
-        _HORIZ)
-    add("haddpd_256", _horizontal("haddpd_256", 4, "f", 64, "+"), avx,
-        _HORIZ)
-
-    add("addsubps_256", _addsub("addsubps_256", 8, 32), avx, _FAST)
-    add("addsubpd_256", _addsub("addsubpd_256", 4, 64), avx, _FAST)
-
-    add("fmaddsubps_256", _fmaddsub("fmaddsubps_256", 8, 32, "-", "+"),
-        avx, _FAST)
-    add("fmaddsubpd_256", _fmaddsub("fmaddsubpd_256", 4, 64, "-", "+"),
-        avx, _FAST)
-    add("fmsubaddps_256", _fmaddsub("fmsubaddps_256", 8, 32, "+", "-"),
-        avx, _FAST)
-    add("fmsubaddpd_256", _fmaddsub("fmsubaddpd_256", 4, 64, "+", "-"),
-        avx, _FAST)
-
-    # -- 512-bit (AVX-512F) -------------------------------------------------
-    add("paddd_512", _binop("paddd_512", 16, "s", 32, "+"), avx512f, _FAST)
-    add("psubd_512", _binop("psubd_512", 16, "s", 32, "-"), avx512f, _FAST)
-    add("paddq_512", _binop("paddq_512", 8, "s", 64, "+"), avx512f, _FAST)
-    add("pmaddwd_512", _pmaddwd("pmaddwd_512", 16), avx512f, _FAST)
-
-    # -- AVX512-VNNI dot products -------------------------------------------
-    add("vpdpbusd_128", _vpdpbusd("vpdpbusd_128", 4), vnni, _FAST)
-    add("vpdpbusd_256", _vpdpbusd("vpdpbusd_256", 8), vnni, _FAST)
-    add("vpdpbusd_512", _vpdpbusd("vpdpbusd_512", 16), vnni, _FAST)
-    add("vpdpwssd_128", _vpdpwssd("vpdpwssd_128", 4), vnni, _FAST)
-    add("vpdpwssd_256", _vpdpwssd("vpdpwssd_256", 8), vnni, _FAST)
-    add("vpdpwssd_512", _vpdpwssd("vpdpwssd_512", 16), vnni, _FAST)
-
+    for family in FAMILIES.values():
+        for entry in family.build_entries():
+            if entry.header is None and entry.intrinsic is not None:
+                entry = replace(entry, header=family.header)
+            entries.append(entry)
     return entries
 
 
 def baseline_fabs_entries() -> List[SpecEntry]:
-    """Float-abs entries only the baseline ("LLVM") vectorizer gets.
+    """Float-abs entries only the baseline ("LLVM") vectorizer gets
+    (kept here for API compatibility; defined by the x86 family)."""
+    from repro.target.specs_x86 import baseline_fabs_entries as _impl
 
-    The main synthetic ISA deliberately has no float absolute value, so
-    the kernels that need one separate the two vectorizers (test
-    figure 15 territory).  LLVM would pattern-match ``fabs`` and emit an
-    ``andps`` with a sign mask, so the baseline target is granted these.
-    """
-    return [
-        SpecEntry("fabsps_128", _fabs("fabsps_128", 4, 32),
-                  frozenset({"sse2"}), _FAST),
-        SpecEntry("fabspd_128", _fabs("fabspd_128", 2, 64),
-                  frozenset({"sse2"}), _FAST),
-    ]
+    return _impl()
+
+
+# --------------------------------------------------------------------------
+# Bootstrap: the built-in families.  Imported at the bottom so the family
+# modules can import the dataclasses above (the partial-module cycle is
+# safe: everything they need is already defined).
+
+from repro.target import specs_neon as _specs_neon  # noqa: E402
+from repro.target import specs_x86 as _specs_x86  # noqa: E402
+
+register_family(_specs_x86.FAMILY)
+register_family(_specs_neon.FAMILY)

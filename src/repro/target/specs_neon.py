@@ -1,0 +1,267 @@
+"""Pseudocode specifications for the ARM-NEON-style ``neon128`` target.
+
+This family is the proof of VeGen's generator claim (PAPER.md §3):
+every instruction below is *only* its vendor-manual pseudocode — no
+Python lane logic, no new lifter code.  The same VIDL pipeline that
+lifts the x86 specs lifts these, and the vectorizer picks them up
+through the generic pattern index.
+
+The inventory deliberately leans on the non-SIMD lane structures the
+paper is about, which x86 mostly lacks in this shape:
+
+* fused multiply-accumulate lanes (``vmlaq``/``vmlsq``/``vfmaq``):
+  three-operand lane ops, matched as a single instruction where x86
+  needs a multiply + add pack pair;
+* pairwise horizontal adds (``vpaddq``) and *widening* pairwise adds
+  (``vpaddlq``): output lane ``j`` reads input lanes ``2j``/``2j+1``;
+* long (widening) arithmetic (``vmull``/``vmlal``/``vaddl``): 64-bit
+  d-register inputs producing full 128-bit q-register results;
+* saturating doubling high-half multiply (``vqdmulhq``): the DSP
+  fixed-point workhorse, ``Saturate16((a*b) >> 15)``;
+* saturating narrowing (``vqmovn``): one-input narrow, unlike x86's
+  two-input ``pack*`` shuffle-narrows.
+
+Intrinsic metadata: NEON spec names *are* the ACLE intrinsic names, so
+emitted C calls them directly (header ``arm_neon.h``).  ``vshrq_n_s32``
+is the one immediate-form instruction: its shift-count operand is
+marked ``imm_operand`` so the emitter renders a compile-time constant.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.target.specs import ISAFamily, SpecEntry
+
+#: The single extension gating the family's entries.
+NEON_TARGETS = {
+    "neon128": frozenset({"neon"}),
+}
+
+#: The C header providing the ACLE NEON intrinsics.
+NEON_HEADER = "arm_neon.h"
+
+#: inverse throughputs, on the same model scale as the x86 family.
+_FAST = 0.5      # simple lane-wise ALU / multiply / FMA
+_HORIZ = 2.0     # pairwise cross-lane adds
+
+
+# --------------------------------------------------------------------------
+# Spec text templates (pure text generation — the semantics live in the
+# pseudocode, not here).
+
+
+def _binop(name: str, lanes: int, kind: str, width: int, op: str) -> str:
+    return f"""
+{name}(a: {lanes} x {kind}{width}, b: {lanes} x {kind}{width}) -> {lanes} x {kind}{width}
+FOR j := 0 to {lanes - 1}
+    i := j*{width}
+    dst[i+{width - 1}:i] := a[i+{width - 1}:i] {op} b[i+{width - 1}:i]
+ENDFOR
+"""
+
+
+def _minmax(name: str, lanes: int, kind: str, width: int, fn: str) -> str:
+    return f"""
+{name}(a: {lanes} x {kind}{width}, b: {lanes} x {kind}{width}) -> {lanes} x {kind}{width}
+FOR j := 0 to {lanes - 1}
+    i := j*{width}
+    dst[i+{width - 1}:i] := {fn}(a[i+{width - 1}:i], b[i+{width - 1}:i])
+ENDFOR
+"""
+
+
+def _abs(name: str, lanes: int, kind: str, width: int) -> str:
+    return f"""
+{name}(a: {lanes} x {kind}{width}) -> {lanes} x {kind}{width}
+FOR j := 0 to {lanes - 1}
+    i := j*{width}
+    dst[i+{width - 1}:i] := ABS(a[i+{width - 1}:i])
+ENDFOR
+"""
+
+
+def _mla(name: str, lanes: int, kind: str, width: int, op: str) -> str:
+    """Fused multiply-accumulate lane: ``dst = a op (b * c)``."""
+    hi = width - 1
+    return f"""
+{name}(a: {lanes} x {kind}{width}, b: {lanes} x {kind}{width}, c: {lanes} x {kind}{width}) -> {lanes} x {kind}{width}
+FOR j := 0 to {lanes - 1}
+    i := j*{width}
+    dst[i+{hi}:i] := a[i+{hi}:i] {op} b[i+{hi}:i] * c[i+{hi}:i]
+ENDFOR
+"""
+
+
+def _vpadd(name: str, lanes: int, kind: str, width: int) -> str:
+    """Pairwise add across two q registers: low half of the destination
+    holds the pair sums of ``a``, the high half those of ``b``."""
+    half = lanes // 2
+    hw = half * width
+    hi = width - 1
+    return f"""
+{name}(a: {lanes} x {kind}{width}, b: {lanes} x {kind}{width}) -> {lanes} x {kind}{width}
+FOR j := 0 to {half - 1}
+    i := j*{width}
+    k := j*{2 * width}
+    dst[i+{hi}:i] := a[k+{hi}:k] + a[k+{2 * width - 1}:k+{width}]
+    dst[i+{hw}+{hi}:i+{hw}] := b[k+{hi}:k] + b[k+{2 * width - 1}:k+{width}]
+ENDFOR
+"""
+
+
+def _vpaddl(name: str, in_lanes: int, in_w: int) -> str:
+    """Widening pairwise add: output lane ``j`` is the sign-extended sum
+    of input lanes ``2j`` and ``2j+1``."""
+    out_lanes = in_lanes // 2
+    out_w = 2 * in_w
+    return f"""
+{name}(a: {in_lanes} x s{in_w}) -> {out_lanes} x s{out_w}
+FOR j := 0 to {out_lanes - 1}
+    i := j*{out_w}
+    k := j*{2 * in_w}
+    dst[i+{out_w - 1}:i] := SignExtend{out_w}(a[k+{in_w - 1}:k]) + SignExtend{out_w}(a[k+{2 * in_w - 1}:k+{in_w}])
+ENDFOR
+"""
+
+
+def _vmull(name: str, in_lanes: int, in_w: int) -> str:
+    """Long multiply: d-register inputs, full-width products."""
+    out_w = 2 * in_w
+    return f"""
+{name}(a: {in_lanes} x s{in_w}, b: {in_lanes} x s{in_w}) -> {in_lanes} x s{out_w}
+FOR j := 0 to {in_lanes - 1}
+    dst[j*{out_w}+{out_w - 1}:j*{out_w}] := a[j*{in_w}+{in_w - 1}:j*{in_w}] * b[j*{in_w}+{in_w - 1}:j*{in_w}]
+ENDFOR
+"""
+
+
+def _vmlal(name: str, in_lanes: int, in_w: int) -> str:
+    """Long multiply-accumulate: widening products added into a
+    full-width accumulator."""
+    out_w = 2 * in_w
+    return f"""
+{name}(acc: {in_lanes} x s{out_w}, a: {in_lanes} x s{in_w}, b: {in_lanes} x s{in_w}) -> {in_lanes} x s{out_w}
+FOR j := 0 to {in_lanes - 1}
+    i := j*{out_w}
+    dst[i+{out_w - 1}:i] := acc[i+{out_w - 1}:i] + a[j*{in_w}+{in_w - 1}:j*{in_w}] * b[j*{in_w}+{in_w - 1}:j*{in_w}]
+ENDFOR
+"""
+
+
+def _vaddl(name: str, in_lanes: int, in_w: int) -> str:
+    """Long add: operands sign-extended to the doubled lane width."""
+    out_w = 2 * in_w
+    return f"""
+{name}(a: {in_lanes} x s{in_w}, b: {in_lanes} x s{in_w}) -> {in_lanes} x s{out_w}
+FOR j := 0 to {in_lanes - 1}
+    dst[j*{out_w}+{out_w - 1}:j*{out_w}] := SignExtend{out_w}(a[j*{in_w}+{in_w - 1}:j*{in_w}]) + SignExtend{out_w}(b[j*{in_w}+{in_w - 1}:j*{in_w}])
+ENDFOR
+"""
+
+
+def _vqmovn(name: str, in_lanes: int, in_w: int) -> str:
+    """Saturating narrow: one q-register input, d-register output."""
+    out_w = in_w // 2
+    return f"""
+{name}(a: {in_lanes} x s{in_w}) -> {in_lanes} x s{out_w}
+FOR j := 0 to {in_lanes - 1}
+    dst[j*{out_w}+{out_w - 1}:j*{out_w}] := Saturate{out_w}(a[j*{in_w}+{in_w - 1}:j*{in_w}])
+ENDFOR
+"""
+
+
+def _vqdmulh(name: str, lanes: int, width: int) -> str:
+    """Saturating doubling multiply high half: ``sat((2*a*b) >> w)``.
+    For arithmetic shifts ``(2*a*b) >> w`` equals ``(a*b) >> (w-1)``,
+    which is how it is written here (the doubled product would need an
+    extra bit beyond the exact product width)."""
+    hi = width - 1
+    return f"""
+{name}(a: {lanes} x s{width}, b: {lanes} x s{width}) -> {lanes} x s{width}
+FOR j := 0 to {lanes - 1}
+    i := j*{width}
+    dst[i+{hi}:i] := Saturate{width}(a[i+{hi}:i] * b[i+{hi}:i] >> {width - 1})
+ENDFOR
+"""
+
+
+# --------------------------------------------------------------------------
+# The ISA inventory: 40 instructions, all gated on {"neon"}.
+
+
+def build_entries() -> List[SpecEntry]:
+    """All NEON ISA entries, ungated.  The registry filters by target."""
+    entries: List[SpecEntry] = []
+    neon = frozenset({"neon"})
+
+    def add(name: str, text: str, inv_throughput: float,
+            imm_operand=None) -> None:
+        entries.append(SpecEntry(name, text, neon, inv_throughput,
+                                 intrinsic=name, imm_operand=imm_operand))
+
+    # -- q-register integer lane arithmetic ---------------------------------
+    add("vaddq_s16", _binop("vaddq_s16", 8, "s", 16, "+"), _FAST)
+    add("vaddq_s32", _binop("vaddq_s32", 4, "s", 32, "+"), _FAST)
+    add("vsubq_s16", _binop("vsubq_s16", 8, "s", 16, "-"), _FAST)
+    add("vsubq_s32", _binop("vsubq_s32", 4, "s", 32, "-"), _FAST)
+    add("vmulq_s16", _binop("vmulq_s16", 8, "s", 16, "*"), _FAST)
+    add("vmulq_s32", _binop("vmulq_s32", 4, "s", 32, "*"), _FAST)
+    add("vminq_s32", _minmax("vminq_s32", 4, "s", 32, "MIN"), _FAST)
+    add("vmaxq_s32", _minmax("vmaxq_s32", 4, "s", 32, "MAX"), _FAST)
+    add("vabsq_s8", _abs("vabsq_s8", 16, "s", 8), _FAST)
+    add("vabsq_s16", _abs("vabsq_s16", 8, "s", 16), _FAST)
+    add("vabsq_s32", _abs("vabsq_s32", 4, "s", 32), _FAST)
+
+    # -- fused multiply-accumulate lanes ------------------------------------
+    add("vmlaq_s16", _mla("vmlaq_s16", 8, "s", 16, "+"), _FAST)
+    add("vmlaq_s32", _mla("vmlaq_s32", 4, "s", 32, "+"), _FAST)
+    add("vmlsq_s32", _mla("vmlsq_s32", 4, "s", 32, "-"), _FAST)
+
+    # -- immediate shift ----------------------------------------------------
+    add("vshrq_n_s32", _binop("vshrq_n_s32", 4, "s", 32, ">>"), _FAST,
+        imm_operand=1)
+
+    # -- pairwise adds (plain and widening) ---------------------------------
+    add("vpaddq_s16", _vpadd("vpaddq_s16", 8, "s", 16), _HORIZ)
+    add("vpaddq_s32", _vpadd("vpaddq_s32", 4, "s", 32), _HORIZ)
+    add("vpaddq_f32", _vpadd("vpaddq_f32", 4, "f", 32), _HORIZ)
+    add("vpaddq_f64", _vpadd("vpaddq_f64", 2, "f", 64), _HORIZ)
+    add("vpaddlq_s8", _vpaddl("vpaddlq_s8", 16, 8), _HORIZ)
+    add("vpaddlq_s16", _vpaddl("vpaddlq_s16", 8, 16), _HORIZ)
+
+    # -- long (widening) arithmetic on d-register inputs --------------------
+    add("vmull_s16", _vmull("vmull_s16", 4, 16), _FAST)
+    add("vmlal_s16", _vmlal("vmlal_s16", 4, 16), _FAST)
+    add("vaddl_s16", _vaddl("vaddl_s16", 4, 16), _FAST)
+
+    # -- saturating narrow / fixed-point multiply ---------------------------
+    add("vqmovn_s16", _vqmovn("vqmovn_s16", 8, 16), _FAST)
+    add("vqmovn_s32", _vqmovn("vqmovn_s32", 4, 32), _FAST)
+    add("vqdmulhq_s16", _vqdmulh("vqdmulhq_s16", 8, 16), _FAST)
+
+    # -- float lanes --------------------------------------------------------
+    add("vaddq_f32", _binop("vaddq_f32", 4, "f", 32, "+"), _FAST)
+    add("vsubq_f32", _binop("vsubq_f32", 4, "f", 32, "-"), _FAST)
+    add("vmulq_f32", _binop("vmulq_f32", 4, "f", 32, "*"), _FAST)
+    add("vfmaq_f32", _mla("vfmaq_f32", 4, "f", 32, "+"), _FAST)
+    add("vminq_f32", _minmax("vminq_f32", 4, "f", 32, "MIN"), _FAST)
+    add("vmaxq_f32", _minmax("vmaxq_f32", 4, "f", 32, "MAX"), _FAST)
+    add("vabsq_f32", _abs("vabsq_f32", 4, "f", 32), _FAST)
+    add("vaddq_f64", _binop("vaddq_f64", 2, "f", 64, "+"), _FAST)
+    add("vsubq_f64", _binop("vsubq_f64", 2, "f", 64, "-"), _FAST)
+    add("vmulq_f64", _binop("vmulq_f64", 2, "f", 64, "*"), _FAST)
+    add("vfmaq_f64", _mla("vfmaq_f64", 2, "f", 64, "+"), _FAST)
+    add("vminq_f64", _minmax("vminq_f64", 2, "f", 64, "MIN"), _FAST)
+    add("vmaxq_f64", _minmax("vmaxq_f64", 2, "f", 64, "MAX"), _FAST)
+
+    return entries
+
+
+#: The NEON family registration record (see repro.target.specs).
+FAMILY = ISAFamily(
+    name="neon",
+    header=NEON_HEADER,
+    targets=NEON_TARGETS,
+    build_entries=build_entries,
+)

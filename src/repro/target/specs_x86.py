@@ -1,0 +1,708 @@
+"""Pseudocode specifications for the synthetic x86-ish vector ISA.
+
+This module is the x86 half of the "vendor manual": every x86-flavored
+instruction the vectorizer generator knows about is described here as a
+pseudocode spec (the same documentation language VeGen translates in
+§3), together with the extension set that provides it, its inverse
+throughput, and the real vendor intrinsic it renders as in emitted C.
+
+Conventions (see DESIGN.md "As-built notes"):
+
+* Sub-32-bit integer semantics are written with explicit C-style
+  promotions (``SignExtend32``/``ZeroExtend32`` plus ``Truncate32``
+  around intermediate sums) so the lifted patterns line up with what the
+  mini-C frontend and the canonicalizer produce.
+* ``Saturate*`` clamps are deliberately non-strict (``>= hi+1`` /
+  ``<= lo-1``); canonicalization strictifies them.
+* ``_64`` variants model xmm instructions with only the low half live;
+  their intrinsic metadata names the full 128-bit intrinsic.
+* 256/512-bit instructions use whole-register semantics (no in-lane
+  128-bit halving) — a deliberate deviation from x86.  Their intrinsic
+  metadata still names the real in-lane intrinsic (``_mm256_hadd_ps``):
+  emitted C is representative, the model semantics are the contract.
+* ``psravd``-style variable shifts stand in for the immediate shift
+  forms, and the ``pmov*`` truncations are available at the SSE level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.target.specs import ISAFamily, SpecEntry
+
+# --------------------------------------------------------------------------
+# Targets: monotone extension sets (sse4 < avx2 < avx512_vnni).
+
+_SSE4 = frozenset({"sse2", "ssse3", "sse4"})
+_AVX2 = _SSE4 | {"avx", "avx2"}
+_VNNI = _AVX2 | {"avx512f", "avx512_vnni"}
+
+X86_TARGETS = {
+    "sse4": _SSE4,
+    "avx2": _AVX2,
+    "avx512_vnni": _VNNI,
+}
+
+#: The C header providing every x86 vector intrinsic.
+X86_HEADER = "immintrin.h"
+
+
+# --------------------------------------------------------------------------
+# Spec text templates.  Each returns text whose first line is the
+# signature ``name(params) -> lanes x kind``.
+
+
+def _binop(name: str, lanes: int, kind: str, width: int, op: str) -> str:
+    """Element-wise binary operation (``+ - * AND OR XOR`` ...)."""
+    return f"""
+{name}(a: {lanes} x {kind}{width}, b: {lanes} x {kind}{width}) -> {lanes} x {kind}{width}
+FOR j := 0 to {lanes - 1}
+    i := j*{width}
+    dst[i+{width - 1}:i] := a[i+{width - 1}:i] {op} b[i+{width - 1}:i]
+ENDFOR
+"""
+
+
+def _minmax(name: str, lanes: int, kind: str, width: int, fn: str) -> str:
+    return f"""
+{name}(a: {lanes} x {kind}{width}, b: {lanes} x {kind}{width}) -> {lanes} x {kind}{width}
+FOR j := 0 to {lanes - 1}
+    i := j*{width}
+    dst[i+{width - 1}:i] := {fn}(a[i+{width - 1}:i], b[i+{width - 1}:i])
+ENDFOR
+"""
+
+
+def _abs(name: str, lanes: int, kind: str, width: int) -> str:
+    return f"""
+{name}(a: {lanes} x {kind}{width}) -> {lanes} x {kind}{width}
+FOR j := 0 to {lanes - 1}
+    i := j*{width}
+    dst[i+{width - 1}:i] := ABS(a[i+{width - 1}:i])
+ENDFOR
+"""
+
+
+def _avg(name: str, lanes: int, width: int) -> str:
+    """Unsigned rounding average: ``(a + b + 1) >> 1``."""
+    return f"""
+{name}(a: {lanes} x u{width}, b: {lanes} x u{width}) -> {lanes} x u{width}
+FOR j := 0 to {lanes - 1}
+    i := j*{width}
+    dst[i+{width - 1}:i] := Truncate32(ZeroExtend32(a[i+{width - 1}:i]) + ZeroExtend32(b[i+{width - 1}:i]) + 1) >> 1
+ENDFOR
+"""
+
+
+def _saturating(name: str, lanes: int, kind: str, width: int, op: str) -> str:
+    """Saturating add/sub with explicit C-style 32-bit promotion."""
+    ext = "SignExtend32" if kind == "s" else "ZeroExtend32"
+    sat = f"Saturate{width}" if kind == "s" else f"SaturateU{width}"
+    hi = width - 1
+    return f"""
+{name}(a: {lanes} x {kind}{width}, b: {lanes} x {kind}{width}) -> {lanes} x {kind}{width}
+FOR j := 0 to {lanes - 1}
+    i := j*{width}
+    dst[i+{hi}:i] := {sat}(Truncate32({ext}(a[i+{hi}:i]) {op} {ext}(b[i+{hi}:i])))
+ENDFOR
+"""
+
+
+def _shift(name: str, lanes: int, kind: str, width: int, op: str) -> str:
+    """Variable per-lane shift (``>>`` is arithmetic on signed lanes)."""
+    return _binop(name, lanes, kind, width, op)
+
+
+def _cmpgt(name: str, lanes: int, width: int) -> str:
+    return f"""
+{name}(a: {lanes} x s{width}, b: {lanes} x s{width}) -> {lanes} x u1
+FOR j := 0 to {lanes - 1}
+    i := j*{width}
+    dst[j:j] := a[i+{width - 1}:i] > b[i+{width - 1}:i]
+ENDFOR
+"""
+
+
+def _vselect(name: str, lanes: int, width: int) -> str:
+    return f"""
+{name}(c: {lanes} x u1, a: {lanes} x s{width}, b: {lanes} x s{width}) -> {lanes} x s{width}
+FOR j := 0 to {lanes - 1}
+    i := j*{width}
+    dst[i+{width - 1}:i] := Select(c[j:j], a[i+{width - 1}:i], b[i+{width - 1}:i])
+ENDFOR
+"""
+
+
+def _extend(name: str, lanes: int, in_kind: str, in_w: int, out_w: int) -> str:
+    ext = "SignExtend" if in_kind == "s" else "ZeroExtend"
+    return f"""
+{name}(a: {lanes} x {in_kind}{in_w}) -> {lanes} x {in_kind}{out_w}
+FOR j := 0 to {lanes - 1}
+    dst[j*{out_w}+{out_w - 1}:j*{out_w}] := {ext}{out_w}(a[j*{in_w}+{in_w - 1}:j*{in_w}])
+ENDFOR
+"""
+
+
+def _truncate(name: str, lanes: int, in_w: int, out_w: int) -> str:
+    return f"""
+{name}(a: {lanes} x s{in_w}) -> {lanes} x s{out_w}
+FOR j := 0 to {lanes - 1}
+    dst[j*{out_w}+{out_w - 1}:j*{out_w}] := Truncate{out_w}(a[j*{in_w}+{in_w - 1}:j*{in_w}])
+ENDFOR
+"""
+
+
+def _pmaddwd(name: str, out_lanes: int) -> str:
+    """Multiply adjacent s16 pairs and add horizontally into s32 lanes."""
+    return f"""
+{name}(a: {2 * out_lanes} x s16, b: {2 * out_lanes} x s16) -> {out_lanes} x s32
+FOR j := 0 to {out_lanes - 1}
+    i := j*32
+    dst[i+31:i] := a[i+15:i]*b[i+15:i] + a[i+31:i+16]*b[i+31:i+16]
+ENDFOR
+"""
+
+
+def _pmaddubsw(name: str, out_lanes: int) -> str:
+    """Multiply u8 x s8 pairs, add adjacent products, saturate to s16."""
+    return f"""
+{name}(a: {2 * out_lanes} x u8, b: {2 * out_lanes} x s8) -> {out_lanes} x s16
+FOR j := 0 to {out_lanes - 1}
+    i := j*16
+    dst[i+15:i] := Saturate16(Truncate32(Truncate32(ZeroExtend32(a[i+7:i]) * SignExtend32(b[i+7:i])) +
+                   Truncate32(ZeroExtend32(a[i+15:i+8]) * SignExtend32(b[i+15:i+8]))))
+ENDFOR
+"""
+
+
+def _pmuldq(name: str, out_lanes: int) -> str:
+    """Multiply the even s32 lanes into full s64 products."""
+    return f"""
+{name}(a: {2 * out_lanes} x s32, b: {2 * out_lanes} x s32) -> {out_lanes} x s64
+FOR j := 0 to {out_lanes - 1}
+    i := j*64
+    dst[i+63:i] := a[i+31:i] * b[i+31:i]
+ENDFOR
+"""
+
+
+def _vpdpbusd(name: str, out_lanes: int) -> str:
+    """u8 x s8 dot product accumulated into s32 (AVX512-VNNI)."""
+    return f"""
+{name}(src: {out_lanes} x s32, a: {4 * out_lanes} x u8, b: {4 * out_lanes} x s8) -> {out_lanes} x s32
+FOR j := 0 to {out_lanes - 1}
+    i := j*32
+    dst[i+31:i] := src[i+31:i] +
+        Truncate32(ZeroExtend32(a[i+7:i]) * SignExtend32(b[i+7:i])) +
+        Truncate32(ZeroExtend32(a[i+15:i+8]) * SignExtend32(b[i+15:i+8])) +
+        Truncate32(ZeroExtend32(a[i+23:i+16]) * SignExtend32(b[i+23:i+16])) +
+        Truncate32(ZeroExtend32(a[i+31:i+24]) * SignExtend32(b[i+31:i+24]))
+ENDFOR
+"""
+
+
+def _vpdpwssd(name: str, out_lanes: int) -> str:
+    """s16 x s16 dot product accumulated into s32 (AVX512-VNNI)."""
+    return f"""
+{name}(src: {out_lanes} x s32, a: {2 * out_lanes} x s16, b: {2 * out_lanes} x s16) -> {out_lanes} x s32
+FOR j := 0 to {out_lanes - 1}
+    i := j*32
+    dst[i+31:i] := src[i+31:i] + a[i+15:i]*b[i+15:i] + a[i+31:i+16]*b[i+31:i+16]
+ENDFOR
+"""
+
+
+def _horizontal(name: str, lanes: int, kind: str, width: int, op: str) -> str:
+    """Horizontal pairwise op: low half from ``a`` pairs, high from ``b``."""
+    half = lanes // 2
+    hw = half * width
+    hi = width - 1
+    return f"""
+{name}(a: {lanes} x {kind}{width}, b: {lanes} x {kind}{width}) -> {lanes} x {kind}{width}
+FOR j := 0 to {half - 1}
+    i := j*{width}
+    k := j*{2 * width}
+    dst[i+{hi}:i] := a[k+{hi}:k] {op} a[k+{2 * width - 1}:k+{width}]
+    dst[i+{hw}+{hi}:i+{hw}] := b[k+{hi}:k] {op} b[k+{2 * width - 1}:k+{width}]
+ENDFOR
+"""
+
+
+def _addsub(name: str, lanes: int, width: int) -> str:
+    """Even lanes subtract, odd lanes add (SSE3 ADDSUB*)."""
+    hi = width - 1
+    return f"""
+{name}(a: {lanes} x f{width}, b: {lanes} x f{width}) -> {lanes} x f{width}
+FOR j := 0 to {lanes // 2 - 1}
+    i := j*{2 * width}
+    dst[i+{hi}:i] := a[i+{hi}:i] - b[i+{hi}:i]
+    dst[i+{width}+{hi}:i+{width}] := a[i+{width}+{hi}:i+{width}] + b[i+{width}+{hi}:i+{width}]
+ENDFOR
+"""
+
+
+def _fmaddsub(name: str, lanes: int, width: int, even_op: str,
+              odd_op: str) -> str:
+    """Fused multiply with alternating add/sub (FMADDSUB / FMSUBADD)."""
+    hi = width - 1
+    return f"""
+{name}(a: {lanes} x f{width}, b: {lanes} x f{width}, c: {lanes} x f{width}) -> {lanes} x f{width}
+FOR j := 0 to {lanes // 2 - 1}
+    i := j*{2 * width}
+    dst[i+{hi}:i] := a[i+{hi}:i] * b[i+{hi}:i] {even_op} c[i+{hi}:i]
+    dst[i+{width}+{hi}:i+{width}] := a[i+{width}+{hi}:i+{width}] * b[i+{width}+{hi}:i+{width}] {odd_op} c[i+{width}+{hi}:i+{width}]
+ENDFOR
+"""
+
+
+def _pack(name: str, in_lanes: int, in_w: int, out_kind: str,
+          out_w: int) -> str:
+    """Narrowing pack with saturation: ``a`` fills the low half of the
+    destination, ``b`` the high half."""
+    sat = f"Saturate{out_w}" if out_kind == "s" else f"SaturateU{out_w}"
+    return f"""
+{name}(a: {in_lanes} x s{in_w}, b: {in_lanes} x s{in_w}) -> {2 * in_lanes} x {out_kind}{out_w}
+FOR j := 0 to {in_lanes - 1}
+    dst[j*{out_w}+{out_w - 1}:j*{out_w}] := {sat}(a[j*{in_w}+{in_w - 1}:j*{in_w}])
+    dst[(j+{in_lanes})*{out_w}+{out_w - 1}:(j+{in_lanes})*{out_w}] := {sat}(b[j*{in_w}+{in_w - 1}:j*{in_w}])
+ENDFOR
+"""
+
+
+def _fabs(name: str, lanes: int, width: int) -> str:
+    """Float absolute value (baseline-only helper entries)."""
+    hi = width - 1
+    return f"""
+{name}(a: {lanes} x f{width}) -> {lanes} x f{width}
+FOR j := 0 to {lanes - 1}
+    i := j*{width}
+    dst[i+{hi}:i] := ABS(a[i+{hi}:i])
+ENDFOR
+"""
+
+
+# --------------------------------------------------------------------------
+# Real-intrinsic metadata: entry name -> vendor intrinsic (Intel
+# Intrinsics Guide names).  ``_64`` low-half forms map to the 128-bit
+# intrinsic.  Entries whose operand order differs from the intrinsic's
+# use ``{i}`` format templates (see SpecEntry.intrinsic).
+
+_INTRINSICS: Dict[str, str] = {
+    # 64-bit (low-half xmm) forms
+    "paddd_64": "_mm_add_epi32",
+    "psubd_64": "_mm_sub_epi32",
+    "pmulld_64": "_mm_mullo_epi32",
+    "pmaddwd_64": "_mm_madd_epi16",
+    "packssdw_64": "_mm_packs_epi32",
+    "vpdpwssd_64": "_mm_dpwssd_epi32",
+    # 128-bit integer
+    "paddb_128": "_mm_add_epi8",
+    "paddw_128": "_mm_add_epi16",
+    "paddd_128": "_mm_add_epi32",
+    "paddq_128": "_mm_add_epi64",
+    "psubb_128": "_mm_sub_epi8",
+    "psubw_128": "_mm_sub_epi16",
+    "psubd_128": "_mm_sub_epi32",
+    "psubq_128": "_mm_sub_epi64",
+    "pand_128": "_mm_and_si128",
+    "por_128": "_mm_or_si128",
+    "pxor_128": "_mm_xor_si128",
+    "pmullw_128": "_mm_mullo_epi16",
+    "pmulld_128": "_mm_mullo_epi32",
+    "pmuldq_128": "_mm_mul_epi32",
+    "pminsw_128": "_mm_min_epi16",
+    "pmaxsw_128": "_mm_max_epi16",
+    "pminub_128": "_mm_min_epu8",
+    "pmaxub_128": "_mm_max_epu8",
+    "pminsd_128": "_mm_min_epi32",
+    "pmaxsd_128": "_mm_max_epi32",
+    "pabsb_128": "_mm_abs_epi8",
+    "pabsw_128": "_mm_abs_epi16",
+    "pabsd_128": "_mm_abs_epi32",
+    "pavgb_128": "_mm_avg_epu8",
+    "pavgw_128": "_mm_avg_epu16",
+    "paddsb_128": "_mm_adds_epi8",
+    "psubsb_128": "_mm_subs_epi8",
+    "paddsw_128": "_mm_adds_epi16",
+    "psubsw_128": "_mm_subs_epi16",
+    "paddusb_128": "_mm_adds_epu8",
+    "psubusb_128": "_mm_subs_epu8",
+    "paddusw_128": "_mm_adds_epu16",
+    "psubusw_128": "_mm_subs_epu16",
+    "pcmpgtd_128": "_mm_cmpgt_epi32",
+    # blendv picks from its second operand where the mask is set, so
+    # vselect(c, a, b) = blendv(b, a, c).
+    "vselectd_128": "_mm_blendv_epi8({2}, {1}, {0})",
+    "psravd_128": "_mm_srav_epi32",
+    "psllvd_128": "_mm_sllv_epi32",
+    "pmovsxbw_128": "_mm_cvtepi8_epi16",
+    "pmovsxwd_128": "_mm_cvtepi16_epi32",
+    "pmovsxdq_128": "_mm_cvtepi32_epi64",
+    "pmovzxbw_128": "_mm_cvtepu8_epi16",
+    "pmovzxwd_128": "_mm_cvtepu16_epi32",
+    "pmovdw_128": "_mm_cvtepi32_epi16",
+    "pmovdb_128": "_mm_cvtepi32_epi8",
+    "pmovwb_128": "_mm_cvtepi16_epi8",
+    "pmaddwd_128": "_mm_madd_epi16",
+    "pmaddubsw_128": "_mm_maddubs_epi16",
+    "phaddw_128": "_mm_hadd_epi16",
+    "phaddd_128": "_mm_hadd_epi32",
+    "phsubw_128": "_mm_hsub_epi16",
+    "phsubd_128": "_mm_hsub_epi32",
+    "packsswb_128": "_mm_packs_epi16",
+    "packssdw_128": "_mm_packs_epi32",
+    "packuswb_128": "_mm_packus_epi16",
+    "packusdw_128": "_mm_packus_epi32",
+    # 128-bit float
+    "addps_128": "_mm_add_ps",
+    "addpd_128": "_mm_add_pd",
+    "subps_128": "_mm_sub_ps",
+    "subpd_128": "_mm_sub_pd",
+    "mulps_128": "_mm_mul_ps",
+    "mulpd_128": "_mm_mul_pd",
+    "minps_128": "_mm_min_ps",
+    "maxps_128": "_mm_max_ps",
+    "minpd_128": "_mm_min_pd",
+    "maxpd_128": "_mm_max_pd",
+    "haddps_128": "_mm_hadd_ps",
+    "haddpd_128": "_mm_hadd_pd",
+    "hsubps_128": "_mm_hsub_ps",
+    "hsubpd_128": "_mm_hsub_pd",
+    "addsubps_128": "_mm_addsub_ps",
+    "addsubpd_128": "_mm_addsub_pd",
+    "fmaddsubps_128": "_mm_fmaddsub_ps",
+    "fmaddsubpd_128": "_mm_fmaddsub_pd",
+    "fmsubaddps_128": "_mm_fmsubadd_ps",
+    "fmsubaddpd_128": "_mm_fmsubadd_pd",
+    # 256-bit integer
+    "paddb_256": "_mm256_add_epi8",
+    "paddw_256": "_mm256_add_epi16",
+    "paddd_256": "_mm256_add_epi32",
+    "paddq_256": "_mm256_add_epi64",
+    "psubb_256": "_mm256_sub_epi8",
+    "psubw_256": "_mm256_sub_epi16",
+    "psubd_256": "_mm256_sub_epi32",
+    "psubq_256": "_mm256_sub_epi64",
+    "pand_256": "_mm256_and_si256",
+    "por_256": "_mm256_or_si256",
+    "pxor_256": "_mm256_xor_si256",
+    "pmullw_256": "_mm256_mullo_epi16",
+    "pmulld_256": "_mm256_mullo_epi32",
+    "pmuldq_256": "_mm256_mul_epi32",
+    "pminsw_256": "_mm256_min_epi16",
+    "pmaxsw_256": "_mm256_max_epi16",
+    "pminsd_256": "_mm256_min_epi32",
+    "pmaxsd_256": "_mm256_max_epi32",
+    "pminub_256": "_mm256_min_epu8",
+    "pmaxub_256": "_mm256_max_epu8",
+    "pabsb_256": "_mm256_abs_epi8",
+    "pabsw_256": "_mm256_abs_epi16",
+    "pabsd_256": "_mm256_abs_epi32",
+    "pavgb_256": "_mm256_avg_epu8",
+    "pavgw_256": "_mm256_avg_epu16",
+    "paddsw_256": "_mm256_adds_epi16",
+    "psubsw_256": "_mm256_subs_epi16",
+    "pcmpgtd_256": "_mm256_cmpgt_epi32",
+    "vselectd_256": "_mm256_blendv_epi8({2}, {1}, {0})",
+    "psravd_256": "_mm256_srav_epi32",
+    "psllvd_256": "_mm256_sllv_epi32",
+    "pmovsxwd_256": "_mm256_cvtepi16_epi32",
+    "pmovsxdq_256": "_mm256_cvtepi32_epi64",
+    "pmovdw_256": "_mm256_cvtepi32_epi16",
+    "pmovdb_256": "_mm256_cvtepi32_epi8",
+    "pmaddwd_256": "_mm256_madd_epi16",
+    "pmaddubsw_256": "_mm256_maddubs_epi16",
+    "phaddd_256": "_mm256_hadd_epi32",
+    "packssdw_256": "_mm256_packs_epi32",
+    # 256-bit float
+    "addps_256": "_mm256_add_ps",
+    "addpd_256": "_mm256_add_pd",
+    "subps_256": "_mm256_sub_ps",
+    "subpd_256": "_mm256_sub_pd",
+    "mulps_256": "_mm256_mul_ps",
+    "mulpd_256": "_mm256_mul_pd",
+    "minps_256": "_mm256_min_ps",
+    "maxps_256": "_mm256_max_ps",
+    "minpd_256": "_mm256_min_pd",
+    "maxpd_256": "_mm256_max_pd",
+    "haddps_256": "_mm256_hadd_ps",
+    "haddpd_256": "_mm256_hadd_pd",
+    "addsubps_256": "_mm256_addsub_ps",
+    "addsubpd_256": "_mm256_addsub_pd",
+    "fmaddsubps_256": "_mm256_fmaddsub_ps",
+    "fmaddsubpd_256": "_mm256_fmaddsub_pd",
+    "fmsubaddps_256": "_mm256_fmsubadd_ps",
+    "fmsubaddpd_256": "_mm256_fmsubadd_pd",
+    # 512-bit
+    "paddd_512": "_mm512_add_epi32",
+    "psubd_512": "_mm512_sub_epi32",
+    "paddq_512": "_mm512_add_epi64",
+    "pmaddwd_512": "_mm512_madd_epi16",
+    # AVX512-VNNI
+    "vpdpbusd_128": "_mm_dpbusd_epi32",
+    "vpdpbusd_256": "_mm256_dpbusd_epi32",
+    "vpdpbusd_512": "_mm512_dpbusd_epi32",
+    "vpdpwssd_128": "_mm_dpwssd_epi32",
+    "vpdpwssd_256": "_mm256_dpwssd_epi32",
+    "vpdpwssd_512": "_mm512_dpwssd_epi32",
+}
+
+
+# --------------------------------------------------------------------------
+# The ISA inventory.
+
+#: inverse throughputs (cycles between issues on the model machine).
+_FAST = 0.5      # simple ALU / multiply / shuffle-free ops
+_HORIZ = 2.0     # horizontal pairwise reductions (cross-lane)
+
+
+def build_entries() -> List[SpecEntry]:
+    """All x86 ISA entries, ungated.  The registry filters by target."""
+    entries: List[SpecEntry] = []
+
+    def add(name: str, text: str, requires, inv_throughput: float) -> None:
+        entries.append(SpecEntry(name, text, frozenset(requires),
+                                 inv_throughput,
+                                 intrinsic=_INTRINSICS.get(name),
+                                 header=X86_HEADER))
+
+    sse2 = {"sse2"}
+    ssse3 = {"ssse3"}
+    sse4 = {"sse4"}
+    avx = {"avx"}
+    avx2 = {"avx2"}
+    avx512f = {"avx512f"}
+    vnni = {"avx512_vnni"}
+
+    # -- 64-bit (low-half xmm) integer forms --------------------------------
+    add("paddd_64", _binop("paddd_64", 2, "s", 32, "+"), sse2, _FAST)
+    add("psubd_64", _binop("psubd_64", 2, "s", 32, "-"), sse2, _FAST)
+    add("pmulld_64", _binop("pmulld_64", 2, "s", 32, "*"), sse4, _FAST)
+    add("pmaddwd_64", _pmaddwd("pmaddwd_64", 2), sse2, _FAST)
+    add("packssdw_64", _pack("packssdw_64", 2, 32, "s", 16), sse2, _FAST)
+    add("vpdpwssd_64", _vpdpwssd("vpdpwssd_64", 2), vnni, _FAST)
+
+    # -- 128-bit integer arithmetic -----------------------------------------
+    for suffix, lanes, width in (("b", 16, 8), ("w", 8, 16), ("d", 4, 32),
+                                 ("q", 2, 64)):
+        add(f"padd{suffix}_128",
+            _binop(f"padd{suffix}_128", lanes, "s", width, "+"), sse2, _FAST)
+        add(f"psub{suffix}_128",
+            _binop(f"psub{suffix}_128", lanes, "s", width, "-"), sse2, _FAST)
+    add("pand_128", _binop("pand_128", 4, "s", 32, "AND"), sse2, _FAST)
+    add("por_128", _binop("por_128", 4, "s", 32, "OR"), sse2, _FAST)
+    add("pxor_128", _binop("pxor_128", 4, "s", 32, "XOR"), sse2, _FAST)
+    add("pmullw_128", _binop("pmullw_128", 8, "s", 16, "*"), sse2, _FAST)
+    add("pmulld_128", _binop("pmulld_128", 4, "s", 32, "*"), sse4, _FAST)
+    add("pmuldq_128", _pmuldq("pmuldq_128", 2), sse4, _FAST)
+
+    add("pminsw_128", _minmax("pminsw_128", 8, "s", 16, "MIN"), sse2, _FAST)
+    add("pmaxsw_128", _minmax("pmaxsw_128", 8, "s", 16, "MAX"), sse2, _FAST)
+    add("pminub_128", _minmax("pminub_128", 16, "u", 8, "MIN"), sse2, _FAST)
+    add("pmaxub_128", _minmax("pmaxub_128", 16, "u", 8, "MAX"), sse2, _FAST)
+    add("pminsd_128", _minmax("pminsd_128", 4, "s", 32, "MIN"), sse4, _FAST)
+    add("pmaxsd_128", _minmax("pmaxsd_128", 4, "s", 32, "MAX"), sse4, _FAST)
+
+    add("pabsb_128", _abs("pabsb_128", 16, "s", 8), ssse3, _FAST)
+    add("pabsw_128", _abs("pabsw_128", 8, "s", 16), ssse3, _FAST)
+    add("pabsd_128", _abs("pabsd_128", 4, "s", 32), ssse3, _FAST)
+
+    add("pavgb_128", _avg("pavgb_128", 16, 8), sse2, _FAST)
+    add("pavgw_128", _avg("pavgw_128", 8, 16), sse2, _FAST)
+
+    add("paddsb_128", _saturating("paddsb_128", 16, "s", 8, "+"), sse2, _FAST)
+    add("psubsb_128", _saturating("psubsb_128", 16, "s", 8, "-"), sse2, _FAST)
+    add("paddsw_128", _saturating("paddsw_128", 8, "s", 16, "+"), sse2, _FAST)
+    add("psubsw_128", _saturating("psubsw_128", 8, "s", 16, "-"), sse2, _FAST)
+    add("paddusb_128", _saturating("paddusb_128", 16, "u", 8, "+"), sse2,
+        _FAST)
+    add("psubusb_128", _saturating("psubusb_128", 16, "u", 8, "-"), sse2,
+        _FAST)
+    add("paddusw_128", _saturating("paddusw_128", 8, "u", 16, "+"), sse2,
+        _FAST)
+    add("psubusw_128", _saturating("psubusw_128", 8, "u", 16, "-"), sse2,
+        _FAST)
+
+    add("pcmpgtd_128", _cmpgt("pcmpgtd_128", 4, 32), sse2, _FAST)
+    add("vselectd_128", _vselect("vselectd_128", 4, 32), sse4, _FAST)
+
+    add("psravd_128", _shift("psravd_128", 4, "s", 32, ">>"), sse2, _FAST)
+    add("psllvd_128", _shift("psllvd_128", 4, "s", 32, "<<"), sse2, _FAST)
+
+    add("pmovsxbw_128", _extend("pmovsxbw_128", 8, "s", 8, 16), sse4, _FAST)
+    add("pmovsxwd_128", _extend("pmovsxwd_128", 4, "s", 16, 32), sse4, _FAST)
+    add("pmovsxdq_128", _extend("pmovsxdq_128", 2, "s", 32, 64), sse4, _FAST)
+    add("pmovzxbw_128", _extend("pmovzxbw_128", 8, "u", 8, 16), sse4, _FAST)
+    add("pmovzxwd_128", _extend("pmovzxwd_128", 4, "u", 16, 32), sse4, _FAST)
+    add("pmovdw_128", _truncate("pmovdw_128", 4, 32, 16), sse2, _FAST)
+    add("pmovdb_128", _truncate("pmovdb_128", 4, 32, 8), sse2, _FAST)
+    add("pmovwb_128", _truncate("pmovwb_128", 8, 16, 8), sse2, _FAST)
+
+    add("pmaddwd_128", _pmaddwd("pmaddwd_128", 4), sse2, _FAST)
+    add("pmaddubsw_128", _pmaddubsw("pmaddubsw_128", 8), ssse3, _FAST)
+
+    add("phaddw_128", _horizontal("phaddw_128", 8, "s", 16, "+"), ssse3,
+        _HORIZ)
+    add("phaddd_128", _horizontal("phaddd_128", 4, "s", 32, "+"), ssse3,
+        _HORIZ)
+    add("phsubw_128", _horizontal("phsubw_128", 8, "s", 16, "-"), ssse3,
+        _HORIZ)
+    add("phsubd_128", _horizontal("phsubd_128", 4, "s", 32, "-"), ssse3,
+        _HORIZ)
+
+    add("packsswb_128", _pack("packsswb_128", 8, 16, "s", 8), sse2, _FAST)
+    add("packssdw_128", _pack("packssdw_128", 4, 32, "s", 16), sse2, _FAST)
+    add("packuswb_128", _pack("packuswb_128", 8, 16, "u", 8), sse2, _FAST)
+    add("packusdw_128", _pack("packusdw_128", 4, 32, "u", 16), sse4, _FAST)
+
+    # -- 128-bit float ------------------------------------------------------
+    for op_name, op in (("add", "+"), ("sub", "-"), ("mul", "*")):
+        add(f"{op_name}ps_128",
+            _binop(f"{op_name}ps_128", 4, "f", 32, op), sse2, _FAST)
+        add(f"{op_name}pd_128",
+            _binop(f"{op_name}pd_128", 2, "f", 64, op), sse2, _FAST)
+    add("minps_128", _minmax("minps_128", 4, "f", 32, "MIN"), sse2, _FAST)
+    add("maxps_128", _minmax("maxps_128", 4, "f", 32, "MAX"), sse2, _FAST)
+    add("minpd_128", _minmax("minpd_128", 2, "f", 64, "MIN"), sse2, _FAST)
+    add("maxpd_128", _minmax("maxpd_128", 2, "f", 64, "MAX"), sse2, _FAST)
+
+    add("haddps_128", _horizontal("haddps_128", 4, "f", 32, "+"), ssse3,
+        _HORIZ)
+    add("haddpd_128", _horizontal("haddpd_128", 2, "f", 64, "+"), ssse3,
+        _HORIZ)
+    add("hsubps_128", _horizontal("hsubps_128", 4, "f", 32, "-"), ssse3,
+        _HORIZ)
+    add("hsubpd_128", _horizontal("hsubpd_128", 2, "f", 64, "-"), ssse3,
+        _HORIZ)
+
+    add("addsubps_128", _addsub("addsubps_128", 4, 32), ssse3, _FAST)
+    add("addsubpd_128", _addsub("addsubpd_128", 2, 64), ssse3, _FAST)
+
+    add("fmaddsubps_128", _fmaddsub("fmaddsubps_128", 4, 32, "-", "+"),
+        avx, _FAST)
+    add("fmaddsubpd_128", _fmaddsub("fmaddsubpd_128", 2, 64, "-", "+"),
+        avx, _FAST)
+    add("fmsubaddps_128", _fmaddsub("fmsubaddps_128", 4, 32, "+", "-"),
+        avx, _FAST)
+    add("fmsubaddpd_128", _fmaddsub("fmsubaddpd_128", 2, 64, "+", "-"),
+        avx, _FAST)
+
+    # -- 256-bit integer (AVX2) ---------------------------------------------
+    for suffix, lanes, width in (("b", 32, 8), ("w", 16, 16), ("d", 8, 32),
+                                 ("q", 4, 64)):
+        add(f"padd{suffix}_256",
+            _binop(f"padd{suffix}_256", lanes, "s", width, "+"), avx2, _FAST)
+        add(f"psub{suffix}_256",
+            _binop(f"psub{suffix}_256", lanes, "s", width, "-"), avx2, _FAST)
+    add("pand_256", _binop("pand_256", 8, "s", 32, "AND"), avx2, _FAST)
+    add("por_256", _binop("por_256", 8, "s", 32, "OR"), avx2, _FAST)
+    add("pxor_256", _binop("pxor_256", 8, "s", 32, "XOR"), avx2, _FAST)
+    add("pmullw_256", _binop("pmullw_256", 16, "s", 16, "*"), avx2, _FAST)
+    add("pmulld_256", _binop("pmulld_256", 8, "s", 32, "*"), avx2, _FAST)
+    add("pmuldq_256", _pmuldq("pmuldq_256", 4), avx2, _FAST)
+
+    add("pminsw_256", _minmax("pminsw_256", 16, "s", 16, "MIN"), avx2, _FAST)
+    add("pmaxsw_256", _minmax("pmaxsw_256", 16, "s", 16, "MAX"), avx2, _FAST)
+    add("pminsd_256", _minmax("pminsd_256", 8, "s", 32, "MIN"), avx2, _FAST)
+    add("pmaxsd_256", _minmax("pmaxsd_256", 8, "s", 32, "MAX"), avx2, _FAST)
+    add("pminub_256", _minmax("pminub_256", 32, "u", 8, "MIN"), avx2, _FAST)
+    add("pmaxub_256", _minmax("pmaxub_256", 32, "u", 8, "MAX"), avx2, _FAST)
+
+    add("pabsb_256", _abs("pabsb_256", 32, "s", 8), avx2, _FAST)
+    add("pabsw_256", _abs("pabsw_256", 16, "s", 16), avx2, _FAST)
+    add("pabsd_256", _abs("pabsd_256", 8, "s", 32), avx2, _FAST)
+
+    add("pavgb_256", _avg("pavgb_256", 32, 8), avx2, _FAST)
+    add("pavgw_256", _avg("pavgw_256", 16, 16), avx2, _FAST)
+
+    add("paddsw_256", _saturating("paddsw_256", 16, "s", 16, "+"), avx2,
+        _FAST)
+    add("psubsw_256", _saturating("psubsw_256", 16, "s", 16, "-"), avx2,
+        _FAST)
+
+    add("pcmpgtd_256", _cmpgt("pcmpgtd_256", 8, 32), avx2, _FAST)
+    add("vselectd_256", _vselect("vselectd_256", 8, 32), avx2, _FAST)
+
+    add("psravd_256", _shift("psravd_256", 8, "s", 32, ">>"), avx2, _FAST)
+    add("psllvd_256", _shift("psllvd_256", 8, "s", 32, "<<"), avx2, _FAST)
+
+    add("pmovsxwd_256", _extend("pmovsxwd_256", 8, "s", 16, 32), avx2, _FAST)
+    add("pmovsxdq_256", _extend("pmovsxdq_256", 4, "s", 32, 64), avx2, _FAST)
+    add("pmovdw_256", _truncate("pmovdw_256", 8, 32, 16), avx2, _FAST)
+    add("pmovdb_256", _truncate("pmovdb_256", 8, 32, 8), avx2, _FAST)
+
+    add("pmaddwd_256", _pmaddwd("pmaddwd_256", 8), avx2, _FAST)
+    add("pmaddubsw_256", _pmaddubsw("pmaddubsw_256", 16), avx2, _FAST)
+
+    add("phaddd_256", _horizontal("phaddd_256", 8, "s", 32, "+"), avx2,
+        _HORIZ)
+    add("packssdw_256", _pack("packssdw_256", 8, 32, "s", 16), avx2, _FAST)
+
+    # -- 256-bit float (AVX) ------------------------------------------------
+    for op_name, op in (("add", "+"), ("sub", "-"), ("mul", "*")):
+        add(f"{op_name}ps_256",
+            _binop(f"{op_name}ps_256", 8, "f", 32, op), avx, _FAST)
+        add(f"{op_name}pd_256",
+            _binop(f"{op_name}pd_256", 4, "f", 64, op), avx, _FAST)
+    add("minps_256", _minmax("minps_256", 8, "f", 32, "MIN"), avx, _FAST)
+    add("maxps_256", _minmax("maxps_256", 8, "f", 32, "MAX"), avx, _FAST)
+    add("minpd_256", _minmax("minpd_256", 4, "f", 64, "MIN"), avx, _FAST)
+    add("maxpd_256", _minmax("maxpd_256", 4, "f", 64, "MAX"), avx, _FAST)
+
+    add("haddps_256", _horizontal("haddps_256", 8, "f", 32, "+"), avx,
+        _HORIZ)
+    add("haddpd_256", _horizontal("haddpd_256", 4, "f", 64, "+"), avx,
+        _HORIZ)
+
+    add("addsubps_256", _addsub("addsubps_256", 8, 32), avx, _FAST)
+    add("addsubpd_256", _addsub("addsubpd_256", 4, 64), avx, _FAST)
+
+    add("fmaddsubps_256", _fmaddsub("fmaddsubps_256", 8, 32, "-", "+"),
+        avx, _FAST)
+    add("fmaddsubpd_256", _fmaddsub("fmaddsubpd_256", 4, 64, "-", "+"),
+        avx, _FAST)
+    add("fmsubaddps_256", _fmaddsub("fmsubaddps_256", 8, 32, "+", "-"),
+        avx, _FAST)
+    add("fmsubaddpd_256", _fmaddsub("fmsubaddpd_256", 4, 64, "+", "-"),
+        avx, _FAST)
+
+    # -- 512-bit (AVX-512F) -------------------------------------------------
+    add("paddd_512", _binop("paddd_512", 16, "s", 32, "+"), avx512f, _FAST)
+    add("psubd_512", _binop("psubd_512", 16, "s", 32, "-"), avx512f, _FAST)
+    add("paddq_512", _binop("paddq_512", 8, "s", 64, "+"), avx512f, _FAST)
+    add("pmaddwd_512", _pmaddwd("pmaddwd_512", 16), avx512f, _FAST)
+
+    # -- AVX512-VNNI dot products -------------------------------------------
+    add("vpdpbusd_128", _vpdpbusd("vpdpbusd_128", 4), vnni, _FAST)
+    add("vpdpbusd_256", _vpdpbusd("vpdpbusd_256", 8), vnni, _FAST)
+    add("vpdpbusd_512", _vpdpbusd("vpdpbusd_512", 16), vnni, _FAST)
+    add("vpdpwssd_128", _vpdpwssd("vpdpwssd_128", 4), vnni, _FAST)
+    add("vpdpwssd_256", _vpdpwssd("vpdpwssd_256", 8), vnni, _FAST)
+    add("vpdpwssd_512", _vpdpwssd("vpdpwssd_512", 16), vnni, _FAST)
+
+    return entries
+
+
+def baseline_fabs_entries() -> List[SpecEntry]:
+    """Float-abs entries only the baseline ("LLVM") vectorizer gets.
+
+    The main synthetic ISA deliberately has no float absolute value, so
+    the kernels that need one separate the two vectorizers (test
+    figure 15 territory).  LLVM would pattern-match ``fabs`` and emit an
+    ``andps`` with a sign mask, so the baseline target is granted these.
+    """
+    return [
+        SpecEntry("fabsps_128", _fabs("fabsps_128", 4, 32),
+                  frozenset({"sse2"}), _FAST),
+        SpecEntry("fabspd_128", _fabs("fabspd_128", 2, 64),
+                  frozenset({"sse2"}), _FAST),
+    ]
+
+
+#: The x86 family registration record (see repro.target.specs).
+FAMILY = ISAFamily(
+    name="x86",
+    header=X86_HEADER,
+    targets=X86_TARGETS,
+    build_entries=build_entries,
+)

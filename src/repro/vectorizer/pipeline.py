@@ -44,10 +44,29 @@ class VectorizationResult:
     counters: Optional[object] = None  # repro.obs.Counters when counting
     verification: Optional[object] = None  # transval.TransValReport when
                                            # verify=True
+    target: Optional[TargetDesc] = None    # the resolved target the run
+                                           # compiled against
 
     @property
     def vectorized(self) -> bool:
         return bool(self.packs)
+
+    @property
+    def c_source(self) -> str:
+        """The program rendered as compilable C intrinsics source.
+
+        Requires the result to carry its target (set by the session) and
+        every vector op to have v2 intrinsic metadata; raises
+        :class:`repro.emit.EmitError` otherwise.
+        """
+        from repro.emit import EmitError, emit_c
+
+        if self.target is None:
+            raise EmitError(
+                "result carries no target description; "
+                "emission needs the intrinsic metadata it holds"
+            )
+        return emit_c(self.program, self.target)
 
     @property
     def speedup_over_scalar(self) -> float:
@@ -220,6 +239,7 @@ def _legacy_vectorize(
             scalar_cost=scalar_cost,
             cost=cost,
             estimated_cost=estimated,
+            target=target_desc,
         )
         if obs_on:
             result.trace = root_span  # None when only counters were on

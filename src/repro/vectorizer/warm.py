@@ -23,7 +23,10 @@ Two tiers, mirroring :mod:`repro.serve.cache` in miniature: a
 process-local dict (always on when ``config.warm_start`` is), and an
 optional one-file-per-key disk store for cross-process reuse (bench
 ``--compare`` reruns), enabled by the ``REPRO_WARM_CACHE_DIR``
-environment variable or an explicit directory.
+environment variable or an explicit directory.  The disk tier is
+size-capped via :mod:`repro.disklru` (``REPRO_WARM_CACHE_LIMIT``,
+bytes with optional K/M/G suffix): writes evict least-recently-used
+entries, disk hits refresh recency, unset means unbounded.
 """
 
 from __future__ import annotations
@@ -34,6 +37,8 @@ import os
 import tempfile
 from typing import Dict, Optional, Tuple
 
+from repro.disklru import enforce_disk_limit, limit_from_env, mark_used
+
 #: Key-derivation version: bump to invalidate every existing key.
 WARM_KEY_SCHEMA = "repro-warm-key/v1"
 
@@ -42,6 +47,10 @@ WARM_ENTRY_SCHEMA = "repro-warm-cache/v1"
 
 #: Environment variable naming the optional disk tier directory.
 WARM_CACHE_ENV = "REPRO_WARM_CACHE_DIR"
+
+#: Environment variable capping the disk tier's total size in bytes
+#: (optional K/M/G suffix); unset or empty means unbounded.
+WARM_LIMIT_ENV = "REPRO_WARM_CACHE_LIMIT"
 
 
 def warm_key(canonical_ir: str, target: str, canonical_config: str,
@@ -96,8 +105,15 @@ class WarmCostCache:
     are still valid beam early-stop thresholds (the beam is
     deterministic, so its final cost is reproducible either way)."""
 
-    def __init__(self, disk_dir: Optional[str] = None):
+    def __init__(self, disk_dir: Optional[str] = None,
+                 disk_limit_bytes: Optional[int] = None):
         self.disk_dir = disk_dir
+        # Explicit cap wins; otherwise the environment knob applies.
+        self.disk_limit_bytes = (disk_limit_bytes
+                                 if disk_limit_bytes is not None
+                                 else limit_from_env(WARM_LIMIT_ENV))
+        #: Entries dropped by the size cap over this cache's lifetime.
+        self.disk_evictions = 0
         self._memory: Dict[str, Tuple[float, bool]] = {}
         if disk_dir is not None:
             os.makedirs(disk_dir, exist_ok=True)
@@ -128,6 +144,9 @@ class WarmCostCache:
             except OSError:
                 pass
             return None
+        # A hit is a use: refresh mtime so size-capped eviction drops
+        # this entry last.
+        mark_used(path)
         self._memory[key] = value
         return value
 
@@ -151,6 +170,9 @@ class WarmCostCache:
                 os.unlink(tmp)
             except OSError:
                 pass
+            return
+        self.disk_evictions += enforce_disk_limit(self.disk_dir,
+                                                  self.disk_limit_bytes)
 
     def clear_memory(self) -> None:
         self._memory.clear()
@@ -160,17 +182,19 @@ class WarmCostCache:
 
 
 _default_cache: Optional[WarmCostCache] = None
-_default_cache_dir: Optional[str] = None
+_default_cache_env: Optional[Tuple[Optional[str], Optional[str]]] = None
 
 
 def default_warm_cache() -> WarmCostCache:
-    """The process-wide cache (disk tier from ``REPRO_WARM_CACHE_DIR``).
+    """The process-wide cache (disk tier from ``REPRO_WARM_CACHE_DIR``,
+    size cap from ``REPRO_WARM_CACHE_LIMIT``).
 
-    Rebuilt if the environment variable changes between calls (tests
-    point it at temp dirs)."""
-    global _default_cache, _default_cache_dir
+    Rebuilt if either environment variable changes between calls (tests
+    point them at temp dirs / small caps)."""
+    global _default_cache, _default_cache_env
     disk_dir = os.environ.get(WARM_CACHE_ENV) or None
-    if _default_cache is None or disk_dir != _default_cache_dir:
+    env = (disk_dir, os.environ.get(WARM_LIMIT_ENV) or None)
+    if _default_cache is None or env != _default_cache_env:
         _default_cache = WarmCostCache(disk_dir)
-        _default_cache_dir = disk_dir
+        _default_cache_env = env
     return _default_cache

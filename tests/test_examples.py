@@ -1,0 +1,50 @@
+"""Smoke tests for the bundled examples.
+
+``examples/new_isa_extension.py`` is the paper's extensibility pitch
+and doubles as the reference walkthrough for the per-family target API;
+it must keep running end-to-end (registration, offline build,
+vectorization, interpretation, unregistration) as that API evolves.
+"""
+
+import os
+import subprocess
+import sys
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "examples")
+SRC_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+
+def test_new_isa_extension_example_runs():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(SRC_DIR)
+    proc = subprocess.run(
+        [sys.executable,
+         os.path.join(EXAMPLES_DIR, "new_isa_extension.py")],
+        capture_output=True, text=True, env=env, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "psadpair_128" in proc.stdout
+    assert "OK: a new ISA family was adopted" in proc.stdout
+
+
+def test_example_family_registration_is_clean():
+    """The example's register/unregister cycle must leave no residue in
+    the global registries (other tests share the process)."""
+    sys.path.insert(0, os.path.abspath(EXAMPLES_DIR))
+    try:
+        import new_isa_extension
+    finally:
+        sys.path.pop(0)
+    from repro.target import TARGET_CONFIGS, available_targets
+    from repro.target.specs import FAMILIES, build_spec_entries
+
+    before = (set(FAMILIES), set(TARGET_CONFIGS),
+              [e.name for e in build_spec_entries()],
+              set(available_targets()))
+    new_isa_extension.main()
+    after = (set(FAMILIES), set(TARGET_CONFIGS),
+             [e.name for e in build_spec_entries()],
+             set(available_targets()))
+    assert after == before
+    assert "toy" not in FAMILIES and "toy128" not in TARGET_CONFIGS

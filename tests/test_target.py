@@ -133,5 +133,75 @@ class TestSemanticsValidation:
         # The registry silently drops unliftable specs; there must be none.
         vnni = get_target("avx512_vnni")
         entries = [e for e in build_spec_entries()
-                   if e.requires <= TARGET_CONFIGS["avx512_vnni"]]
+                   if e.requires <= TARGET_CONFIGS["avx512_vnni"].extensions]
         assert len(vnni.instructions) == len(entries)
+
+
+class TestNeonReferenceSemantics:
+    """NEON lifted descriptions vs *independent* ARM-reference
+    implementations.
+
+    The whole-ISA sweep (``tests/test_whole_isa_semantics.py``) proves
+    the lifted VIDL agrees with the pseudocode *text*; these tests pin
+    the text itself to the architected behaviour, so a wrong spec (the
+    class of bug a self-consistent pipeline cannot see) fails here.
+    Regression anchor: ``vqdmulhq_s16`` once shifted the product by 31
+    instead of 15, making every lane 0 or -1.
+    """
+
+    @staticmethod
+    def _signed(value, width):
+        value &= (1 << width) - 1
+        return value - (1 << width) if value >= 1 << (width - 1) else value
+
+    @staticmethod
+    def _sat(value, width):
+        lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+        return max(lo, min(hi, value))
+
+    def _run(self, name, inputs, out_width):
+        desc = get_target("neon128").get(name).desc
+        return [self._signed(v, out_width)
+                for v in execute_inst(desc, inputs)]
+
+    def test_vqdmulh_is_doubling_multiply_high(self):
+        cases = [(16384, 16384, 8192), (-32768, -32768, 32767),
+                 (1000, -2000, -62), (32767, 32767, 32766),
+                 (-207, -9206, 58)]
+        for a, b, want in cases:
+            got = self._run("vqdmulhq_s16", [[a] * 8, [b] * 8], 16)
+            assert got == [want] * 8, (a, b)
+
+    def test_pairwise_and_widening_pairwise(self):
+        a32 = [10, -20, 30, 40]
+        b32 = [1, 2, -3, 4]
+        assert self._run("vpaddq_s32", [a32, b32], 32) == \
+            [-10, 70, 3, 1]
+        a8 = list(range(-8, 8))
+        assert self._run("vpaddlq_s8", [a8], 16) == \
+            [a8[2 * i] + a8[2 * i + 1] for i in range(8)]
+
+    def test_widening_multiply_accumulate(self):
+        acc = [100, -100, 2 ** 31 - 1, 0]
+        a = [300, -400, 1, 32767]
+        b = [500, 600, 1, 32767]
+        assert self._run("vmull_s16", [a, b], 32) == \
+            [a[i] * b[i] for i in range(4)]
+        assert self._run("vmlal_s16", [acc, a, b], 32) == \
+            [self._signed(acc[i] + a[i] * b[i], 32) for i in range(4)]
+        assert self._run("vaddl_s16", [a, b], 32) == \
+            [a[i] + b[i] for i in range(4)]
+
+    def test_saturating_narrow(self):
+        a32 = [70000, -70000, 32767, -32768]
+        assert self._run("vqmovn_s32", [a32], 16) == \
+            [32767, -32768, 32767, -32768]
+
+    def test_fused_multiply_add_sub(self):
+        acc = [5, -5, 0, 2 ** 31 - 1]
+        x = [2, 3, -4, 1]
+        y = [10, -10, 10, 1]
+        assert self._run("vmlaq_s32", [acc, x, y], 32) == \
+            [self._signed(acc[i] + x[i] * y[i], 32) for i in range(4)]
+        assert self._run("vmlsq_s32", [acc, x, y], 32) == \
+            [self._signed(acc[i] - x[i] * y[i], 32) for i in range(4)]

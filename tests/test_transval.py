@@ -192,6 +192,36 @@ class TestReportShapes:
         assert "dst[0]" in str(exc) and "x=1: 2 != 3" in str(exc)
 
 
+class TestNeonShapes:
+    """NEON-specific lane topologies the x86 suite never exercises:
+    widening multiplies reading 64-bit d-register inputs (vmull),
+    two-input pairwise adds (vpadd), saturating narrows (vqmovn), and
+    immediate-operand shifts (vshr_n).  Each must both be *selected*
+    for its kernel and *prove* under TransVal."""
+
+    CASES = [
+        ("isel_pmaddwd", ("vmull_s16", "vpaddq_s32")),
+        ("dsp_idct4", ("vqmovn_s32", "vshrq_n_s32")),
+        ("isel_hadd_ps", ("vpaddq_f32",)),
+    ]
+
+    @pytest.mark.parametrize("kernel,instructions", CASES)
+    def test_neon_shape_selected_and_proved(self, kernel, instructions):
+        result = vectorize(all_kernels()[kernel], target="neon128",
+                           beam_width=8)
+        used = {op.inst.name for op in result.program.vector_ops()}
+        for name in instructions:
+            assert name in used, (kernel, used)
+        report = validate_result(result)
+        assert report.status == "proved", report.counts()
+
+    def test_verify_flag_end_to_end_on_neon(self):
+        result = vectorize(all_kernels()["tvm_dot"], target="neon128",
+                           verify=True)
+        assert result.verification is not None
+        assert result.verification.status == "proved"
+
+
 class TestAcceptance:
     @pytest.mark.parametrize("target", sorted(available_targets()))
     def test_kernel_subset_proves_on_every_target(self, target):

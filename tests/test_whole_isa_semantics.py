@@ -4,6 +4,10 @@ One parametrized test per target instruction: the pseudocode interpreter
 and the lifted VIDL description must agree on random register payloads.
 This is the test-suite twin of ``benchmarks/test_semantics_validation.py``
 (which sweeps in one go); failures here name the exact instruction.
+
+Both ISA families are swept: ``avx512_vnni`` covers the whole x86
+inventory (its extension set is the x86 superset) and ``neon128``
+covers the NEON family.
 """
 
 import random
@@ -14,14 +18,21 @@ from repro.pseudocode import parse_spec, run_spec
 from repro.target import get_target
 from repro.vidl import bits_from_lanes, execute_inst, lanes_from_bits
 
+#: One target per ISA family, each covering its family's full inventory.
+_FAMILY_TARGETS = ("avx512_vnni", "neon128")
 
-def _instruction_names():
-    return [inst.name for inst in get_target("avx512_vnni").instructions]
+
+def _instruction_cases():
+    return [
+        pytest.param(target, inst.name, id=f"{target}-{inst.name}")
+        for target in _FAMILY_TARGETS
+        for inst in get_target(target).instructions
+    ]
 
 
-@pytest.mark.parametrize("name", _instruction_names())
-def test_instruction_semantics(name):
-    inst = get_target("avx512_vnni").get(name)
+@pytest.mark.parametrize("target,name", _instruction_cases())
+def test_instruction_semantics(target, name):
+    inst = get_target(target).get(name)
     spec = parse_spec(inst.spec_text)
     rng = random.Random(hash(name) & 0xFFFFFF)
     for _ in range(3):
@@ -37,10 +48,10 @@ def test_instruction_semantics(name):
         assert got == expected, (name, env)
 
 
-@pytest.mark.parametrize("name", _instruction_names())
-def test_lane_bindings_well_formed(name):
+@pytest.mark.parametrize("target,name", _instruction_cases())
+def test_lane_bindings_well_formed(target, name):
     """Every instruction's inverse lane map must round-trip its bindings."""
-    desc = get_target("avx512_vnni").get(name).desc
+    desc = get_target(target).get(name).desc
     for out_lane, lane_op in enumerate(desc.lane_ops):
         for param_pos, ref in enumerate(lane_op.bindings):
             consumers = desc.lane_consumers(ref.input_index,
