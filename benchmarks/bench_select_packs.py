@@ -11,13 +11,16 @@ Usage::
     python benchmarks/bench_select_packs.py
     python benchmarks/bench_select_packs.py --repeats 3 --legacy
     python benchmarks/bench_select_packs.py --targets sse4 --kernels dsp_sbc
+    python benchmarks/bench_select_packs.py --bound both
 
 ``--legacy`` adds a ``bitset=False`` column (the legacy search engine
 kept as the differential oracle) with the speedup ratio; ``--warm``
-adds a warm-started rerun column (identical packs, pruned search).
-Each measurement uses a fresh session, so every run is a cold search —
-comparable to the bench harness's cells — and ``--repeats N`` reports
-the best of N to shave scheduler noise.
+adds a warm-started rerun column (identical packs, pruned search);
+``--bound both`` adds a ``bound="slp"`` column (the admissible-bound
+gates disabled — today's differential oracle) with the speedup the
+matching bound buys.  Each measurement uses a fresh session, so every
+run is a cold search — comparable to the bench harness's cells — and
+``--repeats N`` reports the best of N to shave scheduler noise.
 
 This is a script, not a pytest module: it has no assertions and its
 wall times are machine-dependent by design.
@@ -31,16 +34,20 @@ import time
 from typing import List, Optional
 
 #: The 5 slowest kernels by committed BENCH_vegen.json select_packs
-#: time (they dominate the matrix total; everything else is <0.4s).
+#: time (they dominate the matrix total; everything else is <0.5s).
+#: The single slowest cell is dsp_sbc on neon128 (19.1 s in the
+#: pre-bound trajectory), which is why neon128 is in the default
+#: target set.
 DEFAULT_KERNELS = ("dsp_sbc", "dsp_idct8", "tvm_dot", "dsp_idct4",
                    "dsp_fft8")
 
-DEFAULT_TARGETS = ("sse4", "avx2", "avx512_vnni")
+DEFAULT_TARGETS = ("sse4", "avx2", "avx512_vnni", "neon128")
 
 
 def time_select_packs(kernel_name: str, target: str, beam_width: int,
                       repeats: int, bitset: bool = True,
-                      warm_start: bool = False) -> float:
+                      warm_start: bool = False,
+                      bound: str = "matching") -> float:
     """Best-of-``repeats`` select_packs wall time, fresh session each."""
     from repro.kernels import all_kernels
     from repro.obs import Tracer
@@ -53,7 +60,7 @@ def time_select_packs(kernel_name: str, target: str, beam_width: int,
         session = VectorizationSession(
             target=target, beam_width=beam_width,
             config=VectorizerConfig(beam_width=beam_width, bitset=bitset,
-                                    warm_start=warm_start),
+                                    warm_start=warm_start, bound=bound),
         )
         tracer = Tracer()
         session.vectorize(function, tracer=tracer)
@@ -80,6 +87,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--warm", action="store_true",
                         help="also time a warm-started rerun (the run "
                              "itself seeds the in-process cache)")
+    parser.add_argument("--bound", choices=("matching", "slp", "both"),
+                        default="matching",
+                        help="admissible-bound mode for the main column "
+                             "(default matching, the config default); "
+                             "'both' adds a bound=slp column with the "
+                             "speedup ratio")
     args = parser.parse_args(argv)
 
     kernels = [k.strip() for k in args.kernels.split(",") if k.strip()]
@@ -92,25 +105,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"unknown kernels: {', '.join(unknown)}", file=sys.stderr)
         return 2
 
+    main_bound = "slp" if args.bound == "slp" else "matching"
     header = f"{'kernel':14s} {'target':12s} {'bitset':>9s}"
     if args.legacy:
         header += f" {'legacy':>9s} {'speedup':>8s}"
     if args.warm:
         header += f" {'warm':>9s}"
+    if args.bound == "both":
+        header += f" {'slp':>9s} {'speedup':>8s}"
     print(header)
     print("-" * len(header))
 
-    totals = {"bitset": 0.0, "legacy": 0.0, "warm": 0.0}
+    totals = {"bitset": 0.0, "legacy": 0.0, "warm": 0.0, "slp": 0.0}
     start = time.perf_counter()
     for name in kernels:
         for target in targets:
             fast = time_select_packs(name, target, args.beam_width,
-                                     args.repeats)
+                                     args.repeats, bound=main_bound)
             totals["bitset"] += fast
             line = f"{name:14s} {target:12s} {fast:8.3f}s"
             if args.legacy:
                 slow = time_select_packs(name, target, args.beam_width,
-                                         args.repeats, bitset=False)
+                                         args.repeats, bitset=False,
+                                         bound=main_bound)
                 totals["legacy"] += slow
                 ratio = slow / fast if fast > 0 else float("inf")
                 line += f" {slow:8.3f}s {ratio:7.2f}x"
@@ -118,11 +135,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                 # First call above did not use the cache; this one seeds
                 # it (cold) and the timed second call prunes from it.
                 time_select_packs(name, target, args.beam_width, 1,
-                                  warm_start=True)
+                                  warm_start=True, bound=main_bound)
                 warm = time_select_packs(name, target, args.beam_width,
-                                         args.repeats, warm_start=True)
+                                         args.repeats, warm_start=True,
+                                         bound=main_bound)
                 totals["warm"] += warm
                 line += f" {warm:8.3f}s"
+            if args.bound == "both":
+                slp = time_select_packs(name, target, args.beam_width,
+                                        args.repeats, bound="slp")
+                totals["slp"] += slp
+                ratio = slp / fast if fast > 0 else float("inf")
+                line += f" {slp:8.3f}s {ratio:7.2f}x"
             print(line, flush=True)
     footer = f"{'total':14s} {'':12s} {totals['bitset']:8.3f}s"
     if args.legacy:
@@ -131,6 +155,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         footer += f" {totals['legacy']:8.3f}s {ratio:7.2f}x"
     if args.warm:
         footer += f" {totals['warm']:8.3f}s"
+    if args.bound == "both":
+        ratio = (totals["slp"] / totals["bitset"]
+                 if totals["bitset"] > 0 else float("inf"))
+        footer += f" {totals['slp']:8.3f}s {ratio:7.2f}x"
     print("-" * len(header))
     print(footer)
     print(f"(best of {args.repeats}, beam width {args.beam_width}, "

@@ -80,11 +80,13 @@ def _cmd_vectorize(args: argparse.Namespace) -> int:
                   f"{', '.join(available_passes())}", file=sys.stderr)
             return 2
     config = None
-    if args.exact:
+    if args.exact or args.bound != "matching":
         from repro.vectorizer.context import VectorizerConfig
 
-        config = VectorizerConfig(beam_width=args.beam_width, exact=True,
-                                  exact_node_budget=args.exact_budget)
+        config = VectorizerConfig(beam_width=args.beam_width,
+                                  exact=args.exact,
+                                  exact_node_budget=args.exact_budget,
+                                  bound=args.bound)
     session = VectorizationSession(
         target=args.target,
         beam_width=args.beam_width,
@@ -532,6 +534,10 @@ def _cmd_gen(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.obs.bench import DEFAULT_GAP_NODE_BUDGET
+    from repro.vectorizer.bounds import BOUND_MODES
+    from repro.vectorizer.context import DEFAULT_EXACT_NODE_BUDGET
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="VeGen reproduction: vectorize mini-C kernels and "
@@ -549,11 +555,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "branch and bound seeded by the beam) and report "
                         "whether the cost is provably optimal; bounded "
                         "by --exact-budget")
-    p.add_argument("--exact-budget", type=int, default=400000,
-                   metavar="N",
-                   help="node budget for --exact (default 400000); when "
-                        "exhausted the best incumbent is returned "
-                        "without an optimality proof")
+    p.add_argument("--exact-budget", type=int,
+                   default=DEFAULT_EXACT_NODE_BUDGET, metavar="N",
+                   help="node budget for --exact (default "
+                        f"{DEFAULT_EXACT_NODE_BUDGET}, the proof "
+                        "budget: sized to prove every cell the "
+                        "admissible bound can close in seconds; 'repro "
+                        "bench --gap-budget' probes at a smaller "
+                        "default, see there); when exhausted the best "
+                        "incumbent is returned without an optimality "
+                        "proof")
+    p.add_argument("--bound", choices=BOUND_MODES, default="matching",
+                   help="search lower-bound provider (default "
+                        "matching, the admissible relaxation; slp "
+                        "disables the bound gates — the differential "
+                        "oracle with identical packs/costs)")
     p.add_argument("--dump-ir", action="store_true",
                    help="also print the scalar IR")
     p.add_argument("--report", action="store_true",
@@ -666,10 +682,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "packs/costs to a cold run, faster search on "
                         "repeat compiles (set REPRO_WARM_CACHE_DIR for "
                         "cross-process reuse)")
-    p.add_argument("--gap-budget", type=int, default=50000, metavar="N",
+    p.add_argument("--gap-budget", type=int,
+                   default=DEFAULT_GAP_NODE_BUDGET, metavar="N",
                    help="node budget for the per-cell exact pass behind "
-                        "the optimality_gap column (default 50000; 0 "
-                        "disables the pass, reporting null everywhere)")
+                        "the optimality_gap column (default "
+                        f"{DEFAULT_GAP_NODE_BUDGET}, the quick probe "
+                        "budget: bounds the full-matrix pass to "
+                        "seconds per cell, so heavy cells report null "
+                        "here and get their proof attempts from "
+                        "'repro vectorize --exact' at its larger "
+                        "default; 0 disables the pass, reporting null "
+                        "everywhere)")
     p.add_argument("--out", default="BENCH_vegen.json",
                    help="output path (default: BENCH_vegen.json)")
     p.add_argument("--compare", default=None, metavar="OLD.json",

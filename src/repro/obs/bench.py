@@ -38,7 +38,12 @@ KNOWN_BENCH_SCHEMAS = ("repro-bench/v1", "repro-bench/v2")
 #: Default node budget for the per-cell exact pass behind
 #: ``optimality_gap``: enough to prove the small/medium kernels optimal,
 #: bounded so the heavy cells (dsp_idct8, dsp_sbc) report ``null`` in
-#: seconds instead of minutes.
+#: seconds instead of minutes.  This is the *quick probe* budget; the
+#: *proof* budget for targeted single-kernel runs is
+#: :data:`repro.vectorizer.context.DEFAULT_EXACT_NODE_BUDGET` (8x
+#: larger, the ``repro vectorize --exact`` default) — the two are
+#: deliberately distinct because the bench pass runs 132 cells and the
+#: proof path runs one.
 DEFAULT_GAP_NODE_BUDGET = 50000
 
 #: The default benchmark target matrix (§7 evaluates the x86 ISAs;

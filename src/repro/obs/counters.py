@@ -48,6 +48,21 @@ COUNTER_NAMES = frozenset({
     "beam.heuristic_skips",       # children scored by g alone: g already
                                   # above the running kth-best f, so the
                                   # heuristic call is provably redundant
+    # admissible matching bound (config.bound="matching")
+    "beam.bound_evals",           # lower-bound evaluations computed
+    "beam.bound_prunes",          # exhaustive branches cut because
+                                  # g + lb met the incumbent (or
+                                  # exceeded the proved warm bound)
+    "beam.bound_heuristic_skips",  # children deferred without a
+                                   # heuristic call: g + lb already
+                                   # above the running kth-best f
+    "beam.bound_rollout_stops",   # rollouts stopped because g + lb met
+                                  # the incumbent mid-walk
+    "beam.bound_completion_skips",  # deferred completions skipped:
+                                    # g + lb met the incumbent
+    "beam.bound_dominance_cuts",  # exhaustive states cut by the
+                                  # dominance memo (same S/F, V-superset
+                                  # of a seen state at <= cost)
     # bitset-native search core (config.bitset)
     "beam.bitset_runs",           # searches run on the bitset engine
     "beam.bitset_operands",       # dense operand ids assigned by the

@@ -12,7 +12,7 @@ the full list of alternative matches.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.ir.function import Function
 from repro.ir.instructions import Instruction, Opcode
@@ -161,6 +161,12 @@ class MatchTable:
     def tokens_for_value_id(self, vid: int) -> Tuple[int, ...]:
         """Operation tokens a value (by id) has matches for."""
         return self._value_tokens.get(vid, ())
+
+    def all_matches(self) -> Iterator[Match]:
+        """Every recorded match, in table iteration order (the bound
+        provider's coverable-interior scan)."""
+        for matches in self._table.values():
+            yield from matches
 
     @property
     def num_matches(self) -> int:

@@ -43,6 +43,17 @@ The search is engineered as a bounded branch-and-bound engine:
   width instead of the branching factor.  The returned cost is never
   worse than the unpruned search's (``tests/test_prune_differential``);
   ``prune=False`` restores the exhaustive scoring path exactly.
+* **Admissible lower-bound gates**
+  (``VectorizerConfig(bound="matching")``, default) — a fractional
+  pack-cover relaxation (:mod:`repro.vectorizer.bounds`, DESIGN.md §16)
+  maps every state to ``lb <= cost of any completion``.  The beam phase
+  uses it only for identity-preserving skips (lazy-heuristic deferral
+  via ``h >= lb``, rollout stops and deferred-completion skips against
+  the incumbent's provable total), each gate self-tuning off when it
+  stops firing; the exact pass cuts every subtree with
+  ``g + lb >= incumbent`` and adds a dominance memo, which is where the
+  optimality proofs come from.  ``bound="slp"`` restores the pre-bound
+  engine byte-for-byte (``tests/test_bound_differential``).
 """
 
 from __future__ import annotations
@@ -55,6 +66,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 from repro.ir.instructions import Instruction, StoreInst, RetInst
 from repro.ir.values import Argument, Constant
 from repro.obs.counters import NULL_COUNTERS
+from repro.vectorizer.bounds import BOUND_MODES, MatchingLowerBound
 from repro.vectorizer.context import VectorizationContext
 from repro.vectorizer.pack import (
     OperandVector,
@@ -183,10 +195,26 @@ class BeamSearch:
         #: ``best_solved.g <= bound`` returns the same object the full
         #: run would have.
         self._warm_bound: Optional[float] = None
+        # operand_keys frozenset -> union of operand produced-bits (the
+        # legacy engine's _state_operand_bits; the bitset engine
+        # overrides with its _mask_obits memo).
+        self._state_obits_memo: Dict[FrozenSet, int] = {}
         with ctx.tracer.span("seed_enumeration"):
             self._seed_packs = self._enumerate_seed_packs()
         (self._seed_kill_masks, self._seed_dead_mask,
          self._seed_vbits_union) = self._index_seeds()
+        bound_mode = ctx.config.bound
+        if bound_mode not in BOUND_MODES:
+            raise ValueError(
+                f"unknown bound mode {bound_mode!r}; "
+                f"expected one of {BOUND_MODES}"
+            )
+        #: Admissible lower-bound provider (config.bound="matching");
+        #: None ("slp") keeps the pure SLP-heuristic engine as the
+        #: differential oracle.
+        self._lb: Optional[MatchingLowerBound] = (
+            MatchingLowerBound(self) if bound_mode == "matching" else None
+        )
 
     # -- setup -------------------------------------------------------------
 
@@ -299,6 +327,19 @@ class BeamSearch:
         registry = self._operand_registry
         return [registry[key]
                 for key in self._sorted_keys(state.operand_keys)]
+
+    def _state_operand_bits(self, state: SearchState) -> int:
+        """Union of the produced-bits of a state's live operands — the
+        instructions some live vector operand still demands."""
+        keys = state.operand_keys
+        bits = self._state_obits_memo.get(keys)
+        if bits is None:
+            bits = 0
+            cache = self._operand_bits_cache
+            for key in keys:
+                bits |= cache[key]
+            self._state_obits_memo[keys] = bits
+        return bits
 
     # -- per-pack transition tables ----------------------------------------------------
 
@@ -1085,10 +1126,28 @@ class BeamSearch:
         and completion costs are non-negative, so the finished rollout
         could never be kept."""
         current = state
+        lb = self._lb
+        gate = getattr(self, "_rollout_gate", None)
         for _ in range(max_steps):
             if bound is not None and current.g >= bound:
                 self.ctx.counters.inc("beam.incumbent_prunes")
                 return None
+            # Admissible-bound stop: the rollout's eventual completion
+            # costs at least g + lb, and its result is only ever kept
+            # when strictly below the incumbent bound — identical
+            # outcome, fewer greedy steps.  Self-tuning like the other
+            # beam-phase gates: unproductive on this search, it stops
+            # paying the per-step bound eval.
+            if bound is not None and lb is not None and gate is not None:
+                if gate[0] >= _BOUND_GATE_MIN_EVALS and \
+                        gate[1] * _BOUND_GATE_FIRE_RATIO < gate[0]:
+                    lb = None
+                elif lb.provable_total(current, current.g) >= bound:
+                    self.ctx.counters.inc("beam.bound_rollout_stops")
+                    gate[1] += 1
+                    return None
+                else:
+                    gate[0] += 1
             progressed = False
             for operand in self._live_operands(current):
                 residual = self._residual_operand(operand,
@@ -1129,6 +1188,15 @@ class BeamSearch:
             patience = self.ctx.config.patience
         counters = self.ctx.counters
         prune = self._prune
+        lb_of = self._lb.bound if self._lb is not None else None
+        lb_total = (self._lb.provable_total
+                    if self._lb is not None else None)
+        # Per-gate [evals, fires] for the self-tuning disable (the beam
+        # phase pays a bound eval per check; an unproductive gate turns
+        # itself off, the exact pass keeps the bound always-on).
+        gate1 = [0, 0]
+        gate3 = [0, 0]
+        self._rollout_gate = [0, 0]
         state = self.initial_state()
         candidates = [state]
         best_solved = self._complete(state)  # the all-scalar solution
@@ -1191,10 +1259,38 @@ class BeamSearch:
                 topk: List[float] = []  # max-heap (negated) of k best f
                 for child in children.values():
                     g = child.g
-                    if len(topk) == beam_width and g > -topk[0]:
-                        counters.inc("beam.heuristic_skips")
-                        deferred.append(child)
-                        continue
+                    if len(topk) == beam_width:
+                        kth = -topk[0]
+                        if g > kth:
+                            counters.inc("beam.heuristic_skips")
+                            deferred.append(child)
+                            continue
+                        # Admissible-bound strengthening of the same
+                        # gate (config.bound="matching"): h dominates
+                        # lb pointwise (every estimate path charges at
+                        # least the bound's amortized per-instruction
+                        # minima over the bits it counts — DESIGN.md
+                        # §16), so f = g + h >= g + lb > kth-best means
+                        # the child provably cannot enter the beam
+                        # either, and strict > preserves the eager
+                        # path's equal-f tie resolution exactly.
+                        # Self-tuning: the gate pays a bound eval per
+                        # candidate, so if it almost never fires on
+                        # this search it turns itself off (skipping an
+                        # identity-preserving skip is just as
+                        # identity-preserving).
+                        if lb_of is not None:
+                            if g + lb_of(child) > kth:
+                                counters.inc(
+                                    "beam.bound_heuristic_skips")
+                                gate1[1] += 1
+                                deferred.append(child)
+                                continue
+                            gate1[0] += 1
+                            if gate1[0] >= _BOUND_GATE_MIN_EVALS and \
+                                    gate1[1] * _BOUND_GATE_FIRE_RATIO \
+                                    < gate1[0]:
+                                lb_of = None
                     h = self.heuristic(child)
                     if h == INFINITY:
                         continue
@@ -1248,6 +1344,21 @@ class BeamSearch:
                 for child in deferred:
                     if child.g >= best_solved.g:
                         continue
+                    # Admissible-bound gate: the completion cost is at
+                    # least g + lb, so meeting the incumbent here means
+                    # the completed state could never be adopted (the
+                    # update below requires strict <) — skipping the
+                    # completion is identity-preserving.
+                    if lb_total is not None:
+                        if lb_total(child, child.g) >= best_solved.g:
+                            counters.inc("beam.bound_completion_skips")
+                            gate3[1] += 1
+                            continue
+                        gate3[0] += 1
+                        if gate3[0] >= _BOUND_GATE_MIN_EVALS and \
+                                gate3[1] * _BOUND_GATE_FIRE_RATIO \
+                                < gate3[0]:
+                            lb_total = None
                     completed = self._complete(child)
                     if completed.g < best_solved.g:
                         best_solved = completed
@@ -1384,6 +1495,9 @@ class BitsetBeamSearch(BeamSearch):
                 remaining &= remaining - 1
             self._mask_obits_memo[mask] = bits
         return bits
+
+    def _state_operand_bits(self, state: SearchState) -> int:
+        return self._mask_obits(state.operand_keys)
 
     # -- states and transitions --------------------------------------------
 
@@ -1569,15 +1683,39 @@ def exhaustive_search(search: BeamSearch,
     so the result is never worse than it.  ``bound`` enables the
     warm-start strict prune (``child.g > bound`` branches are cut); it
     is only sound to pass a *proved* previous final cost — see
-    :mod:`repro.vectorizer.warm`.  The traversal uses a fresh dominance
+    :mod:`repro.vectorizer.warm`.  The traversal uses a fresh identity
     memo by default: the beam's transposition table also holds states
     whose subtrees were beam-width-pruned without exploration, so
     reusing it here would unsoundly skip them.
+
+    Under ``config.bound="matching"`` the search additionally prunes
+    with the admissible lower bound (:mod:`repro.vectorizer.bounds`):
+    a branch is cut once ``g + lb`` meets the incumbent — the
+    completion of every descendant costs at least that — or strictly
+    exceeds the proved warm bound (composing the cached-incumbent and
+    relaxation bounds: a subtree whose provable total is above the
+    known optimum cannot contain it, nor the first-found optimal state,
+    which lives on a ``g + lb <= bound`` path).  A dominance memo cuts
+    lane-permutation/duplication variants: a state is dominated by an
+    earlier-explored one with the same ``S`` and ``F``, a subset of its
+    ``V``, equal still-free operand-demand bits, and no greater ``g`` —
+    every completion of the dominated state then mirrors to a
+    no-more-expensive completion of the dominator (the obits-equality
+    side condition keeps dead-interior drops, fix candidates, and
+    needed sets identical along the mirrored sequences, so the mirror
+    is always legal).
     """
     if memo is None:
         memo = {}
     if counters is None:
         counters = NULL_COUNTERS
+    lb_total = (search._lb.provable_total
+                if search._lb is not None else None)
+    # Dominance memo: (S, F) -> [(V, obits(V) & F, g)] of explored
+    # states, capped per class.  Gated with the bound provider (both
+    # ride config.bound="matching").
+    dom: Optional[Dict[Tuple[int, int], List[Tuple]]] = \
+        {} if lb_total is not None else None
     root = search.initial_state()
     best = search._complete(root)
     if incumbent is not None and incumbent.g < best.g:
@@ -1616,15 +1754,83 @@ def exhaustive_search(search: BeamSearch,
         if child.solved:
             best = child  # g < best.g checked above
             continue
+        if lb_total is not None:
+            total = lb_total(child, child.g)
+            # Sound subtree cut: every completion below costs at least
+            # ceil(g + lb) (totals are integral).  Meeting the
+            # incumbent (adoption needs strict <) or strictly exceeding
+            # the proved warm bound (the optimum, and the first-found
+            # optimal state, live on provable-total <= bound paths)
+            # makes the subtree worthless.
+            if total >= best.g or \
+                    (bound is not None and total > bound):
+                counters.inc("beam.bound_prunes")
+                continue
         key = child.identity()
         seen = memo.get(key)
         if seen is not None and seen <= child.g:
             continue
         memo[key] = child.g
+        if dom is not None and _dominance_cut(search, dom, child,
+                                              counters):
+            continue
         if not _enter(child):
             proved = False
             break
     return best, proved, nodes
+
+
+#: Explored states remembered per (S, F) dominance class; a small cap
+#: keeps the subset scan O(1) per child.
+_DOMINANCE_CLASS_CAP = 12
+
+#: Self-tuning beam-phase bound gates: after this many unproductive
+#: evals a gate checks its fire rate...
+_BOUND_GATE_MIN_EVALS = 512
+#: ... and turns itself off unless at least one eval in this many
+#: fired.  The beam pays a bound eval per gate check, so a gate that
+#: (almost) never fires on a given search is pure overhead; turning it
+#: off skips only identity-preserving skips, so results are unchanged
+#: either way.  The exact pass never self-tunes — its prunes carry the
+#: optimality proof.
+_BOUND_GATE_FIRE_RATIO = 64
+
+
+def _dominance_cut(search: BeamSearch, dom: Dict, state: SearchState,
+                   counters) -> bool:
+    """Cut ``state`` if an explored state dominates it.
+
+    Dominator requirements (all four; see ``exhaustive_search``'s
+    docstring for the mirroring argument): same scalar set ``S``, same
+    free set ``F``, ``V`` a subset of the state's, *equal* still-free
+    operand-demand bits ``obits(V) & F``, and no greater ``g``.  V-subset
+    alone is unsound — extra live operands can change which interiors
+    drop dead downstream, making the free sets diverge — but with the
+    demand bits equal the dominated state's every legal transition
+    sequence is legal for the dominator at pointwise no-greater cost
+    (fewer shuffle/insert terms, identical drops).  Undominated states
+    are remembered (capped) for later children of the class."""
+    v = state.operand_keys
+    obits = search._state_operand_bits(state) & state.free_bits
+    key = (state.scalar_bits, state.free_bits)
+    entries = dom.get(key)
+    if entries is None:
+        dom[key] = [(v, obits, state.g)]
+        return False
+    g = state.g
+    if type(v) is int:
+        for v0, ob0, g0 in entries:
+            if g0 <= g and ob0 == obits and (v0 & v) == v0:
+                counters.inc("beam.bound_dominance_cuts")
+                return True
+    else:
+        for v0, ob0, g0 in entries:
+            if g0 <= g and ob0 == obits and v0 <= v:
+                counters.inc("beam.bound_dominance_cuts")
+                return True
+    if len(entries) < _DOMINANCE_CLASS_CAP:
+        entries.append((v, obits, g))
+    return False
 
 
 def select_packs(ctx: VectorizationContext) -> Tuple[List[Pack], float]:

@@ -15,6 +15,14 @@ from repro.patterns.match_table import MatchTable
 from repro.target.isa import TargetDesc
 from repro.vectorizer.pack import operand_key
 
+#: Default node budget for one exhaustive branch-and-bound pass
+#: (``VectorizerConfig.exact_node_budget`` / ``repro vectorize
+#: --exact-budget``).  Sized for a one-shot proof of a single compile;
+#: the bench's per-cell gap pass uses the much smaller
+#: :data:`repro.obs.bench.DEFAULT_GAP_NODE_BUDGET` — see the field
+#: docstring below for why the two differ.
+DEFAULT_EXACT_NODE_BUDGET = 400_000
+
 
 @dataclass
 class VectorizerConfig:
@@ -63,6 +71,22 @@ class VectorizerConfig:
     #: target (``tests/test_bitset_differential.py``); ``bitset=False``
     #: restores the frozenset-keyed legacy engine.
     bitset: bool = True
+    #: Lower-bound provider for incumbent pruning, in both the beam's
+    #: gates and the exhaustive pass.  ``"matching"`` (default) charges
+    #: every provably-still-needed instruction its cheapest amortized
+    #: pack-or-scalar production cost — a true admissible bound
+    #: (:mod:`repro.vectorizer.bounds`, DESIGN.md §16) that lets the
+    #: exhaustive pass prove optimality on the heavy kernels and lets
+    #: the beam skip provably-outside-the-beam heuristic calls.  All
+    #: beam-path consumers are identity-preserving (``h >= lb``
+    #: pointwise, so every new skip is of work whose result could not
+    #: have been kept): packs and costs are bit-identical to
+    #: ``"slp"``, which disables the provider and keeps the pure
+    #: SLP-heuristic engine as the differential oracle
+    #: (``tests/test_bound_differential.py``).  Note this field is part
+    #: of the canonical config, so serve/warm cache keys change with it
+    #: — deliberate, same as every other knob.
+    bound: str = "matching"
     #: After the beam finishes, run the incumbent branch-and-bound to
     #: exhaustion under the admissible bound (seeded with the beam's
     #: solved state, so the result is never worse than the beam's) and
@@ -73,8 +97,14 @@ class VectorizerConfig:
     #: (``beam.exact_budget_exhausted``).
     exact: bool = False
     #: Node budget for the exhaustive pass (states visited); exhaustion
-    #: returns the incumbent instead of a proof of optimality.
-    exact_node_budget: int = 400000
+    #: returns the incumbent instead of a proof of optimality.  The
+    #: default (:data:`DEFAULT_EXACT_NODE_BUDGET`) sizes a *one-shot*
+    #: ``--exact`` compile, where proving one cell is the whole point;
+    #: ``repro bench --gap-budget`` deliberately runs the same pass at a
+    #: small fraction of it (:data:`repro.obs.bench.DEFAULT_GAP_NODE_BUDGET`)
+    #: because the bench's gap pass re-proves every one of the 132 cells
+    #: on each run and only reports, never returns, the result.
+    exact_node_budget: int = DEFAULT_EXACT_NODE_BUDGET
     #: Warm-start the incumbent from a previous run's final cost, looked
     #: up in the content-addressed warm cost cache
     #: (:mod:`repro.vectorizer.warm`, keyed like the serve cache:
@@ -110,6 +140,7 @@ class VectorizerConfig:
         "memoize",
         "prune",
         "bitset",
+        "bound",
         "exact",
         "exact_node_budget",
         "warm_start",

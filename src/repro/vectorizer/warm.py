@@ -14,7 +14,13 @@ Soundness is the warm-start contract proved in
 *early-stop / strict-prune bound equal to the run's own final cost*, so
 a hit changes node counts and ``beam.warmstart_*`` counters but never
 the returned packs or cost (differential-tested in
-``tests/test_bitset_differential.py``).  A stale or wrong entry can
+``tests/test_bitset_differential.py``).  In the exact pass the cached
+incumbent composes with the admissible matching bound (DESIGN.md §16):
+a subtree is cut when its ``provable_total`` strictly exceeds the
+proved warm bound, so a warm hit turns the cached *cost* into a proof
+accelerator without ever excluding a ``provable_total <= bound`` path —
+the first-found optimal state lives on such a path, keeping the
+returned object identical.  A stale or wrong entry can
 therefore at worst slow the search down or stop it at a worse-but-equal
 bound it would have reached anyway — but keys cover every input, so
 entries cannot go stale short of a hash collision.

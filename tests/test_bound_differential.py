@@ -1,0 +1,146 @@
+"""Differential tests for ``VectorizerConfig(bound=...)``.
+
+``bound="slp"`` disables every admissible-bound gate and restores the
+pre-bound search byte for byte; ``bound="matching"`` (the default) may
+only change how much work the search does (``beam.bound_*`` and node
+counters) — packs and costs are identical.  That is the engine's
+identity contract: every bound gate drops only provably-useless work
+(DESIGN.md §16.5), so the two modes are a differential oracle pair the
+same way ``bitset=False`` is for the bitset core.
+
+The full 33-kernel x 4-target matrix runs at beam width 2 (identity is
+width-independent; width 2 keeps the doubled matrix fast, mirroring
+``test_bitset_differential``), with the bench configuration (width 8)
+spot-checked on the kernels where the search trees are deepest.  Set
+``REPRO_FULL_DIFFERENTIAL=1`` to run the full matrix at bench width
+too (minutes, not seconds — CI material, not tier-1).
+"""
+
+import os
+
+import pytest
+
+from repro.kernels import all_kernels
+from repro.obs import Counters
+from repro.session import VectorizationSession
+from repro.vectorizer.bounds import BOUND_MODES
+from repro.vectorizer.context import VectorizerConfig
+
+from tests.test_bitset_differential import _fingerprint
+
+ALL_TARGETS = ("sse4", "avx2", "avx512_vnni", "neon128")
+
+#: Heavy spot-check set: deepest search trees first (these diverge
+#: first if a bound gate ever cuts a live branch).
+HEAVY_KERNELS = ("dsp_fft4", "dsp_idct4", "complex_mul",
+                 "opencv_int32x8", "isel_abs_i16")
+
+
+def _matrix_identical(beam_width, kernel_names, targets):
+    kernels = all_kernels()
+    mismatches = []
+    for target in targets:
+        sessions = {
+            mode: VectorizationSession(
+                target=target, beam_width=beam_width,
+                config=VectorizerConfig(beam_width=beam_width,
+                                        bound=mode))
+            for mode in BOUND_MODES
+        }
+        for name in kernel_names:
+            prints = {
+                mode: _fingerprint(session.vectorize(kernels[name]))
+                for mode, session in sessions.items()
+            }
+            if prints["slp"] != prints["matching"]:
+                mismatches.append(
+                    f"{name}/{target}: matching {prints['matching'][1]}"
+                    f" vs slp {prints['slp'][1]} (packs equal: "
+                    f"{prints['slp'][0] == prints['matching'][0]})"
+                )
+    return mismatches
+
+
+def test_bound_identity_full_matrix():
+    """Full 33-kernel x 4-target matrix: identical packs and costs."""
+    mismatches = _matrix_identical(2, sorted(all_kernels()), ALL_TARGETS)
+    assert not mismatches, "\n".join(mismatches)
+
+
+def test_bound_identity_at_bench_width():
+    mismatches = _matrix_identical(8, HEAVY_KERNELS, ALL_TARGETS)
+    assert not mismatches, "\n".join(mismatches)
+
+
+@pytest.mark.skipif(os.environ.get("REPRO_FULL_DIFFERENTIAL") != "1",
+                    reason="set REPRO_FULL_DIFFERENTIAL=1 for the "
+                           "bench-width full matrix (minutes)")
+def test_bound_identity_full_matrix_at_bench_width():
+    mismatches = _matrix_identical(8, sorted(all_kernels()), ALL_TARGETS)
+    assert not mismatches, "\n".join(mismatches)
+
+
+def test_bound_counters_fire_only_in_matching_mode():
+    kernels = all_kernels()
+    for mode, expect in (("matching", True), ("slp", False)):
+        session = VectorizationSession(
+            target="sse4", beam_width=8,
+            config=VectorizerConfig(beam_width=8, bound=mode))
+        counters = Counters()
+        session.vectorize(kernels["dsp_fft4"], counters=counters)
+        fired = counters.get("beam.bound_evals") > 0
+        assert fired == expect, (mode, counters.as_dict())
+
+
+def test_matching_mode_shrinks_the_exact_proof_tree():
+    """The point of the bound: the exact pass visits strictly fewer
+    nodes under ``g + lb`` pruning, flipping cells from
+    budget-exhausted to proved.  isel_abs_ps is the canonical flip: it
+    exhausts the 50k probe budget under ``slp`` (the committed
+    pre-bound trajectory reports a null gap) and proves well inside it
+    under ``matching``."""
+    kernels = all_kernels()
+    nodes = {}
+    proved = {}
+    for mode in BOUND_MODES:
+        session = VectorizationSession(
+            target="sse4", beam_width=8,
+            config=VectorizerConfig(beam_width=8, bound=mode,
+                                    exact=True,
+                                    exact_node_budget=50000))
+        counters = Counters()
+        session.vectorize(kernels["isel_abs_ps"], counters=counters)
+        nodes[mode] = counters.get("beam.exact_nodes")
+        proved[mode] = counters.get("beam.exact_proved")
+    assert proved["matching"] == 1, nodes
+    assert proved["slp"] == 0, nodes
+    assert nodes["matching"] < nodes["slp"], nodes
+
+
+def test_invalid_bound_mode_rejected():
+    kernels = all_kernels()
+    session = VectorizationSession(
+        target="sse4", beam_width=2,
+        config=VectorizerConfig(beam_width=2, bound="lp"))
+    with pytest.raises(ValueError, match="bound"):
+        session.vectorize(kernels["complex_mul"])
+
+
+def test_exact_mode_differential_on_proved_cells():
+    """When both bound modes *prove* optimality, the proved costs agree
+    (budget-exhausted incumbents may legitimately differ — the
+    matching bound reaches deeper in the same node budget)."""
+    kernels = all_kernels()
+    costs = {}
+    for mode in BOUND_MODES:
+        session = VectorizationSession(
+            target="sse4", beam_width=8,
+            config=VectorizerConfig(beam_width=8, bound=mode,
+                                    exact=True,
+                                    exact_node_budget=50000))
+        counters = Counters()
+        result = session.vectorize(kernels["complex_mul"],
+                                   counters=counters)
+        assert counters.get("beam.exact_proved") == 1, mode
+        costs[mode] = result.cost.total
+    assert costs["slp"] == costs["matching"], costs

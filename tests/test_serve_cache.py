@@ -93,6 +93,11 @@ def test_every_config_field_feeds_the_key(field_name, raw):
     current = getattr(config, field_name)
     if isinstance(current, bool):
         new_value = not current
+    elif isinstance(current, str):
+        # String-valued fields (e.g. ``bound``): the key hashes the
+        # canonical serialization, not the validated enum, so any
+        # distinct string must move it.
+        new_value = current + "x" * (1 + raw % 5)
     else:
         new_value = current + 1 + raw
     setattr(config, field_name, new_value)

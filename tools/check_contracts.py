@@ -18,7 +18,13 @@ every Python file under ``src/`` with :mod:`ast` and verifies
   a counter name (``namespace.rest`` with a registered counter
   namespace, e.g. ``beam.``) is a member of ``COUNTER_NAMES`` — a typo
   in a counter read silently returns 0, which is exactly the failure
-  mode the differential tests' counter assertions must not have.
+  mode the differential tests' counter assertions must not have;
+* every registered ``beam.bound_*`` counter has at least one literal
+  ``.inc`` site under ``src/`` — the bound counters are the *only*
+  observable difference between ``bound="matching"`` and
+  ``bound="slp"`` (the differential tests pin packs and costs
+  identical), so a registered-but-never-incremented bound counter
+  means a gate silently lost its instrumentation.
 
 ``tests/``, ``benchmarks/``, and ``tools/`` are walked alongside
 ``src/``: the read-side contract matters most where counters gate
@@ -65,7 +71,8 @@ def _literal_str(node: ast.AST) -> "str | None":
 
 
 def check_file(path: str,
-               writes: bool = True) -> Tuple[List[str], int]:
+               writes: bool = True,
+               inc_sites: "set | None" = None) -> Tuple[List[str], int]:
     """Return (violations, dynamic_call_count) for one source file.
 
     ``writes=False`` (used outside ``src/``) applies only the
@@ -88,6 +95,8 @@ def check_file(path: str,
             if name is None:
                 dynamic += 1
                 continue
+            if kind == "inc" and inc_sites is not None:
+                inc_sites.add(name)
             contract = COUNTER_NAMES if kind == "inc" else SPAN_NAMES
             if name not in contract:
                 registry = ("COUNTER_NAMES" if kind == "inc"
@@ -131,10 +140,23 @@ def main() -> int:
              for f in _python_files(root)]
     all_violations: List[str] = []
     dynamic_total = 0
+    src_inc_sites: set = set()
     for path, writes in files:
-        violations, dynamic = check_file(path, writes=writes)
+        violations, dynamic = check_file(
+            path, writes=writes,
+            inc_sites=src_inc_sites if writes else None)
         all_violations.extend(violations)
         dynamic_total += dynamic
+    # Write-coverage check for the bound-gate family: these counters
+    # are the only observable matching-vs-slp difference, so each one
+    # must actually be incremented somewhere in the pipeline.
+    for name in sorted(COUNTER_NAMES):
+        if name.startswith("beam.bound_") and name not in src_inc_sites:
+            all_violations.append(
+                f"COUNTER_NAMES registers {name!r} but no literal "
+                f".inc({name!r}) exists under src/ (a bound gate lost "
+                f"its instrumentation)"
+            )
     for violation in all_violations:
         print(violation, file=sys.stderr)
     print(f"check_contracts: scanned {len(files)} files, "
